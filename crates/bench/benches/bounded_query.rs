@@ -1,0 +1,59 @@
+//! E7/E10 micro-benchmark: bounded cone-search aggregates against impression
+//! layers of increasing size versus the full base scan.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sciborq_bench::{build_dataset, Scale};
+use sciborq_core::{
+    BoundedQueryEngine, LayerHierarchy, QueryBounds, SamplingPolicy, SciborqConfig,
+};
+use sciborq_skyserver::Cone;
+use sciborq_workload::Query;
+
+fn bench_bounded_queries(c: &mut Criterion) {
+    let dataset = build_dataset(Scale::Quick);
+    let fact = dataset.catalog.table("photoobj").expect("fact table");
+    let fact = fact.read();
+    let engine = BoundedQueryEngine::new(SciborqConfig::default()).expect("engine");
+    let cone = Cone::new(185.0, 0.0, 5.0);
+    let query = Query::count("photoobj", cone.bounding_box_predicate("ra", "dec"));
+
+    let mut group = c.benchmark_group("bounded_count");
+    for size in [300usize, 3_000] {
+        let config = SciborqConfig::with_layers(vec![size]);
+        let hierarchy =
+            LayerHierarchy::build_from_table(&fact, SamplingPolicy::Uniform, &config, None)
+                .expect("hierarchy");
+        group.bench_with_input(BenchmarkId::new("impression", size), &size, |b, _| {
+            b.iter(|| {
+                engine
+                    .execute_aggregate(&query, &hierarchy, None, &QueryBounds::default())
+                    .expect("query")
+                    .rows_scanned
+            })
+        });
+    }
+    {
+        // the exact, base-data evaluation for reference
+        let config = SciborqConfig::with_layers(vec![300]);
+        let hierarchy =
+            LayerHierarchy::build_from_table(&fact, SamplingPolicy::Uniform, &config, None)
+                .expect("hierarchy");
+        group.bench_function("base_scan", |b| {
+            b.iter(|| {
+                engine
+                    .execute_aggregate(
+                        &query,
+                        &hierarchy,
+                        Some(&fact),
+                        &QueryBounds::max_error(1e-15),
+                    )
+                    .expect("query")
+                    .rows_scanned
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bounded_queries);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Substrate micro-benchmarks: predicate scans, aggregates and FK joins on
+//! the columnar storage layer (the pieces whose cost model underlies the
+//! runtime bounds of E10).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use sciborq_bench::{build_dataset, Scale};
+use sciborq_columnar::{
+    compute_aggregate, hash_join_index, AggregateKind, JoinType, Predicate, SelectionVector,
+};
+
+fn bench_columnar(c: &mut Criterion) {
+    let dataset = build_dataset(Scale::Quick);
+    let fact = dataset.catalog.table("photoobj").expect("fact");
+    let fact = fact.read();
+    let dim = dataset.catalog.table("field").expect("dim");
+    let dim = dim.read();
+    let rows = fact.row_count() as u64;
+
+    let mut group = c.benchmark_group("columnar");
+    group.throughput(Throughput::Elements(rows));
+
+    let range = Predicate::between("ra", 180.0, 190.0);
+    group.bench_function("range_scan", |b| {
+        b.iter(|| black_box(range.evaluate(&fact).expect("scan").len()))
+    });
+
+    let conjunction = Predicate::between("ra", 180.0, 190.0)
+        .and(Predicate::between("dec", -5.0, 5.0))
+        .and(Predicate::lt("r_mag", 20.0));
+    group.bench_function("conjunctive_scan", |b| {
+        b.iter(|| black_box(conjunction.evaluate(&fact).expect("scan").len()))
+    });
+
+    let all = SelectionVector::all(fact.row_count());
+    group.bench_function("avg_aggregate", |b| {
+        b.iter(|| {
+            compute_aggregate(&fact, Some("r_mag"), AggregateKind::Avg, black_box(&all))
+                .expect("aggregate")
+                .value
+        })
+    });
+
+    group.bench_function("fk_hash_join", |b| {
+        b.iter(|| {
+            hash_join_index(&fact, "field_id", &dim, "field_id", JoinType::Inner, &all)
+                .expect("join")
+                .len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_columnar);
+criterion_main!(benches);

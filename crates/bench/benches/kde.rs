@@ -1,0 +1,51 @@
+//! Figure 4 kernels: evaluating the full estimator f̂ (O(N) per point)
+//! versus the binned estimator f̆ (O(β) per point), which is what makes
+//! per-tuple weighting during loads feasible.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sciborq_stats::{BinnedKde, EquiWidthHistogram, FullKde, Kernel};
+
+fn predicate_values(n: usize) -> Vec<f64> {
+    // deterministic bimodal predicate set, no RNG needed
+    (0..n)
+        .map(|i| {
+            if i % 3 == 0 {
+                210.0 + (i % 17) as f64 * 0.3
+            } else {
+                160.0 + (i % 23) as f64 * 0.4
+            }
+        })
+        .collect()
+}
+
+fn bench_kde(c: &mut Criterion) {
+    let mut group = c.benchmark_group("density_estimation");
+    for n in [400usize, 4_000, 40_000] {
+        let values = predicate_values(n);
+        let full = FullKde::new(values.clone(), 2.5, Kernel::Gaussian).expect("f̂");
+        let mut hist = EquiWidthHistogram::new(0.0, 360.0, 24).expect("hist");
+        hist.observe_all(&values);
+        let binned = BinnedKde::from_histogram(&hist).expect("f̆");
+
+        group.bench_with_input(BenchmarkId::new("full_f_hat", n), &n, |b, _| {
+            b.iter(|| black_box(full.density(black_box(186.5))))
+        });
+        group.bench_with_input(BenchmarkId::new("binned_f_breve", n), &n, |b, _| {
+            b.iter(|| black_box(binned.density(black_box(186.5))))
+        });
+    }
+    group.finish();
+
+    // histogram maintenance itself (Figure 5 inner loop)
+    c.bench_function("histogram_observe_100k", |b| {
+        let values = predicate_values(100_000);
+        b.iter(|| {
+            let mut hist = EquiWidthHistogram::new(0.0, 360.0, 24).expect("hist");
+            hist.observe_all(black_box(&values));
+            hist.total()
+        })
+    });
+}
+
+criterion_group!(benches, bench_kde);
+criterion_main!(benches);

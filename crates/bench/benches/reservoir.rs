@@ -1,0 +1,60 @@
+//! Throughput of the three reservoir strategies of the paper (Figures 2, 3
+//! and 6): how many tuples per second the load-time construction of an
+//! impression can absorb.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sciborq_sampling::{BiasedReservoir, LastSeenReservoir, Reservoir, SamplingStrategy};
+
+const STREAM: u64 = 100_000;
+
+fn bench_reservoirs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reservoir_observe");
+    group.throughput(Throughput::Elements(STREAM));
+    for capacity in [1_000usize, 10_000] {
+        group.bench_with_input(
+            BenchmarkId::new("algorithm_r", capacity),
+            &capacity,
+            |b, &cap| {
+                b.iter(|| {
+                    let mut r = Reservoir::new(cap, 1);
+                    for i in 0..STREAM {
+                        r.observe(black_box(i));
+                    }
+                    r.len()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("last_seen", capacity),
+            &capacity,
+            |b, &cap| {
+                b.iter(|| {
+                    let mut r =
+                        LastSeenReservoir::new(cap, cap as f64, 10_000.0, 1).expect("last-seen");
+                    for i in 0..STREAM {
+                        r.observe(black_box(i));
+                    }
+                    r.len()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("biased", capacity),
+            &capacity,
+            |b, &cap| {
+                b.iter(|| {
+                    let mut r = BiasedReservoir::new(cap, 1).expect("biased");
+                    for i in 0..STREAM {
+                        let weight = if i % 10 == 0 { 5.0 } else { 0.3 };
+                        r.observe_weighted(black_box(i), black_box(weight));
+                    }
+                    r.len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reservoirs);
+criterion_main!(benches);

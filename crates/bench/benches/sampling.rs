@@ -1,0 +1,43 @@
+//! Figure 7 macro-benchmark: building a 10 000-tuple uniform versus biased
+//! impression over the synthetic warehouse, end to end (generator → load →
+//! reservoir → materialisation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sciborq_bench::{build_dataset, build_predicate_set, Scale};
+use sciborq_core::{LayerHierarchy, SamplingPolicy, SciborqConfig};
+
+fn bench_impression_construction(c: &mut Criterion) {
+    let dataset = build_dataset(Scale::Quick);
+    let fact = dataset.catalog.table("photoobj").expect("fact table");
+    let fact = fact.read();
+    let ps = build_predicate_set(Scale::Quick, 4);
+
+    let mut group = c.benchmark_group("impression_construction");
+    group.sample_size(10);
+    for size in [1_000usize, 5_000] {
+        let config = SciborqConfig::with_layers(vec![size]);
+        group.bench_with_input(BenchmarkId::new("uniform", size), &size, |b, _| {
+            b.iter(|| {
+                LayerHierarchy::build_from_table(&fact, SamplingPolicy::Uniform, &config, None)
+                    .expect("hierarchy")
+                    .byte_size()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("biased", size), &size, |b, _| {
+            b.iter(|| {
+                LayerHierarchy::build_from_table(
+                    &fact,
+                    SamplingPolicy::biased(["ra", "dec"]),
+                    &config,
+                    Some(&ps),
+                )
+                .expect("hierarchy")
+                .byte_size()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_impression_construction);
+criterion_main!(benches);

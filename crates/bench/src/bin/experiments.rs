@@ -1,0 +1,89 @@
+//! Experiment runner: regenerates every figure of the SciBORQ paper plus the
+//! text-level experiments on the synthetic SkyServer warehouse.
+//!
+//! Usage:
+//!   cargo run -p sciborq-bench --release --bin experiments -- <experiment> [--quick]
+//!
+//! where `<experiment>` is one of
+//!   fig4 | fig5 | fig6 | fig7 | reservoir | lastseen | bounds | escalation |
+//!   adapt | runtime | all
+//!
+//! `--quick` shrinks the data sizes so the whole suite finishes in seconds.
+
+use sciborq_bench::{
+    adaptation, error_vs_size, escalation, figure4, figure5, figure6, figure7, last_seen_bias,
+    reservoir_uniformity, runtime_vs_size, Scale,
+};
+
+fn run(name: &str, scale: Scale) -> bool {
+    match name {
+        "fig4" => {
+            figure4(scale);
+        }
+        "fig5" => {
+            figure5(scale);
+        }
+        "fig6" => {
+            figure6(scale);
+        }
+        "fig7" => {
+            figure7(scale);
+        }
+        "reservoir" => {
+            reservoir_uniformity(scale);
+        }
+        "lastseen" => {
+            last_seen_bias(scale);
+        }
+        "bounds" => {
+            error_vs_size(scale);
+        }
+        "escalation" => {
+            escalation(scale);
+        }
+        "adapt" => {
+            adaptation(scale);
+        }
+        "runtime" => {
+            runtime_vs_size(scale);
+        }
+        _ => return false,
+    }
+    true
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let experiment = args.first().map(String::as_str).unwrap_or("all");
+    let scale = Scale::parse(args.get(1).map(String::as_str));
+
+    let all = [
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "reservoir",
+        "lastseen",
+        "bounds",
+        "escalation",
+        "adapt",
+        "runtime",
+    ];
+
+    if experiment == "all" {
+        for (i, name) in all.iter().enumerate() {
+            if i > 0 {
+                println!("\n{}\n", "=".repeat(78));
+            }
+            run(name, scale);
+        }
+        return;
+    }
+    if !run(experiment, scale) {
+        eprintln!(
+            "unknown experiment '{experiment}'. expected one of: all {}",
+            all.join(" ")
+        );
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,19 @@
+//! # sciborq-bench
+//!
+//! The experiment harness of the SciBORQ reproduction: one function per
+//! paper figure (and per quantitative claim in the text), each of which
+//! regenerates the corresponding table/series on the synthetic SkyServer
+//! warehouse and prints it in a shape directly comparable with the paper.
+//!
+//! The `experiments` binary (`cargo run -p sciborq-bench --release --bin
+//! experiments -- <experiment|all>`) drives these functions; the Criterion
+//! benches under `benches/` measure the performance-sensitive kernels.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod setup;
+
+pub use experiments::*;
+pub use setup::*;

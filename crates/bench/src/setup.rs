@@ -1,0 +1,128 @@
+//! Shared setup helpers for experiments and benches.
+
+use sciborq_skyserver::{DatasetConfig, SkyDataset};
+use sciborq_workload::{AttributeDomain, PredicateSet, WorkloadGenerator};
+
+/// The scale an experiment runs at. `Paper` mirrors the sizes reported in
+/// the paper (e.g. >600k tuples for Figure 7); `Quick` shrinks everything so
+/// the full suite runs in seconds (used by tests and smoke runs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Paper-sized experiments (hundreds of thousands of tuples).
+    Paper,
+    /// Small, fast versions of the same experiments.
+    Quick,
+}
+
+impl Scale {
+    /// Number of fact-table rows to generate.
+    pub fn fact_rows(&self) -> usize {
+        match self {
+            Scale::Paper => 600_000,
+            Scale::Quick => 30_000,
+        }
+    }
+
+    /// Impression size used by the Figure 7 style comparisons.
+    pub fn impression_rows(&self) -> usize {
+        match self {
+            Scale::Paper => 10_000,
+            Scale::Quick => 1_000,
+        }
+    }
+
+    /// Number of logged workload queries (the paper's Figure 4 uses 400
+    /// predicate values ≈ 130 cone searches; we log queries until ~400
+    /// values per attribute are collected).
+    pub fn workload_queries(&self) -> usize {
+        match self {
+            Scale::Paper => 140,
+            Scale::Quick => 60,
+        }
+    }
+
+    /// Parse from a CLI flag.
+    pub fn parse(arg: Option<&str>) -> Scale {
+        match arg {
+            Some("--quick") | Some("quick") => Scale::Quick,
+            _ => Scale::Paper,
+        }
+    }
+}
+
+/// Build the synthetic warehouse used by the experiments.
+pub fn build_dataset(scale: Scale) -> SkyDataset {
+    SkyDataset::build(DatasetConfig {
+        total_objects: scale.fact_rows(),
+        batch_size: (scale.fact_rows() / 10).max(1),
+        ..DatasetConfig::default()
+    })
+    .expect("synthetic warehouse builds")
+}
+
+/// A predicate set over `ra`/`dec` fed by the default SkyServer-like
+/// workload, with raw values retained so the full KDE f̂ can be computed.
+pub fn build_predicate_set(scale: Scale, seed: u64) -> PredicateSet {
+    let mut ps = PredicateSet::new(&[
+        ("ra", AttributeDomain::new(0.0, 360.0, 24)),
+        ("dec", AttributeDomain::new(-90.0, 90.0, 24)),
+    ])
+    .expect("predicate set")
+    .with_raw_values();
+    let mut generator = WorkloadGenerator::default_sky(seed);
+    for query in generator.generate(scale.workload_queries()) {
+        ps.log_query(&query);
+    }
+    ps
+}
+
+/// Render a simple text histogram (used to print Figure 4/7 style series).
+pub fn render_histogram(label: &str, counts: &[u64]) -> String {
+    let max = counts.iter().copied().max().unwrap_or(0).max(1);
+    let mut out = String::new();
+    out.push_str(&format!("{label}\n"));
+    for (i, &c) in counts.iter().enumerate() {
+        let bar_len = (c as f64 / max as f64 * 50.0).round() as usize;
+        out.push_str(&format!("  bin {i:>3} | {:<50} {c}\n", "#".repeat(bar_len)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing_and_sizes() {
+        assert_eq!(Scale::parse(Some("--quick")), Scale::Quick);
+        assert_eq!(Scale::parse(Some("quick")), Scale::Quick);
+        assert_eq!(Scale::parse(None), Scale::Paper);
+        assert_eq!(Scale::parse(Some("whatever")), Scale::Paper);
+        assert!(Scale::Paper.fact_rows() > Scale::Quick.fact_rows());
+        assert!(Scale::Paper.impression_rows() > Scale::Quick.impression_rows());
+        assert!(Scale::Quick.workload_queries() > 0);
+    }
+
+    #[test]
+    fn quick_dataset_builds() {
+        let ds = build_dataset(Scale::Quick);
+        assert_eq!(ds.fact_rows(), Scale::Quick.fact_rows());
+    }
+
+    #[test]
+    fn predicate_set_collects_values() {
+        let ps = build_predicate_set(Scale::Quick, 1);
+        assert!(ps.observed_values("ra") > 50);
+        assert!(ps.observed_values("dec") > 50);
+        assert!(ps.raw_values("ra").is_some());
+    }
+
+    #[test]
+    fn histogram_rendering() {
+        let s = render_histogram("test", &[1, 5, 10]);
+        assert!(s.contains("bin   0"));
+        assert!(s.contains("10"));
+        let empty = render_histogram("empty", &[]);
+        assert!(empty.contains("empty"));
+    }
+}

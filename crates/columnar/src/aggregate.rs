@@ -1,0 +1,276 @@
+//! Aggregate computation over selections.
+//!
+//! SciBORQ's bounded query engine answers aggregate queries (COUNT, SUM, AVG,
+//! MIN, MAX, VARIANCE) against impressions and then scales / corrects the
+//! estimate. The exact aggregates here are the ground truth those estimators
+//! are compared against.
+
+use crate::error::{ColumnarError, Result};
+use crate::selection::SelectionVector;
+use crate::table::Table;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Supported aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AggregateKind {
+    /// Number of qualifying rows (NULLs in the aggregated column are *not*
+    /// skipped, matching `COUNT(*)` semantics).
+    Count,
+    /// Sum of the non-NULL values.
+    Sum,
+    /// Arithmetic mean of the non-NULL values.
+    Avg,
+    /// Minimum of the non-NULL values.
+    Min,
+    /// Maximum of the non-NULL values.
+    Max,
+    /// Population variance of the non-NULL values.
+    Variance,
+}
+
+impl fmt::Display for AggregateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AggregateKind::Count => "COUNT",
+            AggregateKind::Sum => "SUM",
+            AggregateKind::Avg => "AVG",
+            AggregateKind::Min => "MIN",
+            AggregateKind::Max => "MAX",
+            AggregateKind::Variance => "VAR",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The result of evaluating an aggregate exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AggregateResult {
+    /// Which aggregate was computed.
+    pub kind: AggregateKind,
+    /// The aggregate value; `None` when the input had no usable rows (e.g.
+    /// AVG over an empty selection).
+    pub value: Option<f64>,
+    /// Number of rows that participated (non-NULL rows for value aggregates,
+    /// all selected rows for COUNT).
+    pub rows: usize,
+}
+
+/// Compute an aggregate exactly over the selected rows of a column.
+///
+/// `column` may be `None` only for `Count`, which then counts selected rows
+/// without touching any column.
+pub fn compute_aggregate(
+    table: &Table,
+    column: Option<&str>,
+    kind: AggregateKind,
+    selection: &SelectionVector,
+) -> Result<AggregateResult> {
+    if kind == AggregateKind::Count {
+        return Ok(AggregateResult {
+            kind,
+            value: Some(selection.len() as f64),
+            rows: selection.len(),
+        });
+    }
+    let column = column.ok_or_else(|| {
+        ColumnarError::InvalidArgument(format!("aggregate {kind} requires a column"))
+    })?;
+    let values = table.numeric_values(column, selection)?;
+    let rows = values.len();
+    let value = match kind {
+        AggregateKind::Count => unreachable!("handled above"),
+        AggregateKind::Sum => Some(values.iter().sum::<f64>()),
+        AggregateKind::Avg => {
+            if rows == 0 {
+                None
+            } else {
+                Some(values.iter().sum::<f64>() / rows as f64)
+            }
+        }
+        AggregateKind::Min => values.iter().copied().reduce(f64::min),
+        AggregateKind::Max => values.iter().copied().reduce(f64::max),
+        AggregateKind::Variance => {
+            if rows == 0 {
+                None
+            } else {
+                let mean = values.iter().sum::<f64>() / rows as f64;
+                Some(values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / rows as f64)
+            }
+        }
+    };
+    Ok(AggregateResult { kind, value, rows })
+}
+
+/// Compute grouped aggregates: one [`AggregateResult`] per distinct value of
+/// a (string or integer) grouping column.
+///
+/// Returns pairs of (group key rendered as a string, aggregate result),
+/// sorted by group key for deterministic output.
+pub fn compute_grouped_aggregate(
+    table: &Table,
+    group_by: &str,
+    column: Option<&str>,
+    kind: AggregateKind,
+    selection: &SelectionVector,
+) -> Result<Vec<(String, AggregateResult)>> {
+    let group_col = table.column(group_by)?;
+    let mut groups: std::collections::BTreeMap<String, Vec<usize>> =
+        std::collections::BTreeMap::new();
+    for row in selection.iter() {
+        let key = group_col.get(row)?.to_string();
+        groups.entry(key).or_default().push(row);
+    }
+    let mut out = Vec::with_capacity(groups.len());
+    for (key, rows) in groups {
+        let sel = SelectionVector::from_sorted_rows(rows);
+        out.push((key, compute_aggregate(table, column, kind, &sel)?));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Field, Schema};
+    use crate::value::{DataType, Value};
+
+    fn table() -> Table {
+        let schema = Schema::shared(vec![
+            Field::new("class", DataType::Utf8),
+            Field::nullable("mag", DataType::Float64),
+        ])
+        .unwrap();
+        let mut t = Table::new("t", schema);
+        let rows: Vec<(&str, Option<f64>)> = vec![
+            ("GALAXY", Some(10.0)),
+            ("STAR", Some(20.0)),
+            ("GALAXY", Some(30.0)),
+            ("QSO", None),
+            ("GALAXY", Some(50.0)),
+        ];
+        for (class, mag) in rows {
+            t.append_row(&[class.into(), Value::from(mag)]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn count_ignores_column() {
+        let t = table();
+        let sel = SelectionVector::all(5);
+        let r = compute_aggregate(&t, None, AggregateKind::Count, &sel).unwrap();
+        assert_eq!(r.value, Some(5.0));
+        assert_eq!(r.rows, 5);
+    }
+
+    #[test]
+    fn sum_avg_skip_nulls() {
+        let t = table();
+        let sel = SelectionVector::all(5);
+        let sum = compute_aggregate(&t, Some("mag"), AggregateKind::Sum, &sel).unwrap();
+        assert_eq!(sum.value, Some(110.0));
+        assert_eq!(sum.rows, 4);
+        let avg = compute_aggregate(&t, Some("mag"), AggregateKind::Avg, &sel).unwrap();
+        assert_eq!(avg.value, Some(27.5));
+    }
+
+    #[test]
+    fn min_max() {
+        let t = table();
+        let sel = SelectionVector::all(5);
+        assert_eq!(
+            compute_aggregate(&t, Some("mag"), AggregateKind::Min, &sel)
+                .unwrap()
+                .value,
+            Some(10.0)
+        );
+        assert_eq!(
+            compute_aggregate(&t, Some("mag"), AggregateKind::Max, &sel)
+                .unwrap()
+                .value,
+            Some(50.0)
+        );
+    }
+
+    #[test]
+    fn variance_population() {
+        let t = table();
+        let sel = SelectionVector::all(5);
+        let var = compute_aggregate(&t, Some("mag"), AggregateKind::Variance, &sel)
+            .unwrap()
+            .value
+            .unwrap();
+        // values 10,20,30,50; mean 27.5; var = (306.25+56.25+6.25+506.25)/4
+        assert!((var - 218.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_selection_yields_none_for_value_aggregates() {
+        let t = table();
+        let sel = SelectionVector::empty();
+        let avg = compute_aggregate(&t, Some("mag"), AggregateKind::Avg, &sel).unwrap();
+        assert_eq!(avg.value, None);
+        assert_eq!(avg.rows, 0);
+        let min = compute_aggregate(&t, Some("mag"), AggregateKind::Min, &sel).unwrap();
+        assert_eq!(min.value, None);
+        // but COUNT is zero, not NULL
+        let count = compute_aggregate(&t, None, AggregateKind::Count, &sel).unwrap();
+        assert_eq!(count.value, Some(0.0));
+        // SUM over an empty set is 0 (matching the convention used by the
+        // estimators, which scale totals).
+        let sum = compute_aggregate(&t, Some("mag"), AggregateKind::Sum, &sel).unwrap();
+        assert_eq!(sum.value, Some(0.0));
+    }
+
+    #[test]
+    fn value_aggregate_without_column_is_an_error() {
+        let t = table();
+        let sel = SelectionVector::all(5);
+        assert!(matches!(
+            compute_aggregate(&t, None, AggregateKind::Sum, &sel),
+            Err(ColumnarError::InvalidArgument(_))
+        ));
+    }
+
+    #[test]
+    fn aggregate_on_string_column_is_an_error() {
+        let t = table();
+        let sel = SelectionVector::all(5);
+        assert!(matches!(
+            compute_aggregate(&t, Some("class"), AggregateKind::Sum, &sel),
+            Err(ColumnarError::NotNumeric(_))
+        ));
+    }
+
+    #[test]
+    fn grouped_aggregates() {
+        let t = table();
+        let sel = SelectionVector::all(5);
+        let groups =
+            compute_grouped_aggregate(&t, "class", Some("mag"), AggregateKind::Avg, &sel).unwrap();
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups[0].0, "GALAXY");
+        assert_eq!(groups[0].1.value, Some(30.0));
+        assert_eq!(groups[1].0, "QSO");
+        assert_eq!(groups[1].1.value, None);
+        assert_eq!(groups[2].0, "STAR");
+        assert_eq!(groups[2].1.value, Some(20.0));
+    }
+
+    #[test]
+    fn grouped_aggregate_respects_selection() {
+        let t = table();
+        let sel = SelectionVector::from_rows(vec![0, 1]);
+        let groups =
+            compute_grouped_aggregate(&t, "class", None, AggregateKind::Count, &sel).unwrap();
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].1.value, Some(1.0));
+    }
+
+    #[test]
+    fn aggregate_kind_display() {
+        assert_eq!(AggregateKind::Count.to_string(), "COUNT");
+        assert_eq!(AggregateKind::Variance.to_string(), "VAR");
+    }
+}

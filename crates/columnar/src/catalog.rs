@@ -1,0 +1,197 @@
+//! A concurrent catalog of named tables.
+//!
+//! The catalog plays the role of MonetDB's SQL catalog for this reproduction:
+//! the base warehouse tables live here, and the SciBORQ session looks base
+//! tables up by name when a query has to fall through to layer 0 (the full
+//! data) to reach a zero error margin.
+
+use crate::error::{ColumnarError, Result};
+use crate::table::Table;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A shared, thread-safe collection of named tables.
+///
+/// Tables are stored behind `Arc<RwLock<..>>` so that incremental loads
+/// (writers) can proceed while exploration sessions (readers) evaluate
+/// queries against other tables.
+#[derive(Debug, Default, Clone)]
+pub struct Catalog {
+    inner: Arc<RwLock<BTreeMap<String, Arc<RwLock<Table>>>>>,
+}
+
+impl Catalog {
+    /// Create an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a table. Fails if a table with the same name already exists.
+    pub fn register(&self, table: Table) -> Result<Arc<RwLock<Table>>> {
+        let mut guard = self.inner.write();
+        let name = table.name().to_owned();
+        if guard.contains_key(&name) {
+            return Err(ColumnarError::TableAlreadyExists(name));
+        }
+        let handle = Arc::new(RwLock::new(table));
+        guard.insert(name, Arc::clone(&handle));
+        Ok(handle)
+    }
+
+    /// Replace (or insert) a table unconditionally, returning the previous
+    /// handle if any.
+    pub fn register_or_replace(&self, table: Table) -> Option<Arc<RwLock<Table>>> {
+        let mut guard = self.inner.write();
+        let name = table.name().to_owned();
+        guard.insert(name, Arc::new(RwLock::new(table)))
+    }
+
+    /// Fetch a handle to a table by name.
+    pub fn table(&self, name: &str) -> Result<Arc<RwLock<Table>>> {
+        self.inner
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ColumnarError::TableNotFound(name.to_owned()))
+    }
+
+    /// Remove a table from the catalog, returning its handle.
+    pub fn drop_table(&self, name: &str) -> Result<Arc<RwLock<Table>>> {
+        self.inner
+            .write()
+            .remove(name)
+            .ok_or_else(|| ColumnarError::TableNotFound(name.to_owned()))
+    }
+
+    /// Whether a table with the given name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.inner.read().contains_key(name)
+    }
+
+    /// Names of all registered tables, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        self.inner.read().keys().cloned().collect()
+    }
+
+    /// Number of registered tables.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// True when the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// Total approximate byte size of all tables in the catalog.
+    pub fn byte_size(&self) -> usize {
+        self.inner
+            .read()
+            .values()
+            .map(|t| t.read().byte_size())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Field, Schema};
+    use crate::value::DataType;
+
+    fn table(name: &str) -> Table {
+        let schema = Schema::shared(vec![Field::new("x", DataType::Int64)]).unwrap();
+        Table::new(name, schema)
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let cat = Catalog::new();
+        assert!(cat.is_empty());
+        cat.register(table("photoobj")).unwrap();
+        cat.register(table("field")).unwrap();
+        assert_eq!(cat.len(), 2);
+        assert!(cat.contains("photoobj"));
+        assert!(!cat.contains("missing"));
+        assert_eq!(cat.table_names(), vec!["field", "photoobj"]);
+        let handle = cat.table("photoobj").unwrap();
+        assert_eq!(handle.read().name(), "photoobj");
+    }
+
+    #[test]
+    fn duplicate_registration_rejected() {
+        let cat = Catalog::new();
+        cat.register(table("t")).unwrap();
+        assert!(matches!(
+            cat.register(table("t")),
+            Err(ColumnarError::TableAlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn register_or_replace_swaps() {
+        let cat = Catalog::new();
+        assert!(cat.register_or_replace(table("t")).is_none());
+        let old = cat.register_or_replace(table("t"));
+        assert!(old.is_some());
+        assert_eq!(cat.len(), 1);
+    }
+
+    #[test]
+    fn missing_table_lookup_errors() {
+        let cat = Catalog::new();
+        assert!(matches!(
+            cat.table("nope"),
+            Err(ColumnarError::TableNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn drop_table_removes() {
+        let cat = Catalog::new();
+        cat.register(table("t")).unwrap();
+        cat.drop_table("t").unwrap();
+        assert!(!cat.contains("t"));
+        assert!(cat.drop_table("t").is_err());
+    }
+
+    #[test]
+    fn writes_through_handle_are_visible() {
+        let cat = Catalog::new();
+        cat.register(table("t")).unwrap();
+        {
+            let handle = cat.table("t").unwrap();
+            let mut guard = handle.write();
+            guard.append_row(&[1i64.into()]).unwrap();
+            guard.append_row(&[2i64.into()]).unwrap();
+        }
+        let handle = cat.table("t").unwrap();
+        assert_eq!(handle.read().row_count(), 2);
+        assert!(cat.byte_size() > 0);
+    }
+
+    #[test]
+    fn catalog_clone_shares_state() {
+        let cat = Catalog::new();
+        let clone = cat.clone();
+        cat.register(table("t")).unwrap();
+        assert!(clone.contains("t"));
+    }
+
+    #[test]
+    fn concurrent_register_and_read() {
+        let cat = Catalog::new();
+        std::thread::scope(|s| {
+            for i in 0..8 {
+                let cat = cat.clone();
+                s.spawn(move || {
+                    cat.register(table(&format!("t{i}"))).unwrap();
+                    // reads interleave with writes from other threads
+                    let _ = cat.table_names();
+                });
+            }
+        });
+        assert_eq!(cat.len(), 8);
+    }
+}

@@ -1,0 +1,568 @@
+//! Typed column vectors with null bitmaps.
+//!
+//! Each column stores its values densely in a `Vec` of the native type plus a
+//! validity bitmap. This mirrors the layout of read-optimised column stores
+//! (MonetDB BATs, Arrow arrays) at the level of fidelity the SciBORQ
+//! experiments need: sequential scans, random access by row id and cheap
+//! appends during incremental loads.
+
+use crate::error::{ColumnarError, Result};
+use crate::value::{DataType, Value};
+use serde::{Deserialize, Serialize};
+
+/// A validity bitmap tracking which rows are non-NULL.
+///
+/// The bitmap is stored as packed 64-bit words. An absent bitmap (all-valid)
+/// is represented by the owning column keeping `null_count == 0`.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// Create an empty bitmap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a bitmap of `len` bits, all set to `valid`.
+    pub fn with_len(len: usize, valid: bool) -> Self {
+        let word = if valid { u64::MAX } else { 0 };
+        let mut bm = Bitmap {
+            words: vec![word; len.div_ceil(64)],
+            len,
+        };
+        bm.mask_tail();
+        bm
+    }
+
+    fn mask_tail(&mut self) {
+        let tail_bits = self.len % 64;
+        if tail_bits != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail_bits) - 1;
+            }
+        }
+    }
+
+    /// Number of bits in the bitmap.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the bitmap has no bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Append a bit.
+    pub fn push(&mut self, valid: bool) {
+        let bit = self.len % 64;
+        if bit == 0 {
+            self.words.push(0);
+        }
+        if valid {
+            let word = self.len / 64;
+            self.words[word] |= 1u64 << bit;
+        }
+        self.len += 1;
+    }
+
+    /// Get bit `idx`; panics if out of bounds.
+    pub fn get(&self, idx: usize) -> bool {
+        assert!(idx < self.len, "bitmap index out of bounds");
+        (self.words[idx / 64] >> (idx % 64)) & 1 == 1
+    }
+
+    /// Set bit `idx` to `valid`.
+    pub fn set(&mut self, idx: usize, valid: bool) {
+        assert!(idx < self.len, "bitmap index out of bounds");
+        let word = idx / 64;
+        let bit = idx % 64;
+        if valid {
+            self.words[word] |= 1u64 << bit;
+        } else {
+            self.words[word] &= !(1u64 << bit);
+        }
+    }
+
+    /// Number of set (valid) bits.
+    pub fn count_set(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+/// A typed column of values.
+///
+/// Nulls are represented by a sentinel in the value vector plus a cleared bit
+/// in the validity bitmap; the sentinel never escapes through the public API.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Column {
+    /// 64-bit integer column.
+    Int64 {
+        /// Dense values (NULL slots hold 0).
+        values: Vec<i64>,
+        /// Validity bitmap.
+        validity: Bitmap,
+    },
+    /// 64-bit float column.
+    Float64 {
+        /// Dense values (NULL slots hold 0.0).
+        values: Vec<f64>,
+        /// Validity bitmap.
+        validity: Bitmap,
+    },
+    /// Boolean column.
+    Bool {
+        /// Dense values (NULL slots hold `false`).
+        values: Vec<bool>,
+        /// Validity bitmap.
+        validity: Bitmap,
+    },
+    /// UTF-8 string column.
+    Utf8 {
+        /// Dense values (NULL slots hold the empty string).
+        values: Vec<String>,
+        /// Validity bitmap.
+        validity: Bitmap,
+    },
+}
+
+impl Column {
+    /// Create an empty column of the given type.
+    pub fn new(data_type: DataType) -> Self {
+        match data_type {
+            DataType::Int64 => Column::Int64 {
+                values: Vec::new(),
+                validity: Bitmap::new(),
+            },
+            DataType::Float64 => Column::Float64 {
+                values: Vec::new(),
+                validity: Bitmap::new(),
+            },
+            DataType::Bool => Column::Bool {
+                values: Vec::new(),
+                validity: Bitmap::new(),
+            },
+            DataType::Utf8 => Column::Utf8 {
+                values: Vec::new(),
+                validity: Bitmap::new(),
+            },
+        }
+    }
+
+    /// Create an empty column with pre-reserved capacity.
+    pub fn with_capacity(data_type: DataType, capacity: usize) -> Self {
+        match data_type {
+            DataType::Int64 => Column::Int64 {
+                values: Vec::with_capacity(capacity),
+                validity: Bitmap::new(),
+            },
+            DataType::Float64 => Column::Float64 {
+                values: Vec::with_capacity(capacity),
+                validity: Bitmap::new(),
+            },
+            DataType::Bool => Column::Bool {
+                values: Vec::with_capacity(capacity),
+                validity: Bitmap::new(),
+            },
+            DataType::Utf8 => Column::Utf8 {
+                values: Vec::with_capacity(capacity),
+                validity: Bitmap::new(),
+            },
+        }
+    }
+
+    /// Build an Int64 column from non-null values.
+    pub fn from_i64(values: Vec<i64>) -> Self {
+        let validity = Bitmap::with_len(values.len(), true);
+        Column::Int64 { values, validity }
+    }
+
+    /// Build a Float64 column from non-null values.
+    pub fn from_f64(values: Vec<f64>) -> Self {
+        let validity = Bitmap::with_len(values.len(), true);
+        Column::Float64 { values, validity }
+    }
+
+    /// Build a Bool column from non-null values.
+    pub fn from_bool(values: Vec<bool>) -> Self {
+        let validity = Bitmap::with_len(values.len(), true);
+        Column::Bool { values, validity }
+    }
+
+    /// Build a Utf8 column from non-null values.
+    pub fn from_strings<I: IntoIterator<Item = S>, S: Into<String>>(values: I) -> Self {
+        let values: Vec<String> = values.into_iter().map(Into::into).collect();
+        let validity = Bitmap::with_len(values.len(), true);
+        Column::Utf8 { values, validity }
+    }
+
+    /// The data type of this column.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Column::Int64 { .. } => DataType::Int64,
+            Column::Float64 { .. } => DataType::Float64,
+            Column::Bool { .. } => DataType::Bool,
+            Column::Utf8 { .. } => DataType::Utf8,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int64 { values, .. } => values.len(),
+            Column::Float64 { values, .. } => values.len(),
+            Column::Bool { values, .. } => values.len(),
+            Column::Utf8 { values, .. } => values.len(),
+        }
+    }
+
+    /// True if the column holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of NULL rows.
+    pub fn null_count(&self) -> usize {
+        self.len() - self.validity().count_set()
+    }
+
+    fn validity(&self) -> &Bitmap {
+        match self {
+            Column::Int64 { validity, .. } => validity,
+            Column::Float64 { validity, .. } => validity,
+            Column::Bool { validity, .. } => validity,
+            Column::Utf8 { validity, .. } => validity,
+        }
+    }
+
+    /// True when row `idx` is NULL.
+    pub fn is_null(&self, idx: usize) -> bool {
+        !self.validity().get(idx)
+    }
+
+    /// Append a dynamically typed value.
+    ///
+    /// Returns a [`ColumnarError::TypeMismatch`] if the value's type does not
+    /// match the column type (NULL is accepted by every column).
+    pub fn push(&mut self, value: &Value) -> Result<()> {
+        match (self, value) {
+            (Column::Int64 { values, validity }, Value::Int64(v)) => {
+                values.push(*v);
+                validity.push(true);
+                Ok(())
+            }
+            (Column::Int64 { values, validity }, Value::Null) => {
+                values.push(0);
+                validity.push(false);
+                Ok(())
+            }
+            (Column::Float64 { values, validity }, Value::Float64(v)) => {
+                values.push(*v);
+                validity.push(true);
+                Ok(())
+            }
+            // Integers are silently widened into float columns: scientific
+            // loaders frequently emit integral measurements.
+            (Column::Float64 { values, validity }, Value::Int64(v)) => {
+                values.push(*v as f64);
+                validity.push(true);
+                Ok(())
+            }
+            (Column::Float64 { values, validity }, Value::Null) => {
+                values.push(0.0);
+                validity.push(false);
+                Ok(())
+            }
+            (Column::Bool { values, validity }, Value::Bool(v)) => {
+                values.push(*v);
+                validity.push(true);
+                Ok(())
+            }
+            (Column::Bool { values, validity }, Value::Null) => {
+                values.push(false);
+                validity.push(false);
+                Ok(())
+            }
+            (Column::Utf8 { values, validity }, Value::Utf8(v)) => {
+                values.push(v.clone());
+                validity.push(true);
+                Ok(())
+            }
+            (Column::Utf8 { values, validity }, Value::Null) => {
+                values.push(String::new());
+                validity.push(false);
+                Ok(())
+            }
+            (col, value) => Err(ColumnarError::TypeMismatch {
+                column: String::new(),
+                expected: col.data_type().name(),
+                found: value.type_name(),
+            }),
+        }
+    }
+
+    /// Read row `idx` as a dynamically typed value.
+    pub fn get(&self, idx: usize) -> Result<Value> {
+        if idx >= self.len() {
+            return Err(ColumnarError::RowOutOfBounds {
+                row: idx,
+                len: self.len(),
+            });
+        }
+        if self.is_null(idx) {
+            return Ok(Value::Null);
+        }
+        Ok(match self {
+            Column::Int64 { values, .. } => Value::Int64(values[idx]),
+            Column::Float64 { values, .. } => Value::Float64(values[idx]),
+            Column::Bool { values, .. } => Value::Bool(values[idx]),
+            Column::Utf8 { values, .. } => Value::Utf8(values[idx].clone()),
+        })
+    }
+
+    /// Read row `idx` as an `f64` if the column is numeric and the row is not
+    /// NULL.
+    pub fn get_f64(&self, idx: usize) -> Option<f64> {
+        if idx >= self.len() || self.is_null(idx) {
+            return None;
+        }
+        match self {
+            Column::Int64 { values, .. } => Some(values[idx] as f64),
+            Column::Float64 { values, .. } => Some(values[idx]),
+            _ => None,
+        }
+    }
+
+    /// Read row `idx` as an `i64` if the column is an integer column and the
+    /// row is not NULL.
+    pub fn get_i64(&self, idx: usize) -> Option<i64> {
+        if idx >= self.len() || self.is_null(idx) {
+            return None;
+        }
+        match self {
+            Column::Int64 { values, .. } => Some(values[idx]),
+            _ => None,
+        }
+    }
+
+    /// Extend this column with rows gathered from `other` at the given
+    /// positions. Both columns must share the same data type.
+    pub fn extend_gather(&mut self, other: &Column, rows: &[usize]) -> Result<()> {
+        if self.data_type() != other.data_type() {
+            return Err(ColumnarError::TypeMismatch {
+                column: String::new(),
+                expected: self.data_type().name(),
+                found: other.data_type().name(),
+            });
+        }
+        for &row in rows {
+            let v = other.get(row)?;
+            self.push(&v)?;
+        }
+        Ok(())
+    }
+
+    /// Produce a new column containing only the rows at the given positions.
+    pub fn gather(&self, rows: &[usize]) -> Result<Column> {
+        let mut out = Column::with_capacity(self.data_type(), rows.len());
+        out.extend_gather(self, rows)?;
+        Ok(out)
+    }
+
+    /// Iterate over the column as `Option<f64>` (None for NULL and
+    /// non-numeric columns' rows).
+    pub fn iter_f64(&self) -> impl Iterator<Item = Option<f64>> + '_ {
+        (0..self.len()).map(move |i| self.get_f64(i))
+    }
+
+    /// Approximate heap memory consumed by this column, in bytes.
+    ///
+    /// This is what the layer-sizing policy uses to decide whether an
+    /// impression fits the CPU cache / main memory budget of §3.1.
+    pub fn byte_size(&self) -> usize {
+        let validity_bytes = self.validity().words.len() * 8;
+        validity_bytes
+            + match self {
+                Column::Int64 { values, .. } => values.len() * 8,
+                Column::Float64 { values, .. } => values.len() * 8,
+                Column::Bool { values, .. } => values.len(),
+                Column::Utf8 { values, .. } => {
+                    values.iter().map(|s| s.len() + 24).sum::<usize>()
+                }
+            }
+    }
+
+    /// Borrow the raw `f64` slice when the column is a Float64 column.
+    pub fn f64_slice(&self) -> Option<&[f64]> {
+        match self {
+            Column::Float64 { values, .. } => Some(values),
+            _ => None,
+        }
+    }
+
+    /// Borrow the raw `i64` slice when the column is an Int64 column.
+    pub fn i64_slice(&self) -> Option<&[i64]> {
+        match self {
+            Column::Int64 { values, .. } => Some(values),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitmap_push_get() {
+        let mut bm = Bitmap::new();
+        for i in 0..130 {
+            bm.push(i % 3 == 0);
+        }
+        assert_eq!(bm.len(), 130);
+        for i in 0..130 {
+            assert_eq!(bm.get(i), i % 3 == 0, "bit {i}");
+        }
+        assert_eq!(bm.count_set(), (0..130).filter(|i| i % 3 == 0).count());
+    }
+
+    #[test]
+    fn bitmap_with_len_all_valid_masks_tail() {
+        let bm = Bitmap::with_len(70, true);
+        assert_eq!(bm.len(), 70);
+        assert_eq!(bm.count_set(), 70);
+        let bm0 = Bitmap::with_len(70, false);
+        assert_eq!(bm0.count_set(), 0);
+    }
+
+    #[test]
+    fn bitmap_set() {
+        let mut bm = Bitmap::with_len(10, false);
+        bm.set(3, true);
+        bm.set(9, true);
+        assert!(bm.get(3));
+        assert!(bm.get(9));
+        assert!(!bm.get(0));
+        bm.set(3, false);
+        assert!(!bm.get(3));
+        assert_eq!(bm.count_set(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn bitmap_get_out_of_bounds_panics() {
+        let bm = Bitmap::with_len(4, true);
+        bm.get(4);
+    }
+
+    #[test]
+    fn column_push_and_get_roundtrip() {
+        let mut c = Column::new(DataType::Float64);
+        c.push(&Value::Float64(1.5)).unwrap();
+        c.push(&Value::Null).unwrap();
+        c.push(&Value::Int64(3)).unwrap(); // widened
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.null_count(), 1);
+        assert_eq!(c.get(0).unwrap(), Value::Float64(1.5));
+        assert_eq!(c.get(1).unwrap(), Value::Null);
+        assert_eq!(c.get(2).unwrap(), Value::Float64(3.0));
+    }
+
+    #[test]
+    fn column_type_mismatch_rejected() {
+        let mut c = Column::new(DataType::Int64);
+        let err = c.push(&Value::Utf8("x".into())).unwrap_err();
+        assert!(matches!(err, ColumnarError::TypeMismatch { .. }));
+        // column unchanged
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn column_from_constructors() {
+        let c = Column::from_i64(vec![1, 2, 3]);
+        assert_eq!(c.data_type(), DataType::Int64);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.null_count(), 0);
+        let c = Column::from_f64(vec![1.0; 5]);
+        assert_eq!(c.len(), 5);
+        let c = Column::from_bool(vec![true, false]);
+        assert_eq!(c.get(1).unwrap(), Value::Bool(false));
+        let c = Column::from_strings(["a", "b"]);
+        assert_eq!(c.get(0).unwrap(), Value::Utf8("a".into()));
+    }
+
+    #[test]
+    fn column_get_out_of_bounds() {
+        let c = Column::from_i64(vec![1]);
+        assert!(matches!(
+            c.get(5),
+            Err(ColumnarError::RowOutOfBounds { row: 5, len: 1 })
+        ));
+    }
+
+    #[test]
+    fn column_get_f64_and_i64() {
+        let c = Column::from_i64(vec![4, 5]);
+        assert_eq!(c.get_f64(0), Some(4.0));
+        assert_eq!(c.get_i64(1), Some(5));
+        assert_eq!(c.get_i64(9), None);
+        let s = Column::from_strings(["x"]);
+        assert_eq!(s.get_f64(0), None);
+    }
+
+    #[test]
+    fn column_gather() {
+        let c = Column::from_f64(vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+        let g = c.gather(&[4, 0, 2]).unwrap();
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.get_f64(0), Some(4.0));
+        assert_eq!(g.get_f64(1), Some(0.0));
+        assert_eq!(g.get_f64(2), Some(2.0));
+    }
+
+    #[test]
+    fn column_gather_type_mismatch() {
+        let mut a = Column::new(DataType::Int64);
+        let b = Column::from_f64(vec![1.0]);
+        assert!(a.extend_gather(&b, &[0]).is_err());
+    }
+
+    #[test]
+    fn column_gather_preserves_nulls() {
+        let mut c = Column::new(DataType::Int64);
+        c.push(&Value::Int64(1)).unwrap();
+        c.push(&Value::Null).unwrap();
+        let g = c.gather(&[1, 0]).unwrap();
+        assert!(g.is_null(0));
+        assert!(!g.is_null(1));
+    }
+
+    #[test]
+    fn column_byte_size_grows() {
+        let small = Column::from_f64(vec![1.0; 10]);
+        let big = Column::from_f64(vec![1.0; 1000]);
+        assert!(big.byte_size() > small.byte_size());
+        assert!(small.byte_size() >= 80);
+    }
+
+    #[test]
+    fn column_slices() {
+        let c = Column::from_f64(vec![1.0, 2.0]);
+        assert_eq!(c.f64_slice(), Some(&[1.0, 2.0][..]));
+        assert_eq!(c.i64_slice(), None);
+        let i = Column::from_i64(vec![7]);
+        assert_eq!(i.i64_slice(), Some(&[7][..]));
+    }
+
+    #[test]
+    fn iter_f64_yields_nulls_as_none() {
+        let mut c = Column::new(DataType::Float64);
+        c.push(&Value::Float64(1.0)).unwrap();
+        c.push(&Value::Null).unwrap();
+        let collected: Vec<Option<f64>> = c.iter_f64().collect();
+        assert_eq!(collected, vec![Some(1.0), None]);
+    }
+}

@@ -1,0 +1,138 @@
+//! Error types for the columnar substrate.
+
+use std::fmt;
+
+/// Errors produced by the columnar storage layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ColumnarError {
+    /// A column with the given name does not exist in the schema.
+    ColumnNotFound(String),
+    /// A table with the given name does not exist in the catalog.
+    TableNotFound(String),
+    /// A table with the given name already exists in the catalog.
+    TableAlreadyExists(String),
+    /// The value's type does not match the column's declared type.
+    TypeMismatch {
+        /// Column (or expression) the value was destined for.
+        column: String,
+        /// Declared type.
+        expected: &'static str,
+        /// Type of the offending value.
+        found: &'static str,
+    },
+    /// A batch had columns whose lengths disagree.
+    LengthMismatch {
+        /// Expected number of rows.
+        expected: usize,
+        /// Number of rows found.
+        found: usize,
+    },
+    /// A batch did not match the table schema (wrong arity or names).
+    SchemaMismatch(String),
+    /// Row index out of bounds.
+    RowOutOfBounds {
+        /// Requested row.
+        row: usize,
+        /// Number of rows available.
+        len: usize,
+    },
+    /// An operation that requires a numeric column was applied to a
+    /// non-numeric one.
+    NotNumeric(String),
+    /// Generic invalid-argument error.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for ColumnarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColumnarError::ColumnNotFound(name) => write!(f, "column not found: {name}"),
+            ColumnarError::TableNotFound(name) => write!(f, "table not found: {name}"),
+            ColumnarError::TableAlreadyExists(name) => {
+                write!(f, "table already exists: {name}")
+            }
+            ColumnarError::TypeMismatch {
+                column,
+                expected,
+                found,
+            } => write!(
+                f,
+                "type mismatch for column {column}: expected {expected}, found {found}"
+            ),
+            ColumnarError::LengthMismatch { expected, found } => {
+                write!(f, "length mismatch: expected {expected} rows, found {found}")
+            }
+            ColumnarError::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
+            ColumnarError::RowOutOfBounds { row, len } => {
+                write!(f, "row index {row} out of bounds for table of {len} rows")
+            }
+            ColumnarError::NotNumeric(name) => {
+                write!(f, "column {name} is not numeric")
+            }
+            ColumnarError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ColumnarError {}
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, ColumnarError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_column_not_found() {
+        let e = ColumnarError::ColumnNotFound("ra".into());
+        assert_eq!(e.to_string(), "column not found: ra");
+    }
+
+    #[test]
+    fn display_type_mismatch() {
+        let e = ColumnarError::TypeMismatch {
+            column: "dec".into(),
+            expected: "Float64",
+            found: "Int64",
+        };
+        assert!(e.to_string().contains("dec"));
+        assert!(e.to_string().contains("Float64"));
+        assert!(e.to_string().contains("Int64"));
+    }
+
+    #[test]
+    fn display_length_mismatch() {
+        let e = ColumnarError::LengthMismatch {
+            expected: 10,
+            found: 7,
+        };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains("7"));
+    }
+
+    #[test]
+    fn display_row_out_of_bounds() {
+        let e = ColumnarError::RowOutOfBounds { row: 5, len: 3 };
+        assert!(e.to_string().contains("5"));
+        assert!(e.to_string().contains("3"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&ColumnarError::TableNotFound("x".into()));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            ColumnarError::NotNumeric("a".into()),
+            ColumnarError::NotNumeric("a".into())
+        );
+        assert_ne!(
+            ColumnarError::NotNumeric("a".into()),
+            ColumnarError::NotNumeric("b".into())
+        );
+    }
+}

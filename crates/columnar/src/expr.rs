@@ -1,0 +1,488 @@
+//! Scalar predicates over columns.
+//!
+//! Predicates are deliberately simple: range and equality comparisons over a
+//! single column combined with AND/OR/NOT. This covers the query shapes that
+//! drive the SciBORQ experiments (cone searches over `ra`/`dec`, magnitude
+//! cuts, class filters) while staying easy to log into predicate sets
+//! (`sciborq-workload`).
+
+use crate::error::{ColumnarError, Result};
+use crate::selection::SelectionVector;
+use crate::table::Table;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A comparison operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CompareOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+}
+
+impl CompareOp {
+    fn evaluate(&self, ordering: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CompareOp::Eq => ordering == Equal,
+            CompareOp::NotEq => ordering != Equal,
+            CompareOp::Lt => ordering == Less,
+            CompareOp::LtEq => ordering != Greater,
+            CompareOp::Gt => ordering == Greater,
+            CompareOp::GtEq => ordering != Less,
+        }
+    }
+
+    /// SQL-ish symbol for display purposes.
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            CompareOp::Eq => "=",
+            CompareOp::NotEq => "<>",
+            CompareOp::Lt => "<",
+            CompareOp::LtEq => "<=",
+            CompareOp::Gt => ">",
+            CompareOp::GtEq => ">=",
+        }
+    }
+}
+
+/// A boolean predicate over the rows of a table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Predicate {
+    /// Always true — selects every row.
+    True,
+    /// Always false — selects no row.
+    False,
+    /// Compare a column against a literal.
+    Compare {
+        /// Column name.
+        column: String,
+        /// Comparison operator.
+        op: CompareOp,
+        /// Literal to compare against.
+        value: Value,
+    },
+    /// Inclusive range predicate `low <= column <= high`.
+    Between {
+        /// Column name.
+        column: String,
+        /// Lower bound (inclusive).
+        low: Value,
+        /// Upper bound (inclusive).
+        high: Value,
+    },
+    /// The column is NULL.
+    IsNull(String),
+    /// The column is not NULL.
+    IsNotNull(String),
+    /// Conjunction of predicates.
+    And(Vec<Predicate>),
+    /// Disjunction of predicates.
+    Or(Vec<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// Shorthand for an equality comparison.
+    pub fn eq(column: impl Into<String>, value: impl Into<Value>) -> Self {
+        Predicate::Compare {
+            column: column.into(),
+            op: CompareOp::Eq,
+            value: value.into(),
+        }
+    }
+
+    /// Shorthand for `column < value`.
+    pub fn lt(column: impl Into<String>, value: impl Into<Value>) -> Self {
+        Predicate::Compare {
+            column: column.into(),
+            op: CompareOp::Lt,
+            value: value.into(),
+        }
+    }
+
+    /// Shorthand for `column <= value`.
+    pub fn lt_eq(column: impl Into<String>, value: impl Into<Value>) -> Self {
+        Predicate::Compare {
+            column: column.into(),
+            op: CompareOp::LtEq,
+            value: value.into(),
+        }
+    }
+
+    /// Shorthand for `column > value`.
+    pub fn gt(column: impl Into<String>, value: impl Into<Value>) -> Self {
+        Predicate::Compare {
+            column: column.into(),
+            op: CompareOp::Gt,
+            value: value.into(),
+        }
+    }
+
+    /// Shorthand for `column >= value`.
+    pub fn gt_eq(column: impl Into<String>, value: impl Into<Value>) -> Self {
+        Predicate::Compare {
+            column: column.into(),
+            op: CompareOp::GtEq,
+            value: value.into(),
+        }
+    }
+
+    /// Shorthand for an inclusive range predicate.
+    pub fn between(
+        column: impl Into<String>,
+        low: impl Into<Value>,
+        high: impl Into<Value>,
+    ) -> Self {
+        Predicate::Between {
+            column: column.into(),
+            low: low.into(),
+            high: high.into(),
+        }
+    }
+
+    /// Combine this predicate with another using AND.
+    pub fn and(self, other: Predicate) -> Self {
+        match (self, other) {
+            (Predicate::And(mut a), Predicate::And(b)) => {
+                a.extend(b);
+                Predicate::And(a)
+            }
+            (Predicate::And(mut a), other) => {
+                a.push(other);
+                Predicate::And(a)
+            }
+            (a, Predicate::And(mut b)) => {
+                b.insert(0, a);
+                Predicate::And(b)
+            }
+            (a, b) => Predicate::And(vec![a, b]),
+        }
+    }
+
+    /// Combine this predicate with another using OR.
+    pub fn or(self, other: Predicate) -> Self {
+        match (self, other) {
+            (Predicate::Or(mut a), Predicate::Or(b)) => {
+                a.extend(b);
+                Predicate::Or(a)
+            }
+            (Predicate::Or(mut a), other) => {
+                a.push(other);
+                Predicate::Or(a)
+            }
+            (a, b) => Predicate::Or(vec![a, b]),
+        }
+    }
+
+    /// Negate this predicate.
+    pub fn negate(self) -> Self {
+        Predicate::Not(Box::new(self))
+    }
+
+    /// The set of column names referenced by this predicate.
+    pub fn referenced_columns(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_columns<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Predicate::True | Predicate::False => {}
+            Predicate::Compare { column, .. } => out.push(column),
+            Predicate::Between { column, .. } => out.push(column),
+            Predicate::IsNull(column) | Predicate::IsNotNull(column) => out.push(column),
+            Predicate::And(ps) | Predicate::Or(ps) => {
+                for p in ps {
+                    p.collect_columns(out);
+                }
+            }
+            Predicate::Not(p) => p.collect_columns(out),
+        }
+    }
+
+    /// Evaluate the predicate against a table, producing a selection vector
+    /// of qualifying rows.
+    pub fn evaluate(&self, table: &Table) -> Result<SelectionVector> {
+        let len = table.row_count();
+        match self {
+            Predicate::True => Ok(SelectionVector::all(len)),
+            Predicate::False => Ok(SelectionVector::empty()),
+            Predicate::Compare { column, op, value } => {
+                let col = table.column(column)?;
+                if value.is_null() {
+                    // SQL semantics: comparisons against NULL never match.
+                    return Ok(SelectionVector::empty());
+                }
+                let mut rows = Vec::new();
+                for idx in 0..len {
+                    let cell = col.get(idx)?;
+                    if cell.is_null() {
+                        continue;
+                    }
+                    match cell.partial_cmp_value(value) {
+                        Some(ordering) if op.evaluate(ordering) => rows.push(idx),
+                        Some(_) => {}
+                        None => {
+                            return Err(ColumnarError::TypeMismatch {
+                                column: column.clone(),
+                                expected: col.data_type().name(),
+                                found: value.type_name(),
+                            })
+                        }
+                    }
+                }
+                Ok(SelectionVector::from_sorted_rows(rows))
+            }
+            Predicate::Between { column, low, high } => {
+                let ge = Predicate::Compare {
+                    column: column.clone(),
+                    op: CompareOp::GtEq,
+                    value: low.clone(),
+                };
+                let le = Predicate::Compare {
+                    column: column.clone(),
+                    op: CompareOp::LtEq,
+                    value: high.clone(),
+                };
+                Ok(ge.evaluate(table)?.intersect(&le.evaluate(table)?))
+            }
+            Predicate::IsNull(column) => {
+                let col = table.column(column)?;
+                let rows = (0..len).filter(|&i| col.is_null(i)).collect();
+                Ok(SelectionVector::from_sorted_rows(rows))
+            }
+            Predicate::IsNotNull(column) => {
+                let col = table.column(column)?;
+                let rows = (0..len).filter(|&i| !col.is_null(i)).collect();
+                Ok(SelectionVector::from_sorted_rows(rows))
+            }
+            Predicate::And(ps) => {
+                let mut acc = SelectionVector::all(len);
+                for p in ps {
+                    if acc.is_empty() {
+                        break;
+                    }
+                    acc = acc.intersect(&p.evaluate(table)?);
+                }
+                Ok(acc)
+            }
+            Predicate::Or(ps) => {
+                let mut acc = SelectionVector::empty();
+                for p in ps {
+                    acc = acc.union(&p.evaluate(table)?);
+                }
+                Ok(acc)
+            }
+            Predicate::Not(p) => Ok(p.evaluate(table)?.complement(len)),
+        }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::True => write!(f, "TRUE"),
+            Predicate::False => write!(f, "FALSE"),
+            Predicate::Compare { column, op, value } => {
+                write!(f, "{column} {} {value}", op.symbol())
+            }
+            Predicate::Between { column, low, high } => {
+                write!(f, "{column} BETWEEN {low} AND {high}")
+            }
+            Predicate::IsNull(c) => write!(f, "{c} IS NULL"),
+            Predicate::IsNotNull(c) => write!(f, "{c} IS NOT NULL"),
+            Predicate::And(ps) => {
+                write!(f, "(")?;
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " AND ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            Predicate::Or(ps) => {
+                write!(f, "(")?;
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " OR ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            Predicate::Not(p) => write!(f, "NOT ({p})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Field, Schema};
+    use crate::table::Table;
+    use crate::value::DataType;
+
+    fn test_table() -> Table {
+        let schema = Schema::shared(vec![
+            Field::new("objid", DataType::Int64),
+            Field::new("ra", DataType::Float64),
+            Field::nullable("r_mag", DataType::Float64),
+            Field::new("class", DataType::Utf8),
+        ])
+        .unwrap();
+        let mut t = Table::new("photoobj", schema);
+        let rows: Vec<Vec<Value>> = vec![
+            vec![1.into(), 180.0.into(), 17.2.into(), "GALAXY".into()],
+            vec![2.into(), 185.5.into(), Value::Null, "STAR".into()],
+            vec![3.into(), 190.0.into(), 19.0.into(), "GALAXY".into()],
+            vec![4.into(), 200.0.into(), 21.5.into(), "QSO".into()],
+            vec![5.into(), 170.0.into(), 16.0.into(), "STAR".into()],
+        ];
+        for r in rows {
+            t.append_row(&r).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn compare_ops() {
+        use std::cmp::Ordering::*;
+        assert!(CompareOp::Eq.evaluate(Equal));
+        assert!(!CompareOp::Eq.evaluate(Less));
+        assert!(CompareOp::NotEq.evaluate(Greater));
+        assert!(CompareOp::Lt.evaluate(Less));
+        assert!(CompareOp::LtEq.evaluate(Equal));
+        assert!(CompareOp::Gt.evaluate(Greater));
+        assert!(CompareOp::GtEq.evaluate(Equal));
+        assert_eq!(CompareOp::GtEq.symbol(), ">=");
+    }
+
+    #[test]
+    fn evaluate_true_false() {
+        let t = test_table();
+        assert_eq!(Predicate::True.evaluate(&t).unwrap().len(), 5);
+        assert!(Predicate::False.evaluate(&t).unwrap().is_empty());
+    }
+
+    #[test]
+    fn evaluate_range_predicate() {
+        let t = test_table();
+        let sel = Predicate::between("ra", 175.0, 191.0).evaluate(&t).unwrap();
+        assert_eq!(sel.rows(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn evaluate_equality_on_strings() {
+        let t = test_table();
+        let sel = Predicate::eq("class", "GALAXY").evaluate(&t).unwrap();
+        assert_eq!(sel.rows(), &[0, 2]);
+    }
+
+    #[test]
+    fn evaluate_numeric_comparison_widens() {
+        let t = test_table();
+        // literal is an integer, column is float
+        let sel = Predicate::gt("ra", 185).evaluate(&t).unwrap();
+        assert_eq!(sel.rows(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn nulls_never_match_comparisons() {
+        let t = test_table();
+        let sel = Predicate::lt("r_mag", 100.0).evaluate(&t).unwrap();
+        // row 1 has NULL r_mag and must not qualify
+        assert_eq!(sel.rows(), &[0, 2, 3, 4]);
+        let sel = Predicate::eq("r_mag", Value::Null).evaluate(&t).unwrap();
+        assert!(sel.is_empty());
+    }
+
+    #[test]
+    fn is_null_and_is_not_null() {
+        let t = test_table();
+        assert_eq!(
+            Predicate::IsNull("r_mag".into()).evaluate(&t).unwrap().rows(),
+            &[1]
+        );
+        assert_eq!(
+            Predicate::IsNotNull("r_mag".into())
+                .evaluate(&t)
+                .unwrap()
+                .rows(),
+            &[0, 2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn and_or_not_combinators() {
+        let t = test_table();
+        let p = Predicate::eq("class", "GALAXY").and(Predicate::lt("ra", 185.0));
+        assert_eq!(p.evaluate(&t).unwrap().rows(), &[0]);
+        let p = Predicate::eq("class", "QSO").or(Predicate::eq("class", "STAR"));
+        assert_eq!(p.evaluate(&t).unwrap().rows(), &[1, 3, 4]);
+        let p = Predicate::eq("class", "GALAXY").negate();
+        assert_eq!(p.evaluate(&t).unwrap().rows(), &[1, 3, 4]);
+    }
+
+    #[test]
+    fn and_flattens_nested_conjunctions() {
+        let p = Predicate::eq("a", 1)
+            .and(Predicate::eq("b", 2))
+            .and(Predicate::eq("c", 3));
+        match p {
+            Predicate::And(ps) => assert_eq!(ps.len(), 3),
+            other => panic!("expected flattened AND, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn referenced_columns_unique_sorted() {
+        let p = Predicate::between("ra", 1.0, 2.0)
+            .and(Predicate::between("dec", 0.0, 1.0))
+            .and(Predicate::gt("ra", 0.5));
+        assert_eq!(p.referenced_columns(), vec!["dec", "ra"]);
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let t = test_table();
+        assert!(matches!(
+            Predicate::eq("missing", 1).evaluate(&t),
+            Err(ColumnarError::ColumnNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn incomparable_literal_errors() {
+        let t = test_table();
+        assert!(matches!(
+            Predicate::eq("class", 5).evaluate(&t),
+            Err(ColumnarError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn display_roundtrip_readable() {
+        let p = Predicate::between("ra", 180.0, 190.0).and(Predicate::eq("class", "GALAXY"));
+        let s = p.to_string();
+        assert!(s.contains("ra BETWEEN 180 AND 190"));
+        assert!(s.contains("class = GALAXY"));
+        assert!(Predicate::True.to_string().contains("TRUE"));
+        assert!(Predicate::IsNull("x".into()).to_string().contains("IS NULL"));
+    }
+}

@@ -1,0 +1,406 @@
+//! Foreign-key hash joins between tables.
+//!
+//! The SkyServer schema joins the `PhotoObjAll` fact table against dimension
+//! tables via integer foreign keys (Figure 1 of the paper). Impressions must
+//! preserve these join relationships ("Correlations", §3.1), so the substrate
+//! provides an equi-join on integer key columns that the impression builders
+//! and the workload generator use.
+
+use crate::column::Column;
+use crate::error::{ColumnarError, Result};
+use crate::schema::{Field, Schema};
+use crate::selection::SelectionVector;
+use crate::table::Table;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The join type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinType {
+    /// Keep only matching pairs.
+    Inner,
+    /// Keep every left row; unmatched right columns become NULL.
+    LeftOuter,
+}
+
+/// Result of matching two tables on an integer key: pairs of row indices.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JoinIndex {
+    /// Matched (left_row, Some(right_row)) pairs, or (left_row, None) for
+    /// unmatched left rows under a left-outer join.
+    pub pairs: Vec<(usize, Option<usize>)>,
+}
+
+impl JoinIndex {
+    /// Number of output rows.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True if the join produced no rows.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// The set of distinct left rows that found at least one match.
+    pub fn matched_left_rows(&self) -> SelectionVector {
+        SelectionVector::from_rows(
+            self.pairs
+                .iter()
+                .filter(|(_, r)| r.is_some())
+                .map(|(l, _)| *l)
+                .collect(),
+        )
+    }
+
+    /// The set of distinct right rows that were matched.
+    pub fn matched_right_rows(&self) -> SelectionVector {
+        SelectionVector::from_rows(self.pairs.iter().filter_map(|(_, r)| *r).collect())
+    }
+}
+
+/// Compute the join index between `left.left_key` and `right.right_key`.
+///
+/// Both key columns must be `Int64`. NULL keys never match. The right side is
+/// hashed (it is typically the smaller dimension table).
+pub fn hash_join_index(
+    left: &Table,
+    left_key: &str,
+    right: &Table,
+    right_key: &str,
+    join_type: JoinType,
+    left_selection: &SelectionVector,
+) -> Result<JoinIndex> {
+    let lk = left.column(left_key)?;
+    let rk = right.column(right_key)?;
+    if lk.data_type() != crate::value::DataType::Int64 {
+        return Err(ColumnarError::NotNumeric(format!(
+            "join key {left_key} must be Int64"
+        )));
+    }
+    if rk.data_type() != crate::value::DataType::Int64 {
+        return Err(ColumnarError::NotNumeric(format!(
+            "join key {right_key} must be Int64"
+        )));
+    }
+
+    // Build phase over the right table.
+    let mut build: HashMap<i64, Vec<usize>> = HashMap::with_capacity(right.row_count());
+    for row in 0..right.row_count() {
+        if let Some(key) = rk.get_i64(row) {
+            build.entry(key).or_default().push(row);
+        }
+    }
+
+    // Probe phase over the (selected) left rows.
+    let mut pairs = Vec::new();
+    for lrow in left_selection.iter() {
+        match lk.get_i64(lrow) {
+            Some(key) => match build.get(&key) {
+                Some(rrows) => {
+                    for &rrow in rrows {
+                        pairs.push((lrow, Some(rrow)));
+                    }
+                }
+                None => {
+                    if join_type == JoinType::LeftOuter {
+                        pairs.push((lrow, None));
+                    }
+                }
+            },
+            None => {
+                if join_type == JoinType::LeftOuter {
+                    pairs.push((lrow, None));
+                }
+            }
+        }
+    }
+    Ok(JoinIndex { pairs })
+}
+
+/// Materialise a join result into a new table.
+///
+/// The output schema is the left schema followed by the right schema with
+/// right column names prefixed by `<right_table_name>_`. All right columns in
+/// the output are nullable because of potential outer-join padding.
+pub fn materialize_join(
+    left: &Table,
+    right: &Table,
+    index: &JoinIndex,
+    name: impl Into<String>,
+) -> Result<Table> {
+    let mut fields: Vec<Field> = left.schema().fields().to_vec();
+    for f in right.schema().fields() {
+        fields.push(Field::nullable(
+            format!("{}_{}", right.name(), f.name),
+            f.data_type,
+        ));
+    }
+    let schema = Arc::new(Schema::new(fields)?);
+    let mut table = Table::with_capacity(name, schema, index.len());
+
+    let mut row_values = Vec::with_capacity(left.schema().len() + right.schema().len());
+    for &(lrow, rrow) in &index.pairs {
+        row_values.clear();
+        row_values.extend(left.row(lrow)?);
+        match rrow {
+            Some(rrow) => row_values.extend(right.row(rrow)?),
+            None => {
+                row_values.extend(std::iter::repeat_n(crate::value::Value::Null, right.schema().len()))
+            }
+        }
+        table.append_row(&row_values)?;
+    }
+    Ok(table)
+}
+
+/// Estimate join-key containment: the fraction of (selected) left keys that
+/// find a partner in the right table. Used by impression maintenance to check
+/// that FK correlations survive sampling.
+pub fn key_containment(
+    left: &Table,
+    left_key: &str,
+    right: &Table,
+    right_key: &str,
+    left_selection: &SelectionVector,
+) -> Result<f64> {
+    if left_selection.is_empty() {
+        return Ok(1.0);
+    }
+    let index = hash_join_index(
+        left,
+        left_key,
+        right,
+        right_key,
+        JoinType::Inner,
+        left_selection,
+    )?;
+    Ok(index.matched_left_rows().len() as f64 / left_selection.len() as f64)
+}
+
+/// Build an Int64 key column helper used by tests and generators.
+pub fn int_key_column(keys: &[i64]) -> Column {
+    Column::from_i64(keys.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Field, Schema};
+    use crate::value::{DataType, Value};
+
+    fn fact() -> Table {
+        let schema = Schema::shared(vec![
+            Field::new("objid", DataType::Int64),
+            Field::new("field_id", DataType::Int64),
+            Field::new("ra", DataType::Float64),
+        ])
+        .unwrap();
+        let mut t = Table::new("photoobj", schema);
+        for (objid, field_id, ra) in [
+            (1i64, 10i64, 180.0),
+            (2, 11, 181.0),
+            (3, 10, 182.0),
+            (4, 99, 183.0), // dangling FK
+            (5, 12, 184.0),
+        ] {
+            t.append_row(&[objid.into(), field_id.into(), ra.into()])
+                .unwrap();
+        }
+        t
+    }
+
+    fn dim() -> Table {
+        let schema = Schema::shared(vec![
+            Field::new("field_id", DataType::Int64),
+            Field::new("run", DataType::Int64),
+        ])
+        .unwrap();
+        let mut t = Table::new("field", schema);
+        for (field_id, run) in [(10i64, 1000i64), (11, 1001), (12, 1002)] {
+            t.append_row(&[field_id.into(), run.into()]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn inner_join_matches_only_existing_keys() {
+        let f = fact();
+        let d = dim();
+        let idx = hash_join_index(
+            &f,
+            "field_id",
+            &d,
+            "field_id",
+            JoinType::Inner,
+            &SelectionVector::all(f.row_count()),
+        )
+        .unwrap();
+        assert_eq!(idx.len(), 4);
+        assert_eq!(idx.matched_left_rows().rows(), &[0, 1, 2, 4]);
+        assert_eq!(idx.matched_right_rows().rows(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn left_outer_join_pads_unmatched() {
+        let f = fact();
+        let d = dim();
+        let idx = hash_join_index(
+            &f,
+            "field_id",
+            &d,
+            "field_id",
+            JoinType::LeftOuter,
+            &SelectionVector::all(f.row_count()),
+        )
+        .unwrap();
+        assert_eq!(idx.len(), 5);
+        assert!(idx.pairs.iter().any(|(l, r)| *l == 3 && r.is_none()));
+    }
+
+    #[test]
+    fn join_respects_left_selection() {
+        let f = fact();
+        let d = dim();
+        let sel = SelectionVector::from_rows(vec![0, 3]);
+        let idx =
+            hash_join_index(&f, "field_id", &d, "field_id", JoinType::Inner, &sel).unwrap();
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.pairs[0], (0, Some(0)));
+    }
+
+    #[test]
+    fn join_on_non_integer_key_is_an_error() {
+        let f = fact();
+        let d = dim();
+        assert!(matches!(
+            hash_join_index(
+                &f,
+                "ra",
+                &d,
+                "field_id",
+                JoinType::Inner,
+                &SelectionVector::all(f.row_count())
+            ),
+            Err(ColumnarError::NotNumeric(_))
+        ));
+    }
+
+    #[test]
+    fn join_on_missing_column_is_an_error() {
+        let f = fact();
+        let d = dim();
+        assert!(hash_join_index(
+            &f,
+            "nope",
+            &d,
+            "field_id",
+            JoinType::Inner,
+            &SelectionVector::all(f.row_count())
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn materialize_inner_join() {
+        let f = fact();
+        let d = dim();
+        let idx = hash_join_index(
+            &f,
+            "field_id",
+            &d,
+            "field_id",
+            JoinType::Inner,
+            &SelectionVector::all(f.row_count()),
+        )
+        .unwrap();
+        let joined = materialize_join(&f, &d, &idx, "joined").unwrap();
+        assert_eq!(joined.row_count(), 4);
+        assert!(joined.schema().contains("field_run"));
+        // row joining objid 1 (field 10) must carry run 1000
+        let row = joined.row(0).unwrap();
+        assert_eq!(row[0], Value::Int64(1));
+        assert_eq!(row[4], Value::Int64(1000));
+    }
+
+    #[test]
+    fn materialize_outer_join_pads_nulls() {
+        let f = fact();
+        let d = dim();
+        let idx = hash_join_index(
+            &f,
+            "field_id",
+            &d,
+            "field_id",
+            JoinType::LeftOuter,
+            &SelectionVector::all(f.row_count()),
+        )
+        .unwrap();
+        let joined = materialize_join(&f, &d, &idx, "joined").unwrap();
+        assert_eq!(joined.row_count(), 5);
+        let dangling = joined
+            .row(3)
+            .unwrap();
+        assert_eq!(dangling[0], Value::Int64(4));
+        assert_eq!(dangling[3], Value::Null);
+        assert_eq!(dangling[4], Value::Null);
+    }
+
+    #[test]
+    fn duplicate_right_keys_multiply_rows() {
+        let f = fact();
+        let schema = Schema::shared(vec![
+            Field::new("field_id", DataType::Int64),
+            Field::new("tag", DataType::Utf8),
+        ])
+        .unwrap();
+        let mut d = Table::new("tags", schema);
+        d.append_row(&[10.into(), "a".into()]).unwrap();
+        d.append_row(&[10.into(), "b".into()]).unwrap();
+        let idx = hash_join_index(
+            &f,
+            "field_id",
+            &d,
+            "field_id",
+            JoinType::Inner,
+            &SelectionVector::all(f.row_count()),
+        )
+        .unwrap();
+        // fact rows 0 and 2 reference field 10, each matching twice
+        assert_eq!(idx.len(), 4);
+    }
+
+    #[test]
+    fn key_containment_fraction() {
+        let f = fact();
+        let d = dim();
+        let c = key_containment(
+            &f,
+            "field_id",
+            &d,
+            "field_id",
+            &SelectionVector::all(f.row_count()),
+        )
+        .unwrap();
+        assert!((c - 0.8).abs() < 1e-12);
+        // empty selection is trivially contained
+        assert_eq!(
+            key_containment(&f, "field_id", &d, "field_id", &SelectionVector::empty()).unwrap(),
+            1.0
+        );
+    }
+
+    #[test]
+    fn null_keys_do_not_match() {
+        let schema = Schema::shared(vec![Field::nullable("k", DataType::Int64)]).unwrap();
+        let mut l = Table::new("l", Arc::clone(&schema));
+        l.append_row(&[Value::Null]).unwrap();
+        l.append_row(&[1.into()]).unwrap();
+        let mut r = Table::new("r", schema);
+        r.append_row(&[1.into()]).unwrap();
+        let idx = hash_join_index(&l, "k", &r, "k", JoinType::Inner, &SelectionVector::all(2))
+            .unwrap();
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.pairs[0], (1, Some(0)));
+    }
+}

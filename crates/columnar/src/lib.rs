@@ -1,0 +1,62 @@
+//! # sciborq-columnar
+//!
+//! An in-memory, append-optimised column store: the storage substrate of the
+//! SciBORQ reproduction.
+//!
+//! The SciBORQ paper (CIDR 2011) assumes a read-optimised column store
+//! (MonetDB) underneath its impression framework. This crate provides the
+//! minimal but faithful equivalent of the pieces SciBORQ relies on:
+//!
+//! * typed columns with null bitmaps ([`Column`]),
+//! * schemas and append-only tables with batch-wise incremental loads
+//!   ([`Schema`], [`Table`], [`RecordBatch`]),
+//! * candidate-list (selection-vector) execution of predicates
+//!   ([`SelectionVector`], [`Predicate`]),
+//! * exact aggregates and grouped aggregates ([`compute_aggregate`]),
+//! * FK hash joins between fact and dimension tables ([`hash_join_index`]),
+//! * a concurrent catalog of named tables ([`Catalog`]).
+//!
+//! All higher layers — sampling, impressions, bounded query processing — are
+//! built on these primitives.
+//!
+//! ## Example
+//!
+//! ```
+//! use sciborq_columnar::{Schema, Field, DataType, Table, Predicate, SelectionVector};
+//!
+//! let schema = Schema::shared(vec![
+//!     Field::new("objid", DataType::Int64),
+//!     Field::new("ra", DataType::Float64),
+//! ]).unwrap();
+//! let mut table = Table::new("photoobj", schema);
+//! table.append_row(&[1i64.into(), 185.2f64.into()]).unwrap();
+//! table.append_row(&[2i64.into(), 190.7f64.into()]).unwrap();
+//!
+//! let sel = Predicate::between("ra", 184.0, 186.0).evaluate(&table).unwrap();
+//! assert_eq!(sel.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod catalog;
+pub mod column;
+pub mod error;
+pub mod expr;
+pub mod join;
+pub mod schema;
+pub mod selection;
+pub mod table;
+pub mod value;
+
+pub use aggregate::{compute_aggregate, compute_grouped_aggregate, AggregateKind, AggregateResult};
+pub use catalog::Catalog;
+pub use column::{Bitmap, Column};
+pub use error::{ColumnarError, Result};
+pub use expr::{CompareOp, Predicate};
+pub use join::{hash_join_index, key_containment, materialize_join, JoinIndex, JoinType};
+pub use schema::{Field, Schema, SchemaRef};
+pub use selection::SelectionVector;
+pub use table::{RecordBatch, RecordBatchBuilder, Table};
+pub use value::{DataType, Value};

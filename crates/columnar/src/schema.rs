@@ -1,0 +1,243 @@
+//! Table schemas and column descriptors.
+
+use crate::error::{ColumnarError, Result};
+use crate::value::DataType;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// Description of a single column in a schema.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Field {
+    /// Column name (unique within a schema).
+    pub name: String,
+    /// Column data type.
+    pub data_type: DataType,
+    /// Whether NULL values are allowed.
+    pub nullable: bool,
+}
+
+impl Field {
+    /// Create a non-nullable field.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Field {
+            name: name.into(),
+            data_type,
+            nullable: false,
+        }
+    }
+
+    /// Create a nullable field.
+    pub fn nullable(name: impl Into<String>, data_type: DataType) -> Self {
+        Field {
+            name: name.into(),
+            data_type,
+            nullable: true,
+        }
+    }
+}
+
+impl fmt::Display for Field {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}{}",
+            self.name,
+            self.data_type,
+            if self.nullable { " NULL" } else { "" }
+        )
+    }
+}
+
+/// An ordered collection of fields describing a table's columns.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+/// Shared reference to a schema; tables and impressions built from the same
+/// base table share a single allocation.
+pub type SchemaRef = Arc<Schema>;
+
+impl Schema {
+    /// Create a schema from a list of fields.
+    ///
+    /// Duplicate column names are rejected.
+    pub fn new(fields: Vec<Field>) -> Result<Self> {
+        for (i, f) in fields.iter().enumerate() {
+            if fields[..i].iter().any(|other| other.name == f.name) {
+                return Err(ColumnarError::SchemaMismatch(format!(
+                    "duplicate column name: {}",
+                    f.name
+                )));
+            }
+        }
+        Ok(Schema { fields })
+    }
+
+    /// Create a shared schema reference.
+    pub fn shared(fields: Vec<Field>) -> Result<SchemaRef> {
+        Ok(Arc::new(Self::new(fields)?))
+    }
+
+    /// The fields in declaration order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True if the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Position of the column with the given name.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.fields
+            .iter()
+            .position(|f| f.name == name)
+            .ok_or_else(|| ColumnarError::ColumnNotFound(name.to_owned()))
+    }
+
+    /// The field with the given name.
+    pub fn field(&self, name: &str) -> Result<&Field> {
+        let idx = self.index_of(name)?;
+        Ok(&self.fields[idx])
+    }
+
+    /// The field at position `idx`.
+    pub fn field_at(&self, idx: usize) -> Option<&Field> {
+        self.fields.get(idx)
+    }
+
+    /// Column names in declaration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.fields.iter().map(|f| f.name.as_str()).collect()
+    }
+
+    /// Whether the schema contains a column with the given name.
+    pub fn contains(&self, name: &str) -> bool {
+        self.fields.iter().any(|f| f.name == name)
+    }
+
+    /// Build a new schema containing only the given columns, in the order
+    /// requested (projection).
+    pub fn project(&self, names: &[&str]) -> Result<Schema> {
+        let mut fields = Vec::with_capacity(names.len());
+        for &name in names {
+            fields.push(self.field(name)?.clone());
+        }
+        Schema::new(fields)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, field) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{field}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sky_schema() -> Schema {
+        Schema::new(vec![
+            Field::new("objid", DataType::Int64),
+            Field::new("ra", DataType::Float64),
+            Field::new("dec", DataType::Float64),
+            Field::nullable("r_mag", DataType::Float64),
+            Field::new("class", DataType::Utf8),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn schema_basic_lookup() {
+        let s = sky_schema();
+        assert_eq!(s.len(), 5);
+        assert!(!s.is_empty());
+        assert_eq!(s.index_of("ra").unwrap(), 1);
+        assert_eq!(s.field("dec").unwrap().data_type, DataType::Float64);
+        assert!(s.contains("class"));
+        assert!(!s.contains("missing"));
+        assert_eq!(s.names(), vec!["objid", "ra", "dec", "r_mag", "class"]);
+    }
+
+    #[test]
+    fn schema_missing_column() {
+        let s = sky_schema();
+        assert!(matches!(
+            s.index_of("nope"),
+            Err(ColumnarError::ColumnNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn schema_rejects_duplicates() {
+        let err = Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("a", DataType::Float64),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, ColumnarError::SchemaMismatch(_)));
+    }
+
+    #[test]
+    fn schema_projection_preserves_order() {
+        let s = sky_schema();
+        let p = s.project(&["dec", "ra"]).unwrap();
+        assert_eq!(p.names(), vec!["dec", "ra"]);
+        assert!(s.project(&["ra", "unknown"]).is_err());
+    }
+
+    #[test]
+    fn field_display() {
+        let f = Field::nullable("r_mag", DataType::Float64);
+        assert_eq!(f.to_string(), "r_mag Float64 NULL");
+        let f = Field::new("ra", DataType::Float64);
+        assert_eq!(f.to_string(), "ra Float64");
+    }
+
+    #[test]
+    fn schema_display() {
+        let s = Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("b", DataType::Bool),
+        ])
+        .unwrap();
+        assert_eq!(s.to_string(), "(a Int64, b Bool)");
+    }
+
+    #[test]
+    fn schema_field_at() {
+        let s = sky_schema();
+        assert_eq!(s.field_at(0).unwrap().name, "objid");
+        assert!(s.field_at(10).is_none());
+    }
+
+    #[test]
+    fn shared_schema() {
+        let s = Schema::shared(vec![Field::new("a", DataType::Int64)]).unwrap();
+        let s2 = Arc::clone(&s);
+        assert_eq!(s.names(), s2.names());
+    }
+
+    #[test]
+    fn empty_schema_allowed() {
+        let s = Schema::new(vec![]).unwrap();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+}

@@ -1,0 +1,309 @@
+//! Scalar values and data types used by the column store.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// The data types supported by the columnar substrate.
+///
+/// The SkyServer-style schemas used by SciBORQ only require a small set of
+/// types: 64-bit integers for identifiers and counts, 64-bit floats for
+/// scientific measurements (`ra`, `dec`, magnitudes, ...), booleans for flags
+/// and UTF-8 strings for labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int64,
+    /// 64-bit IEEE-754 float.
+    Float64,
+    /// Boolean.
+    Bool,
+    /// UTF-8 string.
+    Utf8,
+}
+
+impl DataType {
+    /// A short human-readable name for the type.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DataType::Int64 => "Int64",
+            DataType::Float64 => "Float64",
+            DataType::Bool => "Bool",
+            DataType::Utf8 => "Utf8",
+        }
+    }
+
+    /// Whether values of this type can participate in numeric aggregates.
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, DataType::Int64 | DataType::Float64)
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A dynamically typed scalar value.
+///
+/// `Value` is used at API boundaries (row construction, predicate literals,
+/// query results); the hot paths inside the engine operate on the typed
+/// column vectors directly.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// 64-bit signed integer.
+    Int64(i64),
+    /// 64-bit float.
+    Float64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// UTF-8 string.
+    Utf8(String),
+}
+
+impl Value {
+    /// The data type of this value, or `None` for NULL.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int64(_) => Some(DataType::Int64),
+            Value::Float64(_) => Some(DataType::Float64),
+            Value::Bool(_) => Some(DataType::Bool),
+            Value::Utf8(_) => Some(DataType::Utf8),
+        }
+    }
+
+    /// A short name for the value's runtime type (used in error messages).
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "Null",
+            Value::Int64(_) => "Int64",
+            Value::Float64(_) => "Float64",
+            Value::Bool(_) => "Bool",
+            Value::Utf8(_) => "Utf8",
+        }
+    }
+
+    /// True if this is the NULL value.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Interpret the value as an `f64` if it is numeric.
+    ///
+    /// Integers are widened; NULL and non-numeric values yield `None`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int64(v) => Some(*v as f64),
+            Value::Float64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Interpret the value as an `i64` if it is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Interpret the value as a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Interpret the value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Utf8(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Compare two values for ordering purposes.
+    ///
+    /// NULL sorts before everything; numeric types are compared numerically
+    /// (an `Int64` can be compared against a `Float64`); values of
+    /// incomparable types return `None`.
+    pub fn partial_cmp_value(&self, other: &Value) -> Option<Ordering> {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Some(Ordering::Equal),
+            (Null, _) => Some(Ordering::Less),
+            (_, Null) => Some(Ordering::Greater),
+            (Int64(a), Int64(b)) => Some(a.cmp(b)),
+            (Float64(a), Float64(b)) => a.partial_cmp(b),
+            (Int64(a), Float64(b)) => (*a as f64).partial_cmp(b),
+            (Float64(a), Int64(b)) => a.partial_cmp(&(*b as f64)),
+            (Bool(a), Bool(b)) => Some(a.cmp(b)),
+            (Utf8(a), Utf8(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        matches!(self.partial_cmp_value(other), Some(Ordering::Equal))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int64(v) => write!(f, "{v}"),
+            Value::Float64(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Utf8(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Utf8(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Utf8(v)
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        match v {
+            Some(v) => v.into(),
+            None => Value::Null,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_type_names() {
+        assert_eq!(DataType::Int64.name(), "Int64");
+        assert_eq!(DataType::Float64.name(), "Float64");
+        assert_eq!(DataType::Bool.name(), "Bool");
+        assert_eq!(DataType::Utf8.name(), "Utf8");
+        assert_eq!(DataType::Float64.to_string(), "Float64");
+    }
+
+    #[test]
+    fn data_type_numeric() {
+        assert!(DataType::Int64.is_numeric());
+        assert!(DataType::Float64.is_numeric());
+        assert!(!DataType::Bool.is_numeric());
+        assert!(!DataType::Utf8.is_numeric());
+    }
+
+    #[test]
+    fn value_type_introspection() {
+        assert_eq!(Value::Int64(1).data_type(), Some(DataType::Int64));
+        assert_eq!(Value::Null.data_type(), None);
+        assert!(Value::Null.is_null());
+        assert!(!Value::Bool(true).is_null());
+        assert_eq!(Value::Utf8("x".into()).type_name(), "Utf8");
+    }
+
+    #[test]
+    fn value_as_f64_widens_ints() {
+        assert_eq!(Value::Int64(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Float64(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::Bool(true).as_f64(), None);
+        assert_eq!(Value::Null.as_f64(), None);
+    }
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::Int64(7).as_i64(), Some(7));
+        assert_eq!(Value::Float64(7.0).as_i64(), None);
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Utf8("hi".into()).as_str(), Some("hi"));
+        assert_eq!(Value::Int64(1).as_str(), None);
+    }
+
+    #[test]
+    fn cross_type_numeric_comparison() {
+        assert_eq!(
+            Value::Int64(2).partial_cmp_value(&Value::Float64(2.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Float64(1.5).partial_cmp_value(&Value::Int64(2)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(Value::Int64(2), Value::Float64(2.0));
+    }
+
+    #[test]
+    fn null_sorts_first() {
+        assert_eq!(
+            Value::Null.partial_cmp_value(&Value::Int64(-100)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Utf8("a".into()).partial_cmp_value(&Value::Null),
+            Some(Ordering::Greater)
+        );
+        assert_eq!(
+            Value::Null.partial_cmp_value(&Value::Null),
+            Some(Ordering::Equal)
+        );
+    }
+
+    #[test]
+    fn incomparable_types_return_none() {
+        assert_eq!(
+            Value::Bool(true).partial_cmp_value(&Value::Utf8("true".into())),
+            None
+        );
+    }
+
+    #[test]
+    fn from_conversions() {
+        assert_eq!(Value::from(5i64), Value::Int64(5));
+        assert_eq!(Value::from(5.0f64), Value::Float64(5.0));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from("s"), Value::Utf8("s".into()));
+        assert_eq!(Value::from(Some(5i64)), Value::Int64(5));
+        assert_eq!(Value::from(Option::<i64>::None), Value::Null);
+    }
+
+    #[test]
+    fn display_values() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Int64(42).to_string(), "42");
+        assert_eq!(Value::Utf8("star".into()).to_string(), "star");
+    }
+}

@@ -1,0 +1,203 @@
+//! Approximate answers with explicit quality and runtime metadata.
+
+use sciborq_columnar::Table;
+use sciborq_stats::ConfidenceInterval;
+use std::fmt;
+use std::time::Duration;
+
+/// Where a query was (finally) evaluated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvaluationLevel {
+    /// An impression at the given 1-based layer index (1 = most detailed).
+    Layer(usize),
+    /// The base table (exact answer, zero error).
+    BaseData,
+}
+
+impl fmt::Display for EvaluationLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvaluationLevel::Layer(i) => write!(f, "layer {i}"),
+            EvaluationLevel::BaseData => write!(f, "base data"),
+        }
+    }
+}
+
+/// The answer to an aggregate query evaluated under bounds.
+#[derive(Debug, Clone)]
+pub struct ApproximateAnswer {
+    /// Rendered form of the executed query.
+    pub query: String,
+    /// The point estimate (None when the aggregate was undefined, e.g. AVG
+    /// over zero matching rows).
+    pub value: Option<f64>,
+    /// The confidence interval around the estimate (None when undefined).
+    pub interval: Option<ConfidenceInterval>,
+    /// Where the final evaluation happened.
+    pub level: EvaluationLevel,
+    /// Number of sample/base rows scanned across all attempts.
+    pub rows_scanned: u64,
+    /// Number of escalations to a more detailed level that were needed.
+    pub escalations: usize,
+    /// Wall-clock time spent answering.
+    pub elapsed: Duration,
+    /// Whether the requested error bound was met.
+    pub error_bound_met: bool,
+    /// Whether the requested row-budget (runtime) bound was respected.
+    pub time_bound_met: bool,
+}
+
+impl ApproximateAnswer {
+    /// Whether the answer is exact (evaluated on base data).
+    pub fn is_exact(&self) -> bool {
+        self.level == EvaluationLevel::BaseData
+    }
+
+    /// The relative half-width of the confidence interval (0 for exact
+    /// answers, infinity when no interval could be computed).
+    pub fn relative_error(&self) -> f64 {
+        match &self.interval {
+            Some(ci) => ci.relative_half_width(),
+            None => {
+                if self.is_exact() {
+                    0.0
+                } else {
+                    f64::INFINITY
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for ApproximateAnswer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.value, &self.interval) {
+            (Some(v), Some(ci)) => write!(
+                f,
+                "{v:.4} ± {:.4} ({}% CI, {}, {} rows scanned)",
+                ci.half_width(),
+                (ci.confidence * 100.0).round(),
+                self.level,
+                self.rows_scanned
+            ),
+            (Some(v), None) => write!(f, "{v:.4} (exact, {})", self.level),
+            _ => write!(f, "undefined ({})", self.level),
+        }
+    }
+}
+
+/// The answer to a SELECT query evaluated against impressions.
+#[derive(Debug, Clone)]
+pub struct SelectAnswer {
+    /// Rendered form of the executed query.
+    pub query: String,
+    /// The returned rows (an excerpt of the impression or base table).
+    pub rows: Table,
+    /// Estimated number of base-table rows matching the predicate.
+    pub estimated_total_matches: f64,
+    /// Where the final evaluation happened.
+    pub level: EvaluationLevel,
+    /// Number of sample/base rows scanned across all attempts.
+    pub rows_scanned: u64,
+    /// Number of escalations that were needed.
+    pub escalations: usize,
+    /// Wall-clock time spent answering.
+    pub elapsed: Duration,
+}
+
+impl SelectAnswer {
+    /// Number of rows returned to the user.
+    pub fn returned_rows(&self) -> usize {
+        self.rows.row_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sciborq_columnar::{DataType, Field, Schema};
+
+    fn interval() -> ConfidenceInterval {
+        ConfidenceInterval::normal(100.0, 5.0, 0.95).unwrap()
+    }
+
+    #[test]
+    fn evaluation_level_display() {
+        assert_eq!(EvaluationLevel::Layer(2).to_string(), "layer 2");
+        assert_eq!(EvaluationLevel::BaseData.to_string(), "base data");
+    }
+
+    #[test]
+    fn approximate_answer_helpers() {
+        let a = ApproximateAnswer {
+            query: "q".into(),
+            value: Some(100.0),
+            interval: Some(interval()),
+            level: EvaluationLevel::Layer(3),
+            rows_scanned: 1_000,
+            escalations: 1,
+            elapsed: Duration::from_millis(5),
+            error_bound_met: true,
+            time_bound_met: true,
+        };
+        assert!(!a.is_exact());
+        assert!(a.relative_error() > 0.0 && a.relative_error() < 0.2);
+        let s = a.to_string();
+        assert!(s.contains("layer 3"));
+        assert!(s.contains("1000 rows"));
+    }
+
+    #[test]
+    fn exact_answer_has_zero_error() {
+        let a = ApproximateAnswer {
+            query: "q".into(),
+            value: Some(42.0),
+            interval: None,
+            level: EvaluationLevel::BaseData,
+            rows_scanned: 10,
+            escalations: 2,
+            elapsed: Duration::ZERO,
+            error_bound_met: true,
+            time_bound_met: false,
+        };
+        assert!(a.is_exact());
+        assert_eq!(a.relative_error(), 0.0);
+        assert!(a.to_string().contains("exact"));
+    }
+
+    #[test]
+    fn undefined_answer_displays_and_reports_infinite_error() {
+        let a = ApproximateAnswer {
+            query: "q".into(),
+            value: None,
+            interval: None,
+            level: EvaluationLevel::Layer(1),
+            rows_scanned: 0,
+            escalations: 0,
+            elapsed: Duration::ZERO,
+            error_bound_met: false,
+            time_bound_met: true,
+        };
+        assert_eq!(a.relative_error(), f64::INFINITY);
+        assert!(a.to_string().contains("undefined"));
+    }
+
+    #[test]
+    fn select_answer_counts_rows() {
+        let schema = Schema::shared(vec![Field::new("x", DataType::Int64)]).unwrap();
+        let mut rows = Table::new("result", schema);
+        rows.append_row(&[1i64.into()]).unwrap();
+        rows.append_row(&[2i64.into()]).unwrap();
+        let a = SelectAnswer {
+            query: "q".into(),
+            rows,
+            estimated_total_matches: 200.0,
+            level: EvaluationLevel::Layer(1),
+            rows_scanned: 50,
+            escalations: 0,
+            elapsed: Duration::from_micros(10),
+        };
+        assert_eq!(a.returned_rows(), 2);
+        assert_eq!(a.estimated_total_matches, 200.0);
+    }
+}

@@ -1,0 +1,536 @@
+//! Streaming, load-time construction of impressions (§3.3).
+//!
+//! "Impressions are deployed either as part of a database loading step or
+//! extracted from an existing database. [...] The construction algorithms
+//! reside in the load process, considering each tuple as it is being loaded,
+//! much like a stream, and deciding if it should be part of an impression or
+//! not."
+//!
+//! The [`ImpressionBuilder`] is exactly that: it is fed the same
+//! [`RecordBatch`]es that are appended to the base table (or the rows of the
+//! impression one layer below), decides tuple by tuple, and finally
+//! materialises an [`Impression`].
+
+use crate::error::{Result, SciborqError};
+use crate::impression::Impression;
+use crate::policy::SamplingPolicy;
+use sciborq_columnar::{RecordBatch, SchemaRef, Table, Value};
+use sciborq_sampling::{
+    BiasedReservoir, LastSeenReservoir, Reservoir, SampledItem, SamplingStrategy,
+};
+use sciborq_workload::PredicateSet;
+
+/// The concrete reservoir behind a builder, selected by the policy.
+#[derive(Debug, Clone)]
+enum Sampler {
+    Uniform(Reservoir<Vec<Value>>),
+    LastSeen(LastSeenReservoir<Vec<Value>>),
+    Biased(BiasedReservoir<Vec<Value>>),
+}
+
+impl Sampler {
+    fn observe(&mut self, row: Vec<Value>, weight: f64) {
+        match self {
+            Sampler::Uniform(r) => r.observe_weighted(row, weight),
+            Sampler::LastSeen(r) => r.observe_weighted(row, weight),
+            Sampler::Biased(r) => r.observe_weighted(row, weight),
+        }
+    }
+
+    fn sample(&self) -> &[SampledItem<Vec<Value>>] {
+        match self {
+            Sampler::Uniform(r) => r.sample(),
+            Sampler::LastSeen(r) => r.sample(),
+            Sampler::Biased(r) => r.sample(),
+        }
+    }
+
+    fn observed(&self) -> u64 {
+        match self {
+            Sampler::Uniform(r) => r.observed(),
+            Sampler::LastSeen(r) => r.observed(),
+            Sampler::Biased(r) => r.observed(),
+        }
+    }
+}
+
+/// A streaming impression builder.
+///
+/// The builder can be kept alive across incremental loads: every new batch is
+/// pushed through [`ImpressionBuilder::observe_batch`] and a fresh snapshot
+/// can be materialised at any time with [`ImpressionBuilder::materialize`].
+#[derive(Debug, Clone)]
+pub struct ImpressionBuilder {
+    name: String,
+    source_table: String,
+    schema: SchemaRef,
+    policy: SamplingPolicy,
+    layer: usize,
+    capacity: usize,
+    sampler: Sampler,
+    total_observed_weight: f64,
+    /// Column indices of the bias-steering attributes (resolved once).
+    bias_columns: Vec<(String, usize)>,
+}
+
+impl ImpressionBuilder {
+    /// Create a builder for an impression of `capacity` rows over a source
+    /// with the given schema.
+    pub fn new(
+        name: impl Into<String>,
+        source_table: impl Into<String>,
+        schema: SchemaRef,
+        policy: SamplingPolicy,
+        capacity: usize,
+        layer: usize,
+        seed: u64,
+    ) -> Result<Self> {
+        policy
+            .validate()
+            .map_err(SciborqError::InvalidConfig)?;
+        if capacity == 0 {
+            return Err(SciborqError::InvalidConfig(
+                "impression capacity must be positive".to_owned(),
+            ));
+        }
+        let sampler = match &policy {
+            SamplingPolicy::Uniform => Sampler::Uniform(Reservoir::new(capacity, seed)),
+            SamplingPolicy::LastSeen {
+                fresh_fraction,
+                daily_ingest,
+            } => Sampler::LastSeen(LastSeenReservoir::new(
+                capacity,
+                fresh_fraction * capacity as f64,
+                *daily_ingest,
+                seed,
+            )?),
+            SamplingPolicy::Biased { .. } => Sampler::Biased(BiasedReservoir::new(capacity, seed)?),
+        };
+        let bias_columns = match &policy {
+            SamplingPolicy::Biased { attributes } => {
+                let mut cols = Vec::with_capacity(attributes.len());
+                for attr in attributes {
+                    let idx = schema.index_of(attr)?;
+                    cols.push((attr.clone(), idx));
+                }
+                cols
+            }
+            _ => Vec::new(),
+        };
+        Ok(ImpressionBuilder {
+            name: name.into(),
+            source_table: source_table.into(),
+            schema,
+            policy,
+            layer,
+            capacity,
+            sampler,
+            total_observed_weight: 0.0,
+            bias_columns,
+        })
+    }
+
+    /// The impression name this builder produces.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The configured capacity (`n`).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of tuples observed so far (`cnt`).
+    pub fn observed(&self) -> u64 {
+        self.sampler.observed()
+    }
+
+    /// The policy driving this builder.
+    pub fn policy(&self) -> &SamplingPolicy {
+        &self.policy
+    }
+
+    /// The interest weight of a row under the current predicate set: 1 for
+    /// non-biased policies, the combined KDE weight otherwise.
+    fn row_weight(&self, row: &[Value], predicate_set: Option<&PredicateSet>) -> f64 {
+        if self.bias_columns.is_empty() {
+            return 1.0;
+        }
+        let Some(ps) = predicate_set else {
+            return 1.0;
+        };
+        let tuple: Vec<(&str, f64)> = self
+            .bias_columns
+            .iter()
+            .filter_map(|(name, idx)| row.get(*idx).and_then(Value::as_f64).map(|v| (name.as_str(), v)))
+            .collect();
+        if tuple.is_empty() {
+            0.0
+        } else {
+            ps.combined_weight(&tuple)
+        }
+    }
+
+    /// Observe one row of an incremental load.
+    pub fn observe_row(&mut self, row: Vec<Value>, predicate_set: Option<&PredicateSet>) {
+        let weight = self.row_weight(&row, predicate_set);
+        self.total_observed_weight += weight;
+        self.sampler.observe(row, weight);
+    }
+
+    /// Observe every row of a batch (the incremental-load entry point).
+    pub fn observe_batch(
+        &mut self,
+        batch: &RecordBatch,
+        predicate_set: Option<&PredicateSet>,
+    ) -> Result<()> {
+        if batch.schema().fields() != self.schema.fields() {
+            return Err(SciborqError::Columnar(
+                sciborq_columnar::ColumnarError::SchemaMismatch(format!(
+                    "batch schema {} does not match impression schema {}",
+                    batch.schema(),
+                    self.schema
+                )),
+            ));
+        }
+        for idx in 0..batch.row_count() {
+            let row = batch.row(idx)?;
+            self.observe_row(row, predicate_set);
+        }
+        Ok(())
+    }
+
+    /// Observe every row of an existing table (extraction from a database
+    /// that is already loaded, the paper's second deployment mode).
+    pub fn observe_table(
+        &mut self,
+        table: &Table,
+        predicate_set: Option<&PredicateSet>,
+    ) -> Result<()> {
+        self.observe_batch(&table.to_batch(), predicate_set)
+    }
+
+    /// Materialise the current reservoir contents into an [`Impression`].
+    ///
+    /// The builder keeps its state, so construction can continue with later
+    /// loads and a fresher impression can be materialised again.
+    pub fn materialize(&self) -> Result<Impression> {
+        let items = self.sampler.sample();
+        let mut table = Table::with_capacity(self.name.clone(), self.schema.clone(), items.len());
+        let mut weights = Vec::with_capacity(items.len());
+        for item in items {
+            table.append_row(&item.item)?;
+            weights.push(item.weight);
+        }
+        Impression::new(
+            self.name.clone(),
+            self.source_table.clone(),
+            table,
+            weights,
+            self.total_observed_weight,
+            self.sampler.observed(),
+            self.policy.clone(),
+            self.layer,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sciborq_columnar::{DataType, Field, Predicate, RecordBatchBuilder, Schema};
+    use sciborq_workload::AttributeDomain;
+
+    fn schema() -> SchemaRef {
+        Schema::shared(vec![
+            Field::new("objid", DataType::Int64),
+            Field::new("ra", DataType::Float64),
+            Field::new("r_mag", DataType::Float64),
+        ])
+        .unwrap()
+    }
+
+    fn batch(start: i64, rows: usize) -> RecordBatch {
+        let mut b = RecordBatchBuilder::with_capacity(schema(), rows);
+        for i in 0..rows as i64 {
+            let objid = start + i;
+            // ra spread over [0, 360): a third of rows near 185
+            let ra = if objid % 3 == 0 {
+                185.0 + (objid % 7) as f64 * 0.3
+            } else {
+                (objid * 37 % 360) as f64
+            };
+            b.push_row(&[
+                Value::Int64(objid),
+                Value::Float64(ra),
+                Value::Float64(15.0 + (objid % 10) as f64),
+            ])
+            .unwrap();
+        }
+        b.finish().unwrap()
+    }
+
+    fn focused_predicate_set() -> PredicateSet {
+        let mut ps =
+            PredicateSet::new(&[("ra", AttributeDomain::new(0.0, 360.0, 36))]).unwrap();
+        for _ in 0..200 {
+            ps.log_value("ra", 185.0);
+            ps.log_value("ra", 186.5);
+        }
+        ps
+    }
+
+    #[test]
+    fn builder_validates_configuration() {
+        assert!(ImpressionBuilder::new(
+            "i",
+            "t",
+            schema(),
+            SamplingPolicy::Uniform,
+            0,
+            1,
+            1
+        )
+        .is_err());
+        assert!(ImpressionBuilder::new(
+            "i",
+            "t",
+            schema(),
+            SamplingPolicy::biased(["unknown_column"]),
+            10,
+            1,
+            1
+        )
+        .is_err());
+        assert!(ImpressionBuilder::new(
+            "i",
+            "t",
+            schema(),
+            SamplingPolicy::biased(Vec::<String>::new()),
+            10,
+            1,
+            1
+        )
+        .is_err());
+        assert!(ImpressionBuilder::new(
+            "i",
+            "t",
+            schema(),
+            SamplingPolicy::last_seen(2.0, 100.0),
+            10,
+            1,
+            1
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn uniform_builder_fills_reservoir() {
+        let mut b = ImpressionBuilder::new(
+            "photoobj.l1",
+            "photoobj",
+            schema(),
+            SamplingPolicy::Uniform,
+            100,
+            1,
+            7,
+        )
+        .unwrap();
+        b.observe_batch(&batch(1, 5_000), None).unwrap();
+        assert_eq!(b.observed(), 5_000);
+        assert_eq!(b.capacity(), 100);
+        let imp = b.materialize().unwrap();
+        assert_eq!(imp.row_count(), 100);
+        assert_eq!(imp.source_rows(), 5_000);
+        assert_eq!(imp.name(), "photoobj.l1");
+        assert_eq!(imp.layer(), 1);
+        assert!(imp.weights().iter().all(|&w| w == 1.0));
+    }
+
+    #[test]
+    fn builder_rejects_mismatched_batches() {
+        let other_schema = Schema::shared(vec![Field::new("x", DataType::Int64)]).unwrap();
+        let mut wrong = RecordBatchBuilder::new(other_schema);
+        wrong.push_row(&[Value::Int64(1)]).unwrap();
+        let wrong = wrong.finish().unwrap();
+        let mut b = ImpressionBuilder::new(
+            "i",
+            "t",
+            schema(),
+            SamplingPolicy::Uniform,
+            10,
+            1,
+            1,
+        )
+        .unwrap();
+        assert!(b.observe_batch(&wrong, None).is_err());
+    }
+
+    #[test]
+    fn incremental_loads_accumulate() {
+        let mut b = ImpressionBuilder::new(
+            "i",
+            "photoobj",
+            schema(),
+            SamplingPolicy::Uniform,
+            50,
+            1,
+            3,
+        )
+        .unwrap();
+        b.observe_batch(&batch(1, 1_000), None).unwrap();
+        let first = b.materialize().unwrap();
+        assert_eq!(first.source_rows(), 1_000);
+        b.observe_batch(&batch(1_001, 1_000), None).unwrap();
+        let second = b.materialize().unwrap();
+        assert_eq!(second.source_rows(), 2_000);
+        assert_eq!(second.row_count(), 50);
+        // the refreshed impression must contain some tuples from the new load
+        let new_tuples = Predicate::gt("objid", 1_000)
+            .evaluate(second.data())
+            .unwrap();
+        assert!(!new_tuples.is_empty());
+    }
+
+    #[test]
+    fn biased_builder_enriches_focal_region() {
+        let ps = focused_predicate_set();
+        let mut biased = ImpressionBuilder::new(
+            "biased",
+            "photoobj",
+            schema(),
+            SamplingPolicy::biased(["ra"]),
+            200,
+            1,
+            11,
+        )
+        .unwrap();
+        let mut uniform = ImpressionBuilder::new(
+            "uniform",
+            "photoobj",
+            schema(),
+            SamplingPolicy::Uniform,
+            200,
+            1,
+            11,
+        )
+        .unwrap();
+        let big = batch(1, 30_000);
+        biased.observe_batch(&big, Some(&ps)).unwrap();
+        uniform.observe_batch(&big, Some(&ps)).unwrap();
+        let focal = Predicate::between("ra", 183.0, 189.0);
+        let biased_share = focal
+            .evaluate(biased.materialize().unwrap().data())
+            .unwrap()
+            .len() as f64
+            / 200.0;
+        let uniform_share = focal
+            .evaluate(uniform.materialize().unwrap().data())
+            .unwrap()
+            .len() as f64
+            / 200.0;
+        assert!(
+            biased_share > uniform_share * 1.5,
+            "biased {biased_share} vs uniform {uniform_share}"
+        );
+    }
+
+    #[test]
+    fn biased_builder_without_predicate_set_degrades_to_neutral_weights() {
+        let mut b = ImpressionBuilder::new(
+            "biased",
+            "photoobj",
+            schema(),
+            SamplingPolicy::biased(["ra"]),
+            50,
+            1,
+            5,
+        )
+        .unwrap();
+        b.observe_batch(&batch(1, 1_000), None).unwrap();
+        let imp = b.materialize().unwrap();
+        assert_eq!(imp.row_count(), 50);
+        assert!(imp.weights().iter().all(|&w| w == 1.0));
+    }
+
+    #[test]
+    fn last_seen_builder_prefers_recent_loads() {
+        let mut b = ImpressionBuilder::new(
+            "recent",
+            "photoobj",
+            schema(),
+            SamplingPolicy::last_seen(1.0, 1_000.0),
+            200,
+            1,
+            13,
+        )
+        .unwrap();
+        for day in 0..20i64 {
+            b.observe_batch(&batch(day * 1_000 + 1, 1_000), None).unwrap();
+        }
+        let imp = b.materialize().unwrap();
+        let recent = Predicate::gt("objid", 15_000).evaluate(imp.data()).unwrap();
+        assert!(
+            recent.len() as f64 / imp.row_count() as f64 > 0.5,
+            "last-seen impression should be dominated by recent loads"
+        );
+    }
+
+    #[test]
+    fn observe_table_extracts_from_existing_data() {
+        let mut base = Table::new("photoobj", schema());
+        base.append_batch(&batch(1, 500)).unwrap();
+        let mut b = ImpressionBuilder::new(
+            "i",
+            "photoobj",
+            schema(),
+            SamplingPolicy::Uniform,
+            20,
+            1,
+            9,
+        )
+        .unwrap();
+        b.observe_table(&base, None).unwrap();
+        let imp = b.materialize().unwrap();
+        assert_eq!(imp.row_count(), 20);
+        assert_eq!(imp.source_rows(), 500);
+    }
+
+    #[test]
+    fn materialized_weights_align_with_rows() {
+        let ps = focused_predicate_set();
+        let mut b = ImpressionBuilder::new(
+            "biased",
+            "photoobj",
+            schema(),
+            SamplingPolicy::biased(["ra"]),
+            50,
+            1,
+            21,
+        )
+        .unwrap();
+        b.observe_batch(&batch(1, 5_000), Some(&ps)).unwrap();
+        let imp = b.materialize().unwrap();
+        assert_eq!(imp.weights().len(), imp.row_count());
+        // retained focal tuples should carry higher weights than background ones
+        let focal_sel = Predicate::between("ra", 183.0, 189.0)
+            .evaluate(imp.data())
+            .unwrap();
+        if !focal_sel.is_empty() {
+            let focal_avg: f64 = focal_sel
+                .iter()
+                .map(|i| imp.weights()[i])
+                .sum::<f64>()
+                / focal_sel.len() as f64;
+            let other_sel = focal_sel.complement(imp.row_count());
+            if !other_sel.is_empty() {
+                let other_avg: f64 = other_sel
+                    .iter()
+                    .map(|i| imp.weights()[i])
+                    .sum::<f64>()
+                    / other_sel.len() as f64;
+                assert!(focal_avg > other_avg);
+            }
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Configuration of a SciBORQ deployment.
+
+use serde::{Deserialize, Serialize};
+
+/// Storage class an impression is expected to live in, driven by its memory
+/// footprint (§3: "depending on their size, an impression fits either in the
+/// CPU cache, or the main memory of a workstation, or resides on the disk").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum StorageClass {
+    /// Fits comfortably within a CPU last-level cache.
+    CpuCache,
+    /// Fits in the main memory of a workstation.
+    MainMemory,
+    /// Must live on disk (or a cluster).
+    Disk,
+}
+
+impl StorageClass {
+    /// Classify a byte size using the configured thresholds.
+    pub fn classify(bytes: usize, config: &SciborqConfig) -> StorageClass {
+        if bytes <= config.cpu_cache_bytes {
+            StorageClass::CpuCache
+        } else if bytes <= config.main_memory_bytes {
+            StorageClass::MainMemory
+        } else {
+            StorageClass::Disk
+        }
+    }
+}
+
+/// Global configuration of the SciBORQ framework.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SciborqConfig {
+    /// Sizes (in rows) of the impression layers, from the most detailed
+    /// (layer 1, sampled from the base data) to the least detailed. Each
+    /// subsequent layer is sampled from the previous one.
+    pub layer_sizes: Vec<usize>,
+    /// Default confidence level used for error bounds.
+    pub confidence: f64,
+    /// Default maximum relative error accepted without escalation.
+    pub default_max_error: f64,
+    /// Random seed for all samplers (reproducibility).
+    pub seed: u64,
+    /// Number of histogram bins per tracked attribute (β in the paper).
+    pub predicate_bins: usize,
+    /// Fraction of workload shift (see
+    /// [`sciborq_workload::focal_shift`]) above which maintenance rebuilds
+    /// the biased impressions.
+    pub adapt_threshold: f64,
+    /// Threshold (× uniform frequency) for a histogram bin to count as a
+    /// focal region.
+    pub focal_threshold: f64,
+    /// Byte budget treated as "fits in CPU cache".
+    pub cpu_cache_bytes: usize,
+    /// Byte budget treated as "fits in main memory".
+    pub main_memory_bytes: usize,
+}
+
+impl Default for SciborqConfig {
+    fn default() -> Self {
+        SciborqConfig {
+            layer_sizes: vec![100_000, 10_000, 1_000],
+            confidence: 0.95,
+            default_max_error: 0.1,
+            seed: 0xC1B0_52B1,
+            predicate_bins: 24,
+            adapt_threshold: 0.5,
+            focal_threshold: 2.0,
+            cpu_cache_bytes: 8 << 20,        // 8 MiB
+            main_memory_bytes: 4 << 30,      // 4 GiB
+        }
+    }
+}
+
+impl SciborqConfig {
+    /// A configuration with explicit layer sizes and defaults for the rest.
+    pub fn with_layers(layer_sizes: Vec<usize>) -> Self {
+        SciborqConfig {
+            layer_sizes,
+            ..SciborqConfig::default()
+        }
+    }
+
+    /// Validate the configuration, returning a description of the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.layer_sizes.is_empty() {
+            return Err("at least one impression layer is required".to_owned());
+        }
+        if self.layer_sizes.contains(&0) {
+            return Err("layer sizes must be positive".to_owned());
+        }
+        if self
+            .layer_sizes
+            .windows(2)
+            .any(|w| w[1] > w[0])
+        {
+            return Err("layer sizes must be non-increasing (most detailed first)".to_owned());
+        }
+        if !(0.0 < self.confidence && self.confidence < 1.0) {
+            return Err("confidence must lie strictly between 0 and 1".to_owned());
+        }
+        if !(self.default_max_error > 0.0) {
+            return Err("default_max_error must be positive".to_owned());
+        }
+        if self.predicate_bins == 0 {
+            return Err("predicate_bins must be positive".to_owned());
+        }
+        if !(0.0..=1.0).contains(&self.adapt_threshold) {
+            return Err("adapt_threshold must lie in [0, 1]".to_owned());
+        }
+        Ok(())
+    }
+
+    /// Number of configured impression layers (excluding layer 0 = base).
+    pub fn layer_count(&self) -> usize {
+        self.layer_sizes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        let c = SciborqConfig::default();
+        assert!(c.validate().is_ok());
+        assert_eq!(c.layer_count(), 3);
+    }
+
+    #[test]
+    fn with_layers_builder() {
+        let c = SciborqConfig::with_layers(vec![500, 50]);
+        assert_eq!(c.layer_sizes, vec![500, 50]);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut c = SciborqConfig::with_layers(vec![]);
+        assert!(c.validate().is_err());
+        c = SciborqConfig::with_layers(vec![100, 0]);
+        assert!(c.validate().is_err());
+        c = SciborqConfig::with_layers(vec![100, 1_000]);
+        assert!(c.validate().is_err());
+        c = SciborqConfig::default();
+        c.confidence = 1.0;
+        assert!(c.validate().is_err());
+        c = SciborqConfig::default();
+        c.default_max_error = 0.0;
+        assert!(c.validate().is_err());
+        c = SciborqConfig::default();
+        c.predicate_bins = 0;
+        assert!(c.validate().is_err());
+        c = SciborqConfig::default();
+        c.adapt_threshold = 1.5;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn storage_classification() {
+        let c = SciborqConfig::default();
+        assert_eq!(StorageClass::classify(1024, &c), StorageClass::CpuCache);
+        assert_eq!(
+            StorageClass::classify(64 << 20, &c),
+            StorageClass::MainMemory
+        );
+        assert_eq!(StorageClass::classify(8 << 30, &c), StorageClass::Disk);
+        assert!(StorageClass::CpuCache < StorageClass::MainMemory);
+        assert!(StorageClass::MainMemory < StorageClass::Disk);
+    }
+}

@@ -1,0 +1,744 @@
+//! Bounded query processing (§3.2).
+//!
+//! The engine answers a query against the smallest admissible impression,
+//! checks whether the resulting confidence interval satisfies the user's
+//! error bound, and — if not — escalates to the next, more detailed
+//! impression of the same hierarchy, ultimately falling through to the base
+//! data for a zero error margin. Runtime bounds are enforced by restricting
+//! which levels are admissible: a level is only considered if the number of
+//! rows it would scan fits the query's row budget (the analogue of "give me
+//! the most representative result you can obtain within 5 minutes") and, if a
+//! wall-clock budget is given, by stopping escalation once the budget is
+//! exhausted.
+
+use crate::answer::{ApproximateAnswer, EvaluationLevel, SelectAnswer};
+use crate::config::SciborqConfig;
+use crate::error::{Result, SciborqError};
+use crate::impression::Impression;
+use crate::layer::LayerHierarchy;
+use sciborq_columnar::{compute_aggregate, AggregateKind, Table};
+use sciborq_stats::{ConfidenceInterval, Estimate};
+use sciborq_workload::{Query, QueryKind};
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// The bounds a query must be answered under.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueryBounds {
+    /// Maximum acceptable relative error (half-width of the confidence
+    /// interval divided by the estimate). `None` means "no error bound".
+    pub max_relative_error: Option<f64>,
+    /// Confidence level of the error bound.
+    pub confidence: f64,
+    /// Maximum number of rows the engine may scan in its *final* evaluation
+    /// — the knob that bounds execution time. `None` means unlimited (the
+    /// base data is admissible).
+    pub max_rows_scanned: Option<u64>,
+    /// Optional wall-clock budget; escalation stops once it is exceeded.
+    pub time_budget: Option<Duration>,
+    /// For SELECT queries: the minimum number of result rows that makes an
+    /// impression-level answer acceptable (defaults to the query LIMIT).
+    pub min_result_rows: Option<usize>,
+}
+
+impl QueryBounds {
+    /// Bounds requesting a maximum relative error at 95% confidence and no
+    /// runtime restriction.
+    pub fn max_error(error: f64) -> Self {
+        QueryBounds {
+            max_relative_error: Some(error),
+            ..QueryBounds::default()
+        }
+    }
+
+    /// Bounds requesting a row-scan budget (runtime bound) and no error
+    /// bound: "the most representative result obtainable within the budget".
+    pub fn row_budget(rows: u64) -> Self {
+        QueryBounds {
+            max_rows_scanned: Some(rows),
+            max_relative_error: None,
+            ..QueryBounds::default()
+        }
+    }
+
+    /// Add a wall-clock budget.
+    pub fn with_time_budget(mut self, budget: Duration) -> Self {
+        self.time_budget = Some(budget);
+        self
+    }
+
+    /// Add an error bound.
+    pub fn with_max_error(mut self, error: f64) -> Self {
+        self.max_relative_error = Some(error);
+        self
+    }
+
+    /// Validate the bounds.
+    pub fn validate(&self) -> Result<()> {
+        if let Some(e) = self.max_relative_error {
+            if !(e > 0.0) || !e.is_finite() {
+                return Err(SciborqError::InvalidConfig(
+                    "max_relative_error must be positive and finite".to_owned(),
+                ));
+            }
+        }
+        if !(0.0 < self.confidence && self.confidence < 1.0) {
+            return Err(SciborqError::InvalidConfig(
+                "confidence must lie strictly between 0 and 1".to_owned(),
+            ));
+        }
+        if self.max_rows_scanned == Some(0) {
+            return Err(SciborqError::InvalidConfig(
+                "max_rows_scanned must be positive".to_owned(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for QueryBounds {
+    fn default() -> Self {
+        QueryBounds {
+            max_relative_error: None,
+            confidence: 0.95,
+            max_rows_scanned: None,
+            time_budget: None,
+            min_result_rows: None,
+        }
+    }
+}
+
+/// The bounded query engine.
+#[derive(Debug, Clone)]
+pub struct BoundedQueryEngine {
+    config: SciborqConfig,
+}
+
+impl BoundedQueryEngine {
+    /// Create an engine with the given configuration.
+    pub fn new(config: SciborqConfig) -> Result<Self> {
+        config.validate().map_err(SciborqError::InvalidConfig)?;
+        Ok(BoundedQueryEngine { config })
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &SciborqConfig {
+        &self.config
+    }
+
+    /// Answer an aggregate query under bounds, escalating through the
+    /// hierarchy and optionally into the base table.
+    ///
+    /// `base_table` is the ground-truth table used when no impression can
+    /// satisfy the error bound within the runtime budget (layer 0).
+    pub fn execute_aggregate(
+        &self,
+        query: &Query,
+        hierarchy: &LayerHierarchy,
+        base_table: Option<&Table>,
+        bounds: &QueryBounds,
+    ) -> Result<ApproximateAnswer> {
+        bounds.validate()?;
+        let (agg_kind, agg_column) = match &query.kind {
+            QueryKind::Aggregate { kind, column } => (*kind, column.clone()),
+            QueryKind::Select => {
+                return Err(SciborqError::InvalidConfig(
+                    "execute_aggregate called with a SELECT query; use execute_select".to_owned(),
+                ))
+            }
+        };
+
+        let start = Instant::now();
+        let max_error = bounds.max_relative_error.unwrap_or(f64::INFINITY);
+        let mut rows_scanned = 0u64;
+        let mut escalations = 0usize;
+        let mut best: Option<(Option<f64>, Option<ConfidenceInterval>, EvaluationLevel)> = None;
+
+        // Escalate from the least to the most detailed admissible impression.
+        for impression in hierarchy.escalation_order() {
+            let level_rows = impression.row_count() as u64;
+            if let Some(budget) = bounds.max_rows_scanned {
+                if level_rows > budget {
+                    // this and every more detailed level violates the runtime bound
+                    break;
+                }
+            }
+            if let (Some(budget), Some(_)) = (bounds.time_budget, &best) {
+                if start.elapsed() > budget {
+                    break;
+                }
+            }
+            if best.is_some() {
+                escalations += 1;
+            }
+            rows_scanned += level_rows;
+            let (value, interval) =
+                self.evaluate_on_impression(query, impression, agg_kind, agg_column.as_deref(), bounds)?;
+            let level = EvaluationLevel::Layer(impression.layer());
+            let met = interval
+                .as_ref()
+                .map(|ci| ci.satisfies_error_bound(max_error))
+                .unwrap_or(false);
+            best = Some((value, interval, level));
+            if met {
+                let (value, interval, level) = best.expect("just set");
+                return Ok(ApproximateAnswer {
+                    query: query.to_string(),
+                    value,
+                    interval,
+                    level,
+                    rows_scanned,
+                    escalations,
+                    elapsed: start.elapsed(),
+                    error_bound_met: true,
+                    time_bound_met: true,
+                });
+            }
+        }
+
+        // Fall through to the base data when allowed.
+        let base_admissible = base_table.map(|t| {
+            bounds
+                .max_rows_scanned
+                .is_none_or(|budget| t.row_count() as u64 <= budget)
+        });
+        let time_left = bounds
+            .time_budget
+            .is_none_or(|budget| start.elapsed() <= budget);
+        if let (Some(table), Some(true), true) = (base_table, base_admissible, time_left) {
+            if best.is_some() {
+                escalations += 1;
+            }
+            rows_scanned += table.row_count() as u64;
+            let selection = query.predicate.evaluate(table)?;
+            let exact = compute_aggregate(table, agg_column.as_deref(), agg_kind, &selection)?;
+            return Ok(ApproximateAnswer {
+                query: query.to_string(),
+                value: exact.value,
+                interval: exact.value.map(ConfidenceInterval::exact),
+                level: EvaluationLevel::BaseData,
+                rows_scanned,
+                escalations,
+                elapsed: start.elapsed(),
+                error_bound_met: true,
+                time_bound_met: bounds
+                    .max_rows_scanned
+                    .is_none_or(|budget| (table.row_count() as u64) <= budget),
+            });
+        }
+
+        // Return the best approximate answer obtained within the budget.
+        match best {
+            Some((value, interval, level)) => {
+                let error_bound_met = interval
+                    .as_ref()
+                    .map(|ci| ci.satisfies_error_bound(max_error))
+                    .unwrap_or(false);
+                Ok(ApproximateAnswer {
+                    query: query.to_string(),
+                    value,
+                    interval,
+                    level,
+                    rows_scanned,
+                    escalations,
+                    elapsed: start.elapsed(),
+                    error_bound_met,
+                    time_bound_met: true,
+                })
+            }
+            None => Err(SciborqError::BoundsUnsatisfiable(format!(
+                "no impression of {} fits a row budget of {:?}",
+                hierarchy.source_table(),
+                bounds.max_rows_scanned
+            ))),
+        }
+    }
+
+    fn evaluate_on_impression(
+        &self,
+        query: &Query,
+        impression: &Impression,
+        agg_kind: AggregateKind,
+        agg_column: Option<&str>,
+        bounds: &QueryBounds,
+    ) -> Result<(Option<f64>, Option<ConfidenceInterval>)> {
+        let selection = query.predicate.evaluate(impression.data())?;
+        let estimate: Option<Estimate> = match agg_kind {
+            AggregateKind::Count => Some(impression.estimate_count(&selection)?),
+            AggregateKind::Sum => {
+                let column = agg_column.ok_or_else(|| {
+                    SciborqError::InvalidConfig("SUM requires a column".to_owned())
+                })?;
+                Some(impression.estimate_sum(column, &selection)?)
+            }
+            AggregateKind::Avg => {
+                let column = agg_column.ok_or_else(|| {
+                    SciborqError::InvalidConfig("AVG requires a column".to_owned())
+                })?;
+                if selection.is_empty() {
+                    None
+                } else {
+                    Some(impression.estimate_avg(column, &selection)?)
+                }
+            }
+            AggregateKind::Min | AggregateKind::Max | AggregateKind::Variance => {
+                // Extremes and exact variance are not meaningfully estimable
+                // from a sample with bounded error; report the sample value
+                // with an unbounded interval so the engine escalates to the
+                // base data when an error bound was requested.
+                let column = agg_column.ok_or_else(|| {
+                    SciborqError::InvalidConfig(format!("{agg_kind} requires a column"))
+                })?;
+                let sample =
+                    compute_aggregate(impression.data(), Some(column), agg_kind, &selection)?;
+                return Ok((
+                    sample.value,
+                    sample
+                        .value
+                        .map(|v| ConfidenceInterval {
+                            estimate: v,
+                            lower: f64::NEG_INFINITY,
+                            upper: f64::INFINITY,
+                            confidence: bounds.confidence,
+                        }),
+                ));
+            }
+        };
+        match estimate {
+            Some(est) => {
+                let interval = ConfidenceInterval::from_estimate(&est, bounds.confidence)?;
+                Ok((Some(est.value), Some(interval)))
+            }
+            None => Ok((None, None)),
+        }
+    }
+
+    /// Answer a SELECT query: return rows drawn from the smallest impression
+    /// that can satisfy the LIMIT / minimum row count, escalating otherwise
+    /// (§3.2 "the equivalent query with a LIMIT 100 clause will not return
+    /// the first 100 results, but the 100 results satisfying the
+    /// impression").
+    pub fn execute_select(
+        &self,
+        query: &Query,
+        hierarchy: &LayerHierarchy,
+        base_table: Option<&Table>,
+        bounds: &QueryBounds,
+    ) -> Result<SelectAnswer> {
+        bounds.validate()?;
+        if !matches!(query.kind, QueryKind::Select) {
+            return Err(SciborqError::InvalidConfig(
+                "execute_select called with an aggregate query".to_owned(),
+            ));
+        }
+        let start = Instant::now();
+        let wanted = bounds
+            .min_result_rows
+            .or(query.limit)
+            .unwrap_or(usize::MAX);
+        let mut rows_scanned = 0u64;
+        let mut escalations = 0usize;
+        let mut best: Option<(Table, f64, EvaluationLevel)> = None;
+
+        for impression in hierarchy.escalation_order() {
+            let level_rows = impression.row_count() as u64;
+            if let Some(budget) = bounds.max_rows_scanned {
+                if level_rows > budget {
+                    break;
+                }
+            }
+            if best.is_some() {
+                escalations += 1;
+            }
+            rows_scanned += level_rows;
+            let mut selection = query.predicate.evaluate(impression.data())?;
+            let estimated = impression.estimate_count(&selection)?.value;
+            let enough = selection.len() >= wanted.min(impression.row_count());
+            if let Some(limit) = query.limit {
+                selection.truncate(limit);
+            }
+            let result = impression
+                .data()
+                .gather(&selection, format!("{}.result", impression.name()))?;
+            let level = EvaluationLevel::Layer(impression.layer());
+            let got_enough = result.row_count() >= wanted || enough && query.limit.is_none();
+            best = Some((result, estimated, level));
+            if got_enough {
+                let (rows, estimated_total_matches, level) = best.expect("just set");
+                return Ok(SelectAnswer {
+                    query: query.to_string(),
+                    rows,
+                    estimated_total_matches,
+                    level,
+                    rows_scanned,
+                    escalations,
+                    elapsed: start.elapsed(),
+                });
+            }
+        }
+
+        // Escalate to the base data if allowed and still not enough rows.
+        if let Some(table) = base_table {
+            let admissible = bounds
+                .max_rows_scanned
+                .is_none_or(|budget| table.row_count() as u64 <= budget);
+            if admissible {
+                if best.is_some() {
+                    escalations += 1;
+                }
+                rows_scanned += table.row_count() as u64;
+                let mut selection = query.predicate.evaluate(table)?;
+                let total = selection.len() as f64;
+                if let Some(limit) = query.limit {
+                    selection.truncate(limit);
+                }
+                let rows = table.gather(&selection, format!("{}.result", table.name()))?;
+                return Ok(SelectAnswer {
+                    query: query.to_string(),
+                    rows,
+                    estimated_total_matches: total,
+                    level: EvaluationLevel::BaseData,
+                    rows_scanned,
+                    escalations,
+                    elapsed: start.elapsed(),
+                });
+            }
+        }
+
+        match best {
+            Some((rows, estimated_total_matches, level)) => Ok(SelectAnswer {
+                query: query.to_string(),
+                rows,
+                estimated_total_matches,
+                level,
+                rows_scanned,
+                escalations,
+                elapsed: start.elapsed(),
+            }),
+            None => Err(SciborqError::BoundsUnsatisfiable(format!(
+                "no impression of {} fits a row budget of {:?}",
+                hierarchy.source_table(),
+                bounds.max_rows_scanned
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::SamplingPolicy;
+    use sciborq_columnar::{DataType, Field, Predicate, RecordBatchBuilder, Schema, SchemaRef, Value};
+
+    fn schema() -> SchemaRef {
+        Schema::shared(vec![
+            Field::new("objid", DataType::Int64),
+            Field::new("ra", DataType::Float64),
+            Field::new("r_mag", DataType::Float64),
+        ])
+        .unwrap()
+    }
+
+    /// 100k rows; ra uniform in [0, 360); r_mag = 15 + (objid mod 10).
+    fn base_table(rows: usize) -> Table {
+        let mut b = RecordBatchBuilder::with_capacity(schema(), rows);
+        for i in 0..rows as i64 {
+            b.push_row(&[
+                Value::Int64(i),
+                Value::Float64((i % 3600) as f64 / 10.0),
+                Value::Float64(15.0 + (i % 10) as f64),
+            ])
+            .unwrap();
+        }
+        let mut t = Table::new("photoobj", schema());
+        t.append_batch(&b.finish().unwrap()).unwrap();
+        t
+    }
+
+    fn hierarchy(table: &Table, sizes: Vec<usize>) -> LayerHierarchy {
+        let config = SciborqConfig::with_layers(sizes);
+        LayerHierarchy::build_from_table(table, SamplingPolicy::Uniform, &config, None).unwrap()
+    }
+
+    fn engine() -> BoundedQueryEngine {
+        BoundedQueryEngine::new(SciborqConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn bounds_validation() {
+        assert!(QueryBounds::default().validate().is_ok());
+        assert!(QueryBounds::max_error(0.0).validate().is_err());
+        let mut b = QueryBounds::default();
+        b.confidence = 1.0;
+        assert!(b.validate().is_err());
+        b = QueryBounds::default();
+        b.max_rows_scanned = Some(0);
+        assert!(b.validate().is_err());
+        assert!(QueryBounds::row_budget(100)
+            .with_max_error(0.1)
+            .with_time_budget(Duration::from_secs(1))
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn invalid_engine_config_rejected() {
+        let cfg = SciborqConfig::with_layers(vec![]);
+        assert!(BoundedQueryEngine::new(cfg).is_err());
+    }
+
+    #[test]
+    fn count_estimate_close_to_truth_and_bounded() {
+        let table = base_table(100_000);
+        let h = hierarchy(&table, vec![10_000, 1_000]);
+        // predicate matching 25% of rows
+        let query = Query::count("photoobj", Predicate::lt("ra", 90.0));
+        let answer = engine()
+            .execute_aggregate(&query, &h, Some(&table), &QueryBounds::max_error(0.05))
+            .unwrap();
+        let truth = 25_000.0;
+        let estimate = answer.value.unwrap();
+        assert!(
+            (estimate - truth).abs() / truth < 0.1,
+            "estimate {estimate} vs truth {truth}"
+        );
+        assert!(answer.error_bound_met);
+        assert!(answer.interval.unwrap().covers(truth));
+        assert!(answer.rows_scanned >= 1_000);
+    }
+
+    #[test]
+    fn loose_error_bound_answered_on_small_layer() {
+        let table = base_table(100_000);
+        let h = hierarchy(&table, vec![10_000, 1_000]);
+        let query = Query::count("photoobj", Predicate::lt("ra", 180.0));
+        let answer = engine()
+            .execute_aggregate(&query, &h, Some(&table), &QueryBounds::max_error(0.2))
+            .unwrap();
+        assert_eq!(answer.level, EvaluationLevel::Layer(2));
+        assert_eq!(answer.escalations, 0);
+        assert!(answer.error_bound_met);
+    }
+
+    #[test]
+    fn tight_error_bound_escalates_to_larger_layer() {
+        let table = base_table(100_000);
+        let h = hierarchy(&table, vec![10_000, 500]);
+        // 10% selectivity: the 500-row layer gives ~50 matches -> ~28% error,
+        // the 10k layer gives ~1000 matches -> ~6% error.
+        let query = Query::count("photoobj", Predicate::lt("ra", 36.0));
+        let answer = engine()
+            .execute_aggregate(&query, &h, Some(&table), &QueryBounds::max_error(0.08))
+            .unwrap();
+        assert_eq!(answer.level, EvaluationLevel::Layer(1));
+        assert!(answer.escalations >= 1);
+        assert!(answer.error_bound_met);
+    }
+
+    #[test]
+    fn zero_error_demand_falls_through_to_base_data() {
+        let table = base_table(20_000);
+        let h = hierarchy(&table, vec![2_000, 200]);
+        let query = Query::count("photoobj", Predicate::lt("ra", 36.0));
+        let answer = engine()
+            .execute_aggregate(&query, &h, Some(&table), &QueryBounds::max_error(1e-9))
+            .unwrap();
+        assert_eq!(answer.level, EvaluationLevel::BaseData);
+        assert!(answer.is_exact());
+        // ra < 36 matches i % 3600 < 360: 5 full cycles of 360 plus the
+        // partial cycle 18000..20000 contributes another 360.
+        assert_eq!(answer.value.unwrap(), 2_160.0);
+        assert_eq!(answer.relative_error(), 0.0);
+        assert!(answer.escalations >= 2);
+    }
+
+    #[test]
+    fn row_budget_restricts_levels() {
+        let table = base_table(50_000);
+        let h = hierarchy(&table, vec![5_000, 500]);
+        let query = Query::count("photoobj", Predicate::lt("ra", 180.0));
+        // budget allows only the 500-row layer
+        let answer = engine()
+            .execute_aggregate(&query, &h, Some(&table), &QueryBounds::row_budget(1_000))
+            .unwrap();
+        assert_eq!(answer.level, EvaluationLevel::Layer(2));
+        assert!(answer.time_bound_met);
+        assert!(answer.rows_scanned <= 1_000);
+        // with an unlimited budget but no error bound the smallest layer wins
+        // only if it satisfies the (infinite) error bound, which it does
+        let unlimited = engine()
+            .execute_aggregate(&query, &h, Some(&table), &QueryBounds::default())
+            .unwrap();
+        assert_eq!(unlimited.level, EvaluationLevel::Layer(2));
+    }
+
+    #[test]
+    fn conflicting_bounds_return_best_effort_within_time() {
+        let table = base_table(50_000);
+        let h = hierarchy(&table, vec![5_000, 500]);
+        // 1% selectivity with tiny row budget: error bound cannot be met
+        let query = Query::count("photoobj", Predicate::lt("ra", 3.6));
+        let bounds = QueryBounds::row_budget(1_000).with_max_error(0.01);
+        let answer = engine()
+            .execute_aggregate(&query, &h, Some(&table), &bounds)
+            .unwrap();
+        assert_eq!(answer.level, EvaluationLevel::Layer(2));
+        assert!(!answer.error_bound_met);
+        assert!(answer.time_bound_met);
+    }
+
+    #[test]
+    fn impossible_row_budget_is_an_error() {
+        let table = base_table(10_000);
+        let h = hierarchy(&table, vec![1_000, 100]);
+        let query = Query::count("photoobj", Predicate::True);
+        let err = engine()
+            .execute_aggregate(&query, &h, Some(&table), &QueryBounds::row_budget(10))
+            .unwrap_err();
+        assert!(matches!(err, SciborqError::BoundsUnsatisfiable(_)));
+    }
+
+    #[test]
+    fn avg_and_sum_estimates() {
+        let table = base_table(50_000);
+        let h = hierarchy(&table, vec![5_000]);
+        let avg_query = Query::aggregate(
+            "photoobj",
+            Predicate::True,
+            AggregateKind::Avg,
+            "r_mag",
+        );
+        let answer = engine()
+            .execute_aggregate(&avg_query, &h, Some(&table), &QueryBounds::max_error(0.05))
+            .unwrap();
+        // true mean of 15 + (i mod 10) is 19.5
+        assert!((answer.value.unwrap() - 19.5).abs() < 0.5);
+
+        let sum_query = Query::aggregate(
+            "photoobj",
+            Predicate::lt("ra", 180.0),
+            AggregateKind::Sum,
+            "r_mag",
+        );
+        let answer = engine()
+            .execute_aggregate(&sum_query, &h, Some(&table), &QueryBounds::max_error(0.1))
+            .unwrap();
+        let truth = 19.5 * 25_000.0;
+        assert!((answer.value.unwrap() - truth).abs() / truth < 0.15);
+    }
+
+    #[test]
+    fn avg_with_no_matches_escalates_and_reports_exact_empty() {
+        let table = base_table(10_000);
+        let h = hierarchy(&table, vec![1_000, 100]);
+        let query = Query::aggregate(
+            "photoobj",
+            Predicate::gt("ra", 999.0),
+            AggregateKind::Avg,
+            "r_mag",
+        );
+        let answer = engine()
+            .execute_aggregate(&query, &h, Some(&table), &QueryBounds::max_error(0.1))
+            .unwrap();
+        // nothing matches anywhere: the engine ends at the base data with an
+        // undefined average
+        assert_eq!(answer.level, EvaluationLevel::BaseData);
+        assert_eq!(answer.value, None);
+    }
+
+    #[test]
+    fn min_max_escalate_to_base_when_error_bound_requested() {
+        let table = base_table(10_000);
+        let h = hierarchy(&table, vec![1_000]);
+        let query = Query::aggregate(
+            "photoobj",
+            Predicate::True,
+            AggregateKind::Max,
+            "r_mag",
+        );
+        let bounded = engine()
+            .execute_aggregate(&query, &h, Some(&table), &QueryBounds::max_error(0.01))
+            .unwrap();
+        assert_eq!(bounded.level, EvaluationLevel::BaseData);
+        assert_eq!(bounded.value.unwrap(), 24.0);
+        // without an error bound the sample extreme is acceptable
+        let unbounded = engine()
+            .execute_aggregate(&query, &h, Some(&table), &QueryBounds::default())
+            .unwrap();
+        assert!(unbounded.value.unwrap() <= 24.0);
+    }
+
+    #[test]
+    fn aggregate_entry_point_rejects_select_queries() {
+        let table = base_table(1_000);
+        let h = hierarchy(&table, vec![100]);
+        let query = Query::select("photoobj", Predicate::True);
+        assert!(engine()
+            .execute_aggregate(&query, &h, Some(&table), &QueryBounds::default())
+            .is_err());
+        let agg = Query::count("photoobj", Predicate::True);
+        assert!(engine()
+            .execute_select(&agg, &h, Some(&table), &QueryBounds::default())
+            .is_err());
+    }
+
+    #[test]
+    fn select_returns_limit_rows_from_impression() {
+        let table = base_table(100_000);
+        let h = hierarchy(&table, vec![10_000, 1_000]);
+        let query = Query::select("photoobj", Predicate::lt("ra", 180.0)).with_limit(100);
+        let answer = engine()
+            .execute_select(&query, &h, Some(&table), &QueryBounds::default())
+            .unwrap();
+        assert_eq!(answer.returned_rows(), 100);
+        assert_eq!(answer.level, EvaluationLevel::Layer(2));
+        // the returned rows all satisfy the predicate
+        let check = Predicate::lt("ra", 180.0).evaluate(&answer.rows).unwrap();
+        assert_eq!(check.len(), 100);
+        // and the estimated total is in the right ballpark (50k)
+        assert!((answer.estimated_total_matches - 50_000.0).abs() / 50_000.0 < 0.2);
+    }
+
+    #[test]
+    fn selective_select_escalates_for_enough_rows() {
+        let table = base_table(100_000);
+        let h = hierarchy(&table, vec![10_000, 500]);
+        // 0.5% selectivity: the 500-row layer holds ~2-3 matches, not 50
+        let query = Query::select("photoobj", Predicate::lt("ra", 1.8)).with_limit(50);
+        let answer = engine()
+            .execute_select(&query, &h, Some(&table), &QueryBounds::default())
+            .unwrap();
+        assert!(answer.returned_rows() >= 50 || answer.level == EvaluationLevel::BaseData);
+        assert!(answer.escalations >= 1);
+    }
+
+    #[test]
+    fn select_without_limit_falls_through_to_base() {
+        let table = base_table(5_000);
+        let h = hierarchy(&table, vec![500]);
+        let query = Query::select("photoobj", Predicate::lt("ra", 36.0));
+        let answer = engine()
+            .execute_select(&query, &h, Some(&table), &QueryBounds::default())
+            .unwrap();
+        assert_eq!(answer.level, EvaluationLevel::BaseData);
+        // ra < 36 matches i % 3600 < 360: one full cycle plus the partial
+        // cycle 3600..5000 contributes another 360.
+        assert_eq!(answer.returned_rows(), 720);
+    }
+
+    #[test]
+    fn select_with_row_budget_stays_on_impression() {
+        let table = base_table(100_000);
+        let h = hierarchy(&table, vec![10_000, 1_000]);
+        let query = Query::select("photoobj", Predicate::lt("ra", 1.8)).with_limit(500);
+        let bounds = QueryBounds::row_budget(1_000);
+        let answer = engine()
+            .execute_select(&query, &h, Some(&table), &bounds)
+            .unwrap();
+        // cannot satisfy 500 matches from a 1000-row impression at 0.5%
+        // selectivity, but the budget forbids escalation
+        assert_eq!(answer.level, EvaluationLevel::Layer(2));
+        assert!(answer.returned_rows() < 500);
+        assert!(answer.rows_scanned <= 1_000);
+    }
+}

@@ -1,0 +1,89 @@
+//! Error type of the SciBORQ core crate.
+
+use sciborq_columnar::ColumnarError;
+use sciborq_sampling::SamplingError;
+use sciborq_stats::StatsError;
+use std::fmt;
+
+/// Errors produced by impression construction and bounded query processing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SciborqError {
+    /// An error bubbled up from the columnar substrate.
+    Columnar(ColumnarError),
+    /// An error bubbled up from the statistics crate.
+    Stats(StatsError),
+    /// An error bubbled up from the sampling crate.
+    Sampling(SamplingError),
+    /// The configuration is invalid.
+    InvalidConfig(String),
+    /// A query referenced a table for which no impressions exist.
+    UnknownTable(String),
+    /// The requested bounds cannot be satisfied even by the base data.
+    BoundsUnsatisfiable(String),
+}
+
+impl fmt::Display for SciborqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SciborqError::Columnar(e) => write!(f, "columnar error: {e}"),
+            SciborqError::Stats(e) => write!(f, "statistics error: {e}"),
+            SciborqError::Sampling(e) => write!(f, "sampling error: {e}"),
+            SciborqError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            SciborqError::UnknownTable(name) => {
+                write!(f, "no impressions or base table known for table {name}")
+            }
+            SciborqError::BoundsUnsatisfiable(msg) => {
+                write!(f, "query bounds cannot be satisfied: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SciborqError {}
+
+impl From<ColumnarError> for SciborqError {
+    fn from(e: ColumnarError) -> Self {
+        SciborqError::Columnar(e)
+    }
+}
+
+impl From<StatsError> for SciborqError {
+    fn from(e: StatsError) -> Self {
+        SciborqError::Stats(e)
+    }
+}
+
+impl From<SamplingError> for SciborqError {
+    fn from(e: SamplingError) -> Self {
+        SciborqError::Sampling(e)
+    }
+}
+
+/// Result alias for the core crate.
+pub type Result<T> = std::result::Result<T, SciborqError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: SciborqError = ColumnarError::TableNotFound("x".into()).into();
+        assert!(e.to_string().contains("columnar error"));
+        let e: SciborqError = StatsError::EmptyInput("y").into();
+        assert!(e.to_string().contains("statistics error"));
+        let e: SciborqError = SamplingError::InvalidWeight(-1.0).into();
+        assert!(e.to_string().contains("sampling error"));
+        assert!(SciborqError::UnknownTable("t".into()).to_string().contains("t"));
+        assert!(SciborqError::InvalidConfig("bad".into()).to_string().contains("bad"));
+        assert!(SciborqError::BoundsUnsatisfiable("why".into())
+            .to_string()
+            .contains("why"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn check<E: std::error::Error>(_: &E) {}
+        check(&SciborqError::InvalidConfig("x".into()));
+    }
+}

@@ -1,0 +1,398 @@
+//! Impressions: the biased, bounded-size samples at the heart of SciBORQ.
+//!
+//! An impression is a materialised sample of a table (or of a more detailed
+//! impression one layer below) together with the metadata the bounded query
+//! engine needs: which policy built it, how many tuples the source held when
+//! it was built, and — for biased impressions — the interest weight of every
+//! retained tuple, so that estimates can be corrected for the unequal
+//! selection probabilities.
+
+use crate::config::{SciborqConfig, StorageClass};
+use crate::error::{Result, SciborqError};
+use crate::policy::SamplingPolicy;
+use sciborq_columnar::{SelectionVector, Table};
+use sciborq_stats::{Estimate, SrsEstimator, WeightedEstimator, WeightedObservation};
+
+/// A materialised sample of a source table plus sampling metadata.
+#[derive(Debug, Clone)]
+pub struct Impression {
+    /// Name of this impression (e.g. `photoobj.layer1.biased`).
+    name: String,
+    /// Name of the source table (the base fact table).
+    source_table: String,
+    /// The sampled rows, materialised as a columnar table.
+    data: Table,
+    /// Interest weight of each retained row (aligned with `data` rows).
+    weights: Vec<f64>,
+    /// Sum of the interest weights over *all* tuples observed during
+    /// construction (the normaliser for selection probabilities).
+    total_observed_weight: f64,
+    /// Number of tuples observed during construction (`cnt`).
+    source_rows: u64,
+    /// The policy that built this impression.
+    policy: SamplingPolicy,
+    /// Which layer this impression sits on (1 = most detailed impression).
+    layer: usize,
+}
+
+impl Impression {
+    /// Assemble an impression from its parts. Intended to be called by the
+    /// [`crate::builder::ImpressionBuilder`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: impl Into<String>,
+        source_table: impl Into<String>,
+        data: Table,
+        weights: Vec<f64>,
+        total_observed_weight: f64,
+        source_rows: u64,
+        policy: SamplingPolicy,
+        layer: usize,
+    ) -> Result<Self> {
+        if weights.len() != data.row_count() {
+            return Err(SciborqError::InvalidConfig(format!(
+                "impression has {} rows but {} weights",
+                data.row_count(),
+                weights.len()
+            )));
+        }
+        Ok(Impression {
+            name: name.into(),
+            source_table: source_table.into(),
+            data,
+            weights,
+            total_observed_weight,
+            source_rows,
+            policy,
+            layer,
+        })
+    }
+
+    /// The impression's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The name of the base table this impression summarises.
+    pub fn source_table(&self) -> &str {
+        &self.source_table
+    }
+
+    /// The sampled rows.
+    pub fn data(&self) -> &Table {
+        &self.data
+    }
+
+    /// Number of retained rows (`n`).
+    pub fn row_count(&self) -> usize {
+        self.data.row_count()
+    }
+
+    /// Number of tuples the source held when the impression was built
+    /// (`cnt`).
+    pub fn source_rows(&self) -> u64 {
+        self.source_rows
+    }
+
+    /// The total interest weight observed during construction (the
+    /// normaliser of biased selection probabilities).
+    pub fn total_observed_weight(&self) -> f64 {
+        self.total_observed_weight
+    }
+
+    /// Re-anchor the population this impression is treated as a sample of.
+    ///
+    /// Derived layers are physically sampled from the impression one layer
+    /// below, but statistically they summarise the *base* table: the
+    /// hierarchy rescales their population size (and, for biased policies,
+    /// the total interest weight) to the base table's, so that estimates
+    /// expand all the way to the base data rather than to the parent layer.
+    pub fn rescale_population(&mut self, source_rows: u64, total_observed_weight: f64) {
+        self.source_rows = source_rows;
+        self.total_observed_weight = total_observed_weight;
+    }
+
+    /// The sampling fraction `n / cnt`.
+    pub fn sampling_fraction(&self) -> f64 {
+        if self.source_rows == 0 {
+            1.0
+        } else {
+            self.row_count() as f64 / self.source_rows as f64
+        }
+    }
+
+    /// The policy that built the impression.
+    pub fn policy(&self) -> &SamplingPolicy {
+        &self.policy
+    }
+
+    /// The layer index (1 = sampled directly from the base data).
+    pub fn layer(&self) -> usize {
+        self.layer
+    }
+
+    /// Interest weights of the retained rows.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Approximate memory footprint in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.data.byte_size() + self.weights.len() * 8
+    }
+
+    /// The storage class (CPU cache / RAM / disk) this impression falls in.
+    pub fn storage_class(&self, config: &SciborqConfig) -> StorageClass {
+        StorageClass::classify(self.byte_size(), config)
+    }
+
+    /// The single-draw selection probability of retained row `idx`, suitable
+    /// for Hansen–Hurwitz estimation. For uniform policies this is simply
+    /// `1/cnt`; for biased policies it is `wᵢ / Σ w` over all observed
+    /// tuples.
+    pub fn selection_probability(&self, idx: usize) -> f64 {
+        match self.policy {
+            SamplingPolicy::Biased { .. } if self.total_observed_weight > 0.0 => {
+                (self.weights[idx] / self.total_observed_weight).max(f64::MIN_POSITIVE)
+            }
+            _ => {
+                if self.source_rows == 0 {
+                    1.0
+                } else {
+                    1.0 / self.source_rows as f64
+                }
+            }
+        }
+    }
+
+    /// Estimate the number of source-table rows matching a selection of this
+    /// impression's rows.
+    pub fn estimate_count(&self, selection: &SelectionVector) -> Result<Estimate> {
+        match self.policy {
+            SamplingPolicy::Uniform | SamplingPolicy::LastSeen { .. } => {
+                let est = SrsEstimator::new(self.source_rows, self.row_count() as u64)?
+                    .estimate_count(selection.len())?;
+                Ok(est)
+            }
+            SamplingPolicy::Biased { .. } => {
+                let observations: Vec<WeightedObservation> = (0..self.row_count())
+                    .map(|i| WeightedObservation {
+                        value: if selection.contains(i) { 1.0 } else { 0.0 },
+                        probability: self.selection_probability(i),
+                    })
+                    .collect();
+                if observations.is_empty() {
+                    return Ok(Estimate::exact(0.0, 0));
+                }
+                Ok(WeightedEstimator::estimate_total(&observations)?)
+            }
+        }
+    }
+
+    /// Estimate the source-table SUM of `column` over the selected rows.
+    pub fn estimate_sum(&self, column: &str, selection: &SelectionVector) -> Result<Estimate> {
+        let values = self.data.numeric_values(column, selection)?;
+        match self.policy {
+            SamplingPolicy::Uniform | SamplingPolicy::LastSeen { .. } => {
+                Ok(SrsEstimator::new(self.source_rows, self.row_count() as u64)?
+                    .estimate_sum(&values)?)
+            }
+            SamplingPolicy::Biased { .. } => {
+                let col = self.data.column(column)?;
+                let observations: Vec<WeightedObservation> = (0..self.row_count())
+                    .map(|i| {
+                        let value = if selection.contains(i) {
+                            col.get_f64(i).unwrap_or(0.0)
+                        } else {
+                            0.0
+                        };
+                        WeightedObservation {
+                            value,
+                            probability: self.selection_probability(i),
+                        }
+                    })
+                    .collect();
+                if observations.is_empty() {
+                    return Ok(Estimate::exact(0.0, 0));
+                }
+                Ok(WeightedEstimator::estimate_total(&observations)?)
+            }
+        }
+    }
+
+    /// Estimate the source-table AVG of `column` over the selected rows.
+    pub fn estimate_avg(&self, column: &str, selection: &SelectionVector) -> Result<Estimate> {
+        let values = self.data.numeric_values(column, selection)?;
+        match self.policy {
+            SamplingPolicy::Uniform | SamplingPolicy::LastSeen { .. } => {
+                Ok(SrsEstimator::new(self.source_rows, self.row_count() as u64)?
+                    .estimate_avg(&values)?)
+            }
+            SamplingPolicy::Biased { .. } => {
+                let col = self.data.column(column)?;
+                let observations: Vec<WeightedObservation> = selection
+                    .iter()
+                    .filter_map(|i| {
+                        col.get_f64(i).map(|value| WeightedObservation {
+                            value,
+                            probability: self.selection_probability(i),
+                        })
+                    })
+                    .collect();
+                if observations.is_empty() {
+                    return Err(SciborqError::Stats(sciborq_stats::StatsError::EmptyInput(
+                        "no matching rows in impression",
+                    )));
+                }
+                Ok(WeightedEstimator::estimate_mean(&observations)?)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sciborq_columnar::{DataType, Field, Predicate, Schema, Value};
+
+    fn impression_with(policy: SamplingPolicy) -> Impression {
+        let schema = Schema::shared(vec![
+            Field::new("ra", DataType::Float64),
+            Field::new("r_mag", DataType::Float64),
+        ])
+        .unwrap();
+        let mut data = Table::new("sample", schema);
+        let rows = [(180.0, 17.0), (185.0, 18.0), (190.0, 19.0), (200.0, 20.0)];
+        for (ra, mag) in rows {
+            data.append_row(&[Value::Float64(ra), Value::Float64(mag)])
+                .unwrap();
+        }
+        let weights = vec![1.0, 2.0, 1.0, 0.5];
+        Impression::new(
+            "photoobj.l1",
+            "photoobj",
+            data,
+            weights,
+            100.0,
+            1_000,
+            policy,
+            1,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn metadata_accessors() {
+        let imp = impression_with(SamplingPolicy::Uniform);
+        assert_eq!(imp.name(), "photoobj.l1");
+        assert_eq!(imp.source_table(), "photoobj");
+        assert_eq!(imp.row_count(), 4);
+        assert_eq!(imp.source_rows(), 1_000);
+        assert!((imp.sampling_fraction() - 0.004).abs() < 1e-12);
+        assert_eq!(imp.layer(), 1);
+        assert_eq!(imp.policy().name(), "uniform");
+        assert_eq!(imp.weights().len(), 4);
+        assert!(imp.byte_size() > 0);
+        assert_eq!(
+            imp.storage_class(&SciborqConfig::default()),
+            StorageClass::CpuCache
+        );
+    }
+
+    #[test]
+    fn weight_length_mismatch_rejected() {
+        let schema = Schema::shared(vec![Field::new("x", DataType::Float64)]).unwrap();
+        let mut data = Table::new("s", schema);
+        data.append_row(&[Value::Float64(1.0)]).unwrap();
+        let err = Impression::new(
+            "i",
+            "t",
+            data,
+            vec![],
+            0.0,
+            10,
+            SamplingPolicy::Uniform,
+            1,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SciborqError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn uniform_selection_probability_is_one_over_cnt() {
+        let imp = impression_with(SamplingPolicy::Uniform);
+        assert!((imp.selection_probability(0) - 0.001).abs() < 1e-12);
+        assert!((imp.selection_probability(3) - 0.001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn biased_selection_probability_proportional_to_weight() {
+        let imp = impression_with(SamplingPolicy::biased(["ra"]));
+        assert!((imp.selection_probability(1) / imp.selection_probability(0) - 2.0).abs() < 1e-9);
+        assert!((imp.selection_probability(0) - 1.0 / 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_count_estimate_scales() {
+        let imp = impression_with(SamplingPolicy::Uniform);
+        let sel = Predicate::lt_eq("ra", 190.0).evaluate(imp.data()).unwrap();
+        assert_eq!(sel.len(), 3);
+        let est = imp.estimate_count(&sel).unwrap();
+        // 3 of 4 sample rows match -> 750 of 1000
+        assert!((est.value - 750.0).abs() < 1e-9);
+        assert!(est.standard_error > 0.0);
+    }
+
+    #[test]
+    fn uniform_avg_estimate() {
+        let imp = impression_with(SamplingPolicy::Uniform);
+        let sel = SelectionVector::all(4);
+        let est = imp.estimate_avg("r_mag", &sel).unwrap();
+        assert!((est.value - 18.5).abs() < 1e-9);
+        let sum = imp.estimate_sum("r_mag", &sel).unwrap();
+        assert!((sum.value - 1000.0 * 18.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn biased_count_estimate_uses_weights() {
+        let imp = impression_with(SamplingPolicy::biased(["ra"]));
+        // all rows selected: HH estimator averages 1/p over draws; with the
+        // chosen weights the estimate differs from the naive n/cnt expansion
+        let est = imp.estimate_count(&SelectionVector::all(4)).unwrap();
+        assert!(est.value > 0.0);
+        // a selection of only the heavily weighted row should expand by less
+        // than a selection of the lightly weighted row
+        let heavy = imp.estimate_count(&SelectionVector::from_rows(vec![1])).unwrap();
+        let light = imp.estimate_count(&SelectionVector::from_rows(vec![3])).unwrap();
+        assert!(
+            light.value > heavy.value,
+            "low-probability rows must expand more: {} vs {}",
+            light.value,
+            heavy.value
+        );
+    }
+
+    #[test]
+    fn biased_avg_requires_matches() {
+        let imp = impression_with(SamplingPolicy::biased(["ra"]));
+        assert!(imp.estimate_avg("r_mag", &SelectionVector::empty()).is_err());
+        let est = imp
+            .estimate_avg("r_mag", &SelectionVector::all(4))
+            .unwrap();
+        assert!(est.value > 17.0 && est.value < 20.0);
+    }
+
+    #[test]
+    fn estimates_on_missing_column_error() {
+        let imp = impression_with(SamplingPolicy::Uniform);
+        assert!(imp.estimate_avg("missing", &SelectionVector::all(4)).is_err());
+        assert!(imp.estimate_sum("missing", &SelectionVector::all(4)).is_err());
+    }
+
+    #[test]
+    fn last_seen_uses_srs_estimators() {
+        let imp = impression_with(SamplingPolicy::last_seen(0.5, 100.0));
+        let est = imp.estimate_count(&SelectionVector::all(4)).unwrap();
+        assert!((est.value - 1000.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,410 @@
+//! Multi-layer hierarchies of impressions (§3.1 "Layers").
+//!
+//! "Each less detailed impression is derived from a previous more detailed
+//! one. In such a derivation, the focal point of the larger impression is
+//! inherited by the smaller [...]. If the error bounds during query
+//! execution are not met, the process continues on a larger impression of the
+//! same hierarchy. Moreover, smaller impressions on higher layers are more
+//! efficient to maintain since they only touch the data of the impression one
+//! layer below, and not the entire base."
+//!
+//! A [`LayerHierarchy`] owns one [`ImpressionBuilder`] per layer: layer 1
+//! samples the base table's loads directly; layer *k+1* samples the
+//! materialised data of layer *k*.
+
+use crate::builder::ImpressionBuilder;
+use crate::config::SciborqConfig;
+use crate::error::{Result, SciborqError};
+use crate::impression::Impression;
+use crate::policy::SamplingPolicy;
+use sciborq_columnar::{RecordBatch, SchemaRef, Table};
+use sciborq_workload::PredicateSet;
+
+/// A hierarchy of impressions over one base table.
+#[derive(Debug, Clone)]
+pub struct LayerHierarchy {
+    source_table: String,
+    schema: SchemaRef,
+    policy: SamplingPolicy,
+    /// Builder for layer 1, fed directly by incremental loads.
+    root_builder: ImpressionBuilder,
+    /// Sizes of layers 2.. (layer 1's size is the root builder's capacity).
+    derived_sizes: Vec<usize>,
+    /// Materialised impressions, index 0 = layer 1 (most detailed).
+    layers: Vec<Impression>,
+    seed: u64,
+    /// Whether derived layers are stale with respect to layer 1.
+    stale: bool,
+}
+
+impl LayerHierarchy {
+    /// Create an empty hierarchy for a table.
+    ///
+    /// `layer_sizes` follows [`SciborqConfig::layer_sizes`]: most detailed
+    /// layer first, sizes non-increasing.
+    pub fn new(
+        source_table: impl Into<String>,
+        schema: SchemaRef,
+        policy: SamplingPolicy,
+        layer_sizes: &[usize],
+        seed: u64,
+    ) -> Result<Self> {
+        if layer_sizes.is_empty() {
+            return Err(SciborqError::InvalidConfig(
+                "a hierarchy needs at least one layer".to_owned(),
+            ));
+        }
+        if layer_sizes.windows(2).any(|w| w[1] > w[0]) {
+            return Err(SciborqError::InvalidConfig(
+                "layer sizes must be non-increasing".to_owned(),
+            ));
+        }
+        let source_table = source_table.into();
+        let root_builder = ImpressionBuilder::new(
+            format!("{source_table}.layer1.{}", policy.name()),
+            source_table.clone(),
+            schema.clone(),
+            policy.clone(),
+            layer_sizes[0],
+            1,
+            seed,
+        )?;
+        Ok(LayerHierarchy {
+            source_table,
+            schema,
+            policy,
+            root_builder,
+            derived_sizes: layer_sizes[1..].to_vec(),
+            layers: Vec::new(),
+            seed,
+            stale: true,
+        })
+    }
+
+    /// Build a hierarchy directly from an existing base table (the
+    /// "extracted from an existing database" deployment mode).
+    pub fn build_from_table(
+        table: &Table,
+        policy: SamplingPolicy,
+        config: &SciborqConfig,
+        predicate_set: Option<&PredicateSet>,
+    ) -> Result<Self> {
+        let mut hierarchy = LayerHierarchy::new(
+            table.name(),
+            table.schema().clone(),
+            policy,
+            &config.layer_sizes,
+            config.seed,
+        )?;
+        hierarchy.observe_batch(&table.to_batch(), predicate_set)?;
+        hierarchy.refresh(predicate_set)?;
+        Ok(hierarchy)
+    }
+
+    /// The base table this hierarchy summarises.
+    pub fn source_table(&self) -> &str {
+        &self.source_table
+    }
+
+    /// The sampling policy of every layer.
+    pub fn policy(&self) -> &SamplingPolicy {
+        &self.policy
+    }
+
+    /// Number of layers (excluding the base data).
+    pub fn layer_count(&self) -> usize {
+        1 + self.derived_sizes.len()
+    }
+
+    /// Whether derived layers need a [`LayerHierarchy::refresh`].
+    pub fn is_stale(&self) -> bool {
+        self.stale
+    }
+
+    /// Number of tuples observed by layer 1 (i.e. base-table rows seen).
+    pub fn observed_rows(&self) -> u64 {
+        self.root_builder.observed()
+    }
+
+    /// Feed one incremental-load batch through layer 1.
+    ///
+    /// Derived layers become stale; call [`LayerHierarchy::refresh`] to
+    /// rebuild them from layer 1 (they never touch the base data).
+    pub fn observe_batch(
+        &mut self,
+        batch: &RecordBatch,
+        predicate_set: Option<&PredicateSet>,
+    ) -> Result<()> {
+        self.root_builder.observe_batch(batch, predicate_set)?;
+        self.stale = true;
+        Ok(())
+    }
+
+    /// Rebuild the materialised impressions: layer 1 from its builder,
+    /// every further layer by sampling the layer above.
+    pub fn refresh(&mut self, predicate_set: Option<&PredicateSet>) -> Result<()> {
+        let mut layers = Vec::with_capacity(self.layer_count());
+        layers.push(self.root_builder.materialize()?);
+        // Derived layers physically sample the layer above, but estimates
+        // from them must expand to the *base* table: re-anchor their
+        // population on layer 1's population.
+        let base_rows = layers[0].source_rows();
+        let base_weight = layers[0].total_observed_weight();
+        for (i, &size) in self.derived_sizes.iter().enumerate() {
+            let layer_index = i + 2;
+            let parent = layers.last().expect("layer 1 exists");
+            let mut builder = ImpressionBuilder::new(
+                format!(
+                    "{}.layer{layer_index}.{}",
+                    self.source_table,
+                    self.policy.name()
+                ),
+                self.source_table.clone(),
+                self.schema.clone(),
+                self.policy.clone(),
+                size,
+                layer_index,
+                self.seed.wrapping_add(layer_index as u64),
+            )?;
+            builder.observe_table(parent.data(), predicate_set)?;
+            let mut impression = builder.materialize()?;
+            impression.rescale_population(base_rows, base_weight);
+            layers.push(impression);
+        }
+        self.layers = layers;
+        self.stale = false;
+        Ok(())
+    }
+
+    /// The materialised impressions, most detailed first (layer 1, 2, …).
+    pub fn layers(&self) -> &[Impression] {
+        &self.layers
+    }
+
+    /// The impression at 1-based layer index.
+    pub fn layer(&self, index: usize) -> Option<&Impression> {
+        if index == 0 {
+            None
+        } else {
+            self.layers.get(index - 1)
+        }
+    }
+
+    /// The impressions ordered from least detailed (smallest) to most
+    /// detailed — the order in which the bounded query engine escalates.
+    pub fn escalation_order(&self) -> impl Iterator<Item = &Impression> {
+        self.layers.iter().rev()
+    }
+
+    /// Total bytes across all materialised layers.
+    pub fn byte_size(&self) -> usize {
+        self.layers.iter().map(Impression::byte_size).sum()
+    }
+
+    /// Replace the hierarchy's policy and rebuild everything from the base
+    /// table (full re-adaptation; used when the workload focus shifts so far
+    /// that incremental adjustment is pointless).
+    pub fn rebuild_from_table(
+        &mut self,
+        table: &Table,
+        predicate_set: Option<&PredicateSet>,
+    ) -> Result<()> {
+        let mut sizes = vec![self.root_builder.capacity()];
+        sizes.extend_from_slice(&self.derived_sizes);
+        let rebuilt = LayerHierarchy::new(
+            self.source_table.clone(),
+            self.schema.clone(),
+            self.policy.clone(),
+            &sizes,
+            self.seed.wrapping_add(1),
+        )?;
+        *self = rebuilt;
+        self.observe_batch(&table.to_batch(), predicate_set)?;
+        self.refresh(predicate_set)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sciborq_columnar::{DataType, Field, Predicate, RecordBatchBuilder, Schema, Value};
+    use sciborq_workload::AttributeDomain;
+
+    fn schema() -> SchemaRef {
+        Schema::shared(vec![
+            Field::new("objid", DataType::Int64),
+            Field::new("ra", DataType::Float64),
+        ])
+        .unwrap()
+    }
+
+    fn batch(start: i64, rows: usize) -> RecordBatch {
+        let mut b = RecordBatchBuilder::with_capacity(schema(), rows);
+        for i in 0..rows as i64 {
+            let objid = start + i;
+            b.push_row(&[
+                Value::Int64(objid),
+                Value::Float64((objid * 17 % 360) as f64),
+            ])
+            .unwrap();
+        }
+        b.finish().unwrap()
+    }
+
+    fn base_table(rows: usize) -> Table {
+        let mut t = Table::new("photoobj", schema());
+        t.append_batch(&batch(1, rows)).unwrap();
+        t
+    }
+
+    #[test]
+    fn hierarchy_validation() {
+        assert!(LayerHierarchy::new("t", schema(), SamplingPolicy::Uniform, &[], 1).is_err());
+        assert!(
+            LayerHierarchy::new("t", schema(), SamplingPolicy::Uniform, &[100, 500], 1).is_err()
+        );
+        assert!(
+            LayerHierarchy::new("t", schema(), SamplingPolicy::Uniform, &[500, 100], 1).is_ok()
+        );
+    }
+
+    #[test]
+    fn build_from_table_materialises_all_layers() {
+        let table = base_table(20_000);
+        let config = SciborqConfig::with_layers(vec![2_000, 400, 50]);
+        let h =
+            LayerHierarchy::build_from_table(&table, SamplingPolicy::Uniform, &config, None)
+                .unwrap();
+        assert_eq!(h.layer_count(), 3);
+        assert_eq!(h.layers().len(), 3);
+        assert!(!h.is_stale());
+        assert_eq!(h.observed_rows(), 20_000);
+        assert_eq!(h.layers()[0].row_count(), 2_000);
+        assert_eq!(h.layers()[1].row_count(), 400);
+        assert_eq!(h.layers()[2].row_count(), 50);
+        // layer names encode their level
+        assert!(h.layers()[2].name().contains("layer3"));
+        assert!(h.byte_size() > 0);
+    }
+
+    #[test]
+    fn layer_indexing_is_one_based() {
+        let table = base_table(5_000);
+        let config = SciborqConfig::with_layers(vec![500, 100]);
+        let h =
+            LayerHierarchy::build_from_table(&table, SamplingPolicy::Uniform, &config, None)
+                .unwrap();
+        assert!(h.layer(0).is_none());
+        assert_eq!(h.layer(1).unwrap().row_count(), 500);
+        assert_eq!(h.layer(2).unwrap().row_count(), 100);
+        assert!(h.layer(3).is_none());
+    }
+
+    #[test]
+    fn escalation_order_is_smallest_first() {
+        let table = base_table(5_000);
+        let config = SciborqConfig::with_layers(vec![500, 100, 20]);
+        let h =
+            LayerHierarchy::build_from_table(&table, SamplingPolicy::Uniform, &config, None)
+                .unwrap();
+        let sizes: Vec<usize> = h.escalation_order().map(Impression::row_count).collect();
+        assert_eq!(sizes, vec![20, 100, 500]);
+    }
+
+    #[test]
+    fn derived_layers_sample_the_layer_above() {
+        let table = base_table(50_000);
+        let config = SciborqConfig::with_layers(vec![1_000, 100]);
+        let h =
+            LayerHierarchy::build_from_table(&table, SamplingPolicy::Uniform, &config, None)
+                .unwrap();
+        assert_eq!(h.layers()[0].source_rows(), 50_000);
+        // derived layers are re-anchored on the base population so their
+        // estimates expand all the way to the base table
+        assert_eq!(h.layers()[1].source_rows(), 50_000);
+        // every tuple of layer 2 must also exist in layer 1
+        let layer1_ids: std::collections::HashSet<i64> = {
+            let col = h.layers()[0].data().column("objid").unwrap();
+            (0..h.layers()[0].row_count())
+                .filter_map(|i| col.get_i64(i))
+                .collect()
+        };
+        let col2 = h.layers()[1].data().column("objid").unwrap();
+        for i in 0..h.layers()[1].row_count() {
+            assert!(layer1_ids.contains(&col2.get_i64(i).unwrap()));
+        }
+    }
+
+    #[test]
+    fn incremental_loads_mark_derived_layers_stale() {
+        let mut h =
+            LayerHierarchy::new("photoobj", schema(), SamplingPolicy::Uniform, &[500, 50], 1)
+                .unwrap();
+        h.observe_batch(&batch(1, 1_000), None).unwrap();
+        assert!(h.is_stale());
+        h.refresh(None).unwrap();
+        assert!(!h.is_stale());
+        h.observe_batch(&batch(1_001, 1_000), None).unwrap();
+        assert!(h.is_stale());
+        h.refresh(None).unwrap();
+        assert_eq!(h.observed_rows(), 2_000);
+        assert_eq!(h.layers()[0].source_rows(), 2_000);
+    }
+
+    #[test]
+    fn small_tables_yield_full_copies() {
+        let table = base_table(30);
+        let config = SciborqConfig::with_layers(vec![500, 50]);
+        let h =
+            LayerHierarchy::build_from_table(&table, SamplingPolicy::Uniform, &config, None)
+                .unwrap();
+        // the table is smaller than every layer: layer 1 holds everything
+        assert_eq!(h.layers()[0].row_count(), 30);
+        assert_eq!(h.layers()[1].row_count(), 30);
+        assert_eq!(h.layers()[0].sampling_fraction(), 1.0);
+    }
+
+    #[test]
+    fn biased_hierarchy_inherits_focal_point_downwards() {
+        let mut ps =
+            PredicateSet::new(&[("ra", AttributeDomain::new(0.0, 360.0, 36))]).unwrap();
+        for _ in 0..300 {
+            ps.log_value("ra", 120.0);
+        }
+        // base data: uniform ra over [0,360)
+        let table = base_table(40_000);
+        let config = SciborqConfig::with_layers(vec![4_000, 400]);
+        let h = LayerHierarchy::build_from_table(
+            &table,
+            SamplingPolicy::biased(["ra"]),
+            &config,
+            Some(&ps),
+        )
+        .unwrap();
+        let focal = Predicate::between("ra", 110.0, 130.0);
+        // base share of the focal window is ~20/360 ≈ 5.6%
+        for layer in h.layers() {
+            let share = focal.evaluate(layer.data()).unwrap().len() as f64
+                / layer.row_count() as f64;
+            assert!(
+                share > 0.15,
+                "layer {} focal share {share} should be enriched",
+                layer.layer()
+            );
+        }
+    }
+
+    #[test]
+    fn rebuild_from_table_resets_and_resamples() {
+        let table = base_table(10_000);
+        let config = SciborqConfig::with_layers(vec![1_000, 100]);
+        let mut h =
+            LayerHierarchy::build_from_table(&table, SamplingPolicy::Uniform, &config, None)
+                .unwrap();
+        let bigger = base_table(20_000);
+        h.rebuild_from_table(&bigger, None).unwrap();
+        assert_eq!(h.observed_rows(), 20_000);
+        assert_eq!(h.layers()[0].source_rows(), 20_000);
+        assert_eq!(h.layer_count(), 2);
+    }
+}

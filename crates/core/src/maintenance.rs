@@ -1,0 +1,194 @@
+//! Workload-shift detection and impression adaptation (§3.1 "Adaptive").
+//!
+//! "An impression constantly adapts to the focal point of the scientist's
+//! exploration [...] there are two phases where an impression has the
+//! opportunity to re-adjust its focus: as a side-effect of query processing
+//! and, alternatively, by triggering impression maintenance on subsequent
+//! incremental loads."
+//!
+//! The [`AdaptiveMaintainer`] keeps, per tracked attribute, the focal regions
+//! the current impressions were built for. After new queries arrive it
+//! measures how much of the current workload falls outside those regions
+//! ([`sciborq_workload::focal_shift`]); when the shift exceeds the configured
+//! threshold the session rebuilds the workload-driven impressions from the
+//! base data.
+
+use crate::config::SciborqConfig;
+use sciborq_workload::{extract_focal_regions, focal_shift, FocalRegion, PredicateSet};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The outcome of a maintenance check.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MaintenanceDecision {
+    /// The measured workload shift per attribute, in [0, 1].
+    pub shifts: BTreeMap<String, f64>,
+    /// The largest per-attribute shift.
+    pub max_shift: f64,
+    /// Whether the shift exceeds the adaptation threshold and the biased
+    /// impressions should be rebuilt.
+    pub should_rebuild: bool,
+}
+
+/// Tracks the focal regions impressions were built against and decides when
+/// they have drifted too far from the live workload.
+#[derive(Debug, Clone, Default)]
+pub struct AdaptiveMaintainer {
+    reference: BTreeMap<String, Vec<FocalRegion>>,
+}
+
+impl AdaptiveMaintainer {
+    /// Create a maintainer with no reference focus yet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether a reference focus has been recorded for an attribute.
+    pub fn has_reference(&self, attribute: &str) -> bool {
+        self.reference.contains_key(attribute)
+    }
+
+    /// The reference focal regions of an attribute, if any.
+    pub fn reference(&self, attribute: &str) -> Option<&[FocalRegion]> {
+        self.reference.get(attribute).map(Vec::as_slice)
+    }
+
+    /// Record the current workload focus as the new reference (called right
+    /// after impressions are (re)built).
+    pub fn update_reference(&mut self, predicate_set: &PredicateSet, config: &SciborqConfig) {
+        self.reference.clear();
+        for attribute in predicate_set.attributes() {
+            if let Some(hist) = predicate_set.histogram(attribute) {
+                let regions = extract_focal_regions(attribute, hist, config.focal_threshold);
+                self.reference.insert(attribute.to_owned(), regions);
+            }
+        }
+    }
+
+    /// Measure the drift of the current workload from the reference focus
+    /// and decide whether to rebuild.
+    pub fn evaluate(
+        &self,
+        predicate_set: &PredicateSet,
+        config: &SciborqConfig,
+    ) -> MaintenanceDecision {
+        let mut shifts = BTreeMap::new();
+        for attribute in predicate_set.attributes() {
+            let current = predicate_set
+                .histogram(attribute)
+                .map(|hist| extract_focal_regions(attribute, hist, config.focal_threshold))
+                .unwrap_or_default();
+            let reference = self
+                .reference
+                .get(attribute)
+                .map(Vec::as_slice)
+                .unwrap_or(&[]);
+            // with no reference recorded yet, any focus counts as a full shift
+            let shift = if reference.is_empty() && !current.is_empty() {
+                1.0
+            } else {
+                focal_shift(reference, &current)
+            };
+            shifts.insert(attribute.to_owned(), shift);
+        }
+        let max_shift = shifts.values().copied().fold(0.0, f64::max);
+        MaintenanceDecision {
+            max_shift,
+            should_rebuild: max_shift > config.adapt_threshold,
+            shifts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sciborq_workload::AttributeDomain;
+
+    fn predicate_set_focused_at(ra: f64) -> PredicateSet {
+        let mut ps =
+            PredicateSet::new(&[("ra", AttributeDomain::new(0.0, 360.0, 36))]).unwrap();
+        for _ in 0..200 {
+            ps.log_value("ra", ra);
+            ps.log_value("ra", ra + 2.0);
+        }
+        ps
+    }
+
+    #[test]
+    fn no_reference_and_no_focus_means_no_rebuild() {
+        let maintainer = AdaptiveMaintainer::new();
+        let ps = PredicateSet::new(&[("ra", AttributeDomain::new(0.0, 360.0, 36))]).unwrap();
+        let decision = maintainer.evaluate(&ps, &SciborqConfig::default());
+        assert_eq!(decision.max_shift, 0.0);
+        assert!(!decision.should_rebuild);
+    }
+
+    #[test]
+    fn first_focus_without_reference_triggers_rebuild() {
+        let maintainer = AdaptiveMaintainer::new();
+        let ps = predicate_set_focused_at(185.0);
+        let decision = maintainer.evaluate(&ps, &SciborqConfig::default());
+        assert_eq!(decision.max_shift, 1.0);
+        assert!(decision.should_rebuild);
+        assert!(!maintainer.has_reference("ra"));
+    }
+
+    #[test]
+    fn stable_focus_does_not_trigger_rebuild() {
+        let mut maintainer = AdaptiveMaintainer::new();
+        let config = SciborqConfig::default();
+        let ps = predicate_set_focused_at(185.0);
+        maintainer.update_reference(&ps, &config);
+        assert!(maintainer.has_reference("ra"));
+        assert!(!maintainer.reference("ra").unwrap().is_empty());
+        let decision = maintainer.evaluate(&ps, &config);
+        assert!(decision.max_shift < 0.2, "shift {}", decision.max_shift);
+        assert!(!decision.should_rebuild);
+    }
+
+    #[test]
+    fn focus_shift_triggers_rebuild() {
+        let mut maintainer = AdaptiveMaintainer::new();
+        let config = SciborqConfig::default();
+        let before = predicate_set_focused_at(185.0);
+        maintainer.update_reference(&before, &config);
+        // the scientist moves to a completely different sky region
+        let after = predicate_set_focused_at(40.0);
+        let decision = maintainer.evaluate(&after, &config);
+        assert!(decision.max_shift > 0.8, "shift {}", decision.max_shift);
+        assert!(decision.should_rebuild);
+        assert_eq!(decision.shifts.len(), 1);
+    }
+
+    #[test]
+    fn partial_shift_respects_threshold() {
+        let mut maintainer = AdaptiveMaintainer::new();
+        let mut config = SciborqConfig::default();
+        let before = predicate_set_focused_at(185.0);
+        maintainer.update_reference(&before, &config);
+        // half of the new workload still targets the old region
+        let mut after = predicate_set_focused_at(185.0);
+        for _ in 0..400 {
+            after.log_value("ra", 40.0);
+        }
+        let decision = maintainer.evaluate(&after, &config);
+        assert!(decision.max_shift > 0.2 && decision.max_shift < 0.8);
+        config.adapt_threshold = 0.9;
+        let strict = maintainer.evaluate(&after, &config);
+        assert!(!strict.should_rebuild);
+        config.adapt_threshold = 0.1;
+        let loose = maintainer.evaluate(&after, &config);
+        assert!(loose.should_rebuild);
+    }
+
+    #[test]
+    fn update_reference_replaces_old_reference() {
+        let mut maintainer = AdaptiveMaintainer::new();
+        let config = SciborqConfig::default();
+        maintainer.update_reference(&predicate_set_focused_at(185.0), &config);
+        maintainer.update_reference(&predicate_set_focused_at(40.0), &config);
+        let decision = maintainer.evaluate(&predicate_set_focused_at(40.0), &config);
+        assert!(!decision.should_rebuild);
+    }
+}

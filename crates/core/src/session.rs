@@ -1,0 +1,432 @@
+//! Exploration sessions: the full SciBORQ loop.
+//!
+//! A session ties everything together the way Section 3 describes the
+//! system: the warehouse catalog, the query log and predicate set, one
+//! impression hierarchy per (table, policy), the bounded query engine, and
+//! the adaptive maintenance that reacts to workload shifts and incremental
+//! loads.
+
+use crate::answer::{ApproximateAnswer, SelectAnswer};
+use crate::config::SciborqConfig;
+use crate::engine::{BoundedQueryEngine, QueryBounds};
+use crate::error::{Result, SciborqError};
+use crate::layer::LayerHierarchy;
+use crate::maintenance::{AdaptiveMaintainer, MaintenanceDecision};
+use crate::policy::SamplingPolicy;
+use sciborq_columnar::{Catalog, RecordBatch};
+use sciborq_workload::{AttributeDomain, PredicateSet, Query, QueryKind, QueryLog};
+use std::collections::BTreeMap;
+
+/// The result of executing a query through a session.
+#[derive(Debug, Clone)]
+pub enum QueryOutcome {
+    /// An aggregate answer with error bounds.
+    Aggregate(ApproximateAnswer),
+    /// A row-returning answer.
+    Rows(SelectAnswer),
+}
+
+impl QueryOutcome {
+    /// The aggregate answer, if this outcome is one.
+    pub fn as_aggregate(&self) -> Option<&ApproximateAnswer> {
+        match self {
+            QueryOutcome::Aggregate(a) => Some(a),
+            QueryOutcome::Rows(_) => None,
+        }
+    }
+
+    /// The row answer, if this outcome is one.
+    pub fn as_rows(&self) -> Option<&SelectAnswer> {
+        match self {
+            QueryOutcome::Rows(r) => Some(r),
+            QueryOutcome::Aggregate(_) => None,
+        }
+    }
+}
+
+/// A SciBORQ exploration session over a warehouse catalog.
+#[derive(Debug, Clone)]
+pub struct ExplorationSession {
+    catalog: Catalog,
+    config: SciborqConfig,
+    engine: BoundedQueryEngine,
+    predicate_set: PredicateSet,
+    query_log: QueryLog,
+    hierarchies: BTreeMap<String, LayerHierarchy>,
+    maintainer: AdaptiveMaintainer,
+    rebuilds: u64,
+}
+
+impl ExplorationSession {
+    /// Create a session over a catalog.
+    ///
+    /// `tracked_attributes` lists the "interesting attributes" whose
+    /// requested values form the predicate set (e.g. `ra`, `dec` with their
+    /// domains).
+    pub fn new(
+        catalog: Catalog,
+        config: SciborqConfig,
+        tracked_attributes: &[(&str, AttributeDomain)],
+    ) -> Result<Self> {
+        config.validate().map_err(SciborqError::InvalidConfig)?;
+        let engine = BoundedQueryEngine::new(config.clone())?;
+        let predicate_set = PredicateSet::new(tracked_attributes)?;
+        Ok(ExplorationSession {
+            catalog,
+            config,
+            engine,
+            predicate_set,
+            query_log: QueryLog::new(10_000),
+            hierarchies: BTreeMap::new(),
+            maintainer: AdaptiveMaintainer::new(),
+            rebuilds: 0,
+        })
+    }
+
+    /// The underlying catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> &SciborqConfig {
+        &self.config
+    }
+
+    /// The predicate set accumulated so far.
+    pub fn predicate_set(&self) -> &PredicateSet {
+        &self.predicate_set
+    }
+
+    /// The query log.
+    pub fn query_log(&self) -> &QueryLog {
+        &self.query_log
+    }
+
+    /// Number of adaptive rebuilds performed so far.
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// The hierarchy built for a table, if any.
+    pub fn hierarchy(&self, table: &str) -> Option<&LayerHierarchy> {
+        self.hierarchies.get(table)
+    }
+
+    /// Build (or rebuild) the impression hierarchy for a table under the
+    /// given policy, sampling the current base data.
+    pub fn create_impressions(&mut self, table: &str, policy: SamplingPolicy) -> Result<()> {
+        let handle = self
+            .catalog
+            .table(table)
+            .map_err(|_| SciborqError::UnknownTable(table.to_owned()))?;
+        let guard = handle.read();
+        let hierarchy = LayerHierarchy::build_from_table(
+            &guard,
+            policy,
+            &self.config,
+            Some(&self.predicate_set),
+        )?;
+        drop(guard);
+        self.hierarchies.insert(table.to_owned(), hierarchy);
+        self.maintainer
+            .update_reference(&self.predicate_set, &self.config);
+        Ok(())
+    }
+
+    /// Ingest an incremental load: append the batch to the base table and
+    /// stream it through the table's impression hierarchy (if one exists).
+    pub fn load(&mut self, table: &str, batch: &RecordBatch) -> Result<()> {
+        let handle = self
+            .catalog
+            .table(table)
+            .map_err(|_| SciborqError::UnknownTable(table.to_owned()))?;
+        handle.write().append_batch(batch)?;
+        if let Some(hierarchy) = self.hierarchies.get_mut(table) {
+            hierarchy.observe_batch(batch, Some(&self.predicate_set))?;
+            hierarchy.refresh(Some(&self.predicate_set))?;
+        }
+        Ok(())
+    }
+
+    /// Execute a query under bounds: the query is logged (feeding the
+    /// predicate set), evaluated through the bounded engine, and the answer
+    /// returned.
+    pub fn execute(&mut self, query: &Query, bounds: &QueryBounds) -> Result<QueryOutcome> {
+        self.query_log.record(query.clone());
+        self.predicate_set.log_query(query);
+
+        let hierarchy = self
+            .hierarchies
+            .get(&query.table)
+            .ok_or_else(|| SciborqError::UnknownTable(query.table.clone()))?;
+        let base_handle = self.catalog.table(&query.table).ok();
+        let base_guard = base_handle.as_ref().map(|h| h.read());
+        let base_table = base_guard.as_deref();
+
+        match query.kind {
+            QueryKind::Select => Ok(QueryOutcome::Rows(self.engine.execute_select(
+                query,
+                hierarchy,
+                base_table,
+                bounds,
+            )?)),
+            QueryKind::Aggregate { .. } => Ok(QueryOutcome::Aggregate(
+                self.engine
+                    .execute_aggregate(query, hierarchy, base_table, bounds)?,
+            )),
+        }
+    }
+
+    /// Execute with the session's default bounds (the configured default
+    /// error bound at the configured confidence).
+    pub fn execute_with_defaults(&mut self, query: &Query) -> Result<QueryOutcome> {
+        let bounds = QueryBounds {
+            max_relative_error: Some(self.config.default_max_error),
+            confidence: self.config.confidence,
+            ..QueryBounds::default()
+        };
+        self.execute(query, &bounds)
+    }
+
+    /// Check whether the workload focus has shifted beyond the adaptation
+    /// threshold and, if so, rebuild every workload-driven hierarchy from its
+    /// base table. Returns the maintenance decision that was made.
+    pub fn adapt(&mut self) -> Result<MaintenanceDecision> {
+        let decision = self.maintainer.evaluate(&self.predicate_set, &self.config);
+        if !decision.should_rebuild {
+            return Ok(decision);
+        }
+        let tables: Vec<String> = self
+            .hierarchies
+            .iter()
+            .filter(|(_, h)| h.policy().is_workload_driven())
+            .map(|(name, _)| name.clone())
+            .collect();
+        for table in tables {
+            let handle = self
+                .catalog
+                .table(&table)
+                .map_err(|_| SciborqError::UnknownTable(table.clone()))?;
+            let guard = handle.read();
+            if let Some(hierarchy) = self.hierarchies.get_mut(&table) {
+                hierarchy.rebuild_from_table(&guard, Some(&self.predicate_set))?;
+                self.rebuilds += 1;
+            }
+        }
+        self.maintainer
+            .update_reference(&self.predicate_set, &self.config);
+        Ok(decision)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::answer::EvaluationLevel;
+    use sciborq_columnar::{
+        DataType, Field, Predicate, RecordBatchBuilder, Schema, SchemaRef, Table, Value,
+    };
+
+    fn schema() -> SchemaRef {
+        Schema::shared(vec![
+            Field::new("objid", DataType::Int64),
+            Field::new("ra", DataType::Float64),
+            Field::new("r_mag", DataType::Float64),
+        ])
+        .unwrap()
+    }
+
+    fn batch(start: i64, rows: usize, ra_center: Option<f64>) -> RecordBatch {
+        let mut b = RecordBatchBuilder::with_capacity(schema(), rows);
+        for i in 0..rows as i64 {
+            let objid = start + i;
+            let ra = match ra_center {
+                Some(c) => c + (objid % 100) as f64 * 0.05,
+                None => (objid * 13 % 3600) as f64 / 10.0,
+            };
+            b.push_row(&[
+                Value::Int64(objid),
+                Value::Float64(ra),
+                Value::Float64(15.0 + (objid % 10) as f64),
+            ])
+            .unwrap();
+        }
+        b.finish().unwrap()
+    }
+
+    fn catalog_with_base(rows: usize) -> Catalog {
+        let catalog = Catalog::new();
+        let mut t = Table::new("photoobj", schema());
+        t.append_batch(&batch(1, rows, None)).unwrap();
+        catalog.register(t).unwrap();
+        catalog
+    }
+
+    fn session(rows: usize) -> ExplorationSession {
+        let config = SciborqConfig::with_layers(vec![2_000, 200]);
+        ExplorationSession::new(
+            catalog_with_base(rows),
+            config,
+            &[("ra", AttributeDomain::new(0.0, 360.0, 36))],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let err = ExplorationSession::new(
+            Catalog::new(),
+            SciborqConfig::with_layers(vec![]),
+            &[],
+        )
+        .unwrap_err();
+        assert!(matches!(err, SciborqError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn create_impressions_requires_known_table() {
+        let mut s = session(5_000);
+        assert!(matches!(
+            s.create_impressions("missing", SamplingPolicy::Uniform),
+            Err(SciborqError::UnknownTable(_))
+        ));
+        s.create_impressions("photoobj", SamplingPolicy::Uniform)
+            .unwrap();
+        assert!(s.hierarchy("photoobj").is_some());
+        assert_eq!(s.hierarchy("photoobj").unwrap().layer_count(), 2);
+    }
+
+    #[test]
+    fn query_without_impressions_is_an_error() {
+        let mut s = session(1_000);
+        let q = Query::count("photoobj", Predicate::True);
+        assert!(matches!(
+            s.execute(&q, &QueryBounds::default()),
+            Err(SciborqError::UnknownTable(_))
+        ));
+    }
+
+    #[test]
+    fn aggregate_query_end_to_end() {
+        let mut s = session(50_000);
+        s.create_impressions("photoobj", SamplingPolicy::Uniform)
+            .unwrap();
+        let q = Query::count("photoobj", Predicate::lt("ra", 90.0));
+        let outcome = s.execute(&q, &QueryBounds::max_error(0.1)).unwrap();
+        let answer = outcome.as_aggregate().unwrap();
+        let truth = 12_500.0;
+        assert!((answer.value.unwrap() - truth).abs() / truth < 0.15);
+        assert!(outcome.as_rows().is_none());
+        // the query was logged and its predicate values recorded
+        assert_eq!(s.query_log().len(), 1);
+        assert!(s.predicate_set().observed_values("ra") > 0);
+    }
+
+    #[test]
+    fn select_query_end_to_end() {
+        let mut s = session(20_000);
+        s.create_impressions("photoobj", SamplingPolicy::Uniform)
+            .unwrap();
+        let q = Query::select("photoobj", Predicate::lt("ra", 180.0)).with_limit(25);
+        let outcome = s.execute_with_defaults(&q).unwrap();
+        let rows = outcome.as_rows().unwrap();
+        assert_eq!(rows.returned_rows(), 25);
+        assert!(outcome.as_aggregate().is_none());
+    }
+
+    #[test]
+    fn incremental_load_updates_base_and_impressions() {
+        let mut s = session(10_000);
+        s.create_impressions("photoobj", SamplingPolicy::Uniform)
+            .unwrap();
+        let before = s.hierarchy("photoobj").unwrap().observed_rows();
+        s.load("photoobj", &batch(10_001, 5_000, None)).unwrap();
+        let after = s.hierarchy("photoobj").unwrap().observed_rows();
+        assert_eq!(after, before + 5_000);
+        let base_rows = s
+            .catalog()
+            .table("photoobj")
+            .unwrap()
+            .read()
+            .row_count();
+        assert_eq!(base_rows, 15_000);
+        // counting still reflects the new load: COUNT(*) over everything has
+        // zero sampling variance, so even a tiny error bound is satisfied on
+        // an impression — and the expanded estimate equals the new base size.
+        let q = Query::count("photoobj", Predicate::True);
+        let outcome = s.execute(&q, &QueryBounds::max_error(1e-9)).unwrap();
+        let answer = outcome.as_aggregate().unwrap();
+        assert_eq!(answer.value.unwrap(), 15_000.0);
+        assert!(answer.error_bound_met);
+        // a genuinely selective predicate with a near-zero error bound must
+        // still fall through to the base data
+        let selective = Query::count("photoobj", Predicate::lt("objid", 101.0));
+        let outcome = s.execute(&selective, &QueryBounds::max_error(1e-9)).unwrap();
+        let exact = outcome.as_aggregate().unwrap();
+        assert_eq!(exact.level, EvaluationLevel::BaseData);
+        assert_eq!(exact.value.unwrap(), 100.0);
+        assert!(matches!(
+            s.load("missing", &batch(1, 10, None)),
+            Err(SciborqError::UnknownTable(_))
+        ));
+    }
+
+    #[test]
+    fn adaptation_rebuilds_biased_impressions_on_focus_shift() {
+        let mut s = session(40_000);
+        // Phase 1: workload focused on ra ≈ 90
+        for _ in 0..30 {
+            let q = Query::count("photoobj", Predicate::between("ra", 88.0, 92.0));
+            s.query_log.record(q.clone());
+            s.predicate_set.log_query(&q);
+        }
+        s.create_impressions("photoobj", SamplingPolicy::biased(["ra"]))
+            .unwrap();
+        let enrichment = |session: &ExplorationSession, lo: f64, hi: f64| {
+            let h = session.hierarchy("photoobj").unwrap();
+            let layer = &h.layers()[0];
+            Predicate::between("ra", lo, hi)
+                .evaluate(layer.data())
+                .unwrap()
+                .len() as f64
+                / layer.row_count() as f64
+        };
+        let phase1_share = enrichment(&s, 88.0, 92.0);
+        assert!(phase1_share > 0.05, "phase-1 focal share {phase1_share}");
+        // without a shift, adapt() is a no-op
+        let decision = s.adapt().unwrap();
+        assert!(!decision.should_rebuild);
+        assert_eq!(s.rebuilds(), 0);
+
+        // Phase 2: the scientist moves to ra ≈ 270
+        for _ in 0..120 {
+            let q = Query::count("photoobj", Predicate::between("ra", 268.0, 272.0));
+            let _ = s.execute(&q, &QueryBounds::default());
+        }
+        let decision = s.adapt().unwrap();
+        assert!(decision.should_rebuild, "shift {}", decision.max_shift);
+        assert_eq!(s.rebuilds(), 1);
+        let phase2_share = enrichment(&s, 268.0, 272.0);
+        assert!(
+            phase2_share > phase1_share / 2.0,
+            "after adaptation the new focus must be enriched (share {phase2_share})"
+        );
+    }
+
+    #[test]
+    fn uniform_hierarchies_are_not_rebuilt_by_adaptation() {
+        let mut s = session(10_000);
+        s.create_impressions("photoobj", SamplingPolicy::Uniform)
+            .unwrap();
+        for _ in 0..100 {
+            let q = Query::count("photoobj", Predicate::between("ra", 10.0, 12.0));
+            let _ = s.execute(&q, &QueryBounds::default());
+        }
+        let decision = s.adapt().unwrap();
+        // the focus shifted (no reference initially matched), but no
+        // workload-driven hierarchy exists, so nothing is rebuilt
+        assert_eq!(s.rebuilds(), 0);
+        let _ = decision;
+    }
+}

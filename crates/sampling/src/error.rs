@@ -1,0 +1,54 @@
+//! Error types for the sampling crate.
+
+use std::fmt;
+
+/// Errors produced when configuring or running sampling strategies.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SamplingError {
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// The parameter name.
+        name: &'static str,
+        /// Explanation of the violated constraint.
+        message: String,
+    },
+    /// A weight supplied to a weighted strategy was invalid (negative, NaN…).
+    InvalidWeight(f64),
+}
+
+impl fmt::Display for SamplingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SamplingError::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter {name}: {message}")
+            }
+            SamplingError::InvalidWeight(w) => write!(f, "invalid sampling weight: {w}"),
+        }
+    }
+}
+
+impl std::error::Error for SamplingError {}
+
+/// Result alias for the sampling crate.
+pub type Result<T> = std::result::Result<T, SamplingError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = SamplingError::InvalidParameter {
+            name: "k",
+            message: "too large".into(),
+        };
+        assert!(e.to_string().contains("k"));
+        assert!(SamplingError::InvalidWeight(-1.0).to_string().contains("-1"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn check<E: std::error::Error>(_: &E) {}
+        check(&SamplingError::InvalidWeight(f64::NAN));
+    }
+}

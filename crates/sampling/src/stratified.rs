@@ -1,0 +1,327 @@
+//! Stratified per-bin sampling baseline.
+//!
+//! The paper contrasts impressions with classical synopsis techniques. A
+//! natural competitor to KDE-biased sampling is *stratified* sampling: divide
+//! the attribute domain into strata (the same equi-width bins SciBORQ already
+//! maintains) and run an independent uniform reservoir per stratum, splitting
+//! the capacity either evenly or proportionally to the observed workload
+//! interest. The experiment harness uses this module as an additional
+//! baseline for the Figure 7 comparison.
+
+use crate::error::{Result, SamplingError};
+use crate::reservoir::Reservoir;
+use crate::traits::{SampledItem, SamplingStrategy};
+
+/// How the total capacity is divided among strata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StratumAllocation {
+    /// Every stratum receives the same share of the capacity.
+    Equal,
+    /// Capacity is divided proportionally to externally supplied stratum
+    /// weights (e.g. workload interest per bin).
+    Proportional,
+}
+
+/// A stratified sampler: one uniform reservoir per stratum of an attribute's
+/// domain.
+#[derive(Debug, Clone)]
+pub struct StratifiedSampler<T> {
+    strata: Vec<Reservoir<T>>,
+    boundaries: Vec<f64>,
+    min: f64,
+    max: f64,
+    observed: u64,
+    capacity: usize,
+}
+
+impl<T: Clone> StratifiedSampler<T> {
+    /// Create a stratified sampler over `[min, max)` with `strata` strata.
+    ///
+    /// `capacity` is the *total* sample size; `weights` (same length as the
+    /// number of strata) controls the allocation when
+    /// [`StratumAllocation::Proportional`] is chosen.
+    pub fn new(
+        min: f64,
+        max: f64,
+        strata: usize,
+        capacity: usize,
+        allocation: StratumAllocation,
+        weights: Option<&[f64]>,
+        seed: u64,
+    ) -> Result<Self> {
+        if strata == 0 {
+            return Err(SamplingError::InvalidParameter {
+                name: "strata",
+                message: "must be positive".into(),
+            });
+        }
+        if capacity < strata {
+            return Err(SamplingError::InvalidParameter {
+                name: "capacity",
+                message: format!("must be at least the number of strata ({strata})"),
+            });
+        }
+        if !(max > min) {
+            return Err(SamplingError::InvalidParameter {
+                name: "max",
+                message: "domain max must exceed min".into(),
+            });
+        }
+        let per_stratum: Vec<usize> = match allocation {
+            StratumAllocation::Equal => {
+                let base = capacity / strata;
+                let mut sizes = vec![base; strata];
+                for size in sizes.iter_mut().take(capacity % strata) {
+                    *size += 1;
+                }
+                sizes
+            }
+            StratumAllocation::Proportional => {
+                let weights = weights.ok_or(SamplingError::InvalidParameter {
+                    name: "weights",
+                    message: "required for proportional allocation".into(),
+                })?;
+                if weights.len() != strata {
+                    return Err(SamplingError::InvalidParameter {
+                        name: "weights",
+                        message: format!("expected {strata} weights, found {}", weights.len()),
+                    });
+                }
+                if weights.iter().any(|w| !(*w >= 0.0) || !w.is_finite()) {
+                    return Err(SamplingError::InvalidWeight(
+                        *weights
+                            .iter()
+                            .find(|w| !(**w >= 0.0) || !w.is_finite())
+                            .expect("checked above"),
+                    ));
+                }
+                let total: f64 = weights.iter().sum();
+                if total <= 0.0 {
+                    return Err(SamplingError::InvalidParameter {
+                        name: "weights",
+                        message: "must not all be zero".into(),
+                    });
+                }
+                // every stratum gets at least one slot; the rest proportionally
+                let spare = capacity - strata;
+                let mut sizes: Vec<usize> = weights
+                    .iter()
+                    .map(|w| 1 + (spare as f64 * w / total).floor() as usize)
+                    .collect();
+                // distribute rounding leftovers to the heaviest strata
+                let mut assigned: usize = sizes.iter().sum();
+                let mut order: Vec<usize> = (0..strata).collect();
+                order.sort_by(|&a, &b| weights[b].partial_cmp(&weights[a]).expect("finite"));
+                let mut i = 0;
+                while assigned < capacity {
+                    sizes[order[i % strata]] += 1;
+                    assigned += 1;
+                    i += 1;
+                }
+                sizes
+            }
+        };
+        let width = (max - min) / strata as f64;
+        let boundaries = (0..=strata).map(|i| min + i as f64 * width).collect();
+        let strata_reservoirs = per_stratum
+            .iter()
+            .enumerate()
+            .map(|(i, &cap)| Reservoir::new(cap.max(1), seed.wrapping_add(i as u64)))
+            .collect();
+        Ok(StratifiedSampler {
+            strata: strata_reservoirs,
+            boundaries,
+            min,
+            max,
+            observed: 0,
+            capacity,
+        })
+    }
+
+    /// The stratum index a value falls into (clamped at the boundaries).
+    pub fn stratum_of(&self, value: f64) -> usize {
+        if value <= self.min {
+            return 0;
+        }
+        if value >= self.max {
+            return self.strata.len() - 1;
+        }
+        let width = (self.max - self.min) / self.strata.len() as f64;
+        (((value - self.min) / width).floor() as usize).min(self.strata.len() - 1)
+    }
+
+    /// Observe an item keyed by the stratification attribute's value.
+    pub fn observe_value(&mut self, item: T, value: f64) {
+        self.observed += 1;
+        let idx = self.stratum_of(value);
+        self.strata[idx].observe(item);
+    }
+
+    /// Per-stratum retained counts.
+    pub fn stratum_sizes(&self) -> Vec<usize> {
+        self.strata.iter().map(|r| r.len()).collect()
+    }
+
+    /// Per-stratum capacities.
+    pub fn stratum_capacities(&self) -> Vec<usize> {
+        self.strata.iter().map(|r| r.capacity()).collect()
+    }
+
+    /// The stratum boundaries (length = strata + 1).
+    pub fn boundaries(&self) -> &[f64] {
+        &self.boundaries
+    }
+
+    /// A snapshot of every retained item across all strata.
+    pub fn sample_vec(&self) -> Vec<SampledItem<T>> {
+        self.strata
+            .iter()
+            .flat_map(|r| r.sample().iter().cloned())
+            .collect()
+    }
+
+    /// Total number of retained items.
+    pub fn retained(&self) -> usize {
+        self.strata.iter().map(|r| r.len()).sum()
+    }
+
+    /// Total number of observed items.
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Total configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_validation() {
+        assert!(StratifiedSampler::<u64>::new(0.0, 1.0, 0, 10, StratumAllocation::Equal, None, 1)
+            .is_err());
+        assert!(StratifiedSampler::<u64>::new(0.0, 1.0, 5, 3, StratumAllocation::Equal, None, 1)
+            .is_err());
+        assert!(StratifiedSampler::<u64>::new(1.0, 1.0, 5, 10, StratumAllocation::Equal, None, 1)
+            .is_err());
+        assert!(StratifiedSampler::<u64>::new(
+            0.0,
+            1.0,
+            5,
+            10,
+            StratumAllocation::Proportional,
+            None,
+            1
+        )
+        .is_err());
+        assert!(StratifiedSampler::<u64>::new(
+            0.0,
+            1.0,
+            2,
+            10,
+            StratumAllocation::Proportional,
+            Some(&[1.0]),
+            1
+        )
+        .is_err());
+        assert!(StratifiedSampler::<u64>::new(
+            0.0,
+            1.0,
+            2,
+            10,
+            StratumAllocation::Proportional,
+            Some(&[1.0, f64::NAN]),
+            1
+        )
+        .is_err());
+        assert!(StratifiedSampler::<u64>::new(
+            0.0,
+            1.0,
+            2,
+            10,
+            StratumAllocation::Proportional,
+            Some(&[0.0, 0.0]),
+            1
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn equal_allocation_splits_capacity() {
+        let s =
+            StratifiedSampler::<u64>::new(0.0, 10.0, 4, 10, StratumAllocation::Equal, None, 1)
+                .unwrap();
+        let caps = s.stratum_capacities();
+        assert_eq!(caps.iter().sum::<usize>(), 10);
+        assert_eq!(caps, vec![3, 3, 2, 2]);
+        assert_eq!(s.capacity(), 10);
+        assert_eq!(s.boundaries().len(), 5);
+    }
+
+    #[test]
+    fn proportional_allocation_follows_weights() {
+        let s = StratifiedSampler::<u64>::new(
+            0.0,
+            10.0,
+            4,
+            100,
+            StratumAllocation::Proportional,
+            Some(&[8.0, 1.0, 1.0, 0.0]),
+            1,
+        )
+        .unwrap();
+        let caps = s.stratum_capacities();
+        assert_eq!(caps.iter().sum::<usize>(), 100);
+        assert!(caps[0] > caps[1]);
+        assert!(caps[3] >= 1, "every stratum keeps at least one slot");
+    }
+
+    #[test]
+    fn stratum_of_maps_values() {
+        let s =
+            StratifiedSampler::<u64>::new(0.0, 10.0, 5, 10, StratumAllocation::Equal, None, 1)
+                .unwrap();
+        assert_eq!(s.stratum_of(-1.0), 0);
+        assert_eq!(s.stratum_of(0.0), 0);
+        assert_eq!(s.stratum_of(3.9), 1);
+        assert_eq!(s.stratum_of(9.99), 4);
+        assert_eq!(s.stratum_of(10.0), 4);
+        assert_eq!(s.stratum_of(99.0), 4);
+    }
+
+    #[test]
+    fn observe_routes_to_correct_stratum() {
+        let mut s =
+            StratifiedSampler::new(0.0, 10.0, 2, 20, StratumAllocation::Equal, None, 7).unwrap();
+        for i in 0..100u64 {
+            let value = if i % 4 == 0 { 2.0 } else { 8.0 };
+            s.observe_value(i, value);
+        }
+        assert_eq!(s.observed(), 100);
+        let sizes = s.stratum_sizes();
+        assert_eq!(sizes.len(), 2);
+        // both strata saw data and filled up to their capacity
+        assert_eq!(sizes[0], 10);
+        assert_eq!(sizes[1], 10);
+        assert_eq!(s.retained(), 20);
+        assert_eq!(s.sample_vec().len(), 20);
+    }
+
+    #[test]
+    fn stratification_guarantees_coverage_of_sparse_regions() {
+        // 1% of the data lies in [9,10); uniform sampling of 20 items could
+        // easily miss it, but the stratified sampler reserves slots for it.
+        let mut s =
+            StratifiedSampler::new(0.0, 10.0, 10, 20, StratumAllocation::Equal, None, 3).unwrap();
+        for i in 0..10_000u64 {
+            let value = if i % 100 == 0 { 9.5 } else { (i % 9) as f64 };
+            s.observe_value(i, value);
+        }
+        let sizes = s.stratum_sizes();
+        assert!(sizes[9] >= 1, "sparse stratum must be represented");
+    }
+}

@@ -1,0 +1,266 @@
+//! Weighted reservoir sampling baseline (Efraimidis–Spirakis A-Res).
+//!
+//! The paper's biased reservoir (Figure 6) is a heuristic tuned for streaming
+//! loads. The A-Res algorithm is the textbook way to draw a weighted sample
+//! without replacement from a stream: assign every item the key
+//! `u^(1/w)` with `u ~ U(0,1)` and keep the `n` items with the largest keys.
+//! SciBORQ's ablation benches compare the two, and the join-aware impression
+//! construction (§3.3, citing Chaudhuri et al.) uses weighted sampling to
+//! follow foreign-key join paths.
+
+use crate::error::{Result, SamplingError};
+use crate::traits::{SampledItem, SamplingStrategy};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A heap entry: the A-Res key plus the retained item.
+#[derive(Debug, Clone)]
+struct HeapEntry<T> {
+    key: f64,
+    item: SampledItem<T>,
+}
+
+impl<T> PartialEq for HeapEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<T> Eq for HeapEntry<T> {}
+impl<T> PartialOrd for HeapEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for HeapEntry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse ordering: BinaryHeap is a max-heap, we want the smallest
+        // key on top so it can be evicted when a better item arrives.
+        other
+            .key
+            .partial_cmp(&self.key)
+            .unwrap_or(Ordering::Equal)
+    }
+}
+
+/// Weighted reservoir sampling without replacement (A-Res).
+#[derive(Debug, Clone)]
+pub struct WeightedReservoir<T> {
+    heap: BinaryHeap<HeapEntry<T>>,
+    // cached flat view rebuilt lazily after mutations
+    cache: Vec<SampledItem<T>>,
+    cache_dirty: bool,
+    capacity: usize,
+    observed: u64,
+    rng: StdRng,
+}
+
+impl<T: Clone> WeightedReservoir<T> {
+    /// Create a weighted reservoir of the given capacity.
+    pub fn new(capacity: usize, seed: u64) -> Result<Self> {
+        if capacity == 0 {
+            return Err(SamplingError::InvalidParameter {
+                name: "capacity",
+                message: "must be positive".into(),
+            });
+        }
+        Ok(WeightedReservoir {
+            heap: BinaryHeap::with_capacity(capacity + 1),
+            cache: Vec::new(),
+            cache_dirty: false,
+            capacity,
+            observed: 0,
+            rng: StdRng::seed_from_u64(seed),
+        })
+    }
+
+    fn refresh_cache(&mut self) {
+        if self.cache_dirty {
+            self.cache = self.heap.iter().map(|e| e.item.clone()).collect();
+            self.cache_dirty = false;
+        }
+    }
+
+    /// Consume the reservoir, returning the retained items.
+    pub fn into_sample(mut self) -> Vec<SampledItem<T>> {
+        self.refresh_cache();
+        self.cache
+    }
+}
+
+impl<T: Clone> SamplingStrategy<T> for WeightedReservoir<T> {
+    fn observe_weighted(&mut self, item: T, weight: f64) {
+        self.observed += 1;
+        if !(weight > 0.0) || !weight.is_finite() {
+            // Zero / invalid weights can never be selected by A-Res.
+            return;
+        }
+        let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let key = u.powf(1.0 / weight);
+        let entry = HeapEntry {
+            key,
+            item: SampledItem::new(item, weight),
+        };
+        if self.heap.len() < self.capacity {
+            self.heap.push(entry);
+            self.cache_dirty = true;
+        } else if let Some(min) = self.heap.peek() {
+            if key > min.key {
+                self.heap.pop();
+                self.heap.push(entry);
+                self.cache_dirty = true;
+            }
+        }
+    }
+
+    fn sample(&self) -> &[SampledItem<T>] {
+        // The zero-copy view is only refreshed by `into_sample`/`sample_vec`;
+        // callers that interleave reads with observations should use
+        // `sample_vec`, which always reflects the heap.
+        &self.cache
+    }
+
+    fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn name(&self) -> &'static str {
+        "weighted-a-res"
+    }
+}
+
+impl<T: Clone> WeightedReservoir<T> {
+    /// A fresh snapshot of the retained items (always up to date, unlike the
+    /// zero-copy [`SamplingStrategy::sample`] view which is only refreshed on
+    /// construction boundaries).
+    pub fn sample_vec(&self) -> Vec<SampledItem<T>> {
+        self.heap.iter().map(|e| e.item.clone()).collect()
+    }
+
+    /// Number of retained items.
+    pub fn retained(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn parameter_validation() {
+        assert!(WeightedReservoir::<u64>::new(0, 1).is_err());
+        assert!(WeightedReservoir::<u64>::new(5, 1).is_ok());
+    }
+
+    #[test]
+    fn retains_at_most_capacity() {
+        let mut r = WeightedReservoir::new(10, 1).unwrap();
+        for i in 0..1000u64 {
+            r.observe_weighted(i, 1.0 + (i % 3) as f64);
+        }
+        assert_eq!(r.retained(), 10);
+        assert_eq!(r.observed(), 1000);
+        assert_eq!(r.sample_vec().len(), 10);
+        assert_eq!(r.capacity(), 10);
+        assert_eq!(r.name(), "weighted-a-res");
+    }
+
+    #[test]
+    fn zero_and_invalid_weights_ignored() {
+        let mut r = WeightedReservoir::new(5, 2).unwrap();
+        r.observe_weighted(1u64, 0.0);
+        r.observe_weighted(2u64, -1.0);
+        r.observe_weighted(3u64, f64::NAN);
+        assert_eq!(r.retained(), 0);
+        r.observe_weighted(4u64, 2.0);
+        assert_eq!(r.retained(), 1);
+        assert_eq!(r.observed(), 4);
+    }
+
+    #[test]
+    fn heavier_items_selected_more_often() {
+        // 100 items; item 0..10 have weight 20, the rest weight 1.
+        // Run many trials with a capacity of 10 and count how often heavy
+        // items make it in.
+        let trials = 200;
+        let mut heavy_hits = 0usize;
+        let mut light_hits = 0usize;
+        for t in 0..trials {
+            let mut r = WeightedReservoir::new(10, 5000 + t).unwrap();
+            for i in 0..100u64 {
+                let w = if i < 10 { 20.0 } else { 1.0 };
+                r.observe_weighted(i, w);
+            }
+            for s in r.sample_vec() {
+                if s.item < 10 {
+                    heavy_hits += 1;
+                } else {
+                    light_hits += 1;
+                }
+            }
+        }
+        // heavy items are 10% of the population but should take well over
+        // half of the sample slots given the 20x weight
+        assert!(
+            heavy_hits as f64 > light_hits as f64,
+            "heavy {heavy_hits} vs light {light_hits}"
+        );
+    }
+
+    #[test]
+    fn uniform_weights_behave_like_uniform_sampling() {
+        let trials = 300;
+        let mut first_half = 0usize;
+        let mut second_half = 0usize;
+        for t in 0..trials {
+            let mut r = WeightedReservoir::new(20, 900 + t).unwrap();
+            for i in 0..200u64 {
+                r.observe_weighted(i, 1.0);
+            }
+            for s in r.sample_vec() {
+                if s.item < 100 {
+                    first_half += 1;
+                } else {
+                    second_half += 1;
+                }
+            }
+        }
+        let ratio = first_half as f64 / second_half as f64;
+        assert!(ratio > 0.85 && ratio < 1.15, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn into_sample_and_determinism() {
+        let run = |seed| {
+            let mut r = WeightedReservoir::new(8, seed).unwrap();
+            for i in 0..500u64 {
+                r.observe_weighted(i, 1.0 + (i % 7) as f64);
+            }
+            let mut v: Vec<u64> = r.into_sample().iter().map(|s| s.item).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(run(3), run(3));
+        assert_eq!(run(3).len(), 8);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn size_invariant(cap in 1usize..64, stream in 0u64..1000, seed in 0u64..u64::MAX) {
+            let mut r = WeightedReservoir::new(cap, seed).unwrap();
+            for i in 0..stream {
+                r.observe_weighted(i, 1.0);
+            }
+            prop_assert_eq!(r.retained() as u64, stream.min(cap as u64));
+        }
+    }
+}

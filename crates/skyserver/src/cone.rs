@@ -1,0 +1,217 @@
+//! Cone search — the `fGetNearbyObjEq` function of the SkyServer schema.
+//!
+//! The paper's prototypical query (Figure 1) joins the `Galaxy` view against
+//! `dbo.fGetNearbyObjEq(185, 0, 3)`, which returns every object within an
+//! angular radius of a sky position. This module implements the exact
+//! great-circle version of that function on top of the columnar substrate,
+//! plus the bounding-box approximation that the query rewriter produces and
+//! SciBORQ's predicate logging sees.
+
+use sciborq_columnar::{Predicate, Result, SelectionVector, Table, Value};
+use serde::{Deserialize, Serialize};
+
+/// A cone on the celestial sphere.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Cone {
+    /// Right ascension of the cone axis, degrees.
+    pub ra: f64,
+    /// Declination of the cone axis, degrees.
+    pub dec: f64,
+    /// Angular radius, degrees.
+    pub radius: f64,
+}
+
+impl Cone {
+    /// Create a cone; the radius is clamped to be non-negative.
+    pub fn new(ra: f64, dec: f64, radius: f64) -> Self {
+        Cone {
+            ra,
+            dec,
+            radius: radius.max(0.0),
+        }
+    }
+
+    /// Angular (great-circle) distance in degrees between the cone axis and
+    /// a point, using the haversine formula for numerical stability at small
+    /// separations.
+    pub fn angular_distance(&self, ra: f64, dec: f64) -> f64 {
+        let to_rad = std::f64::consts::PI / 180.0;
+        let d_ra = (ra - self.ra) * to_rad;
+        let d_dec = (dec - self.dec) * to_rad;
+        let a = (d_dec / 2.0).sin().powi(2)
+            + (self.dec * to_rad).cos() * (dec * to_rad).cos() * (d_ra / 2.0).sin().powi(2);
+        2.0 * a.sqrt().clamp(-1.0, 1.0).asin() / to_rad
+    }
+
+    /// Whether a point lies inside the cone.
+    pub fn contains(&self, ra: f64, dec: f64) -> bool {
+        self.angular_distance(ra, dec) <= self.radius
+    }
+
+    /// The bounding-box predicate the SkyServer rewriter produces for this
+    /// cone (`ra BETWEEN … AND … AND dec BETWEEN … AND …`), with the right
+    /// ascension window widened by `1/cos(dec)` away from the equator.
+    pub fn bounding_box_predicate(&self, ra_column: &str, dec_column: &str) -> Predicate {
+        let to_rad = std::f64::consts::PI / 180.0;
+        let cos_dec = (self.dec * to_rad).cos().abs().max(1e-3);
+        let ra_radius = (self.radius / cos_dec).min(180.0);
+        Predicate::Between {
+            column: ra_column.to_owned(),
+            low: Value::Float64(self.ra - ra_radius),
+            high: Value::Float64(self.ra + ra_radius),
+        }
+        .and(Predicate::Between {
+            column: dec_column.to_owned(),
+            low: Value::Float64(self.dec - self.radius),
+            high: Value::Float64(self.dec + self.radius),
+        })
+    }
+}
+
+/// `fGetNearbyObjEq`: return the rows of `table` whose (`ra_column`,
+/// `dec_column`) position lies within the cone.
+///
+/// The implementation first evaluates the cheap bounding-box predicate and
+/// then refines with the exact angular distance, exactly like the SkyServer
+/// function. Rows with NULL coordinates never qualify.
+pub fn get_nearby_obj_eq(
+    table: &Table,
+    ra_column: &str,
+    dec_column: &str,
+    cone: Cone,
+) -> Result<SelectionVector> {
+    let candidates = cone
+        .bounding_box_predicate(ra_column, dec_column)
+        .evaluate(table)?;
+    let ra_col = table.column(ra_column)?;
+    let dec_col = table.column(dec_column)?;
+    let mut rows = Vec::with_capacity(candidates.len());
+    for row in candidates.iter() {
+        if let (Some(ra), Some(dec)) = (ra_col.get_f64(row), dec_col.get_f64(row)) {
+            if cone.contains(ra, dec) {
+                rows.push(row);
+            }
+        }
+    }
+    Ok(SelectionVector::from_sorted_rows(rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sciborq_columnar::{DataType, Field, Schema};
+
+    fn positions_table(points: &[(f64, f64)]) -> Table {
+        let schema = Schema::shared(vec![
+            Field::new("ra", DataType::Float64),
+            Field::new("dec", DataType::Float64),
+        ])
+        .unwrap();
+        let mut t = Table::new("pos", schema);
+        for &(ra, dec) in points {
+            t.append_row(&[Value::Float64(ra), Value::Float64(dec)]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn radius_clamped_non_negative() {
+        let c = Cone::new(10.0, 0.0, -5.0);
+        assert_eq!(c.radius, 0.0);
+    }
+
+    #[test]
+    fn angular_distance_known_values() {
+        let c = Cone::new(0.0, 0.0, 1.0);
+        assert!(c.angular_distance(0.0, 0.0).abs() < 1e-9);
+        assert!((c.angular_distance(1.0, 0.0) - 1.0).abs() < 1e-6);
+        assert!((c.angular_distance(0.0, 1.0) - 1.0).abs() < 1e-6);
+        assert!((c.angular_distance(180.0, 0.0) - 180.0).abs() < 1e-6);
+        // at dec=60 a 1-degree ra offset is only ~0.5 degrees of arc
+        let c = Cone::new(0.0, 60.0, 1.0);
+        let d = c.angular_distance(1.0, 60.0);
+        assert!((d - 0.5).abs() < 0.01, "d = {d}");
+    }
+
+    #[test]
+    fn contains_respects_radius() {
+        let c = Cone::new(185.0, 0.0, 3.0);
+        assert!(c.contains(185.0, 0.0));
+        assert!(c.contains(187.9, 0.0));
+        assert!(!c.contains(189.0, 0.0));
+        assert!(!c.contains(185.0, 4.0));
+    }
+
+    #[test]
+    fn bounding_box_widens_with_declination() {
+        let equator = Cone::new(180.0, 0.0, 2.0);
+        let polar = Cone::new(180.0, 75.0, 2.0);
+        let eq_str = equator.bounding_box_predicate("ra", "dec").to_string();
+        let polar_str = polar.bounding_box_predicate("ra", "dec").to_string();
+        assert!(eq_str.contains("ra BETWEEN 178 AND 182"));
+        // at dec 75 the ra window must be wider than ±2
+        assert!(!polar_str.contains("ra BETWEEN 178 AND 182"));
+    }
+
+    #[test]
+    fn nearby_obj_matches_exact_cone() {
+        let points = vec![
+            (185.0, 0.0),  // centre
+            (186.5, 0.5),  // inside
+            (188.5, 0.0),  // outside (3.5 deg away)
+            (185.0, 2.9),  // inside
+            (185.0, -3.5), // outside
+            (20.0, 50.0),  // far away
+        ];
+        let t = positions_table(&points);
+        let sel = get_nearby_obj_eq(&t, "ra", "dec", Cone::new(185.0, 0.0, 3.0)).unwrap();
+        assert_eq!(sel.rows(), &[0, 1, 3]);
+    }
+
+    #[test]
+    fn bounding_box_is_superset_of_cone() {
+        // corner of the box is outside the cone but inside the box
+        let points = vec![(187.5, 2.5)];
+        let t = positions_table(&points);
+        let cone = Cone::new(185.0, 0.0, 3.0);
+        let boxed = cone.bounding_box_predicate("ra", "dec").evaluate(&t).unwrap();
+        let exact = get_nearby_obj_eq(&t, "ra", "dec", cone).unwrap();
+        assert_eq!(boxed.len(), 1);
+        assert_eq!(exact.len(), 0);
+    }
+
+    #[test]
+    fn null_positions_never_match() {
+        let schema = Schema::shared(vec![
+            Field::nullable("ra", DataType::Float64),
+            Field::nullable("dec", DataType::Float64),
+        ])
+        .unwrap();
+        let mut t = Table::new("pos", schema);
+        t.append_row(&[Value::Null, Value::Float64(0.0)]).unwrap();
+        t.append_row(&[Value::Float64(185.0), Value::Null]).unwrap();
+        t.append_row(&[Value::Float64(185.0), Value::Float64(0.0)]).unwrap();
+        let sel = get_nearby_obj_eq(&t, "ra", "dec", Cone::new(185.0, 0.0, 3.0)).unwrap();
+        assert_eq!(sel.rows(), &[2]);
+    }
+
+    #[test]
+    fn missing_columns_error() {
+        let t = positions_table(&[(1.0, 1.0)]);
+        assert!(get_nearby_obj_eq(&t, "missing", "dec", Cone::new(0.0, 0.0, 1.0)).is_err());
+    }
+
+    #[test]
+    fn empty_table_returns_empty_selection() {
+        let t = positions_table(&[]);
+        let sel = get_nearby_obj_eq(&t, "ra", "dec", Cone::new(0.0, 0.0, 1.0)).unwrap();
+        assert!(sel.is_empty());
+    }
+
+    #[test]
+    fn zero_radius_selects_only_exact_centre() {
+        let t = positions_table(&[(10.0, 10.0), (10.0001, 10.0)]);
+        let sel = get_nearby_obj_eq(&t, "ra", "dec", Cone::new(10.0, 10.0, 0.0)).unwrap();
+        assert_eq!(sel.rows(), &[0]);
+    }
+}

@@ -1,0 +1,153 @@
+//! Dimension tables of the synthetic SkyServer schema.
+//!
+//! The paper's Figure 1 shows `PhotoObjAll` surrounded by dimension tables
+//! (`Field`, `Frame`, `PhotoTag`, …) reached through foreign-key joins. Two
+//! representative dimensions are generated here so that the reproduction can
+//! exercise FK joins, join-aware impressions and the `Galaxy`-style views:
+//!
+//! * `field` — the imaging field each detection belongs to (run, camcol,
+//!   observation quality, airmass),
+//! * `photo_type` — the small lookup table mapping class labels to codes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sciborq_columnar::{DataType, Field, Schema, SchemaRef, Table, Value};
+
+/// Schema of the `field` dimension table.
+pub fn field_schema() -> SchemaRef {
+    Schema::shared(vec![
+        Field::new("field_id", DataType::Int64),
+        Field::new("run", DataType::Int64),
+        Field::new("camcol", DataType::Int64),
+        Field::new("quality", DataType::Int64),
+        Field::new("airmass", DataType::Float64),
+    ])
+    .expect("static schema is valid")
+}
+
+/// Generate the `field` dimension table with `field_count` rows.
+///
+/// `field_id` runs from 1 to `field_count`, matching the foreign keys emitted
+/// by the `PhotoObjAll` generator.
+pub fn generate_field_table(field_count: u32, seed: u64) -> Table {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut table = Table::with_capacity("field", field_schema(), field_count as usize);
+    for field_id in 1..=field_count as i64 {
+        let run = 1000 + field_id / 8;
+        let camcol = (field_id % 6) + 1;
+        // quality 1 (bad) .. 3 (good); most fields are good
+        let quality = if rng.gen_bool(0.85) {
+            3
+        } else if rng.gen_bool(0.6) {
+            2
+        } else {
+            1
+        };
+        let airmass = 1.0 + rng.gen_range(0.0..0.8);
+        table
+            .append_row(&[
+                Value::Int64(field_id),
+                Value::Int64(run),
+                Value::Int64(camcol),
+                Value::Int64(quality),
+                Value::Float64(airmass),
+            ])
+            .expect("generated row matches schema");
+    }
+    table
+}
+
+/// Schema of the `photo_type` lookup table.
+pub fn photo_type_schema() -> SchemaRef {
+    Schema::shared(vec![
+        Field::new("type_id", DataType::Int64),
+        Field::new("name", DataType::Utf8),
+        Field::new("description", DataType::Utf8),
+    ])
+    .expect("static schema is valid")
+}
+
+/// Generate the `photo_type` lookup table (galaxy / star / QSO / unknown).
+pub fn generate_photo_type_table() -> Table {
+    let mut table = Table::new("photo_type", photo_type_schema());
+    let rows: [(i64, &str, &str); 4] = [
+        (0, "UNKNOWN", "Unclassified detection"),
+        (3, "GALAXY", "Extended extragalactic source"),
+        (6, "STAR", "Point source within the Milky Way"),
+        (8, "QSO", "Quasi-stellar object"),
+    ];
+    for (type_id, name, description) in rows {
+        table
+            .append_row(&[
+                Value::Int64(type_id),
+                Value::Utf8(name.to_owned()),
+                Value::Utf8(description.to_owned()),
+            ])
+            .expect("static rows match schema");
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sciborq_columnar::{Predicate, SelectionVector};
+
+    #[test]
+    fn field_schema_columns() {
+        let s = field_schema();
+        assert_eq!(s.names(), vec!["field_id", "run", "camcol", "quality", "airmass"]);
+    }
+
+    #[test]
+    fn field_table_covers_all_ids() {
+        let t = generate_field_table(64, 1);
+        assert_eq!(t.row_count(), 64);
+        let ids = t.column("field_id").unwrap();
+        assert_eq!(ids.get_i64(0), Some(1));
+        assert_eq!(ids.get_i64(63), Some(64));
+        // camcol in 1..=6, quality in 1..=3, airmass >= 1
+        for i in 0..t.row_count() {
+            let camcol = t.column("camcol").unwrap().get_i64(i).unwrap();
+            assert!((1..=6).contains(&camcol));
+            let quality = t.column("quality").unwrap().get_i64(i).unwrap();
+            assert!((1..=3).contains(&quality));
+            let airmass = t.column("airmass").unwrap().get_f64(i).unwrap();
+            assert!((1.0..1.8).contains(&airmass));
+        }
+    }
+
+    #[test]
+    fn field_table_deterministic() {
+        assert_eq!(generate_field_table(32, 9), generate_field_table(32, 9));
+    }
+
+    #[test]
+    fn most_fields_are_good_quality() {
+        let t = generate_field_table(500, 2);
+        let sel = Predicate::eq("quality", 3).evaluate(&t).unwrap();
+        assert!(sel.len() as f64 / 500.0 > 0.7);
+    }
+
+    #[test]
+    fn photo_type_table_contents() {
+        let t = generate_photo_type_table();
+        assert_eq!(t.row_count(), 4);
+        let sel = Predicate::eq("name", "GALAXY").evaluate(&t).unwrap();
+        assert_eq!(sel.len(), 1);
+        let row = t.row(sel.rows()[0]).unwrap();
+        assert_eq!(row[0], Value::Int64(3));
+        // all rows have non-empty descriptions
+        let desc = t.column("description").unwrap();
+        for i in 0..t.row_count() {
+            assert!(!desc.get(i).unwrap().as_str().unwrap().is_empty());
+        }
+        let _ = SelectionVector::all(t.row_count());
+    }
+
+    #[test]
+    fn empty_field_table_allowed() {
+        let t = generate_field_table(0, 3);
+        assert_eq!(t.row_count(), 0);
+    }
+}

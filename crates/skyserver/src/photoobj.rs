@@ -1,0 +1,407 @@
+//! Synthetic `PhotoObjAll` generator.
+//!
+//! The paper's experiments run against the SkyServer `PhotoObjAll` fact table
+//! (billions of astronomical detections with `ra`/`dec` positions and
+//! photometric measurements). The real catalogue is not redistributable at
+//! that scale, so this module generates a synthetic catalogue with the
+//! statistical properties the SciBORQ experiments depend on:
+//!
+//! * spatially clustered positions (galaxy clusters / survey stripes) so that
+//!   cone searches have widely varying selectivity,
+//! * correlated photometric attributes (magnitudes, redshift) so aggregate
+//!   queries have non-trivial variance,
+//! * a class label (GALAXY / STAR / QSO) with realistic-ish proportions,
+//! * a foreign key into the `Field` dimension table.
+//!
+//! Generation is streaming and batch-oriented: the same `RecordBatch`es that
+//! are appended to the base table are fed to the impression builders,
+//! mirroring the paper's load-time construction.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sciborq_columnar::{DataType, Field, RecordBatch, RecordBatchBuilder, Schema, SchemaRef, Value};
+use serde::{Deserialize, Serialize};
+
+/// A cluster of objects on the sky.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SkyCluster {
+    /// Right ascension of the cluster centre, degrees.
+    pub ra: f64,
+    /// Declination of the cluster centre, degrees.
+    pub dec: f64,
+    /// Standard deviation of member positions, degrees.
+    pub spread: f64,
+    /// Relative share of objects belonging to this cluster.
+    pub weight: f64,
+}
+
+impl SkyCluster {
+    /// Convenience constructor.
+    pub fn new(ra: f64, dec: f64, spread: f64, weight: f64) -> Self {
+        SkyCluster {
+            ra,
+            dec,
+            spread,
+            weight,
+        }
+    }
+}
+
+/// Configuration of the synthetic sky catalogue.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SkyConfig {
+    /// Object clusters; the remaining objects are spread uniformly.
+    pub clusters: Vec<SkyCluster>,
+    /// Fraction of objects drawn uniformly over the whole sky (field
+    /// objects not belonging to any cluster).
+    pub background_fraction: f64,
+    /// Number of entries in the `Field` dimension table the fact table's
+    /// foreign key references.
+    pub field_count: u32,
+    /// Fraction of objects whose redshift measurement is missing (NULL).
+    pub missing_redshift_fraction: f64,
+}
+
+impl Default for SkyConfig {
+    fn default() -> Self {
+        SkyConfig {
+            clusters: vec![
+                SkyCluster::new(185.0, 0.0, 4.0, 0.45),
+                SkyCluster::new(160.0, 25.0, 6.0, 0.25),
+                SkyCluster::new(230.0, 45.0, 3.0, 0.10),
+            ],
+            background_fraction: 0.2,
+            field_count: 512,
+            missing_redshift_fraction: 0.1,
+        }
+    }
+}
+
+/// The schema of the synthetic `PhotoObjAll` table.
+pub fn photoobj_schema() -> SchemaRef {
+    Schema::shared(vec![
+        Field::new("objid", DataType::Int64),
+        Field::new("field_id", DataType::Int64),
+        Field::new("ra", DataType::Float64),
+        Field::new("dec", DataType::Float64),
+        Field::new("g_mag", DataType::Float64),
+        Field::new("r_mag", DataType::Float64),
+        Field::new("i_mag", DataType::Float64),
+        Field::nullable("redshift", DataType::Float64),
+        Field::new("class", DataType::Utf8),
+    ])
+    .expect("static schema is valid")
+}
+
+/// A streaming generator of synthetic `PhotoObjAll` rows.
+#[derive(Debug, Clone)]
+pub struct PhotoObjGenerator {
+    config: SkyConfig,
+    schema: SchemaRef,
+    rng: StdRng,
+    next_objid: i64,
+}
+
+impl PhotoObjGenerator {
+    /// Create a generator with the given configuration and seed.
+    pub fn new(config: SkyConfig, seed: u64) -> Self {
+        PhotoObjGenerator {
+            config,
+            schema: photoobj_schema(),
+            rng: StdRng::seed_from_u64(seed),
+            next_objid: 1,
+        }
+    }
+
+    /// Create a generator with the default sky configuration.
+    pub fn default_sky(seed: u64) -> Self {
+        Self::new(SkyConfig::default(), seed)
+    }
+
+    /// The generator's configuration.
+    pub fn config(&self) -> &SkyConfig {
+        &self.config
+    }
+
+    /// The `PhotoObjAll` schema the generator produces.
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    /// Number of objects generated so far.
+    pub fn generated(&self) -> i64 {
+        self.next_objid - 1
+    }
+
+    fn sample_normal(&mut self, mean: f64, sd: f64) -> f64 {
+        let u1: f64 = self.rng.gen_range(1e-12..1.0);
+        let u2: f64 = self.rng.gen_range(0.0..1.0);
+        mean + sd * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    fn pick_cluster(&mut self) -> Option<SkyCluster> {
+        if self.config.clusters.is_empty() {
+            return None;
+        }
+        let total: f64 = self.config.clusters.iter().map(|c| c.weight).sum();
+        if total <= 0.0 {
+            return None;
+        }
+        let mut target = self.rng.gen_range(0.0..total);
+        for c in &self.config.clusters {
+            if target < c.weight {
+                return Some(*c);
+            }
+            target -= c.weight;
+        }
+        self.config.clusters.last().copied()
+    }
+
+    /// Generate the next row as a value vector in schema order.
+    pub fn next_row(&mut self) -> Vec<Value> {
+        let objid = self.next_objid;
+        self.next_objid += 1;
+
+        let background = self
+            .rng
+            .gen_bool(self.config.background_fraction.clamp(0.0, 1.0));
+        let (ra, dec) = if background {
+            (
+                self.rng.gen_range(0.0..360.0),
+                self.rng.gen_range(-90.0..90.0),
+            )
+        } else if let Some(cluster) = self.pick_cluster() {
+            (
+                self.sample_normal(cluster.ra, cluster.spread).rem_euclid(360.0),
+                self.sample_normal(cluster.dec, cluster.spread).clamp(-90.0, 90.0),
+            )
+        } else {
+            (
+                self.rng.gen_range(0.0..360.0),
+                self.rng.gen_range(-90.0..90.0),
+            )
+        };
+
+        // Class mix roughly follows SDSS photometric proportions.
+        let class_draw: f64 = self.rng.gen();
+        let (class, base_mag, redshift_scale) = if class_draw < 0.62 {
+            ("GALAXY", 19.5, 0.25)
+        } else if class_draw < 0.95 {
+            ("STAR", 17.5, 0.0005)
+        } else {
+            ("QSO", 20.5, 1.4)
+        };
+
+        // r-band magnitude with per-class offsets; g and i correlated with r.
+        let r_mag = (self.sample_normal(base_mag, 1.4)).clamp(12.0, 26.0);
+        let g_mag = (r_mag + self.sample_normal(0.6, 0.3)).clamp(12.0, 27.0);
+        let i_mag = (r_mag - self.sample_normal(0.3, 0.2)).clamp(11.0, 26.0);
+
+        let redshift = if self
+            .rng
+            .gen_bool(self.config.missing_redshift_fraction.clamp(0.0, 1.0))
+        {
+            Value::Null
+        } else {
+            Value::Float64((self.sample_normal(redshift_scale, redshift_scale / 2.0 + 1e-4)).abs())
+        };
+
+        // Fields tile the sky in ra stripes so the FK correlates with position.
+        let field_id = ((ra / 360.0 * self.config.field_count as f64) as i64)
+            .clamp(0, self.config.field_count as i64 - 1)
+            + 1;
+
+        vec![
+            Value::Int64(objid),
+            Value::Int64(field_id),
+            Value::Float64(ra),
+            Value::Float64(dec),
+            Value::Float64(g_mag),
+            Value::Float64(r_mag),
+            Value::Float64(i_mag),
+            redshift,
+            Value::Utf8(class.to_owned()),
+        ]
+    }
+
+    /// Generate a batch of `rows` objects (one incremental load).
+    pub fn next_batch(&mut self, rows: usize) -> RecordBatch {
+        let mut builder = RecordBatchBuilder::with_capacity(self.schema.clone(), rows);
+        for _ in 0..rows {
+            let row = self.next_row();
+            builder
+                .push_row(&row)
+                .expect("generated rows always match the schema");
+        }
+        builder.finish().expect("generated batch is valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_has_expected_columns() {
+        let s = photoobj_schema();
+        assert_eq!(
+            s.names(),
+            vec![
+                "objid", "field_id", "ra", "dec", "g_mag", "r_mag", "i_mag", "redshift", "class"
+            ]
+        );
+        assert!(s.field("redshift").unwrap().nullable);
+        assert!(!s.field("ra").unwrap().nullable);
+    }
+
+    #[test]
+    fn generator_produces_valid_batches() {
+        let mut g = PhotoObjGenerator::default_sky(1);
+        let b = g.next_batch(1000);
+        assert_eq!(b.row_count(), 1000);
+        assert_eq!(g.generated(), 1000);
+        // objids are dense and increasing
+        let objids = b.column("objid").unwrap();
+        assert_eq!(objids.get_i64(0), Some(1));
+        assert_eq!(objids.get_i64(999), Some(1000));
+        // positions lie in their domains
+        let ra = b.column("ra").unwrap();
+        let dec = b.column("dec").unwrap();
+        for i in 0..1000 {
+            let r = ra.get_f64(i).unwrap();
+            let d = dec.get_f64(i).unwrap();
+            assert!((0.0..360.0).contains(&r), "ra {r}");
+            assert!((-90.0..=90.0).contains(&d), "dec {d}");
+        }
+    }
+
+    #[test]
+    fn consecutive_batches_continue_objids() {
+        let mut g = PhotoObjGenerator::default_sky(2);
+        let _ = g.next_batch(10);
+        let b2 = g.next_batch(5);
+        assert_eq!(b2.column("objid").unwrap().get_i64(0), Some(11));
+        assert_eq!(g.generated(), 15);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = PhotoObjGenerator::default_sky(7).next_batch(100);
+        let b = PhotoObjGenerator::default_sky(7).next_batch(100);
+        assert_eq!(a, b);
+        let c = PhotoObjGenerator::default_sky(8).next_batch(100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn positions_cluster_around_configured_centres() {
+        let mut g = PhotoObjGenerator::default_sky(3);
+        let b = g.next_batch(20_000);
+        let ra = b.column("ra").unwrap();
+        let near_main = (0..b.row_count())
+            .filter_map(|i| ra.get_f64(i))
+            .filter(|r| (*r - 185.0).abs() < 10.0)
+            .count();
+        // the main cluster holds ~45% of objects (minus background spread);
+        // a uniform sky would put only ~5.5% of objects in a 20° window
+        let share = near_main as f64 / b.row_count() as f64;
+        assert!(share > 0.3, "share near main cluster = {share}");
+    }
+
+    #[test]
+    fn class_mix_is_galaxy_dominated() {
+        let mut g = PhotoObjGenerator::default_sky(4);
+        let b = g.next_batch(10_000);
+        let class = b.column("class").unwrap();
+        let mut galaxies = 0;
+        let mut stars = 0;
+        let mut qsos = 0;
+        for i in 0..b.row_count() {
+            match class.get(i).unwrap().as_str().unwrap() {
+                "GALAXY" => galaxies += 1,
+                "STAR" => stars += 1,
+                "QSO" => qsos += 1,
+                other => panic!("unexpected class {other}"),
+            }
+        }
+        assert!(galaxies > stars && stars > qsos);
+        assert!(qsos > 0);
+    }
+
+    #[test]
+    fn redshift_nulls_match_configuration() {
+        let config = SkyConfig {
+            missing_redshift_fraction: 0.5,
+            ..SkyConfig::default()
+        };
+        let mut g = PhotoObjGenerator::new(config, 5);
+        let b = g.next_batch(4000);
+        let nulls = b.column("redshift").unwrap().null_count();
+        let frac = nulls as f64 / 4000.0;
+        assert!((frac - 0.5).abs() < 0.05, "null fraction {frac}");
+        // magnitudes are never NULL
+        assert_eq!(b.column("r_mag").unwrap().null_count(), 0);
+    }
+
+    #[test]
+    fn field_ids_reference_configured_dimension() {
+        let config = SkyConfig {
+            field_count: 16,
+            ..SkyConfig::default()
+        };
+        let mut g = PhotoObjGenerator::new(config, 6);
+        let b = g.next_batch(2000);
+        let fid = b.column("field_id").unwrap();
+        for i in 0..b.row_count() {
+            let f = fid.get_i64(i).unwrap();
+            assert!((1..=16).contains(&f), "field_id {f}");
+        }
+    }
+
+    #[test]
+    fn empty_cluster_config_spreads_uniformly() {
+        let config = SkyConfig {
+            clusters: vec![],
+            background_fraction: 0.0,
+            ..SkyConfig::default()
+        };
+        let mut g = PhotoObjGenerator::new(config, 9);
+        let b = g.next_batch(5000);
+        let ra = b.column("ra").unwrap();
+        // roughly uniform: each quadrant should hold 15-35%
+        for q in 0..4 {
+            let lo = q as f64 * 90.0;
+            let hi = lo + 90.0;
+            let count = (0..b.row_count())
+                .filter_map(|i| ra.get_f64(i))
+                .filter(|r| *r >= lo && *r < hi)
+                .count();
+            let share = count as f64 / 5000.0;
+            assert!(share > 0.15 && share < 0.35, "quadrant {q} share {share}");
+        }
+    }
+
+    #[test]
+    fn magnitudes_are_correlated() {
+        let mut g = PhotoObjGenerator::default_sky(10);
+        let b = g.next_batch(5000);
+        let r = b.column("r_mag").unwrap();
+        let gm = b.column("g_mag").unwrap();
+        // compute Pearson correlation between r and g magnitudes
+        let pairs: Vec<(f64, f64)> = (0..b.row_count())
+            .map(|i| (r.get_f64(i).unwrap(), gm.get_f64(i).unwrap()))
+            .collect();
+        let n = pairs.len() as f64;
+        let mean_r = pairs.iter().map(|p| p.0).sum::<f64>() / n;
+        let mean_g = pairs.iter().map(|p| p.1).sum::<f64>() / n;
+        let cov = pairs
+            .iter()
+            .map(|p| (p.0 - mean_r) * (p.1 - mean_g))
+            .sum::<f64>()
+            / n;
+        let sd_r = (pairs.iter().map(|p| (p.0 - mean_r).powi(2)).sum::<f64>() / n).sqrt();
+        let sd_g = (pairs.iter().map(|p| (p.1 - mean_g).powi(2)).sum::<f64>() / n).sqrt();
+        let corr = cov / (sd_r * sd_g);
+        assert!(corr > 0.8, "g/r magnitude correlation {corr}");
+    }
+}

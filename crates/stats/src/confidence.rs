@@ -1,0 +1,254 @@
+//! Confidence intervals and error bounds.
+//!
+//! SciBORQ promises queries "strict bounds on errors": the bounded-query
+//! engine compares the *relative half-width* of a confidence interval around
+//! an approximate answer against the user's error budget, and escalates to a
+//! more detailed impression when the budget is exceeded. This module converts
+//! [`Estimate`](crate::estimator::Estimate)s into intervals and error
+//! metrics.
+
+use crate::error::{Result, StatsError};
+use crate::estimator::Estimate;
+use crate::kernel::standard_normal_quantile;
+use serde::{Deserialize, Serialize};
+
+/// A two-sided confidence interval around a point estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfidenceInterval {
+    /// The point estimate.
+    pub estimate: f64,
+    /// Lower bound of the interval.
+    pub lower: f64,
+    /// Upper bound of the interval.
+    pub upper: f64,
+    /// Confidence level in (0, 1), e.g. 0.95.
+    pub confidence: f64,
+}
+
+impl ConfidenceInterval {
+    /// Build a normal-approximation interval `estimate ± z·se`.
+    pub fn normal(estimate: f64, standard_error: f64, confidence: f64) -> Result<Self> {
+        if !(0.0 < confidence && confidence < 1.0) {
+            return Err(StatsError::invalid(
+                "confidence",
+                "must lie strictly between 0 and 1",
+            ));
+        }
+        if standard_error < 0.0 || !standard_error.is_finite() {
+            return Err(StatsError::invalid(
+                "standard_error",
+                "must be non-negative and finite",
+            ));
+        }
+        let z = standard_normal_quantile(0.5 + confidence / 2.0);
+        let half = z * standard_error;
+        Ok(ConfidenceInterval {
+            estimate,
+            lower: estimate - half,
+            upper: estimate + half,
+            confidence,
+        })
+    }
+
+    /// Build an interval from an [`Estimate`].
+    pub fn from_estimate(estimate: &Estimate, confidence: f64) -> Result<Self> {
+        Self::normal(estimate.value, estimate.standard_error, confidence)
+    }
+
+    /// An exact, zero-width interval (base-data answers).
+    pub fn exact(value: f64) -> Self {
+        ConfidenceInterval {
+            estimate: value,
+            lower: value,
+            upper: value,
+            confidence: 1.0,
+        }
+    }
+
+    /// The half-width of the interval.
+    pub fn half_width(&self) -> f64 {
+        (self.upper - self.lower) / 2.0
+    }
+
+    /// The *relative* half-width (half-width / |estimate|), the quantity the
+    /// bounded query engine compares against the user's error budget.
+    ///
+    /// When the estimate is zero the relative error is defined as 0 if the
+    /// interval is also degenerate at zero, and infinity otherwise.
+    pub fn relative_half_width(&self) -> f64 {
+        if self.estimate == 0.0 {
+            if self.half_width() == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.half_width() / self.estimate.abs()
+        }
+    }
+
+    /// Whether the relative half-width is at most the requested error bound.
+    pub fn satisfies_error_bound(&self, max_relative_error: f64) -> bool {
+        self.relative_half_width() <= max_relative_error
+    }
+
+    /// Whether a (known) true value falls inside the interval — used by the
+    /// experiment harness to measure empirical coverage.
+    pub fn covers(&self, truth: f64) -> bool {
+        self.lower <= truth && truth <= self.upper
+    }
+}
+
+/// Minimum uniform-sample size needed to achieve a target relative error for
+/// a selectivity (COUNT) query, using the normal approximation
+/// `n ≥ z²·(1−p)/(p·ε²)` (ignoring the finite-population correction, so the
+/// result is conservative).
+///
+/// This is the planning calculation the engine uses to pick the smallest
+/// layer that can possibly satisfy an error bound.
+pub fn required_sample_size_for_count(
+    selectivity: f64,
+    max_relative_error: f64,
+    confidence: f64,
+) -> Result<u64> {
+    if !(0.0 < selectivity && selectivity <= 1.0) {
+        return Err(StatsError::invalid(
+            "selectivity",
+            "must lie in (0, 1]",
+        ));
+    }
+    if !(max_relative_error > 0.0) {
+        return Err(StatsError::invalid(
+            "max_relative_error",
+            "must be positive",
+        ));
+    }
+    if !(0.0 < confidence && confidence < 1.0) {
+        return Err(StatsError::invalid(
+            "confidence",
+            "must lie strictly between 0 and 1",
+        ));
+    }
+    let z = standard_normal_quantile(0.5 + confidence / 2.0);
+    let n = z * z * (1.0 - selectivity) / (selectivity * max_relative_error * max_relative_error);
+    Ok(n.ceil().max(1.0) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn normal_interval_95() {
+        let ci = ConfidenceInterval::normal(100.0, 10.0, 0.95).unwrap();
+        assert!((ci.half_width() - 19.6).abs() < 0.05);
+        assert!(ci.lower < 100.0 && ci.upper > 100.0);
+        assert!((ci.relative_half_width() - 0.196).abs() < 0.001);
+        assert!(ci.covers(100.0));
+        assert!(ci.covers(85.0));
+        assert!(!ci.covers(130.0));
+    }
+
+    #[test]
+    fn interval_validation() {
+        assert!(ConfidenceInterval::normal(1.0, 1.0, 0.0).is_err());
+        assert!(ConfidenceInterval::normal(1.0, 1.0, 1.0).is_err());
+        assert!(ConfidenceInterval::normal(1.0, -1.0, 0.9).is_err());
+        assert!(ConfidenceInterval::normal(1.0, f64::NAN, 0.9).is_err());
+    }
+
+    #[test]
+    fn exact_interval_has_zero_width() {
+        let ci = ConfidenceInterval::exact(5.0);
+        assert_eq!(ci.half_width(), 0.0);
+        assert_eq!(ci.relative_half_width(), 0.0);
+        assert!(ci.satisfies_error_bound(0.0));
+        assert!(ci.covers(5.0));
+        assert!(!ci.covers(5.1));
+    }
+
+    #[test]
+    fn zero_estimate_relative_width() {
+        let ci = ConfidenceInterval::normal(0.0, 1.0, 0.95).unwrap();
+        assert_eq!(ci.relative_half_width(), f64::INFINITY);
+        assert!(!ci.satisfies_error_bound(0.5));
+        let degenerate = ConfidenceInterval::normal(0.0, 0.0, 0.95).unwrap();
+        assert_eq!(degenerate.relative_half_width(), 0.0);
+    }
+
+    #[test]
+    fn from_estimate_matches_normal() {
+        let e = Estimate {
+            value: 50.0,
+            standard_error: 5.0,
+            sample_size: 100,
+        };
+        let a = ConfidenceInterval::from_estimate(&e, 0.9).unwrap();
+        let b = ConfidenceInterval::normal(50.0, 5.0, 0.9).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn higher_confidence_widens_interval() {
+        let narrow = ConfidenceInterval::normal(10.0, 2.0, 0.80).unwrap();
+        let wide = ConfidenceInterval::normal(10.0, 2.0, 0.99).unwrap();
+        assert!(wide.half_width() > narrow.half_width());
+    }
+
+    #[test]
+    fn error_bound_check() {
+        let ci = ConfidenceInterval::normal(1000.0, 10.0, 0.95).unwrap();
+        // relative half width ≈ 0.0196
+        assert!(ci.satisfies_error_bound(0.05));
+        assert!(!ci.satisfies_error_bound(0.01));
+    }
+
+    #[test]
+    fn required_sample_size_reasonable() {
+        // 10% selectivity, 5% relative error, 95% confidence:
+        // n ≈ 1.96² * 0.9 / (0.1 * 0.0025) ≈ 13_830
+        let n = required_sample_size_for_count(0.1, 0.05, 0.95).unwrap();
+        assert!(n > 13_000 && n < 15_000, "n = {n}");
+        // rarer predicates need more samples
+        let n_rare = required_sample_size_for_count(0.01, 0.05, 0.95).unwrap();
+        assert!(n_rare > n);
+        // looser error budgets need fewer
+        let n_loose = required_sample_size_for_count(0.1, 0.2, 0.95).unwrap();
+        assert!(n_loose < n);
+        // full selectivity needs only a single sample
+        assert_eq!(required_sample_size_for_count(1.0, 0.05, 0.95).unwrap(), 1);
+    }
+
+    #[test]
+    fn required_sample_size_validation() {
+        assert!(required_sample_size_for_count(0.0, 0.1, 0.95).is_err());
+        assert!(required_sample_size_for_count(1.5, 0.1, 0.95).is_err());
+        assert!(required_sample_size_for_count(0.5, 0.0, 0.95).is_err());
+        assert!(required_sample_size_for_count(0.5, 0.1, 1.0).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn interval_always_contains_estimate(
+            est in -1e6f64..1e6,
+            se in 0.0f64..1e3,
+            conf in 0.5f64..0.999,
+        ) {
+            let ci = ConfidenceInterval::normal(est, se, conf).unwrap();
+            prop_assert!(ci.lower <= est + 1e-9);
+            prop_assert!(ci.upper >= est - 1e-9);
+            prop_assert!(ci.half_width() >= 0.0);
+        }
+
+        #[test]
+        fn required_sample_size_monotone_in_error(
+            sel in 0.01f64..0.99,
+            conf in 0.8f64..0.99,
+        ) {
+            let tight = required_sample_size_for_count(sel, 0.01, conf).unwrap();
+            let loose = required_sample_size_for_count(sel, 0.1, conf).unwrap();
+            prop_assert!(tight >= loose);
+        }
+    }
+}

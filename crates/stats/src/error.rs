@@ -1,0 +1,78 @@
+//! Error types for the statistics substrate.
+
+use std::fmt;
+
+/// Errors produced by histogram, KDE and estimator construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Explanation of the violated constraint.
+        message: String,
+    },
+    /// An operation required at least one observation but none were present.
+    EmptyInput(&'static str),
+    /// A numerical routine failed to converge.
+    NonConvergence {
+        /// Routine name.
+        routine: &'static str,
+        /// Number of iterations attempted.
+        iterations: usize,
+    },
+}
+
+impl StatsError {
+    /// Convenience constructor for invalid parameters.
+    pub fn invalid(name: &'static str, message: impl Into<String>) -> Self {
+        StatsError::InvalidParameter {
+            name,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter {name}: {message}")
+            }
+            StatsError::EmptyInput(what) => write!(f, "empty input: {what}"),
+            StatsError::NonConvergence {
+                routine,
+                iterations,
+            } => write!(f, "{routine} did not converge after {iterations} iterations"),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+/// Result alias for the stats crate.
+pub type Result<T> = std::result::Result<T, StatsError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = StatsError::invalid("bins", "must be > 0");
+        assert_eq!(e.to_string(), "invalid parameter bins: must be > 0");
+        let e = StatsError::EmptyInput("predicate set");
+        assert!(e.to_string().contains("predicate set"));
+        let e = StatsError::NonConvergence {
+            routine: "fnchg_mean",
+            iterations: 50,
+        };
+        assert!(e.to_string().contains("50"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn check<E: std::error::Error>(_: &E) {}
+        check(&StatsError::EmptyInput("x"));
+    }
+}

@@ -1,0 +1,448 @@
+//! Estimators that scale sample aggregates up to population aggregates.
+//!
+//! Two families are needed by SciBORQ:
+//!
+//! * **Simple random sampling (SRS)** estimators for uniform impressions
+//!   (Algorithm R reservoirs): the classical expansion estimator with a
+//!   finite-population correction.
+//! * **Unequal-probability** estimators for biased impressions: each tuple
+//!   carries the inclusion probability implied by its KDE interest weight,
+//!   and totals are estimated Horvitz–Thompson style (`Σ yᵢ/πᵢ`) with a
+//!   Hansen–Hurwitz style variance approximation.
+//!
+//! The estimators report both a point estimate and a standard error; the
+//! confidence-interval machinery in [`crate::confidence`] turns those into
+//! the error bounds the bounded-query engine enforces.
+
+use crate::error::{Result, StatsError};
+use serde::{Deserialize, Serialize};
+
+/// A point estimate together with its standard error and the number of
+/// sample rows that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Estimate {
+    /// The point estimate of the population quantity.
+    pub value: f64,
+    /// The estimated standard error of the point estimate.
+    pub standard_error: f64,
+    /// Number of sample observations used.
+    pub sample_size: usize,
+}
+
+impl Estimate {
+    /// An exact (zero-error) estimate, e.g. when the query ran on base data.
+    pub fn exact(value: f64, sample_size: usize) -> Self {
+        Estimate {
+            value,
+            standard_error: 0.0,
+            sample_size,
+        }
+    }
+}
+
+/// Estimators for uniform (simple random, without replacement) samples of a
+/// population of known size.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SrsEstimator {
+    /// Population size `cnt` (number of tuples in the base table / layer
+    /// below).
+    pub population_size: u64,
+    /// Sample size `n` drawn from that population.
+    pub sample_size: u64,
+}
+
+impl SrsEstimator {
+    /// Create an estimator; the sample cannot exceed the population.
+    pub fn new(population_size: u64, sample_size: u64) -> Result<Self> {
+        if sample_size > population_size {
+            return Err(StatsError::invalid(
+                "sample_size",
+                format!("sample {sample_size} exceeds population {population_size}"),
+            ));
+        }
+        Ok(SrsEstimator {
+            population_size,
+            sample_size,
+        })
+    }
+
+    /// Finite population correction `1 − n/N`.
+    pub fn fpc(&self) -> f64 {
+        if self.population_size == 0 {
+            0.0
+        } else {
+            1.0 - self.sample_size as f64 / self.population_size as f64
+        }
+    }
+
+    /// Estimate a population COUNT (the number of tuples satisfying a
+    /// predicate) from the number of matching tuples in the sample.
+    ///
+    /// The selectivity `p̂ = matches/n` is expanded to `p̂·N`; the standard
+    /// error follows the binomial/hypergeometric approximation with FPC.
+    pub fn estimate_count(&self, sample_matches: usize) -> Result<Estimate> {
+        let n = self.sample_size as f64;
+        if self.sample_size == 0 {
+            return Err(StatsError::EmptyInput("SRS count estimate on empty sample"));
+        }
+        if sample_matches as u64 > self.sample_size {
+            return Err(StatsError::invalid(
+                "sample_matches",
+                "cannot exceed sample size",
+            ));
+        }
+        let big_n = self.population_size as f64;
+        let p = sample_matches as f64 / n;
+        let var_p = p * (1.0 - p) / n * self.fpc();
+        Ok(Estimate {
+            value: p * big_n,
+            standard_error: big_n * var_p.sqrt(),
+            sample_size: sample_matches,
+        })
+    }
+
+    /// Estimate a population SUM of an attribute from the sample values of
+    /// the tuples matching the predicate.
+    ///
+    /// `sample_values` are the attribute values of the matching sample
+    /// tuples; the estimator expands the *sample mean over all n drawn
+    /// tuples* (treating non-matching tuples as contributing 0) to the
+    /// population, which is the standard expansion estimator for domain
+    /// sums.
+    pub fn estimate_sum(&self, sample_values: &[f64]) -> Result<Estimate> {
+        if self.sample_size == 0 {
+            return Err(StatsError::EmptyInput("SRS sum estimate on empty sample"));
+        }
+        let n = self.sample_size as f64;
+        let big_n = self.population_size as f64;
+        // zero-extended mean and variance over the full drawn sample
+        let sum: f64 = sample_values.iter().sum();
+        let mean = sum / n;
+        let sum_sq: f64 = sample_values.iter().map(|v| v * v).sum();
+        let var = if self.sample_size > 1 {
+            ((sum_sq - n * mean * mean) / (n - 1.0)).max(0.0)
+        } else {
+            0.0
+        };
+        let se = big_n * (var / n * self.fpc()).sqrt();
+        Ok(Estimate {
+            value: big_n * mean,
+            standard_error: se,
+            sample_size: sample_values.len(),
+        })
+    }
+
+    /// Estimate a population AVG of an attribute over the tuples matching a
+    /// predicate, from the matching sample values.
+    ///
+    /// This is a ratio estimator (domain mean); its standard error uses the
+    /// within-domain sample variance with FPC.
+    pub fn estimate_avg(&self, sample_values: &[f64]) -> Result<Estimate> {
+        if sample_values.is_empty() {
+            return Err(StatsError::EmptyInput("SRS avg estimate with no matches"));
+        }
+        let m = sample_values.len() as f64;
+        let mean = sample_values.iter().sum::<f64>() / m;
+        let var = if sample_values.len() > 1 {
+            sample_values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (m - 1.0)
+        } else {
+            0.0
+        };
+        Ok(Estimate {
+            value: mean,
+            standard_error: (var / m * self.fpc()).sqrt(),
+            sample_size: sample_values.len(),
+        })
+    }
+}
+
+/// A sample observation for unequal-probability estimation: the value and
+/// the (relative) probability with which its tuple was drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WeightedObservation {
+    /// The attribute value (or 1.0 / 0.0 for count estimation).
+    pub value: f64,
+    /// The single-draw selection probability `pᵢ` of this tuple, normalised
+    /// so that `Σ pᵢ = 1` over the population.
+    pub probability: f64,
+}
+
+/// Hansen–Hurwitz / Horvitz–Thompson style estimators for samples drawn with
+/// probability proportional to an interest weight (the biased impressions).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct WeightedEstimator;
+
+impl WeightedEstimator {
+    /// Estimate the population total `Σ_pop y` from `n` weighted draws.
+    ///
+    /// The Hansen–Hurwitz estimator is `(1/n) Σ yᵢ/pᵢ`; its variance is
+    /// estimated by the sample variance of the per-draw expansions.
+    pub fn estimate_total(observations: &[WeightedObservation]) -> Result<Estimate> {
+        if observations.is_empty() {
+            return Err(StatsError::EmptyInput("weighted total estimate"));
+        }
+        for o in observations {
+            if !(o.probability > 0.0) || !o.probability.is_finite() {
+                return Err(StatsError::invalid(
+                    "probability",
+                    "selection probabilities must be positive and finite",
+                ));
+            }
+        }
+        let n = observations.len() as f64;
+        let expansions: Vec<f64> = observations
+            .iter()
+            .map(|o| o.value / o.probability)
+            .collect();
+        let mean_exp = expansions.iter().sum::<f64>() / n;
+        let var_exp = if observations.len() > 1 {
+            expansions
+                .iter()
+                .map(|e| (e - mean_exp).powi(2))
+                .sum::<f64>()
+                / (n - 1.0)
+        } else {
+            0.0
+        };
+        Ok(Estimate {
+            value: mean_exp,
+            standard_error: (var_exp / n).sqrt(),
+            sample_size: observations.len(),
+        })
+    }
+
+    /// Estimate a population mean as the ratio of two weighted totals
+    /// (total of `y` over total of 1), the standard Hájek estimator.
+    pub fn estimate_mean(observations: &[WeightedObservation]) -> Result<Estimate> {
+        if observations.is_empty() {
+            return Err(StatsError::EmptyInput("weighted mean estimate"));
+        }
+        let numerator = Self::estimate_total(observations)?;
+        let ones: Vec<WeightedObservation> = observations
+            .iter()
+            .map(|o| WeightedObservation {
+                value: 1.0,
+                probability: o.probability,
+            })
+            .collect();
+        let denominator = Self::estimate_total(&ones)?;
+        if denominator.value <= 0.0 {
+            return Err(StatsError::invalid(
+                "observations",
+                "estimated population size is non-positive",
+            ));
+        }
+        let ratio = numerator.value / denominator.value;
+        // First-order Taylor (delta-method) variance of the ratio estimator.
+        let n = observations.len() as f64;
+        let residual_var = if observations.len() > 1 {
+            observations
+                .iter()
+                .map(|o| {
+                    
+                    (o.value - ratio) / o.probability
+                })
+                .map(|r| {
+                    let mean_r = 0.0; // residuals have approximately zero mean
+                    (r - mean_r).powi(2)
+                })
+                .sum::<f64>()
+                / (n - 1.0)
+        } else {
+            0.0
+        };
+        let se = (residual_var / n).sqrt() / denominator.value;
+        Ok(Estimate {
+            value: ratio,
+            standard_error: se,
+            sample_size: observations.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+    use rand::rngs::StdRng;
+
+    #[test]
+    fn srs_estimator_validation() {
+        assert!(SrsEstimator::new(10, 20).is_err());
+        let e = SrsEstimator::new(100, 10).unwrap();
+        assert!((e.fpc() - 0.9).abs() < 1e-12);
+        let full = SrsEstimator::new(10, 10).unwrap();
+        assert_eq!(full.fpc(), 0.0);
+        let empty_pop = SrsEstimator::new(0, 0).unwrap();
+        assert_eq!(empty_pop.fpc(), 0.0);
+    }
+
+    #[test]
+    fn srs_count_estimate_scales_selectivity() {
+        let e = SrsEstimator::new(1_000_000, 10_000).unwrap();
+        let est = e.estimate_count(2_500).unwrap();
+        assert!((est.value - 250_000.0).abs() < 1e-6);
+        assert!(est.standard_error > 0.0);
+        // matching everything or nothing has zero binomial variance
+        assert_eq!(e.estimate_count(0).unwrap().standard_error, 0.0);
+        assert_eq!(e.estimate_count(10_000).unwrap().standard_error, 0.0);
+    }
+
+    #[test]
+    fn srs_count_estimate_errors() {
+        let e = SrsEstimator::new(100, 0).unwrap();
+        assert!(e.estimate_count(0).is_err());
+        let e = SrsEstimator::new(100, 10).unwrap();
+        assert!(e.estimate_count(11).is_err());
+    }
+
+    #[test]
+    fn srs_count_full_sample_is_exact() {
+        let e = SrsEstimator::new(500, 500).unwrap();
+        let est = e.estimate_count(123).unwrap();
+        assert!((est.value - 123.0).abs() < 1e-9);
+        assert_eq!(est.standard_error, 0.0);
+    }
+
+    #[test]
+    fn srs_sum_estimate() {
+        // population of 100 tuples, sample of 10, 4 match with given values
+        let e = SrsEstimator::new(100, 10).unwrap();
+        let est = e.estimate_sum(&[5.0, 7.0, 3.0, 5.0]).unwrap();
+        // zero-extended mean = 20/10 = 2 -> total 200
+        assert!((est.value - 200.0).abs() < 1e-9);
+        assert!(est.standard_error > 0.0);
+        assert!(SrsEstimator::new(100, 0).unwrap().estimate_sum(&[]).is_err());
+    }
+
+    #[test]
+    fn srs_avg_estimate() {
+        let e = SrsEstimator::new(100, 10).unwrap();
+        let est = e.estimate_avg(&[10.0, 20.0, 30.0]).unwrap();
+        assert!((est.value - 20.0).abs() < 1e-9);
+        assert!(est.standard_error > 0.0);
+        assert!(e.estimate_avg(&[]).is_err());
+        // single match: zero estimated variance
+        assert_eq!(e.estimate_avg(&[42.0]).unwrap().standard_error, 0.0);
+    }
+
+    #[test]
+    fn weighted_total_uniform_weights_match_expansion() {
+        // If all probabilities are equal (1/N), the HH estimator reduces to
+        // N * sample mean.
+        let big_n = 1000.0;
+        let obs: Vec<WeightedObservation> = [2.0, 4.0, 6.0, 8.0]
+            .iter()
+            .map(|&v| WeightedObservation {
+                value: v,
+                probability: 1.0 / big_n,
+            })
+            .collect();
+        let est = WeightedEstimator::estimate_total(&obs).unwrap();
+        assert!((est.value - big_n * 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weighted_total_validation() {
+        assert!(WeightedEstimator::estimate_total(&[]).is_err());
+        let bad = [WeightedObservation {
+            value: 1.0,
+            probability: 0.0,
+        }];
+        assert!(WeightedEstimator::estimate_total(&bad).is_err());
+        let nan = [WeightedObservation {
+            value: 1.0,
+            probability: f64::NAN,
+        }];
+        assert!(WeightedEstimator::estimate_total(&nan).is_err());
+    }
+
+    #[test]
+    fn weighted_mean_recovers_population_mean_under_bias() {
+        // Population: two strata. Stratum A (values ~100) is sampled 4x more
+        // often than stratum B (values ~10). The Hájek estimator should still
+        // recover the overall mean because it divides by the estimated
+        // population size.
+        let mut rng = StdRng::seed_from_u64(99);
+        let pop_a: Vec<f64> = (0..2000).map(|_| 100.0 + rng.gen_range(-5.0..5.0)).collect();
+        let pop_b: Vec<f64> = (0..8000).map(|_| 10.0 + rng.gen_range(-2.0..2.0)).collect();
+        let true_mean = (pop_a.iter().sum::<f64>() + pop_b.iter().sum::<f64>()) / 10_000.0;
+
+        // draw 2000 samples with pps weights: p(A-item) ∝ 4, p(B-item) ∝ 1
+        let weight_a = 4.0;
+        let weight_b = 1.0;
+        let total_weight = weight_a * pop_a.len() as f64 + weight_b * pop_b.len() as f64;
+        let mut obs = Vec::new();
+        for _ in 0..2000 {
+            let pick_a = rng.gen_bool(weight_a * pop_a.len() as f64 / total_weight);
+            if pick_a {
+                let v = pop_a[rng.gen_range(0..pop_a.len())];
+                obs.push(WeightedObservation {
+                    value: v,
+                    probability: weight_a / total_weight,
+                });
+            } else {
+                let v = pop_b[rng.gen_range(0..pop_b.len())];
+                obs.push(WeightedObservation {
+                    value: v,
+                    probability: weight_b / total_weight,
+                });
+            }
+        }
+        let est = WeightedEstimator::estimate_mean(&obs).unwrap();
+        let naive_mean = obs.iter().map(|o| o.value).sum::<f64>() / obs.len() as f64;
+        // the naive (unweighted) mean is badly biased upwards
+        assert!(naive_mean > true_mean * 1.5);
+        // the weighted estimator lands close to the truth
+        assert!(
+            (est.value - true_mean).abs() / true_mean < 0.1,
+            "estimate {} vs truth {}",
+            est.value,
+            true_mean
+        );
+    }
+
+    #[test]
+    fn weighted_mean_errors_on_empty() {
+        assert!(WeightedEstimator::estimate_mean(&[]).is_err());
+    }
+
+    #[test]
+    fn exact_estimate_constructor() {
+        let e = Estimate::exact(42.0, 7);
+        assert_eq!(e.value, 42.0);
+        assert_eq!(e.standard_error, 0.0);
+        assert_eq!(e.sample_size, 7);
+    }
+
+    proptest! {
+        #[test]
+        fn srs_count_value_bounded_by_population(
+            pop in 1u64..100_000,
+            frac in 0.01f64..1.0,
+            match_frac in 0.0f64..1.0,
+        ) {
+            let n = ((pop as f64 * frac).ceil() as u64).clamp(1, pop);
+            let e = SrsEstimator::new(pop, n).unwrap();
+            let matches = ((n as f64) * match_frac).floor() as usize;
+            let est = e.estimate_count(matches).unwrap();
+            prop_assert!(est.value >= -1e-9);
+            prop_assert!(est.value <= pop as f64 + 1e-9);
+            prop_assert!(est.standard_error >= 0.0);
+        }
+
+        #[test]
+        fn weighted_total_positive_for_positive_values(
+            values in proptest::collection::vec(0.1f64..100.0, 1..50),
+        ) {
+            let n_pop = 1000.0;
+            let obs: Vec<WeightedObservation> = values.iter()
+                .map(|&v| WeightedObservation { value: v, probability: 1.0 / n_pop })
+                .collect();
+            let est = WeightedEstimator::estimate_total(&obs).unwrap();
+            prop_assert!(est.value > 0.0);
+            prop_assert!(est.standard_error >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,349 @@
+//! Fisher's non-central hypergeometric distribution.
+//!
+//! The paper (Section 4, citing Fog 2008) observes that assigning weights to
+//! the probability of picking an item from a finite population leads to a
+//! non-central hypergeometric distribution — specifically Fisher's variant —
+//! and that "these mathematical tools provide the theory to calculate the
+//! variance, the mean, and the support function of the biased sample".
+//!
+//! This module implements the distribution for a two-colour population: `m1`
+//! items of the "interesting" colour (e.g. tuples inside the focal region),
+//! `m2` items of the other colour, a sample of size `n`, and an odds ratio
+//! `ω` expressing how strongly the interesting colour is favoured. The
+//! SciBORQ error-bound machinery uses its mean/variance to predict how many
+//! focal-region tuples a biased impression will contain and to bound the
+//! selectivity estimates derived from it.
+
+use crate::error::{Result, StatsError};
+use serde::{Deserialize, Serialize};
+
+/// Fisher's non-central hypergeometric distribution `FNCH(m1, m2, n, ω)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FisherNoncentralHypergeometric {
+    /// Number of items of the favoured colour in the population.
+    pub m1: u64,
+    /// Number of items of the other colour in the population.
+    pub m2: u64,
+    /// Sample size.
+    pub n: u64,
+    /// Odds ratio ω > 0 favouring the first colour (ω = 1 recovers the
+    /// central hypergeometric distribution).
+    pub omega: f64,
+}
+
+impl FisherNoncentralHypergeometric {
+    /// Create the distribution, validating its parameters.
+    pub fn new(m1: u64, m2: u64, n: u64, omega: f64) -> Result<Self> {
+        if n > m1 + m2 {
+            return Err(StatsError::invalid(
+                "n",
+                format!("sample size {n} exceeds population {}", m1 + m2),
+            ));
+        }
+        if !(omega > 0.0) || !omega.is_finite() {
+            return Err(StatsError::invalid("omega", "odds ratio must be positive and finite"));
+        }
+        Ok(FisherNoncentralHypergeometric { m1, m2, n, omega })
+    }
+
+    /// Lower end of the support: `max(0, n − m2)`.
+    pub fn support_min(&self) -> u64 {
+        self.n.saturating_sub(self.m2)
+    }
+
+    /// Upper end of the support: `min(n, m1)`.
+    pub fn support_max(&self) -> u64 {
+        self.n.min(self.m1)
+    }
+
+    /// Unnormalised log-weight of outcome `x`:
+    /// `ln C(m1, x) + ln C(m2, n−x) + x·ln ω`.
+    fn log_weight(&self, x: u64) -> f64 {
+        ln_choose(self.m1, x) + ln_choose(self.m2, self.n - x) + x as f64 * self.omega.ln()
+    }
+
+    /// Probability mass function `P(X = x)`.
+    ///
+    /// Outcomes outside the support have probability zero. The computation
+    /// normalises in log-space over the (finite) support, so it is exact up
+    /// to floating-point error even for populations of millions.
+    pub fn pmf(&self, x: u64) -> f64 {
+        let (lo, hi) = (self.support_min(), self.support_max());
+        if x < lo || x > hi {
+            return 0.0;
+        }
+        let max_log = (lo..=hi)
+            .map(|k| self.log_weight(k))
+            .fold(f64::NEG_INFINITY, f64::max);
+        let normaliser: f64 = (lo..=hi)
+            .map(|k| (self.log_weight(k) - max_log).exp())
+            .sum();
+        ((self.log_weight(x) - max_log).exp()) / normaliser
+    }
+
+    /// Exact mean `E[X]`, computed by summing over the support.
+    pub fn mean(&self) -> f64 {
+        self.moments().0
+    }
+
+    /// Exact variance `Var[X]`, computed by summing over the support.
+    pub fn variance(&self) -> f64 {
+        self.moments().1
+    }
+
+    /// Mean and variance in a single pass over the support.
+    pub fn moments(&self) -> (f64, f64) {
+        let (lo, hi) = (self.support_min(), self.support_max());
+        let max_log = (lo..=hi)
+            .map(|k| self.log_weight(k))
+            .fold(f64::NEG_INFINITY, f64::max);
+        let mut norm = 0.0;
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        for k in lo..=hi {
+            let w = (self.log_weight(k) - max_log).exp();
+            norm += w;
+            sum += w * k as f64;
+            sum_sq += w * (k as f64) * (k as f64);
+        }
+        let mean = sum / norm;
+        let variance = (sum_sq / norm - mean * mean).max(0.0);
+        (mean, variance)
+    }
+
+    /// The mode of the distribution (most probable outcome), computed with
+    /// Fog's closed-form expression via the quadratic for Fisher's NCH.
+    pub fn mode(&self) -> u64 {
+        // Fog (2008): mode is floor of the root of
+        // A x^2 + B x + C with
+        // A = ω − 1, B = (m1+n+2)ω ... use the standard textbook form:
+        let omega = self.omega;
+        let m1 = self.m1 as f64;
+        let m2 = self.m2 as f64;
+        let n = self.n as f64;
+        if (omega - 1.0).abs() < 1e-12 {
+            // central hypergeometric mode
+            return (((n + 1.0) * (m1 + 1.0) / (m1 + m2 + 2.0)).floor() as u64)
+                .clamp(self.support_min(), self.support_max());
+        }
+        let a = omega - 1.0;
+        let b = -((m1 + n + 2.0) * omega + (m2 - n));
+        let c = omega * (m1 + 1.0) * (n + 1.0);
+        let disc = (b * b - 4.0 * a * c).max(0.0).sqrt();
+        // numerically stable root selection
+        let q = -0.5 * (b + b.signum() * disc);
+        let r1 = q / a;
+        let r2 = c / q;
+        let candidate = if r1 >= 0.0 && r1 <= n + 1.0 { r1 } else { r2 };
+        (candidate.floor() as u64).clamp(self.support_min(), self.support_max())
+    }
+
+    /// Cumulative distribution function `P(X ≤ x)`.
+    pub fn cdf(&self, x: u64) -> f64 {
+        let (lo, hi) = (self.support_min(), self.support_max());
+        if x < lo {
+            return 0.0;
+        }
+        let x = x.min(hi);
+        (lo..=x).map(|k| self.pmf(k)).sum()
+    }
+}
+
+/// Natural log of the binomial coefficient `C(n, k)` using `ln Γ`.
+pub fn ln_choose(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// Natural log of `n!` via the Lanczos-free Stirling series for large `n`
+/// and a small lookup for `n < 2`.
+pub fn ln_factorial(n: u64) -> f64 {
+    if n < 2 {
+        return 0.0;
+    }
+    ln_gamma(n as f64 + 1.0)
+}
+
+/// Log-gamma via the Lanczos approximation (g = 7, n = 9 coefficients).
+pub fn ln_gamma(x: f64) -> f64 {
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // reflection formula
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEFFS[0];
+    let t = x + 7.5;
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn parameter_validation() {
+        assert!(FisherNoncentralHypergeometric::new(5, 5, 11, 1.0).is_err());
+        assert!(FisherNoncentralHypergeometric::new(5, 5, 5, 0.0).is_err());
+        assert!(FisherNoncentralHypergeometric::new(5, 5, 5, -1.0).is_err());
+        assert!(FisherNoncentralHypergeometric::new(5, 5, 5, f64::INFINITY).is_err());
+        assert!(FisherNoncentralHypergeometric::new(5, 5, 5, 2.0).is_ok());
+    }
+
+    #[test]
+    fn ln_factorial_known_values() {
+        assert_eq!(ln_factorial(0), 0.0);
+        assert_eq!(ln_factorial(1), 0.0);
+        assert!((ln_factorial(5) - 120f64.ln()).abs() < 1e-9);
+        assert!((ln_factorial(10) - 3_628_800f64.ln()).abs() < 1e-8);
+        // Stirling regime
+        assert!((ln_factorial(170) - 706.573_062_245_787).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ln_gamma_known_values() {
+        assert!((ln_gamma(0.5) - 0.5 * std::f64::consts::PI.ln()).abs() < 1e-9);
+        assert!((ln_gamma(1.0)).abs() < 1e-10);
+        assert!((ln_gamma(4.0) - 6f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ln_choose_known_values() {
+        assert!((ln_choose(5, 2) - 10f64.ln()).abs() < 1e-9);
+        assert!((ln_choose(52, 5) - 2_598_960f64.ln()).abs() < 1e-7);
+        assert_eq!(ln_choose(3, 5), f64::NEG_INFINITY);
+        assert_eq!(ln_choose(7, 0), 0.0);
+    }
+
+    #[test]
+    fn support_bounds() {
+        let d = FisherNoncentralHypergeometric::new(3, 10, 8, 1.5).unwrap();
+        assert_eq!(d.support_min(), 0);
+        assert_eq!(d.support_max(), 3);
+        let d = FisherNoncentralHypergeometric::new(10, 3, 8, 1.5).unwrap();
+        assert_eq!(d.support_min(), 5);
+        assert_eq!(d.support_max(), 8);
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let d = FisherNoncentralHypergeometric::new(20, 30, 15, 2.5).unwrap();
+        let total: f64 = (0..=15).map(|x| d.pmf(x)).sum();
+        assert!((total - 1.0).abs() < 1e-10);
+        assert_eq!(d.pmf(16), 0.0);
+        assert_eq!(d.pmf(100), 0.0);
+    }
+
+    #[test]
+    fn omega_one_recovers_central_hypergeometric() {
+        // Central hypergeometric mean: n*m1/(m1+m2)
+        let d = FisherNoncentralHypergeometric::new(30, 70, 20, 1.0).unwrap();
+        let expected_mean = 20.0 * 30.0 / 100.0;
+        assert!((d.mean() - expected_mean).abs() < 1e-9);
+        // variance: n * (m1/N) * (m2/N) * (N-n)/(N-1)
+        let expected_var = 20.0 * 0.3 * 0.7 * (80.0 / 99.0);
+        assert!((d.variance() - expected_var).abs() < 1e-9);
+    }
+
+    #[test]
+    fn larger_omega_shifts_mass_upwards() {
+        let d1 = FisherNoncentralHypergeometric::new(50, 50, 30, 1.0).unwrap();
+        let d2 = FisherNoncentralHypergeometric::new(50, 50, 30, 3.0).unwrap();
+        let d3 = FisherNoncentralHypergeometric::new(50, 50, 30, 10.0).unwrap();
+        assert!(d2.mean() > d1.mean());
+        assert!(d3.mean() > d2.mean());
+        assert!(d3.mean() <= d3.support_max() as f64);
+    }
+
+    #[test]
+    fn omega_below_one_shifts_mass_down() {
+        let d = FisherNoncentralHypergeometric::new(50, 50, 30, 0.2).unwrap();
+        let central = FisherNoncentralHypergeometric::new(50, 50, 30, 1.0).unwrap();
+        assert!(d.mean() < central.mean());
+    }
+
+    #[test]
+    fn mode_is_argmax_of_pmf() {
+        for &(m1, m2, n, omega) in &[
+            (20u64, 30u64, 15u64, 2.5f64),
+            (50, 50, 30, 0.3),
+            (10, 90, 25, 5.0),
+            (40, 10, 20, 1.0),
+        ] {
+            let d = FisherNoncentralHypergeometric::new(m1, m2, n, omega).unwrap();
+            let (lo, hi) = (d.support_min(), d.support_max());
+            let argmax = (lo..=hi)
+                .max_by(|&a, &b| d.pmf(a).partial_cmp(&d.pmf(b)).unwrap())
+                .unwrap();
+            let mode = d.mode();
+            // the closed-form mode may land on the neighbour when two bins tie
+            assert!(
+                mode == argmax || mode + 1 == argmax || argmax + 1 == mode,
+                "mode {mode} vs argmax {argmax} for ({m1},{m2},{n},{omega})"
+            );
+        }
+    }
+
+    #[test]
+    fn cdf_monotone_and_reaches_one() {
+        let d = FisherNoncentralHypergeometric::new(25, 40, 18, 1.7).unwrap();
+        let mut prev = 0.0;
+        for x in 0..=18 {
+            let c = d.cdf(x);
+            assert!(c >= prev - 1e-12);
+            prev = c;
+        }
+        assert!((d.cdf(18) - 1.0).abs() < 1e-9);
+        assert_eq!(d.cdf(0), d.pmf(0));
+    }
+
+    #[test]
+    fn large_population_is_numerically_stable() {
+        let d = FisherNoncentralHypergeometric::new(600_000, 400_000, 10_000, 4.0).unwrap();
+        let (mean, var) = d.moments();
+        assert!(mean.is_finite() && var.is_finite());
+        // with omega=4 favouring the 60% colour, the mean fraction should
+        // exceed 0.6 * 10_000
+        assert!(mean > 6_000.0);
+        assert!(mean < 10_000.0);
+        assert!(var > 0.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn pmf_normalised_and_mean_in_support(
+            m1 in 1u64..60,
+            m2 in 1u64..60,
+            n_frac in 0.1f64..0.9,
+            omega in 0.1f64..10.0,
+        ) {
+            let n = (((m1 + m2) as f64) * n_frac).floor() as u64;
+            let d = FisherNoncentralHypergeometric::new(m1, m2, n, omega).unwrap();
+            let total: f64 = (d.support_min()..=d.support_max()).map(|x| d.pmf(x)).sum();
+            prop_assert!((total - 1.0).abs() < 1e-8);
+            let mean = d.mean();
+            prop_assert!(mean >= d.support_min() as f64 - 1e-9);
+            prop_assert!(mean <= d.support_max() as f64 + 1e-9);
+            prop_assert!(d.variance() >= 0.0);
+        }
+    }
+}

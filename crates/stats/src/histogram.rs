@@ -1,0 +1,436 @@
+//! Equi-width streaming histograms over the predicate set (paper Figure 5).
+//!
+//! SciBORQ does not materialise the full histograms of Figure 4. Instead it
+//! keeps, per bin, only two numbers: the count `c_i` of predicate values that
+//! fell into the bin and their running mean `m_i`. These statistics are
+//! sufficient for the binned density estimator f̆ of Section 4, and they can
+//! be maintained in O(1) per observed predicate value.
+
+use crate::error::{Result, StatsError};
+use serde::{Deserialize, Serialize};
+
+/// Per-bin statistics: the count and the running mean of the values that
+/// landed in the bin (the `struct histo_stats {int c; float m;}` of Figure 5).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct BinStats {
+    /// Number of values observed in this bin.
+    pub count: u64,
+    /// Mean of the values observed in this bin (0 when the bin is empty).
+    pub mean: f64,
+}
+
+impl BinStats {
+    /// Incorporate one value into the bin, exactly like the update
+    /// `hs[i].m = (hs[i].m × (hs[i].c−1) + v) / hs[i].c` in Figure 5.
+    pub fn push(&mut self, value: f64) {
+        self.count += 1;
+        self.mean += (value - self.mean) / self.count as f64;
+    }
+
+    /// Merge another bin's statistics into this one.
+    pub fn merge(&mut self, other: &BinStats) {
+        if other.count == 0 {
+            return;
+        }
+        let total = self.count + other.count;
+        self.mean = (self.mean * self.count as f64 + other.mean * other.count as f64)
+            / total as f64;
+        self.count = total;
+    }
+}
+
+/// An equi-width histogram with `β` bins over a fixed domain `[min, max)`.
+///
+/// The domain, number of bins and width are "considered to be known
+/// beforehand" in the paper; out-of-domain observations are clamped into the
+/// first/last bin so no predicate value is ever lost.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EquiWidthHistogram {
+    min: f64,
+    max: f64,
+    width: f64,
+    bins: Vec<BinStats>,
+    total: u64,
+}
+
+impl EquiWidthHistogram {
+    /// Create a histogram with `bins` equal-width bins over `[min, max)`.
+    pub fn new(min: f64, max: f64, bins: usize) -> Result<Self> {
+        if bins == 0 {
+            return Err(StatsError::invalid("bins", "must be at least 1"));
+        }
+        if !(max > min) {
+            return Err(StatsError::invalid(
+                "max",
+                format!("domain max ({max}) must exceed min ({min})"),
+            ));
+        }
+        if !min.is_finite() || !max.is_finite() {
+            return Err(StatsError::invalid("domain", "bounds must be finite"));
+        }
+        let width = (max - min) / bins as f64;
+        Ok(EquiWidthHistogram {
+            min,
+            max,
+            width,
+            bins: vec![BinStats::default(); bins],
+            total: 0,
+        })
+    }
+
+    /// Lower bound of the domain.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Upper bound of the domain.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// The bin width `w`.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// The number of bins `β`.
+    pub fn bin_count(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Total number of observed values `N`.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The per-bin statistics.
+    pub fn bins(&self) -> &[BinStats] {
+        &self.bins
+    }
+
+    /// The index of the bin value `v` falls into; values outside the domain
+    /// are clamped into the boundary bins.
+    pub fn bin_index(&self, value: f64) -> usize {
+        if value <= self.min {
+            return 0;
+        }
+        if value >= self.max {
+            return self.bins.len() - 1;
+        }
+        let idx = ((value - self.min) / self.width).floor() as usize;
+        idx.min(self.bins.len() - 1)
+    }
+
+    /// The centre of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        self.min + (i as f64 + 0.5) * self.width
+    }
+
+    /// The half-open value range `[lo, hi)` of bin `i`.
+    pub fn bin_range(&self, i: usize) -> (f64, f64) {
+        let lo = self.min + i as f64 * self.width;
+        (lo, lo + self.width)
+    }
+
+    /// Observe one value, updating count and running mean of its bin
+    /// (the body of the Figure 5 loop).
+    pub fn observe(&mut self, value: f64) {
+        if !value.is_finite() {
+            // NaN/inf cannot be placed meaningfully; ignore rather than
+            // poison the running means.
+            return;
+        }
+        let idx = self.bin_index(value);
+        self.bins[idx].push(value);
+        self.total += 1;
+    }
+
+    /// Observe every value of a slice.
+    pub fn observe_all(&mut self, values: &[f64]) {
+        for &v in values {
+            self.observe(v);
+        }
+    }
+
+    /// Merge another histogram with identical layout into this one.
+    pub fn merge(&mut self, other: &EquiWidthHistogram) -> Result<()> {
+        if self.bins.len() != other.bins.len()
+            || (self.min - other.min).abs() > f64::EPSILON
+            || (self.max - other.max).abs() > f64::EPSILON
+        {
+            return Err(StatsError::invalid(
+                "histogram",
+                "cannot merge histograms with different layouts",
+            ));
+        }
+        for (a, b) in self.bins.iter_mut().zip(other.bins.iter()) {
+            a.merge(b);
+        }
+        self.total += other.total;
+        Ok(())
+    }
+
+    /// The relative frequency (count / total) of bin `i`; 0 when empty.
+    pub fn frequency(&self, i: usize) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.bins[i].count as f64 / self.total as f64
+        }
+    }
+
+    /// The empirical density of bin `i` (frequency / width), i.e. the height
+    /// of the normalised histogram bar.
+    pub fn density(&self, i: usize) -> f64 {
+        self.frequency(i) / self.width
+    }
+
+    /// Bin counts as a vector (convenience for plotting/analysis).
+    pub fn counts(&self) -> Vec<u64> {
+        self.bins.iter().map(|b| b.count).collect()
+    }
+
+    /// The index of the most populated bin, if any observation was made.
+    pub fn mode_bin(&self) -> Option<usize> {
+        if self.total == 0 {
+            return None;
+        }
+        self.bins
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, b)| b.count)
+            .map(|(i, _)| i)
+    }
+
+    /// Total sum of squared differences between per-bin frequencies of two
+    /// histograms — a simple distance used by the experiments to compare a
+    /// sample's distribution against the base data's.
+    pub fn frequency_distance(&self, other: &EquiWidthHistogram) -> Result<f64> {
+        if self.bins.len() != other.bins.len() {
+            return Err(StatsError::invalid(
+                "histogram",
+                "cannot compare histograms with different bin counts",
+            ));
+        }
+        Ok(self
+            .bins
+            .iter()
+            .enumerate()
+            .map(|(i, _)| (self.frequency(i) - other.frequency(i)).powi(2))
+            .sum())
+    }
+}
+
+/// Build a histogram whose domain is derived from the data (min/max of the
+/// values, padded slightly so the maximum falls inside the last bin).
+pub fn histogram_from_data(values: &[f64], bins: usize) -> Result<EquiWidthHistogram> {
+    if values.is_empty() {
+        return Err(StatsError::EmptyInput("histogram_from_data"));
+    }
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &v in values {
+        if v.is_finite() {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+    }
+    if !lo.is_finite() || !hi.is_finite() {
+        return Err(StatsError::EmptyInput("no finite values"));
+    }
+    if hi <= lo {
+        hi = lo + 1.0;
+    }
+    let pad = (hi - lo) * 1e-9;
+    let mut h = EquiWidthHistogram::new(lo, hi + pad, bins)?;
+    h.observe_all(values);
+    Ok(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(EquiWidthHistogram::new(0.0, 1.0, 0).is_err());
+        assert!(EquiWidthHistogram::new(1.0, 1.0, 4).is_err());
+        assert!(EquiWidthHistogram::new(2.0, 1.0, 4).is_err());
+        assert!(EquiWidthHistogram::new(f64::NEG_INFINITY, 1.0, 4).is_err());
+    }
+
+    #[test]
+    fn layout_accessors() {
+        let h = EquiWidthHistogram::new(100.0, 200.0, 10).unwrap();
+        assert_eq!(h.min(), 100.0);
+        assert_eq!(h.max(), 200.0);
+        assert_eq!(h.bin_count(), 10);
+        assert!((h.width() - 10.0).abs() < 1e-12);
+        assert!((h.bin_center(0) - 105.0).abs() < 1e-12);
+        assert_eq!(h.bin_range(1), (110.0, 120.0));
+    }
+
+    #[test]
+    fn bin_index_boundaries() {
+        let h = EquiWidthHistogram::new(0.0, 10.0, 5).unwrap();
+        assert_eq!(h.bin_index(0.0), 0);
+        assert_eq!(h.bin_index(1.999), 0);
+        assert_eq!(h.bin_index(2.0), 1);
+        assert_eq!(h.bin_index(9.999), 4);
+        // clamping
+        assert_eq!(h.bin_index(-5.0), 0);
+        assert_eq!(h.bin_index(10.0), 4);
+        assert_eq!(h.bin_index(99.0), 4);
+    }
+
+    #[test]
+    fn observe_updates_count_and_mean() {
+        let mut h = EquiWidthHistogram::new(0.0, 10.0, 2).unwrap();
+        h.observe(1.0);
+        h.observe(2.0);
+        h.observe(3.0);
+        h.observe(7.0);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.bins()[0].count, 3);
+        assert!((h.bins()[0].mean - 2.0).abs() < 1e-12);
+        assert_eq!(h.bins()[1].count, 1);
+        assert!((h.bins()[1].mean - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counts_are_conserved() {
+        let mut h = EquiWidthHistogram::new(-5.0, 5.0, 7).unwrap();
+        let values: Vec<f64> = (0..1000).map(|i| ((i * 37) % 100) as f64 / 10.0 - 5.0).collect();
+        h.observe_all(&values);
+        assert_eq!(h.total(), 1000);
+        assert_eq!(h.counts().iter().sum::<u64>(), 1000);
+    }
+
+    #[test]
+    fn non_finite_values_are_ignored() {
+        let mut h = EquiWidthHistogram::new(0.0, 1.0, 2).unwrap();
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+        h.observe(0.5);
+        assert_eq!(h.total(), 1);
+    }
+
+    #[test]
+    fn frequencies_and_densities() {
+        let mut h = EquiWidthHistogram::new(0.0, 4.0, 4).unwrap();
+        h.observe_all(&[0.5, 1.5, 1.6, 3.5]);
+        assert!((h.frequency(1) - 0.5).abs() < 1e-12);
+        assert!((h.density(1) - 0.5).abs() < 1e-12); // width = 1
+        assert_eq!(h.frequency(2), 0.0);
+        let empty = EquiWidthHistogram::new(0.0, 4.0, 4).unwrap();
+        assert_eq!(empty.frequency(0), 0.0);
+    }
+
+    #[test]
+    fn mode_bin() {
+        let mut h = EquiWidthHistogram::new(0.0, 3.0, 3).unwrap();
+        assert_eq!(h.mode_bin(), None);
+        h.observe_all(&[0.1, 1.1, 1.2, 2.9]);
+        assert_eq!(h.mode_bin(), Some(1));
+    }
+
+    #[test]
+    fn merge_combines_statistics() {
+        let mut a = EquiWidthHistogram::new(0.0, 10.0, 5).unwrap();
+        let mut b = EquiWidthHistogram::new(0.0, 10.0, 5).unwrap();
+        a.observe_all(&[1.0, 2.0]);
+        b.observe_all(&[1.5, 9.0]);
+        a.merge(&b).unwrap();
+        assert_eq!(a.total(), 4);
+        // bin 0 covers [0, 2): values 1.0 and 1.5
+        assert_eq!(a.bins()[0].count, 2);
+        assert!((a.bins()[0].mean - 1.25).abs() < 1e-12);
+        // bin 1 covers [2, 4): value 2.0
+        assert_eq!(a.bins()[1].count, 1);
+        assert_eq!(a.bins()[4].count, 1);
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_layouts() {
+        let mut a = EquiWidthHistogram::new(0.0, 10.0, 5).unwrap();
+        let b = EquiWidthHistogram::new(0.0, 10.0, 6).unwrap();
+        assert!(a.merge(&b).is_err());
+        let c = EquiWidthHistogram::new(0.0, 11.0, 5).unwrap();
+        assert!(a.merge(&c).is_err());
+    }
+
+    #[test]
+    fn frequency_distance_zero_for_identical() {
+        let mut a = EquiWidthHistogram::new(0.0, 10.0, 5).unwrap();
+        a.observe_all(&[1.0, 5.0, 9.0]);
+        let d = a.frequency_distance(&a.clone()).unwrap();
+        assert!(d.abs() < 1e-15);
+        let b = EquiWidthHistogram::new(0.0, 10.0, 4).unwrap();
+        assert!(a.frequency_distance(&b).is_err());
+    }
+
+    #[test]
+    fn from_data_covers_all_values() {
+        let values: Vec<f64> = vec![3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let h = histogram_from_data(&values, 4).unwrap();
+        assert_eq!(h.total(), values.len() as u64);
+        assert!(histogram_from_data(&[], 4).is_err());
+    }
+
+    #[test]
+    fn from_data_constant_values() {
+        let h = histogram_from_data(&[2.0, 2.0, 2.0], 3).unwrap();
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.bins()[0].count, 3);
+    }
+
+    #[test]
+    fn bin_mean_matches_figure5_update_rule() {
+        // Explicitly follow the Fig. 5 recurrence and compare.
+        let values = [3.2, 3.7, 3.9, 3.1];
+        let mut c = 0u64;
+        let mut m = 0.0f64;
+        for v in values {
+            c += 1;
+            m = (m * (c - 1) as f64 + v) / c as f64;
+        }
+        let mut bin = BinStats::default();
+        for v in values {
+            bin.push(v);
+        }
+        assert_eq!(bin.count, c);
+        assert!((bin.mean - m).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn total_equals_sum_of_counts(values in proptest::collection::vec(-100.0f64..100.0, 0..300)) {
+            let mut h = EquiWidthHistogram::new(-100.0, 100.0, 16).unwrap();
+            h.observe_all(&values);
+            prop_assert_eq!(h.total(), values.len() as u64);
+            prop_assert_eq!(h.counts().iter().sum::<u64>(), values.len() as u64);
+        }
+
+        #[test]
+        fn bin_means_stay_within_domain(values in proptest::collection::vec(0.0f64..50.0, 1..200)) {
+            let mut h = EquiWidthHistogram::new(0.0, 50.0, 10).unwrap();
+            h.observe_all(&values);
+            for (i, b) in h.bins().iter().enumerate() {
+                if b.count > 0 {
+                    let (lo, hi) = h.bin_range(i);
+                    prop_assert!(b.mean >= lo - 1e-9 && b.mean <= hi + 1e-9,
+                        "bin {i} mean {} outside [{lo},{hi})", b.mean);
+                }
+            }
+        }
+
+        #[test]
+        fn frequencies_sum_to_one(values in proptest::collection::vec(-10.0f64..10.0, 1..100)) {
+            let mut h = EquiWidthHistogram::new(-10.0, 10.0, 8).unwrap();
+            h.observe_all(&values);
+            let sum: f64 = (0..h.bin_count()).map(|i| h.frequency(i)).sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,384 @@
+//! Kernel density estimation: the full estimator f̂ and the paper's binned
+//! estimator f̆ (Section 4).
+//!
+//! Given the `N` predicate-set values `x₁…x_N`, the full estimator is
+//!
+//! ```text
+//! f̂(x) = N⁻¹ Σᵢ K_h(x − xᵢ),       K_h(·) = h⁻¹ K(·/h)
+//! ```
+//!
+//! Evaluating f̂ on every newly ingested tuple would require re-reading all
+//! `N` observed predicate values, so SciBORQ replaces it with a constant-time
+//! estimator driven by the β-bin equi-width histogram of Figure 5:
+//!
+//! ```text
+//! f̆(x) = 1/(N·w) Σᵢ cᵢ · φ((x − mᵢ)/w)
+//! ```
+//!
+//! where `cᵢ`/`mᵢ` are the per-bin count and mean and the bandwidth is fixed
+//! to the bin width `w`. Both estimators integrate to one, and f̆ tracks f̂
+//! closely (Figure 4) while needing only `β ≪ N` kernel evaluations.
+
+use crate::error::{Result, StatsError};
+use crate::histogram::EquiWidthHistogram;
+use crate::kernel::Kernel;
+use serde::{Deserialize, Serialize};
+
+/// The full kernel density estimator f̂ over an explicit list of observations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FullKde {
+    observations: Vec<f64>,
+    bandwidth: f64,
+    kernel: Kernel,
+}
+
+impl FullKde {
+    /// Create a full KDE from the observed predicate values.
+    pub fn new(observations: Vec<f64>, bandwidth: f64, kernel: Kernel) -> Result<Self> {
+        if observations.is_empty() {
+            return Err(StatsError::EmptyInput("FullKde observations"));
+        }
+        if !(bandwidth > 0.0) || !bandwidth.is_finite() {
+            return Err(StatsError::invalid("bandwidth", "must be positive and finite"));
+        }
+        Ok(FullKde {
+            observations,
+            bandwidth,
+            kernel,
+        })
+    }
+
+    /// Number of observations `N`.
+    pub fn len(&self) -> usize {
+        self.observations.len()
+    }
+
+    /// True when there are no observations (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.observations.is_empty()
+    }
+
+    /// The bandwidth `h`.
+    pub fn bandwidth(&self) -> f64 {
+        self.bandwidth
+    }
+
+    /// Evaluate `f̂(x)`. Cost is O(N).
+    pub fn density(&self, x: f64) -> f64 {
+        let n = self.observations.len() as f64;
+        let sum: f64 = self
+            .observations
+            .iter()
+            .map(|&xi| self.kernel.evaluate_scaled(x - xi, self.bandwidth))
+            .sum();
+        sum / n
+    }
+
+    /// Evaluate the density on a regular grid of `points` between `lo` and
+    /// `hi` (inclusive). Returns (x, f̂(x)) pairs.
+    pub fn density_grid(&self, lo: f64, hi: f64, points: usize) -> Vec<(f64, f64)> {
+        grid(lo, hi, points)
+            .map(|x| (x, self.density(x)))
+            .collect()
+    }
+}
+
+/// The paper's binned density estimator f̆, driven purely by histogram
+/// statistics.
+///
+/// Because it stores only `β` (count, mean) pairs it can be embedded into the
+/// load pipeline and evaluated for every ingested tuple in O(β) — constant
+/// with respect to the predicate-set size `N`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BinnedKde {
+    /// (count, mean) pairs for the non-empty bins.
+    bins: Vec<(f64, f64)>,
+    /// Total number of observed predicate values `N`.
+    total: f64,
+    /// Bin width `w`, also used as the bandwidth.
+    width: f64,
+    kernel: Kernel,
+}
+
+impl BinnedKde {
+    /// Build the estimator from a maintained predicate-set histogram.
+    pub fn from_histogram(histogram: &EquiWidthHistogram) -> Result<Self> {
+        Self::from_histogram_with_kernel(histogram, Kernel::Gaussian)
+    }
+
+    /// Build the estimator with an explicit kernel choice (ablation).
+    pub fn from_histogram_with_kernel(
+        histogram: &EquiWidthHistogram,
+        kernel: Kernel,
+    ) -> Result<Self> {
+        if histogram.total() == 0 {
+            return Err(StatsError::EmptyInput("BinnedKde histogram"));
+        }
+        let bins = histogram
+            .bins()
+            .iter()
+            .filter(|b| b.count > 0)
+            .map(|b| (b.count as f64, b.mean))
+            .collect();
+        Ok(BinnedKde {
+            bins,
+            total: histogram.total() as f64,
+            width: histogram.width(),
+            kernel,
+        })
+    }
+
+    /// Number of non-empty bins the estimator sums over.
+    pub fn active_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// The total number of predicate values `N` the estimator represents.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// The bandwidth (= histogram bin width `w`).
+    pub fn bandwidth(&self) -> f64 {
+        self.width
+    }
+
+    /// Evaluate `f̆(x)`. Cost is O(β).
+    ///
+    /// `f̆(x) = 1/(N·w) Σᵢ cᵢ φ((x − mᵢ)/w)`
+    pub fn density(&self, x: f64) -> f64 {
+        let sum: f64 = self
+            .bins
+            .iter()
+            .map(|&(count, mean)| count * self.kernel.evaluate((x - mean) / self.width))
+            .sum();
+        sum / (self.total * self.width)
+    }
+
+    /// The estimated *interest weight* of a tuple value: `f̆(x) · N`.
+    ///
+    /// This is the quantity the biased reservoir algorithm of Figure 6 uses:
+    /// the acceptance probability of a tuple `t` is
+    /// `P(accept t) = f̆(t) · N · n / cnt`.
+    pub fn interest_weight(&self, x: f64) -> f64 {
+        self.density(x) * self.total
+    }
+
+    /// Evaluate the density on a regular grid (for figure reproduction).
+    pub fn density_grid(&self, lo: f64, hi: f64, points: usize) -> Vec<(f64, f64)> {
+        grid(lo, hi, points)
+            .map(|x| (x, self.density(x)))
+            .collect()
+    }
+}
+
+fn grid(lo: f64, hi: f64, points: usize) -> impl Iterator<Item = f64> {
+    let steps = points.max(2);
+    let dx = (hi - lo) / (steps - 1) as f64;
+    (0..steps).map(move |i| lo + i as f64 * dx)
+}
+
+/// Numerically integrate a density function over `[lo, hi]` with the
+/// trapezoidal rule (used by tests and the Figure 4 experiment to verify that
+/// the estimators integrate to ≈ 1).
+pub fn integrate_density<F: Fn(f64) -> f64>(f: F, lo: f64, hi: f64, steps: usize) -> f64 {
+    let steps = steps.max(2);
+    let dx = (hi - lo) / steps as f64;
+    let mut sum = 0.0;
+    for i in 0..=steps {
+        let x = lo + i as f64 * dx;
+        let w = if i == 0 || i == steps { 0.5 } else { 1.0 };
+        sum += w * f(x);
+    }
+    sum * dx
+}
+
+/// Mean absolute deviation between two density estimates evaluated on a
+/// shared grid. Used to quantify how closely f̆ tracks f̂ (Figure 4) and how
+/// far the over/under-smoothed variants stray.
+pub fn mean_absolute_deviation<F1, F2>(f1: F1, f2: F2, lo: f64, hi: f64, points: usize) -> f64
+where
+    F1: Fn(f64) -> f64,
+    F2: Fn(f64) -> f64,
+{
+    let pts: Vec<f64> = grid(lo, hi, points).collect();
+    let total: f64 = pts.iter().map(|&x| (f1(x) - f2(x)).abs()).sum();
+    total / pts.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bandwidth::silverman_bandwidth;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+    use rand::rngs::StdRng;
+
+    fn bimodal_sample(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let center = if rng.gen_bool(0.6) { 160.0 } else { 210.0 };
+                let u1: f64 = rng.gen_range(1e-12..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                center + 8.0 * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn full_kde_construction_validates() {
+        assert!(FullKde::new(vec![], 1.0, Kernel::Gaussian).is_err());
+        assert!(FullKde::new(vec![1.0], 0.0, Kernel::Gaussian).is_err());
+        assert!(FullKde::new(vec![1.0], f64::NAN, Kernel::Gaussian).is_err());
+        let kde = FullKde::new(vec![1.0, 2.0], 0.5, Kernel::Gaussian).unwrap();
+        assert_eq!(kde.len(), 2);
+        assert!(!kde.is_empty());
+        assert_eq!(kde.bandwidth(), 0.5);
+    }
+
+    #[test]
+    fn full_kde_single_point_peaks_at_observation() {
+        let kde = FullKde::new(vec![5.0], 1.0, Kernel::Gaussian).unwrap();
+        assert!(kde.density(5.0) > kde.density(6.0));
+        assert!(kde.density(5.0) > kde.density(4.0));
+        // peak height = K(0)/h
+        assert!((kde.density(5.0) - crate::kernel::INV_SQRT_2PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_kde_integrates_to_one() {
+        let data = bimodal_sample(200, 1);
+        let h = silverman_bandwidth(&data).unwrap();
+        let kde = FullKde::new(data, h, Kernel::Gaussian).unwrap();
+        let integral = integrate_density(|x| kde.density(x), 50.0, 320.0, 4000);
+        assert!((integral - 1.0).abs() < 0.01, "integral = {integral}");
+    }
+
+    #[test]
+    fn binned_kde_requires_observations() {
+        let h = EquiWidthHistogram::new(0.0, 1.0, 4).unwrap();
+        assert!(BinnedKde::from_histogram(&h).is_err());
+    }
+
+    #[test]
+    fn binned_kde_integrates_to_one() {
+        // This is the ∫f̆(x) = 1 derivation from Section 4 of the paper.
+        let data = bimodal_sample(400, 2);
+        let mut hist = EquiWidthHistogram::new(100.0, 260.0, 24).unwrap();
+        hist.observe_all(&data);
+        let kde = BinnedKde::from_histogram(&hist).unwrap();
+        let integral = integrate_density(|x| kde.density(x), 0.0, 400.0, 8000);
+        assert!((integral - 1.0).abs() < 0.01, "integral = {integral}");
+    }
+
+    #[test]
+    fn binned_kde_tracks_full_kde() {
+        // Figure 4's headline claim: f̆ is "almost identical" to f̂ with a
+        // carefully chosen bandwidth, while over/undersmoothing distorts it.
+        let data = bimodal_sample(400, 3);
+        let h = silverman_bandwidth(&data).unwrap();
+        let full = FullKde::new(data.clone(), h, Kernel::Gaussian).unwrap();
+        let over = FullKde::new(data.clone(), h * 5.0, Kernel::Gaussian).unwrap();
+        let mut hist = EquiWidthHistogram::new(120.0, 250.0, 24).unwrap();
+        hist.observe_all(&data);
+        let binned = BinnedKde::from_histogram(&hist).unwrap();
+
+        let d_binned =
+            mean_absolute_deviation(|x| full.density(x), |x| binned.density(x), 120.0, 250.0, 200);
+        let d_over =
+            mean_absolute_deviation(|x| full.density(x), |x| over.density(x), 120.0, 250.0, 200);
+        assert!(
+            d_binned < d_over,
+            "binned deviation {d_binned} should beat oversmoothed {d_over}"
+        );
+        // and it should be small in absolute terms relative to peak density ~0.03
+        assert!(d_binned < 0.01, "d_binned = {d_binned}");
+    }
+
+    #[test]
+    fn binned_kde_density_higher_near_focal_points() {
+        let data = bimodal_sample(400, 4);
+        let mut hist = EquiWidthHistogram::new(120.0, 250.0, 24).unwrap();
+        hist.observe_all(&data);
+        let kde = BinnedKde::from_histogram(&hist).unwrap();
+        // 160 and 210 are the focal points; 185 is the gap between them
+        assert!(kde.density(160.0) > kde.density(185.0));
+        assert!(kde.density(210.0) > kde.density(185.0));
+        // far away from everything the density is essentially zero
+        assert!(kde.density(400.0) < 1e-6);
+    }
+
+    #[test]
+    fn interest_weight_is_density_times_n() {
+        let data = bimodal_sample(100, 5);
+        let mut hist = EquiWidthHistogram::new(120.0, 250.0, 16).unwrap();
+        hist.observe_all(&data);
+        let kde = BinnedKde::from_histogram(&hist).unwrap();
+        let x = 161.0;
+        assert!((kde.interest_weight(x) - kde.density(x) * 100.0).abs() < 1e-9);
+        assert_eq!(kde.total(), 100.0);
+    }
+
+    #[test]
+    fn binned_kde_bandwidth_equals_bin_width() {
+        let mut hist = EquiWidthHistogram::new(0.0, 10.0, 5).unwrap();
+        hist.observe_all(&[1.0, 2.0, 3.0]);
+        let kde = BinnedKde::from_histogram(&hist).unwrap();
+        assert!((kde.bandwidth() - 2.0).abs() < 1e-12);
+        assert_eq!(kde.active_bins(), 2);
+    }
+
+    #[test]
+    fn density_grid_shapes() {
+        let kde = FullKde::new(vec![0.0, 1.0], 0.5, Kernel::Gaussian).unwrap();
+        let g = kde.density_grid(-1.0, 2.0, 7);
+        assert_eq!(g.len(), 7);
+        assert_eq!(g[0].0, -1.0);
+        assert!((g[6].0 - 2.0).abs() < 1e-12);
+        let mut hist = EquiWidthHistogram::new(0.0, 1.0, 2).unwrap();
+        hist.observe(0.5);
+        let b = BinnedKde::from_histogram(&hist).unwrap();
+        assert_eq!(b.density_grid(0.0, 1.0, 3).len(), 3);
+    }
+
+    #[test]
+    fn integrate_density_of_constant() {
+        let v = integrate_density(|_| 2.0, 0.0, 3.0, 300);
+        assert!((v - 6.0).abs() < 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn full_kde_density_non_negative(
+            data in proptest::collection::vec(-100.0f64..100.0, 1..50),
+            x in -200.0f64..200.0,
+        ) {
+            let kde = FullKde::new(data, 1.0, Kernel::Gaussian).unwrap();
+            prop_assert!(kde.density(x) >= 0.0);
+        }
+
+        #[test]
+        fn binned_kde_density_non_negative(
+            data in proptest::collection::vec(-100.0f64..100.0, 1..100),
+            x in -200.0f64..200.0,
+        ) {
+            let mut hist = EquiWidthHistogram::new(-100.0, 100.0, 16).unwrap();
+            hist.observe_all(&data);
+            let kde = BinnedKde::from_histogram(&hist).unwrap();
+            prop_assert!(kde.density(x) >= 0.0);
+            prop_assert!(kde.interest_weight(x) >= 0.0);
+        }
+
+        #[test]
+        fn binned_kde_integral_close_to_one(
+            data in proptest::collection::vec(-50.0f64..50.0, 10..200),
+        ) {
+            let mut hist = EquiWidthHistogram::new(-50.0, 50.0, 20).unwrap();
+            hist.observe_all(&data);
+            let kde = BinnedKde::from_histogram(&hist).unwrap();
+            let integral = integrate_density(|x| kde.density(x), -120.0, 120.0, 2000);
+            prop_assert!((integral - 1.0).abs() < 0.02, "integral = {}", integral);
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! Kernel functions for density estimation.
+//!
+//! The paper uses the standard normal (Gaussian) kernel
+//! `φ(u) = (1/√(2π)) e^{−u²/2}` for its kernel density estimator. Additional
+//! compact-support kernels are provided so the ablation benches can compare
+//! the sensitivity of impression quality to the kernel choice.
+
+use serde::{Deserialize, Serialize};
+
+/// 1/sqrt(2π), the normalisation constant of the Gaussian kernel.
+pub const INV_SQRT_2PI: f64 = 0.398_942_280_401_432_7;
+
+/// A symmetric, normalised kernel function `K(u)` with `∫K(u)du = 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum Kernel {
+    /// Standard normal density — the paper's choice.
+    #[default]
+    Gaussian,
+    /// Epanechnikov kernel `3/4 (1 − u²)` on \[−1, 1\].
+    Epanechnikov,
+    /// Uniform (boxcar) kernel `1/2` on \[−1, 1\].
+    Uniform,
+    /// Triangular kernel `1 − |u|` on \[−1, 1\].
+    Triangular,
+}
+
+impl Kernel {
+    /// Evaluate the kernel at `u`.
+    pub fn evaluate(&self, u: f64) -> f64 {
+        match self {
+            Kernel::Gaussian => INV_SQRT_2PI * (-0.5 * u * u).exp(),
+            Kernel::Epanechnikov => {
+                if u.abs() <= 1.0 {
+                    0.75 * (1.0 - u * u)
+                } else {
+                    0.0
+                }
+            }
+            Kernel::Uniform => {
+                if u.abs() <= 1.0 {
+                    0.5
+                } else {
+                    0.0
+                }
+            }
+            Kernel::Triangular => {
+                if u.abs() <= 1.0 {
+                    1.0 - u.abs()
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Evaluate the scaled kernel `K_h(x) = K(x/h)/h`.
+    ///
+    /// Panics in debug builds if `h <= 0`.
+    pub fn evaluate_scaled(&self, x: f64, h: f64) -> f64 {
+        debug_assert!(h > 0.0, "bandwidth must be positive");
+        self.evaluate(x / h) / h
+    }
+
+    /// The kernel's second moment `∫u²K(u)du`, needed by plug-in bandwidth
+    /// rules.
+    pub fn second_moment(&self) -> f64 {
+        match self {
+            Kernel::Gaussian => 1.0,
+            Kernel::Epanechnikov => 0.2,
+            Kernel::Uniform => 1.0 / 3.0,
+            Kernel::Triangular => 1.0 / 6.0,
+        }
+    }
+
+    /// The kernel's roughness `∫K(u)²du`, needed by plug-in bandwidth rules.
+    pub fn roughness(&self) -> f64 {
+        match self {
+            Kernel::Gaussian => 0.5 * INV_SQRT_2PI * std::f64::consts::SQRT_2, // 1/(2√π)
+            Kernel::Epanechnikov => 0.6,
+            Kernel::Uniform => 0.5,
+            Kernel::Triangular => 2.0 / 3.0,
+        }
+    }
+
+    /// A human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Kernel::Gaussian => "gaussian",
+            Kernel::Epanechnikov => "epanechnikov",
+            Kernel::Uniform => "uniform",
+            Kernel::Triangular => "triangular",
+        }
+    }
+
+    /// All available kernels (useful for ablation sweeps).
+    pub fn all() -> [Kernel; 4] {
+        [
+            Kernel::Gaussian,
+            Kernel::Epanechnikov,
+            Kernel::Uniform,
+            Kernel::Triangular,
+        ]
+    }
+}
+
+
+/// The standard normal density `φ(u)`, the kernel the paper's f̂ and f̆ use.
+pub fn standard_normal_pdf(u: f64) -> f64 {
+    Kernel::Gaussian.evaluate(u)
+}
+
+/// The standard normal cumulative distribution function, computed via the
+/// complementary error function (Abramowitz & Stegun 7.1.26 approximation).
+///
+/// Accuracy is ~1.5e-7 absolute which is ample for confidence intervals.
+pub fn standard_normal_cdf(x: f64) -> f64 {
+    // erf via A&S 7.1.26
+    let z = x / std::f64::consts::SQRT_2;
+    let t = 1.0 / (1.0 + 0.327_591_1 * z.abs());
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    let erf_abs = 1.0 - poly * (-z * z).exp();
+    let erf = if z >= 0.0 { erf_abs } else { -erf_abs };
+    0.5 * (1.0 + erf)
+}
+
+/// The inverse standard normal CDF (probit function), computed with the
+/// Acklam rational approximation (relative error < 1.15e-9).
+///
+/// Returns `f64::NAN` outside (0, 1).
+pub fn standard_normal_quantile(p: f64) -> f64 {
+    if !(0.0..=1.0).contains(&p) || p == 0.0 || p == 1.0 {
+        if p == 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        if p == 1.0 {
+            return f64::INFINITY;
+        }
+        return f64::NAN;
+    }
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.024_25;
+    let p_high = 1.0 - P_LOW;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= p_high {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn gaussian_at_zero() {
+        assert!((Kernel::Gaussian.evaluate(0.0) - INV_SQRT_2PI).abs() < 1e-12);
+        assert!((standard_normal_pdf(0.0) - 0.398_942_280_4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kernels_are_symmetric() {
+        for k in Kernel::all() {
+            for u in [0.1, 0.5, 0.9, 1.5, 3.0] {
+                assert!(
+                    (k.evaluate(u) - k.evaluate(-u)).abs() < 1e-14,
+                    "{} not symmetric at {u}",
+                    k.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compact_kernels_vanish_outside_support() {
+        for k in [Kernel::Epanechnikov, Kernel::Uniform, Kernel::Triangular] {
+            assert_eq!(k.evaluate(1.01), 0.0);
+            assert_eq!(k.evaluate(-2.0), 0.0);
+        }
+        assert!(Kernel::Gaussian.evaluate(5.0) > 0.0);
+    }
+
+    #[test]
+    fn kernels_integrate_to_one() {
+        // trapezoidal integration over a wide grid
+        for k in Kernel::all() {
+            let (lo, hi, steps) = (-8.0, 8.0, 16_000);
+            let dx = (hi - lo) / steps as f64;
+            let mut sum = 0.0;
+            for i in 0..=steps {
+                let x = lo + i as f64 * dx;
+                let w = if i == 0 || i == steps { 0.5 } else { 1.0 };
+                sum += w * k.evaluate(x);
+            }
+            let integral = sum * dx;
+            assert!(
+                (integral - 1.0).abs() < 1e-3,
+                "{} integrates to {integral}",
+                k.name()
+            );
+        }
+    }
+
+    #[test]
+    fn scaled_kernel_scales_correctly() {
+        // K_h(x) = K(x/h)/h
+        let k = Kernel::Gaussian;
+        let x = 1.2;
+        let h = 0.5;
+        assert!((k.evaluate_scaled(x, h) - k.evaluate(x / h) / h).abs() < 1e-15);
+    }
+
+    #[test]
+    fn second_moment_and_roughness_gaussian() {
+        assert!((Kernel::Gaussian.second_moment() - 1.0).abs() < 1e-12);
+        // 1/(2*sqrt(pi)) ≈ 0.28209479
+        assert!((Kernel::Gaussian.roughness() - 0.282_094_791_77).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normal_cdf_known_values() {
+        assert!((standard_normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((standard_normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((standard_normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+        assert!(standard_normal_cdf(6.0) > 0.999_999);
+        assert!(standard_normal_cdf(-6.0) < 1e-6);
+    }
+
+    #[test]
+    fn normal_quantile_known_values() {
+        assert!((standard_normal_quantile(0.5)).abs() < 1e-9);
+        assert!((standard_normal_quantile(0.975) - 1.959_963_985).abs() < 1e-6);
+        assert!((standard_normal_quantile(0.025) + 1.959_963_985).abs() < 1e-6);
+        assert!((standard_normal_quantile(0.995) - 2.575_829_3).abs() < 1e-5);
+        assert_eq!(standard_normal_quantile(0.0), f64::NEG_INFINITY);
+        assert_eq!(standard_normal_quantile(1.0), f64::INFINITY);
+        assert!(standard_normal_quantile(-0.1).is_nan());
+        assert!(standard_normal_quantile(1.1).is_nan());
+    }
+
+    #[test]
+    fn default_kernel_is_gaussian() {
+        assert_eq!(Kernel::default(), Kernel::Gaussian);
+        assert_eq!(Kernel::default().name(), "gaussian");
+    }
+
+    proptest! {
+        #[test]
+        fn kernel_values_non_negative(u in -10.0f64..10.0) {
+            for k in Kernel::all() {
+                prop_assert!(k.evaluate(u) >= 0.0);
+            }
+        }
+
+        #[test]
+        fn cdf_quantile_roundtrip(p in 0.001f64..0.999) {
+            let x = standard_normal_quantile(p);
+            let back = standard_normal_cdf(x);
+            prop_assert!((back - p).abs() < 1e-4, "p={p} x={x} back={back}");
+        }
+
+        #[test]
+        fn cdf_is_monotone(a in -5.0f64..5.0, b in -5.0f64..5.0) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(standard_normal_cdf(lo) <= standard_normal_cdf(hi) + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! # sciborq-stats
+//!
+//! Statistical machinery for the SciBORQ reproduction: streaming histograms,
+//! kernel density estimation, sampling distributions and error bounds.
+//!
+//! The modules map directly onto Section 4 of the paper:
+//!
+//! * [`histogram`] — the equi-width predicate-set histograms of Figure 5
+//!   (per-bin count `cᵢ` and running mean `mᵢ`, maintained in O(1) per
+//!   observed predicate value).
+//! * [`kde`] — the full kernel density estimator `f̂` and the binned,
+//!   constant-time estimator `f̆` that SciBORQ uses to weight newly ingested
+//!   tuples.
+//! * [`bandwidth`] — Silverman/Scott bandwidth rules plus the deliberate
+//!   over/under-smoothing factors of Figure 4.
+//! * [`kernel`] — the Gaussian kernel `φ` (and alternatives), the normal CDF
+//!   and quantile function.
+//! * [`fnchg`] — Fisher's non-central hypergeometric distribution (Fog 2008),
+//!   the theory behind biased-sample error bounds.
+//! * [`estimator`] — expansion estimators for uniform samples and
+//!   Horvitz–Thompson/Hansen–Hurwitz style estimators for biased samples.
+//! * [`confidence`] — confidence intervals, relative error bounds, and
+//!   sample-size planning.
+//! * [`moments`] — Welford-style streaming moments shared by everything
+//!   above.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bandwidth;
+pub mod confidence;
+pub mod error;
+pub mod estimator;
+pub mod fnchg;
+pub mod histogram;
+pub mod kde;
+pub mod kernel;
+pub mod moments;
+
+pub use bandwidth::{
+    BaseRule,
+    oversmoothed_bandwidth, reference_bandwidth, silverman_bandwidth, undersmoothed_bandwidth,
+    BandwidthRule,
+};
+pub use confidence::{required_sample_size_for_count, ConfidenceInterval};
+pub use error::{Result, StatsError};
+pub use estimator::{Estimate, SrsEstimator, WeightedEstimator, WeightedObservation};
+pub use fnchg::FisherNoncentralHypergeometric;
+pub use histogram::{histogram_from_data, BinStats, EquiWidthHistogram};
+pub use kde::{integrate_density, mean_absolute_deviation, BinnedKde, FullKde};
+pub use kernel::{standard_normal_cdf, standard_normal_pdf, standard_normal_quantile, Kernel};
+pub use moments::{mean, relative_error, variance_population, RunningMoments};

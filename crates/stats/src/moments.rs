@@ -1,0 +1,289 @@
+//! Streaming moments: numerically stable running mean / variance.
+//!
+//! Impressions and predicate-set histograms are maintained over unbounded
+//! streams of tuples, so every statistic SciBORQ keeps must be updatable in
+//! O(1) per observation. This module provides Welford-style accumulation used
+//! by the histogram bins, the estimators and the test oracles.
+
+use serde::{Deserialize, Serialize};
+
+/// A streaming accumulator of count, mean, variance, min and max.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunningMoments {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningMoments {
+    /// A fresh, empty accumulator.
+    pub fn new() -> Self {
+        RunningMoments {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Observe one value.
+    pub fn push(&mut self, value: f64) {
+        self.count += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = value - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Observe every value of a slice.
+    pub fn extend(&mut self, values: &[f64]) {
+        for &v in values {
+            self.push(v);
+        }
+    }
+
+    /// Merge another accumulator into this one (parallel aggregation).
+    pub fn merge(&mut self, other: &RunningMoments) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let new_mean = self.mean + delta * other.count as f64 / total as f64;
+        self.m2 += other.m2
+            + delta * delta * self.count as f64 * other.count as f64 / total as f64;
+        self.mean = new_mean;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 when fewer than 1 observation).
+    pub fn variance_population(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample variance with Bessel's correction (0 when fewer than 2
+    /// observations).
+    pub fn variance_sample(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev_population(&self) -> f64 {
+        self.variance_population().sqrt()
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev_sample(&self) -> f64 {
+        self.variance_sample().sqrt()
+    }
+
+    /// Sum of the observations.
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.count as f64
+    }
+
+    /// Smallest observation (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.min)
+        }
+    }
+
+    /// Largest observation (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.max)
+        }
+    }
+}
+
+impl FromIterator<f64> for RunningMoments {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut m = RunningMoments::new();
+        for v in iter {
+            m.push(v);
+        }
+        m
+    }
+}
+
+/// Exact mean of a slice (helper used by tests and estimators).
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+/// Exact population variance of a slice.
+pub fn variance_population(values: &[f64]) -> Option<f64> {
+    let m = mean(values)?;
+    Some(values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / values.len() as f64)
+}
+
+/// Relative error |estimate − truth| / |truth|, with the convention that the
+/// error is 0 when both are 0 and infinite when only the truth is 0.
+pub fn relative_error(estimate: f64, truth: f64) -> f64 {
+    if truth == 0.0 {
+        if estimate == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (estimate - truth).abs() / truth.abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_moments() {
+        let m = RunningMoments::new();
+        assert_eq!(m.count(), 0);
+        assert_eq!(m.mean(), 0.0);
+        assert_eq!(m.variance_population(), 0.0);
+        assert_eq!(m.variance_sample(), 0.0);
+        assert_eq!(m.min(), None);
+        assert_eq!(m.max(), None);
+        assert_eq!(m.sum(), 0.0);
+    }
+
+    #[test]
+    fn known_values() {
+        let m: RunningMoments = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        assert_eq!(m.count(), 8);
+        assert!((m.mean() - 5.0).abs() < 1e-12);
+        assert!((m.variance_population() - 4.0).abs() < 1e-12);
+        assert!((m.std_dev_population() - 2.0).abs() < 1e-12);
+        assert!((m.variance_sample() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(m.min(), Some(2.0));
+        assert_eq!(m.max(), Some(9.0));
+        assert!((m.sum() - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_observation() {
+        let mut m = RunningMoments::new();
+        m.push(3.5);
+        assert_eq!(m.count(), 1);
+        assert_eq!(m.mean(), 3.5);
+        assert_eq!(m.variance_population(), 0.0);
+        assert_eq!(m.variance_sample(), 0.0);
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0 + 3.0).collect();
+        let sequential: RunningMoments = data.iter().copied().collect();
+        let mut left: RunningMoments = data[..37].iter().copied().collect();
+        let right: RunningMoments = data[37..].iter().copied().collect();
+        left.merge(&right);
+        assert_eq!(left.count(), sequential.count());
+        assert!((left.mean() - sequential.mean()).abs() < 1e-10);
+        assert!((left.variance_population() - sequential.variance_population()).abs() < 1e-10);
+        assert_eq!(left.min(), sequential.min());
+        assert_eq!(left.max(), sequential.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut m: RunningMoments = [1.0, 2.0].into_iter().collect();
+        let before = m;
+        m.merge(&RunningMoments::new());
+        assert_eq!(m, before);
+        let mut e = RunningMoments::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn slice_helpers() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(mean(&[1.0, 3.0]), Some(2.0));
+        assert_eq!(variance_population(&[]), None);
+        assert_eq!(variance_population(&[1.0, 3.0]), Some(1.0));
+    }
+
+    #[test]
+    fn relative_error_conventions() {
+        assert_eq!(relative_error(0.0, 0.0), 0.0);
+        assert_eq!(relative_error(1.0, 0.0), f64::INFINITY);
+        assert!((relative_error(110.0, 100.0) - 0.1).abs() < 1e-12);
+        assert!((relative_error(90.0, 100.0) - 0.1).abs() < 1e-12);
+        assert!((relative_error(-90.0, -100.0) - 0.1).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn streaming_matches_exact(values in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+            let m: RunningMoments = values.iter().copied().collect();
+            let exact_mean = mean(&values).unwrap();
+            let exact_var = variance_population(&values).unwrap();
+            prop_assert!((m.mean() - exact_mean).abs() <= 1e-6 * (1.0 + exact_mean.abs()));
+            prop_assert!((m.variance_population() - exact_var).abs() <= 1e-5 * (1.0 + exact_var.abs()));
+            prop_assert_eq!(m.count() as usize, values.len());
+        }
+
+        #[test]
+        fn merge_is_associative_enough(
+            a in proptest::collection::vec(-1e3f64..1e3, 0..50),
+            b in proptest::collection::vec(-1e3f64..1e3, 0..50),
+        ) {
+            let mut merged: RunningMoments = a.iter().copied().collect();
+            let right: RunningMoments = b.iter().copied().collect();
+            merged.merge(&right);
+            let all: RunningMoments = a.iter().chain(b.iter()).copied().collect();
+            prop_assert_eq!(merged.count(), all.count());
+            prop_assert!((merged.mean() - all.mean()).abs() <= 1e-8 * (1.0 + all.mean().abs()));
+        }
+
+        #[test]
+        fn variance_is_non_negative(values in proptest::collection::vec(-1e6f64..1e6, 0..100)) {
+            let m: RunningMoments = values.iter().copied().collect();
+            prop_assert!(m.variance_population() >= -1e-9);
+            prop_assert!(m.variance_sample() >= -1e-9);
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Focal-point extraction.
+//!
+//! "The focal point of an impression is defined to be exactly this area of
+//! interest" (§3.1). SciBORQ derives focal points from the predicate set: the
+//! bins of the workload histogram whose density stands out form contiguous
+//! intervals of interest. The maintenance machinery uses the extracted focal
+//! points to decide when the exploration focus has shifted far enough that an
+//! impression should be rebuilt.
+
+use sciborq_stats::EquiWidthHistogram;
+use serde::{Deserialize, Serialize};
+
+/// A contiguous region of interest on one attribute.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FocalRegion {
+    /// The attribute the region refers to.
+    pub attribute: String,
+    /// Lower bound of the region.
+    pub low: f64,
+    /// Upper bound of the region.
+    pub high: f64,
+    /// Fraction of the attribute's predicate-set values that fall inside the
+    /// region (its workload share).
+    pub share: f64,
+}
+
+impl FocalRegion {
+    /// The centre of the region.
+    pub fn center(&self) -> f64 {
+        (self.low + self.high) / 2.0
+    }
+
+    /// The width of the region.
+    pub fn width(&self) -> f64 {
+        self.high - self.low
+    }
+
+    /// Whether a value falls inside the region.
+    pub fn contains(&self, value: f64) -> bool {
+        self.low <= value && value <= self.high
+    }
+}
+
+/// Extract the focal regions of an attribute from its predicate-set
+/// histogram.
+///
+/// A bin is "hot" when its relative frequency exceeds `threshold` times the
+/// uniform frequency `1/β`; adjacent hot bins are merged into one region.
+/// Returns regions ordered by descending workload share.
+pub fn extract_focal_regions(
+    attribute: &str,
+    histogram: &EquiWidthHistogram,
+    threshold: f64,
+) -> Vec<FocalRegion> {
+    if histogram.total() == 0 {
+        return Vec::new();
+    }
+    let uniform = 1.0 / histogram.bin_count() as f64;
+    let cutoff = threshold * uniform;
+    let mut regions: Vec<FocalRegion> = Vec::new();
+    let mut current: Option<(usize, usize, f64)> = None; // (start, end, share)
+
+    for i in 0..histogram.bin_count() {
+        let freq = histogram.frequency(i);
+        if freq >= cutoff && freq > 0.0 {
+            current = match current {
+                Some((start, _, share)) => Some((start, i, share + freq)),
+                None => Some((i, i, freq)),
+            };
+        } else if let Some((start, end, share)) = current.take() {
+            regions.push(region_from_bins(attribute, histogram, start, end, share));
+        }
+    }
+    if let Some((start, end, share)) = current {
+        regions.push(region_from_bins(attribute, histogram, start, end, share));
+    }
+    regions.sort_by(|a, b| b.share.partial_cmp(&a.share).expect("finite shares"));
+    regions
+}
+
+fn region_from_bins(
+    attribute: &str,
+    histogram: &EquiWidthHistogram,
+    start: usize,
+    end: usize,
+    share: f64,
+) -> FocalRegion {
+    let (low, _) = histogram.bin_range(start);
+    let (_, high) = histogram.bin_range(end);
+    FocalRegion {
+        attribute: attribute.to_owned(),
+        low,
+        high,
+        share,
+    }
+}
+
+/// A coarse distance between two sets of focal regions for the same
+/// attribute, in [0, 1]: the workload share of `current` that is *not*
+/// covered by any region of `reference`.
+///
+/// Maintenance uses this to detect focus shifts: a value near 0 means the new
+/// workload still targets the old regions; a value near 1 means the focus has
+/// moved entirely.
+pub fn focal_shift(reference: &[FocalRegion], current: &[FocalRegion]) -> f64 {
+    if current.is_empty() {
+        return 0.0;
+    }
+    let total_share: f64 = current.iter().map(|r| r.share).sum();
+    if total_share <= 0.0 {
+        return 0.0;
+    }
+    let uncovered: f64 = current
+        .iter()
+        .filter(|c| {
+            !reference
+                .iter()
+                .any(|r| r.contains(c.center()) || c.contains(r.center()))
+        })
+        .map(|c| c.share)
+        .sum();
+    (uncovered / total_share).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn histogram_with_clusters() -> EquiWidthHistogram {
+        let mut h = EquiWidthHistogram::new(0.0, 360.0, 36).unwrap();
+        // cluster around 180-190 (bin 18) and a smaller one around 300 (bin 30)
+        for _ in 0..300 {
+            h.observe(185.0);
+        }
+        for _ in 0..100 {
+            h.observe(301.0);
+        }
+        // background noise
+        for i in 0..36 {
+            h.observe(i as f64 * 10.0 + 5.0);
+        }
+        h
+    }
+
+    #[test]
+    fn empty_histogram_has_no_focal_regions() {
+        let h = EquiWidthHistogram::new(0.0, 10.0, 5).unwrap();
+        assert!(extract_focal_regions("ra", &h, 2.0).is_empty());
+    }
+
+    #[test]
+    fn extracts_clusters_ordered_by_share() {
+        let h = histogram_with_clusters();
+        let regions = extract_focal_regions("ra", &h, 2.0);
+        assert_eq!(regions.len(), 2);
+        assert_eq!(regions[0].attribute, "ra");
+        assert!(regions[0].share > regions[1].share);
+        assert!(regions[0].contains(185.0));
+        assert!(regions[1].contains(301.0));
+        assert!(!regions[0].contains(301.0));
+        assert!(regions[0].width() > 0.0);
+        assert!((regions[0].center() - 185.0).abs() < 10.0);
+    }
+
+    #[test]
+    fn threshold_controls_sensitivity() {
+        let h = histogram_with_clusters();
+        // a very high threshold keeps only the dominant cluster
+        let strict = extract_focal_regions("ra", &h, 10.0);
+        assert_eq!(strict.len(), 1);
+        assert!(strict[0].contains(185.0));
+        // threshold 0 marks every non-empty bin as focal
+        let loose = extract_focal_regions("ra", &h, 0.0);
+        assert!(!loose.is_empty());
+        let covered: f64 = loose.iter().map(|r| r.share).sum();
+        assert!((covered - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adjacent_hot_bins_merge() {
+        let mut h = EquiWidthHistogram::new(0.0, 100.0, 10).unwrap();
+        for _ in 0..50 {
+            h.observe(42.0); // bin 4
+            h.observe(52.0); // bin 5
+        }
+        let regions = extract_focal_regions("x", &h, 1.5);
+        assert_eq!(regions.len(), 1);
+        assert_eq!(regions[0].low, 40.0);
+        assert_eq!(regions[0].high, 60.0);
+        assert!((regions[0].share - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn focal_shift_zero_when_focus_unchanged() {
+        let h = histogram_with_clusters();
+        let regions = extract_focal_regions("ra", &h, 2.0);
+        assert_eq!(focal_shift(&regions, &regions), 0.0);
+        assert_eq!(focal_shift(&regions, &[]), 0.0);
+    }
+
+    #[test]
+    fn focal_shift_one_when_focus_moves_completely() {
+        let old = vec![FocalRegion {
+            attribute: "ra".into(),
+            low: 180.0,
+            high: 190.0,
+            share: 1.0,
+        }];
+        let new = vec![FocalRegion {
+            attribute: "ra".into(),
+            low: 20.0,
+            high: 30.0,
+            share: 1.0,
+        }];
+        assert_eq!(focal_shift(&old, &new), 1.0);
+        // no reference at all: everything is new
+        assert_eq!(focal_shift(&[], &new), 1.0);
+    }
+
+    #[test]
+    fn focal_shift_partial_overlap() {
+        let old = vec![FocalRegion {
+            attribute: "ra".into(),
+            low: 180.0,
+            high: 190.0,
+            share: 1.0,
+        }];
+        let new = vec![
+            FocalRegion {
+                attribute: "ra".into(),
+                low: 182.0,
+                high: 188.0,
+                share: 0.5,
+            },
+            FocalRegion {
+                attribute: "ra".into(),
+                low: 300.0,
+                high: 310.0,
+                share: 0.5,
+            },
+        ];
+        let shift = focal_shift(&old, &new);
+        assert!((shift - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,371 @@
+//! Synthetic SkyServer-style query-workload generator.
+//!
+//! The paper derives areas of interest from the publicly accessible SkyServer
+//! query logs: most queries are cone searches (`fGetNearbyObjEq`) around a
+//! handful of sky regions that the astronomers are currently studying, mixed
+//! with attribute cuts (magnitude ranges, object classes). Since the real
+//! logs are not redistributable, this generator produces a workload with the
+//! same statistical structure: a configurable set of *focal clusters* on
+//! (`ra`, `dec`), Gaussian scatter of the query centres around them, a
+//! long-tail of unfocused "amateur" queries, and an optional focus shift
+//! halfway through (used by the adaptation experiments).
+
+use crate::query::{cone_search_predicate, Query};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sciborq_columnar::{AggregateKind, Predicate};
+use serde::{Deserialize, Serialize};
+
+/// One cluster of scientific interest on the sky.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FocalCluster {
+    /// Right ascension of the cluster centre, degrees.
+    pub ra: f64,
+    /// Declination of the cluster centre, degrees.
+    pub dec: f64,
+    /// Standard deviation of query centres around the cluster, degrees.
+    pub spread: f64,
+    /// Relative probability of a query targeting this cluster.
+    pub weight: f64,
+}
+
+impl FocalCluster {
+    /// Convenience constructor.
+    pub fn new(ra: f64, dec: f64, spread: f64, weight: f64) -> Self {
+        FocalCluster {
+            ra,
+            dec,
+            spread,
+            weight,
+        }
+    }
+}
+
+/// Configuration of the synthetic workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadConfig {
+    /// Fact table name queries will reference.
+    pub table: String,
+    /// Column holding right ascension.
+    pub ra_column: String,
+    /// Column holding declination.
+    pub dec_column: String,
+    /// The clusters of interest.
+    pub clusters: Vec<FocalCluster>,
+    /// Fraction of queries that ignore the clusters entirely (amateur /
+    /// exploratory traffic scanning random sky positions).
+    pub background_fraction: f64,
+    /// Search radius range (degrees) for the cone searches.
+    pub radius_range: (f64, f64),
+    /// Fraction of queries that are aggregates rather than SELECTs.
+    pub aggregate_fraction: f64,
+    /// Column used by aggregate queries (e.g. the r-band magnitude).
+    pub measure_column: String,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            table: "photoobj".to_owned(),
+            ra_column: "ra".to_owned(),
+            dec_column: "dec".to_owned(),
+            clusters: vec![
+                FocalCluster::new(185.0, 0.0, 2.0, 0.6),
+                FocalCluster::new(160.0, 25.0, 3.0, 0.3),
+                FocalCluster::new(230.0, 45.0, 1.5, 0.1),
+            ],
+            background_fraction: 0.1,
+            radius_range: (0.5, 3.0),
+            aggregate_fraction: 0.5,
+            measure_column: "r_mag".to_owned(),
+        }
+    }
+}
+
+/// A deterministic generator of SkyServer-like queries.
+#[derive(Debug, Clone)]
+pub struct WorkloadGenerator {
+    config: WorkloadConfig,
+    rng: StdRng,
+    generated: u64,
+}
+
+impl WorkloadGenerator {
+    /// Create a generator with the given configuration and seed.
+    pub fn new(config: WorkloadConfig, seed: u64) -> Self {
+        WorkloadGenerator {
+            config,
+            rng: StdRng::seed_from_u64(seed),
+            generated: 0,
+        }
+    }
+
+    /// Create a generator with the default SkyServer-like configuration.
+    pub fn default_sky(seed: u64) -> Self {
+        Self::new(WorkloadConfig::default(), seed)
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &WorkloadConfig {
+        &self.config
+    }
+
+    /// Number of queries generated so far.
+    pub fn generated(&self) -> u64 {
+        self.generated
+    }
+
+    /// Replace the focal clusters (a workload *focus shift*), keeping the
+    /// rest of the configuration.
+    pub fn shift_focus(&mut self, clusters: Vec<FocalCluster>) {
+        self.config.clusters = clusters;
+    }
+
+    fn sample_normal(&mut self, mean: f64, sd: f64) -> f64 {
+        let u1: f64 = self.rng.gen_range(1e-12..1.0);
+        let u2: f64 = self.rng.gen_range(0.0..1.0);
+        mean + sd * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    fn pick_cluster(&mut self) -> Option<FocalCluster> {
+        if self.config.clusters.is_empty() {
+            return None;
+        }
+        let total: f64 = self.config.clusters.iter().map(|c| c.weight).sum();
+        if total <= 0.0 {
+            return None;
+        }
+        let mut target = self.rng.gen_range(0.0..total);
+        for c in &self.config.clusters {
+            if target < c.weight {
+                return Some(*c);
+            }
+            target -= c.weight;
+        }
+        self.config.clusters.last().copied()
+    }
+
+    /// Generate the next query of the workload.
+    pub fn next_query(&mut self) -> Query {
+        self.generated += 1;
+        let background = self.rng.gen_bool(self.config.background_fraction.clamp(0.0, 1.0));
+        let (ra, dec) = if background {
+            (
+                self.rng.gen_range(0.0..360.0),
+                self.rng.gen_range(-90.0..90.0),
+            )
+        } else if let Some(cluster) = self.pick_cluster() {
+            (
+                self.sample_normal(cluster.ra, cluster.spread)
+                    .rem_euclid(360.0),
+                self.sample_normal(cluster.dec, cluster.spread).clamp(-90.0, 90.0),
+            )
+        } else {
+            (
+                self.rng.gen_range(0.0..360.0),
+                self.rng.gen_range(-90.0..90.0),
+            )
+        };
+        let radius = self
+            .rng
+            .gen_range(self.config.radius_range.0..=self.config.radius_range.1);
+        let predicate = cone_search_predicate(
+            &self.config.ra_column,
+            &self.config.dec_column,
+            ra,
+            dec,
+            radius,
+        );
+
+        if self.rng.gen_bool(self.config.aggregate_fraction.clamp(0.0, 1.0)) {
+            let kind = match self.rng.gen_range(0..3) {
+                0 => AggregateKind::Count,
+                1 => AggregateKind::Avg,
+                _ => AggregateKind::Sum,
+            };
+            if kind == AggregateKind::Count {
+                Query::count(&self.config.table, predicate)
+            } else {
+                Query::aggregate(
+                    &self.config.table,
+                    predicate,
+                    kind,
+                    &self.config.measure_column,
+                )
+            }
+        } else {
+            let limit = 100 * self.rng.gen_range(1..=5);
+            Query::select(&self.config.table, predicate).with_limit(limit)
+        }
+    }
+
+    /// Generate a batch of queries.
+    pub fn generate(&mut self, count: usize) -> Vec<Query> {
+        (0..count).map(|_| self.next_query()).collect()
+    }
+}
+
+/// Helper for experiments: build a predicate selecting one cluster's core
+/// region (±2σ box around the centre), useful as a "ground truth" focal
+/// region when measuring enrichment.
+pub fn cluster_core_predicate(config: &WorkloadConfig, cluster: &FocalCluster) -> Predicate {
+    cone_search_predicate(
+        &config.ra_column,
+        &config.dec_column,
+        cluster.ra,
+        cluster.dec,
+        2.0 * cluster.spread,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate_set::{AttributeDomain, PredicateSet};
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = WorkloadConfig::default();
+        assert_eq!(c.table, "photoobj");
+        assert_eq!(c.clusters.len(), 3);
+        assert!(c.background_fraction < 0.5);
+        assert!(c.radius_range.0 < c.radius_range.1);
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let q1: Vec<String> = WorkloadGenerator::default_sky(3)
+            .generate(20)
+            .iter()
+            .map(|q| q.to_string())
+            .collect();
+        let q2: Vec<String> = WorkloadGenerator::default_sky(3)
+            .generate(20)
+            .iter()
+            .map(|q| q.to_string())
+            .collect();
+        assert_eq!(q1, q2);
+        let q3: Vec<String> = WorkloadGenerator::default_sky(4)
+            .generate(20)
+            .iter()
+            .map(|q| q.to_string())
+            .collect();
+        assert_ne!(q1, q3);
+    }
+
+    #[test]
+    fn queries_reference_configured_table_and_columns() {
+        let mut g = WorkloadGenerator::default_sky(7);
+        for q in g.generate(50) {
+            assert_eq!(q.table, "photoobj");
+            let cols = q.referenced_columns();
+            assert!(cols.contains(&"ra".to_owned()));
+            assert!(cols.contains(&"dec".to_owned()));
+        }
+        assert_eq!(g.generated(), 50);
+    }
+
+    #[test]
+    fn workload_concentrates_on_focal_clusters() {
+        let mut g = WorkloadGenerator::default_sky(11);
+        let mut ps = PredicateSet::new(&[
+            ("ra", AttributeDomain::new(0.0, 360.0, 72)),
+            ("dec", AttributeDomain::new(-90.0, 90.0, 36)),
+        ])
+        .unwrap();
+        for q in g.generate(400) {
+            ps.log_query(&q);
+        }
+        let kde = ps.interest_estimator("ra").unwrap();
+        // the dominant cluster is at ra=185; a random off-focus position
+        // should have much lower workload density
+        assert!(kde.density(185.0) > 5.0 * kde.density(90.0));
+        let dec_kde = ps.interest_estimator("dec").unwrap();
+        assert!(dec_kde.density(0.0) > dec_kde.density(-70.0));
+    }
+
+    #[test]
+    fn background_only_workload_is_spread_out() {
+        let config = WorkloadConfig {
+            background_fraction: 1.0,
+            ..WorkloadConfig::default()
+        };
+        let mut g = WorkloadGenerator::new(config, 5);
+        let mut ps = PredicateSet::new(&[("ra", AttributeDomain::new(0.0, 360.0, 36))]).unwrap();
+        for q in g.generate(500) {
+            ps.log_query(&q);
+        }
+        let hist = ps.histogram("ra").unwrap();
+        let occupied = hist.counts().iter().filter(|&&c| c > 0).count();
+        assert!(occupied > 30, "background queries should cover most bins, got {occupied}");
+    }
+
+    #[test]
+    fn shift_focus_changes_generated_centres() {
+        let mut g = WorkloadGenerator::default_sky(13);
+        let before_kde = {
+            let mut ps =
+                PredicateSet::new(&[("ra", AttributeDomain::new(0.0, 360.0, 72))]).unwrap();
+            for q in g.generate(300) {
+                ps.log_query(&q);
+            }
+            ps.interest_estimator("ra").unwrap()
+        };
+        g.shift_focus(vec![FocalCluster::new(40.0, -10.0, 2.0, 1.0)]);
+        let after_kde = {
+            let mut ps =
+                PredicateSet::new(&[("ra", AttributeDomain::new(0.0, 360.0, 72))]).unwrap();
+            for q in g.generate(300) {
+                ps.log_query(&q);
+            }
+            ps.interest_estimator("ra").unwrap()
+        };
+        assert!(before_kde.density(185.0) > before_kde.density(40.0));
+        assert!(after_kde.density(40.0) > after_kde.density(185.0));
+    }
+
+    #[test]
+    fn aggregate_fraction_respected_at_extremes() {
+        let config = WorkloadConfig {
+            aggregate_fraction: 0.0,
+            ..WorkloadConfig::default()
+        };
+        let mut g = WorkloadGenerator::new(config, 17);
+        assert!(g
+            .generate(50)
+            .iter()
+            .all(|q| matches!(q.kind, crate::query::QueryKind::Select)));
+
+        let config = WorkloadConfig {
+            aggregate_fraction: 1.0,
+            ..WorkloadConfig::default()
+        };
+        let mut g = WorkloadGenerator::new(config, 17);
+        assert!(g
+            .generate(50)
+            .iter()
+            .all(|q| matches!(q.kind, crate::query::QueryKind::Aggregate { .. })));
+    }
+
+    #[test]
+    fn empty_cluster_list_falls_back_to_background() {
+        let config = WorkloadConfig {
+            clusters: vec![],
+            background_fraction: 0.0,
+            ..WorkloadConfig::default()
+        };
+        let mut g = WorkloadGenerator::new(config, 19);
+        // must not panic, still generates valid queries
+        let qs = g.generate(10);
+        assert_eq!(qs.len(), 10);
+    }
+
+    #[test]
+    fn cluster_core_predicate_selects_center() {
+        let config = WorkloadConfig::default();
+        let cluster = config.clusters[0];
+        let p = cluster_core_predicate(&config, &cluster);
+        let s = p.to_string();
+        assert!(s.contains("ra BETWEEN 181 AND 189"));
+    }
+}

@@ -1,0 +1,184 @@
+//! Query-log recording and replay.
+//!
+//! The paper's second construction strategy "is based on a more complex
+//! infrastructure of query logging" (§3.3): every query run against the
+//! warehouse is recorded, and the predicate set / focal points are derived
+//! from a window of that log. This module provides a simple in-memory query
+//! log with logical timestamps and windowed replay.
+
+use crate::query::Query;
+use serde::{Deserialize, Serialize};
+
+/// One recorded query together with its logical timestamp (sequence number).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogEntry {
+    /// Monotonically increasing sequence number, starting at 0.
+    pub sequence: u64,
+    /// The recorded query.
+    pub query: Query,
+}
+
+/// An append-only, bounded query log.
+///
+/// The log retains at most `capacity` entries; older entries are evicted
+/// first, which matches the paper's "workload defined over a period of time
+/// or over a predefined number of queries".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryLog {
+    entries: std::collections::VecDeque<LogEntry>,
+    capacity: usize,
+    next_sequence: u64,
+}
+
+impl QueryLog {
+    /// Create a log retaining at most `capacity` queries.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "query log capacity must be positive");
+        QueryLog {
+            entries: std::collections::VecDeque::with_capacity(capacity),
+            capacity,
+            next_sequence: 0,
+        }
+    }
+
+    /// Record a query, evicting the oldest entry if the log is full.
+    /// Returns the sequence number assigned to the query.
+    pub fn record(&mut self, query: Query) -> u64 {
+        let sequence = self.next_sequence;
+        self.next_sequence += 1;
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(LogEntry { sequence, query });
+        sequence
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been recorded (or everything evicted).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total number of queries ever recorded (including evicted ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.next_sequence
+    }
+
+    /// The retained entries, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &LogEntry> {
+        self.entries.iter()
+    }
+
+    /// The retained queries, oldest first.
+    pub fn queries(&self) -> impl Iterator<Item = &Query> {
+        self.entries.iter().map(|e| &e.query)
+    }
+
+    /// The last `n` recorded queries (most recent window), oldest first.
+    pub fn recent(&self, n: usize) -> Vec<&Query> {
+        let start = self.entries.len().saturating_sub(n);
+        self.entries.iter().skip(start).map(|e| &e.query).collect()
+    }
+
+    /// Entries recorded at or after the given sequence number.
+    pub fn since(&self, sequence: u64) -> Vec<&LogEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.sequence >= sequence)
+            .collect()
+    }
+
+    /// Clear the log (but keep the sequence counter monotone).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sciborq_columnar::Predicate;
+
+    fn q(i: i64) -> Query {
+        Query::count("photoobj", Predicate::eq("objid", i))
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = QueryLog::new(0);
+    }
+
+    #[test]
+    fn record_and_read_back() {
+        let mut log = QueryLog::new(10);
+        assert!(log.is_empty());
+        assert_eq!(log.record(q(1)), 0);
+        assert_eq!(log.record(q(2)), 1);
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.total_recorded(), 2);
+        let recorded: Vec<i64> = log
+            .queries()
+            .map(|query| match &query.predicate {
+                Predicate::Compare { value, .. } => value.as_i64().unwrap(),
+                _ => panic!("unexpected predicate"),
+            })
+            .collect();
+        assert_eq!(recorded, vec![1, 2]);
+    }
+
+    #[test]
+    fn eviction_keeps_most_recent() {
+        let mut log = QueryLog::new(3);
+        for i in 0..10 {
+            log.record(q(i));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.total_recorded(), 10);
+        let seqs: Vec<u64> = log.entries().map(|e| e.sequence).collect();
+        assert_eq!(seqs, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn recent_window() {
+        let mut log = QueryLog::new(100);
+        for i in 0..20 {
+            log.record(q(i));
+        }
+        let recent = log.recent(5);
+        assert_eq!(recent.len(), 5);
+        // asking for more than retained returns everything
+        assert_eq!(log.recent(1000).len(), 20);
+        assert_eq!(QueryLog::new(5).recent(3).len(), 0);
+    }
+
+    #[test]
+    fn since_filters_by_sequence() {
+        let mut log = QueryLog::new(100);
+        for i in 0..10 {
+            log.record(q(i));
+        }
+        assert_eq!(log.since(7).len(), 3);
+        assert_eq!(log.since(0).len(), 10);
+        assert_eq!(log.since(100).len(), 0);
+    }
+
+    #[test]
+    fn clear_keeps_sequence_monotone() {
+        let mut log = QueryLog::new(10);
+        log.record(q(1));
+        log.record(q(2));
+        log.clear();
+        assert!(log.is_empty());
+        let seq = log.record(q(3));
+        assert_eq!(seq, 2, "sequence numbers must not be reused after clear");
+        assert_eq!(log.total_recorded(), 3);
+    }
+}

@@ -1,0 +1,305 @@
+//! Query descriptions.
+//!
+//! SciBORQ queries are the ad-hoc exploration queries of the SkyServer
+//! workload: a predicate over a fact table (typically a cone search on
+//! `ra`/`dec` plus attribute cuts), an optional aggregate, and an optional
+//! LIMIT. The struct below is deliberately declarative — the bounded query
+//! engine decides *where* (which impression layer) to evaluate it.
+
+use sciborq_columnar::{AggregateKind, Predicate, Value};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What a query computes over the qualifying rows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum QueryKind {
+    /// Return the qualifying rows themselves (optionally limited).
+    Select,
+    /// Compute a single aggregate over the qualifying rows.
+    Aggregate {
+        /// The aggregate function.
+        kind: AggregateKind,
+        /// The aggregated column (`None` only for COUNT).
+        column: Option<String>,
+    },
+}
+
+/// A declarative query against one table of the warehouse.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Query {
+    /// The fact table the query targets.
+    pub table: String,
+    /// The row predicate.
+    pub predicate: Predicate,
+    /// What to compute over the qualifying rows.
+    pub kind: QueryKind,
+    /// Optional LIMIT: in SciBORQ semantics this limits the rows *of the
+    /// impression*, not "the first N rows of the base table" (§3.2).
+    pub limit: Option<usize>,
+}
+
+impl Query {
+    /// A SELECT query returning qualifying rows.
+    pub fn select(table: impl Into<String>, predicate: Predicate) -> Self {
+        Query {
+            table: table.into(),
+            predicate,
+            kind: QueryKind::Select,
+            limit: None,
+        }
+    }
+
+    /// A COUNT(*) query.
+    pub fn count(table: impl Into<String>, predicate: Predicate) -> Self {
+        Query {
+            table: table.into(),
+            predicate,
+            kind: QueryKind::Aggregate {
+                kind: AggregateKind::Count,
+                column: None,
+            },
+            limit: None,
+        }
+    }
+
+    /// An aggregate query over a column.
+    pub fn aggregate(
+        table: impl Into<String>,
+        predicate: Predicate,
+        kind: AggregateKind,
+        column: impl Into<String>,
+    ) -> Self {
+        Query {
+            table: table.into(),
+            predicate,
+            kind: QueryKind::Aggregate {
+                kind,
+                column: Some(column.into()),
+            },
+            limit: None,
+        }
+    }
+
+    /// Attach a LIMIT clause.
+    pub fn with_limit(mut self, limit: usize) -> Self {
+        self.limit = Some(limit);
+        self
+    }
+
+    /// The columns referenced anywhere in the query (predicate + aggregate).
+    pub fn referenced_columns(&self) -> Vec<String> {
+        let mut cols: Vec<String> = self
+            .predicate
+            .referenced_columns()
+            .into_iter()
+            .map(str::to_owned)
+            .collect();
+        if let QueryKind::Aggregate {
+            column: Some(c), ..
+        } = &self.kind
+        {
+            cols.push(c.clone());
+        }
+        cols.sort();
+        cols.dedup();
+        cols
+    }
+
+    /// Extract the numeric values this query "requests" per attribute — the
+    /// raw material of the predicate set (§4).
+    ///
+    /// For an equality or one-sided comparison the literal is logged; for a
+    /// BETWEEN both endpoints and the midpoint are logged, which is how a
+    /// cone-search `fGetNearbyObjEq(ra, dec, r)` manifests after rewriting.
+    pub fn requested_values(&self) -> Vec<(String, f64)> {
+        let mut out = Vec::new();
+        collect_requested(&self.predicate, &mut out);
+        out
+    }
+}
+
+fn collect_requested(p: &Predicate, out: &mut Vec<(String, f64)>) {
+    match p {
+        Predicate::Compare { column, value, .. } => {
+            if let Some(v) = value.as_f64() {
+                out.push((column.clone(), v));
+            }
+        }
+        Predicate::Between { column, low, high } => {
+            if let (Some(lo), Some(hi)) = (low.as_f64(), high.as_f64()) {
+                out.push((column.clone(), lo));
+                out.push((column.clone(), (lo + hi) / 2.0));
+                out.push((column.clone(), hi));
+            }
+        }
+        Predicate::And(ps) | Predicate::Or(ps) => {
+            for p in ps {
+                collect_requested(p, out);
+            }
+        }
+        Predicate::Not(p) => collect_requested(p, out),
+        Predicate::True
+        | Predicate::False
+        | Predicate::IsNull(_)
+        | Predicate::IsNotNull(_) => {}
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            QueryKind::Select => write!(f, "SELECT * FROM {} WHERE {}", self.table, self.predicate)?,
+            QueryKind::Aggregate { kind, column } => write!(
+                f,
+                "SELECT {kind}({}) FROM {} WHERE {}",
+                column.as_deref().unwrap_or("*"),
+                self.table,
+                self.predicate
+            )?,
+        }
+        if let Some(limit) = self.limit {
+            write!(f, " LIMIT {limit}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Build the predicate of a cone search: the rewritten form of the
+/// SkyServer `fGetNearbyObjEq(ra, dec, radius)` table function used in the
+/// paper's example query (Figure 1).
+///
+/// The cone is approximated by the bounding box
+/// `ra ∈ [ra−r, ra+r] ∧ dec ∈ [dec−r, dec+r]`, which is what the SkyServer
+/// rewrite produces before the exact great-circle filter; the experiments use
+/// the box consistently for base data and impressions so comparisons remain
+/// apples-to-apples.
+pub fn cone_search_predicate(
+    ra_column: &str,
+    dec_column: &str,
+    ra: f64,
+    dec: f64,
+    radius: f64,
+) -> Predicate {
+    Predicate::Between {
+        column: ra_column.to_owned(),
+        low: Value::Float64(ra - radius),
+        high: Value::Float64(ra + radius),
+    }
+    .and(Predicate::Between {
+        column: dec_column.to_owned(),
+        low: Value::Float64(dec - radius),
+        high: Value::Float64(dec + radius),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_and_count_constructors() {
+        let q = Query::select("photoobj", Predicate::gt("ra", 180.0));
+        assert_eq!(q.table, "photoobj");
+        assert_eq!(q.kind, QueryKind::Select);
+        assert_eq!(q.limit, None);
+
+        let q = Query::count("photoobj", Predicate::True).with_limit(10);
+        assert!(matches!(
+            q.kind,
+            QueryKind::Aggregate {
+                kind: AggregateKind::Count,
+                column: None
+            }
+        ));
+        assert_eq!(q.limit, Some(10));
+    }
+
+    #[test]
+    fn aggregate_constructor() {
+        let q = Query::aggregate(
+            "photoobj",
+            Predicate::eq("class", "GALAXY"),
+            AggregateKind::Avg,
+            "r_mag",
+        );
+        match &q.kind {
+            QueryKind::Aggregate { kind, column } => {
+                assert_eq!(*kind, AggregateKind::Avg);
+                assert_eq!(column.as_deref(), Some("r_mag"));
+            }
+            other => panic!("unexpected kind {other:?}"),
+        }
+    }
+
+    #[test]
+    fn referenced_columns_include_aggregate_column() {
+        let q = Query::aggregate(
+            "photoobj",
+            cone_search_predicate("ra", "dec", 185.0, 0.0, 3.0),
+            AggregateKind::Avg,
+            "r_mag",
+        );
+        assert_eq!(q.referenced_columns(), vec!["dec", "r_mag", "ra"]);
+    }
+
+    #[test]
+    fn requested_values_from_between() {
+        let q = Query::count("photoobj", cone_search_predicate("ra", "dec", 185.0, 0.0, 3.0));
+        let vals = q.requested_values();
+        let ra_vals: Vec<f64> = vals
+            .iter()
+            .filter(|(c, _)| c == "ra")
+            .map(|(_, v)| *v)
+            .collect();
+        assert_eq!(ra_vals, vec![182.0, 185.0, 188.0]);
+        let dec_vals: Vec<f64> = vals
+            .iter()
+            .filter(|(c, _)| c == "dec")
+            .map(|(_, v)| *v)
+            .collect();
+        assert_eq!(dec_vals, vec![-3.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn requested_values_from_comparisons_and_not() {
+        let q = Query::select(
+            "photoobj",
+            Predicate::gt("r_mag", 17.5).and(Predicate::eq("class", "GALAXY").negate()),
+        );
+        let vals = q.requested_values();
+        // the string literal contributes nothing, the numeric comparison does
+        assert_eq!(vals, vec![("r_mag".to_owned(), 17.5)]);
+    }
+
+    #[test]
+    fn requested_values_ignore_null_checks() {
+        let q = Query::select("t", Predicate::IsNull("x".into()));
+        assert!(q.requested_values().is_empty());
+    }
+
+    #[test]
+    fn display_renders_sqlish() {
+        let q = Query::aggregate(
+            "photoobj",
+            Predicate::between("ra", 180.0, 190.0),
+            AggregateKind::Count,
+            "objid",
+        )
+        .with_limit(5);
+        let s = q.to_string();
+        assert!(s.contains("SELECT COUNT(objid) FROM photoobj"));
+        assert!(s.contains("LIMIT 5"));
+        let sel = Query::select("photoobj", Predicate::True).to_string();
+        assert!(sel.starts_with("SELECT * FROM photoobj"));
+    }
+
+    #[test]
+    fn cone_search_predicate_is_bounding_box() {
+        let p = cone_search_predicate("ra", "dec", 185.0, 0.0, 3.0);
+        let cols = p.referenced_columns();
+        assert_eq!(cols, vec!["dec", "ra"]);
+        let s = p.to_string();
+        assert!(s.contains("ra BETWEEN 182 AND 188"));
+        assert!(s.contains("dec BETWEEN -3 AND 3"));
+    }
+}

@@ -1,0 +1,101 @@
+//! Adaptation to a shifting exploration focus (§3.1 "Adaptive").
+//!
+//! Phase 1 focuses on one sky region; the biased impressions are built for
+//! it. Phase 2 moves the focus elsewhere; the session detects the shift and
+//! rebuilds the impressions, restoring the enrichment around the new focal
+//! point.
+//!
+//! Run with `cargo run --release --example adaptive_workload`.
+
+use sciborq_core::{ExplorationSession, QueryBounds, SamplingPolicy, SciborqConfig};
+use sciborq_skyserver::{Cone, DatasetConfig, SkyDataset};
+use sciborq_workload::{AttributeDomain, FocalCluster, Query, WorkloadConfig, WorkloadGenerator};
+
+/// Fraction of the first impression layer that falls inside a cone.
+fn focal_share(session: &ExplorationSession, cone: Cone) -> f64 {
+    let hierarchy = session.hierarchy("photoobj").expect("hierarchy exists");
+    let layer = &hierarchy.layers()[0];
+    let matches = cone
+        .bounding_box_predicate("ra", "dec")
+        .evaluate(layer.data())
+        .expect("predicate evaluates");
+    matches.len() as f64 / layer.row_count() as f64
+}
+
+fn main() {
+    let dataset = SkyDataset::build(DatasetConfig {
+        total_objects: 150_000,
+        batch_size: 50_000,
+        ..DatasetConfig::default()
+    })
+    .expect("dataset");
+
+    let config = SciborqConfig::with_layers(vec![10_000, 1_000]);
+    let mut session = ExplorationSession::new(
+        dataset.catalog.clone(),
+        config,
+        &[
+            ("ra", AttributeDomain::new(0.0, 360.0, 72)),
+            ("dec", AttributeDomain::new(-90.0, 90.0, 36)),
+        ],
+    )
+    .expect("session");
+    session
+        .create_impressions("photoobj", SamplingPolicy::Uniform)
+        .expect("bootstrap impressions");
+
+    // ---- Phase 1: the scientist studies the region around (185, 0) ----
+    let phase1 = WorkloadConfig {
+        clusters: vec![FocalCluster::new(185.0, 0.0, 2.0, 1.0)],
+        background_fraction: 0.05,
+        ..WorkloadConfig::default()
+    };
+    let mut generator = WorkloadGenerator::new(phase1, 21);
+    for query in generator.generate(250) {
+        let _ = session.execute(&query, &QueryBounds::default());
+    }
+    session
+        .create_impressions("photoobj", SamplingPolicy::biased(["ra", "dec"]))
+        .expect("biased impressions");
+
+    let cone_a = Cone::new(185.0, 0.0, 4.0);
+    let cone_b = Cone::new(160.0, 25.0, 4.0);
+    println!("after phase 1 (focus at ra=185, dec=0):");
+    println!("  impression share near A (185,0)  : {:.3}", focal_share(&session, cone_a));
+    println!("  impression share near B (160,25) : {:.3}", focal_share(&session, cone_b));
+
+    // ---- Phase 2: the focus moves to the region around (160, 25) ----
+    let phase2 = WorkloadConfig {
+        clusters: vec![FocalCluster::new(160.0, 25.0, 2.0, 1.0)],
+        background_fraction: 0.05,
+        ..WorkloadConfig::default()
+    };
+    let mut generator = WorkloadGenerator::new(phase2, 22);
+    for query in generator.generate(400) {
+        let _ = session.execute(&query, &QueryBounds::default());
+    }
+
+    let decision = session.adapt().expect("maintenance check");
+    println!(
+        "\nworkload shift detected: max shift {:.2}, rebuild = {}",
+        decision.max_shift, decision.should_rebuild
+    );
+    println!("adaptive rebuilds so far: {}", session.rebuilds());
+
+    println!("\nafter phase 2 adaptation (focus at ra=160, dec=25):");
+    println!("  impression share near A (185,0)  : {:.3}", focal_share(&session, cone_a));
+    println!("  impression share near B (160,25) : {:.3}", focal_share(&session, cone_b));
+
+    // ---- Error comparison on a phase-2 focal query ----
+    let query = Query::count("photoobj", cone_b.bounding_box_predicate("ra", "dec"));
+    let answer = session
+        .execute(&query, &QueryBounds::row_budget(1_000))
+        .expect("query");
+    let a = answer.as_aggregate().unwrap();
+    println!(
+        "\nfocal COUNT after adaptation: {:.1} (relative error {:.3}, level {})",
+        a.value.unwrap_or(f64::NAN),
+        a.relative_error(),
+        a.level
+    );
+}

@@ -1,0 +1,114 @@
+//! The runtime/quality trade-off: error bounds and row budgets across
+//! impression layers (the text claims of §3.1–3.2).
+//!
+//! Prints, for a fixed cone-search aggregate, how the relative error shrinks
+//! and the scanned-row count grows as the engine is allowed to use larger
+//! impressions — and how escalation behaves for a sweep of error targets.
+//!
+//! Run with `cargo run --release --example bounded_aggregates`.
+
+use sciborq_columnar::AggregateKind;
+use sciborq_core::{
+    BoundedQueryEngine, LayerHierarchy, QueryBounds, SamplingPolicy, SciborqConfig,
+};
+use sciborq_skyserver::{Cone, DatasetConfig, SkyDataset};
+use sciborq_workload::Query;
+use std::time::Instant;
+
+fn main() {
+    let dataset = SkyDataset::build(DatasetConfig {
+        total_objects: 300_000,
+        batch_size: 50_000,
+        ..DatasetConfig::default()
+    })
+    .expect("dataset");
+    let fact = dataset.catalog.table("photoobj").expect("fact table");
+    let fact = fact.read();
+
+    let config = SciborqConfig::with_layers(vec![100_000, 30_000, 10_000, 3_000, 1_000]);
+    let hierarchy =
+        LayerHierarchy::build_from_table(&fact, SamplingPolicy::Uniform, &config, None)
+            .expect("hierarchy");
+    let engine = BoundedQueryEngine::new(config).expect("engine");
+
+    let cone = Cone::new(185.0, 0.0, 3.0);
+    let count_query = Query::count("photoobj", cone.bounding_box_predicate("ra", "dec"));
+    let avg_query = Query::aggregate(
+        "photoobj",
+        cone.bounding_box_predicate("ra", "dec"),
+        AggregateKind::Avg,
+        "r_mag",
+    );
+
+    // exact ground truth
+    let exact = engine
+        .execute_aggregate(&count_query, &hierarchy, Some(&fact), &QueryBounds::max_error(1e-15))
+        .expect("exact");
+    println!(
+        "ground truth COUNT = {} (from {})",
+        exact.value.unwrap(),
+        exact.level
+    );
+
+    println!("\n--- error vs impression size (row-budget sweep, COUNT) ---");
+    println!("{:>12} {:>12} {:>14} {:>12} {:>10}", "row budget", "estimate", "rel. error", "level", "time");
+    for budget in [1_000u64, 3_000, 10_000, 30_000, 100_000, 400_000] {
+        let started = Instant::now();
+        let answer = engine
+            .execute_aggregate(
+                &count_query,
+                &hierarchy,
+                Some(&fact),
+                &QueryBounds::row_budget(budget),
+            )
+            .expect("bounded query");
+        println!(
+            "{:>12} {:>12.1} {:>14.4} {:>12} {:>9.2?}",
+            budget,
+            answer.value.unwrap_or(f64::NAN),
+            answer.relative_error(),
+            answer.level.to_string(),
+            started.elapsed()
+        );
+    }
+
+    println!("\n--- escalation vs requested error bound (COUNT) ---");
+    println!("{:>12} {:>12} {:>12} {:>14} {:>12}", "max error", "estimate", "level", "escalations", "rows scanned");
+    for error in [0.5, 0.2, 0.1, 0.05, 0.02, 0.01, 1e-12] {
+        let answer = engine
+            .execute_aggregate(
+                &count_query,
+                &hierarchy,
+                Some(&fact),
+                &QueryBounds::max_error(error),
+            )
+            .expect("bounded query");
+        println!(
+            "{:>12.0e} {:>12.1} {:>12} {:>14} {:>12}",
+            error,
+            answer.value.unwrap_or(f64::NAN),
+            answer.level.to_string(),
+            answer.escalations,
+            answer.rows_scanned
+        );
+    }
+
+    println!("\n--- the same sweep for AVG(r_mag) ---");
+    for error in [0.05, 0.01, 0.005, 0.001] {
+        let answer = engine
+            .execute_aggregate(
+                &avg_query,
+                &hierarchy,
+                Some(&fact),
+                &QueryBounds::max_error(error),
+            )
+            .expect("bounded query");
+        println!(
+            "  error <= {:>7.3}: AVG = {:>7.3} on {:<10} ({} rows scanned)",
+            error,
+            answer.value.unwrap_or(f64::NAN),
+            answer.level.to_string(),
+            answer.rows_scanned
+        );
+    }
+}

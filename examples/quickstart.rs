@@ -1,0 +1,69 @@
+//! Quickstart: build a small synthetic sky warehouse, create impressions,
+//! and answer a bounded query.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use sciborq_columnar::Predicate;
+use sciborq_core::{ExplorationSession, QueryBounds, SamplingPolicy, SciborqConfig};
+use sciborq_skyserver::{Cone, DatasetConfig, SkyDataset};
+use sciborq_workload::{AttributeDomain, Query};
+
+fn main() {
+    // 1. Build a synthetic SkyServer-like warehouse (100k detections).
+    let dataset = SkyDataset::build(DatasetConfig {
+        total_objects: 100_000,
+        batch_size: 20_000,
+        ..DatasetConfig::default()
+    })
+    .expect("dataset");
+    println!(
+        "warehouse ready: {} rows in photoobj, tables = {:?}",
+        dataset.fact_rows(),
+        dataset.catalog.table_names()
+    );
+
+    // 2. Open an exploration session with three impression layers.
+    let config = SciborqConfig::with_layers(vec![20_000, 2_000, 200]);
+    let mut session = ExplorationSession::new(
+        dataset.catalog.clone(),
+        config,
+        &[
+            ("ra", AttributeDomain::new(0.0, 360.0, 36)),
+            ("dec", AttributeDomain::new(-90.0, 90.0, 18)),
+        ],
+    )
+    .expect("session");
+    session
+        .create_impressions("photoobj", SamplingPolicy::Uniform)
+        .expect("impressions");
+
+    // 3. A cone-search COUNT with a 10% error bound at 95% confidence.
+    let cone = Cone::new(185.0, 0.0, 5.0);
+    let query = Query::count("photoobj", cone.bounding_box_predicate("ra", "dec"));
+    let outcome = session
+        .execute(&query, &QueryBounds::max_error(0.10))
+        .expect("query");
+    let answer = outcome.as_aggregate().expect("aggregate answer");
+    println!("\n{query}");
+    println!("  approximate answer : {answer}");
+    println!("  error bound met    : {}", answer.error_bound_met);
+    println!("  escalations        : {}", answer.escalations);
+
+    // 4. The same query demanding an exact answer falls through to the base data.
+    let exact = session
+        .execute(&query, &QueryBounds::max_error(1e-12))
+        .expect("exact query");
+    let exact = exact.as_aggregate().expect("aggregate answer");
+    println!("\nexact answer ({}): {}", exact.level, exact.value.unwrap());
+
+    // 5. And a quality filter evaluated cheaply against an impression.
+    let bright = Query::count(
+        "photoobj",
+        Predicate::lt("r_mag", 18.0).and(Predicate::eq("class", "GALAXY")),
+    );
+    let outcome = session
+        .execute(&bright, &QueryBounds::max_error(0.15))
+        .expect("query");
+    println!("\n{bright}");
+    println!("  {}", outcome.as_aggregate().unwrap());
+}

@@ -1,0 +1,98 @@
+//! SkyServer-style exploration: a workload of cone searches steers biased
+//! impressions, which then answer focal queries with tighter error bounds
+//! than uniform samples of the same size.
+//!
+//! Run with `cargo run --release --example sky_exploration`.
+
+use sciborq_core::{ExplorationSession, QueryBounds, SamplingPolicy, SciborqConfig};
+use sciborq_skyserver::{Cone, DatasetConfig, SkyDataset};
+use sciborq_workload::{AttributeDomain, Query, WorkloadGenerator};
+
+fn main() {
+    let dataset = SkyDataset::build(DatasetConfig {
+        total_objects: 200_000,
+        batch_size: 50_000,
+        ..DatasetConfig::default()
+    })
+    .expect("dataset");
+    println!("warehouse ready: {} rows", dataset.fact_rows());
+
+    let config = SciborqConfig::with_layers(vec![20_000, 2_000]);
+    let mut session = ExplorationSession::new(
+        dataset.catalog.clone(),
+        config,
+        &[
+            ("ra", AttributeDomain::new(0.0, 360.0, 72)),
+            ("dec", AttributeDomain::new(-90.0, 90.0, 36)),
+        ],
+    )
+    .expect("session");
+
+    // Phase 1: explore with uniform impressions while the workload is logged.
+    session
+        .create_impressions("photoobj", SamplingPolicy::Uniform)
+        .expect("uniform impressions");
+    let mut generator = WorkloadGenerator::default_sky(11);
+    println!("\nreplaying 300 logged exploration queries ...");
+    for query in generator.generate(300) {
+        let _ = session.execute(&query, &QueryBounds::default());
+    }
+    println!(
+        "predicate set now holds {} ra-values from {} queries",
+        session.predicate_set().observed_values("ra"),
+        session.predicate_set().queries_observed()
+    );
+
+    // Phase 2: rebuild the impressions biased towards the observed focus.
+    session
+        .create_impressions("photoobj", SamplingPolicy::biased(["ra", "dec"]))
+        .expect("biased impressions");
+    let hierarchy = session.hierarchy("photoobj").unwrap();
+    for layer in hierarchy.layers() {
+        println!(
+            "layer {}: {} rows, {:.1} KiB, policy {}",
+            layer.layer(),
+            layer.row_count(),
+            layer.byte_size() as f64 / 1024.0,
+            layer.policy().name()
+        );
+    }
+
+    // Phase 3: focal cone searches under different error bounds.
+    let cone = Cone::new(185.0, 0.0, 2.0);
+    let query = Query::count("photoobj", cone.bounding_box_predicate("ra", "dec"));
+    println!("\n{query}");
+    for error in [0.25, 0.10, 0.05, 0.01] {
+        match session.execute(&query, &QueryBounds::max_error(error)) {
+            Ok(outcome) => {
+                let a = outcome.as_aggregate().unwrap();
+                println!(
+                    "  error <= {:>5.2}: {:>10.1} +- {:>8.1}  on {:<9}  ({} escalations, {} rows scanned)",
+                    error,
+                    a.value.unwrap_or(f64::NAN),
+                    a.interval.map(|ci| ci.half_width()).unwrap_or(0.0),
+                    a.level.to_string(),
+                    a.escalations,
+                    a.rows_scanned
+                );
+            }
+            Err(e) => println!("  error <= {error}: failed: {e}"),
+        }
+    }
+
+    // Phase 4: "give me the most representative result within this budget".
+    println!("\nrow-budget (runtime-bounded) answers for the same query:");
+    for budget in [2_000u64, 20_000, 250_000] {
+        let outcome = session
+            .execute(&query, &QueryBounds::row_budget(budget))
+            .expect("query");
+        let a = outcome.as_aggregate().unwrap();
+        println!(
+            "  budget {:>7} rows: {:>10.1}  (level {}, relative error {:.3})",
+            budget,
+            a.value.unwrap_or(f64::NAN),
+            a.level,
+            a.relative_error()
+        );
+    }
+}

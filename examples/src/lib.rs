@@ -1,0 +1,1 @@
+pub const EXAMPLES: &str = "see the examples/ directory";

@@ -1,0 +1,1 @@
+pub const INTEGRATION: &str = "integration test crate";

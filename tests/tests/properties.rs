@@ -1,0 +1,143 @@
+//! Cross-crate property-based tests on SciBORQ invariants.
+
+use proptest::prelude::*;
+use sciborq_columnar::{
+    DataType, Field, Predicate, RecordBatchBuilder, Schema, SchemaRef, Table, Value,
+};
+use sciborq_core::{
+    BoundedQueryEngine, LayerHierarchy, QueryBounds, SamplingPolicy, SciborqConfig,
+};
+use sciborq_sampling::{Reservoir, SamplingStrategy};
+use sciborq_stats::{BinnedKde, EquiWidthHistogram};
+use sciborq_workload::{AttributeDomain, PredicateSet, Query};
+
+fn schema() -> SchemaRef {
+    Schema::shared(vec![
+        Field::new("objid", DataType::Int64),
+        Field::new("ra", DataType::Float64),
+    ])
+    .unwrap()
+}
+
+fn table_with_ras(ras: &[f64]) -> Table {
+    let mut builder = RecordBatchBuilder::with_capacity(schema(), ras.len());
+    for (i, &ra) in ras.iter().enumerate() {
+        builder
+            .push_row(&[Value::Int64(i as i64), Value::Float64(ra)])
+            .unwrap();
+    }
+    let mut table = Table::new("photoobj", schema());
+    table.append_batch(&builder.finish().unwrap()).unwrap();
+    table
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every layer of a hierarchy respects its configured capacity, and each
+    /// derived layer is a subset of the layer above it.
+    #[test]
+    fn hierarchy_size_and_subset_invariants(
+        rows in 100usize..3_000,
+        l1 in 50usize..500,
+        seed in 0u64..1_000,
+    ) {
+        let ras: Vec<f64> = (0..rows).map(|i| (i as f64 * 7.3) % 360.0).collect();
+        let table = table_with_ras(&ras);
+        let l2 = (l1 / 4).max(1);
+        let mut config = SciborqConfig::with_layers(vec![l1, l2]);
+        config.seed = seed;
+        let h = LayerHierarchy::build_from_table(&table, SamplingPolicy::Uniform, &config, None)
+            .unwrap();
+        prop_assert_eq!(h.layers()[0].row_count(), l1.min(rows));
+        prop_assert_eq!(h.layers()[1].row_count(), l2.min(l1.min(rows)));
+
+        let parent_ids: std::collections::HashSet<i64> = {
+            let col = h.layers()[0].data().column("objid").unwrap();
+            (0..h.layers()[0].row_count()).filter_map(|i| col.get_i64(i)).collect()
+        };
+        let child = h.layers()[1].data().column("objid").unwrap();
+        for i in 0..h.layers()[1].row_count() {
+            prop_assert!(parent_ids.contains(&child.get_i64(i).unwrap()));
+        }
+    }
+
+    /// The bounded engine's COUNT estimate always lies within [0, base rows]
+    /// and exact evaluation on the base data matches the true count.
+    #[test]
+    fn count_estimates_are_bounded_and_exact_on_base(
+        rows in 200usize..2_000,
+        threshold in 0.0f64..360.0,
+    ) {
+        let ras: Vec<f64> = (0..rows).map(|i| (i as f64 * 13.7) % 360.0).collect();
+        let table = table_with_ras(&ras);
+        let config = SciborqConfig::with_layers(vec![(rows / 4).max(1)]);
+        let h = LayerHierarchy::build_from_table(&table, SamplingPolicy::Uniform, &config, None)
+            .unwrap();
+        let engine = BoundedQueryEngine::new(SciborqConfig::default()).unwrap();
+        let query = Query::count("photoobj", Predicate::lt("ra", threshold));
+
+        let approx = engine
+            .execute_aggregate(&query, &h, Some(&table), &QueryBounds::default())
+            .unwrap();
+        let value = approx.value.unwrap();
+        prop_assert!(value >= -1e-9);
+        prop_assert!(value <= rows as f64 + 1e-9);
+
+        let exact = engine
+            .execute_aggregate(&query, &h, Some(&table), &QueryBounds::max_error(1e-15))
+            .unwrap();
+        let truth = ras.iter().filter(|&&r| r < threshold).count() as f64;
+        prop_assert_eq!(exact.value.unwrap(), truth);
+    }
+
+    /// Predicate-set interest weights are non-negative and integrate to ~N.
+    #[test]
+    fn predicate_set_weights_are_consistent(
+        values in proptest::collection::vec(0.0f64..360.0, 1..300),
+    ) {
+        let mut ps = PredicateSet::new(&[("ra", AttributeDomain::new(0.0, 360.0, 36))]).unwrap();
+        for &v in &values {
+            ps.log_value("ra", v);
+        }
+        let kde = ps.interest_estimator("ra").unwrap();
+        prop_assert_eq!(kde.total(), values.len() as f64);
+        for x in [0.0, 90.0, 180.0, 270.0, 359.0] {
+            prop_assert!(kde.interest_weight(x) >= 0.0);
+        }
+    }
+
+    /// Reservoir + histogram: the per-bin composition of a large uniform
+    /// sample tracks the base composition.
+    #[test]
+    fn uniform_sample_tracks_base_composition(seed in 0u64..200) {
+        let rows = 20_000usize;
+        let ras: Vec<f64> = (0..rows).map(|i| ((i * 37) % 360) as f64).collect();
+        let mut reservoir = Reservoir::new(2_000, seed);
+        for &ra in &ras {
+            reservoir.observe(ra);
+        }
+        let mut base_hist = EquiWidthHistogram::new(0.0, 360.0, 12).unwrap();
+        base_hist.observe_all(&ras);
+        let mut sample_hist = EquiWidthHistogram::new(0.0, 360.0, 12).unwrap();
+        for item in reservoir.sample() {
+            sample_hist.observe(item.item);
+        }
+        let distance = base_hist.frequency_distance(&sample_hist).unwrap();
+        prop_assert!(distance < 0.01, "frequency distance {}", distance);
+    }
+
+    /// The binned KDE derived from any non-empty histogram is a proper
+    /// density: non-negative everywhere and integrating to ≈ 1.
+    #[test]
+    fn binned_kde_is_a_density(
+        values in proptest::collection::vec(0.0f64..100.0, 5..200),
+        bins in 4usize..32,
+    ) {
+        let mut hist = EquiWidthHistogram::new(0.0, 100.0, bins).unwrap();
+        hist.observe_all(&values);
+        let kde = BinnedKde::from_histogram(&hist).unwrap();
+        let integral = sciborq_stats::integrate_density(|x| kde.density(x), -100.0, 200.0, 3000);
+        prop_assert!((integral - 1.0).abs() < 0.02, "integral {}", integral);
+    }
+}
