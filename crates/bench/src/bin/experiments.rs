@@ -55,7 +55,16 @@ fn run(name: &str, scale: Scale) -> bool {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let experiment = args.first().map(String::as_str).unwrap_or("all");
-    let scale = Scale::parse(args.get(1).map(String::as_str));
+    let scale = match Scale::parse(args.get(1).map(String::as_str)) {
+        Some(scale) => scale,
+        None => {
+            eprintln!(
+                "unknown scale flag '{}'. expected --quick or --paper",
+                args[1]
+            );
+            std::process::exit(2);
+        }
+    };
 
     let all = [
         "fig4",

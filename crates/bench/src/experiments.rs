@@ -8,16 +8,12 @@
 use crate::setup::{build_dataset, build_predicate_set, render_histogram, Scale};
 use sciborq_columnar::{AggregateKind, Table};
 use sciborq_core::{
-    BoundedQueryEngine, EvaluationLevel, LayerHierarchy, QueryBounds, SamplingPolicy,
-    SciborqConfig,
+    BoundedQueryEngine, EvaluationLevel, LayerHierarchy, QueryBounds, SamplingPolicy, SciborqConfig,
 };
-use sciborq_sampling::{
-    BiasedReservoir, LastSeenReservoir, Reservoir, SamplingStrategy,
-};
+use sciborq_sampling::{BiasedReservoir, LastSeenReservoir, Reservoir, SamplingStrategy};
 use sciborq_skyserver::Cone;
 use sciborq_stats::{
-    mean_absolute_deviation, silverman_bandwidth, BinnedKde,
-    EquiWidthHistogram, FullKde, Kernel,
+    mean_absolute_deviation, silverman_bandwidth, BinnedKde, EquiWidthHistogram, FullKde, Kernel,
 };
 use sciborq_workload::Query;
 use std::time::Instant;
@@ -68,7 +64,10 @@ pub fn figure4(scale: Scale) -> Fig4Summary {
             hist.total(),
             hist.bin_count()
         );
-        print!("{}", render_histogram("predicate-set histogram", &hist.counts()));
+        print!(
+            "{}",
+            render_histogram("predicate-set histogram", &hist.counts())
+        );
 
         let h = silverman_bandwidth(&raw).expect("bandwidth");
         let reference = FullKde::new(raw.clone(), h, Kernel::Gaussian).expect("f̂");
@@ -76,13 +75,8 @@ pub fn figure4(scale: Scale) -> Fig4Summary {
         let undersmoothed = FullKde::new(raw.clone(), h * 0.2, Kernel::Gaussian).expect("f̂ under");
         let binned = BinnedKde::from_histogram(hist).expect("f̆");
 
-        let binned_dev = mean_absolute_deviation(
-            |x| reference.density(x),
-            |x| binned.density(x),
-            lo,
-            hi,
-            400,
-        );
+        let binned_dev =
+            mean_absolute_deviation(|x| reference.density(x), |x| binned.density(x), lo, hi, 400);
         let over_dev = mean_absolute_deviation(
             |x| reference.density(x),
             |x| oversmoothed.density(x),
@@ -307,7 +301,9 @@ pub fn figure7(scale: Scale) -> Fig7Summary {
         println!("\n-- attribute {attribute} --");
         let collect = |table: &Table| -> Vec<f64> {
             let col = table.column(attribute).expect("column");
-            (0..table.row_count()).filter_map(|i| col.get_f64(i)).collect()
+            (0..table.row_count())
+                .filter_map(|i| col.get_f64(i))
+                .collect()
         };
         let base_values = collect(&fact);
         let uniform_values = collect(uniform.data());
@@ -321,8 +317,14 @@ pub fn figure7(scale: Scale) -> Fig7Summary {
         biased_hist.observe_all(&biased_values);
 
         print!("{}", render_histogram("base data", &base_hist.counts()));
-        print!("{}", render_histogram("uniform impression", &uniform_hist.counts()));
-        print!("{}", render_histogram("biased impression", &biased_hist.counts()));
+        print!(
+            "{}",
+            render_histogram("uniform impression", &uniform_hist.counts())
+        );
+        print!(
+            "{}",
+            render_histogram("biased impression", &biased_hist.counts())
+        );
 
         // focal regions from the workload histogram
         let workload_hist = ps.histogram(attribute).expect("workload histogram");
@@ -448,7 +450,10 @@ pub fn last_seen_bias(scale: Scale) -> LastSeenSummary {
             reservoir.observe(i);
         }
         let share = recent_share(reservoir.sample());
-        println!("  k/n = {fresh_fraction:>4.2} (k/D = {:.3}): recent share {share:.3}", k / daily);
+        println!(
+            "  k/n = {fresh_fraction:>4.2} (k/D = {:.3}): recent share {share:.3}",
+            k / daily
+        );
         rows.push(LastSeenRow {
             fresh_fraction,
             recent_share: share,
@@ -545,7 +550,9 @@ pub fn error_vs_size(scale: Scale) -> BoundsSummary {
         );
         rows.push(row);
     }
-    println!("shape check: both error columns shrink monotonically (≈ 1/√n) as the impression grows.");
+    println!(
+        "shape check: both error columns shrink monotonically (≈ 1/√n) as the impression grows."
+    );
     BoundsSummary { rows }
 }
 
@@ -585,9 +592,8 @@ pub fn escalation(scale: Scale) -> EscalationSummary {
         Scale::Quick => vec![10_000, 1_000, 100],
     };
     let config = SciborqConfig::with_layers(layers);
-    let hierarchy =
-        LayerHierarchy::build_from_table(&fact, SamplingPolicy::Uniform, &config, None)
-            .expect("hierarchy");
+    let hierarchy = LayerHierarchy::build_from_table(&fact, SamplingPolicy::Uniform, &config, None)
+        .expect("hierarchy");
     let engine = BoundedQueryEngine::new(config).expect("engine");
 
     // a mixed bag of cone searches with varying selectivity
@@ -660,13 +666,17 @@ pub struct AdaptSummary {
 pub fn adaptation(scale: Scale) -> AdaptSummary {
     println!("== E9: adaptation to a shifting focal point ==");
     let dataset = build_dataset(scale);
-    let config = SciborqConfig::with_layers(vec![scale.impression_rows(), scale.impression_rows() / 10]);
+    let config =
+        SciborqConfig::with_layers(vec![scale.impression_rows(), scale.impression_rows() / 10]);
     let mut session = sciborq_core::ExplorationSession::new(
         dataset.catalog.clone(),
         config,
         &[
             ("ra", sciborq_workload::AttributeDomain::new(0.0, 360.0, 72)),
-            ("dec", sciborq_workload::AttributeDomain::new(-90.0, 90.0, 36)),
+            (
+                "dec",
+                sciborq_workload::AttributeDomain::new(-90.0, 90.0, 36),
+            ),
         ],
     )
     .expect("session");
@@ -675,7 +685,9 @@ pub fn adaptation(scale: Scale) -> AdaptSummary {
         .expect("bootstrap");
 
     let phase = |center_ra: f64, center_dec: f64| sciborq_workload::WorkloadConfig {
-        clusters: vec![sciborq_workload::FocalCluster::new(center_ra, center_dec, 2.0, 1.0)],
+        clusters: vec![sciborq_workload::FocalCluster::new(
+            center_ra, center_dec, 2.0, 1.0,
+        )],
         background_fraction: 0.05,
         ..sciborq_workload::WorkloadConfig::default()
     };
@@ -703,7 +715,10 @@ pub fn adaptation(scale: Scale) -> AdaptSummary {
     }
     let decision = session.adapt().expect("maintenance");
     let after_share = share(&session);
-    println!("  workload shift measured : {:.2} (rebuild = {})", decision.max_shift, decision.should_rebuild);
+    println!(
+        "  workload shift measured : {:.2} (rebuild = {})",
+        decision.max_shift, decision.should_rebuild
+    );
     println!("  new-region share before : {before_share:.4}");
     println!("  new-region share after  : {after_share:.4}");
     println!("shape check: the share of the newly interesting region grows after adaptation.");
@@ -758,7 +773,10 @@ pub fn runtime_vs_size(scale: Scale) -> RuntimeSummary {
         Scale::Quick => 5,
     };
 
-    println!("{:>12} {:>14} {:>16}", "rows", "latency (µs)", "relative error");
+    println!(
+        "{:>12} {:>14} {:>16}",
+        "rows", "latency (µs)", "relative error"
+    );
     let mut rows = Vec::new();
     for &size in &sizes {
         let config = SciborqConfig::with_layers(vec![size]);
@@ -780,7 +798,10 @@ pub fn runtime_vs_size(scale: Scale) -> RuntimeSummary {
             latency_us: elapsed / iterations as f64,
             relative_error: (answer_value - truth).abs() / truth.max(1.0),
         };
-        println!("{:>12} {:>14.1} {:>16.4}", row.rows, row.latency_us, row.relative_error);
+        println!(
+            "{:>12} {:>14.1} {:>16.4}",
+            row.rows, row.latency_us, row.relative_error
+        );
         rows.push(row);
     }
 
@@ -802,7 +823,9 @@ pub fn runtime_vs_size(scale: Scale) -> RuntimeSummary {
         base_row.rows, base_row.latency_us, base_row.relative_error
     );
     rows.push(base_row);
-    println!("shape check: latency grows roughly linearly with the rows scanned; error falls towards 0.");
+    println!(
+        "shape check: latency grows roughly linearly with the rows scanned; error falls towards 0."
+    );
     RuntimeSummary { rows }
 }
 
@@ -836,7 +859,11 @@ mod tests {
     fn figure6_biased_reservoir_enriches() {
         let summary = figure6(Scale::Quick);
         assert!(summary.focal_acceptance > summary.background_acceptance);
-        assert!(summary.enrichment > 1.2, "enrichment {}", summary.enrichment);
+        assert!(
+            summary.enrichment > 1.2,
+            "enrichment {}",
+            summary.enrichment
+        );
     }
 
     #[test]

@@ -41,11 +41,14 @@ impl Scale {
         }
     }
 
-    /// Parse from a CLI flag.
-    pub fn parse(arg: Option<&str>) -> Scale {
+    /// Parse from a CLI flag. Returns `None` for an unrecognised flag, so a
+    /// typo of `--quick` cannot silently run the full paper-scale suite.
+    pub fn parse(arg: Option<&str>) -> Option<Scale> {
         match arg {
-            Some("--quick") | Some("quick") => Scale::Quick,
-            _ => Scale::Paper,
+            Some("--quick") | Some("quick") => Some(Scale::Quick),
+            Some("--paper") | Some("paper") => Some(Scale::Paper),
+            None => Some(Scale::Paper),
+            Some(_) => None,
         }
     }
 }
@@ -94,10 +97,11 @@ mod tests {
 
     #[test]
     fn scale_parsing_and_sizes() {
-        assert_eq!(Scale::parse(Some("--quick")), Scale::Quick);
-        assert_eq!(Scale::parse(Some("quick")), Scale::Quick);
-        assert_eq!(Scale::parse(None), Scale::Paper);
-        assert_eq!(Scale::parse(Some("whatever")), Scale::Paper);
+        assert_eq!(Scale::parse(Some("--quick")), Some(Scale::Quick));
+        assert_eq!(Scale::parse(Some("quick")), Some(Scale::Quick));
+        assert_eq!(Scale::parse(Some("--paper")), Some(Scale::Paper));
+        assert_eq!(Scale::parse(None), Some(Scale::Paper));
+        assert_eq!(Scale::parse(Some("whatever")), None);
         assert!(Scale::Paper.fact_rows() > Scale::Quick.fact_rows());
         assert!(Scale::Paper.impression_rows() > Scale::Quick.impression_rows());
         assert!(Scale::Quick.workload_queries() > 0);

@@ -389,9 +389,7 @@ impl Column {
                 Column::Int64 { values, .. } => values.len() * 8,
                 Column::Float64 { values, .. } => values.len() * 8,
                 Column::Bool { values, .. } => values.len(),
-                Column::Utf8 { values, .. } => {
-                    values.iter().map(|s| s.len() + 24).sum::<usize>()
-                }
+                Column::Utf8 { values, .. } => values.iter().map(|s| s.len() + 24).sum::<usize>(),
             }
     }
 

@@ -60,7 +60,10 @@ impl fmt::Display for ColumnarError {
                 "type mismatch for column {column}: expected {expected}, found {found}"
             ),
             ColumnarError::LengthMismatch { expected, found } => {
-                write!(f, "length mismatch: expected {expected} rows, found {found}")
+                write!(
+                    f,
+                    "length mismatch: expected {expected} rows, found {found}"
+                )
             }
             ColumnarError::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
             ColumnarError::RowOutOfBounds { row, len } => {

@@ -416,7 +416,10 @@ mod tests {
     fn is_null_and_is_not_null() {
         let t = test_table();
         assert_eq!(
-            Predicate::IsNull("r_mag".into()).evaluate(&t).unwrap().rows(),
+            Predicate::IsNull("r_mag".into())
+                .evaluate(&t)
+                .unwrap()
+                .rows(),
             &[1]
         );
         assert_eq!(
@@ -483,6 +486,8 @@ mod tests {
         assert!(s.contains("ra BETWEEN 180 AND 190"));
         assert!(s.contains("class = GALAXY"));
         assert!(Predicate::True.to_string().contains("TRUE"));
-        assert!(Predicate::IsNull("x".into()).to_string().contains("IS NULL"));
+        assert!(Predicate::IsNull("x".into())
+            .to_string()
+            .contains("IS NULL"));
     }
 }

@@ -145,9 +145,10 @@ pub fn materialize_join(
         row_values.extend(left.row(lrow)?);
         match rrow {
             Some(rrow) => row_values.extend(right.row(rrow)?),
-            None => {
-                row_values.extend(std::iter::repeat_n(crate::value::Value::Null, right.schema().len()))
-            }
+            None => row_values.extend(std::iter::repeat_n(
+                crate::value::Value::Null,
+                right.schema().len(),
+            )),
         }
         table.append_row(&row_values)?;
     }
@@ -263,8 +264,7 @@ mod tests {
         let f = fact();
         let d = dim();
         let sel = SelectionVector::from_rows(vec![0, 3]);
-        let idx =
-            hash_join_index(&f, "field_id", &d, "field_id", JoinType::Inner, &sel).unwrap();
+        let idx = hash_join_index(&f, "field_id", &d, "field_id", JoinType::Inner, &sel).unwrap();
         assert_eq!(idx.len(), 1);
         assert_eq!(idx.pairs[0], (0, Some(0)));
     }
@@ -338,9 +338,7 @@ mod tests {
         .unwrap();
         let joined = materialize_join(&f, &d, &idx, "joined").unwrap();
         assert_eq!(joined.row_count(), 5);
-        let dangling = joined
-            .row(3)
-            .unwrap();
+        let dangling = joined.row(3).unwrap();
         assert_eq!(dangling[0], Value::Int64(4));
         assert_eq!(dangling[3], Value::Null);
         assert_eq!(dangling[4], Value::Null);
@@ -398,8 +396,8 @@ mod tests {
         l.append_row(&[1.into()]).unwrap();
         let mut r = Table::new("r", schema);
         r.append_row(&[1.into()]).unwrap();
-        let idx = hash_join_index(&l, "k", &r, "k", JoinType::Inner, &SelectionVector::all(2))
-            .unwrap();
+        let idx =
+            hash_join_index(&l, "k", &r, "k", JoinType::Inner, &SelectionVector::all(2)).unwrap();
         assert_eq!(idx.len(), 1);
         assert_eq!(idx.pairs[0], (1, Some(0)));
     }

@@ -42,7 +42,10 @@ impl SelectionVector {
     ///
     /// Debug builds verify the invariant.
     pub fn from_sorted_rows(rows: Vec<usize>) -> Self {
-        debug_assert!(rows.windows(2).all(|w| w[0] < w[1]), "rows must be sorted+unique");
+        debug_assert!(
+            rows.windows(2).all(|w| w[0] < w[1]),
+            "rows must be sorted+unique"
+        );
         SelectionVector { rows }
     }
 

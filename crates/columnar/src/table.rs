@@ -288,11 +288,7 @@ impl Table {
 
     /// Iterate the values of a numeric column as `f64`, skipping NULLs,
     /// restricted to a selection.
-    pub fn numeric_values(
-        &self,
-        column: &str,
-        selection: &SelectionVector,
-    ) -> Result<Vec<f64>> {
+    pub fn numeric_values(&self, column: &str, selection: &SelectionVector) -> Result<Vec<f64>> {
         let col = self.column(column)?;
         if !col.data_type().is_numeric() {
             return Err(ColumnarError::NotNumeric(column.to_owned()));
@@ -477,8 +473,10 @@ mod tests {
     fn table_append_row_and_get() {
         let mut t = Table::new("photoobj", schema());
         assert!(t.is_empty());
-        t.append_row(&[1.into(), 180.0.into(), Value::Null]).unwrap();
-        t.append_row(&[2.into(), 190.0.into(), 17.0.into()]).unwrap();
+        t.append_row(&[1.into(), 180.0.into(), Value::Null])
+            .unwrap();
+        t.append_row(&[2.into(), 190.0.into(), 17.0.into()])
+            .unwrap();
         assert_eq!(t.row_count(), 2);
         assert_eq!(t.name(), "photoobj");
         let row = t.row(0).unwrap();
@@ -496,9 +494,7 @@ mod tests {
             .append_row(&[Value::Null, 1.0.into(), 1.0.into()])
             .is_err());
         // wrong type
-        assert!(t
-            .append_row(&["x".into(), 1.0.into(), 1.0.into()])
-            .is_err());
+        assert!(t.append_row(&["x".into(), 1.0.into(), 1.0.into()]).is_err());
         assert_eq!(t.row_count(), 0);
         // none of the columns should have grown
         for c in t.columns() {

@@ -69,6 +69,9 @@ pub struct ImpressionBuilder {
     capacity: usize,
     sampler: Sampler,
     total_observed_weight: f64,
+    /// Running sum of the *raw* KDE interest weights over every observed
+    /// tuple, used to normalise weights to a mean of ≈ 1 before sampling.
+    raw_weight_sum: f64,
     /// Column indices of the bias-steering attributes (resolved once).
     bias_columns: Vec<(String, usize)>,
 }
@@ -85,9 +88,65 @@ impl ImpressionBuilder {
         layer: usize,
         seed: u64,
     ) -> Result<Self> {
-        policy
-            .validate()
-            .map_err(SciborqError::InvalidConfig)?;
+        Self::build(
+            name,
+            source_table,
+            schema,
+            policy,
+            capacity,
+            layer,
+            seed,
+            false,
+        )
+    }
+
+    /// Create a builder for a *derived* layer: one that samples the
+    /// materialised impression one layer below rather than the base stream.
+    ///
+    /// Derived layers always subsample their parent **uniformly**, whatever
+    /// the hierarchy's policy. The parent's composition is already shaped by
+    /// the policy (biased towards the workload's focal regions, say), and a
+    /// uniform subsample preserves that composition — the paper's "the focal
+    /// point of the larger impression is inherited by the smaller". Applying
+    /// a biased sampler a second time would square the inclusion
+    /// probabilities (∝ w² instead of ∝ w) and silently break the
+    /// Hansen–Hurwitz correction, which assumes a single w-proportional
+    /// stage. The builder still records each retained row's interest weight
+    /// so the weighted estimators stay applicable.
+    #[allow(clippy::too_many_arguments)]
+    pub fn derived(
+        name: impl Into<String>,
+        source_table: impl Into<String>,
+        schema: SchemaRef,
+        policy: SamplingPolicy,
+        capacity: usize,
+        layer: usize,
+        seed: u64,
+    ) -> Result<Self> {
+        Self::build(
+            name,
+            source_table,
+            schema,
+            policy,
+            capacity,
+            layer,
+            seed,
+            true,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build(
+        name: impl Into<String>,
+        source_table: impl Into<String>,
+        schema: SchemaRef,
+        policy: SamplingPolicy,
+        capacity: usize,
+        layer: usize,
+        seed: u64,
+        derived: bool,
+    ) -> Result<Self> {
+        policy.validate().map_err(SciborqError::InvalidConfig)?;
         if capacity == 0 {
             return Err(SciborqError::InvalidConfig(
                 "impression capacity must be positive".to_owned(),
@@ -95,6 +154,7 @@ impl ImpressionBuilder {
         }
         let sampler = match &policy {
             SamplingPolicy::Uniform => Sampler::Uniform(Reservoir::new(capacity, seed)),
+            _ if derived => Sampler::Uniform(Reservoir::new(capacity, seed)),
             SamplingPolicy::LastSeen {
                 fresh_fraction,
                 daily_ingest,
@@ -126,6 +186,7 @@ impl ImpressionBuilder {
             capacity,
             sampler,
             total_observed_weight: 0.0,
+            raw_weight_sum: 0.0,
             bias_columns,
         })
     }
@@ -162,7 +223,11 @@ impl ImpressionBuilder {
         let tuple: Vec<(&str, f64)> = self
             .bias_columns
             .iter()
-            .filter_map(|(name, idx)| row.get(*idx).and_then(Value::as_f64).map(|v| (name.as_str(), v)))
+            .filter_map(|(name, idx)| {
+                row.get(*idx)
+                    .and_then(Value::as_f64)
+                    .map(|v| (name.as_str(), v))
+            })
             .collect();
         if tuple.is_empty() {
             0.0
@@ -174,8 +239,65 @@ impl ImpressionBuilder {
     /// Observe one row of an incremental load.
     pub fn observe_row(&mut self, row: Vec<Value>, predicate_set: Option<&PredicateSet>) {
         let weight = self.row_weight(&row, predicate_set);
+        let weight = self.effective_weight(weight);
+        self.observe_row_weighted(row, weight);
+    }
+
+    /// Observe one row with an externally supplied *effective* weight,
+    /// bypassing the normalisation bookkeeping of [`Self::observe_row`].
+    /// Crate-internal on purpose: only layer derivation may use it (derived
+    /// builders sample uniformly and inherit the parent's weights verbatim);
+    /// mixing it with `observe_row` on a root biased builder would skew the
+    /// running-mean normalisation.
+    pub(crate) fn observe_row_weighted(&mut self, row: Vec<Value>, weight: f64) {
         self.total_observed_weight += weight;
         self.sampler.observe(row, weight);
+    }
+
+    /// Turn a raw KDE interest weight into the *effective* weight the
+    /// sampling design actually uses, in two steps.
+    ///
+    /// **Normalisation.** The paper's acceptance rule `P = f̆(t)·N·n/cnt`
+    /// uses the absolute interest count `f̆·N`, which for a focused workload
+    /// is ≫ `cnt/n` over most of the stream: acceptance saturates at 1 for
+    /// nearly every tuple and the reservoir degenerates into a near-uniform
+    /// recency sample while the estimator still assumes strong
+    /// weight-proportionality. Dividing by the running mean interest weight
+    /// rescales to mean ≈ 1, so the *average* acceptance rate matches
+    /// Algorithm R's `n/cnt` and relative interest is what drives retention —
+    /// the enrichment the paper's Figure 7 is actually about.
+    ///
+    /// **Saturation cap.** Acceptance is `min(1, w·n/cnt)`: beyond
+    /// `w = cnt/n` a tuple's realized inclusion stops growing with `w`, so
+    /// the weight recorded for the Hansen–Hurwitz correction (and the `Σw`
+    /// normaliser) is capped there. Because `min(1, w·n/cnt) =
+    /// min(1, w̃·n/cnt)`, feeding the capped weight to the sampler leaves
+    /// the sampling behaviour unchanged.
+    ///
+    /// **Fill phase.** While `cnt ≤ n` the reservoir accepts *every* tuple
+    /// with probability 1 whatever its weight, and later uniform eviction is
+    /// weight-independent, so the realized inclusion of a fill-phase tuple
+    /// does not depend on its interest at all: its effective weight is
+    /// exactly 1. This also guarantees no retained row ever records a zero
+    /// weight (post-fill, a zero-weight tuple can never be accepted), which
+    /// keeps the `1/pᵢ` expansions of the estimators finite.
+    fn effective_weight(&mut self, raw: f64) -> f64 {
+        if !matches!(self.sampler, Sampler::Biased(_)) {
+            return raw;
+        }
+        let raw = if raw.is_finite() && raw >= 0.0 {
+            raw
+        } else {
+            0.0
+        };
+        self.raw_weight_sum += raw;
+        let cnt_next = (self.sampler.observed() + 1) as f64;
+        if cnt_next <= self.capacity as f64 {
+            return 1.0;
+        }
+        let mean = self.raw_weight_sum / cnt_next;
+        let relative = if mean > 0.0 { raw / mean } else { 1.0 };
+        relative.min(cnt_next / self.capacity as f64)
     }
 
     /// Observe every row of a batch (the incremental-load entry point).
@@ -271,8 +393,7 @@ mod tests {
     }
 
     fn focused_predicate_set() -> PredicateSet {
-        let mut ps =
-            PredicateSet::new(&[("ra", AttributeDomain::new(0.0, 360.0, 36))]).unwrap();
+        let mut ps = PredicateSet::new(&[("ra", AttributeDomain::new(0.0, 360.0, 36))]).unwrap();
         for _ in 0..200 {
             ps.log_value("ra", 185.0);
             ps.log_value("ra", 186.5);
@@ -282,16 +403,9 @@ mod tests {
 
     #[test]
     fn builder_validates_configuration() {
-        assert!(ImpressionBuilder::new(
-            "i",
-            "t",
-            schema(),
-            SamplingPolicy::Uniform,
-            0,
-            1,
-            1
-        )
-        .is_err());
+        assert!(
+            ImpressionBuilder::new("i", "t", schema(), SamplingPolicy::Uniform, 0, 1, 1).is_err()
+        );
         assert!(ImpressionBuilder::new(
             "i",
             "t",
@@ -353,31 +467,16 @@ mod tests {
         let mut wrong = RecordBatchBuilder::new(other_schema);
         wrong.push_row(&[Value::Int64(1)]).unwrap();
         let wrong = wrong.finish().unwrap();
-        let mut b = ImpressionBuilder::new(
-            "i",
-            "t",
-            schema(),
-            SamplingPolicy::Uniform,
-            10,
-            1,
-            1,
-        )
-        .unwrap();
+        let mut b =
+            ImpressionBuilder::new("i", "t", schema(), SamplingPolicy::Uniform, 10, 1, 1).unwrap();
         assert!(b.observe_batch(&wrong, None).is_err());
     }
 
     #[test]
     fn incremental_loads_accumulate() {
-        let mut b = ImpressionBuilder::new(
-            "i",
-            "photoobj",
-            schema(),
-            SamplingPolicy::Uniform,
-            50,
-            1,
-            3,
-        )
-        .unwrap();
+        let mut b =
+            ImpressionBuilder::new("i", "photoobj", schema(), SamplingPolicy::Uniform, 50, 1, 3)
+                .unwrap();
         b.observe_batch(&batch(1, 1_000), None).unwrap();
         let first = b.materialize().unwrap();
         assert_eq!(first.source_rows(), 1_000);
@@ -466,7 +565,8 @@ mod tests {
         )
         .unwrap();
         for day in 0..20i64 {
-            b.observe_batch(&batch(day * 1_000 + 1, 1_000), None).unwrap();
+            b.observe_batch(&batch(day * 1_000 + 1, 1_000), None)
+                .unwrap();
         }
         let imp = b.materialize().unwrap();
         let recent = Predicate::gt("objid", 15_000).evaluate(imp.data()).unwrap();
@@ -480,16 +580,9 @@ mod tests {
     fn observe_table_extracts_from_existing_data() {
         let mut base = Table::new("photoobj", schema());
         base.append_batch(&batch(1, 500)).unwrap();
-        let mut b = ImpressionBuilder::new(
-            "i",
-            "photoobj",
-            schema(),
-            SamplingPolicy::Uniform,
-            20,
-            1,
-            9,
-        )
-        .unwrap();
+        let mut b =
+            ImpressionBuilder::new("i", "photoobj", schema(), SamplingPolicy::Uniform, 20, 1, 9)
+                .unwrap();
         b.observe_table(&base, None).unwrap();
         let imp = b.materialize().unwrap();
         assert_eq!(imp.row_count(), 20);
@@ -517,17 +610,11 @@ mod tests {
             .evaluate(imp.data())
             .unwrap();
         if !focal_sel.is_empty() {
-            let focal_avg: f64 = focal_sel
-                .iter()
-                .map(|i| imp.weights()[i])
-                .sum::<f64>()
-                / focal_sel.len() as f64;
+            let focal_avg: f64 =
+                focal_sel.iter().map(|i| imp.weights()[i]).sum::<f64>() / focal_sel.len() as f64;
             let other_sel = focal_sel.complement(imp.row_count());
             if !other_sel.is_empty() {
-                let other_avg: f64 = other_sel
-                    .iter()
-                    .map(|i| imp.weights()[i])
-                    .sum::<f64>()
+                let other_avg: f64 = other_sel.iter().map(|i| imp.weights()[i]).sum::<f64>()
                     / other_sel.len() as f64;
                 assert!(focal_avg > other_avg);
             }

@@ -66,8 +66,8 @@ impl Default for SciborqConfig {
             predicate_bins: 24,
             adapt_threshold: 0.5,
             focal_threshold: 2.0,
-            cpu_cache_bytes: 8 << 20,        // 8 MiB
-            main_memory_bytes: 4 << 30,      // 4 GiB
+            cpu_cache_bytes: 8 << 20,   // 8 MiB
+            main_memory_bytes: 4 << 30, // 4 GiB
         }
     }
 }
@@ -90,11 +90,7 @@ impl SciborqConfig {
         if self.layer_sizes.contains(&0) {
             return Err("layer sizes must be positive".to_owned());
         }
-        if self
-            .layer_sizes
-            .windows(2)
-            .any(|w| w[1] > w[0])
-        {
+        if self.layer_sizes.windows(2).any(|w| w[1] > w[0]) {
             return Err("layer sizes must be non-increasing (most detailed first)".to_owned());
         }
         if !(0.0 < self.confidence && self.confidence < 1.0) {

@@ -172,13 +172,26 @@ impl BoundedQueryEngine {
                 escalations += 1;
             }
             rows_scanned += level_rows;
-            let (value, interval) =
-                self.evaluate_on_impression(query, impression, agg_kind, agg_column.as_deref(), bounds)?;
+            let (value, interval) = self.evaluate_on_impression(
+                query,
+                impression,
+                agg_kind,
+                agg_column.as_deref(),
+                bounds,
+            )?;
             let level = EvaluationLevel::Layer(impression.layer());
-            let met = interval
-                .as_ref()
-                .map(|ci| ci.satisfies_error_bound(max_error))
-                .unwrap_or(false);
+            // A sampled zero (no matching rows in the impression) carries a
+            // degenerate [0, 0] interval, which would read as "zero error".
+            // Claiming a certain COUNT/SUM of 0 from a sample is dishonest
+            // for rare predicates, so a finite error bound is never treated
+            // as met by a sampled zero — the engine keeps escalating, down
+            // to the base data if permitted.
+            let sampled_zero = value == Some(0.0) && max_error.is_finite();
+            let met = !sampled_zero
+                && interval
+                    .as_ref()
+                    .map(|ci| ci.satisfies_error_bound(max_error))
+                    .unwrap_or(false);
             best = Some((value, interval, level));
             if met {
                 let (value, interval, level) = best.expect("just set");
@@ -230,10 +243,12 @@ impl BoundedQueryEngine {
         // Return the best approximate answer obtained within the budget.
         match best {
             Some((value, interval, level)) => {
-                let error_bound_met = interval
-                    .as_ref()
-                    .map(|ci| ci.satisfies_error_bound(max_error))
-                    .unwrap_or(false);
+                let sampled_zero = value == Some(0.0) && max_error.is_finite();
+                let error_bound_met = !sampled_zero
+                    && interval
+                        .as_ref()
+                        .map(|ci| ci.satisfies_error_bound(max_error))
+                        .unwrap_or(false);
                 Ok(ApproximateAnswer {
                     query: query.to_string(),
                     value,
@@ -293,14 +308,12 @@ impl BoundedQueryEngine {
                     compute_aggregate(impression.data(), Some(column), agg_kind, &selection)?;
                 return Ok((
                     sample.value,
-                    sample
-                        .value
-                        .map(|v| ConfidenceInterval {
-                            estimate: v,
-                            lower: f64::NEG_INFINITY,
-                            upper: f64::INFINITY,
-                            confidence: bounds.confidence,
-                        }),
+                    sample.value.map(|v| ConfidenceInterval {
+                        estimate: v,
+                        lower: f64::NEG_INFINITY,
+                        upper: f64::INFINITY,
+                        confidence: bounds.confidence,
+                    }),
                 ));
             }
         };
@@ -332,10 +345,7 @@ impl BoundedQueryEngine {
             ));
         }
         let start = Instant::now();
-        let wanted = bounds
-            .min_result_rows
-            .or(query.limit)
-            .unwrap_or(usize::MAX);
+        let wanted = bounds.min_result_rows.or(query.limit).unwrap_or(usize::MAX);
         let mut rows_scanned = 0u64;
         let mut escalations = 0usize;
         let mut best: Option<(Table, f64, EvaluationLevel)> = None;
@@ -428,7 +438,9 @@ impl BoundedQueryEngine {
 mod tests {
     use super::*;
     use crate::policy::SamplingPolicy;
-    use sciborq_columnar::{DataType, Field, Predicate, RecordBatchBuilder, Schema, SchemaRef, Value};
+    use sciborq_columnar::{
+        DataType, Field, Predicate, RecordBatchBuilder, Schema, SchemaRef, Value,
+    };
 
     fn schema() -> SchemaRef {
         Schema::shared(vec![
@@ -468,11 +480,15 @@ mod tests {
     fn bounds_validation() {
         assert!(QueryBounds::default().validate().is_ok());
         assert!(QueryBounds::max_error(0.0).validate().is_err());
-        let mut b = QueryBounds::default();
-        b.confidence = 1.0;
+        let b = QueryBounds {
+            confidence: 1.0,
+            ..QueryBounds::default()
+        };
         assert!(b.validate().is_err());
-        b = QueryBounds::default();
-        b.max_rows_scanned = Some(0);
+        let b = QueryBounds {
+            max_rows_scanned: Some(0),
+            ..QueryBounds::default()
+        };
         assert!(b.validate().is_err());
         assert!(QueryBounds::row_budget(100)
             .with_max_error(0.1)
@@ -602,12 +618,7 @@ mod tests {
     fn avg_and_sum_estimates() {
         let table = base_table(50_000);
         let h = hierarchy(&table, vec![5_000]);
-        let avg_query = Query::aggregate(
-            "photoobj",
-            Predicate::True,
-            AggregateKind::Avg,
-            "r_mag",
-        );
+        let avg_query = Query::aggregate("photoobj", Predicate::True, AggregateKind::Avg, "r_mag");
         let answer = engine()
             .execute_aggregate(&avg_query, &h, Some(&table), &QueryBounds::max_error(0.05))
             .unwrap();
@@ -650,12 +661,7 @@ mod tests {
     fn min_max_escalate_to_base_when_error_bound_requested() {
         let table = base_table(10_000);
         let h = hierarchy(&table, vec![1_000]);
-        let query = Query::aggregate(
-            "photoobj",
-            Predicate::True,
-            AggregateKind::Max,
-            "r_mag",
-        );
+        let query = Query::aggregate("photoobj", Predicate::True, AggregateKind::Max, "r_mag");
         let bounded = engine()
             .execute_aggregate(&query, &h, Some(&table), &QueryBounds::max_error(0.01))
             .unwrap();

@@ -74,8 +74,12 @@ mod tests {
         assert!(e.to_string().contains("statistics error"));
         let e: SciborqError = SamplingError::InvalidWeight(-1.0).into();
         assert!(e.to_string().contains("sampling error"));
-        assert!(SciborqError::UnknownTable("t".into()).to_string().contains("t"));
-        assert!(SciborqError::InvalidConfig("bad".into()).to_string().contains("bad"));
+        assert!(SciborqError::UnknownTable("t".into())
+            .to_string()
+            .contains("t"));
+        assert!(SciborqError::InvalidConfig("bad".into())
+            .to_string()
+            .contains("bad"));
         assert!(SciborqError::BoundsUnsatisfiable("why".into())
             .to_string()
             .contains("why"));

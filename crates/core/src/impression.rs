@@ -184,21 +184,29 @@ impl Impression {
                 if observations.is_empty() {
                     return Ok(Estimate::exact(0.0, 0));
                 }
-                Ok(WeightedEstimator::estimate_total(&observations)?)
+                let mut est = WeightedEstimator::estimate_total(&observations)?;
+                // Degrees of freedom for the interval come from the draws
+                // that matched the predicate, mirroring `SrsEstimator`.
+                if !selection.is_empty() {
+                    est.sample_size = selection.len();
+                }
+                Ok(est)
             }
         }
     }
 
     /// Estimate the source-table SUM of `column` over the selected rows.
     pub fn estimate_sum(&self, column: &str, selection: &SelectionVector) -> Result<Estimate> {
-        let values = self.data.numeric_values(column, selection)?;
         match self.policy {
             SamplingPolicy::Uniform | SamplingPolicy::LastSeen { .. } => {
-                Ok(SrsEstimator::new(self.source_rows, self.row_count() as u64)?
-                    .estimate_sum(&values)?)
+                let values = self.data.numeric_values(column, selection)?;
+                Ok(
+                    SrsEstimator::new(self.source_rows, self.row_count() as u64)?
+                        .estimate_sum(&values)?,
+                )
             }
             SamplingPolicy::Biased { .. } => {
-                let col = self.data.column(column)?;
+                let col = self.numeric_column(column)?;
                 let observations: Vec<WeightedObservation> = (0..self.row_count())
                     .map(|i| {
                         let value = if selection.contains(i) {
@@ -215,21 +223,39 @@ impl Impression {
                 if observations.is_empty() {
                     return Ok(Estimate::exact(0.0, 0));
                 }
-                Ok(WeightedEstimator::estimate_total(&observations)?)
+                let mut est = WeightedEstimator::estimate_total(&observations)?;
+                if !selection.is_empty() {
+                    est.sample_size = selection.len();
+                }
+                Ok(est)
             }
         }
     }
 
+    /// Look up a column and insist it is numeric, without materialising its
+    /// values (the weighted estimators scan it exactly once themselves).
+    fn numeric_column(&self, column: &str) -> Result<&sciborq_columnar::Column> {
+        let col = self.data.column(column)?;
+        if !col.data_type().is_numeric() {
+            return Err(SciborqError::Columnar(
+                sciborq_columnar::ColumnarError::NotNumeric(column.to_owned()),
+            ));
+        }
+        Ok(col)
+    }
+
     /// Estimate the source-table AVG of `column` over the selected rows.
     pub fn estimate_avg(&self, column: &str, selection: &SelectionVector) -> Result<Estimate> {
-        let values = self.data.numeric_values(column, selection)?;
         match self.policy {
             SamplingPolicy::Uniform | SamplingPolicy::LastSeen { .. } => {
-                Ok(SrsEstimator::new(self.source_rows, self.row_count() as u64)?
-                    .estimate_avg(&values)?)
+                let values = self.data.numeric_values(column, selection)?;
+                Ok(
+                    SrsEstimator::new(self.source_rows, self.row_count() as u64)?
+                        .estimate_avg(&values)?,
+                )
             }
             SamplingPolicy::Biased { .. } => {
-                let col = self.data.column(column)?;
+                let col = self.numeric_column(column)?;
                 let observations: Vec<WeightedObservation> = selection
                     .iter()
                     .filter_map(|i| {
@@ -304,17 +330,8 @@ mod tests {
         let schema = Schema::shared(vec![Field::new("x", DataType::Float64)]).unwrap();
         let mut data = Table::new("s", schema);
         data.append_row(&[Value::Float64(1.0)]).unwrap();
-        let err = Impression::new(
-            "i",
-            "t",
-            data,
-            vec![],
-            0.0,
-            10,
-            SamplingPolicy::Uniform,
-            1,
-        )
-        .unwrap_err();
+        let err = Impression::new("i", "t", data, vec![], 0.0, 10, SamplingPolicy::Uniform, 1)
+            .unwrap_err();
         assert!(matches!(err, SciborqError::InvalidConfig(_)));
     }
 
@@ -362,8 +379,12 @@ mod tests {
         assert!(est.value > 0.0);
         // a selection of only the heavily weighted row should expand by less
         // than a selection of the lightly weighted row
-        let heavy = imp.estimate_count(&SelectionVector::from_rows(vec![1])).unwrap();
-        let light = imp.estimate_count(&SelectionVector::from_rows(vec![3])).unwrap();
+        let heavy = imp
+            .estimate_count(&SelectionVector::from_rows(vec![1]))
+            .unwrap();
+        let light = imp
+            .estimate_count(&SelectionVector::from_rows(vec![3]))
+            .unwrap();
         assert!(
             light.value > heavy.value,
             "low-probability rows must expand more: {} vs {}",
@@ -375,18 +396,22 @@ mod tests {
     #[test]
     fn biased_avg_requires_matches() {
         let imp = impression_with(SamplingPolicy::biased(["ra"]));
-        assert!(imp.estimate_avg("r_mag", &SelectionVector::empty()).is_err());
-        let est = imp
-            .estimate_avg("r_mag", &SelectionVector::all(4))
-            .unwrap();
+        assert!(imp
+            .estimate_avg("r_mag", &SelectionVector::empty())
+            .is_err());
+        let est = imp.estimate_avg("r_mag", &SelectionVector::all(4)).unwrap();
         assert!(est.value > 17.0 && est.value < 20.0);
     }
 
     #[test]
     fn estimates_on_missing_column_error() {
         let imp = impression_with(SamplingPolicy::Uniform);
-        assert!(imp.estimate_avg("missing", &SelectionVector::all(4)).is_err());
-        assert!(imp.estimate_sum("missing", &SelectionVector::all(4)).is_err());
+        assert!(imp
+            .estimate_avg("missing", &SelectionVector::all(4))
+            .is_err());
+        assert!(imp
+            .estimate_sum("missing", &SelectionVector::all(4))
+            .is_err());
     }
 
     #[test]

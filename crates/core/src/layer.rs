@@ -97,7 +97,7 @@ impl LayerHierarchy {
             config.seed,
         )?;
         hierarchy.observe_batch(&table.to_batch(), predicate_set)?;
-        hierarchy.refresh(predicate_set)?;
+        hierarchy.refresh()?;
         Ok(hierarchy)
     }
 
@@ -141,8 +141,10 @@ impl LayerHierarchy {
     }
 
     /// Rebuild the materialised impressions: layer 1 from its builder,
-    /// every further layer by sampling the layer above.
-    pub fn refresh(&mut self, predicate_set: Option<&PredicateSet>) -> Result<()> {
+    /// every further layer by uniformly subsampling the layer above and
+    /// inheriting its per-row weights (no predicate set needed — derivation
+    /// never recomputes interest).
+    pub fn refresh(&mut self) -> Result<()> {
         let mut layers = Vec::with_capacity(self.layer_count());
         layers.push(self.root_builder.materialize()?);
         // Derived layers physically sample the layer above, but estimates
@@ -153,7 +155,7 @@ impl LayerHierarchy {
         for (i, &size) in self.derived_sizes.iter().enumerate() {
             let layer_index = i + 2;
             let parent = layers.last().expect("layer 1 exists");
-            let mut builder = ImpressionBuilder::new(
+            let mut builder = ImpressionBuilder::derived(
                 format!(
                     "{}.layer{layer_index}.{}",
                     self.source_table,
@@ -166,7 +168,15 @@ impl LayerHierarchy {
                 layer_index,
                 self.seed.wrapping_add(layer_index as u64),
             )?;
-            builder.observe_table(parent.data(), predicate_set)?;
+            // Derived layers inherit each parent row's stored weight rather
+            // than recomputing it from the predicate set: layer 1's weights
+            // are the effective (saturation-capped) inclusion weights of the
+            // realized design, and the estimator correction must stay
+            // consistent with them all the way down the hierarchy.
+            let parent_batch = parent.data().to_batch();
+            for (idx, &weight) in parent.weights().iter().enumerate() {
+                builder.observe_row_weighted(parent_batch.row(idx)?, weight);
+            }
             let mut impression = builder.materialize()?;
             impression.rescale_population(base_rows, base_weight);
             layers.push(impression);
@@ -220,7 +230,7 @@ impl LayerHierarchy {
         )?;
         *self = rebuilt;
         self.observe_batch(&table.to_batch(), predicate_set)?;
-        self.refresh(predicate_set)
+        self.refresh()
     }
 }
 
@@ -272,9 +282,8 @@ mod tests {
     fn build_from_table_materialises_all_layers() {
         let table = base_table(20_000);
         let config = SciborqConfig::with_layers(vec![2_000, 400, 50]);
-        let h =
-            LayerHierarchy::build_from_table(&table, SamplingPolicy::Uniform, &config, None)
-                .unwrap();
+        let h = LayerHierarchy::build_from_table(&table, SamplingPolicy::Uniform, &config, None)
+            .unwrap();
         assert_eq!(h.layer_count(), 3);
         assert_eq!(h.layers().len(), 3);
         assert!(!h.is_stale());
@@ -291,9 +300,8 @@ mod tests {
     fn layer_indexing_is_one_based() {
         let table = base_table(5_000);
         let config = SciborqConfig::with_layers(vec![500, 100]);
-        let h =
-            LayerHierarchy::build_from_table(&table, SamplingPolicy::Uniform, &config, None)
-                .unwrap();
+        let h = LayerHierarchy::build_from_table(&table, SamplingPolicy::Uniform, &config, None)
+            .unwrap();
         assert!(h.layer(0).is_none());
         assert_eq!(h.layer(1).unwrap().row_count(), 500);
         assert_eq!(h.layer(2).unwrap().row_count(), 100);
@@ -304,9 +312,8 @@ mod tests {
     fn escalation_order_is_smallest_first() {
         let table = base_table(5_000);
         let config = SciborqConfig::with_layers(vec![500, 100, 20]);
-        let h =
-            LayerHierarchy::build_from_table(&table, SamplingPolicy::Uniform, &config, None)
-                .unwrap();
+        let h = LayerHierarchy::build_from_table(&table, SamplingPolicy::Uniform, &config, None)
+            .unwrap();
         let sizes: Vec<usize> = h.escalation_order().map(Impression::row_count).collect();
         assert_eq!(sizes, vec![20, 100, 500]);
     }
@@ -315,9 +322,8 @@ mod tests {
     fn derived_layers_sample_the_layer_above() {
         let table = base_table(50_000);
         let config = SciborqConfig::with_layers(vec![1_000, 100]);
-        let h =
-            LayerHierarchy::build_from_table(&table, SamplingPolicy::Uniform, &config, None)
-                .unwrap();
+        let h = LayerHierarchy::build_from_table(&table, SamplingPolicy::Uniform, &config, None)
+            .unwrap();
         assert_eq!(h.layers()[0].source_rows(), 50_000);
         // derived layers are re-anchored on the base population so their
         // estimates expand all the way to the base table
@@ -342,11 +348,11 @@ mod tests {
                 .unwrap();
         h.observe_batch(&batch(1, 1_000), None).unwrap();
         assert!(h.is_stale());
-        h.refresh(None).unwrap();
+        h.refresh().unwrap();
         assert!(!h.is_stale());
         h.observe_batch(&batch(1_001, 1_000), None).unwrap();
         assert!(h.is_stale());
-        h.refresh(None).unwrap();
+        h.refresh().unwrap();
         assert_eq!(h.observed_rows(), 2_000);
         assert_eq!(h.layers()[0].source_rows(), 2_000);
     }
@@ -355,9 +361,8 @@ mod tests {
     fn small_tables_yield_full_copies() {
         let table = base_table(30);
         let config = SciborqConfig::with_layers(vec![500, 50]);
-        let h =
-            LayerHierarchy::build_from_table(&table, SamplingPolicy::Uniform, &config, None)
-                .unwrap();
+        let h = LayerHierarchy::build_from_table(&table, SamplingPolicy::Uniform, &config, None)
+            .unwrap();
         // the table is smaller than every layer: layer 1 holds everything
         assert_eq!(h.layers()[0].row_count(), 30);
         assert_eq!(h.layers()[1].row_count(), 30);
@@ -366,8 +371,7 @@ mod tests {
 
     #[test]
     fn biased_hierarchy_inherits_focal_point_downwards() {
-        let mut ps =
-            PredicateSet::new(&[("ra", AttributeDomain::new(0.0, 360.0, 36))]).unwrap();
+        let mut ps = PredicateSet::new(&[("ra", AttributeDomain::new(0.0, 360.0, 36))]).unwrap();
         for _ in 0..300 {
             ps.log_value("ra", 120.0);
         }
@@ -384,8 +388,8 @@ mod tests {
         let focal = Predicate::between("ra", 110.0, 130.0);
         // base share of the focal window is ~20/360 ≈ 5.6%
         for layer in h.layers() {
-            let share = focal.evaluate(layer.data()).unwrap().len() as f64
-                / layer.row_count() as f64;
+            let share =
+                focal.evaluate(layer.data()).unwrap().len() as f64 / layer.row_count() as f64;
             assert!(
                 share > 0.15,
                 "layer {} focal share {share} should be enriched",

@@ -106,8 +106,7 @@ mod tests {
     use sciborq_workload::AttributeDomain;
 
     fn predicate_set_focused_at(ra: f64) -> PredicateSet {
-        let mut ps =
-            PredicateSet::new(&[("ra", AttributeDomain::new(0.0, 360.0, 36))]).unwrap();
+        let mut ps = PredicateSet::new(&[("ra", AttributeDomain::new(0.0, 360.0, 36))]).unwrap();
         for _ in 0..200 {
             ps.log_value("ra", ra);
             ps.log_value("ra", ra + 2.0);

@@ -8,8 +8,7 @@
 use serde::{Deserialize, Serialize};
 
 /// How an impression selects the tuples it retains.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub enum SamplingPolicy {
     /// Uniform reservoir sampling (Algorithm R, Figure 2).
     #[default]
@@ -98,7 +97,6 @@ impl SamplingPolicy {
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,7 +125,9 @@ mod tests {
         assert!(SamplingPolicy::last_seen(1.5, 100.0).validate().is_err());
         assert!(SamplingPolicy::last_seen(0.5, 0.0).validate().is_err());
         assert!(SamplingPolicy::biased(["ra"]).validate().is_ok());
-        assert!(SamplingPolicy::biased(Vec::<String>::new()).validate().is_err());
+        assert!(SamplingPolicy::biased(Vec::<String>::new())
+            .validate()
+            .is_err());
     }
 
     #[test]

@@ -144,7 +144,7 @@ impl ExplorationSession {
         handle.write().append_batch(batch)?;
         if let Some(hierarchy) = self.hierarchies.get_mut(table) {
             hierarchy.observe_batch(batch, Some(&self.predicate_set))?;
-            hierarchy.refresh(Some(&self.predicate_set))?;
+            hierarchy.refresh()?;
         }
         Ok(())
     }
@@ -165,12 +165,10 @@ impl ExplorationSession {
         let base_table = base_guard.as_deref();
 
         match query.kind {
-            QueryKind::Select => Ok(QueryOutcome::Rows(self.engine.execute_select(
-                query,
-                hierarchy,
-                base_table,
-                bounds,
-            )?)),
+            QueryKind::Select => Ok(QueryOutcome::Rows(
+                self.engine
+                    .execute_select(query, hierarchy, base_table, bounds)?,
+            )),
             QueryKind::Aggregate { .. } => Ok(QueryOutcome::Aggregate(
                 self.engine
                     .execute_aggregate(query, hierarchy, base_table, bounds)?,
@@ -275,12 +273,8 @@ mod tests {
 
     #[test]
     fn invalid_config_rejected() {
-        let err = ExplorationSession::new(
-            Catalog::new(),
-            SciborqConfig::with_layers(vec![]),
-            &[],
-        )
-        .unwrap_err();
+        let err = ExplorationSession::new(Catalog::new(), SciborqConfig::with_layers(vec![]), &[])
+            .unwrap_err();
         assert!(matches!(err, SciborqError::InvalidConfig(_)));
     }
 
@@ -344,12 +338,7 @@ mod tests {
         s.load("photoobj", &batch(10_001, 5_000, None)).unwrap();
         let after = s.hierarchy("photoobj").unwrap().observed_rows();
         assert_eq!(after, before + 5_000);
-        let base_rows = s
-            .catalog()
-            .table("photoobj")
-            .unwrap()
-            .read()
-            .row_count();
+        let base_rows = s.catalog().table("photoobj").unwrap().read().row_count();
         assert_eq!(base_rows, 15_000);
         // counting still reflects the new load: COUNT(*) over everything has
         // zero sampling variance, so even a tiny error bound is satisfied on
@@ -362,7 +351,9 @@ mod tests {
         // a genuinely selective predicate with a near-zero error bound must
         // still fall through to the base data
         let selective = Query::count("photoobj", Predicate::lt("objid", 101.0));
-        let outcome = s.execute(&selective, &QueryBounds::max_error(1e-9)).unwrap();
+        let outcome = s
+            .execute(&selective, &QueryBounds::max_error(1e-9))
+            .unwrap();
         let exact = outcome.as_aggregate().unwrap();
         assert_eq!(exact.level, EvaluationLevel::BaseData);
         assert_eq!(exact.value.unwrap(), 100.0);

@@ -43,7 +43,9 @@ mod tests {
             message: "too large".into(),
         };
         assert!(e.to_string().contains("k"));
-        assert!(SamplingError::InvalidWeight(-1.0).to_string().contains("-1"));
+        assert!(SamplingError::InvalidWeight(-1.0)
+            .to_string()
+            .contains("-1"));
     }
 
     #[test]

@@ -176,11 +176,7 @@ mod tests {
         for i in 0..total {
             r.observe(i);
         }
-        let recent_half = r
-            .sample()
-            .iter()
-            .filter(|s| s.item >= total / 2)
-            .count();
+        let recent_half = r.sample().iter().filter(|s| s.item >= total / 2).count();
         let fraction_recent = recent_half as f64 / r.len() as f64;
         assert!(
             fraction_recent > 0.9,
@@ -204,7 +200,10 @@ mod tests {
         };
         let uniform_frac = frac(uniform.sample());
         let ls_frac = frac(last_seen.sample());
-        assert!(uniform_frac < 0.6, "uniform recency fraction {uniform_frac}");
+        assert!(
+            uniform_frac < 0.6,
+            "uniform recency fraction {uniform_frac}"
+        );
         assert!(ls_frac > uniform_frac + 0.3);
     }
 
@@ -216,7 +215,10 @@ mod tests {
             for i in 0..total {
                 r.observe(i);
             }
-            r.sample().iter().filter(|s| s.item >= total - 2_000).count() as f64
+            r.sample()
+                .iter()
+                .filter(|s| s.item >= total - 2_000)
+                .count() as f64
                 / r.len() as f64
         };
         let aggressive = frac_recent(1000.0); // k = n

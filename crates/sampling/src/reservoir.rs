@@ -168,7 +168,7 @@ mod tests {
             }
         }
         let expected = trials as f64 * cap as f64 / stream as f64; // 40
-        // chi-square over 1000 cells, df ≈ 999; 3-sigma bound ≈ 999 + 3*sqrt(2*999) ≈ 1133
+                                                                   // chi-square over 1000 cells, df ≈ 999; 3-sigma bound ≈ 999 + 3*sqrt(2*999) ≈ 1133
         let chi2: f64 = inclusion
             .iter()
             .map(|&o| {

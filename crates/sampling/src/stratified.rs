@@ -202,12 +202,18 @@ mod tests {
 
     #[test]
     fn parameter_validation() {
-        assert!(StratifiedSampler::<u64>::new(0.0, 1.0, 0, 10, StratumAllocation::Equal, None, 1)
-            .is_err());
-        assert!(StratifiedSampler::<u64>::new(0.0, 1.0, 5, 3, StratumAllocation::Equal, None, 1)
-            .is_err());
-        assert!(StratifiedSampler::<u64>::new(1.0, 1.0, 5, 10, StratumAllocation::Equal, None, 1)
-            .is_err());
+        assert!(
+            StratifiedSampler::<u64>::new(0.0, 1.0, 0, 10, StratumAllocation::Equal, None, 1)
+                .is_err()
+        );
+        assert!(
+            StratifiedSampler::<u64>::new(0.0, 1.0, 5, 3, StratumAllocation::Equal, None, 1)
+                .is_err()
+        );
+        assert!(
+            StratifiedSampler::<u64>::new(1.0, 1.0, 5, 10, StratumAllocation::Equal, None, 1)
+                .is_err()
+        );
         assert!(StratifiedSampler::<u64>::new(
             0.0,
             1.0,
@@ -252,9 +258,8 @@ mod tests {
 
     #[test]
     fn equal_allocation_splits_capacity() {
-        let s =
-            StratifiedSampler::<u64>::new(0.0, 10.0, 4, 10, StratumAllocation::Equal, None, 1)
-                .unwrap();
+        let s = StratifiedSampler::<u64>::new(0.0, 10.0, 4, 10, StratumAllocation::Equal, None, 1)
+            .unwrap();
         let caps = s.stratum_capacities();
         assert_eq!(caps.iter().sum::<usize>(), 10);
         assert_eq!(caps, vec![3, 3, 2, 2]);
@@ -282,9 +287,8 @@ mod tests {
 
     #[test]
     fn stratum_of_maps_values() {
-        let s =
-            StratifiedSampler::<u64>::new(0.0, 10.0, 5, 10, StratumAllocation::Equal, None, 1)
-                .unwrap();
+        let s = StratifiedSampler::<u64>::new(0.0, 10.0, 5, 10, StratumAllocation::Equal, None, 1)
+            .unwrap();
         assert_eq!(s.stratum_of(-1.0), 0);
         assert_eq!(s.stratum_of(0.0), 0);
         assert_eq!(s.stratum_of(3.9), 1);

@@ -37,10 +37,7 @@ impl<T> Ord for HeapEntry<T> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse ordering: BinaryHeap is a max-heap, we want the smallest
         // key on top so it can be evicted when a better item arrives.
-        other
-            .key
-            .partial_cmp(&self.key)
-            .unwrap_or(Ordering::Equal)
+        other.key.partial_cmp(&self.key).unwrap_or(Ordering::Equal)
     }
 }
 

@@ -1,0 +1,171 @@
+//! Property-based tests of the sampling crate's statistical contracts:
+//! size invariants of every reservoir variant, inclusion-probability
+//! monotonicity of weighted sampling, and conservation laws of stratified
+//! allocation.
+
+use proptest::prelude::*;
+use sciborq_sampling::{
+    BiasedReservoir, LastSeenReservoir, Reservoir, SamplingStrategy, StratifiedSampler,
+    StratumAllocation, WeightedReservoir,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Algorithm R: the reservoir holds exactly `min(capacity, stream)`
+    /// items, every retained item came from the stream, and there are no
+    /// duplicates (sampling is without replacement).
+    #[test]
+    fn reservoir_size_and_membership(
+        cap in 1usize..128,
+        stream in 0u64..4_000,
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut r = Reservoir::new(cap, seed);
+        for i in 0..stream {
+            r.observe(i);
+        }
+        prop_assert_eq!(r.len() as u64, stream.min(cap as u64));
+        prop_assert_eq!(r.observed(), stream);
+        let mut seen = std::collections::HashSet::new();
+        for s in r.sample() {
+            prop_assert!(s.item < stream, "item {} not from the stream", s.item);
+            prop_assert!(seen.insert(s.item), "item {} retained twice", s.item);
+        }
+    }
+
+    /// Every reservoir variant obeys the capacity bound on the same stream.
+    #[test]
+    fn all_variants_respect_capacity(
+        cap in 1usize..64,
+        stream in 0u64..2_000,
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut uniform = Reservoir::new(cap, seed);
+        let mut biased = BiasedReservoir::new(cap, seed).unwrap();
+        let mut weighted = WeightedReservoir::new(cap, seed).unwrap();
+        let mut last_seen =
+            LastSeenReservoir::new(cap, cap as f64 * 0.5, 100.0, seed).unwrap();
+        for i in 0..stream {
+            let w = 0.1 + (i % 13) as f64;
+            uniform.observe(i);
+            biased.observe_weighted(i, w);
+            weighted.observe_weighted(i, w);
+            last_seen.observe(i);
+        }
+        prop_assert!(uniform.len() <= cap);
+        prop_assert!(biased.len() <= cap);
+        prop_assert!(weighted.sample_vec().len() <= cap);
+        prop_assert!(last_seen.len() <= cap);
+    }
+
+    /// A-Res weighted sampling: raising an item's weight can only raise its
+    /// inclusion probability. Two designated items with weight ratio ≥ 4 are
+    /// streamed among uniform-weight background items; across many seeded
+    /// runs the heavy item must be retained at least as often as the light
+    /// one (with slack far below the expected gap).
+    #[test]
+    fn weighted_inclusion_probability_is_monotone_in_weight(
+        cap in 2usize..12,
+        background in 40u64..120,
+        w_light in 0.2f64..1.0,
+        ratio in 4.0f64..16.0,
+        seed_base in 0u64..1_000_000,
+    ) {
+        let w_heavy = w_light * ratio;
+        let trials = 120u64;
+        let mut heavy_hits = 0u32;
+        let mut light_hits = 0u32;
+        for t in 0..trials {
+            let mut r = WeightedReservoir::new(cap, seed_base.wrapping_add(t)).unwrap();
+            // interleave the designated items mid-stream
+            for i in 0..background {
+                if i == background / 3 {
+                    r.observe_weighted(u64::MAX, w_heavy);
+                }
+                if i == 2 * background / 3 {
+                    r.observe_weighted(u64::MAX - 1, w_light);
+                }
+                r.observe_weighted(i, 1.0);
+            }
+            let sample = r.sample_vec();
+            if sample.iter().any(|s| s.item == u64::MAX) {
+                heavy_hits += 1;
+            }
+            if sample.iter().any(|s| s.item == u64::MAX - 1) {
+                light_hits += 1;
+            }
+        }
+        // Binomial noise over 120 trials is ≈ ±10 at worst; a weight ratio
+        // of ≥ 4 separates the two means by much more unless both saturate
+        // (inclusion ≈ 1), which the `+ 12` slack also absorbs.
+        prop_assert!(
+            heavy_hits + 12 >= light_hits,
+            "heavy item retained {heavy_hits}/{trials}, light {light_hits}/{trials}"
+        );
+    }
+
+    /// Stratified allocation: per-stratum capacities always sum to at least
+    /// the requested capacity with every stratum non-empty, for both
+    /// allocation modes and arbitrary non-negative weight vectors.
+    #[test]
+    fn stratified_allocation_sums(
+        strata in 1usize..24,
+        spare in 0usize..200,
+        weights in proptest::collection::vec(0.0f64..10.0, 1..24),
+        seed in 0u64..u64::MAX,
+    ) {
+        let capacity = strata + spare;
+        let equal = StratifiedSampler::<u64>::new(
+            0.0, 360.0, strata, capacity, StratumAllocation::Equal, None, seed,
+        ).unwrap();
+        let caps = equal.stratum_capacities();
+        prop_assert_eq!(caps.len(), strata);
+        prop_assert_eq!(caps.iter().sum::<usize>(), capacity);
+        prop_assert!(caps.iter().all(|&c| c >= 1));
+        // equal split never differs by more than one slot
+        let (lo, hi) = (caps.iter().min().unwrap(), caps.iter().max().unwrap());
+        prop_assert!(hi - lo <= 1);
+
+        let mut w = weights;
+        w.resize(strata, 0.5);
+        if w.iter().sum::<f64>() <= 0.0 {
+            w[0] = 1.0;
+        }
+        let proportional = StratifiedSampler::<u64>::new(
+            0.0, 360.0, strata, capacity, StratumAllocation::Proportional, Some(&w), seed,
+        ).unwrap();
+        let caps = proportional.stratum_capacities();
+        prop_assert_eq!(caps.len(), strata);
+        prop_assert_eq!(caps.iter().sum::<usize>(), capacity);
+        prop_assert!(caps.iter().all(|&c| c >= 1));
+    }
+
+    /// Streaming through a stratified sampler conserves counts: retained =
+    /// Σ per-stratum sizes ≤ capacity, and every stratum stays within its
+    /// own allocation.
+    #[test]
+    fn stratified_observation_conserves_counts(
+        strata in 1usize..12,
+        spare in 0usize..60,
+        stream in 0u64..3_000,
+        seed in 0u64..u64::MAX,
+    ) {
+        let capacity = strata + spare;
+        let mut s = StratifiedSampler::new(
+            0.0, 360.0, strata, capacity, StratumAllocation::Equal, None, seed,
+        ).unwrap();
+        for i in 0..stream {
+            s.observe_value(i, (i as f64 * 7.31) % 360.0);
+        }
+        prop_assert_eq!(s.observed(), stream);
+        let sizes = s.stratum_sizes();
+        let caps = s.stratum_capacities();
+        prop_assert_eq!(sizes.iter().sum::<usize>(), s.retained());
+        prop_assert!(s.retained() <= capacity.max(strata));
+        for (sz, cp) in sizes.iter().zip(caps.iter()) {
+            prop_assert!(sz <= cp, "stratum holds {sz} > capacity {cp}");
+        }
+        prop_assert_eq!(s.sample_vec().len(), s.retained());
+    }
+}

@@ -109,7 +109,8 @@ mod tests {
         .unwrap();
         let mut t = Table::new("pos", schema);
         for &(ra, dec) in points {
-            t.append_row(&[Value::Float64(ra), Value::Float64(dec)]).unwrap();
+            t.append_row(&[Value::Float64(ra), Value::Float64(dec)])
+                .unwrap();
         }
         t
     }
@@ -174,7 +175,10 @@ mod tests {
         let points = vec![(187.5, 2.5)];
         let t = positions_table(&points);
         let cone = Cone::new(185.0, 0.0, 3.0);
-        let boxed = cone.bounding_box_predicate("ra", "dec").evaluate(&t).unwrap();
+        let boxed = cone
+            .bounding_box_predicate("ra", "dec")
+            .evaluate(&t)
+            .unwrap();
         let exact = get_nearby_obj_eq(&t, "ra", "dec", cone).unwrap();
         assert_eq!(boxed.len(), 1);
         assert_eq!(exact.len(), 0);
@@ -190,7 +194,8 @@ mod tests {
         let mut t = Table::new("pos", schema);
         t.append_row(&[Value::Null, Value::Float64(0.0)]).unwrap();
         t.append_row(&[Value::Float64(185.0), Value::Null]).unwrap();
-        t.append_row(&[Value::Float64(185.0), Value::Float64(0.0)]).unwrap();
+        t.append_row(&[Value::Float64(185.0), Value::Float64(0.0)])
+            .unwrap();
         let sel = get_nearby_obj_eq(&t, "ra", "dec", Cone::new(185.0, 0.0, 3.0)).unwrap();
         assert_eq!(sel.rows(), &[2]);
     }

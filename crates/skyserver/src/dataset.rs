@@ -72,11 +72,8 @@ impl SkyDataset {
     /// table, generate the dimension tables, and register everything.
     pub fn build(config: DatasetConfig) -> Result<Self> {
         let mut generator = PhotoObjGenerator::new(config.sky.clone(), config.seed);
-        let mut fact = Table::with_capacity(
-            "photoobj",
-            generator.schema().clone(),
-            config.total_objects,
-        );
+        let mut fact =
+            Table::with_capacity("photoobj", generator.schema().clone(), config.total_objects);
         let mut load_batches = Vec::new();
         let mut remaining = config.total_objects;
         while remaining > 0 {
@@ -89,7 +86,10 @@ impl SkyDataset {
 
         let catalog = Catalog::new();
         catalog.register(fact)?;
-        catalog.register(generate_field_table(config.sky.field_count, config.seed ^ 0x5eed))?;
+        catalog.register(generate_field_table(
+            config.sky.field_count,
+            config.seed ^ 0x5eed,
+        ))?;
         catalog.register(generate_photo_type_table())?;
 
         Ok(SkyDataset {
@@ -127,10 +127,7 @@ mod tests {
             vec!["field", "photo_type", "photoobj"]
         );
         assert_eq!(ds.load_batches.len(), 5);
-        assert!(ds
-            .load_batches
-            .iter()
-            .all(|b| b.row_count() == 1_000));
+        assert!(ds.load_batches.iter().all(|b| b.row_count() == 1_000));
     }
 
     #[test]

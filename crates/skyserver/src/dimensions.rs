@@ -96,7 +96,10 @@ mod tests {
     #[test]
     fn field_schema_columns() {
         let s = field_schema();
-        assert_eq!(s.names(), vec!["field_id", "run", "camcol", "quality", "airmass"]);
+        assert_eq!(
+            s.names(),
+            vec!["field_id", "run", "camcol", "quality", "airmass"]
+        );
     }
 
     #[test]

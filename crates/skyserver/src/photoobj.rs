@@ -19,7 +19,9 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use sciborq_columnar::{DataType, Field, RecordBatch, RecordBatchBuilder, Schema, SchemaRef, Value};
+use sciborq_columnar::{
+    DataType, Field, RecordBatch, RecordBatchBuilder, Schema, SchemaRef, Value,
+};
 use serde::{Deserialize, Serialize};
 
 /// A cluster of objects on the sky.
@@ -172,8 +174,10 @@ impl PhotoObjGenerator {
             )
         } else if let Some(cluster) = self.pick_cluster() {
             (
-                self.sample_normal(cluster.ra, cluster.spread).rem_euclid(360.0),
-                self.sample_normal(cluster.dec, cluster.spread).clamp(-90.0, 90.0),
+                self.sample_normal(cluster.ra, cluster.spread)
+                    .rem_euclid(360.0),
+                self.sample_normal(cluster.dec, cluster.spread)
+                    .clamp(-90.0, 90.0),
             )
         } else {
             (
@@ -246,9 +250,7 @@ mod tests {
         let s = photoobj_schema();
         assert_eq!(
             s.names(),
-            vec![
-                "objid", "field_id", "ra", "dec", "g_mag", "r_mag", "i_mag", "redshift", "class"
-            ]
+            vec!["objid", "field_id", "ra", "dec", "g_mag", "r_mag", "i_mag", "redshift", "class"]
         );
         assert!(s.field("redshift").unwrap().nullable);
         assert!(!s.field("ra").unwrap().nullable);

@@ -112,7 +112,10 @@ impl BandwidthRule {
                 if *h > 0.0 && h.is_finite() {
                     Ok(*h)
                 } else {
-                    Err(StatsError::invalid("bandwidth", "must be positive and finite"))
+                    Err(StatsError::invalid(
+                        "bandwidth",
+                        "must be positive and finite",
+                    ))
                 }
             }
             BandwidthRule::Scaled { base, factor } => {
@@ -154,8 +157,8 @@ pub fn undersmoothed_bandwidth(values: &[f64]) -> Result<f64> {
 mod tests {
     use super::*;
     use proptest::prelude::*;
-    use rand::{Rng, SeedableRng};
     use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
     fn normal_sample(n: usize, mean: f64, sd: f64, seed: u64) -> Vec<f64> {
         // Box-Muller from a seeded PRNG so the tests are deterministic.

@@ -9,7 +9,7 @@
 
 use crate::error::{Result, StatsError};
 use crate::estimator::Estimate;
-use crate::kernel::standard_normal_quantile;
+use crate::kernel::{standard_normal_quantile, standard_t_quantile};
 use serde::{Deserialize, Serialize};
 
 /// A two-sided confidence interval around a point estimate.
@@ -26,8 +26,13 @@ pub struct ConfidenceInterval {
 }
 
 impl ConfidenceInterval {
-    /// Build a normal-approximation interval `estimate ± z·se`.
-    pub fn normal(estimate: f64, standard_error: f64, confidence: f64) -> Result<Self> {
+    /// Shared validation + assembly for quantile-based intervals.
+    fn with_quantile(
+        estimate: f64,
+        standard_error: f64,
+        confidence: f64,
+        quantile: impl FnOnce(f64) -> f64,
+    ) -> Result<Self> {
         if !(0.0 < confidence && confidence < 1.0) {
             return Err(StatsError::invalid(
                 "confidence",
@@ -40,8 +45,7 @@ impl ConfidenceInterval {
                 "must be non-negative and finite",
             ));
         }
-        let z = standard_normal_quantile(0.5 + confidence / 2.0);
-        let half = z * standard_error;
+        let half = quantile(0.5 + confidence / 2.0) * standard_error;
         Ok(ConfidenceInterval {
             estimate,
             lower: estimate - half,
@@ -50,9 +54,29 @@ impl ConfidenceInterval {
         })
     }
 
-    /// Build an interval from an [`Estimate`].
+    /// Build a normal-approximation interval `estimate ± z·se`.
+    pub fn normal(estimate: f64, standard_error: f64, confidence: f64) -> Result<Self> {
+        Self::with_quantile(
+            estimate,
+            standard_error,
+            confidence,
+            standard_normal_quantile,
+        )
+    }
+
+    /// Build an interval from an [`Estimate`], widening by a Student-t
+    /// quantile with `sample_size − 1` degrees of freedom.
+    ///
+    /// `Estimate::sample_size` records the number of observations that
+    /// actually contributed information (the matching sample rows for COUNT
+    /// and domain aggregates), so intervals built from a handful of matches
+    /// widen the way a finite-sample analysis demands; for large samples the
+    /// t quantile converges to the normal one.
     pub fn from_estimate(estimate: &Estimate, confidence: f64) -> Result<Self> {
-        Self::normal(estimate.value, estimate.standard_error, confidence)
+        let df = estimate.sample_size.saturating_sub(1).max(1) as u64;
+        Self::with_quantile(estimate.value, estimate.standard_error, confidence, |p| {
+            standard_t_quantile(p, df)
+        })
     }
 
     /// An exact, zero-width interval (base-data answers).
@@ -112,10 +136,7 @@ pub fn required_sample_size_for_count(
     confidence: f64,
 ) -> Result<u64> {
     if !(0.0 < selectivity && selectivity <= 1.0) {
-        return Err(StatsError::invalid(
-            "selectivity",
-            "must lie in (0, 1]",
-        ));
+        return Err(StatsError::invalid("selectivity", "must lie in (0, 1]"));
     }
     if !(max_relative_error > 0.0) {
         return Err(StatsError::invalid(
@@ -178,15 +199,30 @@ mod tests {
     }
 
     #[test]
-    fn from_estimate_matches_normal() {
-        let e = Estimate {
+    fn from_estimate_widens_for_small_samples_and_converges_to_normal() {
+        let make = |sample_size| Estimate {
             value: 50.0,
             standard_error: 5.0,
-            sample_size: 100,
+            sample_size,
         };
-        let a = ConfidenceInterval::from_estimate(&e, 0.9).unwrap();
-        let b = ConfidenceInterval::normal(50.0, 5.0, 0.9).unwrap();
-        assert_eq!(a, b);
+        let normal = ConfidenceInterval::normal(50.0, 5.0, 0.9).unwrap();
+        // few effective observations: a t interval is strictly wider
+        let small = ConfidenceInterval::from_estimate(&make(5), 0.9).unwrap();
+        assert!(small.half_width() > normal.half_width() * 1.05);
+        // monotone: more observations, tighter interval
+        let medium = ConfidenceInterval::from_estimate(&make(30), 0.9).unwrap();
+        assert!(medium.half_width() < small.half_width());
+        // large samples: t ≈ z
+        let large = ConfidenceInterval::from_estimate(&make(100_000), 0.9).unwrap();
+        assert!((large.half_width() - normal.half_width()).abs() < 1e-3 * normal.half_width());
+        // invalid inputs still rejected
+        assert!(ConfidenceInterval::from_estimate(&make(10), 1.0).is_err());
+        let bad = Estimate {
+            value: 1.0,
+            standard_error: f64::NAN,
+            sample_size: 10,
+        };
+        assert!(ConfidenceInterval::from_estimate(&bad, 0.9).is_err());
     }
 
     #[test]

@@ -43,7 +43,10 @@ impl fmt::Display for StatsError {
             StatsError::NonConvergence {
                 routine,
                 iterations,
-            } => write!(f, "{routine} did not converge after {iterations} iterations"),
+            } => write!(
+                f,
+                "{routine} did not converge after {iterations} iterations"
+            ),
         }
     }
 }

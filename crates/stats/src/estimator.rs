@@ -144,7 +144,11 @@ impl SrsEstimator {
         let m = sample_values.len() as f64;
         let mean = sample_values.iter().sum::<f64>() / m;
         let var = if sample_values.len() > 1 {
-            sample_values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (m - 1.0)
+            sample_values
+                .iter()
+                .map(|v| (v - mean).powi(2))
+                .sum::<f64>()
+                / (m - 1.0)
         } else {
             0.0
         };
@@ -204,6 +208,11 @@ impl WeightedEstimator {
         } else {
             0.0
         };
+        // `sample_size` defaults to the number of draws; callers that know
+        // how many draws actually matched their predicate (e.g. the
+        // impression estimators, where zero-extended non-matching draws only
+        // pin down the selectivity) should override it with the matched
+        // count so downstream intervals use honest degrees of freedom.
         Ok(Estimate {
             value: mean_exp,
             standard_error: (var_exp / n).sqrt(),
@@ -238,10 +247,7 @@ impl WeightedEstimator {
         let residual_var = if observations.len() > 1 {
             observations
                 .iter()
-                .map(|o| {
-                    
-                    (o.value - ratio) / o.probability
-                })
+                .map(|o| (o.value - ratio) / o.probability)
                 .map(|r| {
                     let mean_r = 0.0; // residuals have approximately zero mean
                     (r - mean_r).powi(2)
@@ -264,8 +270,8 @@ impl WeightedEstimator {
 mod tests {
     use super::*;
     use proptest::prelude::*;
-    use rand::{Rng, SeedableRng};
     use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
     #[test]
     fn srs_estimator_validation() {
@@ -313,7 +319,10 @@ mod tests {
         // zero-extended mean = 20/10 = 2 -> total 200
         assert!((est.value - 200.0).abs() < 1e-9);
         assert!(est.standard_error > 0.0);
-        assert!(SrsEstimator::new(100, 0).unwrap().estimate_sum(&[]).is_err());
+        assert!(SrsEstimator::new(100, 0)
+            .unwrap()
+            .estimate_sum(&[])
+            .is_err());
     }
 
     #[test]
@@ -365,7 +374,9 @@ mod tests {
         // recover the overall mean because it divides by the estimated
         // population size.
         let mut rng = StdRng::seed_from_u64(99);
-        let pop_a: Vec<f64> = (0..2000).map(|_| 100.0 + rng.gen_range(-5.0..5.0)).collect();
+        let pop_a: Vec<f64> = (0..2000)
+            .map(|_| 100.0 + rng.gen_range(-5.0..5.0))
+            .collect();
         let pop_b: Vec<f64> = (0..8000).map(|_| 10.0 + rng.gen_range(-2.0..2.0)).collect();
         let true_mean = (pop_a.iter().sum::<f64>() + pop_b.iter().sum::<f64>()) / 10_000.0;
 

@@ -41,7 +41,10 @@ impl FisherNoncentralHypergeometric {
             ));
         }
         if !(omega > 0.0) || !omega.is_finite() {
-            return Err(StatsError::invalid("omega", "odds ratio must be positive and finite"));
+            return Err(StatsError::invalid(
+                "omega",
+                "odds ratio must be positive and finite",
+            ));
         }
         Ok(FisherNoncentralHypergeometric { m1, m2, n, omega })
     }

@@ -33,8 +33,8 @@ impl BinStats {
             return;
         }
         let total = self.count + other.count;
-        self.mean = (self.mean * self.count as f64 + other.mean * other.count as f64)
-            / total as f64;
+        self.mean =
+            (self.mean * self.count as f64 + other.mean * other.count as f64) / total as f64;
         self.count = total;
     }
 }
@@ -301,7 +301,9 @@ mod tests {
     #[test]
     fn counts_are_conserved() {
         let mut h = EquiWidthHistogram::new(-5.0, 5.0, 7).unwrap();
-        let values: Vec<f64> = (0..1000).map(|i| ((i * 37) % 100) as f64 / 10.0 - 5.0).collect();
+        let values: Vec<f64> = (0..1000)
+            .map(|i| ((i * 37) % 100) as f64 / 10.0 - 5.0)
+            .collect();
         h.observe_all(&values);
         assert_eq!(h.total(), 1000);
         assert_eq!(h.counts().iter().sum::<u64>(), 1000);

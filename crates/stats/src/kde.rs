@@ -39,7 +39,10 @@ impl FullKde {
             return Err(StatsError::EmptyInput("FullKde observations"));
         }
         if !(bandwidth > 0.0) || !bandwidth.is_finite() {
-            return Err(StatsError::invalid("bandwidth", "must be positive and finite"));
+            return Err(StatsError::invalid(
+                "bandwidth",
+                "must be positive and finite",
+            ));
         }
         Ok(FullKde {
             observations,
@@ -77,9 +80,7 @@ impl FullKde {
     /// Evaluate the density on a regular grid of `points` between `lo` and
     /// `hi` (inclusive). Returns (x, f̂(x)) pairs.
     pub fn density_grid(&self, lo: f64, hi: f64, points: usize) -> Vec<(f64, f64)> {
-        grid(lo, hi, points)
-            .map(|x| (x, self.density(x)))
-            .collect()
+        grid(lo, hi, points).map(|x| (x, self.density(x))).collect()
     }
 }
 
@@ -166,9 +167,7 @@ impl BinnedKde {
 
     /// Evaluate the density on a regular grid (for figure reproduction).
     pub fn density_grid(&self, lo: f64, hi: f64, points: usize) -> Vec<(f64, f64)> {
-        grid(lo, hi, points)
-            .map(|x| (x, self.density(x)))
-            .collect()
+        grid(lo, hi, points).map(|x| (x, self.density(x))).collect()
     }
 }
 
@@ -211,8 +210,8 @@ mod tests {
     use super::*;
     use crate::bandwidth::silverman_bandwidth;
     use proptest::prelude::*;
-    use rand::{Rng, SeedableRng};
     use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
     fn bimodal_sample(n: usize, seed: u64) -> Vec<f64> {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -284,8 +283,13 @@ mod tests {
         hist.observe_all(&data);
         let binned = BinnedKde::from_histogram(&hist).unwrap();
 
-        let d_binned =
-            mean_absolute_deviation(|x| full.density(x), |x| binned.density(x), 120.0, 250.0, 200);
+        let d_binned = mean_absolute_deviation(
+            |x| full.density(x),
+            |x| binned.density(x),
+            120.0,
+            250.0,
+            200,
+        );
         let d_over =
             mean_absolute_deviation(|x| full.density(x), |x| over.density(x), 120.0, 250.0, 200);
         assert!(

@@ -38,9 +38,8 @@ pub mod kernel;
 pub mod moments;
 
 pub use bandwidth::{
-    BaseRule,
     oversmoothed_bandwidth, reference_bandwidth, silverman_bandwidth, undersmoothed_bandwidth,
-    BandwidthRule,
+    BandwidthRule, BaseRule,
 };
 pub use confidence::{required_sample_size_for_count, ConfidenceInterval};
 pub use error::{Result, StatsError};
@@ -48,5 +47,7 @@ pub use estimator::{Estimate, SrsEstimator, WeightedEstimator, WeightedObservati
 pub use fnchg::FisherNoncentralHypergeometric;
 pub use histogram::{histogram_from_data, BinStats, EquiWidthHistogram};
 pub use kde::{integrate_density, mean_absolute_deviation, BinnedKde, FullKde};
-pub use kernel::{standard_normal_cdf, standard_normal_pdf, standard_normal_quantile, Kernel};
+pub use kernel::{
+    standard_normal_cdf, standard_normal_pdf, standard_normal_quantile, standard_t_quantile, Kernel,
+};
 pub use moments::{mean, relative_error, variance_population, RunningMoments};

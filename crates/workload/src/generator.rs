@@ -148,7 +148,9 @@ impl WorkloadGenerator {
     /// Generate the next query of the workload.
     pub fn next_query(&mut self) -> Query {
         self.generated += 1;
-        let background = self.rng.gen_bool(self.config.background_fraction.clamp(0.0, 1.0));
+        let background = self
+            .rng
+            .gen_bool(self.config.background_fraction.clamp(0.0, 1.0));
         let (ra, dec) = if background {
             (
                 self.rng.gen_range(0.0..360.0),
@@ -158,7 +160,8 @@ impl WorkloadGenerator {
             (
                 self.sample_normal(cluster.ra, cluster.spread)
                     .rem_euclid(360.0),
-                self.sample_normal(cluster.dec, cluster.spread).clamp(-90.0, 90.0),
+                self.sample_normal(cluster.dec, cluster.spread)
+                    .clamp(-90.0, 90.0),
             )
         } else {
             (
@@ -177,7 +180,10 @@ impl WorkloadGenerator {
             radius,
         );
 
-        if self.rng.gen_bool(self.config.aggregate_fraction.clamp(0.0, 1.0)) {
+        if self
+            .rng
+            .gen_bool(self.config.aggregate_fraction.clamp(0.0, 1.0))
+        {
             let kind = match self.rng.gen_range(0..3) {
                 0 => AggregateKind::Count,
                 1 => AggregateKind::Avg,
@@ -194,7 +200,7 @@ impl WorkloadGenerator {
                 )
             }
         } else {
-            let limit = 100 * self.rng.gen_range(1..=5);
+            let limit = 100 * self.rng.gen_range(1usize..=5);
             Query::select(&self.config.table, predicate).with_limit(limit)
         }
     }
@@ -297,7 +303,10 @@ mod tests {
         }
         let hist = ps.histogram("ra").unwrap();
         let occupied = hist.counts().iter().filter(|&&c| c > 0).count();
-        assert!(occupied > 30, "background queries should cover most bins, got {occupied}");
+        assert!(
+            occupied > 30,
+            "background queries should cover most bins, got {occupied}"
+        );
     }
 
     #[test]

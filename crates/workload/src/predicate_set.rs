@@ -99,7 +99,10 @@ impl PredicateSet {
         if let Some(hist) = self.attributes.get_mut(attribute) {
             hist.observe(value);
             if self.retain_raw {
-                self.raw.entry(attribute.to_owned()).or_default().push(value);
+                self.raw
+                    .entry(attribute.to_owned())
+                    .or_default()
+                    .push(value);
             }
         }
     }
@@ -206,7 +209,10 @@ mod tests {
     #[test]
     fn log_query_collects_requested_values() {
         let mut ps = sky_predicate_set();
-        let q = Query::count("photoobj", cone_search_predicate("ra", "dec", 185.0, 0.0, 3.0));
+        let q = Query::count(
+            "photoobj",
+            cone_search_predicate("ra", "dec", 185.0, 0.0, 3.0),
+        );
         ps.log_query(&q);
         assert_eq!(ps.queries_observed(), 1);
         assert_eq!(ps.observed_values("ra"), 3);

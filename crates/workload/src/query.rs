@@ -138,17 +138,16 @@ fn collect_requested(p: &Predicate, out: &mut Vec<(String, f64)>) {
             }
         }
         Predicate::Not(p) => collect_requested(p, out),
-        Predicate::True
-        | Predicate::False
-        | Predicate::IsNull(_)
-        | Predicate::IsNotNull(_) => {}
+        Predicate::True | Predicate::False | Predicate::IsNull(_) | Predicate::IsNotNull(_) => {}
     }
 }
 
 impl fmt::Display for Query {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.kind {
-            QueryKind::Select => write!(f, "SELECT * FROM {} WHERE {}", self.table, self.predicate)?,
+            QueryKind::Select => {
+                write!(f, "SELECT * FROM {} WHERE {}", self.table, self.predicate)?
+            }
             QueryKind::Aggregate { kind, column } => write!(
                 f,
                 "SELECT {kind}({}) FROM {} WHERE {}",
@@ -244,7 +243,10 @@ mod tests {
 
     #[test]
     fn requested_values_from_between() {
-        let q = Query::count("photoobj", cone_search_predicate("ra", "dec", 185.0, 0.0, 3.0));
+        let q = Query::count(
+            "photoobj",
+            cone_search_predicate("ra", "dec", 185.0, 0.0, 3.0),
+        );
         let vals = q.requested_values();
         let ra_vals: Vec<f64> = vals
             .iter()

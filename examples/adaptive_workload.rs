@@ -61,8 +61,14 @@ fn main() {
     let cone_a = Cone::new(185.0, 0.0, 4.0);
     let cone_b = Cone::new(160.0, 25.0, 4.0);
     println!("after phase 1 (focus at ra=185, dec=0):");
-    println!("  impression share near A (185,0)  : {:.3}", focal_share(&session, cone_a));
-    println!("  impression share near B (160,25) : {:.3}", focal_share(&session, cone_b));
+    println!(
+        "  impression share near A (185,0)  : {:.3}",
+        focal_share(&session, cone_a)
+    );
+    println!(
+        "  impression share near B (160,25) : {:.3}",
+        focal_share(&session, cone_b)
+    );
 
     // ---- Phase 2: the focus moves to the region around (160, 25) ----
     let phase2 = WorkloadConfig {
@@ -83,8 +89,14 @@ fn main() {
     println!("adaptive rebuilds so far: {}", session.rebuilds());
 
     println!("\nafter phase 2 adaptation (focus at ra=160, dec=25):");
-    println!("  impression share near A (185,0)  : {:.3}", focal_share(&session, cone_a));
-    println!("  impression share near B (160,25) : {:.3}", focal_share(&session, cone_b));
+    println!(
+        "  impression share near A (185,0)  : {:.3}",
+        focal_share(&session, cone_a)
+    );
+    println!(
+        "  impression share near B (160,25) : {:.3}",
+        focal_share(&session, cone_b)
+    );
 
     // ---- Error comparison on a phase-2 focal query ----
     let query = Query::count("photoobj", cone_b.bounding_box_predicate("ra", "dec"));

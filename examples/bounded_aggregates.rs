@@ -26,9 +26,8 @@ fn main() {
     let fact = fact.read();
 
     let config = SciborqConfig::with_layers(vec![100_000, 30_000, 10_000, 3_000, 1_000]);
-    let hierarchy =
-        LayerHierarchy::build_from_table(&fact, SamplingPolicy::Uniform, &config, None)
-            .expect("hierarchy");
+    let hierarchy = LayerHierarchy::build_from_table(&fact, SamplingPolicy::Uniform, &config, None)
+        .expect("hierarchy");
     let engine = BoundedQueryEngine::new(config).expect("engine");
 
     let cone = Cone::new(185.0, 0.0, 3.0);
@@ -42,7 +41,12 @@ fn main() {
 
     // exact ground truth
     let exact = engine
-        .execute_aggregate(&count_query, &hierarchy, Some(&fact), &QueryBounds::max_error(1e-15))
+        .execute_aggregate(
+            &count_query,
+            &hierarchy,
+            Some(&fact),
+            &QueryBounds::max_error(1e-15),
+        )
         .expect("exact");
     println!(
         "ground truth COUNT = {} (from {})",
@@ -51,7 +55,10 @@ fn main() {
     );
 
     println!("\n--- error vs impression size (row-budget sweep, COUNT) ---");
-    println!("{:>12} {:>12} {:>14} {:>12} {:>10}", "row budget", "estimate", "rel. error", "level", "time");
+    println!(
+        "{:>12} {:>12} {:>14} {:>12} {:>10}",
+        "row budget", "estimate", "rel. error", "level", "time"
+    );
     for budget in [1_000u64, 3_000, 10_000, 30_000, 100_000, 400_000] {
         let started = Instant::now();
         let answer = engine
@@ -73,7 +80,10 @@ fn main() {
     }
 
     println!("\n--- escalation vs requested error bound (COUNT) ---");
-    println!("{:>12} {:>12} {:>12} {:>14} {:>12}", "max error", "estimate", "level", "escalations", "rows scanned");
+    println!(
+        "{:>12} {:>12} {:>12} {:>14} {:>12}",
+        "max error", "estimate", "level", "escalations", "rows scanned"
+    );
     for error in [0.5, 0.2, 0.1, 0.05, 0.02, 0.01, 1e-12] {
         let answer = engine
             .execute_aggregate(

@@ -147,7 +147,9 @@ fn incremental_loads_keep_impressions_fresh() {
     assert_eq!(after, before + 10_000);
 
     let query = Query::count("photoobj", Predicate::True);
-    let outcome = session.execute(&query, &QueryBounds::max_error(0.01)).unwrap();
+    let outcome = session
+        .execute(&query, &QueryBounds::max_error(0.01))
+        .unwrap();
     assert!((outcome.as_aggregate().unwrap().value.unwrap() - 30_000.0).abs() < 1.0);
 }
 

@@ -1,0 +1,254 @@
+//! The paper's core promise, tested as a statistical contract: the
+//! confidence intervals the bounded engine reports must actually cover the
+//! true answer at (close to) the nominal rate, and the engine must report
+//! its evaluation level honestly when bounds cannot be met.
+//!
+//! Every trial is seeded deterministically, so these tests are exactly
+//! reproducible: a failure is a real calibration regression, not noise.
+
+use sciborq_columnar::{
+    AggregateKind, DataType, Field, Predicate, RecordBatchBuilder, Schema, SchemaRef, Table, Value,
+};
+use sciborq_core::{
+    BoundedQueryEngine, EvaluationLevel, LayerHierarchy, QueryBounds, SamplingPolicy, SciborqConfig,
+};
+use sciborq_workload::{AttributeDomain, PredicateSet, Query};
+
+const CONFIDENCE: f64 = 0.95;
+const TRIALS: u64 = 250;
+/// Observed coverage may undershoot the nominal level by at most 5 points.
+const COVERAGE_FLOOR: f64 = CONFIDENCE - 0.05;
+
+fn schema() -> SchemaRef {
+    Schema::shared(vec![
+        Field::new("objid", DataType::Int64),
+        Field::new("ra", DataType::Float64),
+        Field::new("r_mag", DataType::Float64),
+    ])
+    .unwrap()
+}
+
+/// A fixed, irregular population: golden-ratio ra spread over [0, 360) and a
+/// skewed magnitude column, so none of the estimators get an accidentally
+/// easy (constant-variance) target.
+fn base_table(rows: usize) -> Table {
+    let mut b = RecordBatchBuilder::with_capacity(schema(), rows);
+    for i in 0..rows as i64 {
+        let ra = (i as f64 * 222.492_235_9) % 360.0;
+        let r_mag =
+            14.0 + ((i * i + 7) % 97) as f64 / 97.0 * 8.0 + if i % 11 == 0 { 3.0 } else { 0.0 };
+        b.push_row(&[Value::Int64(i), Value::Float64(ra), Value::Float64(r_mag)])
+            .unwrap();
+    }
+    let mut t = Table::new("photoobj", schema());
+    t.append_batch(&b.finish().unwrap()).unwrap();
+    t
+}
+
+fn exact_scalar(table: &Table, query: &Query) -> f64 {
+    let selection = query.predicate.evaluate(table).unwrap();
+    match query.kind {
+        sciborq_workload::QueryKind::Aggregate { kind, ref column } => {
+            sciborq_columnar::compute_aggregate(table, column.as_deref(), kind, &selection)
+                .unwrap()
+                .value
+                .unwrap()
+        }
+        _ => panic!("coverage harness only evaluates aggregates"),
+    }
+}
+
+/// Run `TRIALS` independently-seeded hierarchy builds and count how often the
+/// reported interval covers the exact answer.
+fn coverage_of(query: &Query, policy: SamplingPolicy, rows: usize, layer: usize) -> f64 {
+    let table = base_table(rows);
+    let truth = exact_scalar(&table, query);
+    let engine = BoundedQueryEngine::new(SciborqConfig::default()).unwrap();
+
+    // For biased policies, a workload concentrated on the queried region.
+    let mut predicate_set =
+        PredicateSet::new(&[("ra", AttributeDomain::new(0.0, 360.0, 36))]).unwrap();
+    for _ in 0..100 {
+        predicate_set.log_value("ra", 45.0);
+        predicate_set.log_value("ra", 120.0);
+    }
+    let predicate_set = match policy {
+        SamplingPolicy::Biased { .. } => Some(&predicate_set),
+        _ => None,
+    };
+
+    let mut covered = 0u64;
+    for trial in 0..TRIALS {
+        let mut config = SciborqConfig::with_layers(vec![layer]);
+        config.seed = 0xC0FFEE ^ (trial * 7919);
+        let hierarchy =
+            LayerHierarchy::build_from_table(&table, policy.clone(), &config, predicate_set)
+                .unwrap();
+        // No error bound: the engine answers from the single impression and
+        // must attach an honest interval to that answer.
+        let answer = engine
+            .execute_aggregate(query, &hierarchy, None, &QueryBounds::default())
+            .unwrap();
+        let interval = answer.interval.expect("sampled answers carry an interval");
+        assert_eq!(interval.confidence, CONFIDENCE);
+        if interval.covers(truth) {
+            covered += 1;
+        }
+    }
+    covered as f64 / TRIALS as f64
+}
+
+#[test]
+fn count_interval_coverage_meets_nominal_level() {
+    let query = Query::count("photoobj", Predicate::lt("ra", 90.0));
+    let coverage = coverage_of(&query, SamplingPolicy::Uniform, 4_000, 400);
+    assert!(
+        coverage >= COVERAGE_FLOOR,
+        "COUNT coverage {coverage:.3} fell below {COVERAGE_FLOOR}"
+    );
+}
+
+#[test]
+fn sum_interval_coverage_meets_nominal_level() {
+    let query = Query::aggregate(
+        "photoobj",
+        Predicate::lt("ra", 180.0),
+        AggregateKind::Sum,
+        "r_mag",
+    );
+    let coverage = coverage_of(&query, SamplingPolicy::Uniform, 4_000, 400);
+    assert!(
+        coverage >= COVERAGE_FLOOR,
+        "SUM coverage {coverage:.3} fell below {COVERAGE_FLOOR}"
+    );
+}
+
+#[test]
+fn avg_interval_coverage_meets_nominal_level() {
+    let query = Query::aggregate(
+        "photoobj",
+        Predicate::lt("ra", 180.0),
+        AggregateKind::Avg,
+        "r_mag",
+    );
+    let coverage = coverage_of(&query, SamplingPolicy::Uniform, 4_000, 400);
+    assert!(
+        coverage >= COVERAGE_FLOOR,
+        "AVG coverage {coverage:.3} fell below {COVERAGE_FLOOR}"
+    );
+}
+
+#[test]
+fn biased_count_interval_coverage_meets_nominal_level() {
+    // The focal region the synthetic workload concentrates on.
+    let query = Query::count("photoobj", Predicate::between("ra", 40.0, 50.0));
+    let coverage = coverage_of(&query, SamplingPolicy::biased(["ra"]), 4_000, 400);
+    assert!(
+        coverage >= COVERAGE_FLOOR,
+        "biased COUNT coverage {coverage:.3} fell below {COVERAGE_FLOOR}"
+    );
+}
+
+/// A sampled zero is not a certain zero: when an impression holds no rows
+/// matching a rare predicate, its degenerate [0, 0] interval must not count
+/// as meeting a finite error bound — the engine escalates to the base data
+/// (or honestly reports the bound unmet when it may not).
+#[test]
+fn sampled_zero_count_is_never_certified() {
+    let table = base_table(20_000);
+    // One matching row in 20k (selectivity 5e-5): a 200-row impression
+    // almost surely holds zero matches.
+    let query = Query::count("photoobj", Predicate::lt("objid", 1.0));
+    let config = SciborqConfig::with_layers(vec![200]);
+    let hierarchy =
+        LayerHierarchy::build_from_table(&table, SamplingPolicy::Uniform, &config, None).unwrap();
+    let impression_matches = query
+        .predicate
+        .evaluate(hierarchy.layers()[0].data())
+        .unwrap()
+        .len();
+    assert_eq!(impression_matches, 0, "the premise of this test");
+    let engine = BoundedQueryEngine::new(SciborqConfig::default()).unwrap();
+
+    // With base data available: escalate and answer exactly.
+    let answer = engine
+        .execute_aggregate(
+            &query,
+            &hierarchy,
+            Some(&table),
+            &QueryBounds::max_error(0.5),
+        )
+        .unwrap();
+    assert_eq!(answer.level, EvaluationLevel::BaseData);
+    assert_eq!(answer.value.unwrap(), 1.0);
+
+    // Without base data: the zero estimate must be flagged as NOT meeting
+    // the bound rather than certified as an exact zero.
+    let honest = engine
+        .execute_aggregate(&query, &hierarchy, None, &QueryBounds::max_error(0.5))
+        .unwrap();
+    assert_eq!(honest.value, Some(0.0));
+    assert!(!honest.error_bound_met);
+
+    // With no error bound at all, a sampled zero is an acceptable
+    // best-effort answer (nothing was promised).
+    let unbounded = engine
+        .execute_aggregate(&query, &hierarchy, None, &QueryBounds::default())
+        .unwrap();
+    assert_eq!(unbounded.value, Some(0.0));
+}
+
+/// A query whose error bound is unmeetable on the small layers must escalate
+/// through the hierarchy, and the final answer must label its evaluation
+/// level (and whether the bound was met) honestly.
+#[test]
+fn unmeetable_bound_escalates_and_reports_level_honestly() {
+    let table = base_table(20_000);
+    let config = SciborqConfig::with_layers(vec![2_000, 200]);
+    let hierarchy =
+        LayerHierarchy::build_from_table(&table, SamplingPolicy::Uniform, &config, None).unwrap();
+    let engine = BoundedQueryEngine::new(SciborqConfig::default()).unwrap();
+    // ~2.5% selectivity: a 200-row layer holds ~5 matches (≈ 45% relative
+    // error), the 2000-row layer ~50 matches (≈ 14%): 1e-6 is unmeetable on
+    // any impression.
+    let query = Query::count("photoobj", Predicate::lt("ra", 9.0));
+    let bounds = QueryBounds::max_error(1e-6);
+
+    // With the base table available the engine must walk every layer and
+    // land on the base data with the exact answer.
+    let answer = engine
+        .execute_aggregate(&query, &hierarchy, Some(&table), &bounds)
+        .unwrap();
+    assert_eq!(answer.level, EvaluationLevel::BaseData);
+    assert_eq!(
+        answer.escalations, 2,
+        "both impression layers must be tried"
+    );
+    assert!(answer.error_bound_met);
+    assert_eq!(answer.value.unwrap(), exact_scalar(&table, &query));
+    assert_eq!(answer.relative_error(), 0.0);
+
+    // Without base data the engine must NOT pretend: it returns the most
+    // detailed impression's answer flagged as missing the bound.
+    let honest = engine
+        .execute_aggregate(&query, &hierarchy, None, &bounds)
+        .unwrap();
+    assert_eq!(honest.level, EvaluationLevel::Layer(1));
+    assert!(!honest.error_bound_met);
+    assert!(honest.relative_error() > 1e-6);
+
+    // A row budget that forbids leaving the smallest layer must also be
+    // reported honestly: budget respected, bound missed, level = Layer(2).
+    let capped = engine
+        .execute_aggregate(
+            &query,
+            &hierarchy,
+            Some(&table),
+            &QueryBounds::row_budget(500).with_max_error(1e-6),
+        )
+        .unwrap();
+    assert_eq!(capped.level, EvaluationLevel::Layer(2));
+    assert!(!capped.error_bound_met);
+    assert!(capped.time_bound_met);
+    assert!(capped.rows_scanned <= 500);
+}

@@ -1,0 +1,284 @@
+//! Offline vendored stub of `proptest`.
+//!
+//! The build environment has no crates.io access, so this crate reimplements
+//! the slice of proptest that the SciBORQ test-suite uses:
+//!
+//! * the [`proptest!`] macro (optionally prefixed with
+//!   `#![proptest_config(...)]`) wrapping `#[test] fn name(arg in strategy)`
+//!   items;
+//! * [`Strategy`] implementations for half-open / inclusive numeric ranges
+//!   and [`collection::vec`];
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`].
+//!
+//! Differences from upstream, deliberately accepted for a test harness:
+//! no shrinking (a failing case reports the case number; rerunning is
+//! deterministic), and no persistence files. Every case is derived from a
+//! seed computed from the test's name and the case index, so failures
+//! reproduce exactly across runs and machines.
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{SampleRange, SeedableRng};
+
+/// Runtime configuration for a [`proptest!`] block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Matches upstream's default case count.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A generator of test inputs. Unlike upstream there is no value tree or
+/// shrinking: a strategy simply draws a value from a seeded RNG.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_strategy_for_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                self.clone().sample_from(rng)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                self.clone().sample_from(rng)
+            }
+        }
+    )*};
+}
+impl_strategy_for_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// A constant strategy, mirroring `proptest::strategy::Just`.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_strategy_for_tuples {
+    ($(($($s:ident / $i:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$i.sample(rng),)+)
+            }
+        }
+    )*};
+}
+impl_strategy_for_tuples! {
+    (A/0)
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+}
+
+pub mod collection {
+    use super::{SizeRange, Strategy};
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy producing `Vec`s with lengths drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// Mirror of `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let len = if self.size.lo >= self.size.hi_exclusive {
+                self.size.lo
+            } else {
+                rng.gen_range(self.size.lo..self.size.hi_exclusive)
+            };
+            (0..len).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+/// Length specification for collection strategies, `[lo, hi_exclusive)`.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    pub lo: usize,
+    pub hi_exclusive: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        SizeRange {
+            lo: r.start,
+            hi_exclusive: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            lo: *r.start(),
+            hi_exclusive: r.end().saturating_add(1),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        SizeRange {
+            lo: exact,
+            hi_exclusive: exact.saturating_add(1),
+        }
+    }
+}
+
+/// Deterministic per-case RNG: FNV-1a of the test name mixed with the case
+/// index, so each property walks its own reproducible stream.
+pub fn case_rng(test_name: &str, case: u32) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_name.bytes() {
+        h ^= byte as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_body! { config = $config; $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_body! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (
+        config = $config:expr;
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $config;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::case_rng(stringify!($name), __case);
+                    $( let $arg = $crate::Strategy::sample(&($strategy), &mut __rng); )+
+                    // Name the case in panic messages so failures reproduce.
+                    let __run = || $body;
+                    if let Err(err) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(__run)) {
+                        eprintln!(
+                            "proptest case {} of `{}` failed (deterministic seed; rerun reproduces it)",
+                            __case,
+                            stringify!($name),
+                        );
+                        std::panic::resume_unwind(err);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_vecs_respect_bounds(
+            n in 1usize..50,
+            x in -2.0f64..2.0,
+            values in collection::vec(0.0f64..1.0, 0..20),
+        ) {
+            prop_assert!((1..50).contains(&n));
+            prop_assert!((-2.0..2.0).contains(&x));
+            prop_assert!(values.len() < 20);
+            prop_assert!(values.iter().all(|v| (0.0..1.0).contains(v)));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(seed in 0u64..u64::MAX) {
+            prop_assert!(seed < u64::MAX);
+        }
+    }
+
+    #[test]
+    fn case_rng_is_deterministic() {
+        use rand::Rng;
+        let a: f64 = super::case_rng("t", 3).gen();
+        let b: f64 = super::case_rng("t", 3).gen();
+        let c: f64 = super::case_rng("t", 4).gen();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,31 @@
+//! Offline vendored stub of `serde`.
+//!
+//! The SciBORQ workspace builds in an environment without crates.io access,
+//! and the seed code only ever uses serde for `#[derive(Serialize,
+//! Deserialize)]` annotations — no serializer backend (`serde_json`, bincode,
+//! …) is present anywhere in the tree. This stub therefore provides:
+//!
+//! * marker traits [`Serialize`] / [`Deserialize`] blanket-implemented for
+//!   every type, so generic bounds like `T: Serialize` are always satisfied;
+//! * no-op derive macros of the same names (behind the `derive` feature),
+//!   so existing `#[derive(...)]` attributes keep compiling unchanged.
+//!
+//! When real serialization becomes a requirement, replace this stub with the
+//! genuine crate by deleting `vendor/serde*` and the `[workspace.dependencies]`
+//! path overrides — no call-site changes needed.
+
+/// Marker stand-in for `serde::Serialize`. Blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`. Blanket-implemented for all
+/// types. The upstream `'de` lifetime parameter is dropped because no code in
+/// this workspace names it.
+pub trait Deserialize {}
+impl<T: ?Sized> Deserialize for T {}
+
+// Same trick as upstream serde: the derive macros share the traits' names
+// (macro and type namespaces are distinct), so `use serde::{Serialize,
+// Deserialize}` imports both at once.
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,19 @@
+//! No-op derive macros backing the vendored serde stub.
+//!
+//! The stub `serde` crate blanket-implements its marker traits for every
+//! type, so these derives have nothing to emit — they only need to *exist*
+//! for `#[derive(Serialize, Deserialize)]` attributes to resolve. Both still
+//! accept `#[serde(...)]` helper attributes so upstream-style annotations
+//! would not break compilation if they appear later.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
