@@ -1,0 +1,219 @@
+//! Scalar vs vectorized scan benchmark on a paper-scale impression.
+//!
+//! Compares the legacy row-at-a-time oracle (`Predicate::evaluate` +
+//! `compute_aggregate`) against the compile-once vectorized pipeline
+//! (`CompiledPredicate` + scan kernels + fused filter+aggregate) on a
+//! 200k-row table with the SkyServer column mix (ids, coordinates, a
+//! nullable magnitude, a class label).
+//!
+//! This is a hand-rolled harness (not criterion) so it can emit a machine-
+//! readable summary: pass `--json-out <path>` to write a `BENCH_scan.json`
+//! style artifact; CI uploads it to track the perf trajectory. Results are
+//! cross-checked against the oracle before timing, so a silently wrong
+//! kernel cannot post a winning number.
+
+use sciborq_columnar::{
+    compute_aggregate, AggregateKind, CompiledPredicate, DataType, Field, Predicate,
+    RecordBatchBuilder, Schema, Table, Value,
+};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const ROWS: usize = 200_000;
+const ITERS: u32 = 7;
+
+fn build_table() -> Table {
+    let schema = Schema::shared(vec![
+        Field::new("objid", DataType::Int64),
+        Field::new("ra", DataType::Float64),
+        Field::new("dec", DataType::Float64),
+        Field::nullable("r_mag", DataType::Float64),
+        Field::new("class", DataType::Utf8),
+    ])
+    .unwrap();
+    let classes = ["GALAXY", "STAR", "QSO"];
+    let mut b = RecordBatchBuilder::with_capacity(schema.clone(), ROWS);
+    for i in 0..ROWS as i64 {
+        // deterministic pseudo-random mix, cheap and reproducible
+        let h = ((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) % 1_000_000) as f64 / 1_000_000.0;
+        let ra = (i % 3600) as f64 / 10.0;
+        let dec = h * 180.0 - 90.0;
+        let mag = if i % 17 == 0 {
+            Value::Null
+        } else {
+            Value::Float64(14.0 + 10.0 * h)
+        };
+        b.push_row(&[
+            Value::Int64(i),
+            Value::Float64(ra),
+            Value::Float64(dec),
+            mag,
+            Value::Utf8(classes[(i % 3) as usize].to_owned()),
+        ])
+        .unwrap();
+    }
+    let mut t = Table::new("photoobj", schema);
+    t.append_batch(&b.finish().unwrap()).unwrap();
+    t
+}
+
+/// Time `f` over ITERS iterations (after one warm-up) and return the mean
+/// nanoseconds per iteration. The closure returns a checksum that is folded
+/// into a black-box sink so the work cannot be optimised away.
+fn time_ns(mut f: impl FnMut() -> u64) -> f64 {
+    std::hint::black_box(f());
+    let mut sink = 0u64;
+    let start = Instant::now();
+    for _ in 0..ITERS {
+        sink = sink.wrapping_add(f());
+    }
+    let elapsed = start.elapsed().as_nanos() as f64 / ITERS as f64;
+    std::hint::black_box(sink);
+    elapsed
+}
+
+struct BenchRow {
+    name: &'static str,
+    scalar_ns: f64,
+    vectorized_ns: f64,
+}
+
+impl BenchRow {
+    fn speedup(&self) -> f64 {
+        self.scalar_ns / self.vectorized_ns.max(1.0)
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json_out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--json-out" {
+            json_out = it.next().cloned();
+        } else if let Some(path) = arg.strip_prefix("--json-out=") {
+            json_out = Some(path.to_owned());
+        }
+        // other flags (e.g. cargo bench's `--bench`) are ignored
+    }
+
+    let table = build_table();
+    let schema = table.schema();
+    println!(
+        "scan_kernels: scalar oracle vs vectorized pipeline on {} rows ({ITERS} iters/case)\n",
+        table.row_count()
+    );
+
+    let range = Predicate::between("ra", 180.0, 190.0);
+    let cone = Predicate::between("ra", 180.0, 190.0)
+        .and(Predicate::between("dec", -5.0, 5.0))
+        .and(Predicate::lt("r_mag", 20.0));
+    let class_eq = Predicate::eq("class", "GALAXY");
+
+    let mut rows: Vec<BenchRow> = Vec::new();
+
+    // --- selection benchmarks ---------------------------------------------
+    for (name, predicate) in [
+        ("range_scan", &range),
+        ("conjunctive_cone_scan", &cone),
+        ("string_eq_scan", &class_eq),
+    ] {
+        let compiled = CompiledPredicate::compile(predicate, schema).expect("compiles");
+        let expected = predicate.evaluate(&table).expect("oracle").len();
+        assert_eq!(
+            compiled.evaluate(&table).expect("kernels").len(),
+            expected,
+            "{name}: vectorized selection diverges from the oracle"
+        );
+        let scalar_ns = time_ns(|| predicate.evaluate(&table).expect("oracle").len() as u64);
+        let vectorized_ns = time_ns(|| compiled.evaluate(&table).expect("kernels").len() as u64);
+        rows.push(BenchRow {
+            name,
+            scalar_ns,
+            vectorized_ns,
+        });
+    }
+
+    // --- fused filter+aggregate benchmarks --------------------------------
+    {
+        let compiled = CompiledPredicate::compile(&cone, schema).expect("compiles");
+        let oracle_sel = cone.evaluate(&table).expect("oracle");
+        let oracle_count = oracle_sel.len();
+        let (fused_count, _) = compiled.count_matches(&table).expect("fused count");
+        assert_eq!(fused_count, oracle_count, "fused count diverges");
+        let scalar_ns = time_ns(|| cone.evaluate(&table).expect("oracle").len() as u64);
+        let vectorized_ns = time_ns(|| compiled.count_matches(&table).expect("fused").0 as u64);
+        rows.push(BenchRow {
+            name: "fused_filter_count",
+            scalar_ns,
+            vectorized_ns,
+        });
+
+        let oracle_avg = compute_aggregate(&table, Some("r_mag"), AggregateKind::Avg, &oracle_sel)
+            .expect("oracle avg")
+            .value;
+        let (sketch, _) = compiled.filter_moments(&table, "r_mag").expect("fused avg");
+        assert_eq!(
+            oracle_avg,
+            sketch.aggregate(AggregateKind::Avg),
+            "fused AVG diverges"
+        );
+        let scalar_ns = time_ns(|| {
+            let sel = cone.evaluate(&table).expect("oracle");
+            compute_aggregate(&table, Some("r_mag"), AggregateKind::Avg, &sel)
+                .expect("aggregate")
+                .rows as u64
+        });
+        let vectorized_ns = time_ns(|| {
+            compiled
+                .filter_moments(&table, "r_mag")
+                .expect("fused")
+                .0
+                .matched as u64
+        });
+        rows.push(BenchRow {
+            name: "fused_filter_avg",
+            scalar_ns,
+            vectorized_ns,
+        });
+    }
+
+    // --- report ------------------------------------------------------------
+    println!(
+        "{:<24} {:>14} {:>14} {:>9}",
+        "benchmark", "scalar", "vectorized", "speedup"
+    );
+    for row in &rows {
+        println!(
+            "{:<24} {:>12.0}µs {:>12.0}µs {:>8.1}x",
+            row.name,
+            row.scalar_ns / 1e3,
+            row.vectorized_ns / 1e3,
+            row.speedup()
+        );
+    }
+    let all_faster = rows.iter().all(|r| r.vectorized_ns < r.scalar_ns);
+    println!(
+        "\nvectorized path {} the scalar path on every case",
+        if all_faster { "beats" } else { "does NOT beat" }
+    );
+
+    if let Some(path) = json_out {
+        let mut json = String::from("{\n");
+        let _ = writeln!(json, "  \"rows\": {ROWS},");
+        let _ = writeln!(json, "  \"iterations\": {ITERS},");
+        let _ = writeln!(json, "  \"all_vectorized_faster\": {all_faster},");
+        json.push_str("  \"benchmarks\": [\n");
+        for (i, row) in rows.iter().enumerate() {
+            let _ = write!(
+                json,
+                "    {{\"name\": \"{}\", \"scalar_ns\": {:.0}, \"vectorized_ns\": {:.0}, \"speedup\": {:.2}}}",
+                row.name, row.scalar_ns, row.vectorized_ns, row.speedup()
+            );
+            json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+        }
+        json.push_str("  ]\n}\n");
+        std::fs::write(&path, json).expect("write bench summary");
+        println!("wrote summary to {path}");
+    }
+}

@@ -6,7 +6,7 @@
 //! result: who wins, by roughly what factor, and where the crossovers fall.
 
 use crate::setup::{build_dataset, build_predicate_set, render_histogram, Scale};
-use sciborq_columnar::{AggregateKind, Table};
+use sciborq_columnar::Table;
 use sciborq_core::{
     BoundedQueryEngine, EvaluationLevel, LayerHierarchy, QueryBounds, SamplingPolicy, SciborqConfig,
 };
@@ -567,6 +567,9 @@ pub struct EscalationRow {
     pub max_error: f64,
     /// Average number of escalations per query.
     pub mean_escalations: f64,
+    /// Average measured rows scanned per query (summed over all levels the
+    /// engine visited).
+    pub mean_rows_scanned: f64,
     /// Fraction of queries that ended on the base data.
     pub base_data_fraction: f64,
     /// Fraction of queries whose error bound was met.
@@ -605,12 +608,13 @@ pub fn escalation(scale: Scale) -> EscalationSummary {
         .collect();
 
     println!(
-        "{:>12} {:>18} {:>20} {:>18}",
-        "max error", "mean escalations", "base-data fraction", "bound satisfied"
+        "{:>12} {:>18} {:>16} {:>20} {:>18}",
+        "max error", "mean escalations", "rows scanned", "base-data fraction", "bound satisfied"
     );
     let mut rows = Vec::new();
     for max_error in [0.10f64, 0.05, 0.01] {
         let mut escalations = 0usize;
+        let mut rows_scanned = 0u64;
         let mut base_hits = 0usize;
         let mut satisfied = 0usize;
         for query in &queries {
@@ -623,6 +627,7 @@ pub fn escalation(scale: Scale) -> EscalationSummary {
                 )
                 .expect("bounded query");
             escalations += answer.escalations;
+            rows_scanned += answer.rows_scanned;
             if answer.level == EvaluationLevel::BaseData {
                 base_hits += 1;
             }
@@ -633,12 +638,17 @@ pub fn escalation(scale: Scale) -> EscalationSummary {
         let row = EscalationRow {
             max_error,
             mean_escalations: escalations as f64 / queries.len() as f64,
+            mean_rows_scanned: rows_scanned as f64 / queries.len() as f64,
             base_data_fraction: base_hits as f64 / queries.len() as f64,
             satisfied_fraction: satisfied as f64 / queries.len() as f64,
         };
         println!(
-            "{:>12.2} {:>18.2} {:>20.2} {:>18.2}",
-            row.max_error, row.mean_escalations, row.base_data_fraction, row.satisfied_fraction
+            "{:>12.2} {:>18.2} {:>16.0} {:>20.2} {:>18.2}",
+            row.max_error,
+            row.mean_escalations,
+            row.mean_rows_scanned,
+            row.base_data_fraction,
+            row.satisfied_fraction
         );
         rows.push(row);
     }
@@ -736,8 +746,14 @@ pub fn adaptation(scale: Scale) -> AdaptSummary {
 /// One row of the runtime experiment.
 #[derive(Debug, Clone)]
 pub struct RuntimeRow {
-    /// Rows scanned at this level (impression size or base size).
+    /// Rows available at this level (impression size or base size).
     pub rows: usize,
+    /// Measured row positions the scan kernels actually visited while
+    /// answering (candidate refinement makes this less than
+    /// `columns × rows` for conjunctive predicates).
+    pub rows_scanned: u64,
+    /// Number of levels the engine evaluated for the answer.
+    pub levels_visited: usize,
     /// Mean query latency in microseconds.
     pub latency_us: f64,
     /// Observed relative error of the COUNT estimate.
@@ -774,8 +790,8 @@ pub fn runtime_vs_size(scale: Scale) -> RuntimeSummary {
     };
 
     println!(
-        "{:>12} {:>14} {:>16}",
-        "rows", "latency (µs)", "relative error"
+        "{:>12} {:>14} {:>14} {:>8} {:>16}",
+        "rows", "rows scanned", "latency (µs)", "levels", "relative error"
     );
     let mut rows = Vec::new();
     for &size in &sizes {
@@ -785,6 +801,8 @@ pub fn runtime_vs_size(scale: Scale) -> RuntimeSummary {
                 .expect("hierarchy");
         let mut elapsed = 0.0;
         let mut answer_value = 0.0;
+        let mut rows_scanned = 0u64;
+        let mut levels_visited = 0usize;
         for _ in 0..iterations {
             let started = Instant::now();
             let answer = engine
@@ -792,35 +810,49 @@ pub fn runtime_vs_size(scale: Scale) -> RuntimeSummary {
                 .expect("query");
             elapsed += started.elapsed().as_secs_f64() * 1e6;
             answer_value = answer.value.unwrap_or(0.0);
+            rows_scanned = answer.rows_scanned;
+            levels_visited = answer.levels_visited();
         }
         let row = RuntimeRow {
             rows: size,
+            rows_scanned,
+            levels_visited,
             latency_us: elapsed / iterations as f64,
             relative_error: (answer_value - truth).abs() / truth.max(1.0),
         };
         println!(
-            "{:>12} {:>14.1} {:>16.4}",
-            row.rows, row.latency_us, row.relative_error
+            "{:>12} {:>14} {:>14.1} {:>8} {:>16.4}",
+            row.rows, row.rows_scanned, row.latency_us, row.levels_visited, row.relative_error
         );
         rows.push(row);
     }
 
-    // full base scan for reference
+    // full base scan for reference, through the compiled pipeline so the
+    // scan work is measured the same way as the engine's
+    let compiled =
+        sciborq_columnar::CompiledPredicate::compile(&predicate, fact.schema()).expect("compiles");
     let mut elapsed = 0.0;
+    let mut base_scanned = 0u64;
     for _ in 0..iterations {
         let started = Instant::now();
-        let selection = predicate.evaluate(&fact).expect("scan");
-        let _ = sciborq_columnar::compute_aggregate(&fact, None, AggregateKind::Count, &selection);
+        let (_, stats) = compiled.count_matches(&fact).expect("scan");
         elapsed += started.elapsed().as_secs_f64() * 1e6;
+        base_scanned = stats.rows_visited;
     }
     let base_row = RuntimeRow {
         rows: fact.row_count(),
+        rows_scanned: base_scanned,
+        levels_visited: 1,
         latency_us: elapsed / iterations as f64,
         relative_error: 0.0,
     };
     println!(
-        "{:>12} {:>14.1} {:>16.4}   (full base scan)",
-        base_row.rows, base_row.latency_us, base_row.relative_error
+        "{:>12} {:>14} {:>14.1} {:>8} {:>16.4}   (full base scan)",
+        base_row.rows,
+        base_row.rows_scanned,
+        base_row.latency_us,
+        base_row.levels_visited,
+        base_row.relative_error
     );
     rows.push(base_row);
     println!(
@@ -910,6 +942,10 @@ mod tests {
             summary.rows[2].mean_escalations >= summary.rows[0].mean_escalations,
             "1% target should escalate at least as much as 10%"
         );
+        assert!(
+            summary.rows[2].mean_rows_scanned >= summary.rows[0].mean_rows_scanned,
+            "tighter targets must scan at least as many rows"
+        );
         // every query is ultimately satisfied because the base data is reachable
         assert!(summary.rows.iter().all(|r| r.satisfied_fraction > 0.99));
     }
@@ -922,6 +958,9 @@ mod tests {
         let last = summary.rows.last().unwrap();
         assert!(last.rows > first.rows);
         assert_eq!(last.relative_error, 0.0);
+        // measured scan work is reported for every level
+        assert!(summary.rows.iter().all(|r| r.rows_scanned > 0));
+        assert!(summary.rows.iter().all(|r| r.levels_visited >= 1));
     }
 
     #[test]

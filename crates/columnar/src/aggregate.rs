@@ -6,6 +6,7 @@
 //! are compared against.
 
 use crate::error::{ColumnarError, Result};
+use crate::kernels::MomentSketch;
 use crate::selection::SelectionVector;
 use crate::table::Table;
 use serde::{Deserialize, Serialize};
@@ -76,30 +77,25 @@ pub fn compute_aggregate(
     let column = column.ok_or_else(|| {
         ColumnarError::InvalidArgument(format!("aggregate {kind} requires a column"))
     })?;
-    let values = table.numeric_values(column, selection)?;
-    let rows = values.len();
-    let value = match kind {
-        AggregateKind::Count => unreachable!("handled above"),
-        AggregateKind::Sum => Some(values.iter().sum::<f64>()),
-        AggregateKind::Avg => {
-            if rows == 0 {
-                None
-            } else {
-                Some(values.iter().sum::<f64>() / rows as f64)
-            }
+    // Fold the selected values through the same moment accumulator the fused
+    // filter+aggregate kernels use, so the scalar and vectorized paths are
+    // bit-identical (identical fold order and operations).
+    let col = table.column(column)?;
+    if !col.data_type().is_numeric() {
+        return Err(ColumnarError::NotNumeric(column.to_owned()));
+    }
+    let mut sketch = MomentSketch::new();
+    for row in selection.iter() {
+        match col.get_f64(row) {
+            Some(v) => sketch.push(v),
+            None => sketch.push_null(),
         }
-        AggregateKind::Min => values.iter().copied().reduce(f64::min),
-        AggregateKind::Max => values.iter().copied().reduce(f64::max),
-        AggregateKind::Variance => {
-            if rows == 0 {
-                None
-            } else {
-                let mean = values.iter().sum::<f64>() / rows as f64;
-                Some(values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / rows as f64)
-            }
-        }
-    };
-    Ok(AggregateResult { kind, value, rows })
+    }
+    Ok(AggregateResult {
+        kind,
+        value: sketch.aggregate(kind),
+        rows: sketch.value_rows(),
+    })
 }
 
 /// Compute grouped aggregates: one [`AggregateResult`] per distinct value of

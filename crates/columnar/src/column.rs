@@ -229,12 +229,27 @@ impl Column {
         self.len() - self.validity().count_set()
     }
 
-    fn validity(&self) -> &Bitmap {
+    /// The validity bitmap (cleared bits are NULL rows).
+    ///
+    /// The scan kernels read this directly; use [`Column::validity_ref`] to
+    /// get `None` for all-valid columns so kernels can skip the bitmap test.
+    pub fn validity(&self) -> &Bitmap {
         match self {
             Column::Int64 { validity, .. } => validity,
             Column::Float64 { validity, .. } => validity,
             Column::Bool { validity, .. } => validity,
             Column::Utf8 { validity, .. } => validity,
+        }
+    }
+
+    /// The validity bitmap, or `None` when every row is valid — the form the
+    /// scan kernels consume (an absent bitmap lets the tight loops skip the
+    /// per-row validity test entirely).
+    pub fn validity_ref(&self) -> Option<&Bitmap> {
+        if self.null_count() == 0 {
+            None
+        } else {
+            Some(self.validity())
         }
     }
 
@@ -405,6 +420,23 @@ impl Column {
     pub fn i64_slice(&self) -> Option<&[i64]> {
         match self {
             Column::Int64 { values, .. } => Some(values),
+            _ => None,
+        }
+    }
+
+    /// Borrow the raw `bool` slice when the column is a Bool column.
+    pub fn bool_slice(&self) -> Option<&[bool]> {
+        match self {
+            Column::Bool { values, .. } => Some(values),
+            _ => None,
+        }
+    }
+
+    /// Borrow the raw `String` slice when the column is a Utf8 column — the
+    /// zero-clone access path of the string scan kernels.
+    pub fn utf8_slice(&self) -> Option<&[String]> {
+        match self {
+            Column::Utf8 { values, .. } => Some(values),
             _ => None,
         }
     }

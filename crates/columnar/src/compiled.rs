@@ -1,0 +1,894 @@
+//! Compile-once predicates for the vectorized execution pipeline.
+//!
+//! [`CompiledPredicate::compile`] resolves a [`Predicate`] against a
+//! [`Schema`] exactly once per query: column names become column indices,
+//! literals are type-checked and widened to the column's comparison type,
+//! `BETWEEN` becomes a one-pass range node, and type mismatches become lazy
+//! error nodes that preserve the scalar oracle's semantics (a mismatching
+//! literal only errors when a non-NULL row exists). Evaluation then runs the
+//! typed tight-loop kernels from [`crate::kernels`] over the raw column
+//! vectors.
+//!
+//! Conjunctions are executed MonetDB-style: the first predicate scans the
+//! full column, every later predicate only visits the surviving candidate
+//! rows. The fused entry points ([`CompiledPredicate::count_matches`] and
+//! [`CompiledPredicate::filter_moments`]) go one step further and never
+//! materialise the final selection: the last predicate of the conjunction
+//! streams matching rows directly into a count or a [`MomentSketch`].
+//!
+//! Semantics match `Predicate::evaluate` (the scalar oracle) with one
+//! documented exception: a NaN stored in a Float64 *cell* is rejected lazily
+//! — only when a kernel actually visits that row — whereas the oracle's
+//! full-column scans always visit it. Candidate refinement can therefore
+//! skip a poisoned row that a full scan would have rejected. NaN data is out
+//! of contract; NaN *constants* are handled with full oracle parity.
+
+use crate::column::Column;
+use crate::error::{ColumnarError, Result};
+use crate::expr::{CompareOp, Predicate};
+use crate::kernels::{
+    any_valid, scan_all, scan_cmp_bool, scan_cmp_f64, scan_cmp_i64, scan_cmp_i64_f64, scan_cmp_str,
+    scan_is_not_null, scan_is_null, scan_range_bool, scan_range_f64, scan_range_i64,
+    scan_range_str, AggSource, CountSink, MomentSink, MomentSketch, NumBound, ScanDomain,
+    SelectionSink,
+};
+use crate::schema::SchemaRef;
+use crate::selection::SelectionVector;
+use crate::table::Table;
+use crate::value::{DataType, Value};
+use std::sync::Arc;
+
+/// Measured scan work performed by a compiled evaluation.
+///
+/// `rows_visited` counts every row position a kernel pass actually touched;
+/// with candidate refinement, later predicates of a conjunction visit fewer
+/// rows, so this is *measured* work, not `columns × row_count`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Total row positions visited across all kernel passes.
+    pub rows_visited: u64,
+}
+
+impl ScanStats {
+    #[inline]
+    fn visit(&mut self, rows: usize) {
+        self.rows_visited += rows as u64;
+    }
+}
+
+/// A compiled predicate node. Column indices are bound and constants are
+/// pre-widened, so evaluation needs no name resolution and no `Value`
+/// materialisation.
+#[derive(Debug, Clone, PartialEq)]
+enum Node {
+    /// Matches every row.
+    All,
+    /// Matches no row.
+    Nothing,
+    /// Int64 column vs integer literal: exact 64-bit comparison.
+    CmpI64 {
+        col: usize,
+        op: CompareOp,
+        bound: i64,
+    },
+    /// Int64 column vs float literal: cells widened per row.
+    CmpI64F {
+        col: usize,
+        op: CompareOp,
+        bound: f64,
+    },
+    /// Float64 column vs numeric literal (widened at compile time).
+    CmpF64 {
+        col: usize,
+        op: CompareOp,
+        bound: f64,
+    },
+    /// Bool column vs boolean literal.
+    CmpBool {
+        col: usize,
+        op: CompareOp,
+        bound: bool,
+    },
+    /// Utf8 column vs string literal (compared by reference).
+    CmpStr {
+        col: usize,
+        op: CompareOp,
+        bound: String,
+    },
+    /// One-pass inclusive range over an Int64 column.
+    RangeI64 {
+        col: usize,
+        low: NumBound,
+        high: NumBound,
+    },
+    /// One-pass inclusive range over a Float64 column.
+    RangeF64 { col: usize, low: f64, high: f64 },
+    /// One-pass inclusive range over a Utf8 column.
+    RangeStr {
+        col: usize,
+        low: String,
+        high: String,
+    },
+    /// One-pass inclusive range over a Bool column.
+    RangeBool { col: usize, low: bool, high: bool },
+    /// `column IS NULL`.
+    IsNull { col: usize },
+    /// `column IS NOT NULL`.
+    IsNotNull { col: usize },
+    /// A literal whose type cannot be compared against the column (or an
+    /// unordered NaN literal): errors as soon as any non-NULL row exists in
+    /// the column, otherwise selects nothing — the oracle's lazy mismatch
+    /// semantics.
+    ErrOnValid { col: usize, found: &'static str },
+    /// Conjunction, executed with candidate-list refinement.
+    And(Vec<Node>),
+    /// Disjunction (children evaluated over the same domain, results
+    /// unioned).
+    Or(Vec<Node>),
+    /// Negation (complement within the current domain).
+    Not(Box<Node>),
+}
+
+/// A predicate compiled against a schema, ready for vectorized evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledPredicate {
+    schema: SchemaRef,
+    root: Node,
+}
+
+impl CompiledPredicate {
+    /// Compile a predicate against a schema. Column lookups happen here,
+    /// once; evaluation only indexes.
+    pub fn compile(predicate: &Predicate, schema: &SchemaRef) -> Result<Self> {
+        let root = compile_node(predicate, schema)?;
+        Ok(CompiledPredicate {
+            schema: Arc::clone(schema),
+            root,
+        })
+    }
+
+    /// The schema this predicate was compiled against.
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    /// Whether the predicate can run against tables with this schema.
+    pub fn matches_schema(&self, schema: &SchemaRef) -> bool {
+        Arc::ptr_eq(&self.schema, schema) || self.schema.fields() == schema.fields()
+    }
+
+    fn check_table(&self, table: &Table) -> Result<()> {
+        if self.matches_schema(table.schema()) {
+            Ok(())
+        } else {
+            Err(ColumnarError::SchemaMismatch(format!(
+                "predicate compiled against {} cannot run on table {} with schema {}",
+                self.schema,
+                table.name(),
+                table.schema()
+            )))
+        }
+    }
+
+    /// Evaluate to a selection vector (vectorized equivalent of
+    /// `Predicate::evaluate`).
+    pub fn evaluate(&self, table: &Table) -> Result<SelectionVector> {
+        self.evaluate_with_stats(table).map(|(sel, _)| sel)
+    }
+
+    /// Evaluate to a selection vector, also reporting measured scan work.
+    pub fn evaluate_with_stats(&self, table: &Table) -> Result<(SelectionVector, ScanStats)> {
+        self.check_table(table)?;
+        let mut stats = ScanStats::default();
+        let sel = eval_node(
+            &self.root,
+            table,
+            ScanDomain::Full(table.row_count()),
+            &mut stats,
+        )?;
+        Ok((sel, stats))
+    }
+
+    /// Fused filter+count: the number of matching rows, without
+    /// materialising a selection vector.
+    pub fn count_matches(&self, table: &Table) -> Result<(usize, ScanStats)> {
+        self.check_table(table)?;
+        let mut stats = ScanStats::default();
+        let mut sink = CountSink::default();
+        self.run_fused(table, &mut sink, &mut stats)?;
+        Ok((sink.0, stats))
+    }
+
+    /// Fused filter+aggregate: stream the aggregated column's values of
+    /// every matching row into a [`MomentSketch`] in a single pass, without
+    /// materialising a selection vector.
+    ///
+    /// `column` must be numeric (Int64 or Float64).
+    pub fn filter_moments(&self, table: &Table, column: &str) -> Result<(MomentSketch, ScanStats)> {
+        self.check_table(table)?;
+        let col = table.column(column)?;
+        let source = match col {
+            Column::Int64 { .. } => AggSource::I64(
+                col.i64_slice().expect("Int64 column has i64 values"),
+                col.validity_ref(),
+            ),
+            Column::Float64 { .. } => AggSource::F64(
+                col.f64_slice().expect("Float64 column has f64 values"),
+                col.validity_ref(),
+            ),
+            _ => return Err(ColumnarError::NotNumeric(column.to_owned())),
+        };
+        let mut stats = ScanStats::default();
+        let mut sink = MomentSink::new(source);
+        self.run_fused(table, &mut sink, &mut stats)?;
+        Ok((sink.sketch, stats))
+    }
+
+    /// Run the predicate with the conjunction prefix refined into candidate
+    /// lists and the *last* conjunct streamed into `sink`.
+    fn run_fused<S: SelectionSink>(
+        &self,
+        table: &Table,
+        sink: &mut S,
+        stats: &mut ScanStats,
+    ) -> Result<()> {
+        let full = ScanDomain::Full(table.row_count());
+        let (prefix, last): (&[Node], &Node) = match &self.root {
+            Node::And(children) if !children.is_empty() => (
+                &children[..children.len() - 1],
+                children.last().expect("non-empty"),
+            ),
+            other => (&[], other),
+        };
+        let mut candidates: Option<SelectionVector> = None;
+        for child in prefix {
+            let domain = match &candidates {
+                None => full,
+                Some(sel) => ScanDomain::Candidates(sel.rows()),
+            };
+            // mirror the oracle: an empty running selection short-circuits
+            // the conjunction before the next conjunct is evaluated
+            if domain.is_empty() {
+                return Ok(());
+            }
+            candidates = Some(eval_node(child, table, domain, stats)?);
+        }
+        if candidates.as_ref().is_some_and(|sel| sel.is_empty()) {
+            return Ok(());
+        }
+        let domain = match &candidates {
+            None => full,
+            Some(sel) => ScanDomain::Candidates(sel.rows()),
+        };
+        run_terminal(last, table, domain, sink, stats)
+    }
+}
+
+fn literal_name(value: &Value) -> &'static str {
+    value.type_name()
+}
+
+/// Compile a `Compare` leaf.
+fn compile_compare(col: usize, col_type: DataType, op: CompareOp, value: &Value) -> Node {
+    match (col_type, value) {
+        // NULL literals never match anything (SQL semantics)
+        (_, Value::Null) => Node::Nothing,
+        (DataType::Int64, Value::Int64(v)) => Node::CmpI64 { col, op, bound: *v },
+        (DataType::Int64, Value::Float64(v)) if v.is_nan() => Node::ErrOnValid {
+            col,
+            found: literal_name(value),
+        },
+        (DataType::Int64, Value::Float64(v)) => Node::CmpI64F { col, op, bound: *v },
+        (DataType::Float64, Value::Int64(v)) => Node::CmpF64 {
+            col,
+            op,
+            bound: *v as f64,
+        },
+        (DataType::Float64, Value::Float64(v)) if v.is_nan() => Node::ErrOnValid {
+            col,
+            found: literal_name(value),
+        },
+        (DataType::Float64, Value::Float64(v)) => Node::CmpF64 { col, op, bound: *v },
+        (DataType::Bool, Value::Bool(v)) => Node::CmpBool { col, op, bound: *v },
+        (DataType::Utf8, Value::Utf8(v)) => Node::CmpStr {
+            col,
+            op,
+            bound: v.clone(),
+        },
+        _ => Node::ErrOnValid {
+            col,
+            found: literal_name(value),
+        },
+    }
+}
+
+/// Numeric bound compiled from a literal, or `None` when the literal cannot
+/// be compared against the column.
+fn numeric_bound(col_type: DataType, value: &Value) -> Option<NumBound> {
+    match (col_type, value) {
+        (DataType::Int64, Value::Int64(v)) => Some(NumBound::I64(*v)),
+        (DataType::Int64, Value::Float64(v)) | (DataType::Float64, Value::Float64(v)) => {
+            Some(NumBound::F64(*v))
+        }
+        (DataType::Float64, Value::Int64(v)) => Some(NumBound::F64(*v as f64)),
+        _ => None,
+    }
+}
+
+/// Compile a `Between` leaf into a one-pass range node, preserving the
+/// oracle's semantics for NULL and mismatching bounds.
+fn compile_between(col: usize, col_type: DataType, low: &Value, high: &Value) -> Node {
+    // A bound of a type the column cannot be compared against poisons the
+    // whole range (lazily, like the oracle). NULL bounds make the range
+    // empty but do not suppress the *other* bound's type error.
+    let bound_err = |value: &Value| -> Option<Node> {
+        if value.is_null() {
+            return None;
+        }
+        let compatible = match col_type {
+            DataType::Int64 | DataType::Float64 => numeric_bound(col_type, value).is_some(),
+            DataType::Bool => matches!(value, Value::Bool(_)),
+            DataType::Utf8 => matches!(value, Value::Utf8(_)),
+        };
+        let nan = matches!(value, Value::Float64(v) if v.is_nan());
+        if !compatible || nan {
+            Some(Node::ErrOnValid {
+                col,
+                found: literal_name(value),
+            })
+        } else {
+            None
+        }
+    };
+    if let Some(err) = bound_err(low) {
+        return err;
+    }
+    if let Some(err) = bound_err(high) {
+        return err;
+    }
+    if low.is_null() || high.is_null() {
+        return Node::Nothing;
+    }
+    match col_type {
+        DataType::Int64 => Node::RangeI64 {
+            col,
+            low: numeric_bound(col_type, low).expect("checked compatible"),
+            high: numeric_bound(col_type, high).expect("checked compatible"),
+        },
+        DataType::Float64 => Node::RangeF64 {
+            col,
+            low: low.as_f64().expect("checked compatible"),
+            high: high.as_f64().expect("checked compatible"),
+        },
+        DataType::Bool => Node::RangeBool {
+            col,
+            low: low.as_bool().expect("checked compatible"),
+            high: high.as_bool().expect("checked compatible"),
+        },
+        DataType::Utf8 => Node::RangeStr {
+            col,
+            low: low.as_str().expect("checked compatible").to_owned(),
+            high: high.as_str().expect("checked compatible").to_owned(),
+        },
+    }
+}
+
+fn compile_node(predicate: &Predicate, schema: &SchemaRef) -> Result<Node> {
+    Ok(match predicate {
+        Predicate::True => Node::All,
+        Predicate::False => Node::Nothing,
+        Predicate::Compare { column, op, value } => {
+            let col = schema.index_of(column)?;
+            let col_type = schema.fields()[col].data_type;
+            compile_compare(col, col_type, *op, value)
+        }
+        Predicate::Between { column, low, high } => {
+            let col = schema.index_of(column)?;
+            let col_type = schema.fields()[col].data_type;
+            compile_between(col, col_type, low, high)
+        }
+        Predicate::IsNull(column) => Node::IsNull {
+            col: schema.index_of(column)?,
+        },
+        Predicate::IsNotNull(column) => Node::IsNotNull {
+            col: schema.index_of(column)?,
+        },
+        Predicate::And(ps) => Node::And(
+            ps.iter()
+                .map(|p| compile_node(p, schema))
+                .collect::<Result<Vec<_>>>()?,
+        ),
+        Predicate::Or(ps) => Node::Or(
+            ps.iter()
+                .map(|p| compile_node(p, schema))
+                .collect::<Result<Vec<_>>>()?,
+        ),
+        Predicate::Not(p) => Node::Not(Box::new(compile_node(p, schema)?)),
+    })
+}
+
+fn mismatch_error(table: &Table, col: usize, found: &'static str) -> ColumnarError {
+    let field = &table.schema().fields()[col];
+    ColumnarError::TypeMismatch {
+        column: field.name.clone(),
+        expected: field.data_type.name(),
+        found,
+    }
+}
+
+fn column_at(table: &Table, col: usize) -> &Column {
+    table
+        .column_at(col)
+        .expect("compiled column index within schema")
+}
+
+/// Materialise the domain itself as a selection (the `TRUE` node).
+fn domain_selection(domain: ScanDomain) -> SelectionVector {
+    match domain {
+        ScanDomain::Full(len) => SelectionVector::all(len),
+        ScanDomain::Candidates(rows) => SelectionVector::from_sorted_rows(rows.to_vec()),
+    }
+}
+
+/// Set difference `domain \ sel` (both sorted): the NOT combinator within a
+/// domain.
+fn domain_minus(domain: ScanDomain, sel: &SelectionVector) -> SelectionVector {
+    match domain {
+        ScanDomain::Full(len) => sel.complement(len),
+        ScanDomain::Candidates(rows) => {
+            let mut out = Vec::with_capacity(rows.len().saturating_sub(sel.len()));
+            let mut excluded = sel.rows().iter().peekable();
+            for &row in rows {
+                while let Some(&&e) = excluded.peek() {
+                    if e < row {
+                        excluded.next();
+                    } else {
+                        break;
+                    }
+                }
+                if excluded.peek() != Some(&&row) {
+                    out.push(row);
+                }
+            }
+            SelectionVector::from_sorted_rows(out)
+        }
+    }
+}
+
+/// Evaluate a node into a materialised selection over the given domain.
+fn eval_node(
+    node: &Node,
+    table: &Table,
+    domain: ScanDomain,
+    stats: &mut ScanStats,
+) -> Result<SelectionVector> {
+    match node {
+        Node::And(children) => {
+            // The oracle evaluates every conjunct against the full table and
+            // breaks out as soon as the running intersection is empty —
+            // skipping errors the remaining conjuncts would raise. Candidate
+            // refinement is only equivalent when the running selection
+            // coincides with the oracle's (a Full domain); a *nested* AND
+            // reached through a candidate list must therefore evaluate over
+            // the full table and intersect, or its short-circuit would
+            // trigger on candidate emptiness instead of full-table
+            // emptiness.
+            if let ScanDomain::Candidates(_) = domain {
+                let full = eval_node(node, table, ScanDomain::Full(table.row_count()), stats)?;
+                return Ok(domain_selection(domain).intersect(&full));
+            }
+            let mut current: Option<SelectionVector> = None;
+            for child in children {
+                let dom = match &current {
+                    None => domain,
+                    Some(sel) => ScanDomain::Candidates(sel.rows()),
+                };
+                if dom.is_empty() {
+                    break;
+                }
+                current = Some(eval_node(child, table, dom, stats)?);
+            }
+            Ok(current.unwrap_or_else(|| domain_selection(domain)))
+        }
+        Node::Or(children) => {
+            let mut acc = SelectionVector::empty();
+            for child in children {
+                acc = acc.union(&eval_node(child, table, domain, stats)?);
+            }
+            Ok(acc)
+        }
+        Node::Not(child) => {
+            let sel = eval_node(child, table, domain, stats)?;
+            Ok(domain_minus(domain, &sel))
+        }
+        leaf => {
+            let mut rows: Vec<usize> = Vec::new();
+            run_leaf(leaf, table, domain, &mut rows, stats)?;
+            Ok(SelectionVector::from_sorted_rows(rows))
+        }
+    }
+}
+
+/// Run the terminal stage of a fused scan: a leaf streams matches straight
+/// into the sink; a composite node falls back to materialising its
+/// selection and replaying it into the sink.
+fn run_terminal<S: SelectionSink>(
+    node: &Node,
+    table: &Table,
+    domain: ScanDomain,
+    sink: &mut S,
+    stats: &mut ScanStats,
+) -> Result<()> {
+    match node {
+        Node::And(_) | Node::Or(_) | Node::Not(_) => {
+            let sel = eval_node(node, table, domain, stats)?;
+            for row in sel.iter() {
+                sink.accept(row);
+            }
+            Ok(())
+        }
+        leaf => run_leaf(leaf, table, domain, sink, stats),
+    }
+}
+
+/// Dispatch a leaf node to its typed kernel.
+fn run_leaf<S: SelectionSink>(
+    node: &Node,
+    table: &Table,
+    domain: ScanDomain,
+    sink: &mut S,
+    stats: &mut ScanStats,
+) -> Result<()> {
+    match node {
+        Node::All => {
+            stats.visit(domain.len());
+            scan_all(domain, sink);
+            Ok(())
+        }
+        Node::Nothing => Ok(()),
+        Node::CmpI64 { col, op, bound } => {
+            stats.visit(domain.len());
+            let c = column_at(table, *col);
+            scan_cmp_i64(
+                c.i64_slice().expect("Int64 column"),
+                c.validity_ref(),
+                domain,
+                *op,
+                *bound,
+                sink,
+            );
+            Ok(())
+        }
+        Node::CmpI64F { col, op, bound } => {
+            stats.visit(domain.len());
+            let c = column_at(table, *col);
+            scan_cmp_i64_f64(
+                c.i64_slice().expect("Int64 column"),
+                c.validity_ref(),
+                domain,
+                *op,
+                *bound,
+                sink,
+            )
+            .map_err(|_| mismatch_error(table, *col, "Float64"))
+        }
+        Node::CmpF64 { col, op, bound } => {
+            stats.visit(domain.len());
+            let c = column_at(table, *col);
+            scan_cmp_f64(
+                c.f64_slice().expect("Float64 column"),
+                c.validity_ref(),
+                domain,
+                *op,
+                *bound,
+                sink,
+            )
+            .map_err(|_| mismatch_error(table, *col, "Float64"))
+        }
+        Node::CmpBool { col, op, bound } => {
+            stats.visit(domain.len());
+            let c = column_at(table, *col);
+            scan_cmp_bool(
+                c.bool_slice().expect("Bool column"),
+                c.validity_ref(),
+                domain,
+                *op,
+                *bound,
+                sink,
+            );
+            Ok(())
+        }
+        Node::CmpStr { col, op, bound } => {
+            stats.visit(domain.len());
+            let c = column_at(table, *col);
+            scan_cmp_str(
+                c.utf8_slice().expect("Utf8 column"),
+                c.validity_ref(),
+                domain,
+                *op,
+                bound,
+                sink,
+            );
+            Ok(())
+        }
+        Node::RangeI64 { col, low, high } => {
+            stats.visit(domain.len());
+            let c = column_at(table, *col);
+            scan_range_i64(
+                c.i64_slice().expect("Int64 column"),
+                c.validity_ref(),
+                domain,
+                *low,
+                *high,
+                sink,
+            )
+            .map_err(|_| mismatch_error(table, *col, "Float64"))
+        }
+        Node::RangeF64 { col, low, high } => {
+            stats.visit(domain.len());
+            let c = column_at(table, *col);
+            scan_range_f64(
+                c.f64_slice().expect("Float64 column"),
+                c.validity_ref(),
+                domain,
+                *low,
+                *high,
+                sink,
+            )
+            .map_err(|_| mismatch_error(table, *col, "Float64"))
+        }
+        Node::RangeStr { col, low, high } => {
+            stats.visit(domain.len());
+            let c = column_at(table, *col);
+            scan_range_str(
+                c.utf8_slice().expect("Utf8 column"),
+                c.validity_ref(),
+                domain,
+                low,
+                high,
+                sink,
+            );
+            Ok(())
+        }
+        Node::RangeBool { col, low, high } => {
+            stats.visit(domain.len());
+            let c = column_at(table, *col);
+            scan_range_bool(
+                c.bool_slice().expect("Bool column"),
+                c.validity_ref(),
+                domain,
+                *low,
+                *high,
+                sink,
+            );
+            Ok(())
+        }
+        Node::IsNull { col } => {
+            stats.visit(domain.len());
+            let c = column_at(table, *col);
+            scan_is_null(c.validity_ref(), domain, sink);
+            Ok(())
+        }
+        Node::IsNotNull { col } => {
+            stats.visit(domain.len());
+            let c = column_at(table, *col);
+            scan_is_not_null(c.validity_ref(), domain, sink);
+            Ok(())
+        }
+        Node::ErrOnValid { col, found } => {
+            // the oracle scans the full column and errors on the first
+            // non-NULL row, regardless of the candidate list
+            let c = column_at(table, *col);
+            stats.visit(c.len());
+            if any_valid(c.validity_ref(), ScanDomain::Full(c.len())) {
+                Err(mismatch_error(table, *col, found))
+            } else {
+                Ok(())
+            }
+        }
+        Node::And(_) | Node::Or(_) | Node::Not(_) => {
+            unreachable!("composite nodes are handled by eval_node/run_terminal")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::{compute_aggregate, AggregateKind};
+    use crate::schema::{Field, Schema};
+
+    fn test_table() -> Table {
+        let schema = Schema::shared(vec![
+            Field::new("objid", DataType::Int64),
+            Field::new("ra", DataType::Float64),
+            Field::nullable("r_mag", DataType::Float64),
+            Field::new("class", DataType::Utf8),
+        ])
+        .unwrap();
+        let mut t = Table::new("photoobj", schema);
+        let rows: Vec<Vec<Value>> = vec![
+            vec![1.into(), 180.0.into(), 17.2.into(), "GALAXY".into()],
+            vec![2.into(), 185.5.into(), Value::Null, "STAR".into()],
+            vec![3.into(), 190.0.into(), 19.0.into(), "GALAXY".into()],
+            vec![4.into(), 200.0.into(), 21.5.into(), "QSO".into()],
+            vec![5.into(), 170.0.into(), 16.0.into(), "STAR".into()],
+        ];
+        for r in rows {
+            t.append_row(&r).unwrap();
+        }
+        t
+    }
+
+    fn compiled(p: &Predicate, t: &Table) -> CompiledPredicate {
+        CompiledPredicate::compile(p, t.schema()).unwrap()
+    }
+
+    #[test]
+    fn matches_oracle_on_basic_shapes() {
+        let t = test_table();
+        let predicates = vec![
+            Predicate::True,
+            Predicate::False,
+            Predicate::between("ra", 175.0, 191.0),
+            Predicate::eq("class", "GALAXY"),
+            Predicate::gt("ra", 185),
+            Predicate::lt("r_mag", 100.0),
+            Predicate::IsNull("r_mag".into()),
+            Predicate::IsNotNull("r_mag".into()),
+            Predicate::eq("class", "GALAXY").and(Predicate::lt("ra", 185.0)),
+            Predicate::eq("class", "QSO").or(Predicate::eq("class", "STAR")),
+            Predicate::eq("class", "GALAXY").negate(),
+            Predicate::between("objid", 2, 4).and(Predicate::gt("r_mag", 18.0)),
+            Predicate::eq("r_mag", Value::Null),
+        ];
+        for p in predicates {
+            let oracle = p.evaluate(&t).unwrap();
+            let fast = compiled(&p, &t).evaluate(&t).unwrap();
+            assert_eq!(oracle, fast, "predicate {p}");
+        }
+    }
+
+    #[test]
+    fn unknown_column_fails_at_compile_time() {
+        let t = test_table();
+        assert!(matches!(
+            CompiledPredicate::compile(&Predicate::eq("missing", 1), t.schema()),
+            Err(ColumnarError::ColumnNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn type_mismatch_is_lazy_like_the_oracle() {
+        let t = test_table();
+        let p = Predicate::eq("class", 5);
+        let c = compiled(&p, &t);
+        assert!(matches!(
+            c.evaluate(&t),
+            Err(ColumnarError::TypeMismatch { .. })
+        ));
+        // but an all-NULL column never raises the mismatch
+        let schema = Schema::shared(vec![Field::nullable("x", DataType::Utf8)]).unwrap();
+        let mut empty = Table::new("t", schema);
+        empty.append_row(&[Value::Null]).unwrap();
+        let p = Predicate::eq("x", 5);
+        assert!(p.evaluate(&empty).unwrap().is_empty());
+        let c = CompiledPredicate::compile(&p, empty.schema()).unwrap();
+        assert!(c.evaluate(&empty).unwrap().is_empty());
+    }
+
+    #[test]
+    fn and_short_circuits_before_mismatch_like_the_oracle() {
+        let t = test_table();
+        let p = Predicate::eq("class", "NO_SUCH").and(Predicate::eq("ra", "not a number"));
+        assert!(p.evaluate(&t).unwrap().is_empty());
+        assert!(compiled(&p, &t).evaluate(&t).unwrap().is_empty());
+        // without the short circuit the mismatch fires on both paths
+        let p = Predicate::eq("class", "GALAXY").and(Predicate::eq("ra", "not a number"));
+        assert!(p.evaluate(&t).is_err());
+        assert!(compiled(&p, &t).evaluate(&t).is_err());
+    }
+
+    #[test]
+    fn nan_literal_errors_with_valid_rows() {
+        let t = test_table();
+        let p = Predicate::gt("ra", f64::NAN);
+        assert!(p.evaluate(&t).is_err());
+        assert!(compiled(&p, &t).evaluate(&t).is_err());
+    }
+
+    #[test]
+    fn between_null_bound_is_empty_but_checks_other_bound() {
+        let t = test_table();
+        let p = Predicate::between("ra", Value::Null, 190.0);
+        assert!(p.evaluate(&t).unwrap().is_empty());
+        assert!(compiled(&p, &t).evaluate(&t).unwrap().is_empty());
+        let p = Predicate::between("ra", Value::Null, "oops");
+        assert!(p.evaluate(&t).is_err());
+        assert!(compiled(&p, &t).evaluate(&t).is_err());
+    }
+
+    #[test]
+    fn fused_count_matches_selection_len() {
+        let t = test_table();
+        for p in [
+            Predicate::between("ra", 175.0, 191.0),
+            Predicate::eq("class", "GALAXY").and(Predicate::lt("ra", 185.0)),
+            Predicate::True,
+            Predicate::False,
+            Predicate::eq("class", "QSO").or(Predicate::eq("class", "STAR")),
+        ] {
+            let c = compiled(&p, &t);
+            let (count, _) = c.count_matches(&t).unwrap();
+            assert_eq!(count, c.evaluate(&t).unwrap().len(), "predicate {p}");
+        }
+    }
+
+    #[test]
+    fn fused_moments_match_compute_aggregate() {
+        let t = test_table();
+        let p = Predicate::between("ra", 175.0, 200.0);
+        let c = compiled(&p, &t);
+        let sel = p.evaluate(&t).unwrap();
+        let (sketch, _) = c.filter_moments(&t, "r_mag").unwrap();
+        for kind in [
+            AggregateKind::Count,
+            AggregateKind::Sum,
+            AggregateKind::Avg,
+            AggregateKind::Min,
+            AggregateKind::Max,
+            AggregateKind::Variance,
+        ] {
+            let column = if kind == AggregateKind::Count {
+                None
+            } else {
+                Some("r_mag")
+            };
+            let exact = compute_aggregate(&t, column, kind, &sel).unwrap();
+            assert_eq!(exact.value, sketch.aggregate(kind), "kind {kind}");
+        }
+    }
+
+    #[test]
+    fn fused_moments_reject_string_columns() {
+        let t = test_table();
+        let c = compiled(&Predicate::True, &t);
+        assert!(matches!(
+            c.filter_moments(&t, "class"),
+            Err(ColumnarError::NotNumeric(_))
+        ));
+    }
+
+    #[test]
+    fn conjunction_refinement_visits_fewer_rows() {
+        let t = test_table();
+        let p = Predicate::between("ra", 175.0, 191.0).and(Predicate::eq("class", "GALAXY"));
+        let c = compiled(&p, &t);
+        let (sel, stats) = c.evaluate_with_stats(&t).unwrap();
+        assert_eq!(sel.rows(), &[0, 2]);
+        // first pass visits all 5 rows, second only the 3 candidates
+        assert_eq!(stats.rows_visited, 8);
+    }
+
+    #[test]
+    fn schema_mismatch_rejected_at_evaluation() {
+        let t = test_table();
+        let other_schema = Schema::shared(vec![Field::new("x", DataType::Int64)]).unwrap();
+        let other = Table::new("other", other_schema);
+        let c = compiled(&Predicate::True, &t);
+        assert!(c.evaluate(&other).is_err());
+        assert!(c.matches_schema(t.schema()));
+        assert!(!c.matches_schema(other.schema()));
+    }
+
+    #[test]
+    fn not_within_candidates() {
+        let t = test_table();
+        let p =
+            Predicate::between("ra", 175.0, 191.0).and(Predicate::eq("class", "GALAXY").negate());
+        let oracle = p.evaluate(&t).unwrap();
+        let fast = compiled(&p, &t).evaluate(&t).unwrap();
+        assert_eq!(oracle, fast);
+        assert_eq!(fast.rows(), &[1]);
+    }
+}

@@ -229,6 +229,18 @@ impl Predicate {
                     return Ok(SelectionVector::empty());
                 }
                 let mut rows = Vec::new();
+                // String equality/comparison without cloning: compare the
+                // stored `&str` against the constant instead of
+                // materialising a `Value::Utf8` (and its String clone) per
+                // row.
+                if let (Some(values), Value::Utf8(constant)) = (col.utf8_slice(), value) {
+                    for (idx, cell) in values.iter().enumerate() {
+                        if !col.is_null(idx) && op.evaluate(cell.as_str().cmp(constant.as_str())) {
+                            rows.push(idx);
+                        }
+                    }
+                    return Ok(SelectionVector::from_sorted_rows(rows));
+                }
                 for idx in 0..len {
                     let cell = col.get(idx)?;
                     if cell.is_null() {
@@ -249,17 +261,66 @@ impl Predicate {
                 Ok(SelectionVector::from_sorted_rows(rows))
             }
             Predicate::Between { column, low, high } => {
-                let ge = Predicate::Compare {
-                    column: column.clone(),
-                    op: CompareOp::GtEq,
-                    value: low.clone(),
-                };
-                let le = Predicate::Compare {
-                    column: column.clone(),
-                    op: CompareOp::LtEq,
-                    value: high.clone(),
-                };
-                Ok(ge.evaluate(table)?.intersect(&le.evaluate(table)?))
+                // Single pass: both bounds are checked per row instead of
+                // scanning the column once per bound and intersecting. A
+                // NULL bound keeps the range empty while type errors from
+                // the other bound still surface, matching the historical
+                // two-scan semantics.
+                let col = table.column(column)?;
+                let mut rows = Vec::new();
+                // String ranges without cloning: compare the stored `&str`
+                // against both bounds instead of materialising a
+                // `Value::Utf8` per row (NULL or non-string bounds fall
+                // through to the generic loop for its error semantics).
+                if let (Some(values), Value::Utf8(lo), Value::Utf8(hi)) =
+                    (col.utf8_slice(), low, high)
+                {
+                    for (idx, cell) in values.iter().enumerate() {
+                        let v = cell.as_str();
+                        if !col.is_null(idx) && lo.as_str() <= v && v <= hi.as_str() {
+                            rows.push(idx);
+                        }
+                    }
+                    return Ok(SelectionVector::from_sorted_rows(rows));
+                }
+                for idx in 0..len {
+                    let cell = col.get(idx)?;
+                    if cell.is_null() {
+                        continue;
+                    }
+                    let ge = if low.is_null() {
+                        false
+                    } else {
+                        match cell.partial_cmp_value(low) {
+                            Some(ordering) => CompareOp::GtEq.evaluate(ordering),
+                            None => {
+                                return Err(ColumnarError::TypeMismatch {
+                                    column: column.clone(),
+                                    expected: col.data_type().name(),
+                                    found: low.type_name(),
+                                })
+                            }
+                        }
+                    };
+                    let le = if high.is_null() {
+                        false
+                    } else {
+                        match cell.partial_cmp_value(high) {
+                            Some(ordering) => CompareOp::LtEq.evaluate(ordering),
+                            None => {
+                                return Err(ColumnarError::TypeMismatch {
+                                    column: column.clone(),
+                                    expected: col.data_type().name(),
+                                    found: high.type_name(),
+                                })
+                            }
+                        }
+                    };
+                    if ge && le {
+                        rows.push(idx);
+                    }
+                }
+                Ok(SelectionVector::from_sorted_rows(rows))
             }
             Predicate::IsNull(column) => {
                 let col = table.column(column)?;

@@ -1,0 +1,889 @@
+//! Typed tight-loop scan kernels.
+//!
+//! The vectorized execution pipeline compiles a [`crate::Predicate`] into a
+//! [`crate::CompiledPredicate`] (column indices bound, constants type-widened
+//! once) and then runs the kernels in this module over the raw column
+//! vectors: `&[i64]`, `&[f64]`, `&[bool]`, `&[String]` plus their validity
+//! bitmaps. No `Value` enum is materialised per row and strings are compared
+//! by reference — the two per-row costs that dominate the scalar
+//! `Predicate::evaluate` oracle.
+//!
+//! Every kernel scans a [`ScanDomain`]: either the full column (`0..len`) or
+//! a candidate list produced by an earlier predicate of the same conjunction
+//! (MonetDB-style candidate-list refinement). Matching row ids are emitted
+//! into a [`SelectionSink`], which is where the *fused* execution comes from:
+//!
+//! * `Vec<usize>` materialises a selection vector (the classic path),
+//! * [`CountSink`] just counts matches (fused COUNT),
+//! * [`MomentSink`] streams the aggregated column's value of every matching
+//!   row straight into a [`MomentSketch`] (fused filter+aggregate) — the
+//!   selection is never materialised.
+//!
+//! ## The fused-aggregate contract
+//!
+//! A [`MomentSketch`] accumulates, in one pass and in row order:
+//!
+//! * `matched` — rows satisfying the predicate (COUNT(*) semantics: NULLs in
+//!   the aggregated column still count),
+//! * `count`, `sum`, `sum_sq` — non-NULL values seen, their running sum and
+//!   sum of squares (the sufficient statistics of the SRS expansion
+//!   estimators in `sciborq-stats`),
+//! * `mean`, `m2` — Welford-style running mean and centred second moment
+//!   (variance and t-interval inputs),
+//! * `min`, `max` — running extremes.
+//!
+//! `sum`, `sum_sq`, `min` and `max` are accumulated with exactly the same
+//! fold (same order, same operations) as the exact scalar
+//! [`crate::compute_aggregate`], so COUNT/SUM/AVG/MIN/MAX results are
+//! bit-identical between the fused and the scalar path; VARIANCE uses the
+//! same Welford recurrence in both paths. `sciborq-stats` consumes the
+//! sketch through `SrsEstimator::estimate_sum_parts` /
+//! `estimate_avg_parts`, so estimates are built from the streamed
+//! accumulators without re-walking any selection.
+//!
+//! NaN policy: a NaN *cell* encountered by a comparison kernel is an error
+//! (the scalar oracle rejects unordered comparisons the same way); NaN
+//! *constants* are detected at compile time and turned into an
+//! "error-if-any-valid-row" node by `CompiledPredicate`.
+
+use crate::column::Bitmap;
+use crate::expr::CompareOp;
+
+/// Which rows a kernel visits: the whole column or a sorted candidate list
+/// produced by an earlier predicate of the same conjunction.
+#[derive(Debug, Clone, Copy)]
+pub enum ScanDomain<'a> {
+    /// Scan rows `0..len`.
+    Full(usize),
+    /// Scan exactly these (sorted, unique) row positions.
+    Candidates(&'a [usize]),
+}
+
+impl ScanDomain<'_> {
+    /// Number of rows the kernel will visit.
+    pub fn len(&self) -> usize {
+        match self {
+            ScanDomain::Full(len) => *len,
+            ScanDomain::Candidates(rows) => rows.len(),
+        }
+    }
+
+    /// True when the domain holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Consumer of matching row ids. Implementations decide whether matches are
+/// materialised (selection vector), counted, or folded into aggregates.
+pub trait SelectionSink {
+    /// Accept one matching row. Rows arrive in ascending order.
+    fn accept(&mut self, row: usize);
+}
+
+impl SelectionSink for Vec<usize> {
+    #[inline]
+    fn accept(&mut self, row: usize) {
+        self.push(row);
+    }
+}
+
+/// Sink that only counts matches (fused COUNT kernel).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CountSink(pub usize);
+
+impl SelectionSink for CountSink {
+    #[inline]
+    fn accept(&mut self, _row: usize) {
+        self.0 += 1;
+    }
+}
+
+/// One-pass moment accumulator produced by the fused filter+aggregate
+/// kernels. See the module docs for the exact contract.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct MomentSketch {
+    /// Rows that satisfied the predicate (COUNT(*) semantics).
+    pub matched: usize,
+    /// Non-NULL aggregated values observed.
+    pub count: usize,
+    /// Running sum of the non-NULL values (same fold as the scalar path).
+    pub sum: f64,
+    /// Running sum of squares of the non-NULL values.
+    pub sum_sq: f64,
+    /// Welford running mean of the non-NULL values.
+    pub mean: f64,
+    /// Welford centred second moment (Σ (v − mean)²).
+    pub m2: f64,
+    /// Smallest non-NULL value (`+∞` when none).
+    pub min: f64,
+    /// Largest non-NULL value (`−∞` when none).
+    pub max: f64,
+}
+
+impl MomentSketch {
+    /// A fresh, empty sketch.
+    pub fn new() -> Self {
+        MomentSketch {
+            matched: 0,
+            count: 0,
+            sum: 0.0,
+            sum_sq: 0.0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record a matching row whose aggregated value is NULL (or for which no
+    /// aggregate column is tracked).
+    #[inline]
+    pub fn push_null(&mut self) {
+        self.matched += 1;
+    }
+
+    /// Record a matching row with a non-NULL aggregated value.
+    #[inline]
+    pub fn push(&mut self, value: f64) {
+        self.matched += 1;
+        self.count += 1;
+        self.sum += value;
+        self.sum_sq += value * value;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (value - self.mean);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// The aggregate value this sketch yields for a given kind, following
+    /// the same conventions as [`crate::compute_aggregate`]: COUNT counts
+    /// matched rows, SUM over no values is 0, AVG/MIN/MAX/VAR over no values
+    /// are undefined (`None`).
+    pub fn aggregate(&self, kind: crate::aggregate::AggregateKind) -> Option<f64> {
+        use crate::aggregate::AggregateKind::*;
+        match kind {
+            Count => Some(self.matched as f64),
+            Sum => Some(self.sum),
+            Avg => (self.count > 0).then(|| self.sum / self.count as f64),
+            Min => (self.count > 0).then_some(self.min),
+            Max => (self.count > 0).then_some(self.max),
+            Variance => (self.count > 0).then(|| self.m2 / self.count as f64),
+        }
+    }
+
+    /// Number of rows that participated in the value aggregates (the
+    /// non-NULL count), mirroring `AggregateResult::rows`.
+    pub fn value_rows(&self) -> usize {
+        self.count
+    }
+}
+
+/// Typed access to the column a [`MomentSink`] aggregates over.
+#[derive(Debug, Clone, Copy)]
+pub enum AggSource<'a> {
+    /// Int64 column (values widened to `f64` on the fly).
+    I64(&'a [i64], Option<&'a Bitmap>),
+    /// Float64 column.
+    F64(&'a [f64], Option<&'a Bitmap>),
+}
+
+impl AggSource<'_> {
+    #[inline]
+    fn get(&self, row: usize) -> Option<f64> {
+        match self {
+            AggSource::I64(values, validity) => match validity {
+                Some(v) if !v.get(row) => None,
+                _ => Some(values[row] as f64),
+            },
+            AggSource::F64(values, validity) => match validity {
+                Some(v) if !v.get(row) => None,
+                _ => Some(values[row]),
+            },
+        }
+    }
+}
+
+/// Sink that folds matching rows' aggregated values into a
+/// [`MomentSketch`] — the terminal stage of a fused filter+aggregate scan.
+#[derive(Debug)]
+pub struct MomentSink<'a> {
+    source: AggSource<'a>,
+    /// The accumulated moments.
+    pub sketch: MomentSketch,
+}
+
+impl<'a> MomentSink<'a> {
+    /// Create a sink reading aggregated values from `source`.
+    pub fn new(source: AggSource<'a>) -> Self {
+        MomentSink {
+            source,
+            sketch: MomentSketch::new(),
+        }
+    }
+}
+
+impl SelectionSink for MomentSink<'_> {
+    #[inline]
+    fn accept(&mut self, row: usize) {
+        match self.source.get(row) {
+            Some(v) => self.sketch.push(v),
+            None => self.sketch.push_null(),
+        }
+    }
+}
+
+/// Marker error for a kernel pass that hit an unordered (NaN) comparison.
+/// The compiled layer maps this onto `ColumnarError::TypeMismatch` with the
+/// proper column name, mirroring the scalar oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnorderedComparison;
+
+/// Outcome of a kernel pass that may reject unordered (NaN) comparisons.
+pub type KernelResult = Result<(), UnorderedComparison>;
+
+#[inline]
+fn is_valid(validity: Option<&Bitmap>, row: usize) -> bool {
+    match validity {
+        Some(v) => v.get(row),
+        None => true,
+    }
+}
+
+macro_rules! scan_rows {
+    ($domain:expr, $row:ident, $body:block) => {
+        match $domain {
+            ScanDomain::Full(len) => {
+                for $row in 0..len {
+                    $body
+                }
+            }
+            ScanDomain::Candidates(rows) => {
+                for &$row in rows {
+                    $body
+                }
+            }
+        }
+    };
+}
+
+/// Emit every valid (non-NULL) row of the domain — the `TRUE` kernel over a
+/// column, also used for `IS NOT NULL`.
+pub fn scan_is_not_null<S: SelectionSink>(
+    validity: Option<&Bitmap>,
+    domain: ScanDomain,
+    out: &mut S,
+) {
+    scan_rows!(domain, row, {
+        if is_valid(validity, row) {
+            out.accept(row);
+        }
+    });
+}
+
+/// Emit every NULL row of the domain (`IS NULL`).
+pub fn scan_is_null<S: SelectionSink>(validity: Option<&Bitmap>, domain: ScanDomain, out: &mut S) {
+    scan_rows!(domain, row, {
+        if !is_valid(validity, row) {
+            out.accept(row);
+        }
+    });
+}
+
+/// Emit every row of the domain (the unconditional `TRUE` kernel).
+pub fn scan_all<S: SelectionSink>(domain: ScanDomain, out: &mut S) {
+    scan_rows!(domain, row, {
+        out.accept(row);
+    });
+}
+
+/// True when any row of the domain is valid (non-NULL). Used by the
+/// "error on first non-NULL row" nodes that preserve the oracle's lazy
+/// type-mismatch semantics.
+pub fn any_valid(validity: Option<&Bitmap>, domain: ScanDomain) -> bool {
+    match validity {
+        None => !domain.is_empty(),
+        Some(v) => {
+            let mut found = false;
+            scan_rows!(domain, row, {
+                if v.get(row) {
+                    found = true;
+                    break;
+                }
+            });
+            found
+        }
+    }
+}
+
+#[inline]
+fn cmp_keep<T: PartialOrd>(op: CompareOp, lhs: T, rhs: T) -> bool {
+    match op {
+        CompareOp::Eq => lhs == rhs,
+        CompareOp::NotEq => lhs != rhs,
+        CompareOp::Lt => lhs < rhs,
+        CompareOp::LtEq => lhs <= rhs,
+        CompareOp::Gt => lhs > rhs,
+        CompareOp::GtEq => lhs >= rhs,
+    }
+}
+
+/// Compare an Int64 column against an `i64` constant (exact 64-bit compare,
+/// no widening).
+pub fn scan_cmp_i64<S: SelectionSink>(
+    values: &[i64],
+    validity: Option<&Bitmap>,
+    domain: ScanDomain,
+    op: CompareOp,
+    bound: i64,
+    out: &mut S,
+) {
+    scan_rows!(domain, row, {
+        if is_valid(validity, row) && cmp_keep(op, values[row], bound) {
+            out.accept(row);
+        }
+    });
+}
+
+/// Compare an Int64 column against an `f64` constant: each cell is widened
+/// to `f64`, matching the scalar oracle's mixed-type comparison.
+///
+/// Errors when the constant is NaN (unordered) and any valid row exists.
+pub fn scan_cmp_i64_f64<S: SelectionSink>(
+    values: &[i64],
+    validity: Option<&Bitmap>,
+    domain: ScanDomain,
+    op: CompareOp,
+    bound: f64,
+    out: &mut S,
+) -> KernelResult {
+    if bound.is_nan() {
+        return if any_valid(validity, domain) {
+            Err(UnorderedComparison)
+        } else {
+            Ok(())
+        };
+    }
+    scan_rows!(domain, row, {
+        if is_valid(validity, row) && cmp_keep(op, values[row] as f64, bound) {
+            out.accept(row);
+        }
+    });
+    Ok(())
+}
+
+/// Compare a Float64 column against an `f64` constant (integer literals are
+/// widened once at compile time).
+///
+/// A NaN cell is an unordered comparison and therefore an error, exactly as
+/// in the scalar oracle; a NaN constant errors if any valid row exists.
+pub fn scan_cmp_f64<S: SelectionSink>(
+    values: &[f64],
+    validity: Option<&Bitmap>,
+    domain: ScanDomain,
+    op: CompareOp,
+    bound: f64,
+    out: &mut S,
+) -> KernelResult {
+    if bound.is_nan() {
+        return if any_valid(validity, domain) {
+            Err(UnorderedComparison)
+        } else {
+            Ok(())
+        };
+    }
+    let mut saw_nan = false;
+    scan_rows!(domain, row, {
+        if is_valid(validity, row) {
+            let v = values[row];
+            if v.is_nan() {
+                saw_nan = true;
+                break;
+            }
+            if cmp_keep(op, v, bound) {
+                out.accept(row);
+            }
+        }
+    });
+    if saw_nan {
+        Err(UnorderedComparison)
+    } else {
+        Ok(())
+    }
+}
+
+/// Compare a Bool column against a boolean constant (`false < true`).
+pub fn scan_cmp_bool<S: SelectionSink>(
+    values: &[bool],
+    validity: Option<&Bitmap>,
+    domain: ScanDomain,
+    op: CompareOp,
+    bound: bool,
+    out: &mut S,
+) {
+    scan_rows!(domain, row, {
+        if is_valid(validity, row) && cmp_keep(op, values[row], bound) {
+            out.accept(row);
+        }
+    });
+}
+
+/// Compare a Utf8 column against a string constant **by reference** — no
+/// per-row `String` clone, unlike the historical scalar path.
+pub fn scan_cmp_str<S: SelectionSink>(
+    values: &[String],
+    validity: Option<&Bitmap>,
+    domain: ScanDomain,
+    op: CompareOp,
+    bound: &str,
+    out: &mut S,
+) {
+    scan_rows!(domain, row, {
+        if is_valid(validity, row) && cmp_keep(op, values[row].as_str(), bound) {
+            out.accept(row);
+        }
+    });
+}
+
+/// A compiled numeric range bound: comparisons against an Int64 column stay
+/// exact 64-bit compares when the literal is an integer, and widen to `f64`
+/// when it is a float (mirroring `Value::partial_cmp_value`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NumBound {
+    /// Exact integer bound.
+    I64(i64),
+    /// Floating-point bound.
+    F64(f64),
+}
+
+impl NumBound {
+    /// The bound widened to `f64` (used against Float64 columns).
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            NumBound::I64(v) => *v as f64,
+            NumBound::F64(v) => *v,
+        }
+    }
+
+    /// Whether the bound is a NaN float (unordered against everything).
+    pub fn is_nan(&self) -> bool {
+        matches!(self, NumBound::F64(v) if v.is_nan())
+    }
+
+    #[inline]
+    fn le_i64_cell(&self, cell: i64) -> bool {
+        // bound <= cell
+        match self {
+            NumBound::I64(b) => *b <= cell,
+            NumBound::F64(b) => *b <= cell as f64,
+        }
+    }
+
+    #[inline]
+    fn ge_i64_cell(&self, cell: i64) -> bool {
+        // bound >= cell
+        match self {
+            NumBound::I64(b) => *b >= cell,
+            NumBound::F64(b) => *b >= cell as f64,
+        }
+    }
+}
+
+/// One-pass inclusive range kernel over an Int64 column:
+/// `low <= v && v <= high`, with each bound compared exactly (i64 vs i64)
+/// or widened (i64 vs f64) according to its literal type.
+///
+/// This fixes the historical `Between` double scan: one pass, two compares.
+pub fn scan_range_i64<S: SelectionSink>(
+    values: &[i64],
+    validity: Option<&Bitmap>,
+    domain: ScanDomain,
+    low: NumBound,
+    high: NumBound,
+    out: &mut S,
+) -> KernelResult {
+    if low.is_nan() || high.is_nan() {
+        return if any_valid(validity, domain) {
+            Err(UnorderedComparison)
+        } else {
+            Ok(())
+        };
+    }
+    if let (NumBound::I64(lo), NumBound::I64(hi)) = (low, high) {
+        // fast path: pure 64-bit integer range
+        scan_rows!(domain, row, {
+            if is_valid(validity, row) {
+                let v = values[row];
+                if lo <= v && v <= hi {
+                    out.accept(row);
+                }
+            }
+        });
+        return Ok(());
+    }
+    scan_rows!(domain, row, {
+        if is_valid(validity, row) {
+            let v = values[row];
+            if low.le_i64_cell(v) && high.ge_i64_cell(v) {
+                out.accept(row);
+            }
+        }
+    });
+    Ok(())
+}
+
+/// One-pass inclusive range kernel over a Float64 column (bounds widened to
+/// `f64` at compile time). NaN cells are unordered and error, as in the
+/// scalar oracle.
+pub fn scan_range_f64<S: SelectionSink>(
+    values: &[f64],
+    validity: Option<&Bitmap>,
+    domain: ScanDomain,
+    low: f64,
+    high: f64,
+    out: &mut S,
+) -> KernelResult {
+    if low.is_nan() || high.is_nan() {
+        return if any_valid(validity, domain) {
+            Err(UnorderedComparison)
+        } else {
+            Ok(())
+        };
+    }
+    let mut saw_nan = false;
+    scan_rows!(domain, row, {
+        if is_valid(validity, row) {
+            let v = values[row];
+            if v.is_nan() {
+                saw_nan = true;
+                break;
+            }
+            if low <= v && v <= high {
+                out.accept(row);
+            }
+        }
+    });
+    if saw_nan {
+        Err(UnorderedComparison)
+    } else {
+        Ok(())
+    }
+}
+
+/// One-pass inclusive range kernel over a Utf8 column (lexicographic, by
+/// reference).
+pub fn scan_range_str<S: SelectionSink>(
+    values: &[String],
+    validity: Option<&Bitmap>,
+    domain: ScanDomain,
+    low: &str,
+    high: &str,
+    out: &mut S,
+) {
+    scan_rows!(domain, row, {
+        if is_valid(validity, row) {
+            let v = values[row].as_str();
+            if low <= v && v <= high {
+                out.accept(row);
+            }
+        }
+    });
+}
+
+/// One-pass inclusive range kernel over a Bool column (`false < true`).
+pub fn scan_range_bool<S: SelectionSink>(
+    values: &[bool],
+    validity: Option<&Bitmap>,
+    domain: ScanDomain,
+    low: bool,
+    high: bool,
+    out: &mut S,
+) {
+    scan_rows!(domain, row, {
+        if is_valid(validity, row) {
+            let v = values[row];
+            if low <= v && v <= high {
+                out.accept(row);
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::AggregateKind;
+
+    fn bitmap(bits: &[bool]) -> Bitmap {
+        let mut bm = Bitmap::new();
+        for &b in bits {
+            bm.push(b);
+        }
+        bm
+    }
+
+    #[test]
+    fn domain_len() {
+        assert_eq!(ScanDomain::Full(5).len(), 5);
+        assert!(ScanDomain::Full(0).is_empty());
+        let rows = [1usize, 3];
+        assert_eq!(ScanDomain::Candidates(&rows).len(), 2);
+    }
+
+    #[test]
+    fn cmp_i64_full_and_candidates() {
+        let values = [5i64, -2, 9, 0, 7];
+        let mut out = Vec::new();
+        scan_cmp_i64(
+            &values,
+            None,
+            ScanDomain::Full(5),
+            CompareOp::Gt,
+            0,
+            &mut out,
+        );
+        assert_eq!(out, vec![0, 2, 4]);
+        let candidates = [2usize, 3, 4];
+        let mut out = Vec::new();
+        scan_cmp_i64(
+            &values,
+            None,
+            ScanDomain::Candidates(&candidates),
+            CompareOp::Gt,
+            0,
+            &mut out,
+        );
+        assert_eq!(out, vec![2, 4]);
+    }
+
+    #[test]
+    fn cmp_respects_validity() {
+        let values = [1i64, 2, 3];
+        let validity = bitmap(&[true, false, true]);
+        let mut out = Vec::new();
+        scan_cmp_i64(
+            &values,
+            Some(&validity),
+            ScanDomain::Full(3),
+            CompareOp::GtEq,
+            0,
+            &mut out,
+        );
+        assert_eq!(out, vec![0, 2]);
+    }
+
+    #[test]
+    fn exact_i64_comparison_not_widened() {
+        // 2^63 - 1 and 2^63 - 2 collapse to the same f64; the i64 kernel
+        // must still tell them apart.
+        let values = [i64::MAX, i64::MAX - 1];
+        let mut out = Vec::new();
+        scan_cmp_i64(
+            &values,
+            None,
+            ScanDomain::Full(2),
+            CompareOp::Eq,
+            i64::MAX,
+            &mut out,
+        );
+        assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    fn f64_nan_cell_errors() {
+        let values = [1.0, f64::NAN];
+        let mut out = Vec::new();
+        let r = scan_cmp_f64(
+            &values,
+            None,
+            ScanDomain::Full(2),
+            CompareOp::Lt,
+            5.0,
+            &mut out,
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn f64_nan_bound_errors_only_with_valid_rows() {
+        let values = [1.0];
+        let mut out = Vec::new();
+        assert!(scan_cmp_f64(
+            &values,
+            None,
+            ScanDomain::Full(1),
+            CompareOp::Lt,
+            f64::NAN,
+            &mut out
+        )
+        .is_err());
+        let validity = bitmap(&[false]);
+        let mut out = Vec::new();
+        assert!(scan_cmp_f64(
+            &values,
+            Some(&validity),
+            ScanDomain::Full(1),
+            CompareOp::Lt,
+            f64::NAN,
+            &mut out
+        )
+        .is_ok());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn one_pass_ranges() {
+        let ints = [1i64, 5, 10, -3];
+        let mut out = Vec::new();
+        scan_range_i64(
+            &ints,
+            None,
+            ScanDomain::Full(4),
+            NumBound::I64(0),
+            NumBound::I64(5),
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(out, vec![0, 1]);
+
+        let floats = [0.5, 2.5, 7.0];
+        let mut out = Vec::new();
+        scan_range_f64(&floats, None, ScanDomain::Full(3), 1.0, 3.0, &mut out).unwrap();
+        assert_eq!(out, vec![1]);
+
+        let strings: Vec<String> = ["ant", "bee", "cow"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let mut out = Vec::new();
+        scan_range_str(&strings, None, ScanDomain::Full(3), "b", "c", &mut out);
+        assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    fn mixed_bound_range_keeps_i64_exact() {
+        let values = [i64::MAX, 10];
+        let mut out = Vec::new();
+        // low is an exact integer bound, high widens: i64::MAX must qualify
+        scan_range_i64(
+            &values,
+            None,
+            ScanDomain::Full(2),
+            NumBound::I64(i64::MAX),
+            NumBound::F64(f64::INFINITY),
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    fn str_kernel_compares_by_reference() {
+        let values: Vec<String> = ["GALAXY", "STAR", "GALAXY"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let mut out = Vec::new();
+        scan_cmp_str(
+            &values,
+            None,
+            ScanDomain::Full(3),
+            CompareOp::Eq,
+            "GALAXY",
+            &mut out,
+        );
+        assert_eq!(out, vec![0, 2]);
+    }
+
+    #[test]
+    fn null_kernels() {
+        let validity = bitmap(&[true, false, true, false]);
+        let mut nulls = Vec::new();
+        scan_is_null(Some(&validity), ScanDomain::Full(4), &mut nulls);
+        assert_eq!(nulls, vec![1, 3]);
+        let mut valid = Vec::new();
+        scan_is_not_null(Some(&validity), ScanDomain::Full(4), &mut valid);
+        assert_eq!(valid, vec![0, 2]);
+        let mut all = Vec::new();
+        scan_is_not_null(None, ScanDomain::Full(3), &mut all);
+        assert_eq!(all, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn count_sink_counts() {
+        let values = [1.0, 2.0, 3.0];
+        let mut sink = CountSink::default();
+        scan_cmp_f64(
+            &values,
+            None,
+            ScanDomain::Full(3),
+            CompareOp::Gt,
+            1.5,
+            &mut sink,
+        )
+        .unwrap();
+        assert_eq!(sink.0, 2);
+    }
+
+    #[test]
+    fn moment_sketch_matches_naive_folds() {
+        let values = [2.0f64, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut sketch = MomentSketch::new();
+        for &v in &values {
+            sketch.push(v);
+        }
+        sketch.push_null();
+        assert_eq!(sketch.matched, 9);
+        assert_eq!(sketch.count, 8);
+        assert_eq!(sketch.aggregate(AggregateKind::Count), Some(9.0));
+        assert_eq!(sketch.aggregate(AggregateKind::Sum), Some(40.0));
+        assert_eq!(sketch.aggregate(AggregateKind::Avg), Some(5.0));
+        assert_eq!(sketch.aggregate(AggregateKind::Min), Some(2.0));
+        assert_eq!(sketch.aggregate(AggregateKind::Max), Some(9.0));
+        let var = sketch.aggregate(AggregateKind::Variance).unwrap();
+        assert!((var - 4.0).abs() < 1e-12);
+        assert_eq!(sketch.value_rows(), 8);
+    }
+
+    #[test]
+    fn empty_sketch_conventions() {
+        let sketch = MomentSketch::new();
+        assert_eq!(sketch.aggregate(AggregateKind::Count), Some(0.0));
+        assert_eq!(sketch.aggregate(AggregateKind::Sum), Some(0.0));
+        assert_eq!(sketch.aggregate(AggregateKind::Avg), None);
+        assert_eq!(sketch.aggregate(AggregateKind::Min), None);
+        assert_eq!(sketch.aggregate(AggregateKind::Max), None);
+        assert_eq!(sketch.aggregate(AggregateKind::Variance), None);
+    }
+
+    #[test]
+    fn moment_sink_reads_agg_column() {
+        let agg = [10.0f64, 20.0, 30.0];
+        let validity = bitmap(&[true, false, true]);
+        let mut sink = MomentSink::new(AggSource::F64(&agg, Some(&validity)));
+        let pred_values = [1i64, 1, 1];
+        scan_cmp_i64(
+            &pred_values,
+            None,
+            ScanDomain::Full(3),
+            CompareOp::Eq,
+            1,
+            &mut sink,
+        );
+        assert_eq!(sink.sketch.matched, 3);
+        assert_eq!(sink.sketch.count, 2);
+        assert_eq!(sink.sketch.sum, 40.0);
+    }
+
+    #[test]
+    fn any_valid_checks() {
+        let validity = bitmap(&[false, false, true]);
+        assert!(any_valid(Some(&validity), ScanDomain::Full(3)));
+        assert!(!any_valid(Some(&validity), ScanDomain::Full(2)));
+        let c = [0usize, 1];
+        assert!(!any_valid(Some(&validity), ScanDomain::Candidates(&c)));
+        assert!(any_valid(None, ScanDomain::Full(1)));
+        assert!(!any_valid(None, ScanDomain::Full(0)));
+    }
+}

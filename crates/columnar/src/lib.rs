@@ -12,6 +12,12 @@
 //!   ([`Schema`], [`Table`], [`RecordBatch`]),
 //! * candidate-list (selection-vector) execution of predicates
 //!   ([`SelectionVector`], [`Predicate`]),
+//! * a compile-once vectorized execution pipeline: predicates bound to
+//!   column indices with constants pre-widened ([`CompiledPredicate`]),
+//!   running typed tight-loop kernels over the raw column vectors
+//!   ([`kernels`]), including fused filter+aggregate scans that stream
+//!   matching rows into moment accumulators ([`MomentSketch`]) without
+//!   materialising a selection,
 //! * exact aggregates and grouped aggregates ([`compute_aggregate`]),
 //! * FK hash joins between fact and dimension tables ([`hash_join_index`]),
 //! * a concurrent catalog of named tables ([`Catalog`]).
@@ -42,9 +48,11 @@
 pub mod aggregate;
 pub mod catalog;
 pub mod column;
+pub mod compiled;
 pub mod error;
 pub mod expr;
 pub mod join;
+pub mod kernels;
 pub mod schema;
 pub mod selection;
 pub mod table;
@@ -53,9 +61,13 @@ pub mod value;
 pub use aggregate::{compute_aggregate, compute_grouped_aggregate, AggregateKind, AggregateResult};
 pub use catalog::Catalog;
 pub use column::{Bitmap, Column};
+pub use compiled::{CompiledPredicate, ScanStats};
 pub use error::{ColumnarError, Result};
 pub use expr::{CompareOp, Predicate};
 pub use join::{hash_join_index, key_containment, materialize_join, JoinIndex, JoinType};
+pub use kernels::{
+    AggSource, CountSink, MomentSink, MomentSketch, NumBound, ScanDomain, SelectionSink,
+};
 pub use schema::{Field, Schema, SchemaRef};
 pub use selection::SelectionVector;
 pub use table::{RecordBatch, RecordBatchBuilder, Table};

@@ -23,6 +23,22 @@ impl fmt::Display for EvaluationLevel {
     }
 }
 
+/// Measured scan work for one visited escalation level.
+///
+/// `rows_scanned` counts the row positions the scan kernels actually
+/// visited at this level — with candidate-list refinement, the later
+/// predicates of a conjunction touch fewer rows, so this is *measured*
+/// work rather than the old `level row count` assumption.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LevelScan {
+    /// The level that was evaluated.
+    pub level: EvaluationLevel,
+    /// Row positions visited by the scan kernels at this level.
+    pub rows_scanned: u64,
+    /// Wall-clock time spent evaluating this level.
+    pub elapsed: Duration,
+}
+
 /// The answer to an aggregate query evaluated under bounds.
 #[derive(Debug, Clone)]
 pub struct ApproximateAnswer {
@@ -35,12 +51,15 @@ pub struct ApproximateAnswer {
     pub interval: Option<ConfidenceInterval>,
     /// Where the final evaluation happened.
     pub level: EvaluationLevel,
-    /// Number of sample/base rows scanned across all attempts.
+    /// Measured number of row positions the scan kernels visited across all
+    /// attempted levels.
     pub rows_scanned: u64,
     /// Number of escalations to a more detailed level that were needed.
     pub escalations: usize,
     /// Wall-clock time spent answering.
     pub elapsed: Duration,
+    /// Per-level measured scan accounting, in escalation order.
+    pub level_scans: Vec<LevelScan>,
     /// Whether the requested error bound was met.
     pub error_bound_met: bool,
     /// Whether the requested row-budget (runtime) bound was respected.
@@ -51,6 +70,12 @@ impl ApproximateAnswer {
     /// Whether the answer is exact (evaluated on base data).
     pub fn is_exact(&self) -> bool {
         self.level == EvaluationLevel::BaseData
+    }
+
+    /// Number of levels (impressions and/or the base data) that were
+    /// evaluated while answering.
+    pub fn levels_visited(&self) -> usize {
+        self.level_scans.len()
     }
 
     /// The relative half-width of the confidence interval (0 for exact
@@ -97,18 +122,27 @@ pub struct SelectAnswer {
     pub estimated_total_matches: f64,
     /// Where the final evaluation happened.
     pub level: EvaluationLevel,
-    /// Number of sample/base rows scanned across all attempts.
+    /// Measured number of row positions the scan kernels visited across all
+    /// attempted levels.
     pub rows_scanned: u64,
     /// Number of escalations that were needed.
     pub escalations: usize,
     /// Wall-clock time spent answering.
     pub elapsed: Duration,
+    /// Per-level measured scan accounting, in escalation order.
+    pub level_scans: Vec<LevelScan>,
 }
 
 impl SelectAnswer {
     /// Number of rows returned to the user.
     pub fn returned_rows(&self) -> usize {
         self.rows.row_count()
+    }
+
+    /// Number of levels (impressions and/or the base data) that were
+    /// evaluated while answering.
+    pub fn levels_visited(&self) -> usize {
+        self.level_scans.len()
     }
 }
 
@@ -137,10 +171,23 @@ mod tests {
             rows_scanned: 1_000,
             escalations: 1,
             elapsed: Duration::from_millis(5),
+            level_scans: vec![
+                LevelScan {
+                    level: EvaluationLevel::Layer(4),
+                    rows_scanned: 500,
+                    elapsed: Duration::from_millis(2),
+                },
+                LevelScan {
+                    level: EvaluationLevel::Layer(3),
+                    rows_scanned: 500,
+                    elapsed: Duration::from_millis(3),
+                },
+            ],
             error_bound_met: true,
             time_bound_met: true,
         };
         assert!(!a.is_exact());
+        assert_eq!(a.levels_visited(), 2);
         assert!(a.relative_error() > 0.0 && a.relative_error() < 0.2);
         let s = a.to_string();
         assert!(s.contains("layer 3"));
@@ -157,6 +204,7 @@ mod tests {
             rows_scanned: 10,
             escalations: 2,
             elapsed: Duration::ZERO,
+            level_scans: Vec::new(),
             error_bound_met: true,
             time_bound_met: false,
         };
@@ -175,6 +223,7 @@ mod tests {
             rows_scanned: 0,
             escalations: 0,
             elapsed: Duration::ZERO,
+            level_scans: Vec::new(),
             error_bound_met: false,
             time_bound_met: true,
         };
@@ -196,6 +245,7 @@ mod tests {
             rows_scanned: 50,
             escalations: 0,
             elapsed: Duration::from_micros(10),
+            level_scans: Vec::new(),
         };
         assert_eq!(a.returned_rows(), 2);
         assert_eq!(a.estimated_total_matches, 200.0);

@@ -14,9 +14,10 @@
 use crate::answer::{ApproximateAnswer, EvaluationLevel, SelectAnswer};
 use crate::config::SciborqConfig;
 use crate::error::{Result, SciborqError};
+use crate::execution::QueryExecution;
 use crate::impression::Impression;
 use crate::layer::LayerHierarchy;
-use sciborq_columnar::{compute_aggregate, AggregateKind, Table};
+use sciborq_columnar::{AggregateKind, Table};
 use sciborq_stats::{ConfidenceInterval, Estimate};
 use sciborq_workload::{Query, QueryKind};
 use serde::{Deserialize, Serialize};
@@ -32,7 +33,10 @@ pub struct QueryBounds {
     pub confidence: f64,
     /// Maximum number of rows the engine may scan in its *final* evaluation
     /// — the knob that bounds execution time. `None` means unlimited (the
-    /// base data is admissible).
+    /// base data is admissible). Levels are admitted by their row count;
+    /// the measured `rows_scanned` an answer reports counts per-pass kernel
+    /// visits and can exceed an admitted level's row count for conjunctive
+    /// predicates (one pass per conjunct).
     pub max_rows_scanned: Option<u64>,
     /// Optional wall-clock budget; escalation stops once it is exceeded.
     pub time_budget: Option<Duration>,
@@ -150,7 +154,9 @@ impl BoundedQueryEngine {
 
         let start = Instant::now();
         let max_error = bounds.max_relative_error.unwrap_or(f64::INFINITY);
-        let mut rows_scanned = 0u64;
+        // Compile the predicate once; every level reuses the compiled form
+        // and contributes measured scan accounting.
+        let mut exec = QueryExecution::new(query.predicate.clone());
         let mut escalations = 0usize;
         let mut best: Option<(Option<f64>, Option<ConfidenceInterval>, EvaluationLevel)> = None;
 
@@ -171,15 +177,15 @@ impl BoundedQueryEngine {
             if best.is_some() {
                 escalations += 1;
             }
-            rows_scanned += level_rows;
+            let level = EvaluationLevel::Layer(impression.layer());
             let (value, interval) = self.evaluate_on_impression(
-                query,
+                &mut exec,
                 impression,
+                level,
                 agg_kind,
                 agg_column.as_deref(),
                 bounds,
             )?;
-            let level = EvaluationLevel::Layer(impression.layer());
             // A sampled zero (no matching rows in the impression) carries a
             // degenerate [0, 0] interval, which would read as "zero error".
             // Claiming a certain COUNT/SUM of 0 from a sample is dishonest
@@ -200,9 +206,10 @@ impl BoundedQueryEngine {
                     value,
                     interval,
                     level,
-                    rows_scanned,
+                    rows_scanned: exec.rows_scanned(),
                     escalations,
                     elapsed: start.elapsed(),
+                    level_scans: exec.into_level_scans(),
                     error_bound_met: true,
                     time_bound_met: true,
                 });
@@ -222,17 +229,29 @@ impl BoundedQueryEngine {
             if best.is_some() {
                 escalations += 1;
             }
-            rows_scanned += table.row_count() as u64;
-            let selection = query.predicate.evaluate(table)?;
-            let exact = compute_aggregate(table, agg_column.as_deref(), agg_kind, &selection)?;
+            // Exact evaluation through the fused kernels: no selection is
+            // materialised for aggregates over the (large) base table.
+            let value = match agg_kind {
+                AggregateKind::Count => {
+                    Some(exec.count_matches(EvaluationLevel::BaseData, table)? as f64)
+                }
+                _ => {
+                    let column = agg_column.as_deref().ok_or_else(|| {
+                        SciborqError::InvalidConfig(format!("{agg_kind} requires a column"))
+                    })?;
+                    exec.filter_moments(EvaluationLevel::BaseData, table, column)?
+                        .aggregate(agg_kind)
+                }
+            };
             return Ok(ApproximateAnswer {
                 query: query.to_string(),
-                value: exact.value,
-                interval: exact.value.map(ConfidenceInterval::exact),
+                value,
+                interval: value.map(ConfidenceInterval::exact),
                 level: EvaluationLevel::BaseData,
-                rows_scanned,
+                rows_scanned: exec.rows_scanned(),
                 escalations,
                 elapsed: start.elapsed(),
+                level_scans: exec.into_level_scans(),
                 error_bound_met: true,
                 time_bound_met: bounds
                     .max_rows_scanned
@@ -254,9 +273,10 @@ impl BoundedQueryEngine {
                     value,
                     interval,
                     level,
-                    rows_scanned,
+                    rows_scanned: exec.rows_scanned(),
                     escalations,
                     elapsed: start.elapsed(),
+                    level_scans: exec.into_level_scans(),
                     error_bound_met,
                     time_bound_met: true,
                 })
@@ -269,46 +289,78 @@ impl BoundedQueryEngine {
         }
     }
 
+    /// Evaluate one escalation level. Self-weighted impressions take the
+    /// fused path (count / moment kernels, no selection vector); biased
+    /// impressions materialise a selection because their estimators need
+    /// per-row selection probabilities.
     fn evaluate_on_impression(
         &self,
-        query: &Query,
+        exec: &mut QueryExecution,
         impression: &Impression,
+        level: EvaluationLevel,
         agg_kind: AggregateKind,
         agg_column: Option<&str>,
         bounds: &QueryBounds,
     ) -> Result<(Option<f64>, Option<ConfidenceInterval>)> {
-        let selection = query.predicate.evaluate(impression.data())?;
+        let data = impression.data();
+        let streamed = impression.supports_streamed_estimates();
         let estimate: Option<Estimate> = match agg_kind {
-            AggregateKind::Count => Some(impression.estimate_count(&selection)?),
+            AggregateKind::Count => {
+                if streamed {
+                    let matched = exec.count_matches(level, data)?;
+                    Some(impression.estimate_count_streamed(matched)?)
+                } else {
+                    let selection = exec.selection(level, data)?;
+                    Some(impression.estimate_count(&selection)?)
+                }
+            }
             AggregateKind::Sum => {
                 let column = agg_column.ok_or_else(|| {
                     SciborqError::InvalidConfig("SUM requires a column".to_owned())
                 })?;
-                Some(impression.estimate_sum(column, &selection)?)
+                if streamed {
+                    let sketch = exec.filter_moments(level, data, column)?;
+                    Some(impression.estimate_sum_streamed(&sketch)?)
+                } else {
+                    let selection = exec.selection(level, data)?;
+                    Some(impression.estimate_sum(column, &selection)?)
+                }
             }
             AggregateKind::Avg => {
                 let column = agg_column.ok_or_else(|| {
                     SciborqError::InvalidConfig("AVG requires a column".to_owned())
                 })?;
-                if selection.is_empty() {
-                    None
+                if streamed {
+                    let sketch = exec.filter_moments(level, data, column)?;
+                    if sketch.matched == 0 {
+                        None
+                    } else {
+                        Some(impression.estimate_avg_streamed(&sketch)?)
+                    }
                 } else {
-                    Some(impression.estimate_avg(column, &selection)?)
+                    let selection = exec.selection(level, data)?;
+                    if selection.is_empty() {
+                        None
+                    } else {
+                        Some(impression.estimate_avg(column, &selection)?)
+                    }
                 }
             }
             AggregateKind::Min | AggregateKind::Max | AggregateKind::Variance => {
                 // Extremes and exact variance are not meaningfully estimable
                 // from a sample with bounded error; report the sample value
                 // with an unbounded interval so the engine escalates to the
-                // base data when an error bound was requested.
+                // base data when an error bound was requested. The sample
+                // value itself comes from the fused moment kernel for every
+                // policy.
                 let column = agg_column.ok_or_else(|| {
                     SciborqError::InvalidConfig(format!("{agg_kind} requires a column"))
                 })?;
-                let sample =
-                    compute_aggregate(impression.data(), Some(column), agg_kind, &selection)?;
+                let sketch = exec.filter_moments(level, data, column)?;
+                let value = sketch.aggregate(agg_kind);
                 return Ok((
-                    sample.value,
-                    sample.value.map(|v| ConfidenceInterval {
+                    value,
+                    value.map(|v| ConfidenceInterval {
                         estimate: v,
                         lower: f64::NEG_INFINITY,
                         upper: f64::INFINITY,
@@ -346,7 +398,7 @@ impl BoundedQueryEngine {
         }
         let start = Instant::now();
         let wanted = bounds.min_result_rows.or(query.limit).unwrap_or(usize::MAX);
-        let mut rows_scanned = 0u64;
+        let mut exec = QueryExecution::new(query.predicate.clone());
         let mut escalations = 0usize;
         let mut best: Option<(Table, f64, EvaluationLevel)> = None;
 
@@ -360,8 +412,8 @@ impl BoundedQueryEngine {
             if best.is_some() {
                 escalations += 1;
             }
-            rows_scanned += level_rows;
-            let mut selection = query.predicate.evaluate(impression.data())?;
+            let level = EvaluationLevel::Layer(impression.layer());
+            let mut selection = exec.selection(level, impression.data())?;
             let estimated = impression.estimate_count(&selection)?.value;
             let enough = selection.len() >= wanted.min(impression.row_count());
             if let Some(limit) = query.limit {
@@ -370,7 +422,6 @@ impl BoundedQueryEngine {
             let result = impression
                 .data()
                 .gather(&selection, format!("{}.result", impression.name()))?;
-            let level = EvaluationLevel::Layer(impression.layer());
             let got_enough = result.row_count() >= wanted || enough && query.limit.is_none();
             best = Some((result, estimated, level));
             if got_enough {
@@ -380,9 +431,10 @@ impl BoundedQueryEngine {
                     rows,
                     estimated_total_matches,
                     level,
-                    rows_scanned,
+                    rows_scanned: exec.rows_scanned(),
                     escalations,
                     elapsed: start.elapsed(),
+                    level_scans: exec.into_level_scans(),
                 });
             }
         }
@@ -396,8 +448,7 @@ impl BoundedQueryEngine {
                 if best.is_some() {
                     escalations += 1;
                 }
-                rows_scanned += table.row_count() as u64;
-                let mut selection = query.predicate.evaluate(table)?;
+                let mut selection = exec.selection(EvaluationLevel::BaseData, table)?;
                 let total = selection.len() as f64;
                 if let Some(limit) = query.limit {
                     selection.truncate(limit);
@@ -408,9 +459,10 @@ impl BoundedQueryEngine {
                     rows,
                     estimated_total_matches: total,
                     level: EvaluationLevel::BaseData,
-                    rows_scanned,
+                    rows_scanned: exec.rows_scanned(),
                     escalations,
                     elapsed: start.elapsed(),
+                    level_scans: exec.into_level_scans(),
                 });
             }
         }
@@ -421,9 +473,10 @@ impl BoundedQueryEngine {
                 rows,
                 estimated_total_matches,
                 level,
-                rows_scanned,
+                rows_scanned: exec.rows_scanned(),
                 escalations,
                 elapsed: start.elapsed(),
+                level_scans: exec.into_level_scans(),
             }),
             None => Err(SciborqError::BoundsUnsatisfiable(format!(
                 "no impression of {} fits a row budget of {:?}",

@@ -10,7 +10,7 @@
 use crate::config::{SciborqConfig, StorageClass};
 use crate::error::{Result, SciborqError};
 use crate::policy::SamplingPolicy;
-use sciborq_columnar::{SelectionVector, Table};
+use sciborq_columnar::{MomentSketch, SelectionVector, Table};
 use sciborq_stats::{Estimate, SrsEstimator, WeightedEstimator, WeightedObservation};
 
 /// A materialised sample of a source table plus sampling metadata.
@@ -163,6 +163,58 @@ impl Impression {
                 }
             }
         }
+    }
+
+    /// Whether this impression's estimators can be fed from streamed scan
+    /// accumulators (match counts and moment sketches) instead of
+    /// materialised selections. True for the self-weighted policies
+    /// (uniform, last-seen); biased impressions need per-row selection
+    /// probabilities and therefore a selection vector.
+    pub fn supports_streamed_estimates(&self) -> bool {
+        matches!(
+            self.policy,
+            SamplingPolicy::Uniform | SamplingPolicy::LastSeen { .. }
+        )
+    }
+
+    /// Estimate COUNT from a fused filter+count kernel's match count,
+    /// without a selection vector. Only valid for self-weighted policies
+    /// (see [`Impression::supports_streamed_estimates`]).
+    pub fn estimate_count_streamed(&self, matched: usize) -> Result<Estimate> {
+        if !self.supports_streamed_estimates() {
+            return Err(SciborqError::InvalidConfig(
+                "streamed COUNT estimation requires a self-weighted impression".to_owned(),
+            ));
+        }
+        let est = SrsEstimator::new(self.source_rows, self.row_count() as u64)?
+            .estimate_count(matched)?;
+        Ok(est)
+    }
+
+    /// Estimate SUM from a fused filter+aggregate moment sketch, without
+    /// re-walking any selection. Only valid for self-weighted policies.
+    pub fn estimate_sum_streamed(&self, sketch: &MomentSketch) -> Result<Estimate> {
+        if !self.supports_streamed_estimates() {
+            return Err(SciborqError::InvalidConfig(
+                "streamed SUM estimation requires a self-weighted impression".to_owned(),
+            ));
+        }
+        let est = SrsEstimator::new(self.source_rows, self.row_count() as u64)?
+            .estimate_sum_parts(sketch.count, sketch.sum, sketch.sum_sq)?;
+        Ok(est)
+    }
+
+    /// Estimate AVG from a fused filter+aggregate moment sketch, without
+    /// re-walking any selection. Only valid for self-weighted policies.
+    pub fn estimate_avg_streamed(&self, sketch: &MomentSketch) -> Result<Estimate> {
+        if !self.supports_streamed_estimates() {
+            return Err(SciborqError::InvalidConfig(
+                "streamed AVG estimation requires a self-weighted impression".to_owned(),
+            ));
+        }
+        let est = SrsEstimator::new(self.source_rows, self.row_count() as u64)?
+            .estimate_avg_parts(sketch.count, sketch.mean, sketch.m2)?;
+        Ok(est)
     }
 
     /// Estimate the number of source-table rows matching a selection of this
@@ -412,6 +464,43 @@ mod tests {
         assert!(imp
             .estimate_sum("missing", &SelectionVector::all(4))
             .is_err());
+    }
+
+    #[test]
+    fn streamed_estimates_match_selection_estimates() {
+        use sciborq_columnar::CompiledPredicate;
+        let imp = impression_with(SamplingPolicy::Uniform);
+        assert!(imp.supports_streamed_estimates());
+        let predicate = Predicate::lt_eq("ra", 190.0);
+        let sel = predicate.evaluate(imp.data()).unwrap();
+        let compiled = CompiledPredicate::compile(&predicate, imp.data().schema()).unwrap();
+        let (matched, _) = compiled.count_matches(imp.data()).unwrap();
+        assert_eq!(
+            imp.estimate_count(&sel).unwrap(),
+            imp.estimate_count_streamed(matched).unwrap()
+        );
+        let (sketch, _) = compiled.filter_moments(imp.data(), "r_mag").unwrap();
+        assert_eq!(
+            imp.estimate_sum("r_mag", &sel).unwrap(),
+            imp.estimate_sum_streamed(&sketch).unwrap()
+        );
+        // the selection path computes a naive sum/m mean while the sketch
+        // accumulates a Welford mean — equal up to rounding, not bitwise
+        let by_selection = imp.estimate_avg("r_mag", &sel).unwrap();
+        let streamed = imp.estimate_avg_streamed(&sketch).unwrap();
+        assert!(
+            (by_selection.value - streamed.value).abs() <= 1e-12 * (1.0 + by_selection.value.abs())
+        );
+        assert!((by_selection.standard_error - streamed.standard_error).abs() < 1e-12);
+    }
+
+    #[test]
+    fn biased_impressions_reject_streamed_estimates() {
+        let imp = impression_with(SamplingPolicy::biased(["ra"]));
+        assert!(!imp.supports_streamed_estimates());
+        assert!(imp.estimate_count_streamed(2).is_err());
+        assert!(imp.estimate_sum_streamed(&MomentSketch::new()).is_err());
+        assert!(imp.estimate_avg_streamed(&MomentSketch::new()).is_err());
     }
 
     #[test]

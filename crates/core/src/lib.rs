@@ -70,17 +70,19 @@ pub mod builder;
 pub mod config;
 pub mod engine;
 pub mod error;
+pub mod execution;
 pub mod impression;
 pub mod layer;
 pub mod maintenance;
 pub mod policy;
 pub mod session;
 
-pub use answer::{ApproximateAnswer, EvaluationLevel, SelectAnswer};
+pub use answer::{ApproximateAnswer, EvaluationLevel, LevelScan, SelectAnswer};
 pub use builder::ImpressionBuilder;
 pub use config::{SciborqConfig, StorageClass};
 pub use engine::{BoundedQueryEngine, QueryBounds};
 pub use error::{Result, SciborqError};
+pub use execution::QueryExecution;
 pub use impression::Impression;
 pub use layer::LayerHierarchy;
 pub use maintenance::{AdaptiveMaintainer, MaintenanceDecision};

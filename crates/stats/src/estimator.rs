@@ -110,15 +110,28 @@ impl SrsEstimator {
     /// population, which is the standard expansion estimator for domain
     /// sums.
     pub fn estimate_sum(&self, sample_values: &[f64]) -> Result<Estimate> {
+        let sum: f64 = sample_values.iter().sum();
+        let sum_sq: f64 = sample_values.iter().map(|v| v * v).sum();
+        self.estimate_sum_parts(sample_values.len(), sum, sum_sq)
+    }
+
+    /// [`SrsEstimator::estimate_sum`] from streamed sufficient statistics:
+    /// the number of matching non-NULL sample values, their sum and their
+    /// sum of squares — exactly what a fused filter+aggregate scan kernel
+    /// accumulates in one pass, so no selection needs to be re-walked.
+    pub fn estimate_sum_parts(
+        &self,
+        value_count: usize,
+        sum: f64,
+        sum_sq: f64,
+    ) -> Result<Estimate> {
         if self.sample_size == 0 {
             return Err(StatsError::EmptyInput("SRS sum estimate on empty sample"));
         }
         let n = self.sample_size as f64;
         let big_n = self.population_size as f64;
         // zero-extended mean and variance over the full drawn sample
-        let sum: f64 = sample_values.iter().sum();
         let mean = sum / n;
-        let sum_sq: f64 = sample_values.iter().map(|v| v * v).sum();
         let var = if self.sample_size > 1 {
             ((sum_sq - n * mean * mean) / (n - 1.0)).max(0.0)
         } else {
@@ -128,7 +141,7 @@ impl SrsEstimator {
         Ok(Estimate {
             value: big_n * mean,
             standard_error: se,
-            sample_size: sample_values.len(),
+            sample_size: value_count,
         })
     }
 
@@ -143,19 +156,26 @@ impl SrsEstimator {
         }
         let m = sample_values.len() as f64;
         let mean = sample_values.iter().sum::<f64>() / m;
-        let var = if sample_values.len() > 1 {
-            sample_values
-                .iter()
-                .map(|v| (v - mean).powi(2))
-                .sum::<f64>()
-                / (m - 1.0)
-        } else {
-            0.0
-        };
+        let m2 = sample_values
+            .iter()
+            .map(|v| (v - mean).powi(2))
+            .sum::<f64>();
+        self.estimate_avg_parts(sample_values.len(), mean, m2)
+    }
+
+    /// [`SrsEstimator::estimate_avg`] from streamed moments: the matching
+    /// non-NULL value count, their mean, and the centred second moment `M2`
+    /// (Welford), as accumulated by a fused filter+aggregate scan.
+    pub fn estimate_avg_parts(&self, count: usize, mean: f64, m2: f64) -> Result<Estimate> {
+        if count == 0 {
+            return Err(StatsError::EmptyInput("SRS avg estimate with no matches"));
+        }
+        let m = count as f64;
+        let var = if count > 1 { m2 / (m - 1.0) } else { 0.0 };
         Ok(Estimate {
             value: mean,
             standard_error: (var / m * self.fpc()).sqrt(),
-            sample_size: sample_values.len(),
+            sample_size: count,
         })
     }
 }
@@ -334,6 +354,36 @@ mod tests {
         assert!(e.estimate_avg(&[]).is_err());
         // single match: zero estimated variance
         assert_eq!(e.estimate_avg(&[42.0]).unwrap().standard_error, 0.0);
+    }
+
+    #[test]
+    fn streamed_parts_match_slice_estimates_bitwise() {
+        let e = SrsEstimator::new(100, 10).unwrap();
+        let values = [5.0, 7.0, 3.0, 5.0];
+        let from_slice = e.estimate_sum(&values).unwrap();
+        let sum: f64 = values.iter().sum();
+        let sum_sq: f64 = values.iter().map(|v| v * v).sum();
+        let from_parts = e.estimate_sum_parts(values.len(), sum, sum_sq).unwrap();
+        assert_eq!(from_slice, from_parts);
+
+        let from_slice = e.estimate_avg(&values).unwrap();
+        let mean = sum / values.len() as f64;
+        let m2: f64 = values.iter().map(|v| (v - mean).powi(2)).sum();
+        let from_parts = e.estimate_avg_parts(values.len(), mean, m2).unwrap();
+        assert_eq!(from_slice, from_parts);
+    }
+
+    #[test]
+    fn streamed_parts_validation() {
+        let e = SrsEstimator::new(100, 10).unwrap();
+        assert!(e.estimate_avg_parts(0, 0.0, 0.0).is_err());
+        let empty = SrsEstimator::new(100, 0).unwrap();
+        assert!(empty.estimate_sum_parts(0, 0.0, 0.0).is_err());
+        // single value: zero variance
+        assert_eq!(
+            e.estimate_avg_parts(1, 42.0, 0.0).unwrap().standard_error,
+            0.0
+        );
     }
 
     #[test]
