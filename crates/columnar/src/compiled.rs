@@ -32,6 +32,7 @@ use crate::kernels::{
     scan_range_str, AggSource, CountSink, MomentSink, MomentSketch, NumBound, ScanDomain,
     SelectionSink,
 };
+use crate::partition::Partitioning;
 use crate::schema::SchemaRef;
 use crate::selection::SelectionVector;
 use crate::table::Table;
@@ -53,6 +54,11 @@ impl ScanStats {
     #[inline]
     fn visit(&mut self, rows: usize) {
         self.rows_visited += rows as u64;
+    }
+
+    /// Fold another pass's (or shard's) measured work into this total.
+    pub fn merge(&mut self, other: &ScanStats) {
+        self.rows_visited += other.rows_visited;
     }
 }
 
@@ -195,7 +201,12 @@ impl CompiledPredicate {
         self.check_table(table)?;
         let mut stats = ScanStats::default();
         let mut sink = CountSink::default();
-        self.run_fused(table, &mut sink, &mut stats)?;
+        self.run_fused(
+            table,
+            ScanDomain::Full(table.row_count()),
+            &mut sink,
+            &mut stats,
+        )?;
         Ok((sink.0, stats))
     }
 
@@ -206,33 +217,29 @@ impl CompiledPredicate {
     /// `column` must be numeric (Int64 or Float64).
     pub fn filter_moments(&self, table: &Table, column: &str) -> Result<(MomentSketch, ScanStats)> {
         self.check_table(table)?;
-        let col = table.column(column)?;
-        let source = match col {
-            Column::Int64 { .. } => AggSource::I64(
-                col.i64_slice().expect("Int64 column has i64 values"),
-                col.validity_ref(),
-            ),
-            Column::Float64 { .. } => AggSource::F64(
-                col.f64_slice().expect("Float64 column has f64 values"),
-                col.validity_ref(),
-            ),
-            _ => return Err(ColumnarError::NotNumeric(column.to_owned())),
-        };
+        let source = agg_source(table, column)?;
         let mut stats = ScanStats::default();
         let mut sink = MomentSink::new(source);
-        self.run_fused(table, &mut sink, &mut stats)?;
+        self.run_fused(
+            table,
+            ScanDomain::Full(table.row_count()),
+            &mut sink,
+            &mut stats,
+        )?;
         Ok((sink.sketch, stats))
     }
 
-    /// Run the predicate with the conjunction prefix refined into candidate
-    /// lists and the *last* conjunct streamed into `sink`.
+    /// Run the predicate over `base` with the conjunction prefix refined
+    /// into candidate lists and the *last* conjunct streamed into `sink`.
+    /// `base` is the full table for the single-threaded path and one shard's
+    /// row range for the partitioned path.
     fn run_fused<S: SelectionSink>(
         &self,
         table: &Table,
+        base: ScanDomain,
         sink: &mut S,
         stats: &mut ScanStats,
     ) -> Result<()> {
-        let full = ScanDomain::Full(table.row_count());
         let (prefix, last): (&[Node], &Node) = match &self.root {
             Node::And(children) if !children.is_empty() => (
                 &children[..children.len() - 1],
@@ -243,7 +250,7 @@ impl CompiledPredicate {
         let mut candidates: Option<SelectionVector> = None;
         for child in prefix {
             let domain = match &candidates {
-                None => full,
+                None => base,
                 Some(sel) => ScanDomain::Candidates(sel.rows()),
             };
             // mirror the oracle: an empty running selection short-circuits
@@ -257,10 +264,167 @@ impl CompiledPredicate {
             return Ok(());
         }
         let domain = match &candidates {
-            None => full,
+            None => base,
             Some(sel) => ScanDomain::Candidates(sel.rows()),
         };
         run_terminal(last, table, domain, sink, stats)
+    }
+
+    /// Run `work` over every shard of `parts`, shard 0 on the calling thread
+    /// and one `std::thread::scope` worker per further shard. Results come
+    /// back in ascending shard order; on error, the error of the *lowest*
+    /// failing shard is returned, so failures are deterministic regardless
+    /// of thread scheduling.
+    fn for_each_shard<T, F>(&self, parts: &Partitioning, work: F) -> Result<Vec<T>>
+    where
+        T: Send,
+        F: Fn(ScanDomain) -> Result<T> + Sync,
+    {
+        let shard_domain = |i: usize| {
+            let r = parts.range(i);
+            ScanDomain::Range {
+                start: r.start,
+                end: r.end,
+            }
+        };
+        if parts.is_single() {
+            return Ok(vec![work(shard_domain(0))?]);
+        }
+        let results: Vec<Result<T>> = std::thread::scope(|scope| {
+            let work = &work;
+            let handles: Vec<_> = (1..parts.shard_count())
+                .map(|i| {
+                    let domain = shard_domain(i);
+                    scope.spawn(move || work(domain))
+                })
+                .collect();
+            let mut out = Vec::with_capacity(parts.shard_count());
+            out.push(work(shard_domain(0)));
+            for handle in handles {
+                out.push(handle.join().expect("shard worker panicked"));
+            }
+            out
+        });
+        results.into_iter().collect()
+    }
+
+    fn check_partitioning(&self, table: &Table, parts: &Partitioning) -> Result<()> {
+        self.check_table(table)?;
+        if parts.row_count() != table.row_count() {
+            return Err(ColumnarError::LengthMismatch {
+                expected: table.row_count(),
+                found: parts.row_count(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Sharded [`CompiledPredicate::evaluate_with_stats`]: every shard of
+    /// `parts` is filtered by its own worker thread and the per-shard
+    /// candidate lists are concatenated in ascending shard order. Because
+    /// shards are contiguous and ascending, the concatenation *is* the
+    /// single-threaded selection — identical rows in identical order. For
+    /// plain leaves and top-level conjunctions the per-shard [`ScanStats`]
+    /// also sum to the single-threaded stats; nested combinators that fall
+    /// back to full-column scans (`ErrOnValid`, AND under a candidate list)
+    /// repeat that full scan per shard and report the extra work honestly.
+    pub fn evaluate_partitioned(
+        &self,
+        table: &Table,
+        parts: &Partitioning,
+    ) -> Result<(SelectionVector, Vec<ScanStats>)> {
+        self.check_partitioning(table, parts)?;
+        let shards = self.for_each_shard(parts, |domain| {
+            let mut stats = ScanStats::default();
+            let mut rows: Vec<usize> = Vec::new();
+            self.run_fused(table, domain, &mut rows, &mut stats)?;
+            Ok((rows, stats))
+        })?;
+        let mut all_rows = Vec::with_capacity(shards.iter().map(|(r, _)| r.len()).sum());
+        let mut stats = Vec::with_capacity(shards.len());
+        for (rows, shard_stats) in shards {
+            all_rows.extend(rows);
+            stats.push(shard_stats);
+        }
+        Ok((SelectionVector::from_sorted_rows(all_rows), stats))
+    }
+
+    /// Sharded fused filter+count: per-shard [`CountSink`]s run in parallel
+    /// and the candidate counts are summed (integer addition — exact, so
+    /// the total is bit-identical to [`CompiledPredicate::count_matches`]).
+    pub fn count_matches_partitioned(
+        &self,
+        table: &Table,
+        parts: &Partitioning,
+    ) -> Result<(usize, Vec<ScanStats>)> {
+        self.check_partitioning(table, parts)?;
+        let shards = self.for_each_shard(parts, |domain| {
+            let mut stats = ScanStats::default();
+            let mut sink = CountSink::default();
+            self.run_fused(table, domain, &mut sink, &mut stats)?;
+            Ok((sink.0, stats))
+        })?;
+        let mut total = 0usize;
+        let mut stats = Vec::with_capacity(shards.len());
+        for (count, shard_stats) in shards {
+            total += count;
+            stats.push(shard_stats);
+        }
+        Ok((total, stats))
+    }
+
+    /// Sharded fused filter+aggregate. The *filter* — the dominant cost —
+    /// fans out: each worker produces its shard's matching row ids. The
+    /// matched rows are then folded into one [`MomentSketch`] on the calling
+    /// thread, in ascending shard order, i.e. in global row order: exactly
+    /// the push sequence of the single-threaded
+    /// [`CompiledPredicate::filter_moments`], so every accumulated moment
+    /// (including the order-sensitive `sum` and Welford `mean`/`m2`) is
+    /// **bit-identical** to the single-threaded path and therefore to the
+    /// scalar `compute_aggregate` oracle. A merge of per-shard float
+    /// accumulators could not guarantee that — float addition is not
+    /// associative — which is why the aggregation tail stays sequential;
+    /// it touches only the rows that survived the predicate.
+    pub fn filter_moments_partitioned(
+        &self,
+        table: &Table,
+        column: &str,
+        parts: &Partitioning,
+    ) -> Result<(MomentSketch, Vec<ScanStats>)> {
+        self.check_partitioning(table, parts)?;
+        let source = agg_source(table, column)?;
+        let shards = self.for_each_shard(parts, |domain| {
+            let mut stats = ScanStats::default();
+            let mut rows: Vec<usize> = Vec::new();
+            self.run_fused(table, domain, &mut rows, &mut stats)?;
+            Ok((rows, stats))
+        })?;
+        let mut sink = MomentSink::new(source);
+        let mut stats = Vec::with_capacity(shards.len());
+        for (rows, shard_stats) in shards {
+            for row in rows {
+                sink.accept(row);
+            }
+            stats.push(shard_stats);
+        }
+        Ok((sink.sketch, stats))
+    }
+}
+
+/// Typed access to a numeric aggregation column, shared by the fused and
+/// the partitioned filter+aggregate paths.
+fn agg_source<'a>(table: &'a Table, column: &str) -> Result<AggSource<'a>> {
+    let col = table.column(column)?;
+    match col {
+        Column::Int64 { .. } => Ok(AggSource::I64(
+            col.i64_slice().expect("Int64 column has i64 values"),
+            col.validity_ref(),
+        )),
+        Column::Float64 { .. } => Ok(AggSource::F64(
+            col.f64_slice().expect("Float64 column has f64 values"),
+            col.validity_ref(),
+        )),
+        _ => Err(ColumnarError::NotNumeric(column.to_owned())),
     }
 }
 
@@ -426,6 +590,9 @@ fn column_at(table: &Table, col: usize) -> &Column {
 fn domain_selection(domain: ScanDomain) -> SelectionVector {
     match domain {
         ScanDomain::Full(len) => SelectionVector::all(len),
+        ScanDomain::Range { start, end } => {
+            SelectionVector::from_sorted_rows((start..end).collect())
+        }
         ScanDomain::Candidates(rows) => SelectionVector::from_sorted_rows(rows.to_vec()),
     }
 }
@@ -433,25 +600,39 @@ fn domain_selection(domain: ScanDomain) -> SelectionVector {
 /// Set difference `domain \ sel` (both sorted): the NOT combinator within a
 /// domain.
 fn domain_minus(domain: ScanDomain, sel: &SelectionVector) -> SelectionVector {
-    match domain {
-        ScanDomain::Full(len) => sel.complement(len),
-        ScanDomain::Candidates(rows) => {
-            let mut out = Vec::with_capacity(rows.len().saturating_sub(sel.len()));
-            let mut excluded = sel.rows().iter().peekable();
-            for &row in rows {
-                while let Some(&&e) = excluded.peek() {
-                    if e < row {
-                        excluded.next();
-                    } else {
-                        break;
-                    }
-                }
-                if excluded.peek() != Some(&&row) {
-                    out.push(row);
+    fn minus(
+        rows: impl Iterator<Item = usize>,
+        capacity: usize,
+        sel: &SelectionVector,
+    ) -> Vec<usize> {
+        let mut out = Vec::with_capacity(capacity);
+        let mut excluded = sel.rows().iter().peekable();
+        for row in rows {
+            while let Some(&&e) = excluded.peek() {
+                if e < row {
+                    excluded.next();
+                } else {
+                    break;
                 }
             }
-            SelectionVector::from_sorted_rows(out)
+            if excluded.peek() != Some(&&row) {
+                out.push(row);
+            }
         }
+        out
+    }
+    match domain {
+        ScanDomain::Full(len) => sel.complement(len),
+        ScanDomain::Range { start, end } => SelectionVector::from_sorted_rows(minus(
+            start..end,
+            (end - start).saturating_sub(sel.len()),
+            sel,
+        )),
+        ScanDomain::Candidates(rows) => SelectionVector::from_sorted_rows(minus(
+            rows.iter().copied(),
+            rows.len().saturating_sub(sel.len()),
+            sel,
+        )),
     }
 }
 
@@ -879,6 +1060,94 @@ mod tests {
         assert!(c.evaluate(&other).is_err());
         assert!(c.matches_schema(t.schema()));
         assert!(!c.matches_schema(other.schema()));
+    }
+
+    #[test]
+    fn partitioned_paths_match_single_threaded_bitwise() {
+        let t = test_table();
+        let predicates = vec![
+            Predicate::True,
+            Predicate::False,
+            Predicate::between("ra", 175.0, 191.0),
+            Predicate::eq("class", "GALAXY").and(Predicate::lt("ra", 195.0)),
+            Predicate::eq("class", "QSO").or(Predicate::eq("class", "STAR")),
+            Predicate::eq("class", "GALAXY").negate(),
+            Predicate::IsNull("r_mag".into()),
+        ];
+        for p in predicates {
+            let c = compiled(&p, &t);
+            let single = c.evaluate(&t).unwrap();
+            let (single_count, single_count_stats) = c.count_matches(&t).unwrap();
+            let (single_sketch, single_moment_stats) = c.filter_moments(&t, "r_mag").unwrap();
+            for shards in [1usize, 2, 3, 5, 9] {
+                let parts = Partitioning::even(t.row_count(), shards);
+                let (sel, stats) = c.evaluate_partitioned(&t, &parts).unwrap();
+                assert_eq!(sel, single, "selection for {p} at {shards} shards");
+                assert_eq!(stats.len(), parts.shard_count());
+                let (count, count_stats) = c.count_matches_partitioned(&t, &parts).unwrap();
+                assert_eq!(count, single_count, "count for {p} at {shards} shards");
+                assert_eq!(
+                    count_stats.iter().map(|s| s.rows_visited).sum::<u64>(),
+                    single_count_stats.rows_visited,
+                    "count stats for {p} at {shards} shards"
+                );
+                let (sketch, moment_stats) =
+                    c.filter_moments_partitioned(&t, "r_mag", &parts).unwrap();
+                // bit-identity, not just numeric equality
+                assert_eq!(sketch.matched, single_sketch.matched);
+                assert_eq!(sketch.count, single_sketch.count);
+                assert_eq!(sketch.sum.to_bits(), single_sketch.sum.to_bits());
+                assert_eq!(sketch.sum_sq.to_bits(), single_sketch.sum_sq.to_bits());
+                assert_eq!(sketch.mean.to_bits(), single_sketch.mean.to_bits());
+                assert_eq!(sketch.m2.to_bits(), single_sketch.m2.to_bits());
+                assert_eq!(sketch.min.to_bits(), single_sketch.min.to_bits());
+                assert_eq!(sketch.max.to_bits(), single_sketch.max.to_bits());
+                assert_eq!(
+                    moment_stats.iter().map(|s| s.rows_visited).sum::<u64>(),
+                    single_moment_stats.rows_visited,
+                    "moment stats for {p} at {shards} shards"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_errors_are_deterministic() {
+        let t = test_table();
+        // NaN constant errors on every shard with a valid row; the lowest
+        // shard's error wins, matching the single-threaded error
+        let p = Predicate::gt("ra", f64::NAN);
+        let c = compiled(&p, &t);
+        let parts = Partitioning::even(t.row_count(), 3);
+        assert!(matches!(
+            c.evaluate_partitioned(&t, &parts),
+            Err(ColumnarError::TypeMismatch { .. })
+        ));
+        assert!(c.count_matches_partitioned(&t, &parts).is_err());
+        assert!(c.filter_moments_partitioned(&t, "r_mag", &parts).is_err());
+    }
+
+    #[test]
+    fn partitioning_must_cover_the_table() {
+        let t = test_table();
+        let c = compiled(&Predicate::True, &t);
+        let bad = Partitioning::even(t.row_count() + 1, 2);
+        assert!(matches!(
+            c.evaluate_partitioned(&t, &bad),
+            Err(ColumnarError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn partitioned_scan_on_empty_table() {
+        let schema = Schema::shared(vec![Field::nullable("x", DataType::Float64)]).unwrap();
+        let t = Table::new("t", schema);
+        let c = CompiledPredicate::compile(&Predicate::lt("x", 1.0), t.schema()).unwrap();
+        let parts = Partitioning::even(0, 4);
+        let (sel, _) = c.evaluate_partitioned(&t, &parts).unwrap();
+        assert!(sel.is_empty());
+        let (count, _) = c.count_matches_partitioned(&t, &parts).unwrap();
+        assert_eq!(count, 0);
     }
 
     #[test]

@@ -49,12 +49,23 @@
 use crate::column::Bitmap;
 use crate::expr::CompareOp;
 
-/// Which rows a kernel visits: the whole column or a sorted candidate list
-/// produced by an earlier predicate of the same conjunction.
+/// Which rows a kernel visits: the whole column, a contiguous row range (one
+/// shard of a [`crate::Partitioning`]), or a sorted candidate list produced
+/// by an earlier predicate of the same conjunction.
 #[derive(Debug, Clone, Copy)]
 pub enum ScanDomain<'a> {
     /// Scan rows `0..len`.
     Full(usize),
+    /// Scan the contiguous rows `start..end` (absolute positions). This is
+    /// the per-shard domain of the partitioned scan path: row ids emitted
+    /// from a range are absolute, so per-shard results concatenate without
+    /// rebasing.
+    Range {
+        /// First row (inclusive).
+        start: usize,
+        /// One past the last row.
+        end: usize,
+    },
     /// Scan exactly these (sorted, unique) row positions.
     Candidates(&'a [usize]),
 }
@@ -64,6 +75,7 @@ impl ScanDomain<'_> {
     pub fn len(&self) -> usize {
         match self {
             ScanDomain::Full(len) => *len,
+            ScanDomain::Range { start, end } => end.saturating_sub(*start),
             ScanDomain::Candidates(rows) => rows.len(),
         }
     }
@@ -256,6 +268,11 @@ macro_rules! scan_rows {
         match $domain {
             ScanDomain::Full(len) => {
                 for $row in 0..len {
+                    $body
+                }
+            }
+            ScanDomain::Range { start, end } => {
+                for $row in start..end {
                     $body
                 }
             }
@@ -629,6 +646,40 @@ mod tests {
         assert!(ScanDomain::Full(0).is_empty());
         let rows = [1usize, 3];
         assert_eq!(ScanDomain::Candidates(&rows).len(), 2);
+        assert_eq!(ScanDomain::Range { start: 2, end: 7 }.len(), 5);
+        assert!(ScanDomain::Range { start: 3, end: 3 }.is_empty());
+    }
+
+    #[test]
+    fn range_domain_scans_absolute_positions() {
+        let values = [5i64, -2, 9, 0, 7];
+        let mut out = Vec::new();
+        scan_cmp_i64(
+            &values,
+            None,
+            ScanDomain::Range { start: 1, end: 4 },
+            CompareOp::GtEq,
+            0,
+            &mut out,
+        );
+        // rows 2 and 3 qualify within the range; row ids stay absolute
+        assert_eq!(out, vec![2, 3]);
+        let validity = bitmap(&[true, true, false, true, true]);
+        let mut out = Vec::new();
+        scan_cmp_i64(
+            &values,
+            Some(&validity),
+            ScanDomain::Range { start: 1, end: 4 },
+            CompareOp::GtEq,
+            0,
+            &mut out,
+        );
+        assert_eq!(out, vec![3]);
+        assert!(!any_valid(
+            Some(&validity),
+            ScanDomain::Range { start: 2, end: 3 }
+        ));
+        assert!(!any_valid(None, ScanDomain::Range { start: 2, end: 2 }));
     }
 
     #[test]

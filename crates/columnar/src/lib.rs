@@ -18,6 +18,11 @@
 //!   ([`kernels`]), including fused filter+aggregate scans that stream
 //!   matching rows into moment accumulators ([`MomentSketch`]) without
 //!   materialising a selection,
+//! * a sharded parallel scan path: contiguous row-range partitionings
+//!   ([`Partitioning`]) fanned out over `std::thread::scope` workers, with
+//!   per-shard results merged in fixed shard order so sharded execution is
+//!   bit-identical to the single-threaded kernels
+//!   ([`CompiledPredicate::filter_moments_partitioned`]),
 //! * exact aggregates and grouped aggregates ([`compute_aggregate`]),
 //! * FK hash joins between fact and dimension tables ([`hash_join_index`]),
 //! * a concurrent catalog of named tables ([`Catalog`]).
@@ -53,6 +58,7 @@ pub mod error;
 pub mod expr;
 pub mod join;
 pub mod kernels;
+pub mod partition;
 pub mod schema;
 pub mod selection;
 pub mod table;
@@ -68,6 +74,7 @@ pub use join::{hash_join_index, key_containment, materialize_join, JoinIndex, Jo
 pub use kernels::{
     AggSource, CountSink, MomentSink, MomentSketch, NumBound, ScanDomain, SelectionSink,
 };
+pub use partition::Partitioning;
 pub use schema::{Field, Schema, SchemaRef};
 pub use selection::SelectionVector;
 pub use table::{RecordBatch, RecordBatchBuilder, Table};

@@ -33,10 +33,17 @@ impl fmt::Display for EvaluationLevel {
 pub struct LevelScan {
     /// The level that was evaluated.
     pub level: EvaluationLevel,
-    /// Row positions visited by the scan kernels at this level.
+    /// Row positions visited by the scan kernels at this level, summed
+    /// across all shards when the scan fanned out (`rows_scanned` is the
+    /// rolled-up per-shard accounting, so it stays comparable between
+    /// single-threaded and sharded runs).
     pub rows_scanned: u64,
     /// Wall-clock time spent evaluating this level.
     pub elapsed: Duration,
+    /// Number of parallel scan shards used at this level (1 = the scan ran
+    /// on the calling thread). When several passes hit the same level, the
+    /// widest fan-out is reported.
+    pub shards: usize,
 }
 
 /// The answer to an aggregate query evaluated under bounds.
@@ -62,7 +69,11 @@ pub struct ApproximateAnswer {
     pub level_scans: Vec<LevelScan>,
     /// Whether the requested error bound was met.
     pub error_bound_met: bool,
-    /// Whether the requested row-budget (runtime) bound was respected.
+    /// Whether the runtime bounds were *actually* respected: the final
+    /// evaluation stayed within the row budget **and** the wall-clock
+    /// elapsed when the answer was produced was within `time_budget`. This
+    /// is measured, never assumed — an engine that blows the budget while
+    /// evaluating its final level reports `false` here.
     pub time_bound_met: bool,
 }
 
@@ -131,6 +142,10 @@ pub struct SelectAnswer {
     pub elapsed: Duration,
     /// Per-level measured scan accounting, in escalation order.
     pub level_scans: Vec<LevelScan>,
+    /// Whether the runtime bounds were respected: escalation never exceeded
+    /// the row budget and the answer was produced within `time_budget`
+    /// (measured, like [`ApproximateAnswer::time_bound_met`]).
+    pub time_bound_met: bool,
 }
 
 impl SelectAnswer {
@@ -176,11 +191,13 @@ mod tests {
                     level: EvaluationLevel::Layer(4),
                     rows_scanned: 500,
                     elapsed: Duration::from_millis(2),
+                    shards: 1,
                 },
                 LevelScan {
                     level: EvaluationLevel::Layer(3),
                     rows_scanned: 500,
                     elapsed: Duration::from_millis(3),
+                    shards: 4,
                 },
             ],
             error_bound_met: true,
@@ -246,6 +263,7 @@ mod tests {
             escalations: 0,
             elapsed: Duration::from_micros(10),
             level_scans: Vec::new(),
+            time_bound_met: true,
         };
         assert_eq!(a.returned_rows(), 2);
         assert_eq!(a.estimated_total_matches, 200.0);

@@ -54,6 +54,18 @@ pub struct SciborqConfig {
     pub cpu_cache_bytes: usize,
     /// Byte budget treated as "fits in main memory".
     pub main_memory_bytes: usize,
+    /// Maximum number of scan shards (worker threads) the engine may fan a
+    /// single scan out to. `1` keeps every scan on the calling thread.
+    /// Larger tables (base-data fallbacks, big impressions) are split into
+    /// this many contiguous row ranges and scanned in parallel; results are
+    /// merged in fixed shard order, so answers are bit-identical to
+    /// single-threaded execution regardless of this knob. Small tables stay
+    /// single-threaded no matter the setting (fan-out overhead would exceed
+    /// the scan). Fan-out pays off when the predicate filters: for
+    /// aggregates over near-unselective predicates the sequential
+    /// aggregation tail dominates and sharding buys little (bit-identity
+    /// requires the float fold to stay in global row order).
+    pub parallelism: usize,
 }
 
 impl Default for SciborqConfig {
@@ -68,6 +80,7 @@ impl Default for SciborqConfig {
             focal_threshold: 2.0,
             cpu_cache_bytes: 8 << 20,   // 8 MiB
             main_memory_bytes: 4 << 30, // 4 GiB
+            parallelism: 1,
         }
     }
 }
@@ -105,7 +118,16 @@ impl SciborqConfig {
         if !(0.0..=1.0).contains(&self.adapt_threshold) {
             return Err("adapt_threshold must lie in [0, 1]".to_owned());
         }
+        if self.parallelism == 0 {
+            return Err("parallelism must be at least 1".to_owned());
+        }
         Ok(())
+    }
+
+    /// A copy of this configuration with the scan fan-out set to `shards`.
+    pub fn with_parallelism(mut self, shards: usize) -> Self {
+        self.parallelism = shards;
+        self
     }
 
     /// Number of configured impression layers (excluding layer 0 = base).
@@ -152,6 +174,16 @@ mod tests {
         c = SciborqConfig::default();
         c.adapt_threshold = 1.5;
         assert!(c.validate().is_err());
+        c = SciborqConfig::default();
+        c.parallelism = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn parallelism_builder() {
+        let c = SciborqConfig::default().with_parallelism(4);
+        assert_eq!(c.parallelism, 4);
+        assert!(c.validate().is_ok());
     }
 
     #[test]

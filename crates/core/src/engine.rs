@@ -9,7 +9,13 @@
 //! rows it would scan fits the query's row budget (the analogue of "give me
 //! the most representative result you can obtain within 5 minutes") and, if a
 //! wall-clock budget is given, by stopping escalation once the budget is
-//! exhausted.
+//! exhausted. The reported `time_bound_met` is *measured* at the moment the
+//! answer is produced — an evaluation that blows the clock mid-level returns
+//! its best effort flagged `time_bound_met: false`, never a bound it did not
+//! actually keep. Scans over the base data and large impressions fan out
+//! across the shards configured by [`SciborqConfig::parallelism`]; the merge
+//! order is fixed, so sharded answers are bit-identical to single-threaded
+//! ones.
 
 use crate::answer::{ApproximateAnswer, EvaluationLevel, SelectAnswer};
 use crate::config::SciborqConfig;
@@ -154,9 +160,18 @@ impl BoundedQueryEngine {
 
         let start = Instant::now();
         let max_error = bounds.max_relative_error.unwrap_or(f64::INFINITY);
+        // Honest wall-clock check: re-evaluated at every decision point and
+        // at every return, never assumed.
+        let time_ok = || {
+            bounds
+                .time_budget
+                .is_none_or(|budget| start.elapsed() <= budget)
+        };
         // Compile the predicate once; every level reuses the compiled form
-        // and contributes measured scan accounting.
-        let mut exec = QueryExecution::new(query.predicate.clone());
+        // and contributes measured scan accounting. Large levels fan out
+        // across the configured scan shards.
+        let mut exec =
+            QueryExecution::with_parallelism(query.predicate.clone(), self.config.parallelism);
         let mut escalations = 0usize;
         let mut best: Option<(Option<f64>, Option<ConfidenceInterval>, EvaluationLevel)> = None;
 
@@ -165,14 +180,18 @@ impl BoundedQueryEngine {
             let level_rows = impression.row_count() as u64;
             if let Some(budget) = bounds.max_rows_scanned {
                 if level_rows > budget {
-                    // this and every more detailed level violates the runtime bound
-                    break;
+                    // This level violates the row budget. `continue` rather
+                    // than `break`: breaking would silently assume the
+                    // escalation order is sorted by row count, and an
+                    // unsorted hierarchy would then skip admissible levels.
+                    continue;
                 }
             }
-            if let (Some(budget), Some(_)) = (bounds.time_budget, &best) {
-                if start.elapsed() > budget {
-                    break;
-                }
+            // Stop escalating once the wall-clock budget is spent — but
+            // always evaluate at least one admissible level, so the engine
+            // returns its best effort rather than nothing.
+            if best.is_some() && !time_ok() {
+                break;
             }
             if best.is_some() {
                 escalations += 1;
@@ -201,6 +220,9 @@ impl BoundedQueryEngine {
             best = Some((value, interval, level));
             if met {
                 let (value, interval, level) = best.expect("just set");
+                // time_bound_met is measured *after* the winning evaluation:
+                // meeting the error bound does not excuse blowing the clock.
+                let time_bound_met = time_ok();
                 return Ok(ApproximateAnswer {
                     query: query.to_string(),
                     value,
@@ -211,8 +233,13 @@ impl BoundedQueryEngine {
                     elapsed: start.elapsed(),
                     level_scans: exec.into_level_scans(),
                     error_bound_met: true,
-                    time_bound_met: true,
+                    time_bound_met,
                 });
+            }
+            // Re-check after the level: if this evaluation blew the budget,
+            // escalating further would only dig the hole deeper.
+            if !time_ok() {
+                break;
             }
         }
 
@@ -222,10 +249,7 @@ impl BoundedQueryEngine {
                 .max_rows_scanned
                 .is_none_or(|budget| t.row_count() as u64 <= budget)
         });
-        let time_left = bounds
-            .time_budget
-            .is_none_or(|budget| start.elapsed() <= budget);
-        if let (Some(table), Some(true), true) = (base_table, base_admissible, time_left) {
+        if let (Some(table), Some(true), true) = (base_table, base_admissible, time_ok()) {
             if best.is_some() {
                 escalations += 1;
             }
@@ -243,6 +267,9 @@ impl BoundedQueryEngine {
                         .aggregate(agg_kind)
                 }
             };
+            // Measured honesty: the base scan itself may exceed the
+            // wall-clock budget even though it was admissible on entry.
+            let time_bound_met = time_ok();
             return Ok(ApproximateAnswer {
                 query: query.to_string(),
                 value,
@@ -253,9 +280,7 @@ impl BoundedQueryEngine {
                 elapsed: start.elapsed(),
                 level_scans: exec.into_level_scans(),
                 error_bound_met: true,
-                time_bound_met: bounds
-                    .max_rows_scanned
-                    .is_none_or(|budget| (table.row_count() as u64) <= budget),
+                time_bound_met,
             });
         }
 
@@ -268,6 +293,7 @@ impl BoundedQueryEngine {
                         .as_ref()
                         .map(|ci| ci.satisfies_error_bound(max_error))
                         .unwrap_or(false);
+                let time_bound_met = time_ok();
                 Ok(ApproximateAnswer {
                     query: query.to_string(),
                     value,
@@ -278,7 +304,7 @@ impl BoundedQueryEngine {
                     elapsed: start.elapsed(),
                     level_scans: exec.into_level_scans(),
                     error_bound_met,
-                    time_bound_met: true,
+                    time_bound_met,
                 })
             }
             None => Err(SciborqError::BoundsUnsatisfiable(format!(
@@ -398,7 +424,15 @@ impl BoundedQueryEngine {
         }
         let start = Instant::now();
         let wanted = bounds.min_result_rows.or(query.limit).unwrap_or(usize::MAX);
-        let mut exec = QueryExecution::new(query.predicate.clone());
+        // The same honest wall-clock rule as the aggregate path: the budget
+        // gates escalation and the outcome is reported, never assumed.
+        let time_ok = || {
+            bounds
+                .time_budget
+                .is_none_or(|budget| start.elapsed() <= budget)
+        };
+        let mut exec =
+            QueryExecution::with_parallelism(query.predicate.clone(), self.config.parallelism);
         let mut escalations = 0usize;
         let mut best: Option<(Table, f64, EvaluationLevel)> = None;
 
@@ -406,8 +440,15 @@ impl BoundedQueryEngine {
             let level_rows = impression.row_count() as u64;
             if let Some(budget) = bounds.max_rows_scanned {
                 if level_rows > budget {
-                    break;
+                    // see execute_aggregate: don't assume sorted escalation
+                    // order — a later level may still be admissible
+                    continue;
                 }
+            }
+            // Stop escalating once the wall-clock budget is spent (but
+            // always evaluate at least one admissible level).
+            if best.is_some() && !time_ok() {
+                break;
             }
             if best.is_some() {
                 escalations += 1;
@@ -426,6 +467,7 @@ impl BoundedQueryEngine {
             best = Some((result, estimated, level));
             if got_enough {
                 let (rows, estimated_total_matches, level) = best.expect("just set");
+                let time_bound_met = time_ok();
                 return Ok(SelectAnswer {
                     query: query.to_string(),
                     rows,
@@ -435,7 +477,11 @@ impl BoundedQueryEngine {
                     escalations,
                     elapsed: start.elapsed(),
                     level_scans: exec.into_level_scans(),
+                    time_bound_met,
                 });
+            }
+            if !time_ok() {
+                break;
             }
         }
 
@@ -444,7 +490,7 @@ impl BoundedQueryEngine {
             let admissible = bounds
                 .max_rows_scanned
                 .is_none_or(|budget| table.row_count() as u64 <= budget);
-            if admissible {
+            if admissible && time_ok() {
                 if best.is_some() {
                     escalations += 1;
                 }
@@ -454,6 +500,7 @@ impl BoundedQueryEngine {
                     selection.truncate(limit);
                 }
                 let rows = table.gather(&selection, format!("{}.result", table.name()))?;
+                let time_bound_met = time_ok();
                 return Ok(SelectAnswer {
                     query: query.to_string(),
                     rows,
@@ -463,21 +510,26 @@ impl BoundedQueryEngine {
                     escalations,
                     elapsed: start.elapsed(),
                     level_scans: exec.into_level_scans(),
+                    time_bound_met,
                 });
             }
         }
 
         match best {
-            Some((rows, estimated_total_matches, level)) => Ok(SelectAnswer {
-                query: query.to_string(),
-                rows,
-                estimated_total_matches,
-                level,
-                rows_scanned: exec.rows_scanned(),
-                escalations,
-                elapsed: start.elapsed(),
-                level_scans: exec.into_level_scans(),
-            }),
+            Some((rows, estimated_total_matches, level)) => {
+                let time_bound_met = time_ok();
+                Ok(SelectAnswer {
+                    query: query.to_string(),
+                    rows,
+                    estimated_total_matches,
+                    level,
+                    rows_scanned: exec.rows_scanned(),
+                    escalations,
+                    elapsed: start.elapsed(),
+                    level_scans: exec.into_level_scans(),
+                    time_bound_met,
+                })
+            }
             None => Err(SciborqError::BoundsUnsatisfiable(format!(
                 "no impression of {} fits a row budget of {:?}",
                 hierarchy.source_table(),
@@ -725,6 +777,126 @@ mod tests {
             .execute_aggregate(&query, &h, Some(&table), &QueryBounds::default())
             .unwrap();
         assert!(unbounded.value.unwrap() <= 24.0);
+    }
+
+    #[test]
+    fn blown_time_budget_is_reported_honestly() {
+        let table = base_table(50_000);
+        let h = hierarchy(&table, vec![5_000, 500]);
+        // 1% selectivity: the 500-row layer cannot meet a 1% error bound, so
+        // without a time budget the engine would escalate. A zero budget is
+        // blown the moment the first level finishes: the engine must stop
+        // there and must NOT claim the time bound was met.
+        let query = Query::count("photoobj", Predicate::lt("ra", 3.6));
+        let bounds = QueryBounds::max_error(0.01).with_time_budget(Duration::ZERO);
+        let answer = engine()
+            .execute_aggregate(&query, &h, Some(&table), &bounds)
+            .unwrap();
+        assert_eq!(answer.level, EvaluationLevel::Layer(2));
+        assert_eq!(answer.escalations, 0);
+        assert!(!answer.error_bound_met);
+        assert!(
+            !answer.time_bound_met,
+            "a zero time budget cannot have been met"
+        );
+    }
+
+    #[test]
+    fn met_error_bound_does_not_excuse_a_blown_clock() {
+        let table = base_table(50_000);
+        let h = hierarchy(&table, vec![5_000, 500]);
+        // the loosest possible bound is met on the very first level, but the
+        // zero clock budget was still blown while evaluating it
+        let query = Query::count("photoobj", Predicate::lt("ra", 180.0));
+        let bounds = QueryBounds::max_error(0.5).with_time_budget(Duration::ZERO);
+        let answer = engine()
+            .execute_aggregate(&query, &h, Some(&table), &bounds)
+            .unwrap();
+        assert!(answer.error_bound_met);
+        assert!(!answer.time_bound_met);
+    }
+
+    #[test]
+    fn generous_time_budget_reports_met_through_base_data() {
+        let table = base_table(20_000);
+        let h = hierarchy(&table, vec![2_000, 200]);
+        let query = Query::count("photoobj", Predicate::lt("ra", 36.0));
+        let bounds = QueryBounds::max_error(1e-9).with_time_budget(Duration::from_secs(60));
+        let answer = engine()
+            .execute_aggregate(&query, &h, Some(&table), &bounds)
+            .unwrap();
+        assert_eq!(answer.level, EvaluationLevel::BaseData);
+        assert!(answer.time_bound_met);
+        assert!(answer.error_bound_met);
+    }
+
+    #[test]
+    fn select_time_budget_stops_escalation_and_is_surfaced() {
+        let table = base_table(100_000);
+        let h = hierarchy(&table, vec![10_000, 1_000]);
+        // 0.5% selectivity: the 1000-row layer holds ~5 matches, far short
+        // of the LIMIT, so an unbounded run escalates. The zero time budget
+        // pins the answer to the first level and must be reported blown.
+        let query = Query::select("photoobj", Predicate::lt("ra", 1.8)).with_limit(50);
+        let bounds = QueryBounds {
+            time_budget: Some(Duration::ZERO),
+            ..QueryBounds::default()
+        };
+        let answer = engine()
+            .execute_select(&query, &h, Some(&table), &bounds)
+            .unwrap();
+        assert_eq!(answer.level, EvaluationLevel::Layer(2));
+        assert_eq!(answer.escalations, 0);
+        assert!(answer.returned_rows() < 50);
+        assert!(!answer.time_bound_met);
+
+        // without a time budget the same query escalates and reports the
+        // (trivially satisfied) bound as met
+        let unbounded = engine()
+            .execute_select(&query, &h, Some(&table), &QueryBounds::default())
+            .unwrap();
+        assert!(unbounded.escalations >= 1);
+        assert!(unbounded.time_bound_met);
+    }
+
+    #[test]
+    fn sharded_engine_answers_are_bit_identical_to_single_threaded() {
+        let table = base_table(100_000);
+        let h = hierarchy(&table, vec![10_000, 1_000]);
+        let serial = engine();
+        let sharded =
+            BoundedQueryEngine::new(SciborqConfig::default().with_parallelism(4)).unwrap();
+        let queries = [
+            Query::count("photoobj", Predicate::lt("ra", 90.0)),
+            Query::aggregate(
+                "photoobj",
+                Predicate::lt("ra", 180.0),
+                AggregateKind::Sum,
+                "r_mag",
+            ),
+            Query::aggregate("photoobj", Predicate::True, AggregateKind::Avg, "r_mag"),
+        ];
+        for query in &queries {
+            // the tiny error bound forces escalation through every layer and
+            // into the 100k-row base table, which fans out at parallelism 4
+            let bounds = QueryBounds::max_error(1e-12);
+            let a = serial
+                .execute_aggregate(query, &h, Some(&table), &bounds)
+                .unwrap();
+            let b = sharded
+                .execute_aggregate(query, &h, Some(&table), &bounds)
+                .unwrap();
+            assert_eq!(a.level, b.level, "level for {query}");
+            assert_eq!(
+                a.value.map(f64::to_bits),
+                b.value.map(f64::to_bits),
+                "value bits for {query}"
+            );
+            assert_eq!(a.rows_scanned, b.rows_scanned, "rows scanned for {query}");
+            let base_scan = b.level_scans.last().expect("base level recorded");
+            assert_eq!(base_scan.shards, 4, "base scan fans out for {query}");
+            assert!(a.level_scans.iter().all(|l| l.shards == 1));
+        }
     }
 
     #[test]

@@ -17,9 +17,15 @@
 use crate::answer::{EvaluationLevel, LevelScan};
 use crate::error::Result;
 use sciborq_columnar::{
-    CompiledPredicate, MomentSketch, Predicate, ScanStats, SelectionVector, Table,
+    CompiledPredicate, MomentSketch, Partitioning, Predicate, ScanStats, SelectionVector, Table,
 };
 use std::time::Instant;
+
+/// Minimum rows a shard must hold before a scan is worth fanning out: below
+/// this, thread spawn/join overhead dwarfs the per-shard scan. Tables
+/// smaller than `2 × MIN_ROWS_PER_SHARD` therefore always scan on the
+/// calling thread, whatever the configured parallelism.
+pub const MIN_ROWS_PER_SHARD: usize = 4_096;
 
 /// Per-query execution state: the compiled predicate plus measured
 /// per-level scan accounting.
@@ -28,15 +34,37 @@ pub struct QueryExecution {
     predicate: Predicate,
     compiled: Option<CompiledPredicate>,
     levels: Vec<LevelScan>,
+    parallelism: usize,
 }
 
 impl QueryExecution {
-    /// Start executing a query with the given predicate.
+    /// Start executing a query with the given predicate, single-threaded.
     pub fn new(predicate: Predicate) -> Self {
+        QueryExecution::with_parallelism(predicate, 1)
+    }
+
+    /// Start executing a query that may fan scans out over up to
+    /// `parallelism` shards. Sharding engages per table: only tables with at
+    /// least [`MIN_ROWS_PER_SHARD`] rows per shard fan out (small
+    /// impressions stay on the calling thread), and the shard merge order is
+    /// fixed, so results are bit-identical to `parallelism == 1` execution.
+    pub fn with_parallelism(predicate: Predicate, parallelism: usize) -> Self {
         QueryExecution {
             predicate,
             compiled: None,
             levels: Vec::new(),
+            parallelism: parallelism.max(1),
+        }
+    }
+
+    /// The shard layout used for a table of `rows` rows: `None` when the
+    /// scan should stay single-threaded.
+    fn partitioning(&self, rows: usize) -> Option<Partitioning> {
+        let shards = self.parallelism.min(rows / MIN_ROWS_PER_SHARD);
+        if shards >= 2 {
+            Some(Partitioning::even(rows, shards))
+        } else {
+            None
         }
     }
 
@@ -55,13 +83,20 @@ impl QueryExecution {
         Ok(self.compiled.as_ref().expect("compiled just above"))
     }
 
-    fn record(&mut self, level: EvaluationLevel, stats: ScanStats, started: Instant) {
+    fn record(
+        &mut self,
+        level: EvaluationLevel,
+        stats: ScanStats,
+        shards: usize,
+        started: Instant,
+    ) {
         let elapsed = started.elapsed();
         // merge repeated passes over the same level (e.g. selection + count)
         if let Some(last) = self.levels.last_mut() {
             if last.level == level {
                 last.rows_scanned += stats.rows_visited;
                 last.elapsed += elapsed;
+                last.shards = last.shards.max(shards);
                 return;
             }
         }
@@ -69,15 +104,37 @@ impl QueryExecution {
             level,
             rows_scanned: stats.rows_visited,
             elapsed,
+            shards,
         });
+    }
+
+    /// Roll per-shard scan stats up into one total (the per-shard accounting
+    /// surfaces as `LevelScan::{rows_scanned, shards}`).
+    fn roll_up(per_shard: &[ScanStats]) -> ScanStats {
+        let mut total = ScanStats::default();
+        for s in per_shard {
+            total.merge(s);
+        }
+        total
     }
 
     /// Materialise the selection of qualifying rows at `level` (used by
     /// SELECT queries and the weighted estimators of biased impressions).
     pub fn selection(&mut self, level: EvaluationLevel, table: &Table) -> Result<SelectionVector> {
         let started = Instant::now();
-        let (selection, stats) = self.compiled_for(table)?.evaluate_with_stats(table)?;
-        self.record(level, stats, started);
+        let parts = self.partitioning(table.row_count());
+        let compiled = self.compiled_for(table)?;
+        let (selection, stats, shards) = match parts {
+            Some(parts) => {
+                let (selection, per_shard) = compiled.evaluate_partitioned(table, &parts)?;
+                (selection, Self::roll_up(&per_shard), parts.shard_count())
+            }
+            None => {
+                let (selection, stats) = compiled.evaluate_with_stats(table)?;
+                (selection, stats, 1)
+            }
+        };
+        self.record(level, stats, shards, started);
         Ok(selection)
     }
 
@@ -85,14 +142,26 @@ impl QueryExecution {
     /// materialising a selection.
     pub fn count_matches(&mut self, level: EvaluationLevel, table: &Table) -> Result<usize> {
         let started = Instant::now();
-        let (count, stats) = self.compiled_for(table)?.count_matches(table)?;
-        self.record(level, stats, started);
+        let parts = self.partitioning(table.row_count());
+        let compiled = self.compiled_for(table)?;
+        let (count, stats, shards) = match parts {
+            Some(parts) => {
+                let (count, per_shard) = compiled.count_matches_partitioned(table, &parts)?;
+                (count, Self::roll_up(&per_shard), parts.shard_count())
+            }
+            None => {
+                let (count, stats) = compiled.count_matches(table)?;
+                (count, stats, 1)
+            }
+        };
+        self.record(level, stats, shards, started);
         Ok(count)
     }
 
     /// Fused filter+aggregate at `level`: stream the aggregated column's
     /// values of every qualifying row into a moment sketch in a single
-    /// pass.
+    /// pass (the filter fans out across shards; the fold stays in global
+    /// row order, so the sketch is bit-identical either way).
     pub fn filter_moments(
         &mut self,
         level: EvaluationLevel,
@@ -100,8 +169,20 @@ impl QueryExecution {
         column: &str,
     ) -> Result<MomentSketch> {
         let started = Instant::now();
-        let (sketch, stats) = self.compiled_for(table)?.filter_moments(table, column)?;
-        self.record(level, stats, started);
+        let parts = self.partitioning(table.row_count());
+        let compiled = self.compiled_for(table)?;
+        let (sketch, stats, shards) = match parts {
+            Some(parts) => {
+                let (sketch, per_shard) =
+                    compiled.filter_moments_partitioned(table, column, &parts)?;
+                (sketch, Self::roll_up(&per_shard), parts.shard_count())
+            }
+            None => {
+                let (sketch, stats) = compiled.filter_moments(table, column)?;
+                (sketch, stats, 1)
+            }
+        };
+        self.record(level, stats, shards, started);
         Ok(sketch)
     }
 
