@@ -30,13 +30,14 @@ use crate::kernels::{
     any_valid, scan_all, scan_cmp_bool, scan_cmp_f64, scan_cmp_i64, scan_cmp_i64_f64, scan_cmp_str,
     scan_is_not_null, scan_is_null, scan_range_bool, scan_range_f64, scan_range_i64,
     scan_range_str, AggSource, CountSink, MomentSink, MomentSketch, NumBound, ScanDomain,
-    SelectionSink,
+    SelectionSink, WeightedMomentSink,
 };
 use crate::partition::Partitioning;
 use crate::schema::SchemaRef;
 use crate::selection::SelectionVector;
 use crate::table::Table;
 use crate::value::{DataType, Value};
+use sciborq_stats::WeightedMomentSketch;
 use std::sync::Arc;
 
 /// Measured scan work performed by a compiled evaluation.
@@ -229,6 +230,123 @@ impl CompiledPredicate {
         Ok((sink.sketch, stats))
     }
 
+    /// Fused weighted filter+count for Hansen–Hurwitz estimation: every
+    /// matching row contributes `1.0` expanded by its single-draw selection
+    /// probability, accumulated into a [`WeightedMomentSketch`] in a single
+    /// pass — no selection vector, no observation vector.
+    ///
+    /// `probabilities` must hold one probability per table row (the
+    /// impression's cached selection-probability slice).
+    pub fn count_weighted(
+        &self,
+        table: &Table,
+        probabilities: &[f64],
+    ) -> Result<(WeightedMomentSketch, ScanStats)> {
+        self.check_table(table)?;
+        check_probabilities(table, probabilities)?;
+        let mut stats = ScanStats::default();
+        let mut sink = WeightedMomentSink::counting(probabilities);
+        self.run_fused(
+            table,
+            ScanDomain::Full(table.row_count()),
+            &mut sink,
+            &mut stats,
+        )?;
+        Ok((sink.sketch, stats))
+    }
+
+    /// Fused weighted filter+aggregate: stream every matching row's value of
+    /// `column`, expanded by its selection probability, into a
+    /// [`WeightedMomentSketch`] in a single pass (including through the
+    /// candidate-list refinement of conjunctions — the terminal conjunct
+    /// pushes straight into the weighted sink).
+    ///
+    /// `column` must be numeric (Int64 or Float64); NULL values only bump
+    /// the sketch's matched count.
+    pub fn filter_weighted_moments(
+        &self,
+        table: &Table,
+        column: &str,
+        probabilities: &[f64],
+    ) -> Result<(WeightedMomentSketch, ScanStats)> {
+        self.check_table(table)?;
+        check_probabilities(table, probabilities)?;
+        let source = agg_source(table, column)?;
+        let mut stats = ScanStats::default();
+        let mut sink = WeightedMomentSink::new(source, probabilities);
+        self.run_fused(
+            table,
+            ScanDomain::Full(table.row_count()),
+            &mut sink,
+            &mut stats,
+        )?;
+        Ok((sink.sketch, stats))
+    }
+
+    /// Sharded [`CompiledPredicate::count_weighted`]. Like
+    /// [`CompiledPredicate::filter_moments_partitioned`], the *filter* fans
+    /// out across shard workers and the per-shard match lists are folded
+    /// into one sketch on the calling thread in ascending shard order —
+    /// global row order — so every accumulated expansion sum is
+    /// **bit-identical** to the serial kernel (float addition is not
+    /// associative; merging per-shard float accumulators could not guarantee
+    /// that).
+    pub fn count_weighted_partitioned(
+        &self,
+        table: &Table,
+        probabilities: &[f64],
+        parts: &Partitioning,
+    ) -> Result<(WeightedMomentSketch, Vec<ScanStats>)> {
+        self.check_partitioning(table, parts)?;
+        check_probabilities(table, probabilities)?;
+        let mut sink = WeightedMomentSink::counting(probabilities);
+        let stats = self.replay_shards_into(table, parts, &mut sink)?;
+        Ok((sink.sketch, stats))
+    }
+
+    /// Sharded [`CompiledPredicate::filter_weighted_moments`], with the same
+    /// fixed shard-order fold (and therefore the same bit-identity
+    /// guarantee) as [`CompiledPredicate::count_weighted_partitioned`].
+    pub fn filter_weighted_moments_partitioned(
+        &self,
+        table: &Table,
+        column: &str,
+        probabilities: &[f64],
+        parts: &Partitioning,
+    ) -> Result<(WeightedMomentSketch, Vec<ScanStats>)> {
+        self.check_partitioning(table, parts)?;
+        check_probabilities(table, probabilities)?;
+        let source = agg_source(table, column)?;
+        let mut sink = WeightedMomentSink::new(source, probabilities);
+        let stats = self.replay_shards_into(table, parts, &mut sink)?;
+        Ok((sink.sketch, stats))
+    }
+
+    /// Fan the filter out over the shards of `parts`, then replay the
+    /// matching rows into `sink` in ascending shard order (= global row
+    /// order): the shared tail of the partitioned fused-aggregate paths.
+    fn replay_shards_into<S: SelectionSink>(
+        &self,
+        table: &Table,
+        parts: &Partitioning,
+        sink: &mut S,
+    ) -> Result<Vec<ScanStats>> {
+        let shards = self.for_each_shard(parts, |domain| {
+            let mut stats = ScanStats::default();
+            let mut rows: Vec<usize> = Vec::new();
+            self.run_fused(table, domain, &mut rows, &mut stats)?;
+            Ok((rows, stats))
+        })?;
+        let mut stats = Vec::with_capacity(shards.len());
+        for (rows, shard_stats) in shards {
+            for row in rows {
+                sink.accept(row);
+            }
+            stats.push(shard_stats);
+        }
+        Ok(stats)
+    }
+
     /// Run the predicate over `base` with the conjunction prefix refined
     /// into candidate lists and the *last* conjunct streamed into `sink`.
     /// `base` is the full table for the single-threaded path and one shard's
@@ -393,22 +511,22 @@ impl CompiledPredicate {
     ) -> Result<(MomentSketch, Vec<ScanStats>)> {
         self.check_partitioning(table, parts)?;
         let source = agg_source(table, column)?;
-        let shards = self.for_each_shard(parts, |domain| {
-            let mut stats = ScanStats::default();
-            let mut rows: Vec<usize> = Vec::new();
-            self.run_fused(table, domain, &mut rows, &mut stats)?;
-            Ok((rows, stats))
-        })?;
         let mut sink = MomentSink::new(source);
-        let mut stats = Vec::with_capacity(shards.len());
-        for (rows, shard_stats) in shards {
-            for row in rows {
-                sink.accept(row);
-            }
-            stats.push(shard_stats);
-        }
+        let stats = self.replay_shards_into(table, parts, &mut sink)?;
         Ok((sink.sketch, stats))
     }
+}
+
+/// The weighted kernels need one single-draw selection probability per table
+/// row; anything else is a caller bug surfaced as a length mismatch.
+fn check_probabilities(table: &Table, probabilities: &[f64]) -> Result<()> {
+    if probabilities.len() != table.row_count() {
+        return Err(ColumnarError::LengthMismatch {
+            expected: table.row_count(),
+            found: probabilities.len(),
+        });
+    }
+    Ok(())
 }
 
 /// Typed access to a numeric aggregation column, shared by the fused and
@@ -1148,6 +1266,123 @@ mod tests {
         assert!(sel.is_empty());
         let (count, _) = c.count_matches_partitioned(&t, &parts).unwrap();
         assert_eq!(count, 0);
+    }
+
+    /// The selection-walk oracle for the weighted kernels: push every
+    /// selected row into a sketch in row order.
+    fn weighted_oracle(
+        table: &Table,
+        column: Option<&str>,
+        sel: &SelectionVector,
+        probabilities: &[f64],
+    ) -> WeightedMomentSketch {
+        let mut sketch = WeightedMomentSketch::new();
+        for row in sel.iter() {
+            match column {
+                None => sketch.push(1.0, probabilities[row]),
+                Some(name) => {
+                    let col = table.column(name).unwrap();
+                    match col.get_f64(row) {
+                        Some(v) => sketch.push(v, probabilities[row]),
+                        None => sketch.push_null(),
+                    }
+                }
+            }
+        }
+        sketch
+    }
+
+    fn assert_sketch_bits(a: &WeightedMomentSketch, b: &WeightedMomentSketch, context: &str) {
+        assert_eq!(a.matched, b.matched, "matched: {context}");
+        assert_eq!(a.count, b.count, "count: {context}");
+        for (name, x, y) in [
+            ("sum_vp", a.sum_vp, b.sum_vp),
+            ("sum_inv_p", a.sum_inv_p, b.sum_inv_p),
+            ("shift_vp", a.shift_vp, b.shift_vp),
+            ("shift_inv_p", a.shift_inv_p, b.shift_inv_p),
+            ("sum_dvp", a.sum_dvp, b.sum_dvp),
+            ("sum_dvp_sq", a.sum_dvp_sq, b.sum_dvp_sq),
+            ("sum_dinv_p", a.sum_dinv_p, b.sum_dinv_p),
+            ("sum_dinv_p_sq", a.sum_dinv_p_sq, b.sum_dinv_p_sq),
+            ("sum_dvp_dinv_p", a.sum_dvp_dinv_p, b.sum_dvp_dinv_p),
+            ("min_p", a.min_p, b.min_p),
+        ] {
+            assert_eq!(x.to_bits(), y.to_bits(), "{name}: {context}");
+        }
+    }
+
+    #[test]
+    fn weighted_kernels_match_selection_walk_bitwise() {
+        let t = test_table();
+        let probabilities: Vec<f64> = (0..t.row_count())
+            .map(|i| 0.001 * (1.0 + i as f64))
+            .collect();
+        let predicates = vec![
+            Predicate::True,
+            Predicate::False,
+            Predicate::between("ra", 175.0, 191.0),
+            Predicate::eq("class", "GALAXY").and(Predicate::lt("ra", 195.0)),
+            Predicate::eq("class", "QSO").or(Predicate::eq("class", "STAR")),
+            Predicate::IsNull("r_mag".into()),
+        ];
+        for p in predicates {
+            let c = compiled(&p, &t);
+            let sel = p.evaluate(&t).unwrap();
+            let (count_sketch, _) = c.count_weighted(&t, &probabilities).unwrap();
+            assert_sketch_bits(
+                &count_sketch,
+                &weighted_oracle(&t, None, &sel, &probabilities),
+                &format!("count_weighted for {p}"),
+            );
+            let (agg_sketch, _) = c
+                .filter_weighted_moments(&t, "r_mag", &probabilities)
+                .unwrap();
+            assert_sketch_bits(
+                &agg_sketch,
+                &weighted_oracle(&t, Some("r_mag"), &sel, &probabilities),
+                &format!("filter_weighted_moments for {p}"),
+            );
+            for shards in [1usize, 2, 3, 7] {
+                let parts = Partitioning::even(t.row_count(), shards);
+                let (sharded, stats) = c
+                    .count_weighted_partitioned(&t, &probabilities, &parts)
+                    .unwrap();
+                assert_eq!(stats.len(), parts.shard_count());
+                assert_sketch_bits(
+                    &sharded,
+                    &count_sketch,
+                    &format!("sharded count_weighted for {p} at {shards}"),
+                );
+                let (sharded, _) = c
+                    .filter_weighted_moments_partitioned(&t, "r_mag", &probabilities, &parts)
+                    .unwrap();
+                assert_sketch_bits(
+                    &sharded,
+                    &agg_sketch,
+                    &format!("sharded filter_weighted_moments for {p} at {shards}"),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_kernels_validate_inputs() {
+        let t = test_table();
+        let c = compiled(&Predicate::True, &t);
+        let short = vec![0.1; t.row_count() - 1];
+        assert!(matches!(
+            c.count_weighted(&t, &short),
+            Err(ColumnarError::LengthMismatch { .. })
+        ));
+        let probs = vec![0.1; t.row_count()];
+        assert!(matches!(
+            c.filter_weighted_moments(&t, "class", &probs),
+            Err(ColumnarError::NotNumeric(_))
+        ));
+        let parts = Partitioning::even(t.row_count(), 2);
+        assert!(c
+            .filter_weighted_moments_partitioned(&t, "r_mag", &short, &parts)
+            .is_err());
     }
 
     #[test]

@@ -17,7 +17,12 @@
 //! * [`CountSink`] just counts matches (fused COUNT),
 //! * [`MomentSink`] streams the aggregated column's value of every matching
 //!   row straight into a [`MomentSketch`] (fused filter+aggregate) — the
-//!   selection is never materialised.
+//!   selection is never materialised,
+//! * [`WeightedMomentSink`] additionally expands every matching row by a
+//!   caller-supplied single-draw selection probability, accumulating the
+//!   Hansen–Hurwitz sufficient statistics of a
+//!   [`WeightedMomentSketch`] (the streamed estimation path of biased
+//!   impressions).
 //!
 //! ## The fused-aggregate contract
 //!
@@ -48,6 +53,7 @@
 
 use crate::column::Bitmap;
 use crate::expr::CompareOp;
+use sciborq_stats::WeightedMomentSketch;
 
 /// Which rows a kernel visits: the whole column, a contiguous row range (one
 /// shard of a [`crate::Partitioning`]), or a sorted candidate list produced
@@ -242,6 +248,62 @@ impl SelectionSink for MomentSink<'_> {
         match self.source.get(row) {
             Some(v) => self.sketch.push(v),
             None => self.sketch.push_null(),
+        }
+    }
+}
+
+/// Sink that folds matching rows into a [`WeightedMomentSketch`] — the
+/// terminal stage of a fused *weighted* scan, the streamed estimation path
+/// of biased (Hansen–Hurwitz) impressions.
+///
+/// Each matching row `i` contributes its aggregated value (or `1.0` for the
+/// counting sink) expanded by the caller-supplied single-draw selection
+/// probability `probabilities[i]`, accumulated inside the typed tight loop
+/// in row order — the same fold, operation for operation, as the slice-based
+/// `WeightedEstimator`, so streamed estimates stay bit-identical to the
+/// selection-based oracle. Rows whose aggregated value is NULL only bump the
+/// sketch's `matched` count (their zero-extension contributes nothing).
+#[derive(Debug)]
+pub struct WeightedMomentSink<'a> {
+    /// The aggregated column; `None` makes every matching row contribute
+    /// `1.0` (the fused weighted COUNT).
+    source: Option<AggSource<'a>>,
+    /// Per-row single-draw selection probabilities, aligned with the table.
+    probabilities: &'a [f64],
+    /// The accumulated Hansen–Hurwitz sufficient statistics.
+    pub sketch: WeightedMomentSketch,
+}
+
+impl<'a> WeightedMomentSink<'a> {
+    /// A sink aggregating `source` values weighted by `probabilities`.
+    pub fn new(source: AggSource<'a>, probabilities: &'a [f64]) -> Self {
+        WeightedMomentSink {
+            source: Some(source),
+            probabilities,
+            sketch: WeightedMomentSketch::new(),
+        }
+    }
+
+    /// A counting sink: every matching row contributes value `1.0`.
+    pub fn counting(probabilities: &'a [f64]) -> Self {
+        WeightedMomentSink {
+            source: None,
+            probabilities,
+            sketch: WeightedMomentSketch::new(),
+        }
+    }
+}
+
+impl SelectionSink for WeightedMomentSink<'_> {
+    #[inline]
+    fn accept(&mut self, row: usize) {
+        let p = self.probabilities[row];
+        match &self.source {
+            None => self.sketch.push(1.0, p),
+            Some(source) => match source.get(row) {
+                Some(v) => self.sketch.push(v, p),
+                None => self.sketch.push_null(),
+            },
         }
     }
 }

@@ -73,9 +73,13 @@ pub use expr::{CompareOp, Predicate};
 pub use join::{hash_join_index, key_containment, materialize_join, JoinIndex, JoinType};
 pub use kernels::{
     AggSource, CountSink, MomentSink, MomentSketch, NumBound, ScanDomain, SelectionSink,
+    WeightedMomentSink,
 };
+// Re-exported so the weighted scan kernels' accumulator can be consumed
+// without a direct sciborq-stats dependency.
 pub use partition::Partitioning;
 pub use schema::{Field, Schema, SchemaRef};
+pub use sciborq_stats::WeightedMomentSketch;
 pub use selection::SelectionVector;
 pub use table::{RecordBatch, RecordBatchBuilder, Table};
 pub use value::{DataType, Value};

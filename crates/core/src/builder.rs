@@ -315,6 +315,27 @@ impl ImpressionBuilder {
                 )),
             ));
         }
+        // Value-independent fast path: a uniform reservoir's accept/evict
+        // decision depends only on the stream position, and the weight is a
+        // constant 1 whenever no bias steering applies — so the boxed row is
+        // materialised only when the reservoir actually retains it, instead
+        // of cloning every row just to throw most of them away. RNG
+        // consumption matches the row-at-a-time path exactly, so the
+        // resulting impression is bit-identical.
+        let value_independent = matches!(self.sampler, Sampler::Uniform(_))
+            && (self.bias_columns.is_empty() || predicate_set.is_none());
+        if value_independent {
+            let Sampler::Uniform(reservoir) = &mut self.sampler else {
+                unreachable!("checked just above");
+            };
+            for idx in 0..batch.row_count() {
+                self.total_observed_weight += 1.0;
+                reservoir.observe_with(1.0, || {
+                    batch.row(idx).expect("row index within batch bounds")
+                });
+            }
+            return Ok(());
+        }
         for idx in 0..batch.row_count() {
             let row = batch.row(idx)?;
             self.observe_row(row, predicate_set);
@@ -459,6 +480,47 @@ mod tests {
         assert_eq!(imp.name(), "photoobj.l1");
         assert_eq!(imp.layer(), 1);
         assert!(imp.weights().iter().all(|&w| w == 1.0));
+    }
+
+    #[test]
+    fn lazy_batch_path_is_bit_identical_to_row_at_a_time() {
+        // observe_batch takes the value-independent fast path for uniform
+        // builders; the retained sample must match feeding the same rows
+        // through observe_row one by one.
+        let mut batched = ImpressionBuilder::new(
+            "a",
+            "photoobj",
+            schema(),
+            SamplingPolicy::Uniform,
+            64,
+            1,
+            17,
+        )
+        .unwrap();
+        let mut row_wise = ImpressionBuilder::new(
+            "a",
+            "photoobj",
+            schema(),
+            SamplingPolicy::Uniform,
+            64,
+            1,
+            17,
+        )
+        .unwrap();
+        let b = batch(1, 4_000);
+        batched.observe_batch(&b, None).unwrap();
+        for idx in 0..b.row_count() {
+            row_wise.observe_row(b.row(idx).unwrap(), None);
+        }
+        let from_batch = batched.materialize().unwrap();
+        let from_rows = row_wise.materialize().unwrap();
+        assert_eq!(from_batch.data(), from_rows.data());
+        assert_eq!(from_batch.weights(), from_rows.weights());
+        assert_eq!(from_batch.source_rows(), from_rows.source_rows());
+        assert_eq!(
+            from_batch.total_observed_weight(),
+            from_rows.total_observed_weight()
+        );
     }
 
     #[test]

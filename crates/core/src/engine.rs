@@ -315,10 +315,12 @@ impl BoundedQueryEngine {
         }
     }
 
-    /// Evaluate one escalation level. Self-weighted impressions take the
-    /// fused path (count / moment kernels, no selection vector); biased
-    /// impressions materialise a selection because their estimators need
-    /// per-row selection probabilities.
+    /// Evaluate one escalation level through the fused scan kernels — no
+    /// selection vector is materialised for **any** policy. Self-weighted
+    /// impressions stream match counts / moment sketches into the SRS
+    /// estimators; biased impressions stream Hansen–Hurwitz sketches (each
+    /// matching row expanded by the impression's cached selection
+    /// probability) into the weighted estimators.
     fn evaluate_on_impression(
         &self,
         exec: &mut QueryExecution,
@@ -329,46 +331,57 @@ impl BoundedQueryEngine {
         bounds: &QueryBounds,
     ) -> Result<(Option<f64>, Option<ConfidenceInterval>)> {
         let data = impression.data();
-        let streamed = impression.supports_streamed_estimates();
+        let weighted = impression.uses_weighted_estimators();
         let estimate: Option<Estimate> = match agg_kind {
             AggregateKind::Count => {
-                if streamed {
+                if weighted {
+                    let sketch =
+                        exec.count_weighted(level, data, impression.selection_probabilities())?;
+                    Some(impression.estimate_count_weighted(&sketch)?)
+                } else {
                     let matched = exec.count_matches(level, data)?;
                     Some(impression.estimate_count_streamed(matched)?)
-                } else {
-                    let selection = exec.selection(level, data)?;
-                    Some(impression.estimate_count(&selection)?)
                 }
             }
             AggregateKind::Sum => {
                 let column = agg_column.ok_or_else(|| {
                     SciborqError::InvalidConfig("SUM requires a column".to_owned())
                 })?;
-                if streamed {
+                if weighted {
+                    let sketch = exec.filter_weighted_moments(
+                        level,
+                        data,
+                        column,
+                        impression.selection_probabilities(),
+                    )?;
+                    Some(impression.estimate_sum_weighted(&sketch)?)
+                } else {
                     let sketch = exec.filter_moments(level, data, column)?;
                     Some(impression.estimate_sum_streamed(&sketch)?)
-                } else {
-                    let selection = exec.selection(level, data)?;
-                    Some(impression.estimate_sum(column, &selection)?)
                 }
             }
             AggregateKind::Avg => {
                 let column = agg_column.ok_or_else(|| {
                     SciborqError::InvalidConfig("AVG requires a column".to_owned())
                 })?;
-                if streamed {
+                if weighted {
+                    let sketch = exec.filter_weighted_moments(
+                        level,
+                        data,
+                        column,
+                        impression.selection_probabilities(),
+                    )?;
+                    if sketch.matched == 0 {
+                        None
+                    } else {
+                        Some(impression.estimate_avg_weighted(&sketch)?)
+                    }
+                } else {
                     let sketch = exec.filter_moments(level, data, column)?;
                     if sketch.matched == 0 {
                         None
                     } else {
                         Some(impression.estimate_avg_streamed(&sketch)?)
-                    }
-                } else {
-                    let selection = exec.selection(level, data)?;
-                    if selection.is_empty() {
-                        None
-                    } else {
-                        Some(impression.estimate_avg(column, &selection)?)
                     }
                 }
             }
@@ -895,6 +908,67 @@ mod tests {
             assert_eq!(a.rows_scanned, b.rows_scanned, "rows scanned for {query}");
             let base_scan = b.level_scans.last().expect("base level recorded");
             assert_eq!(base_scan.shards, 4, "base scan fans out for {query}");
+            assert!(a.level_scans.iter().all(|l| l.shards == 1));
+        }
+    }
+
+    #[test]
+    fn biased_sharded_answers_are_bit_identical_to_single_threaded() {
+        use sciborq_workload::{AttributeDomain, PredicateSet};
+        let table = base_table(100_000);
+        // a focused workload steers the biased impressions
+        let mut ps = PredicateSet::new(&[("ra", AttributeDomain::new(0.0, 360.0, 36))]).unwrap();
+        for _ in 0..200 {
+            ps.log_value("ra", 90.0);
+            ps.log_value("ra", 95.0);
+        }
+        let config = SciborqConfig::with_layers(vec![20_000, 2_000]);
+        let h = LayerHierarchy::build_from_table(
+            &table,
+            SamplingPolicy::biased(["ra"]),
+            &config,
+            Some(&ps),
+        )
+        .unwrap();
+        let serial = engine();
+        let sharded =
+            BoundedQueryEngine::new(SciborqConfig::default().with_parallelism(4)).unwrap();
+        let queries = [
+            Query::count("photoobj", Predicate::lt("ra", 90.0)),
+            Query::aggregate(
+                "photoobj",
+                Predicate::lt("ra", 180.0),
+                AggregateKind::Sum,
+                "r_mag",
+            ),
+            Query::aggregate("photoobj", Predicate::True, AggregateKind::Avg, "r_mag"),
+        ];
+        for query in &queries {
+            // the tiny error bound forces escalation through both biased
+            // layers (weighted fused kernels, the 20k layer fanning out at
+            // parallelism 4) and into the base table
+            let bounds = QueryBounds::max_error(1e-12);
+            let a = serial
+                .execute_aggregate(query, &h, Some(&table), &bounds)
+                .unwrap();
+            let b = sharded
+                .execute_aggregate(query, &h, Some(&table), &bounds)
+                .unwrap();
+            assert_eq!(a.level, b.level, "level for {query}");
+            assert_eq!(
+                a.value.map(f64::to_bits),
+                b.value.map(f64::to_bits),
+                "value bits for {query}"
+            );
+            assert_eq!(a.rows_scanned, b.rows_scanned, "rows scanned for {query}");
+            // the 20k-row biased layer fans out in the sharded run …
+            let layer1 = b
+                .level_scans
+                .iter()
+                .find(|l| l.level == EvaluationLevel::Layer(1))
+                .expect("layer 1 visited");
+            assert_eq!(layer1.shards, 4, "biased layer-1 scan fans out for {query}");
+            // … and stays single-threaded in the serial run
             assert!(a.level_scans.iter().all(|l| l.shards == 1));
         }
     }

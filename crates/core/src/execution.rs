@@ -18,6 +18,7 @@ use crate::answer::{EvaluationLevel, LevelScan};
 use crate::error::Result;
 use sciborq_columnar::{
     CompiledPredicate, MomentSketch, Partitioning, Predicate, ScanStats, SelectionVector, Table,
+    WeightedMomentSketch,
 };
 use std::time::Instant;
 
@@ -179,6 +180,70 @@ impl QueryExecution {
             }
             None => {
                 let (sketch, stats) = compiled.filter_moments(table, column)?;
+                (sketch, stats, 1)
+            }
+        };
+        self.record(level, stats, shards, started);
+        Ok(sketch)
+    }
+
+    /// Fused *weighted* filter+count at `level`: accumulate the
+    /// Hansen–Hurwitz sufficient statistics of every qualifying row (each
+    /// expanded by its cached selection probability) in a single pass —
+    /// the streamed estimation path of biased impressions. The filter fans
+    /// out across shards; the fold stays in global row order, so the sketch
+    /// is bit-identical to single-threaded execution.
+    pub fn count_weighted(
+        &mut self,
+        level: EvaluationLevel,
+        table: &Table,
+        probabilities: &[f64],
+    ) -> Result<WeightedMomentSketch> {
+        let started = Instant::now();
+        let parts = self.partitioning(table.row_count());
+        let compiled = self.compiled_for(table)?;
+        let (sketch, stats, shards) = match parts {
+            Some(parts) => {
+                let (sketch, per_shard) =
+                    compiled.count_weighted_partitioned(table, probabilities, &parts)?;
+                (sketch, Self::roll_up(&per_shard), parts.shard_count())
+            }
+            None => {
+                let (sketch, stats) = compiled.count_weighted(table, probabilities)?;
+                (sketch, stats, 1)
+            }
+        };
+        self.record(level, stats, shards, started);
+        Ok(sketch)
+    }
+
+    /// Fused weighted filter+aggregate at `level`: stream the aggregated
+    /// column's values of every qualifying row, expanded by the cached
+    /// selection probabilities, into a [`WeightedMomentSketch`] in a single
+    /// pass (sharded filter, fixed-order fold — bit-identical either way).
+    pub fn filter_weighted_moments(
+        &mut self,
+        level: EvaluationLevel,
+        table: &Table,
+        column: &str,
+        probabilities: &[f64],
+    ) -> Result<WeightedMomentSketch> {
+        let started = Instant::now();
+        let parts = self.partitioning(table.row_count());
+        let compiled = self.compiled_for(table)?;
+        let (sketch, stats, shards) = match parts {
+            Some(parts) => {
+                let (sketch, per_shard) = compiled.filter_weighted_moments_partitioned(
+                    table,
+                    column,
+                    probabilities,
+                    &parts,
+                )?;
+                (sketch, Self::roll_up(&per_shard), parts.shard_count())
+            }
+            None => {
+                let (sketch, stats) =
+                    compiled.filter_weighted_moments(table, column, probabilities)?;
                 (sketch, stats, 1)
             }
         };

@@ -6,12 +6,27 @@
 //! it was built, and — for biased impressions — the interest weight of every
 //! retained tuple, so that estimates can be corrected for the unequal
 //! selection probabilities.
+//!
+//! ## Lifecycle of the probability cache
+//!
+//! The weighted (Hansen–Hurwitz) estimators need every retained row's
+//! single-draw selection probability. Deriving it per query (`wᵢ / Σw`) would
+//! put a division on the hottest loop in the system, so a biased impression
+//! precomputes the whole slice **once per impression**: at construction, and
+//! again on [`Impression::rescale_population`] (re-anchoring changes the
+//! normaliser). Queries — and the fused weighted scan kernels — borrow the
+//! cached slice via [`Impression::selection_probabilities`] and never
+//! recompute it. Self-weighted impressions skip the cache entirely: every
+//! row's probability is the constant `1/cnt` and their estimators never
+//! read it per row.
 
 use crate::config::{SciborqConfig, StorageClass};
 use crate::error::{Result, SciborqError};
 use crate::policy::SamplingPolicy;
 use sciborq_columnar::{MomentSketch, SelectionVector, Table};
-use sciborq_stats::{Estimate, SrsEstimator, WeightedEstimator, WeightedObservation};
+use sciborq_stats::{
+    Estimate, SrsEstimator, WeightedEstimator, WeightedMomentSketch, WeightedObservation,
+};
 
 /// A materialised sample of a source table plus sampling metadata.
 #[derive(Debug, Clone)]
@@ -24,6 +39,10 @@ pub struct Impression {
     data: Table,
     /// Interest weight of each retained row (aligned with `data` rows).
     weights: Vec<f64>,
+    /// Per-row single-draw selection probabilities, precomputed once per
+    /// impression (see the module docs) so the weighted estimators and the
+    /// fused weighted scan kernels never derive them per query.
+    probabilities: Vec<f64>,
     /// Sum of the interest weights over *all* tuples observed during
     /// construction (the normaliser for selection probabilities).
     total_observed_weight: f64,
@@ -56,16 +75,42 @@ impl Impression {
                 weights.len()
             )));
         }
-        Ok(Impression {
+        let mut imp = Impression {
             name: name.into(),
             source_table: source_table.into(),
             data,
             weights,
+            probabilities: Vec::new(),
             total_observed_weight,
             source_rows,
             policy,
             layer,
-        })
+        };
+        imp.recompute_probabilities();
+        Ok(imp)
+    }
+
+    /// Rebuild the cached selection-probability slice. Called at
+    /// construction and whenever the population anchoring changes. Only
+    /// biased impressions materialise the slice — self-weighted policies
+    /// never read per-row probabilities on any estimation path, so caching
+    /// an n-length constant vector for them would only waste memory (and
+    /// skew `byte_size`-based storage-class placement).
+    fn recompute_probabilities(&mut self) {
+        self.probabilities = match &self.policy {
+            SamplingPolicy::Biased { .. } if self.total_observed_weight > 0.0 => {
+                let total = self.total_observed_weight;
+                self.weights
+                    .iter()
+                    .map(|w| (w / total).max(f64::MIN_POSITIVE))
+                    .collect()
+            }
+            SamplingPolicy::Biased { .. } => {
+                // no weight ever observed: degrade to uniform draws
+                vec![self.uniform_probability(); self.weights.len()]
+            }
+            _ => Vec::new(),
+        };
     }
 
     /// The impression's name.
@@ -110,6 +155,8 @@ impl Impression {
     pub fn rescale_population(&mut self, source_rows: u64, total_observed_weight: f64) {
         self.source_rows = source_rows;
         self.total_observed_weight = total_observed_weight;
+        // both inputs feed the cached probability slice
+        self.recompute_probabilities();
     }
 
     /// The sampling fraction `n / cnt`.
@@ -136,9 +183,10 @@ impl Impression {
         &self.weights
     }
 
-    /// Approximate memory footprint in bytes.
+    /// Approximate memory footprint in bytes (including the cached
+    /// selection-probability slice).
     pub fn byte_size(&self) -> usize {
-        self.data.byte_size() + self.weights.len() * 8
+        self.data.byte_size() + (self.weights.len() + self.probabilities.len()) * 8
     }
 
     /// The storage class (CPU cache / RAM / disk) this impression falls in.
@@ -146,75 +194,137 @@ impl Impression {
         StorageClass::classify(self.byte_size(), config)
     }
 
-    /// The single-draw selection probability of retained row `idx`, suitable
-    /// for Hansen–Hurwitz estimation. For uniform policies this is simply
-    /// `1/cnt`; for biased policies it is `wᵢ / Σ w` over all observed
-    /// tuples.
-    pub fn selection_probability(&self, idx: usize) -> f64 {
-        match self.policy {
-            SamplingPolicy::Biased { .. } if self.total_observed_weight > 0.0 => {
-                (self.weights[idx] / self.total_observed_weight).max(f64::MIN_POSITIVE)
-            }
-            _ => {
-                if self.source_rows == 0 {
-                    1.0
-                } else {
-                    1.0 / self.source_rows as f64
-                }
-            }
+    /// The uniform single-draw probability `1/cnt` (the self-weighted
+    /// policies' probability, and the biased fallback when no weight was
+    /// ever observed).
+    fn uniform_probability(&self) -> f64 {
+        if self.source_rows == 0 {
+            1.0
+        } else {
+            1.0 / self.source_rows as f64
         }
     }
 
-    /// Whether this impression's estimators can be fed from streamed scan
-    /// accumulators (match counts and moment sketches) instead of
-    /// materialised selections. True for the self-weighted policies
-    /// (uniform, last-seen); biased impressions need per-row selection
-    /// probabilities and therefore a selection vector.
-    pub fn supports_streamed_estimates(&self) -> bool {
-        matches!(
-            self.policy,
-            SamplingPolicy::Uniform | SamplingPolicy::LastSeen { .. }
-        )
+    /// The single-draw selection probability of retained row `idx`, suitable
+    /// for Hansen–Hurwitz estimation. For self-weighted policies this is
+    /// simply `1/cnt`; for biased policies it is `wᵢ / Σ w` over all
+    /// observed tuples, read from the cached slice.
+    pub fn selection_probability(&self, idx: usize) -> f64 {
+        debug_assert!(idx < self.row_count());
+        if self.uses_weighted_estimators() {
+            self.probabilities[idx]
+        } else {
+            self.uniform_probability()
+        }
+    }
+
+    /// The per-row single-draw selection probabilities, precomputed once per
+    /// impression. This is the slice the fused weighted scan kernels
+    /// (`CompiledPredicate::{count_weighted, filter_weighted_moments}`)
+    /// expand matching rows by. Empty for self-weighted policies, whose
+    /// streamed estimators never read per-row probabilities (every row's is
+    /// the constant `1/cnt`, see [`Impression::selection_probability`]).
+    pub fn selection_probabilities(&self) -> &[f64] {
+        &self.probabilities
+    }
+
+    /// Whether this impression's estimators use the weighted
+    /// (Hansen–Hurwitz / Hájek) family, i.e. whether streamed estimation
+    /// goes through the `*_weighted` entry points and the probability slice.
+    /// Every policy streams: self-weighted policies (uniform, last-seen)
+    /// stream match counts and [`MomentSketch`]es into the SRS estimators;
+    /// biased policies stream [`WeightedMomentSketch`]es into the
+    /// Hansen–Hurwitz estimators.
+    pub fn uses_weighted_estimators(&self) -> bool {
+        matches!(self.policy, SamplingPolicy::Biased { .. })
+    }
+
+    /// Guard for the SRS streamed entry points, which remain exclusive to
+    /// self-weighted policies (biased impressions stream through the
+    /// `*_weighted` counterparts).
+    fn require_self_weighted(&self, what: &str) -> Result<()> {
+        if self.uses_weighted_estimators() {
+            return Err(SciborqError::InvalidConfig(format!(
+                "streamed {what} estimation requires a self-weighted impression; \
+                 biased impressions use the weighted streamed estimators"
+            )));
+        }
+        Ok(())
     }
 
     /// Estimate COUNT from a fused filter+count kernel's match count,
-    /// without a selection vector. Only valid for self-weighted policies
-    /// (see [`Impression::supports_streamed_estimates`]).
+    /// without a selection vector. Only valid for self-weighted policies;
+    /// biased impressions use [`Impression::estimate_count_weighted`].
     pub fn estimate_count_streamed(&self, matched: usize) -> Result<Estimate> {
-        if !self.supports_streamed_estimates() {
-            return Err(SciborqError::InvalidConfig(
-                "streamed COUNT estimation requires a self-weighted impression".to_owned(),
-            ));
-        }
+        self.require_self_weighted("COUNT")?;
         let est = SrsEstimator::new(self.source_rows, self.row_count() as u64)?
             .estimate_count(matched)?;
         Ok(est)
     }
 
     /// Estimate SUM from a fused filter+aggregate moment sketch, without
-    /// re-walking any selection. Only valid for self-weighted policies.
+    /// re-walking any selection. Only valid for self-weighted policies;
+    /// biased impressions use [`Impression::estimate_sum_weighted`].
     pub fn estimate_sum_streamed(&self, sketch: &MomentSketch) -> Result<Estimate> {
-        if !self.supports_streamed_estimates() {
-            return Err(SciborqError::InvalidConfig(
-                "streamed SUM estimation requires a self-weighted impression".to_owned(),
-            ));
-        }
+        self.require_self_weighted("SUM")?;
         let est = SrsEstimator::new(self.source_rows, self.row_count() as u64)?
             .estimate_sum_parts(sketch.count, sketch.sum, sketch.sum_sq)?;
         Ok(est)
     }
 
     /// Estimate AVG from a fused filter+aggregate moment sketch, without
-    /// re-walking any selection. Only valid for self-weighted policies.
+    /// re-walking any selection. Only valid for self-weighted policies;
+    /// biased impressions use [`Impression::estimate_avg_weighted`].
     pub fn estimate_avg_streamed(&self, sketch: &MomentSketch) -> Result<Estimate> {
-        if !self.supports_streamed_estimates() {
-            return Err(SciborqError::InvalidConfig(
-                "streamed AVG estimation requires a self-weighted impression".to_owned(),
-            ));
-        }
+        self.require_self_weighted("AVG")?;
         let est = SrsEstimator::new(self.source_rows, self.row_count() as u64)?
             .estimate_avg_parts(sketch.count, sketch.mean, sketch.m2)?;
         Ok(est)
+    }
+
+    /// Shared tail of the weighted COUNT / SUM streamed estimators: both are
+    /// Hansen–Hurwitz totals over this impression's draws (COUNT feeds value
+    /// `1.0` through the same fold).
+    fn estimate_total_weighted(&self, sketch: &WeightedMomentSketch) -> Result<Estimate> {
+        if self.row_count() == 0 {
+            return Ok(Estimate::exact(0.0, 0));
+        }
+        Ok(WeightedEstimator::estimate_total_from_sketch(
+            sketch,
+            self.row_count(),
+        )?)
+    }
+
+    /// Estimate COUNT from a fused *weighted* filter+count sketch
+    /// (`CompiledPredicate::count_weighted` over
+    /// [`Impression::selection_probabilities`]) — the streamed
+    /// Hansen–Hurwitz path: no selection vector, no observation vector.
+    ///
+    /// Bit-identical to [`Impression::estimate_count`] on the equivalent
+    /// selection: both fold the same expansions in the same row order.
+    pub fn estimate_count_weighted(&self, sketch: &WeightedMomentSketch) -> Result<Estimate> {
+        self.estimate_total_weighted(sketch)
+    }
+
+    /// Estimate SUM from a fused weighted filter+aggregate sketch
+    /// (`CompiledPredicate::filter_weighted_moments`) — the streamed
+    /// Hansen–Hurwitz path. Bit-identical to [`Impression::estimate_sum`]
+    /// on the equivalent selection.
+    pub fn estimate_sum_weighted(&self, sketch: &WeightedMomentSketch) -> Result<Estimate> {
+        self.estimate_total_weighted(sketch)
+    }
+
+    /// Estimate AVG from a fused weighted filter+aggregate sketch — the
+    /// streamed Hájek ratio path. Bit-identical to
+    /// [`Impression::estimate_avg`] on the equivalent selection; errors when
+    /// no matching draw carried a non-NULL value, like the selection path.
+    pub fn estimate_avg_weighted(&self, sketch: &WeightedMomentSketch) -> Result<Estimate> {
+        if sketch.count == 0 {
+            return Err(SciborqError::Stats(sciborq_stats::StatsError::EmptyInput(
+                "no matching rows in impression",
+            )));
+        }
+        Ok(WeightedEstimator::estimate_mean_from_sketch(sketch)?)
     }
 
     /// Estimate the number of source-table rows matching a selection of this
@@ -227,16 +337,24 @@ impl Impression {
                 Ok(est)
             }
             SamplingPolicy::Biased { .. } => {
-                let observations: Vec<WeightedObservation> = (0..self.row_count())
-                    .map(|i| WeightedObservation {
-                        value: if selection.contains(i) { 1.0 } else { 0.0 },
-                        probability: self.selection_probability(i),
-                    })
-                    .collect();
-                if observations.is_empty() {
+                if self.row_count() == 0 {
                     return Ok(Estimate::exact(0.0, 0));
                 }
-                let mut est = WeightedEstimator::estimate_total(&observations)?;
+                // Walk only the selected rows (ascending, so the fold order
+                // matches the streamed kernels); non-matching draws are
+                // zero-valued and left implicit — the estimator zero-extends
+                // over the full draw count.
+                let observations: Vec<WeightedObservation> = selection
+                    .iter()
+                    .map(|i| WeightedObservation {
+                        value: 1.0,
+                        probability: self.probabilities[i],
+                    })
+                    .collect();
+                let mut est = WeightedEstimator::estimate_total_zero_extended(
+                    &observations,
+                    self.row_count(),
+                )?;
                 // Degrees of freedom for the interval come from the draws
                 // that matched the predicate, mirroring `SrsEstimator`.
                 if !selection.is_empty() {
@@ -259,23 +377,25 @@ impl Impression {
             }
             SamplingPolicy::Biased { .. } => {
                 let col = self.numeric_column(column)?;
-                let observations: Vec<WeightedObservation> = (0..self.row_count())
-                    .map(|i| {
-                        let value = if selection.contains(i) {
-                            col.get_f64(i).unwrap_or(0.0)
-                        } else {
-                            0.0
-                        };
-                        WeightedObservation {
-                            value,
-                            probability: self.selection_probability(i),
-                        }
-                    })
-                    .collect();
-                if observations.is_empty() {
+                if self.row_count() == 0 {
                     return Ok(Estimate::exact(0.0, 0));
                 }
-                let mut est = WeightedEstimator::estimate_total(&observations)?;
+                // Selected rows only, in row order; NULL values are skipped —
+                // like non-matching draws they are zero-valued, so the
+                // zero-extension already accounts for them.
+                let observations: Vec<WeightedObservation> = selection
+                    .iter()
+                    .filter_map(|i| {
+                        col.get_f64(i).map(|value| WeightedObservation {
+                            value,
+                            probability: self.probabilities[i],
+                        })
+                    })
+                    .collect();
+                let mut est = WeightedEstimator::estimate_total_zero_extended(
+                    &observations,
+                    self.row_count(),
+                )?;
                 if !selection.is_empty() {
                     est.sample_size = selection.len();
                 }
@@ -470,7 +590,7 @@ mod tests {
     fn streamed_estimates_match_selection_estimates() {
         use sciborq_columnar::CompiledPredicate;
         let imp = impression_with(SamplingPolicy::Uniform);
-        assert!(imp.supports_streamed_estimates());
+        assert!(!imp.uses_weighted_estimators());
         let predicate = Predicate::lt_eq("ra", 190.0);
         let sel = predicate.evaluate(imp.data()).unwrap();
         let compiled = CompiledPredicate::compile(&predicate, imp.data().schema()).unwrap();
@@ -495,12 +615,71 @@ mod tests {
     }
 
     #[test]
-    fn biased_impressions_reject_streamed_estimates() {
+    fn biased_impressions_reject_srs_streamed_estimates() {
         let imp = impression_with(SamplingPolicy::biased(["ra"]));
-        assert!(!imp.supports_streamed_estimates());
+        // biased impressions stream too — but through the weighted entry
+        // points, not the SRS ones
+        assert!(imp.uses_weighted_estimators());
         assert!(imp.estimate_count_streamed(2).is_err());
         assert!(imp.estimate_sum_streamed(&MomentSketch::new()).is_err());
         assert!(imp.estimate_avg_streamed(&MomentSketch::new()).is_err());
+    }
+
+    #[test]
+    fn cached_probabilities_align_and_rescale() {
+        let mut imp = impression_with(SamplingPolicy::biased(["ra"]));
+        assert_eq!(imp.selection_probabilities().len(), imp.row_count());
+        assert!((imp.selection_probabilities()[1] - 2.0 / 100.0).abs() < 1e-15);
+        // re-anchoring the population renormalises the cached slice
+        imp.rescale_population(2_000, 200.0);
+        assert!((imp.selection_probabilities()[1] - 2.0 / 200.0).abs() < 1e-15);
+        // self-weighted impressions don't materialise the slice (their
+        // estimators never read per-row probabilities); the per-row accessor
+        // still answers 1/cnt
+        let mut uni = impression_with(SamplingPolicy::Uniform);
+        assert!(uni.selection_probabilities().is_empty());
+        assert_eq!(uni.selection_probability(0), 1e-3);
+        uni.rescale_population(500, 0.0);
+        assert_eq!(uni.selection_probability(0), 2e-3);
+    }
+
+    #[test]
+    fn weighted_streamed_estimates_match_selection_estimates_bitwise() {
+        use sciborq_columnar::CompiledPredicate;
+        let imp = impression_with(SamplingPolicy::biased(["ra"]));
+        let predicate = Predicate::lt_eq("ra", 190.0);
+        let sel = predicate.evaluate(imp.data()).unwrap();
+        let compiled = CompiledPredicate::compile(&predicate, imp.data().schema()).unwrap();
+        let probs = imp.selection_probabilities();
+
+        let (count_sketch, _) = compiled.count_weighted(imp.data(), probs).unwrap();
+        assert_eq!(
+            imp.estimate_count(&sel).unwrap(),
+            imp.estimate_count_weighted(&count_sketch).unwrap()
+        );
+        let (agg_sketch, _) = compiled
+            .filter_weighted_moments(imp.data(), "r_mag", probs)
+            .unwrap();
+        assert_eq!(
+            imp.estimate_sum("r_mag", &sel).unwrap(),
+            imp.estimate_sum_weighted(&agg_sketch).unwrap()
+        );
+        assert_eq!(
+            imp.estimate_avg("r_mag", &sel).unwrap(),
+            imp.estimate_avg_weighted(&agg_sketch).unwrap()
+        );
+        // the empty case mirrors the selection path: count/sum estimate 0,
+        // avg errors
+        let none = CompiledPredicate::compile(&Predicate::False, imp.data().schema()).unwrap();
+        let (empty_count, _) = none.count_weighted(imp.data(), probs).unwrap();
+        assert_eq!(
+            imp.estimate_count(&SelectionVector::empty()).unwrap(),
+            imp.estimate_count_weighted(&empty_count).unwrap()
+        );
+        let (empty_agg, _) = none
+            .filter_weighted_moments(imp.data(), "r_mag", probs)
+            .unwrap();
+        assert!(imp.estimate_avg_weighted(&empty_agg).is_err());
     }
 
     #[test]

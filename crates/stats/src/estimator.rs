@@ -191,6 +191,210 @@ pub struct WeightedObservation {
     pub probability: f64,
 }
 
+/// One-pass Hansen–Hurwitz sufficient statistics, accumulated by the fused
+/// weighted scan kernels (`sciborq-columnar`) so that biased impressions can
+/// be estimated without materialising a selection vector or a
+/// `Vec<WeightedObservation>`.
+///
+/// Every matching draw with a non-NULL value `v` and single-draw selection
+/// probability `p` contributes its expansions `e = v/p` and `q = 1/p`, in
+/// row order:
+///
+/// * `sum_vp`, `sum_inv_p` — the raw sums `Σ v/p` (Hansen–Hurwitz total
+///   numerator) and `Σ 1/p` (Hájek ratio denominator),
+/// * `sum_dvp_sq`, `sum_dinv_p_sq`, `sum_dvp_dinv_p` (with `sum_dvp`,
+///   `sum_dinv_p`) — the second moments `Σ (v/p)²`, `Σ (1/p)²` and the
+///   Hájek cross term `Σ v/p²`, carried in **shifted** (provisional-mean)
+///   form: every expansion is accumulated relative to the first pushed
+///   expansion (`shift_vp` / `shift_inv_p`). A raw `Σe² − n·ē²` fold
+///   catastrophically cancels when expansions are nearly equal
+///   (near-uniform probabilities), and a clamped zero variance would
+///   falsely certify error bounds; the shifted deltas are small exactly
+///   where the raw sums are huge, so the variance comes out honestly tiny
+///   instead of collapsing to a rounding artefact — while the accumulator
+///   chains stay independent and pipeline like plain sums (unlike a Welford
+///   recurrence, whose serialized mean updates would dominate the scan),
+/// * `min_p` — the smallest probability seen, so consumers can reject
+///   degenerate (zero / negative) probabilities after the tight loop
+///   instead of branching on every row.
+///
+/// The fold expressions match [`WeightedEstimator::estimate_total`] /
+/// [`WeightedEstimator::estimate_mean`] operation for operation (both build
+/// this sketch), so streamed estimates are bit-identical to the
+/// selection-based ones whenever rows are pushed in the same order the
+/// selection would be walked. Draws that match the predicate but carry a
+/// NULL value only bump `matched` (the zero-extension of the total
+/// estimator makes their contribution exactly zero; the ratio estimator
+/// excludes them entirely).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WeightedMomentSketch {
+    /// Draws satisfying the predicate (COUNT(*) semantics: NULL values in
+    /// the aggregated column still count).
+    pub matched: usize,
+    /// Matching draws with a non-NULL value (the Hájek sample size).
+    pub count: usize,
+    /// `Σ v/p` over the non-NULL matching draws.
+    pub sum_vp: f64,
+    /// `Σ 1/p` over the non-NULL matching draws.
+    pub sum_inv_p: f64,
+    /// The provisional mean of the `v/p` expansions: the first one pushed.
+    pub shift_vp: f64,
+    /// The provisional mean of the `1/p` expansions: the first one pushed.
+    pub shift_inv_p: f64,
+    /// `Σ (v/p − shift_vp)` over the non-NULL matching draws.
+    pub sum_dvp: f64,
+    /// `Σ (v/p − shift_vp)²` over the non-NULL matching draws.
+    pub sum_dvp_sq: f64,
+    /// `Σ (1/p − shift_inv_p)` over the non-NULL matching draws.
+    pub sum_dinv_p: f64,
+    /// `Σ (1/p − shift_inv_p)²` over the non-NULL matching draws.
+    pub sum_dinv_p_sq: f64,
+    /// `Σ (v/p − shift_vp)(1/p − shift_inv_p)` (shifted Hájek cross term).
+    pub sum_dvp_dinv_p: f64,
+    /// Smallest selection probability pushed (`+∞` when none).
+    pub min_p: f64,
+}
+
+impl Default for WeightedMomentSketch {
+    fn default() -> Self {
+        WeightedMomentSketch::new()
+    }
+}
+
+impl WeightedMomentSketch {
+    /// A fresh, empty sketch.
+    pub fn new() -> Self {
+        WeightedMomentSketch {
+            matched: 0,
+            count: 0,
+            sum_vp: 0.0,
+            sum_inv_p: 0.0,
+            shift_vp: 0.0,
+            shift_inv_p: 0.0,
+            sum_dvp: 0.0,
+            sum_dvp_sq: 0.0,
+            sum_dinv_p: 0.0,
+            sum_dinv_p_sq: 0.0,
+            sum_dvp_dinv_p: 0.0,
+            min_p: f64::INFINITY,
+        }
+    }
+
+    /// Record a matching draw with a non-NULL value and its single-draw
+    /// selection probability.
+    #[inline]
+    pub fn push(&mut self, value: f64, probability: f64) {
+        self.matched += 1;
+        self.count += 1;
+        let e = value / probability;
+        let ip = 1.0 / probability;
+        if self.count == 1 {
+            // anchor the provisional means at the first expansion (its own
+            // deltas below are then exactly zero)
+            self.shift_vp = e;
+            self.shift_inv_p = ip;
+        }
+        let d_e = e - self.shift_vp;
+        let d_ip = ip - self.shift_inv_p;
+        self.sum_vp += e;
+        self.sum_inv_p += ip;
+        self.sum_dvp += d_e;
+        self.sum_dvp_sq += d_e * d_e;
+        self.sum_dinv_p += d_ip;
+        self.sum_dinv_p_sq += d_ip * d_ip;
+        self.sum_dvp_dinv_p += d_e * d_ip;
+        self.min_p = self.min_p.min(probability);
+    }
+
+    /// Record a matching draw whose aggregated value is NULL.
+    #[inline]
+    pub fn push_null(&mut self) {
+        self.matched += 1;
+    }
+
+    /// The mean expansion `Σ(v/p) / count`, reconstructed from the shifted
+    /// accumulators (zero when nothing was pushed).
+    pub fn mean_vp(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.shift_vp + self.sum_dvp / self.count as f64
+        }
+    }
+
+    /// The mean inverse probability `Σ(1/p) / count`, reconstructed from
+    /// the shifted accumulators (zero when nothing was pushed).
+    pub fn mean_inv_p(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.shift_inv_p + self.sum_dinv_p / self.count as f64
+        }
+    }
+
+    /// The centred second moment `Σ(v/p − ē)²` of the pushed expansions,
+    /// via the provisional-mean identity `Σd² − (Σd)²/m` (clamped at the
+    /// rounding floor of zero).
+    pub fn m2_vp(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            (self.sum_dvp_sq - self.sum_dvp * self.sum_dvp / self.count as f64).max(0.0)
+        }
+    }
+
+    /// The centred second moment `Σ(1/p − q̄)²` of the pushed inverse
+    /// probabilities (see [`WeightedMomentSketch::m2_vp`]).
+    pub fn m2_inv_p(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            (self.sum_dinv_p_sq - self.sum_dinv_p * self.sum_dinv_p / self.count as f64).max(0.0)
+        }
+    }
+
+    /// The centred co-moment `Σ(v/p − ē)(1/p − q̄)` (not clamped — a
+    /// covariance is legitimately negative).
+    pub fn c_vp_inv_p(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_dvp_dinv_p - self.sum_dvp * self.sum_dinv_p / self.count as f64
+        }
+    }
+
+    /// Reject sketches fed degenerate probabilities (zero, negative,
+    /// non-finite) or non-finite values — the checks the slice-based
+    /// estimators perform per observation, run once after the tight loop.
+    pub fn validate(&self) -> Result<()> {
+        if self.count > 0 && !(self.min_p > 0.0 && self.min_p.is_finite()) {
+            return Err(StatsError::invalid(
+                "probability",
+                "selection probabilities must be positive and finite",
+            ));
+        }
+        for sum in [
+            self.sum_vp,
+            self.sum_inv_p,
+            self.shift_vp,
+            self.shift_inv_p,
+            self.sum_dvp,
+            self.sum_dvp_sq,
+            self.sum_dinv_p,
+            self.sum_dinv_p_sq,
+            self.sum_dvp_dinv_p,
+        ] {
+            if !sum.is_finite() {
+                return Err(StatsError::invalid(
+                    "sketch",
+                    "weighted accumulators overflowed or saw non-finite inputs",
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Hansen–Hurwitz / Horvitz–Thompson style estimators for samples drawn with
 /// probability proportional to an interest weight (the biased impressions).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
@@ -202,9 +406,30 @@ impl WeightedEstimator {
     /// The Hansen–Hurwitz estimator is `(1/n) Σ yᵢ/pᵢ`; its variance is
     /// estimated by the sample variance of the per-draw expansions.
     pub fn estimate_total(observations: &[WeightedObservation]) -> Result<Estimate> {
-        if observations.is_empty() {
-            return Err(StatsError::EmptyInput("weighted total estimate"));
+        Self::estimate_total_zero_extended(observations, observations.len())
+    }
+
+    /// [`WeightedEstimator::estimate_total`] when only the draws that
+    /// matched a predicate are materialised: `draws` is the total number of
+    /// draws and the missing `draws − observations.len()` observations are
+    /// implicit zeros. A zero-valued draw contributes nothing to the
+    /// expansion sum and is folded into the variance analytically, so
+    /// skipping it is equivalent to materialising it — this is what lets
+    /// the selection-based estimators walk only the selected rows instead
+    /// of zero-padding over the whole impression.
+    pub fn estimate_total_zero_extended(
+        observations: &[WeightedObservation],
+        draws: usize,
+    ) -> Result<Estimate> {
+        if observations.len() > draws {
+            return Err(StatsError::invalid(
+                "draws",
+                "cannot be fewer than the materialised observations",
+            ));
         }
+        // Same fold, in the same order, as the weighted scan kernels — the
+        // streamed and the selection-based paths must agree bit for bit.
+        let mut sketch = WeightedMomentSketch::new();
         for o in observations {
             if !(o.probability > 0.0) || !o.probability.is_finite() {
                 return Err(StatsError::invalid(
@@ -212,77 +437,212 @@ impl WeightedEstimator {
                     "selection probabilities must be positive and finite",
                 ));
             }
+            sketch.push(o.value, o.probability);
         }
-        let n = observations.len() as f64;
-        let expansions: Vec<f64> = observations
-            .iter()
-            .map(|o| o.value / o.probability)
-            .collect();
-        let mean_exp = expansions.iter().sum::<f64>() / n;
-        let var_exp = if observations.len() > 1 {
-            expansions
-                .iter()
-                .map(|e| (e - mean_exp).powi(2))
-                .sum::<f64>()
-                / (n - 1.0)
+        Self::estimate_total_parts(
+            draws,
+            sketch.count,
+            sketch.sum_vp,
+            sketch.mean_vp(),
+            sketch.m2_vp(),
+        )
+    }
+
+    /// [`WeightedEstimator::estimate_total`] from streamed sufficient
+    /// statistics: the total number of draws `n` (including the implicit
+    /// zero-valued non-matching ones), the number of materialised (matching
+    /// non-NULL) draws, their expansion sum `Σ v/p`, and the mean / centred
+    /// second moment of the expansions (a sketch derives both from its
+    /// shifted accumulators) — exactly what a fused weighted scan kernel
+    /// accumulates in one pass.
+    ///
+    /// The variance combines the centred moment of the materialised draws
+    /// with the `draws − matched` implicit zeros through Chan's pairwise
+    /// identity, `M2 = M2ₘ + ēₘ²·m(n−m)/n`: every term is non-negative, so
+    /// no cancellation-prone subtraction (and no clamping that could
+    /// silently certify a zero-width interval) is involved.
+    ///
+    /// `sample_size` defaults to `draws`; callers that know how many draws
+    /// actually matched their predicate (e.g. the impression estimators,
+    /// where zero-extended non-matching draws only pin down the selectivity)
+    /// should override it with the matched count so downstream intervals use
+    /// honest degrees of freedom.
+    pub fn estimate_total_parts(
+        draws: usize,
+        materialised: usize,
+        sum_vp: f64,
+        mean_vp: f64,
+        m2_vp: f64,
+    ) -> Result<Estimate> {
+        if draws == 0 {
+            return Err(StatsError::EmptyInput("weighted total estimate"));
+        }
+        if materialised > draws {
+            return Err(StatsError::invalid(
+                "draws",
+                "cannot be fewer than the materialised observations",
+            ));
+        }
+        for stat in [sum_vp, mean_vp, m2_vp] {
+            if !stat.is_finite() {
+                return Err(StatsError::invalid(
+                    "sum_vp",
+                    "expansion statistics must be finite",
+                ));
+            }
+        }
+        let n = draws as f64;
+        let m = materialised as f64;
+        // point estimate: the plain expansion-sum fold, same bits as the
+        // kernels' sum_vp accumulator divided once
+        let mean_exp = sum_vp / n;
+        let var_exp = if draws > 1 {
+            // Chan's identity: centred M2 of the materialised draws plus the
+            // (n − m) implicit zeros, all terms non-negative
+            let m2_all = m2_vp + mean_vp * mean_vp * (m * (n - m) / n);
+            m2_all / (n - 1.0)
         } else {
             0.0
         };
-        // `sample_size` defaults to the number of draws; callers that know
-        // how many draws actually matched their predicate (e.g. the
-        // impression estimators, where zero-extended non-matching draws only
-        // pin down the selectivity) should override it with the matched
-        // count so downstream intervals use honest degrees of freedom.
         Ok(Estimate {
             value: mean_exp,
             standard_error: (var_exp / n).sqrt(),
-            sample_size: observations.len(),
+            sample_size: draws,
         })
     }
 
     /// Estimate a population mean as the ratio of two weighted totals
     /// (total of `y` over total of 1), the standard Hájek estimator.
+    ///
+    /// Both totals are accumulated in a single pass over the observations —
+    /// no parallel all-ones observation vector is materialised for the
+    /// denominator.
     pub fn estimate_mean(observations: &[WeightedObservation]) -> Result<Estimate> {
         if observations.is_empty() {
             return Err(StatsError::EmptyInput("weighted mean estimate"));
         }
-        let numerator = Self::estimate_total(observations)?;
-        let ones: Vec<WeightedObservation> = observations
-            .iter()
-            .map(|o| WeightedObservation {
-                value: 1.0,
-                probability: o.probability,
-            })
-            .collect();
-        let denominator = Self::estimate_total(&ones)?;
-        if denominator.value <= 0.0 {
+        // Same fold as WeightedMomentSketch::push (see estimate_total).
+        let mut sketch = WeightedMomentSketch::new();
+        for o in observations {
+            if !(o.probability > 0.0) || !o.probability.is_finite() {
+                return Err(StatsError::invalid(
+                    "probability",
+                    "selection probabilities must be positive and finite",
+                ));
+            }
+            sketch.push(o.value, o.probability);
+        }
+        Self::estimate_mean_parts(
+            sketch.count,
+            sketch.sum_vp,
+            sketch.sum_inv_p,
+            sketch.mean_vp(),
+            sketch.mean_inv_p(),
+            sketch.m2_vp(),
+            sketch.m2_inv_p(),
+            sketch.c_vp_inv_p(),
+        )
+    }
+
+    /// [`WeightedEstimator::estimate_mean`] from streamed sufficient
+    /// statistics: the count of matching non-NULL draws, the two expansion
+    /// sums, and the centred (Welford) moments of a
+    /// [`WeightedMomentSketch`].
+    ///
+    /// The ratio `Σ(v/p) / Σ(1/p)` is the Hájek estimator; its standard
+    /// error uses the first-order Taylor (delta-method) residual variance
+    /// `Σ((v − r)/p)² / (m−1)`, computed from the **centred** moments via
+    /// `Σ(e − r·q)² = C_ee − 2r·C_eq + r²·C_qq + m(ē − r·q̄)²` (with
+    /// `e = v/p`, `q = 1/p`). The centred quantities are small where the
+    /// raw uncentred sums are huge, so this expansion does not
+    /// catastrophically cancel when values are near-constant — the residual
+    /// comes out honestly tiny instead of being clamped from a large
+    /// negative rounding artefact.
+    #[allow(clippy::too_many_arguments)]
+    pub fn estimate_mean_parts(
+        count: usize,
+        sum_vp: f64,
+        sum_inv_p: f64,
+        mean_vp: f64,
+        mean_inv_p: f64,
+        m2_vp: f64,
+        m2_inv_p: f64,
+        c_vp_inv_p: f64,
+    ) -> Result<Estimate> {
+        if count == 0 {
+            return Err(StatsError::EmptyInput("weighted mean estimate"));
+        }
+        for stat in [
+            sum_vp, sum_inv_p, mean_vp, mean_inv_p, m2_vp, m2_inv_p, c_vp_inv_p,
+        ] {
+            if !stat.is_finite() {
+                return Err(StatsError::invalid(
+                    "sums",
+                    "expansion statistics must be finite",
+                ));
+            }
+        }
+        let n = count as f64;
+        let numerator = sum_vp / n;
+        let denominator = sum_inv_p / n;
+        if denominator <= 0.0 {
             return Err(StatsError::invalid(
                 "observations",
                 "estimated population size is non-positive",
             ));
         }
-        let ratio = numerator.value / denominator.value;
-        // First-order Taylor (delta-method) variance of the ratio estimator.
-        let n = observations.len() as f64;
-        let residual_var = if observations.len() > 1 {
-            observations
-                .iter()
-                .map(|o| (o.value - ratio) / o.probability)
-                .map(|r| {
-                    let mean_r = 0.0; // residuals have approximately zero mean
-                    (r - mean_r).powi(2)
-                })
-                .sum::<f64>()
-                / (n - 1.0)
+        let ratio = numerator / denominator;
+        let residual_var = if count > 1 {
+            // centred delta-method expansion; the mean-offset term is a
+            // rounding-sized exactness correction (ē ≈ r·q̄ by construction)
+            let offset = mean_vp - ratio * mean_inv_p;
+            let residual_sq =
+                m2_vp - 2.0 * ratio * c_vp_inv_p + ratio * ratio * m2_inv_p + n * offset * offset;
+            (residual_sq / (n - 1.0)).max(0.0)
         } else {
             0.0
         };
-        let se = (residual_var / n).sqrt() / denominator.value;
+        let se = (residual_var / n).sqrt() / denominator;
         Ok(Estimate {
             value: ratio,
             standard_error: se,
-            sample_size: observations.len(),
+            sample_size: count,
         })
+    }
+
+    /// Hansen–Hurwitz total straight from a streamed sketch over `draws`
+    /// total draws, with degrees of freedom taken from the matched count.
+    pub fn estimate_total_from_sketch(
+        sketch: &WeightedMomentSketch,
+        draws: usize,
+    ) -> Result<Estimate> {
+        sketch.validate()?;
+        let mut est = Self::estimate_total_parts(
+            draws,
+            sketch.count,
+            sketch.sum_vp,
+            sketch.mean_vp(),
+            sketch.m2_vp(),
+        )?;
+        if sketch.matched > 0 {
+            est.sample_size = sketch.matched;
+        }
+        Ok(est)
+    }
+
+    /// Hájek mean straight from a streamed sketch.
+    pub fn estimate_mean_from_sketch(sketch: &WeightedMomentSketch) -> Result<Estimate> {
+        sketch.validate()?;
+        Self::estimate_mean_parts(
+            sketch.count,
+            sketch.sum_vp,
+            sketch.sum_inv_p,
+            sketch.mean_vp(),
+            sketch.mean_inv_p(),
+            sketch.m2_vp(),
+            sketch.m2_inv_p(),
+            sketch.c_vp_inv_p(),
+        )
     }
 }
 
@@ -467,6 +827,182 @@ mod tests {
     #[test]
     fn weighted_mean_errors_on_empty() {
         assert!(WeightedEstimator::estimate_mean(&[]).is_err());
+        assert!(
+            WeightedEstimator::estimate_mean_parts(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0).is_err()
+        );
+    }
+
+    fn obs(values: &[f64], probs: &[f64]) -> Vec<WeightedObservation> {
+        values
+            .iter()
+            .zip(probs)
+            .map(|(&value, &probability)| WeightedObservation { value, probability })
+            .collect()
+    }
+
+    #[test]
+    fn zero_extension_is_equivalent_to_materialised_zeros() {
+        // padding with explicit zero-valued draws == passing `draws`: the
+        // expansion sum (and thus the point estimate) is bit-identical; the
+        // variance takes a different mathematically-equal route (materialised
+        // zeros enter the Welford fold, skipped zeros fold in through Chan's
+        // identity), so the standard error agrees to rounding.
+        let padded = obs(&[5.0, 0.0, 7.0, 0.0, 0.0], &[0.01, 0.02, 0.005, 0.01, 0.04]);
+        let skipped = obs(&[5.0, 7.0], &[0.01, 0.005]);
+        let a = WeightedEstimator::estimate_total(&padded).unwrap();
+        let b = WeightedEstimator::estimate_total_zero_extended(&skipped, 5).unwrap();
+        assert_eq!(a.value.to_bits(), b.value.to_bits());
+        assert_eq!(a.sample_size, b.sample_size);
+        assert!(
+            (a.standard_error - b.standard_error).abs() <= 1e-12 * (1.0 + a.standard_error.abs()),
+            "padded se {} vs zero-extended se {}",
+            a.standard_error,
+            b.standard_error
+        );
+        // more observations than draws is rejected
+        assert!(WeightedEstimator::estimate_total_zero_extended(&skipped, 1).is_err());
+    }
+
+    #[test]
+    fn total_parts_match_slice_estimates_bitwise() {
+        let o = obs(&[2.0, -4.0, 6.5], &[0.01, 0.003, 0.5]);
+        let from_slice = WeightedEstimator::estimate_total(&o).unwrap();
+        let mut sketch = WeightedMomentSketch::new();
+        for w in &o {
+            sketch.push(w.value, w.probability);
+        }
+        let from_parts = WeightedEstimator::estimate_total_parts(
+            3,
+            sketch.count,
+            sketch.sum_vp,
+            sketch.mean_vp(),
+            sketch.m2_vp(),
+        )
+        .unwrap();
+        assert_eq!(from_slice, from_parts);
+        assert!(WeightedEstimator::estimate_total_parts(0, 0, 0.0, 0.0, 0.0).is_err());
+        assert!(WeightedEstimator::estimate_total_parts(2, 1, f64::NAN, 1.0, 0.0).is_err());
+        // more materialised draws than total draws is rejected
+        assert!(WeightedEstimator::estimate_total_parts(1, 2, 1.0, 0.5, 0.0).is_err());
+    }
+
+    #[test]
+    fn near_constant_expansions_keep_a_positive_standard_error() {
+        // 10k draws, all matching, probabilities almost (but not exactly)
+        // uniform: the expansions are nearly equal, so a naive
+        // `Σe² − n·ē²` fold cancels catastrophically (clamping to 0 and
+        // falsely certifying a zero-width interval). The centred Welford
+        // accumulation must keep the tiny-but-real variance positive.
+        let n = 10_000usize;
+        let o: Vec<WeightedObservation> = (0..n)
+            .map(|i| WeightedObservation {
+                value: 1.0,
+                probability: 1e-7 * (1.0 + 1e-9 * (i % 7) as f64),
+            })
+            .collect();
+        let est = WeightedEstimator::estimate_total(&o).unwrap();
+        // two-pass ground truth over the same expansions
+        let expansions: Vec<f64> = o.iter().map(|w| w.value / w.probability).collect();
+        let mean = expansions.iter().sum::<f64>() / n as f64;
+        let var = expansions.iter().map(|e| (e - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0);
+        let truth = (var / n as f64).sqrt();
+        assert!(truth > 0.0, "the constructed variance is genuinely nonzero");
+        assert!(
+            est.standard_error > 0.0,
+            "streamed SE must not collapse to zero"
+        );
+        assert!(
+            (est.standard_error - truth).abs() <= 1e-6 * truth,
+            "streamed SE {} vs two-pass truth {}",
+            est.standard_error,
+            truth
+        );
+    }
+
+    #[test]
+    fn mean_parts_match_slice_estimates_bitwise() {
+        let o = obs(&[12.0, 9.5, 30.0, 4.0], &[0.01, 0.02, 0.001, 0.04]);
+        let from_slice = WeightedEstimator::estimate_mean(&o).unwrap();
+        let mut sketch = WeightedMomentSketch::new();
+        for w in &o {
+            sketch.push(w.value, w.probability);
+        }
+        let from_sketch = WeightedEstimator::estimate_mean_from_sketch(&sketch).unwrap();
+        assert_eq!(from_slice, from_sketch);
+    }
+
+    #[test]
+    fn mean_variance_matches_two_pass_residuals() {
+        // The expanded delta-method variance must agree with the literal
+        // Σ((v−r)/p)² residual fold it replaces.
+        let o = obs(
+            &[12.0, 9.5, 30.0, 4.0, 18.0],
+            &[0.01, 0.02, 0.001, 0.04, 0.02],
+        );
+        let est = WeightedEstimator::estimate_mean(&o).unwrap();
+        let n = o.len() as f64;
+        let denominator = o.iter().map(|w| 1.0 / w.probability).sum::<f64>() / n;
+        let residual_var = o
+            .iter()
+            .map(|w| ((w.value - est.value) / w.probability).powi(2))
+            .sum::<f64>()
+            / (n - 1.0);
+        let se = (residual_var / n).sqrt() / denominator;
+        assert!(
+            (est.standard_error - se).abs() <= 1e-9 * (1.0 + se.abs()),
+            "expanded {} vs two-pass {}",
+            est.standard_error,
+            se
+        );
+    }
+
+    #[test]
+    fn sketch_accumulates_and_validates() {
+        let mut sketch = WeightedMomentSketch::new();
+        assert_eq!(sketch, WeightedMomentSketch::default());
+        sketch.push(10.0, 0.01);
+        sketch.push_null();
+        sketch.push(4.0, 0.02);
+        assert_eq!(sketch.matched, 3);
+        assert_eq!(sketch.count, 2);
+        assert!((sketch.sum_vp - (1000.0 + 200.0)).abs() < 1e-9);
+        assert!((sketch.sum_inv_p - 150.0).abs() < 1e-9);
+        assert_eq!(sketch.min_p, 0.01);
+        assert!(sketch.validate().is_ok());
+
+        let mut bad = WeightedMomentSketch::new();
+        bad.push(1.0, 0.0);
+        assert!(bad.validate().is_err());
+        let mut negative = WeightedMomentSketch::new();
+        negative.push(1.0, -0.5);
+        assert!(negative.validate().is_err());
+        // NULL-only sketches are valid (nothing was expanded)
+        let mut nulls = WeightedMomentSketch::new();
+        nulls.push_null();
+        assert!(nulls.validate().is_ok());
+    }
+
+    #[test]
+    fn total_from_sketch_uses_matched_degrees_of_freedom() {
+        let mut sketch = WeightedMomentSketch::new();
+        sketch.push(1.0, 0.001);
+        sketch.push(1.0, 0.002);
+        let est = WeightedEstimator::estimate_total_from_sketch(&sketch, 1_000).unwrap();
+        assert_eq!(est.sample_size, 2);
+        let oracle = WeightedEstimator::estimate_total_zero_extended(
+            &obs(&[1.0, 1.0], &[0.001, 0.002]),
+            1_000,
+        )
+        .unwrap();
+        assert_eq!(est.value.to_bits(), oracle.value.to_bits());
+        assert_eq!(
+            est.standard_error.to_bits(),
+            oracle.standard_error.to_bits()
+        );
+        // an empty sketch over zero draws errors like the slice path
+        let empty = WeightedMomentSketch::new();
+        assert!(WeightedEstimator::estimate_total_from_sketch(&empty, 0).is_err());
+        assert!(WeightedEstimator::estimate_mean_from_sketch(&empty).is_err());
     }
 
     #[test]

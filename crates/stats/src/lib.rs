@@ -43,7 +43,9 @@ pub use bandwidth::{
 };
 pub use confidence::{required_sample_size_for_count, ConfidenceInterval};
 pub use error::{Result, StatsError};
-pub use estimator::{Estimate, SrsEstimator, WeightedEstimator, WeightedObservation};
+pub use estimator::{
+    Estimate, SrsEstimator, WeightedEstimator, WeightedMomentSketch, WeightedObservation,
+};
 pub use fnchg::FisherNoncentralHypergeometric;
 pub use histogram::{histogram_from_data, BinStats, EquiWidthHistogram};
 pub use kde::{integrate_density, mean_absolute_deviation, BinnedKde, FullKde};
