@@ -150,8 +150,9 @@ fn main() {
             json_out = it.next().cloned();
         } else if let Some(path) = arg.strip_prefix("--parallel-json-out=") {
             json_out = Some(path.to_owned());
-        } else if arg == "--json-out" {
-            // scan_kernels' flag: consume its value so it is not misread
+        } else if arg == "--json-out" || arg == "--weighted-json-out" || arg == "--serving-json-out"
+        {
+            // other benches' flags: consume their values so they are not misread
             it.next();
         }
         // other flags (e.g. cargo bench's `--bench`) are ignored

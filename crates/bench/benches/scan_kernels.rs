@@ -93,6 +93,12 @@ fn main() {
             json_out = it.next().cloned();
         } else if let Some(path) = arg.strip_prefix("--json-out=") {
             json_out = Some(path.to_owned());
+        } else if arg == "--parallel-json-out"
+            || arg == "--weighted-json-out"
+            || arg == "--serving-json-out"
+        {
+            // other benches' flags: consume their values so they are not misread
+            it.next();
         }
         // other flags (e.g. cargo bench's `--bench`) are ignored
     }

@@ -1,0 +1,336 @@
+//! Concurrent serving throughput: shared scans on vs off.
+//!
+//! Closed-loop clients hammer a [`QueryServer`] with a four-query
+//! same-impression workload whose error bounds force one escalation (the
+//! 10k layer misses the bound, the 100k layer meets it), at 1, 4 and 16
+//! concurrent clients, with shared-scan batching enabled and disabled.
+//! Before any timing, every workload answer served through the shared-scan
+//! path is cross-checked **bit for bit** against serial
+//! `ExplorationSession::execute`, so a scan-sharing bug cannot post a
+//! winning number.
+//!
+//! The speedup comes from deduplication, not thread fan-out: a drained
+//! batch of N queries collapses into one shared pass per escalation level
+//! with one scan per *distinct* (predicate, sink) group — 16 concurrent
+//! clients rotating over 4 queries cost ~4 scans per pass instead of 16.
+//! That holds on a single core, where this bench honestly reports
+//! `available_parallelism` for context.
+//!
+//! Hand-rolled harness; pass `--serving-json-out <path>` to write a
+//! `BENCH_serving.json` artifact (queries/sec with p50/p99 latency per
+//! cell, plus the 16-client shared-vs-unshared speedup).
+
+use sciborq_columnar::{AggregateKind, Catalog, DataType, Field, Predicate, Schema, Table, Value};
+use sciborq_core::{
+    EvaluationLevel, ExplorationSession, QueryBounds, QueryOutcome, SamplingPolicy, SciborqConfig,
+};
+use sciborq_serve::{QueryServer, ServeConfig, ServerReply};
+use sciborq_workload::{AttributeDomain, Query};
+use std::fmt::Write as _;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+const ROWS: usize = 200_000;
+const LAYERS: [usize; 2] = [100_000, 10_000];
+const CONCURRENCIES: [usize; 3] = [1, 4, 16];
+const QUERIES_PER_CELL: usize = 320;
+
+fn build_table() -> Table {
+    let schema = Schema::shared(vec![
+        Field::new("objid", DataType::Int64),
+        Field::new("ra", DataType::Float64),
+        Field::new("r_mag", DataType::Float64),
+    ])
+    .unwrap();
+    let mut table = Table::new("photoobj", schema);
+    for i in 0..ROWS as i64 {
+        let ra = (i as f64 * 137.507_764).rem_euclid(360.0);
+        let r_mag = 14.0 + (i % 1_000) as f64 / 125.0;
+        table
+            .append_row(&[Value::Int64(i), Value::Float64(ra), Value::Float64(r_mag)])
+            .unwrap();
+    }
+    table
+}
+
+fn build_session() -> ExplorationSession {
+    let catalog = Catalog::new();
+    catalog.register(build_table()).unwrap();
+    let session = ExplorationSession::new(
+        catalog,
+        SciborqConfig::with_layers(LAYERS.to_vec()),
+        &[("ra", AttributeDomain::new(0.0, 360.0, 36))],
+    )
+    .unwrap();
+    session
+        .create_impressions("photoobj", SamplingPolicy::Uniform)
+        .unwrap();
+    session
+}
+
+/// Four same-impression queries tuned so the 10k layer misses the error
+/// bound and the 100k layer meets it: every serial execution scans both
+/// layers (~110k rows). A batched pass shares those scans across clients.
+fn workload() -> Vec<(Query, QueryBounds)> {
+    vec![
+        (
+            Query::count("photoobj", Predicate::lt("ra", 90.0)),
+            QueryBounds::max_error(0.02),
+        ),
+        (
+            Query::count("photoobj", Predicate::between("ra", 90.0, 270.0)),
+            QueryBounds::max_error(0.015),
+        ),
+        (
+            Query::count("photoobj", Predicate::gt_eq("ra", 270.0)),
+            QueryBounds::max_error(0.02),
+        ),
+        (
+            Query::aggregate(
+                "photoobj",
+                Predicate::lt("ra", 180.0),
+                AggregateKind::Sum,
+                "r_mag",
+            ),
+            QueryBounds::max_error(0.015),
+        ),
+    ]
+}
+
+fn serve_config(shared_scans: bool) -> ServeConfig {
+    ServeConfig {
+        shared_scans,
+        batch_window: Duration::from_micros(1_000),
+        max_batch: 32,
+        ..ServeConfig::default()
+    }
+}
+
+fn answer_bits(outcome: &QueryOutcome) -> (Option<u64>, EvaluationLevel, u64, usize, bool) {
+    let a = outcome.as_aggregate().expect("aggregate workload");
+    (
+        a.value.map(f64::to_bits),
+        a.level,
+        a.rows_scanned,
+        a.escalations,
+        a.error_bound_met,
+    )
+}
+
+/// Serial reference answers; also asserts the workload has the intended
+/// shape (one escalation, resolved on the most detailed impression).
+fn serial_reference(
+    session: &ExplorationSession,
+) -> Vec<(Option<u64>, EvaluationLevel, u64, usize, bool)> {
+    workload()
+        .iter()
+        .map(|(query, bounds)| {
+            let outcome = session.execute(query, bounds).expect("serial execution");
+            let bits = answer_bits(&outcome);
+            assert_eq!(
+                bits.1,
+                EvaluationLevel::Layer(1),
+                "workload must resolve on the detailed layer: {query}"
+            );
+            assert_eq!(bits.3, 1, "workload must escalate exactly once: {query}");
+            assert!(bits.4, "workload must meet its error bound: {query}");
+            bits
+        })
+        .collect()
+}
+
+/// Cross-check the shared-scan server bit for bit against the serial
+/// reference under real concurrency. Panics on any divergence.
+fn verify_bit_identity(
+    server: &Arc<QueryServer>,
+    reference: &[(Option<u64>, EvaluationLevel, u64, usize, bool)],
+) {
+    let clients = 8;
+    let barrier = Arc::new(Barrier::new(clients));
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let server = Arc::clone(server);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                workload()
+                    .into_iter()
+                    .cycle()
+                    .skip(c % 4)
+                    .take(4)
+                    .map(|(query, bounds)| server.submit(query, bounds))
+                    .collect::<Vec<_>>()
+            })
+        })
+        .collect();
+    for (c, handle) in handles.into_iter().enumerate() {
+        for (i, reply) in handle.join().unwrap().into_iter().enumerate() {
+            let expected = &reference[(c + i) % 4];
+            let ServerReply::Aggregate { answer, .. } = reply else {
+                panic!("unexpected reply shape: {reply:?}");
+            };
+            let got = (
+                answer.value.map(f64::to_bits),
+                answer.level,
+                answer.rows_scanned,
+                answer.escalations,
+                answer.error_bound_met,
+            );
+            assert_eq!(&got, expected, "shared-scan answer diverged from serial");
+        }
+    }
+}
+
+struct Cell {
+    shared: bool,
+    clients: usize,
+    qps: f64,
+    p50_us: u64,
+    p99_us: u64,
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+fn run_cell(server: &Arc<QueryServer>, shared: bool, clients: usize) -> Cell {
+    let per_client = QUERIES_PER_CELL / clients;
+    let barrier = Arc::new(Barrier::new(clients + 1));
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let server = Arc::clone(server);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let workload = workload();
+                barrier.wait();
+                let mut latencies = Vec::with_capacity(per_client);
+                for i in 0..per_client {
+                    let (query, bounds) = workload[(c + i) % workload.len()].clone();
+                    let start = Instant::now();
+                    let reply = server.submit(query, bounds);
+                    latencies.push(start.elapsed().as_micros() as u64);
+                    assert!(
+                        matches!(reply, ServerReply::Aggregate { .. }),
+                        "bench cell reply diverged: {reply:?}"
+                    );
+                }
+                latencies
+            })
+        })
+        .collect();
+    barrier.wait();
+    let started = Instant::now();
+    let mut latencies: Vec<u64> = Vec::with_capacity(clients * per_client);
+    for handle in handles {
+        latencies.extend(handle.join().unwrap());
+    }
+    let elapsed = started.elapsed();
+    latencies.sort_unstable();
+    Cell {
+        shared,
+        clients,
+        qps: latencies.len() as f64 / elapsed.as_secs_f64(),
+        p50_us: percentile(&latencies, 0.50),
+        p99_us: percentile(&latencies, 0.99),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json_out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--serving-json-out" {
+            json_out = it.next().cloned();
+        } else if let Some(path) = arg.strip_prefix("--serving-json-out=") {
+            json_out = Some(path.to_owned());
+        } else if arg == "--json-out"
+            || arg == "--parallel-json-out"
+            || arg == "--weighted-json-out"
+        {
+            // other bench binaries' flags: consume their values
+            it.next();
+        }
+        // remaining flags (e.g. cargo bench's `--bench`) are ignored
+    }
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "serving: concurrent bounded queries through the serving layer on {ROWS} rows \
+         (layers {LAYERS:?}, {QUERIES_PER_CELL} queries/cell, {cores} core(s) available)\n"
+    );
+
+    // --- verification before any timing ------------------------------------
+    let reference_session = build_session();
+    let reference = serial_reference(&reference_session);
+    let shared_server =
+        Arc::new(QueryServer::new(build_session(), serve_config(true)).expect("shared server"));
+    verify_bit_identity(&shared_server, &reference);
+    println!("shared-scan answers verified bit-identical to serial execution\n");
+
+    let unshared_server =
+        Arc::new(QueryServer::new(build_session(), serve_config(false)).expect("unshared server"));
+
+    // --- measurement --------------------------------------------------------
+    let mut cells: Vec<Cell> = Vec::new();
+    for &clients in &CONCURRENCIES {
+        for (shared, server) in [(false, &unshared_server), (true, &shared_server)] {
+            cells.push(run_cell(server, shared, clients));
+        }
+    }
+
+    // --- report ------------------------------------------------------------
+    println!(
+        "{:<14} {:>8} {:>12} {:>10} {:>10}",
+        "shared_scans", "clients", "queries/s", "p50", "p99"
+    );
+    for cell in &cells {
+        println!(
+            "{:<14} {:>8} {:>12.0} {:>8}µs {:>8}µs",
+            if cell.shared { "on" } else { "off" },
+            cell.clients,
+            cell.qps,
+            cell.p50_us,
+            cell.p99_us
+        );
+    }
+    let qps_at = |shared: bool, clients: usize| {
+        cells
+            .iter()
+            .find(|c| c.shared == shared && c.clients == clients)
+            .map_or(0.0, |c| c.qps)
+    };
+    let speedup_16 = qps_at(true, 16) / qps_at(false, 16).max(1e-9);
+    println!("\n16-client shared-scan speedup: {speedup_16:.2}x on {cores} core(s)");
+
+    let batches = shared_server.stats().shared_batches;
+    assert!(batches > 0, "the shared-scan scheduler never batched");
+
+    if let Some(path) = json_out {
+        let mut json = String::from("{\n");
+        let _ = writeln!(json, "  \"rows\": {ROWS},");
+        let _ = writeln!(json, "  \"layers\": [{}, {}],", LAYERS[0], LAYERS[1]);
+        let _ = writeln!(json, "  \"queries_per_cell\": {QUERIES_PER_CELL},");
+        let _ = writeln!(json, "  \"available_parallelism\": {cores},");
+        let _ = writeln!(json, "  \"bit_identical\": true,");
+        let _ = writeln!(json, "  \"shared_batches\": {batches},");
+        let _ = writeln!(json, "  \"speedup_16\": {speedup_16:.2},");
+        json.push_str("  \"cells\": [\n");
+        for (i, cell) in cells.iter().enumerate() {
+            let _ = write!(
+                json,
+                "    {{\"shared_scans\": {}, \"clients\": {}, \"qps\": {:.1}, \
+                 \"p50_us\": {}, \"p99_us\": {}}}",
+                cell.shared, cell.clients, cell.qps, cell.p50_us, cell.p99_us
+            );
+            json.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
+        }
+        json.push_str("  ]\n}\n");
+        std::fs::write(&path, json).expect("write bench summary");
+        println!("wrote summary to {path}");
+    }
+}

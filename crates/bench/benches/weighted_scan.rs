@@ -273,7 +273,8 @@ fn main() {
             json_out = it.next().cloned();
         } else if let Some(path) = arg.strip_prefix("--weighted-json-out=") {
             json_out = Some(path.to_owned());
-        } else if arg == "--json-out" || arg == "--parallel-json-out" {
+        } else if arg == "--json-out" || arg == "--parallel-json-out" || arg == "--serving-json-out"
+        {
             // other bench binaries' flags: consume their values
             it.next();
         }

@@ -678,7 +678,7 @@ pub fn adaptation(scale: Scale) -> AdaptSummary {
     let dataset = build_dataset(scale);
     let config =
         SciborqConfig::with_layers(vec![scale.impression_rows(), scale.impression_rows() / 10]);
-    let mut session = sciborq_core::ExplorationSession::new(
+    let session = sciborq_core::ExplorationSession::new(
         dataset.catalog.clone(),
         config,
         &[
@@ -713,7 +713,8 @@ pub fn adaptation(scale: Scale) -> AdaptSummary {
 
     let new_region = Cone::new(230.0, 45.0, 5.0).bounding_box_predicate("ra", "dec");
     let share = |session: &sciborq_core::ExplorationSession| {
-        let layer = &session.hierarchy("photoobj").unwrap().layers()[0];
+        let hierarchy = session.hierarchy("photoobj").unwrap();
+        let layer = &hierarchy.layers()[0];
         new_region.evaluate(layer.data()).unwrap().len() as f64 / layer.row_count() as f64
     };
     let before_share = share(&session);

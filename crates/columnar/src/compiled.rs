@@ -218,7 +218,7 @@ impl CompiledPredicate {
     /// `column` must be numeric (Int64 or Float64).
     pub fn filter_moments(&self, table: &Table, column: &str) -> Result<(MomentSketch, ScanStats)> {
         self.check_table(table)?;
-        let source = agg_source(table, column)?;
+        let source = numeric_source(table, column)?;
         let mut stats = ScanStats::default();
         let mut sink = MomentSink::new(source);
         self.run_fused(
@@ -271,7 +271,7 @@ impl CompiledPredicate {
     ) -> Result<(WeightedMomentSketch, ScanStats)> {
         self.check_table(table)?;
         check_probabilities(table, probabilities)?;
-        let source = agg_source(table, column)?;
+        let source = numeric_source(table, column)?;
         let mut stats = ScanStats::default();
         let mut sink = WeightedMomentSink::new(source, probabilities);
         self.run_fused(
@@ -316,7 +316,7 @@ impl CompiledPredicate {
     ) -> Result<(WeightedMomentSketch, Vec<ScanStats>)> {
         self.check_partitioning(table, parts)?;
         check_probabilities(table, probabilities)?;
-        let source = agg_source(table, column)?;
+        let source = numeric_source(table, column)?;
         let mut sink = WeightedMomentSink::new(source, probabilities);
         let stats = self.replay_shards_into(table, parts, &mut sink)?;
         Ok((sink.sketch, stats))
@@ -510,10 +510,182 @@ impl CompiledPredicate {
         parts: &Partitioning,
     ) -> Result<(MomentSketch, Vec<ScanStats>)> {
         self.check_partitioning(table, parts)?;
-        let source = agg_source(table, column)?;
+        let source = numeric_source(table, column)?;
         let mut sink = MomentSink::new(source);
         let stats = self.replay_shards_into(table, parts, &mut sink)?;
         Ok((sink.sketch, stats))
+    }
+}
+
+/// One query's slot in a shared multi-query scan: a compiled predicate and
+/// the sink its matching rows stream into. The sink is a trait object so a
+/// single [`multi_scan`] can drive a mixed batch — counting sinks, moment
+/// sinks and weighted sinks side by side.
+pub struct MultiScanItem<'p, 's> {
+    /// The query's predicate, compiled against the scanned table's schema.
+    pub predicate: &'p CompiledPredicate,
+    /// Where the query's matching rows go.
+    pub sink: &'s mut dyn SelectionSink,
+}
+
+/// Rows per batch of the shared serial scan: every predicate of a
+/// [`multi_scan`] visits one batch of rows before any predicate moves to the
+/// next, so the batch's column data stays hot in cache across all N queries.
+pub const MULTI_SCAN_BATCH_ROWS: usize = 8_192;
+
+/// Evaluate N compiled predicates over one table in a single shared sweep,
+/// streaming each predicate's matching rows into its own sink — the
+/// multi-sink generalisation of [`CompiledPredicate::filter_moments`] /
+/// [`CompiledPredicate::filter_weighted_moments`] that lets a serving layer
+/// answer a whole batch of same-impression queries with one scan pass.
+///
+/// Each item is evaluated independently and reports its own
+/// [`ScanStats`] (or its own error — one query's type mismatch never poisons
+/// its batch mates; on error that item's sink contents are unspecified).
+///
+/// **Bit-identity.** Every sink receives exactly the row sequence the
+/// corresponding serial fused entry point would have produced, in ascending
+/// row order: the serial path walks contiguous row batches in order, and the
+/// sharded path (`parts` with more than one shard) has workers materialise
+/// per-shard match lists which are replayed into the sinks on the calling
+/// thread in ascending shard order — the same fixed-order fold as
+/// [`CompiledPredicate::filter_moments_partitioned`]. Accumulated moments
+/// are therefore bit-identical to a per-query serial scan. Scan-work
+/// accounting matches the serial path for flattened predicates; nested
+/// conjunctions reached through candidate lists repeat their full-column
+/// fallback per row batch and report that extra work honestly, mirroring the
+/// documented behaviour of the partitioned paths.
+pub fn multi_scan(
+    table: &Table,
+    items: &mut [MultiScanItem<'_, '_>],
+    parts: Option<&Partitioning>,
+) -> Vec<Result<ScanStats>> {
+    let mut results: Vec<Result<ScanStats>> = items
+        .iter()
+        .map(|item| {
+            item.predicate
+                .check_table(table)
+                .map(|()| ScanStats::default())
+        })
+        .collect();
+    let sharded = match parts {
+        Some(parts) => {
+            if parts.row_count() != table.row_count() {
+                for result in results.iter_mut().filter(|r| r.is_ok()) {
+                    *result = Err(ColumnarError::LengthMismatch {
+                        expected: table.row_count(),
+                        found: parts.row_count(),
+                    });
+                }
+                return results;
+            }
+            !parts.is_single()
+        }
+        None => false,
+    };
+    if sharded {
+        multi_scan_sharded(
+            table,
+            items,
+            parts.expect("sharded implies parts"),
+            &mut results,
+        );
+    } else {
+        multi_scan_serial(table, items, &mut results);
+    }
+    results
+}
+
+/// The shared serial sweep: batches of contiguous rows, all live predicates
+/// evaluated per batch, matches streamed straight into the sinks.
+fn multi_scan_serial(
+    table: &Table,
+    items: &mut [MultiScanItem<'_, '_>],
+    results: &mut [Result<ScanStats>],
+) {
+    let rows = table.row_count();
+    let mut start = 0;
+    while start < rows {
+        let end = rows.min(start + MULTI_SCAN_BATCH_ROWS);
+        let domain = ScanDomain::Range { start, end };
+        for (item, result) in items.iter_mut().zip(results.iter_mut()) {
+            let Ok(stats) = result else { continue };
+            if let Err(err) = item
+                .predicate
+                .run_fused(table, domain, &mut item.sink, stats)
+            {
+                *result = Err(err);
+            }
+        }
+        start = end;
+    }
+}
+
+/// The sharded sweep: every worker evaluates all live predicates over its
+/// shard and materialises per-item match lists; the calling thread replays
+/// them into the sinks in ascending shard order (= global row order). Per
+/// item, the error of the lowest failing shard wins, so failures are
+/// deterministic regardless of thread scheduling.
+fn multi_scan_sharded(
+    table: &Table,
+    items: &mut [MultiScanItem<'_, '_>],
+    parts: &Partitioning,
+    results: &mut [Result<ScanStats>],
+) {
+    let live: Vec<bool> = results.iter().map(Result::is_ok).collect();
+    let predicates: Vec<&CompiledPredicate> = items.iter().map(|item| item.predicate).collect();
+    let scan_shard = |domain: ScanDomain| -> Vec<Result<(Vec<usize>, ScanStats)>> {
+        predicates
+            .iter()
+            .zip(&live)
+            .map(|(predicate, live)| {
+                if !live {
+                    return Ok((Vec::new(), ScanStats::default()));
+                }
+                let mut stats = ScanStats::default();
+                let mut rows: Vec<usize> = Vec::new();
+                predicate
+                    .run_fused(table, domain, &mut rows, &mut stats)
+                    .map(|()| (rows, stats))
+            })
+            .collect()
+    };
+    let shard_domain = |i: usize| {
+        let r = parts.range(i);
+        ScanDomain::Range {
+            start: r.start,
+            end: r.end,
+        }
+    };
+    type ShardResults = Vec<Result<(Vec<usize>, ScanStats)>>;
+    let per_shard: Vec<ShardResults> = std::thread::scope(|scope| {
+        let scan_shard = &scan_shard;
+        let handles: Vec<_> = (1..parts.shard_count())
+            .map(|i| {
+                let domain = shard_domain(i);
+                scope.spawn(move || scan_shard(domain))
+            })
+            .collect();
+        let mut out = Vec::with_capacity(parts.shard_count());
+        out.push(scan_shard(shard_domain(0)));
+        for handle in handles {
+            out.push(handle.join().expect("shard worker panicked"));
+        }
+        out
+    });
+    for shard in per_shard {
+        for ((item, result), item_shard) in items.iter_mut().zip(results.iter_mut()).zip(shard) {
+            let Ok(total) = result else { continue };
+            match item_shard {
+                Ok((rows, stats)) => {
+                    total.merge(&stats);
+                    for row in rows {
+                        item.sink.accept(row);
+                    }
+                }
+                Err(err) => *result = Err(err),
+            }
+        }
     }
 }
 
@@ -530,8 +702,10 @@ fn check_probabilities(table: &Table, probabilities: &[f64]) -> Result<()> {
 }
 
 /// Typed access to a numeric aggregation column, shared by the fused and
-/// the partitioned filter+aggregate paths.
-fn agg_source<'a>(table: &'a Table, column: &str) -> Result<AggSource<'a>> {
+/// the partitioned filter+aggregate paths and by callers that assemble
+/// their own [`MomentSink`]/[`WeightedMomentSink`] slots for a
+/// [`multi_scan`].
+pub fn numeric_source<'a>(table: &'a Table, column: &str) -> Result<AggSource<'a>> {
     let col = table.column(column)?;
     match col {
         Column::Int64 { .. } => Ok(AggSource::I64(
@@ -1383,6 +1557,147 @@ mod tests {
         assert!(c
             .filter_weighted_moments_partitioned(&t, "r_mag", &short, &parts)
             .is_err());
+    }
+
+    #[test]
+    fn multi_scan_matches_serial_fused_paths_bitwise() {
+        let t = test_table();
+        let probabilities: Vec<f64> = (0..t.row_count())
+            .map(|i| 0.001 * (1.0 + i as f64))
+            .collect();
+        let p_range = Predicate::between("ra", 175.0, 191.0);
+        let p_conj = Predicate::eq("class", "GALAXY").and(Predicate::lt("ra", 195.0));
+        let p_disj = Predicate::eq("class", "QSO").or(Predicate::eq("class", "STAR"));
+        let c_range = compiled(&p_range, &t);
+        let c_conj = compiled(&p_conj, &t);
+        let c_disj = compiled(&p_disj, &t);
+
+        let (serial_count, serial_count_stats) = c_range.count_matches(&t).unwrap();
+        let (serial_moments, serial_moment_stats) = c_conj.filter_moments(&t, "r_mag").unwrap();
+        let (serial_weighted, serial_weighted_stats) = c_disj
+            .filter_weighted_moments(&t, "r_mag", &probabilities)
+            .unwrap();
+
+        for parts in [
+            None,
+            Some(Partitioning::even(t.row_count(), 1)),
+            Some(Partitioning::even(t.row_count(), 2)),
+            Some(Partitioning::even(t.row_count(), 3)),
+        ] {
+            let mut count = CountSink::default();
+            let mut moments = MomentSink::new(numeric_source(&t, "r_mag").unwrap());
+            let mut weighted =
+                WeightedMomentSink::new(numeric_source(&t, "r_mag").unwrap(), &probabilities);
+            let mut items = [
+                MultiScanItem {
+                    predicate: &c_range,
+                    sink: &mut count,
+                },
+                MultiScanItem {
+                    predicate: &c_conj,
+                    sink: &mut moments,
+                },
+                MultiScanItem {
+                    predicate: &c_disj,
+                    sink: &mut weighted,
+                },
+            ];
+            let results = multi_scan(&t, &mut items, parts.as_ref());
+            let stats: Vec<ScanStats> = results.into_iter().map(|r| r.unwrap()).collect();
+            assert_eq!(count.0, serial_count);
+            assert_eq!(stats[0], serial_count_stats);
+            assert_eq!(moments.sketch, serial_moments);
+            assert_eq!(stats[1], serial_moment_stats);
+            assert_eq!(stats[2], serial_weighted_stats);
+            assert_sketch_bits(
+                &weighted.sketch,
+                &serial_weighted,
+                &format!("multi_scan weighted at {parts:?}"),
+            );
+        }
+    }
+
+    #[test]
+    fn multi_scan_isolates_per_item_errors() {
+        let t = test_table();
+        let good = compiled(&Predicate::gt("ra", 175.0), &t);
+        let bad = compiled(&Predicate::gt("ra", f64::NAN), &t);
+        let (serial_count, _) = good.count_matches(&t).unwrap();
+        for parts in [None, Some(Partitioning::even(t.row_count(), 3))] {
+            let mut ok_sink = CountSink::default();
+            let mut bad_sink = CountSink::default();
+            let mut items = [
+                MultiScanItem {
+                    predicate: &bad,
+                    sink: &mut bad_sink,
+                },
+                MultiScanItem {
+                    predicate: &good,
+                    sink: &mut ok_sink,
+                },
+            ];
+            let results = multi_scan(&t, &mut items, parts.as_ref());
+            assert!(matches!(
+                results[0],
+                Err(ColumnarError::TypeMismatch { .. })
+            ));
+            assert!(results[1].is_ok());
+            assert_eq!(ok_sink.0, serial_count);
+        }
+    }
+
+    #[test]
+    fn multi_scan_rejects_schema_and_partitioning_mismatches() {
+        let t = test_table();
+        let other_schema = Schema::shared(vec![Field::new("x", DataType::Int64)]).unwrap();
+        let other = Table::new("other", other_schema);
+        let foreign = CompiledPredicate::compile(&Predicate::True, other.schema()).unwrap();
+        let local = compiled(&Predicate::True, &t);
+        let mut foreign_sink = CountSink::default();
+        let mut local_sink = CountSink::default();
+        let mut items = [
+            MultiScanItem {
+                predicate: &foreign,
+                sink: &mut foreign_sink,
+            },
+            MultiScanItem {
+                predicate: &local,
+                sink: &mut local_sink,
+            },
+        ];
+        let results = multi_scan(&t, &mut items, None);
+        assert!(matches!(results[0], Err(ColumnarError::SchemaMismatch(_))));
+        assert!(results[1].is_ok());
+        assert_eq!(local_sink.0, t.row_count());
+
+        let bad_parts = Partitioning::even(t.row_count() + 1, 2);
+        let mut sink = CountSink::default();
+        let mut items = [MultiScanItem {
+            predicate: &local,
+            sink: &mut sink,
+        }];
+        let results = multi_scan(&t, &mut items, Some(&bad_parts));
+        assert!(matches!(
+            results[0],
+            Err(ColumnarError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn multi_scan_on_empty_batch_and_empty_table() {
+        let t = test_table();
+        assert!(multi_scan(&t, &mut [], None).is_empty());
+        let schema = Schema::shared(vec![Field::nullable("x", DataType::Float64)]).unwrap();
+        let empty = Table::new("t", schema);
+        let c = CompiledPredicate::compile(&Predicate::lt("x", 1.0), empty.schema()).unwrap();
+        let mut sink = CountSink::default();
+        let mut items = [MultiScanItem {
+            predicate: &c,
+            sink: &mut sink,
+        }];
+        let results = multi_scan(&empty, &mut items, Some(&Partitioning::even(0, 4)));
+        assert!(results[0].is_ok());
+        assert_eq!(sink.0, 0);
     }
 
     #[test]

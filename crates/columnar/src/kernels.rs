@@ -106,6 +106,16 @@ impl SelectionSink for Vec<usize> {
     }
 }
 
+// A mutable reference to a sink is itself a sink, which is what lets the
+// shared multi-query scan drive heterogeneous `&mut dyn SelectionSink`
+// slots through the generic kernels.
+impl<S: SelectionSink + ?Sized> SelectionSink for &mut S {
+    #[inline]
+    fn accept(&mut self, row: usize) {
+        (**self).accept(row);
+    }
+}
+
 /// Sink that only counts matches (fused COUNT kernel).
 #[derive(Debug, Default, Clone, Copy)]
 pub struct CountSink(pub usize);

@@ -23,6 +23,10 @@
 //!   per-shard results merged in fixed shard order so sharded execution is
 //!   bit-identical to the single-threaded kernels
 //!   ([`CompiledPredicate::filter_moments_partitioned`]),
+//! * a shared multi-query scan that evaluates N compiled predicates per row
+//!   batch and routes matches into N independent sinks ([`multi_scan`]) —
+//!   the serving layer's one-sweep-many-queries path, with the same
+//!   bit-identity guarantee per query,
 //! * exact aggregates and grouped aggregates ([`compute_aggregate`]),
 //! * FK hash joins between fact and dimension tables ([`hash_join_index`]),
 //! * a concurrent catalog of named tables ([`Catalog`]).
@@ -67,7 +71,9 @@ pub mod value;
 pub use aggregate::{compute_aggregate, compute_grouped_aggregate, AggregateKind, AggregateResult};
 pub use catalog::Catalog;
 pub use column::{Bitmap, Column};
-pub use compiled::{CompiledPredicate, ScanStats};
+pub use compiled::{
+    multi_scan, numeric_source, CompiledPredicate, MultiScanItem, ScanStats, MULTI_SCAN_BATCH_ROWS,
+};
 pub use error::{ColumnarError, Result};
 pub use expr::{CompareOp, Predicate};
 pub use join::{hash_join_index, key_containment, materialize_join, JoinIndex, JoinType};

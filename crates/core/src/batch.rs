@@ -1,0 +1,465 @@
+//! Shared-scan batch execution of aggregate queries.
+//!
+//! A serving front end often holds several concurrent bounded queries over
+//! the *same* impression hierarchy. Answering them one by one re-scans the
+//! same impression once per query; [`BoundedQueryEngine::execute_aggregate_batch`]
+//! instead drives the whole batch through **one shared scan pass per
+//! escalation level**: queries that agree on their predicate and sink
+//! flavour (see `SinkSpec`) are deduplicated into a single
+//! [`multi_scan`] item whose sketch then feeds every member's estimator.
+//!
+//! The batch path is a re-orchestration, not a re-implementation, of serial
+//! escalation: admission (row budgets), the honest wall-clock rule, the
+//! sampled-zero rule, and best-effort finalisation replay
+//! [`BoundedQueryEngine::execute_aggregate`] per query, and the estimation
+//! itself goes through the same [`estimate_level`] seam. Given identical
+//! sketches — which the multi-scan kernels guarantee bit-for-bit — batched
+//! answers are bit-identical to serial ones.
+
+use crate::answer::{ApproximateAnswer, EvaluationLevel};
+use crate::engine::{estimate_level, BoundedQueryEngine, LevelSketch, QueryBounds};
+use crate::error::{Result, SciborqError};
+use crate::execution::QueryExecution;
+use crate::impression::Impression;
+use crate::layer::LayerHierarchy;
+use sciborq_columnar::{
+    multi_scan, numeric_source, AggregateKind, CompiledPredicate, CountSink, MomentSink,
+    MultiScanItem, SelectionSink, Table, WeightedMomentSink,
+};
+use sciborq_stats::ConfidenceInterval;
+use sciborq_workload::{Query, QueryKind};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Which fused sink a query needs at one escalation level. Two queries with
+/// equal predicates and equal sink specs are served by literally the same
+/// scan and the same sketch.
+#[derive(Debug, Clone, PartialEq)]
+enum SinkSpec {
+    /// Plain match counting (COUNT on a self-weighted impression).
+    Count,
+    /// Hansen–Hurwitz counting (COUNT on a biased impression).
+    WeightedCount,
+    /// Unweighted moments over a column (SUM/AVG/MIN/MAX/VAR).
+    Moments(String),
+    /// Weighted moments over a column (SUM/AVG on a biased impression).
+    WeightedMoments(String),
+}
+
+/// The per-group accumulator driven by the shared scan — exactly the sinks
+/// the serial fused entry points fold into.
+enum GroupSink<'a> {
+    Count(CountSink),
+    Moments(MomentSink<'a>),
+    Weighted(WeightedMomentSink<'a>),
+}
+
+impl SelectionSink for GroupSink<'_> {
+    #[inline]
+    fn accept(&mut self, row: usize) {
+        match self {
+            GroupSink::Count(s) => s.accept(row),
+            GroupSink::Moments(s) => s.accept(row),
+            GroupSink::Weighted(s) => s.accept(row),
+        }
+    }
+}
+
+impl GroupSink<'_> {
+    fn sketch(&self) -> LevelSketch {
+        match self {
+            GroupSink::Count(s) => LevelSketch::Count(s.0),
+            GroupSink::Moments(s) => LevelSketch::Moments(s.sketch),
+            GroupSink::Weighted(s) => LevelSketch::Weighted(s.sketch),
+        }
+    }
+}
+
+/// One query's in-flight escalation state.
+struct QState<'q> {
+    query: &'q Query,
+    bounds: &'q QueryBounds,
+    agg_kind: AggregateKind,
+    agg_column: Option<String>,
+    max_error: f64,
+    exec: QueryExecution,
+    escalations: usize,
+    best: Option<(Option<f64>, Option<ConfidenceInterval>, EvaluationLevel)>,
+    /// Set once the query has its final result (met bound, base data,
+    /// or error); later levels skip it.
+    done: Option<Result<ApproximateAnswer>>,
+    /// Set when the wall-clock budget was blown with a best effort in hand:
+    /// serial execution breaks out of escalation at that point.
+    stopped: bool,
+    start: Instant,
+}
+
+impl QState<'_> {
+    fn time_ok(&self) -> bool {
+        self.bounds
+            .time_budget
+            .is_none_or(|budget| self.start.elapsed() <= budget)
+    }
+
+    /// The sink this query needs on `impression` (weighted estimators or
+    /// not), or the error serial execution would raise.
+    fn sink_spec(&self, weighted: bool) -> Result<SinkSpec> {
+        match self.agg_kind {
+            AggregateKind::Count => Ok(if weighted {
+                SinkSpec::WeightedCount
+            } else {
+                SinkSpec::Count
+            }),
+            AggregateKind::Sum | AggregateKind::Avg => {
+                let column = self.require_column()?;
+                Ok(if weighted {
+                    SinkSpec::WeightedMoments(column)
+                } else {
+                    SinkSpec::Moments(column)
+                })
+            }
+            AggregateKind::Min | AggregateKind::Max | AggregateKind::Variance => {
+                Ok(SinkSpec::Moments(self.require_column()?))
+            }
+        }
+    }
+
+    fn require_column(&self) -> Result<String> {
+        self.agg_column.clone().ok_or_else(|| {
+            SciborqError::InvalidConfig(format!("{} requires a column", self.agg_kind))
+        })
+    }
+
+    fn finalize(
+        &mut self,
+        value: Option<f64>,
+        interval: Option<ConfidenceInterval>,
+        level: EvaluationLevel,
+        error_bound_met: bool,
+    ) {
+        let time_bound_met = self.time_ok();
+        self.done = Some(Ok(ApproximateAnswer {
+            query: self.query.to_string(),
+            value,
+            interval,
+            level,
+            rows_scanned: self.exec.rows_scanned(),
+            escalations: self.escalations,
+            elapsed: self.start.elapsed(),
+            level_scans: self.exec.take_level_scans(),
+            error_bound_met,
+            time_bound_met,
+        }));
+    }
+
+    fn fail(&mut self, err: SciborqError) {
+        self.done = Some(Err(err));
+    }
+}
+
+/// One deduplicated scan item: every member query shares the predicate, the
+/// sink, and therefore the resulting sketch.
+struct Group {
+    compiled: Arc<CompiledPredicate>,
+    spec: SinkSpec,
+    members: Vec<usize>,
+}
+
+impl BoundedQueryEngine {
+    /// Answer a batch of aggregate queries over one hierarchy, sharing scan
+    /// passes between queries. Results come back in request order; each
+    /// query gets exactly the answer (bit for bit) that
+    /// [`BoundedQueryEngine::execute_aggregate`] would have produced for it
+    /// alone, including typed errors for unsatisfiable bounds.
+    pub fn execute_aggregate_batch(
+        &self,
+        requests: &[(&Query, &QueryBounds)],
+        hierarchy: &LayerHierarchy,
+        base_table: Option<&Table>,
+    ) -> Vec<Result<ApproximateAnswer>> {
+        let parallelism = self.config().parallelism;
+        let mut states: Vec<QState<'_>> = requests
+            .iter()
+            .map(|(query, bounds)| {
+                let mut st = QState {
+                    query,
+                    bounds,
+                    agg_kind: AggregateKind::Count,
+                    agg_column: None,
+                    max_error: bounds.max_relative_error.unwrap_or(f64::INFINITY),
+                    exec: QueryExecution::with_parallelism(query.predicate.clone(), parallelism),
+                    escalations: 0,
+                    best: None,
+                    done: None,
+                    stopped: false,
+                    start: Instant::now(),
+                };
+                if let Err(err) = bounds.validate() {
+                    st.fail(err);
+                    return st;
+                }
+                match &query.kind {
+                    QueryKind::Aggregate { kind, column } => {
+                        st.agg_kind = *kind;
+                        st.agg_column = column.clone();
+                    }
+                    QueryKind::Select => st.fail(SciborqError::InvalidConfig(
+                        "execute_aggregate called with a SELECT query; use execute_select"
+                            .to_owned(),
+                    )),
+                }
+                st
+            })
+            .collect();
+
+        // Escalate the whole batch level by level, sharing each level's scan.
+        for impression in hierarchy.escalation_order() {
+            let level_rows = impression.row_count() as u64;
+            let mut active: Vec<usize> = Vec::new();
+            for (i, st) in states.iter_mut().enumerate() {
+                if st.done.is_some() || st.stopped {
+                    continue;
+                }
+                if st.bounds.max_rows_scanned.is_some_and(|b| level_rows > b) {
+                    // Over this query's row budget: skip the level but keep
+                    // escalating (the order may not be sorted by size).
+                    continue;
+                }
+                if st.best.is_some() && !st.time_ok() {
+                    st.stopped = true;
+                    continue;
+                }
+                if st.best.is_some() {
+                    st.escalations += 1;
+                }
+                active.push(i);
+            }
+            if active.is_empty() {
+                continue;
+            }
+            self.scan_level(
+                &mut states,
+                &active,
+                impression.data(),
+                Some(impression),
+                EvaluationLevel::Layer(impression.layer()),
+            );
+        }
+
+        // Base-data fall-through, still shared: exact answers for everything
+        // that is admissible within its budgets.
+        if let Some(table) = base_table {
+            let base_rows = table.row_count() as u64;
+            let mut active: Vec<usize> = Vec::new();
+            for (i, st) in states.iter_mut().enumerate() {
+                if st.done.is_some() {
+                    continue;
+                }
+                let admissible = st.bounds.max_rows_scanned.is_none_or(|b| base_rows <= b);
+                if !admissible || !st.time_ok() {
+                    continue;
+                }
+                if st.best.is_some() {
+                    st.escalations += 1;
+                }
+                active.push(i);
+            }
+            if !active.is_empty() {
+                self.scan_level(&mut states, &active, table, None, EvaluationLevel::BaseData);
+            }
+        }
+
+        // Best-effort finalisation for whatever is still unresolved —
+        // identical to the serial tail, including the sampled-zero rule.
+        for st in states.iter_mut() {
+            if st.done.is_some() {
+                continue;
+            }
+            match st.best.take() {
+                Some((value, interval, level)) => {
+                    let sampled_zero = value == Some(0.0) && st.max_error.is_finite();
+                    let error_bound_met = !sampled_zero
+                        && interval
+                            .as_ref()
+                            .map(|ci| ci.satisfies_error_bound(st.max_error))
+                            .unwrap_or(false);
+                    st.finalize(value, interval, level, error_bound_met);
+                }
+                None => st.fail(SciborqError::BoundsUnsatisfiable(format!(
+                    "no impression of {} fits a row budget of {:?}",
+                    hierarchy.source_table(),
+                    st.bounds.max_rows_scanned
+                ))),
+            }
+        }
+
+        states
+            .into_iter()
+            .map(|st| st.done.expect("every query resolved"))
+            .collect()
+    }
+
+    /// Run one shared scan pass over `table` for the `active` queries:
+    /// deduplicate (predicate, sink) pairs into groups, multi-scan once,
+    /// then book accounting and estimates per member. `impression` is
+    /// `None` for the base-data pass (exact evaluation, no estimators).
+    fn scan_level(
+        &self,
+        states: &mut [QState<'_>],
+        active: &[usize],
+        table: &Table,
+        impression: Option<&Impression>,
+        level: EvaluationLevel,
+    ) {
+        let weighted = impression.is_some_and(Impression::uses_weighted_estimators);
+        let probabilities = impression.map(Impression::selection_probabilities);
+
+        // Group the active queries by (predicate, sink flavour).
+        let mut groups: Vec<Group> = Vec::new();
+        for &i in active {
+            let spec = match states[i].sink_spec(weighted) {
+                Ok(spec) => spec,
+                Err(err) => {
+                    states[i].fail(err);
+                    continue;
+                }
+            };
+            let compiled = match states[i].exec.compiled_for(table) {
+                Ok(compiled) => compiled,
+                Err(err) => {
+                    states[i].fail(err);
+                    continue;
+                }
+            };
+            match groups.iter_mut().find(|g| {
+                g.spec == spec && states[g.members[0]].query.predicate == states[i].query.predicate
+            }) {
+                Some(group) => group.members.push(i),
+                None => groups.push(Group {
+                    compiled,
+                    spec,
+                    members: vec![i],
+                }),
+            }
+        }
+
+        // Build each group's sink; a group whose aggregation column cannot
+        // be resolved fails exactly as its members' serial scans would.
+        let mut sinks: Vec<GroupSink<'_>> = Vec::with_capacity(groups.len());
+        let mut live_groups: Vec<Group> = Vec::with_capacity(groups.len());
+        for group in groups {
+            let built = match &group.spec {
+                SinkSpec::Count => Ok(GroupSink::Count(CountSink::default())),
+                SinkSpec::WeightedCount => Ok(GroupSink::Weighted(WeightedMomentSink::counting(
+                    probabilities.expect("weighted sinks only exist on impressions"),
+                ))),
+                SinkSpec::Moments(column) => {
+                    numeric_source(table, column).map(|s| GroupSink::Moments(MomentSink::new(s)))
+                }
+                SinkSpec::WeightedMoments(column) => numeric_source(table, column).map(|s| {
+                    GroupSink::Weighted(WeightedMomentSink::new(
+                        s,
+                        probabilities.expect("weighted sinks only exist on impressions"),
+                    ))
+                }),
+            };
+            match built {
+                Ok(sink) => {
+                    sinks.push(sink);
+                    live_groups.push(group);
+                }
+                Err(err) => {
+                    for &i in &group.members {
+                        states[i].fail(err.clone().into());
+                    }
+                }
+            }
+        }
+        if live_groups.is_empty() {
+            return;
+        }
+
+        // One shared sweep. The fan-out decision replays per-query
+        // execution (all executions share the engine's parallelism), which
+        // the bit-identity of sharded scans depends on.
+        let parts = states[live_groups[0].members[0]]
+            .exec
+            .partitioning(table.row_count());
+        let shards = parts.as_ref().map_or(1, |p| p.shard_count());
+        let started = Instant::now();
+        let mut items: Vec<MultiScanItem<'_, '_>> = live_groups
+            .iter()
+            .zip(sinks.iter_mut())
+            .map(|(group, sink)| MultiScanItem {
+                predicate: &group.compiled,
+                sink,
+            })
+            .collect();
+        let results = multi_scan(table, &mut items, parts.as_ref());
+        drop(items);
+
+        // Book the group scan for every member and fold the shared sketch
+        // through each member's estimator — or produce the exact base-data
+        // value. Estimation reuses the serial `estimate_level` seam.
+        for ((group, sink), result) in live_groups.iter().zip(&sinks).zip(results) {
+            match result {
+                Ok(stats) => {
+                    let sketch = sink.sketch();
+                    for &i in &group.members {
+                        let st = &mut states[i];
+                        st.exec.record_scan(level, stats, shards, started);
+                        match impression {
+                            Some(impression) => {
+                                match estimate_level(
+                                    impression,
+                                    st.agg_kind,
+                                    st.bounds.confidence,
+                                    &sketch,
+                                ) {
+                                    Ok((value, interval)) => {
+                                        let sampled_zero =
+                                            value == Some(0.0) && st.max_error.is_finite();
+                                        let met = !sampled_zero
+                                            && interval
+                                                .as_ref()
+                                                .map(|ci| ci.satisfies_error_bound(st.max_error))
+                                                .unwrap_or(false);
+                                        st.best = Some((value, interval, level));
+                                        if met {
+                                            st.finalize(value, interval, level, true);
+                                        } else if !st.time_ok() {
+                                            // Serial execution breaks out of
+                                            // escalation here: the level blew
+                                            // the clock without meeting the
+                                            // bound.
+                                            st.stopped = true;
+                                        }
+                                    }
+                                    Err(err) => st.fail(err),
+                                }
+                            }
+                            None => {
+                                // Base data: exact values, degenerate
+                                // intervals, no estimators involved.
+                                let value = match &sketch {
+                                    LevelSketch::Count(matched) => Some(*matched as f64),
+                                    LevelSketch::Moments(s) => s.aggregate(st.agg_kind),
+                                    LevelSketch::Weighted(_) => {
+                                        unreachable!("base-data groups never use weighted sinks")
+                                    }
+                                };
+                                let interval = value.map(ConfidenceInterval::exact);
+                                st.finalize(value, interval, EvaluationLevel::BaseData, true);
+                            }
+                        }
+                    }
+                }
+                Err(err) => {
+                    for &i in &group.members {
+                        states[i].fail(err.clone().into());
+                    }
+                }
+            }
+        }
+    }
+}

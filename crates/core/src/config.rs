@@ -66,6 +66,10 @@ pub struct SciborqConfig {
     /// aggregation tail dominates and sharding buys little (bit-identity
     /// requires the float fold to stay in global row order).
     pub parallelism: usize,
+    /// Number of queries the session's query log retains (the window the
+    /// predicate set and focal-shift detection are derived from, §3.3). A
+    /// serving deployment sizes this to its workload; must be positive.
+    pub query_log_capacity: usize,
 }
 
 impl Default for SciborqConfig {
@@ -81,6 +85,7 @@ impl Default for SciborqConfig {
             cpu_cache_bytes: 8 << 20,   // 8 MiB
             main_memory_bytes: 4 << 30, // 4 GiB
             parallelism: 1,
+            query_log_capacity: 10_000,
         }
     }
 }
@@ -121,12 +126,22 @@ impl SciborqConfig {
         if self.parallelism == 0 {
             return Err("parallelism must be at least 1".to_owned());
         }
+        if self.query_log_capacity == 0 {
+            return Err("query_log_capacity must be positive".to_owned());
+        }
         Ok(())
     }
 
     /// A copy of this configuration with the scan fan-out set to `shards`.
     pub fn with_parallelism(mut self, shards: usize) -> Self {
         self.parallelism = shards;
+        self
+    }
+
+    /// A copy of this configuration with the query-log window set to
+    /// `capacity` queries.
+    pub fn with_query_log_capacity(mut self, capacity: usize) -> Self {
+        self.query_log_capacity = capacity;
         self
     }
 
@@ -177,12 +192,23 @@ mod tests {
         c = SciborqConfig::default();
         c.parallelism = 0;
         assert!(c.validate().is_err());
+        c = SciborqConfig::default();
+        c.query_log_capacity = 0;
+        assert!(c.validate().is_err());
     }
 
     #[test]
     fn parallelism_builder() {
         let c = SciborqConfig::default().with_parallelism(4);
         assert_eq!(c.parallelism, 4);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn query_log_capacity_builder_and_default() {
+        assert_eq!(SciborqConfig::default().query_log_capacity, 10_000);
+        let c = SciborqConfig::default().with_query_log_capacity(128);
+        assert_eq!(c.query_log_capacity, 128);
         assert!(c.validate().is_ok());
     }
 

@@ -23,7 +23,7 @@ use crate::error::{Result, SciborqError};
 use crate::execution::QueryExecution;
 use crate::impression::Impression;
 use crate::layer::LayerHierarchy;
-use sciborq_columnar::{AggregateKind, Table};
+use sciborq_columnar::{AggregateKind, MomentSketch, Table, WeightedMomentSketch};
 use sciborq_stats::{ConfidenceInterval, Estimate};
 use sciborq_workload::{Query, QueryKind};
 use serde::{Deserialize, Serialize};
@@ -170,7 +170,7 @@ impl BoundedQueryEngine {
         // Compile the predicate once; every level reuses the compiled form
         // and contributes measured scan accounting. Large levels fan out
         // across the configured scan shards.
-        let mut exec =
+        let exec =
             QueryExecution::with_parallelism(query.predicate.clone(), self.config.parallelism);
         let mut escalations = 0usize;
         let mut best: Option<(Option<f64>, Option<ConfidenceInterval>, EvaluationLevel)> = None;
@@ -198,7 +198,7 @@ impl BoundedQueryEngine {
             }
             let level = EvaluationLevel::Layer(impression.layer());
             let (value, interval) = self.evaluate_on_impression(
-                &mut exec,
+                &exec,
                 impression,
                 level,
                 agg_kind,
@@ -231,7 +231,7 @@ impl BoundedQueryEngine {
                     rows_scanned: exec.rows_scanned(),
                     escalations,
                     elapsed: start.elapsed(),
-                    level_scans: exec.into_level_scans(),
+                    level_scans: exec.take_level_scans(),
                     error_bound_met: true,
                     time_bound_met,
                 });
@@ -278,7 +278,7 @@ impl BoundedQueryEngine {
                 rows_scanned: exec.rows_scanned(),
                 escalations,
                 elapsed: start.elapsed(),
-                level_scans: exec.into_level_scans(),
+                level_scans: exec.take_level_scans(),
                 error_bound_met: true,
                 time_bound_met,
             });
@@ -302,7 +302,7 @@ impl BoundedQueryEngine {
                     rows_scanned: exec.rows_scanned(),
                     escalations,
                     elapsed: start.elapsed(),
-                    level_scans: exec.into_level_scans(),
+                    level_scans: exec.take_level_scans(),
                     error_bound_met,
                     time_bound_met,
                 })
@@ -320,10 +320,13 @@ impl BoundedQueryEngine {
     /// impressions stream match counts / moment sketches into the SRS
     /// estimators; biased impressions stream Hansen–Hurwitz sketches (each
     /// matching row expanded by the impression's cached selection
-    /// probability) into the weighted estimators.
+    /// probability) into the weighted estimators. The reduction to a
+    /// [`LevelSketch`] followed by [`estimate_level`] is the exact pipeline
+    /// the shared-scan batch executor replays, so batched estimates are
+    /// computed by the same code as serial ones.
     fn evaluate_on_impression(
         &self,
-        exec: &mut QueryExecution,
+        exec: &QueryExecution,
         impression: &Impression,
         level: EvaluationLevel,
         agg_kind: AggregateKind,
@@ -332,89 +335,41 @@ impl BoundedQueryEngine {
     ) -> Result<(Option<f64>, Option<ConfidenceInterval>)> {
         let data = impression.data();
         let weighted = impression.uses_weighted_estimators();
-        let estimate: Option<Estimate> = match agg_kind {
+        let sketch = match agg_kind {
             AggregateKind::Count => {
                 if weighted {
-                    let sketch =
-                        exec.count_weighted(level, data, impression.selection_probabilities())?;
-                    Some(impression.estimate_count_weighted(&sketch)?)
-                } else {
-                    let matched = exec.count_matches(level, data)?;
-                    Some(impression.estimate_count_streamed(matched)?)
-                }
-            }
-            AggregateKind::Sum => {
-                let column = agg_column.ok_or_else(|| {
-                    SciborqError::InvalidConfig("SUM requires a column".to_owned())
-                })?;
-                if weighted {
-                    let sketch = exec.filter_weighted_moments(
+                    LevelSketch::Weighted(exec.count_weighted(
                         level,
                         data,
-                        column,
                         impression.selection_probabilities(),
-                    )?;
-                    Some(impression.estimate_sum_weighted(&sketch)?)
+                    )?)
                 } else {
-                    let sketch = exec.filter_moments(level, data, column)?;
-                    Some(impression.estimate_sum_streamed(&sketch)?)
+                    LevelSketch::Count(exec.count_matches(level, data)?)
                 }
             }
-            AggregateKind::Avg => {
-                let column = agg_column.ok_or_else(|| {
-                    SciborqError::InvalidConfig("AVG requires a column".to_owned())
-                })?;
-                if weighted {
-                    let sketch = exec.filter_weighted_moments(
-                        level,
-                        data,
-                        column,
-                        impression.selection_probabilities(),
-                    )?;
-                    if sketch.matched == 0 {
-                        None
-                    } else {
-                        Some(impression.estimate_avg_weighted(&sketch)?)
-                    }
-                } else {
-                    let sketch = exec.filter_moments(level, data, column)?;
-                    if sketch.matched == 0 {
-                        None
-                    } else {
-                        Some(impression.estimate_avg_streamed(&sketch)?)
-                    }
-                }
-            }
-            AggregateKind::Min | AggregateKind::Max | AggregateKind::Variance => {
-                // Extremes and exact variance are not meaningfully estimable
-                // from a sample with bounded error; report the sample value
-                // with an unbounded interval so the engine escalates to the
-                // base data when an error bound was requested. The sample
-                // value itself comes from the fused moment kernel for every
-                // policy.
+            AggregateKind::Sum | AggregateKind::Avg => {
                 let column = agg_column.ok_or_else(|| {
                     SciborqError::InvalidConfig(format!("{agg_kind} requires a column"))
                 })?;
-                let sketch = exec.filter_moments(level, data, column)?;
-                let value = sketch.aggregate(agg_kind);
-                return Ok((
-                    value,
-                    value.map(|v| ConfidenceInterval {
-                        estimate: v,
-                        lower: f64::NEG_INFINITY,
-                        upper: f64::INFINITY,
-                        confidence: bounds.confidence,
-                    }),
-                ));
+                if weighted {
+                    LevelSketch::Weighted(exec.filter_weighted_moments(
+                        level,
+                        data,
+                        column,
+                        impression.selection_probabilities(),
+                    )?)
+                } else {
+                    LevelSketch::Moments(exec.filter_moments(level, data, column)?)
+                }
+            }
+            AggregateKind::Min | AggregateKind::Max | AggregateKind::Variance => {
+                let column = agg_column.ok_or_else(|| {
+                    SciborqError::InvalidConfig(format!("{agg_kind} requires a column"))
+                })?;
+                LevelSketch::Moments(exec.filter_moments(level, data, column)?)
             }
         };
-        match estimate {
-            Some(est) => {
-                let interval = ConfidenceInterval::from_estimate(&est, bounds.confidence)?;
-                Ok((Some(est.value), Some(interval)))
-            }
-            None => Ok((None, None)),
-        }
+        estimate_level(impression, agg_kind, bounds.confidence, &sketch)
     }
 
     /// Answer a SELECT query: return rows drawn from the smallest impression
@@ -444,7 +399,7 @@ impl BoundedQueryEngine {
                 .time_budget
                 .is_none_or(|budget| start.elapsed() <= budget)
         };
-        let mut exec =
+        let exec =
             QueryExecution::with_parallelism(query.predicate.clone(), self.config.parallelism);
         let mut escalations = 0usize;
         let mut best: Option<(Table, f64, EvaluationLevel)> = None;
@@ -489,7 +444,7 @@ impl BoundedQueryEngine {
                     rows_scanned: exec.rows_scanned(),
                     escalations,
                     elapsed: start.elapsed(),
-                    level_scans: exec.into_level_scans(),
+                    level_scans: exec.take_level_scans(),
                     time_bound_met,
                 });
             }
@@ -522,7 +477,7 @@ impl BoundedQueryEngine {
                     rows_scanned: exec.rows_scanned(),
                     escalations,
                     elapsed: start.elapsed(),
-                    level_scans: exec.into_level_scans(),
+                    level_scans: exec.take_level_scans(),
                     time_bound_met,
                 });
             }
@@ -539,7 +494,7 @@ impl BoundedQueryEngine {
                     rows_scanned: exec.rows_scanned(),
                     escalations,
                     elapsed: start.elapsed(),
-                    level_scans: exec.into_level_scans(),
+                    level_scans: exec.take_level_scans(),
                     time_bound_met,
                 })
             }
@@ -549,6 +504,90 @@ impl BoundedQueryEngine {
                 bounds.max_rows_scanned
             ))),
         }
+    }
+}
+
+/// The sufficient statistics one escalation level produced for one query —
+/// the seam between scanning and estimation. Serial execution and the
+/// shared-scan batch executor both reduce a level to a `LevelSketch` and
+/// then call [`estimate_level`], so the two paths share their estimation
+/// code and produce bit-identical answers from identical sketches.
+#[derive(Debug, Clone)]
+pub(crate) enum LevelSketch {
+    /// A plain match count (COUNT on a self-weighted impression).
+    Count(usize),
+    /// An unweighted moment sketch of the aggregated column.
+    Moments(MomentSketch),
+    /// A Hansen–Hurwitz weighted sketch (biased impressions; also carries
+    /// weighted COUNTs, where no aggregation column is involved).
+    Weighted(WeightedMomentSketch),
+}
+
+/// Turn a level's [`LevelSketch`] into a point estimate and confidence
+/// interval using the impression's sampling-design corrections.
+///
+/// MIN / MAX / VAR report the sample value with an unbounded interval:
+/// extremes and exact variance are not meaningfully estimable from a sample
+/// with bounded error, so the engine escalates to the base data whenever an
+/// error bound was requested.
+pub(crate) fn estimate_level(
+    impression: &Impression,
+    agg_kind: AggregateKind,
+    confidence: f64,
+    sketch: &LevelSketch,
+) -> Result<(Option<f64>, Option<ConfidenceInterval>)> {
+    let estimate: Option<Estimate> = match (agg_kind, sketch) {
+        (AggregateKind::Count, LevelSketch::Weighted(s)) => {
+            Some(impression.estimate_count_weighted(s)?)
+        }
+        (AggregateKind::Count, LevelSketch::Count(matched)) => {
+            Some(impression.estimate_count_streamed(*matched)?)
+        }
+        (AggregateKind::Sum, LevelSketch::Weighted(s)) => {
+            Some(impression.estimate_sum_weighted(s)?)
+        }
+        (AggregateKind::Sum, LevelSketch::Moments(s)) => Some(impression.estimate_sum_streamed(s)?),
+        (AggregateKind::Avg, LevelSketch::Weighted(s)) => {
+            if s.matched == 0 {
+                None
+            } else {
+                Some(impression.estimate_avg_weighted(s)?)
+            }
+        }
+        (AggregateKind::Avg, LevelSketch::Moments(s)) => {
+            if s.matched == 0 {
+                None
+            } else {
+                Some(impression.estimate_avg_streamed(s)?)
+            }
+        }
+        (
+            AggregateKind::Min | AggregateKind::Max | AggregateKind::Variance,
+            LevelSketch::Moments(s),
+        ) => {
+            let value = s.aggregate(agg_kind);
+            return Ok((
+                value,
+                value.map(|v| ConfidenceInterval {
+                    estimate: v,
+                    lower: f64::NEG_INFINITY,
+                    upper: f64::INFINITY,
+                    confidence,
+                }),
+            ));
+        }
+        _ => {
+            return Err(SciborqError::InvalidConfig(format!(
+                "internal: level sketch flavour does not fit {agg_kind}"
+            )))
+        }
+    };
+    match estimate {
+        Some(est) => {
+            let interval = ConfidenceInterval::from_estimate(&est, confidence)?;
+            Ok((Some(est.value), Some(interval)))
+        }
+        None => Ok((None, None)),
     }
 }
 

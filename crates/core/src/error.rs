@@ -16,8 +16,16 @@ pub enum SciborqError {
     Sampling(SamplingError),
     /// The configuration is invalid.
     InvalidConfig(String),
-    /// A query referenced a table for which no impressions exist.
+    /// A query referenced a table the catalog does not know at all.
     UnknownTable(String),
+    /// A query referenced a table that exists in the catalog but has no
+    /// impression hierarchy yet. Distinct from [`SciborqError::UnknownTable`]
+    /// so a serving front end can tell a bad request ("no such table") from
+    /// a recoverable state ("build impressions first").
+    NoImpressions {
+        /// The table that lacks an impression hierarchy.
+        table: String,
+    },
     /// The requested bounds cannot be satisfied even by the base data.
     BoundsUnsatisfiable(String),
 }
@@ -31,6 +39,13 @@ impl fmt::Display for SciborqError {
             SciborqError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             SciborqError::UnknownTable(name) => {
                 write!(f, "no impressions or base table known for table {name}")
+            }
+            SciborqError::NoImpressions { table } => {
+                write!(
+                    f,
+                    "table {table} exists but has no impression hierarchy; \
+                     call create_impressions first"
+                )
             }
             SciborqError::BoundsUnsatisfiable(msg) => {
                 write!(f, "query bounds cannot be satisfied: {msg}")
@@ -77,6 +92,11 @@ mod tests {
         assert!(SciborqError::UnknownTable("t".into())
             .to_string()
             .contains("t"));
+        let e = SciborqError::NoImpressions {
+            table: "photoobj".into(),
+        };
+        assert!(e.to_string().contains("photoobj"));
+        assert!(e.to_string().contains("no impression hierarchy"));
         assert!(SciborqError::InvalidConfig("bad".into())
             .to_string()
             .contains("bad"));

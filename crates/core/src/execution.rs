@@ -13,13 +13,21 @@
 //! now reports what the kernels really did; for conjunctions with candidate
 //! refinement the measured visits can differ from the level's row count in
 //! either direction.
+//!
+//! All state lives behind interior mutability (`RwLock` for the compiled
+//! predicate, `Mutex` for the scan records), so an execution can be driven
+//! through `&self` — the shape the serving layer's shared-scan scheduler
+//! needs, where one scan pass feeds many executions that each record their
+//! own accounting.
 
 use crate::answer::{EvaluationLevel, LevelScan};
 use crate::error::Result;
+use parking_lot::{Mutex, RwLock};
 use sciborq_columnar::{
     CompiledPredicate, MomentSketch, Partitioning, Predicate, ScanStats, SelectionVector, Table,
     WeightedMomentSketch,
 };
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Minimum rows a shard must hold before a scan is worth fanning out: below
@@ -30,11 +38,11 @@ pub const MIN_ROWS_PER_SHARD: usize = 4_096;
 
 /// Per-query execution state: the compiled predicate plus measured
 /// per-level scan accounting.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct QueryExecution {
     predicate: Predicate,
-    compiled: Option<CompiledPredicate>,
-    levels: Vec<LevelScan>,
+    compiled: RwLock<Option<Arc<CompiledPredicate>>>,
+    levels: Mutex<Vec<LevelScan>>,
     parallelism: usize,
 }
 
@@ -52,15 +60,17 @@ impl QueryExecution {
     pub fn with_parallelism(predicate: Predicate, parallelism: usize) -> Self {
         QueryExecution {
             predicate,
-            compiled: None,
-            levels: Vec::new(),
+            compiled: RwLock::new(None),
+            levels: Mutex::new(Vec::new()),
             parallelism: parallelism.max(1),
         }
     }
 
     /// The shard layout used for a table of `rows` rows: `None` when the
-    /// scan should stay single-threaded.
-    fn partitioning(&self, rows: usize) -> Option<Partitioning> {
+    /// scan should stay single-threaded. Exposed so the shared multi-query
+    /// scan path makes the exact same fan-out decision as per-query
+    /// execution (a prerequisite of its bit-identity guarantee).
+    pub fn partitioning(&self, rows: usize) -> Option<Partitioning> {
         let shards = self.parallelism.min(rows / MIN_ROWS_PER_SHARD);
         if shards >= 2 {
             Some(Partitioning::even(rows, shards))
@@ -73,27 +83,33 @@ impl QueryExecution {
     /// recompiling only if a table with a different schema shows up
     /// (impressions share their base table's schema, so in practice this
     /// compiles once per query).
-    fn compiled_for(&mut self, table: &Table) -> Result<&CompiledPredicate> {
-        let stale = match &self.compiled {
-            None => true,
-            Some(c) => !c.matches_schema(table.schema()),
-        };
-        if stale {
-            self.compiled = Some(CompiledPredicate::compile(&self.predicate, table.schema())?);
+    pub fn compiled_for(&self, table: &Table) -> Result<Arc<CompiledPredicate>> {
+        if let Some(compiled) = self.compiled.read().as_ref() {
+            if compiled.matches_schema(table.schema()) {
+                return Ok(Arc::clone(compiled));
+            }
         }
-        Ok(self.compiled.as_ref().expect("compiled just above"))
+        let fresh = Arc::new(CompiledPredicate::compile(&self.predicate, table.schema())?);
+        *self.compiled.write() = Some(Arc::clone(&fresh));
+        Ok(fresh)
     }
 
-    fn record(
-        &mut self,
+    /// Record a measured scan over `level`: `stats` as rolled up across all
+    /// `shards`, timed from `started`. Repeated passes over the same level
+    /// (e.g. selection + count, or one pass per conjunct) merge into one
+    /// [`LevelScan`]. Public so the shared multi-query scan can book the
+    /// group scan it ran on behalf of this execution.
+    pub fn record_scan(
+        &self,
         level: EvaluationLevel,
         stats: ScanStats,
         shards: usize,
         started: Instant,
     ) {
         let elapsed = started.elapsed();
+        let mut levels = self.levels.lock();
         // merge repeated passes over the same level (e.g. selection + count)
-        if let Some(last) = self.levels.last_mut() {
+        if let Some(last) = levels.last_mut() {
             if last.level == level {
                 last.rows_scanned += stats.rows_visited;
                 last.elapsed += elapsed;
@@ -101,7 +117,7 @@ impl QueryExecution {
                 return;
             }
         }
-        self.levels.push(LevelScan {
+        levels.push(LevelScan {
             level,
             rows_scanned: stats.rows_visited,
             elapsed,
@@ -121,7 +137,7 @@ impl QueryExecution {
 
     /// Materialise the selection of qualifying rows at `level` (used by
     /// SELECT queries and the weighted estimators of biased impressions).
-    pub fn selection(&mut self, level: EvaluationLevel, table: &Table) -> Result<SelectionVector> {
+    pub fn selection(&self, level: EvaluationLevel, table: &Table) -> Result<SelectionVector> {
         let started = Instant::now();
         let parts = self.partitioning(table.row_count());
         let compiled = self.compiled_for(table)?;
@@ -135,13 +151,13 @@ impl QueryExecution {
                 (selection, stats, 1)
             }
         };
-        self.record(level, stats, shards, started);
+        self.record_scan(level, stats, shards, started);
         Ok(selection)
     }
 
     /// Fused filter+count at `level`: the number of qualifying rows without
     /// materialising a selection.
-    pub fn count_matches(&mut self, level: EvaluationLevel, table: &Table) -> Result<usize> {
+    pub fn count_matches(&self, level: EvaluationLevel, table: &Table) -> Result<usize> {
         let started = Instant::now();
         let parts = self.partitioning(table.row_count());
         let compiled = self.compiled_for(table)?;
@@ -155,7 +171,7 @@ impl QueryExecution {
                 (count, stats, 1)
             }
         };
-        self.record(level, stats, shards, started);
+        self.record_scan(level, stats, shards, started);
         Ok(count)
     }
 
@@ -164,7 +180,7 @@ impl QueryExecution {
     /// pass (the filter fans out across shards; the fold stays in global
     /// row order, so the sketch is bit-identical either way).
     pub fn filter_moments(
-        &mut self,
+        &self,
         level: EvaluationLevel,
         table: &Table,
         column: &str,
@@ -183,7 +199,7 @@ impl QueryExecution {
                 (sketch, stats, 1)
             }
         };
-        self.record(level, stats, shards, started);
+        self.record_scan(level, stats, shards, started);
         Ok(sketch)
     }
 
@@ -194,7 +210,7 @@ impl QueryExecution {
     /// out across shards; the fold stays in global row order, so the sketch
     /// is bit-identical to single-threaded execution.
     pub fn count_weighted(
-        &mut self,
+        &self,
         level: EvaluationLevel,
         table: &Table,
         probabilities: &[f64],
@@ -213,7 +229,7 @@ impl QueryExecution {
                 (sketch, stats, 1)
             }
         };
-        self.record(level, stats, shards, started);
+        self.record_scan(level, stats, shards, started);
         Ok(sketch)
     }
 
@@ -222,7 +238,7 @@ impl QueryExecution {
     /// selection probabilities, into a [`WeightedMomentSketch`] in a single
     /// pass (sharded filter, fixed-order fold — bit-identical either way).
     pub fn filter_weighted_moments(
-        &mut self,
+        &self,
         level: EvaluationLevel,
         table: &Table,
         column: &str,
@@ -247,28 +263,29 @@ impl QueryExecution {
                 (sketch, stats, 1)
             }
         };
-        self.record(level, stats, shards, started);
+        self.record_scan(level, stats, shards, started);
         Ok(sketch)
     }
 
     /// Total measured rows visited by the scan kernels so far.
     pub fn rows_scanned(&self) -> u64 {
-        self.levels.iter().map(|l| l.rows_scanned).sum()
+        self.levels.lock().iter().map(|l| l.rows_scanned).sum()
     }
 
     /// Number of levels evaluated so far.
     pub fn levels_visited(&self) -> usize {
-        self.levels.len()
+        self.levels.lock().len()
     }
 
-    /// The per-level scan records accumulated so far.
-    pub fn level_scans(&self) -> &[LevelScan] {
-        &self.levels
+    /// A snapshot of the per-level scan records accumulated so far.
+    pub fn level_scans(&self) -> Vec<LevelScan> {
+        self.levels.lock().clone()
     }
 
-    /// Consume the execution, yielding the per-level scan records.
-    pub fn into_level_scans(self) -> Vec<LevelScan> {
-        self.levels
+    /// Drain the per-level scan records out of the execution (used when an
+    /// answer is finalised; subsequent records would start a fresh list).
+    pub fn take_level_scans(&self) -> Vec<LevelScan> {
+        std::mem::take(&mut *self.levels.lock())
     }
 }
 
@@ -300,14 +317,15 @@ mod tests {
         let small = big
             .gather(&Predicate::lt("ra", 50.0).evaluate(&big).unwrap(), "small")
             .unwrap();
-        let mut exec = QueryExecution::new(Predicate::lt("ra", 10.0));
+        let exec = QueryExecution::new(Predicate::lt("ra", 10.0));
         let a = exec.selection(EvaluationLevel::Layer(2), &small).unwrap();
         assert_eq!(a.len(), 10);
-        let compiled_before = exec.compiled.clone();
+        let compiled_before = exec.compiled.read().clone().expect("compiled on first use");
         let b = exec.selection(EvaluationLevel::Layer(1), &big).unwrap();
         assert_eq!(b.len(), 10);
         // the impression shares the base schema: no recompilation happened
-        assert_eq!(compiled_before, exec.compiled);
+        let compiled_after = exec.compiled.read().clone().expect("still compiled");
+        assert!(Arc::ptr_eq(&compiled_before, &compiled_after));
         assert_eq!(exec.levels_visited(), 2);
         assert_eq!(exec.rows_scanned(), 150);
     }
@@ -315,7 +333,7 @@ mod tests {
     #[test]
     fn fused_paths_record_measured_scans() {
         let t = table(60);
-        let mut exec =
+        let exec =
             QueryExecution::new(Predicate::lt("ra", 30.0).and(Predicate::gt_eq("r_mag", 15.0)));
         let count = exec.count_matches(EvaluationLevel::Layer(1), &t).unwrap();
         assert_eq!(count, 30);
@@ -335,13 +353,16 @@ mod tests {
     #[test]
     fn merges_same_level_and_separates_new_levels() {
         let t = table(10);
-        let mut exec = QueryExecution::new(Predicate::True);
+        let exec = QueryExecution::new(Predicate::True);
         exec.selection(EvaluationLevel::Layer(1), &t).unwrap();
         exec.selection(EvaluationLevel::Layer(1), &t).unwrap();
         exec.selection(EvaluationLevel::BaseData, &t).unwrap();
-        let scans = exec.into_level_scans();
+        let scans = exec.take_level_scans();
         assert_eq!(scans.len(), 2);
         assert_eq!(scans[0].rows_scanned, 20);
         assert_eq!(scans[1].level, EvaluationLevel::BaseData);
+        // draining resets the accounting
+        assert_eq!(exec.levels_visited(), 0);
+        assert_eq!(exec.rows_scanned(), 0);
     }
 }

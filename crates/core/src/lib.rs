@@ -48,7 +48,7 @@
 //!
 //! // a session with two impression layers
 //! let config = SciborqConfig::with_layers(vec![200, 50]);
-//! let mut session = ExplorationSession::new(
+//! let session = ExplorationSession::new(
 //!     catalog,
 //!     config,
 //!     &[("ra", AttributeDomain::new(0.0, 360.0, 36))],
@@ -66,6 +66,7 @@
 #![warn(missing_docs)]
 
 pub mod answer;
+pub mod batch;
 pub mod builder;
 pub mod config;
 pub mod engine;
@@ -87,4 +88,4 @@ pub use impression::Impression;
 pub use layer::LayerHierarchy;
 pub use maintenance::{AdaptiveMaintainer, MaintenanceDecision};
 pub use policy::SamplingPolicy;
-pub use session::{ExplorationSession, QueryOutcome};
+pub use session::{ExplorationSession, QueryOutcome, ScanProfile};

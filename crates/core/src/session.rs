@@ -5,6 +5,14 @@
 //! impression hierarchy per (table, policy), the bounded query engine, and
 //! the adaptive maintenance that reacts to workload shifts and incremental
 //! loads.
+//!
+//! A session is **concurrently shareable**: all of its state lives behind
+//! interior mutability (mutexes for the workload bookkeeping, a reader–
+//! writer lock over the hierarchy map with clone-and-swap updates), so a
+//! serving front end can drive one session from many threads through
+//! `&self` — including [`ExplorationSession::execute_batch`], which answers
+//! several aggregate queries over the same table in one shared scan pass
+//! per escalation level.
 
 use crate::answer::{ApproximateAnswer, SelectAnswer};
 use crate::config::SciborqConfig;
@@ -13,9 +21,12 @@ use crate::error::{Result, SciborqError};
 use crate::layer::LayerHierarchy;
 use crate::maintenance::{AdaptiveMaintainer, MaintenanceDecision};
 use crate::policy::SamplingPolicy;
+use parking_lot::{Mutex, MutexGuard, RwLock};
 use sciborq_columnar::{Catalog, RecordBatch};
 use sciborq_workload::{AttributeDomain, PredicateSet, Query, QueryKind, QueryLog};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// The result of executing a query through a session.
 #[derive(Debug, Clone)]
@@ -44,17 +55,56 @@ impl QueryOutcome {
     }
 }
 
+/// The scan costs a query against one table can incur, per escalation
+/// level: what a serving layer's admission control reasons about before it
+/// lets a query loose on the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanProfile {
+    /// Row counts of the impression layers in escalation order (least
+    /// detailed first).
+    pub layer_rows: Vec<u64>,
+    /// Row count of the base table, if it is registered in the catalog.
+    pub base_rows: Option<u64>,
+}
+
+impl ScanProfile {
+    fn admissible(&self, bounds: &QueryBounds) -> impl Iterator<Item = u64> + '_ {
+        let budget = bounds.max_rows_scanned;
+        self.layer_rows
+            .iter()
+            .copied()
+            .chain(self.base_rows)
+            .filter(move |&rows| budget.is_none_or(|b| rows <= b))
+    }
+
+    /// The most expensive level (in rows) the engine may scan under
+    /// `bounds` — the worst-case cost of a single evaluation, including the
+    /// base-data fall-through when the row budget admits it. `None` when no
+    /// level is admissible (the engine would report
+    /// [`SciborqError::BoundsUnsatisfiable`]).
+    pub fn worst_admissible(&self, bounds: &QueryBounds) -> Option<u64> {
+        self.admissible(bounds).max()
+    }
+
+    /// The cheapest admissible level under `bounds` — the cost the query
+    /// degrades to when a serving layer tightens its row budget all the way
+    /// down. `None` when no level is admissible.
+    pub fn cheapest_admissible(&self, bounds: &QueryBounds) -> Option<u64> {
+        self.admissible(bounds).min()
+    }
+}
+
 /// A SciBORQ exploration session over a warehouse catalog.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct ExplorationSession {
     catalog: Catalog,
     config: SciborqConfig,
     engine: BoundedQueryEngine,
-    predicate_set: PredicateSet,
-    query_log: QueryLog,
-    hierarchies: BTreeMap<String, LayerHierarchy>,
-    maintainer: AdaptiveMaintainer,
-    rebuilds: u64,
+    predicate_set: Mutex<PredicateSet>,
+    query_log: Mutex<QueryLog>,
+    hierarchies: RwLock<BTreeMap<String, Arc<LayerHierarchy>>>,
+    maintainer: Mutex<AdaptiveMaintainer>,
+    rebuilds: AtomicU64,
 }
 
 impl ExplorationSession {
@@ -71,15 +121,16 @@ impl ExplorationSession {
         config.validate().map_err(SciborqError::InvalidConfig)?;
         let engine = BoundedQueryEngine::new(config.clone())?;
         let predicate_set = PredicateSet::new(tracked_attributes)?;
+        let query_log = QueryLog::new(config.query_log_capacity);
         Ok(ExplorationSession {
             catalog,
             config,
             engine,
-            predicate_set,
-            query_log: QueryLog::new(10_000),
-            hierarchies: BTreeMap::new(),
-            maintainer: AdaptiveMaintainer::new(),
-            rebuilds: 0,
+            predicate_set: Mutex::new(predicate_set),
+            query_log: Mutex::new(query_log),
+            hierarchies: RwLock::new(BTreeMap::new()),
+            maintainer: Mutex::new(AdaptiveMaintainer::new()),
+            rebuilds: AtomicU64::new(0),
         })
     }
 
@@ -93,58 +144,115 @@ impl ExplorationSession {
         &self.config
     }
 
-    /// The predicate set accumulated so far.
-    pub fn predicate_set(&self) -> &PredicateSet {
-        &self.predicate_set
+    /// The predicate set accumulated so far (a lock guard; drop it before
+    /// executing queries from the same thread, and never call this twice
+    /// within one statement — the first guard is still alive and the
+    /// second lock attempt deadlocks).
+    pub fn predicate_set(&self) -> MutexGuard<'_, PredicateSet> {
+        self.predicate_set.lock()
     }
 
-    /// The query log.
-    pub fn query_log(&self) -> &QueryLog {
-        &self.query_log
+    /// The query log (a lock guard; drop it before executing queries from
+    /// the same thread, and never call this twice within one statement —
+    /// the first guard is still alive and the second lock attempt
+    /// deadlocks).
+    pub fn query_log(&self) -> MutexGuard<'_, QueryLog> {
+        self.query_log.lock()
     }
 
     /// Number of adaptive rebuilds performed so far.
     pub fn rebuilds(&self) -> u64 {
-        self.rebuilds
+        self.rebuilds.load(Ordering::Relaxed)
     }
 
-    /// The hierarchy built for a table, if any.
-    pub fn hierarchy(&self, table: &str) -> Option<&LayerHierarchy> {
-        self.hierarchies.get(table)
+    /// The hierarchy built for a table, if any (a snapshot: concurrent
+    /// rebuilds swap in a fresh hierarchy without disturbing this handle).
+    pub fn hierarchy(&self, table: &str) -> Option<Arc<LayerHierarchy>> {
+        self.hierarchies.read().get(table).cloned()
+    }
+
+    /// The hierarchy for `table`, distinguishing the two ways it can be
+    /// missing: [`SciborqError::NoImpressions`] when the base table exists
+    /// but `create_impressions` was never called for it (a recoverable
+    /// state), [`SciborqError::UnknownTable`] when the catalog has never
+    /// heard of the table (a bad request).
+    fn hierarchy_for(&self, table: &str) -> Result<Arc<LayerHierarchy>> {
+        if let Some(hierarchy) = self.hierarchies.read().get(table) {
+            return Ok(Arc::clone(hierarchy));
+        }
+        if self.catalog.table(table).is_ok() {
+            Err(SciborqError::NoImpressions {
+                table: table.to_owned(),
+            })
+        } else {
+            Err(SciborqError::UnknownTable(table.to_owned()))
+        }
+    }
+
+    /// The per-level scan costs of queries against `table`: impression row
+    /// counts in escalation order plus the base-table size. Serving-layer
+    /// admission control prices queries with this before submitting them.
+    pub fn scan_profile(&self, table: &str) -> Result<ScanProfile> {
+        let hierarchy = self.hierarchy_for(table)?;
+        let layer_rows = hierarchy
+            .escalation_order()
+            .map(|impression| impression.row_count() as u64)
+            .collect();
+        let base_rows = self
+            .catalog
+            .table(table)
+            .ok()
+            .map(|handle| handle.read().row_count() as u64);
+        Ok(ScanProfile {
+            layer_rows,
+            base_rows,
+        })
     }
 
     /// Build (or rebuild) the impression hierarchy for a table under the
     /// given policy, sampling the current base data.
-    pub fn create_impressions(&mut self, table: &str, policy: SamplingPolicy) -> Result<()> {
+    pub fn create_impressions(&self, table: &str, policy: SamplingPolicy) -> Result<()> {
         let handle = self
             .catalog
             .table(table)
             .map_err(|_| SciborqError::UnknownTable(table.to_owned()))?;
         let guard = handle.read();
-        let hierarchy = LayerHierarchy::build_from_table(
-            &guard,
-            policy,
-            &self.config,
-            Some(&self.predicate_set),
-        )?;
+        let hierarchy = {
+            let predicate_set = self.predicate_set.lock();
+            LayerHierarchy::build_from_table(&guard, policy, &self.config, Some(&predicate_set))?
+        };
         drop(guard);
-        self.hierarchies.insert(table.to_owned(), hierarchy);
+        self.hierarchies
+            .write()
+            .insert(table.to_owned(), Arc::new(hierarchy));
+        let predicate_set = self.predicate_set.lock();
         self.maintainer
-            .update_reference(&self.predicate_set, &self.config);
+            .lock()
+            .update_reference(&predicate_set, &self.config);
         Ok(())
     }
 
     /// Ingest an incremental load: append the batch to the base table and
     /// stream it through the table's impression hierarchy (if one exists).
-    pub fn load(&mut self, table: &str, batch: &RecordBatch) -> Result<()> {
+    /// The hierarchy is updated copy-on-write: readers holding the previous
+    /// snapshot are undisturbed.
+    pub fn load(&self, table: &str, batch: &RecordBatch) -> Result<()> {
         let handle = self
             .catalog
             .table(table)
             .map_err(|_| SciborqError::UnknownTable(table.to_owned()))?;
         handle.write().append_batch(batch)?;
-        if let Some(hierarchy) = self.hierarchies.get_mut(table) {
-            hierarchy.observe_batch(batch, Some(&self.predicate_set))?;
-            hierarchy.refresh()?;
+        // Hold the write lock across the clone-modify-swap so concurrent
+        // loads serialize instead of losing each other's updates.
+        let mut hierarchies = self.hierarchies.write();
+        if let Some(current) = hierarchies.get(table) {
+            let mut updated = (**current).clone();
+            {
+                let predicate_set = self.predicate_set.lock();
+                updated.observe_batch(batch, Some(&predicate_set))?;
+            }
+            updated.refresh()?;
+            hierarchies.insert(table.to_owned(), Arc::new(updated));
         }
         Ok(())
     }
@@ -152,14 +260,11 @@ impl ExplorationSession {
     /// Execute a query under bounds: the query is logged (feeding the
     /// predicate set), evaluated through the bounded engine, and the answer
     /// returned.
-    pub fn execute(&mut self, query: &Query, bounds: &QueryBounds) -> Result<QueryOutcome> {
-        self.query_log.record(query.clone());
-        self.predicate_set.log_query(query);
+    pub fn execute(&self, query: &Query, bounds: &QueryBounds) -> Result<QueryOutcome> {
+        self.query_log.lock().record(query.clone());
+        self.predicate_set.lock().log_query(query);
 
-        let hierarchy = self
-            .hierarchies
-            .get(&query.table)
-            .ok_or_else(|| SciborqError::UnknownTable(query.table.clone()))?;
+        let hierarchy = self.hierarchy_for(&query.table)?;
         let base_handle = self.catalog.table(&query.table).ok();
         let base_guard = base_handle.as_ref().map(|h| h.read());
         let base_table = base_guard.as_deref();
@@ -167,18 +272,18 @@ impl ExplorationSession {
         match query.kind {
             QueryKind::Select => Ok(QueryOutcome::Rows(
                 self.engine
-                    .execute_select(query, hierarchy, base_table, bounds)?,
+                    .execute_select(query, &hierarchy, base_table, bounds)?,
             )),
             QueryKind::Aggregate { .. } => Ok(QueryOutcome::Aggregate(
                 self.engine
-                    .execute_aggregate(query, hierarchy, base_table, bounds)?,
+                    .execute_aggregate(query, &hierarchy, base_table, bounds)?,
             )),
         }
     }
 
     /// Execute with the session's default bounds (the configured default
     /// error bound at the configured confidence).
-    pub fn execute_with_defaults(&mut self, query: &Query) -> Result<QueryOutcome> {
+    pub fn execute_with_defaults(&self, query: &Query) -> Result<QueryOutcome> {
         let bounds = QueryBounds {
             max_relative_error: Some(self.config.default_max_error),
             confidence: self.config.confidence,
@@ -187,33 +292,131 @@ impl ExplorationSession {
         self.execute(query, &bounds)
     }
 
+    /// Execute a batch of queries, sharing scan passes between aggregate
+    /// queries over the same table (see
+    /// [`BoundedQueryEngine::execute_aggregate_batch`]). Every query is
+    /// logged, results come back in request order, and each answer is
+    /// bit-identical to what [`ExplorationSession::execute`] would have
+    /// produced for that query alone. SELECT queries ride along but are
+    /// evaluated individually (their materialised selections cannot share a
+    /// sink).
+    pub fn execute_batch(&self, requests: &[(Query, QueryBounds)]) -> Vec<Result<QueryOutcome>> {
+        {
+            let mut query_log = self.query_log.lock();
+            let mut predicate_set = self.predicate_set.lock();
+            for (query, _) in requests {
+                query_log.record(query.clone());
+                predicate_set.log_query(query);
+            }
+        }
+
+        let mut results: Vec<Option<Result<QueryOutcome>>> =
+            requests.iter().map(|_| None).collect();
+        let mut by_table: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (i, (query, _)) in requests.iter().enumerate() {
+            by_table.entry(query.table.as_str()).or_default().push(i);
+        }
+
+        for (table, indices) in by_table {
+            let hierarchy = match self.hierarchy_for(table) {
+                Ok(hierarchy) => hierarchy,
+                Err(err) => {
+                    for i in indices {
+                        results[i] = Some(Err(err.clone()));
+                    }
+                    continue;
+                }
+            };
+            let base_handle = self.catalog.table(table).ok();
+            let base_guard = base_handle.as_ref().map(|h| h.read());
+            let base_table = base_guard.as_deref();
+
+            let mut aggregates: Vec<usize> = Vec::new();
+            for i in indices {
+                let (query, bounds) = &requests[i];
+                match query.kind {
+                    QueryKind::Select => {
+                        results[i] = Some(
+                            self.engine
+                                .execute_select(query, &hierarchy, base_table, bounds)
+                                .map(QueryOutcome::Rows),
+                        );
+                    }
+                    QueryKind::Aggregate { .. } => aggregates.push(i),
+                }
+            }
+            if aggregates.is_empty() {
+                continue;
+            }
+            let batch: Vec<(&Query, &QueryBounds)> = aggregates
+                .iter()
+                .map(|&i| (&requests[i].0, &requests[i].1))
+                .collect();
+            let answers = self
+                .engine
+                .execute_aggregate_batch(&batch, &hierarchy, base_table);
+            for (i, answer) in aggregates.into_iter().zip(answers) {
+                results[i] = Some(answer.map(QueryOutcome::Aggregate));
+            }
+        }
+
+        results
+            .into_iter()
+            .map(|r| r.expect("every request answered"))
+            .collect()
+    }
+
     /// Check whether the workload focus has shifted beyond the adaptation
     /// threshold and, if so, rebuild every workload-driven hierarchy from its
     /// base table. Returns the maintenance decision that was made.
-    pub fn adapt(&mut self) -> Result<MaintenanceDecision> {
-        let decision = self.maintainer.evaluate(&self.predicate_set, &self.config);
+    ///
+    /// The maintainer's workload reference is only advanced when at least
+    /// one hierarchy was actually rebuilt: a shift detected while no
+    /// workload-driven hierarchy exists stays pending, so the rebuild
+    /// happens as soon as such a hierarchy appears instead of being
+    /// silently forgotten.
+    pub fn adapt(&self) -> Result<MaintenanceDecision> {
+        let decision = {
+            let predicate_set = self.predicate_set.lock();
+            self.maintainer
+                .lock()
+                .evaluate(&predicate_set, &self.config)
+        };
         if !decision.should_rebuild {
             return Ok(decision);
         }
         let tables: Vec<String> = self
             .hierarchies
+            .read()
             .iter()
             .filter(|(_, h)| h.policy().is_workload_driven())
             .map(|(name, _)| name.clone())
             .collect();
+        let mut rebuilt = 0u64;
         for table in tables {
             let handle = self
                 .catalog
                 .table(&table)
                 .map_err(|_| SciborqError::UnknownTable(table.clone()))?;
             let guard = handle.read();
-            if let Some(hierarchy) = self.hierarchies.get_mut(&table) {
-                hierarchy.rebuild_from_table(&guard, Some(&self.predicate_set))?;
-                self.rebuilds += 1;
+            let mut hierarchies = self.hierarchies.write();
+            if let Some(current) = hierarchies.get(&table) {
+                let mut updated = (**current).clone();
+                {
+                    let predicate_set = self.predicate_set.lock();
+                    updated.rebuild_from_table(&guard, Some(&predicate_set))?;
+                }
+                hierarchies.insert(table, Arc::new(updated));
+                rebuilt += 1;
             }
         }
-        self.maintainer
-            .update_reference(&self.predicate_set, &self.config);
+        self.rebuilds.fetch_add(rebuilt, Ordering::Relaxed);
+        if rebuilt > 0 {
+            let predicate_set = self.predicate_set.lock();
+            self.maintainer
+                .lock()
+                .update_reference(&predicate_set, &self.config);
+        }
         Ok(decision)
     }
 }
@@ -223,7 +426,8 @@ mod tests {
     use super::*;
     use crate::answer::EvaluationLevel;
     use sciborq_columnar::{
-        DataType, Field, Predicate, RecordBatchBuilder, Schema, SchemaRef, Table, Value,
+        AggregateKind, DataType, Field, Predicate, RecordBatchBuilder, Schema, SchemaRef, Table,
+        Value,
     };
 
     fn schema() -> SchemaRef {
@@ -279,8 +483,28 @@ mod tests {
     }
 
     #[test]
+    fn query_log_capacity_is_taken_from_config() {
+        let config = SciborqConfig::with_layers(vec![2_000, 200]).with_query_log_capacity(3);
+        let s = ExplorationSession::new(
+            catalog_with_base(5_000),
+            config,
+            &[("ra", AttributeDomain::new(0.0, 360.0, 36))],
+        )
+        .unwrap();
+        s.create_impressions("photoobj", SamplingPolicy::Uniform)
+            .unwrap();
+        for _ in 0..10 {
+            let q = Query::count("photoobj", Predicate::True);
+            s.execute(&q, &QueryBounds::default()).unwrap();
+        }
+        // the window holds only the configured capacity, but records totals
+        assert_eq!(s.query_log().len(), 3);
+        assert_eq!(s.query_log().total_recorded(), 10);
+    }
+
+    #[test]
     fn create_impressions_requires_known_table() {
-        let mut s = session(5_000);
+        let s = session(5_000);
         assert!(matches!(
             s.create_impressions("missing", SamplingPolicy::Uniform),
             Err(SciborqError::UnknownTable(_))
@@ -293,8 +517,16 @@ mod tests {
 
     #[test]
     fn query_without_impressions_is_an_error() {
-        let mut s = session(1_000);
+        let s = session(1_000);
+        // the table exists but has no hierarchy yet: a recoverable state,
+        // reported distinctly from a bad table name
         let q = Query::count("photoobj", Predicate::True);
+        assert!(matches!(
+            s.execute(&q, &QueryBounds::default()),
+            Err(SciborqError::NoImpressions { table }) if table == "photoobj"
+        ));
+        // a table the catalog has never heard of stays UnknownTable
+        let q = Query::count("nonexistent", Predicate::True);
         assert!(matches!(
             s.execute(&q, &QueryBounds::default()),
             Err(SciborqError::UnknownTable(_))
@@ -302,8 +534,38 @@ mod tests {
     }
 
     #[test]
+    fn scan_profile_reports_costs_and_admissibility() {
+        let s = session(20_000);
+        assert!(matches!(
+            s.scan_profile("photoobj"),
+            Err(SciborqError::NoImpressions { .. })
+        ));
+        s.create_impressions("photoobj", SamplingPolicy::Uniform)
+            .unwrap();
+        let profile = s.scan_profile("photoobj").unwrap();
+        // escalation order: least detailed first
+        assert_eq!(profile.layer_rows, vec![200, 2_000]);
+        assert_eq!(profile.base_rows, Some(20_000));
+        // no row budget: everything is admissible, the base data is worst
+        let unbounded = QueryBounds::default();
+        assert_eq!(profile.worst_admissible(&unbounded), Some(20_000));
+        assert_eq!(profile.cheapest_admissible(&unbounded), Some(200));
+        // a budget between the layers admits only the small one
+        let tight = QueryBounds::row_budget(500);
+        assert_eq!(profile.worst_admissible(&tight), Some(200));
+        assert_eq!(profile.cheapest_admissible(&tight), Some(200));
+        // a budget below every level admits nothing
+        let impossible = QueryBounds::row_budget(10);
+        assert_eq!(profile.worst_admissible(&impossible), None);
+        assert!(matches!(
+            s.scan_profile("missing"),
+            Err(SciborqError::UnknownTable(_))
+        ));
+    }
+
+    #[test]
     fn aggregate_query_end_to_end() {
-        let mut s = session(50_000);
+        let s = session(50_000);
         s.create_impressions("photoobj", SamplingPolicy::Uniform)
             .unwrap();
         let q = Query::count("photoobj", Predicate::lt("ra", 90.0));
@@ -319,7 +581,7 @@ mod tests {
 
     #[test]
     fn select_query_end_to_end() {
-        let mut s = session(20_000);
+        let s = session(20_000);
         s.create_impressions("photoobj", SamplingPolicy::Uniform)
             .unwrap();
         let q = Query::select("photoobj", Predicate::lt("ra", 180.0)).with_limit(25);
@@ -330,8 +592,93 @@ mod tests {
     }
 
     #[test]
+    fn batched_execution_is_bit_identical_to_serial() {
+        let serial = session(50_000);
+        let batched = session(50_000);
+        serial
+            .create_impressions("photoobj", SamplingPolicy::Uniform)
+            .unwrap();
+        batched
+            .create_impressions("photoobj", SamplingPolicy::Uniform)
+            .unwrap();
+
+        let requests: Vec<(Query, QueryBounds)> = vec![
+            (
+                Query::count("photoobj", Predicate::lt("ra", 90.0)),
+                QueryBounds::max_error(0.1),
+            ),
+            // same predicate + sink as the first query: shares its scan
+            (
+                Query::count("photoobj", Predicate::lt("ra", 90.0)),
+                QueryBounds::max_error(0.02),
+            ),
+            (
+                Query::aggregate(
+                    "photoobj",
+                    Predicate::lt("ra", 180.0),
+                    AggregateKind::Sum,
+                    "r_mag",
+                ),
+                QueryBounds::max_error(0.05),
+            ),
+            (
+                Query::aggregate("photoobj", Predicate::True, AggregateKind::Avg, "r_mag"),
+                QueryBounds::max_error(0.05),
+            ),
+            // escalates all the way into the base data
+            (
+                Query::count("photoobj", Predicate::lt("objid", 101.0)),
+                QueryBounds::max_error(1e-9),
+            ),
+            // unsatisfiable row budget: a typed error, same as serial
+            (
+                Query::count("photoobj", Predicate::True),
+                QueryBounds::row_budget(10),
+            ),
+            // a SELECT rides along, executed individually
+            (
+                Query::select("photoobj", Predicate::lt("ra", 180.0)).with_limit(5),
+                QueryBounds::default(),
+            ),
+        ];
+
+        let batch_results = batched.execute_batch(&requests);
+        for ((query, bounds), batch_result) in requests.iter().zip(&batch_results) {
+            let serial_result = serial.execute(query, bounds);
+            match (&serial_result, batch_result) {
+                (Ok(QueryOutcome::Aggregate(a)), Ok(QueryOutcome::Aggregate(b))) => {
+                    assert_eq!(
+                        a.value.map(f64::to_bits),
+                        b.value.map(f64::to_bits),
+                        "value bits for {query}"
+                    );
+                    let bits = |ci: &Option<sciborq_stats::ConfidenceInterval>| {
+                        ci.map(|ci| (ci.lower.to_bits(), ci.upper.to_bits()))
+                    };
+                    assert_eq!(bits(&a.interval), bits(&b.interval), "interval for {query}");
+                    assert_eq!(a.level, b.level, "level for {query}");
+                    assert_eq!(a.rows_scanned, b.rows_scanned, "rows for {query}");
+                    assert_eq!(a.escalations, b.escalations, "escalations for {query}");
+                    assert_eq!(a.error_bound_met, b.error_bound_met, "met for {query}");
+                }
+                (Ok(QueryOutcome::Rows(a)), Ok(QueryOutcome::Rows(b))) => {
+                    assert_eq!(a.returned_rows(), b.returned_rows());
+                    assert_eq!(a.level, b.level);
+                }
+                (Err(a), Err(b)) => assert_eq!(a, b, "error for {query}"),
+                (s, b) => panic!("outcome divergence for {query}: {s:?} vs {b:?}"),
+            }
+        }
+        // both sessions logged everything
+        assert_eq!(
+            serial.query_log().total_recorded(),
+            batched.query_log().total_recorded()
+        );
+    }
+
+    #[test]
     fn incremental_load_updates_base_and_impressions() {
-        let mut s = session(10_000);
+        let s = session(10_000);
         s.create_impressions("photoobj", SamplingPolicy::Uniform)
             .unwrap();
         let before = s.hierarchy("photoobj").unwrap().observed_rows();
@@ -365,12 +712,12 @@ mod tests {
 
     #[test]
     fn adaptation_rebuilds_biased_impressions_on_focus_shift() {
-        let mut s = session(40_000);
+        let s = session(40_000);
         // Phase 1: workload focused on ra ≈ 90
         for _ in 0..30 {
             let q = Query::count("photoobj", Predicate::between("ra", 88.0, 92.0));
-            s.query_log.record(q.clone());
-            s.predicate_set.log_query(&q);
+            s.query_log.lock().record(q.clone());
+            s.predicate_set.lock().log_query(&q);
         }
         s.create_impressions("photoobj", SamplingPolicy::biased(["ra"]))
             .unwrap();
@@ -407,7 +754,7 @@ mod tests {
 
     #[test]
     fn uniform_hierarchies_are_not_rebuilt_by_adaptation() {
-        let mut s = session(10_000);
+        let s = session(10_000);
         s.create_impressions("photoobj", SamplingPolicy::Uniform)
             .unwrap();
         for _ in 0..100 {
@@ -417,7 +764,39 @@ mod tests {
         let decision = s.adapt().unwrap();
         // the focus shifted (no reference initially matched), but no
         // workload-driven hierarchy exists, so nothing is rebuilt
+        assert!(decision.should_rebuild);
         assert_eq!(s.rebuilds(), 0);
-        let _ = decision;
+        // … and because nothing was rebuilt, the workload reference must NOT
+        // advance: the shift stays pending instead of being forgotten, so a
+        // later adapt() still sees it.
+        let again = s.adapt().unwrap();
+        assert!(
+            again.should_rebuild,
+            "a shift with no rebuilt hierarchy must stay pending"
+        );
+        assert_eq!(s.rebuilds(), 0);
+    }
+
+    #[test]
+    fn session_is_shareable_across_threads() {
+        let s = session(20_000);
+        s.create_impressions("photoobj", SamplingPolicy::Uniform)
+            .unwrap();
+        let s = Arc::new(s);
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..5 {
+                    let ra = ((t * 5 + i) * 17 % 360) as f64;
+                    let q = Query::count("photoobj", Predicate::lt("ra", ra.max(1.0)));
+                    s.execute(&q, &QueryBounds::max_error(0.5)).unwrap();
+                }
+            }));
+        }
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(s.query_log().total_recorded(), 20);
     }
 }

@@ -1,0 +1,301 @@
+//! Admission control under a global runtime budget.
+//!
+//! Every query is priced *before* it reaches the engine: its cost is the
+//! row count of the worst (most detailed) escalation level its own bounds
+//! admit — the most the engine could legally scan for it in a single
+//! evaluation. The controller keeps the total priced cost in flight below
+//! the global budget, makes transient overloads wait (up to a bounded
+//! queue), and sheds the rest with a typed [`Overloaded`] answer. A query
+//! is never silently given a bound it did not keep: when the budget can
+//! only fund a cheaper level, the query is either *downgraded* — its own
+//! row budget tightened to that level, and the reply flagged — or
+//! rejected.
+//!
+//! Uses `std::sync` primitives (the waiting queue needs a condition
+//! variable).
+
+use sciborq_core::{QueryBounds, ScanProfile};
+use std::fmt;
+use std::sync::{Condvar, Mutex};
+
+/// Why a query was shed instead of served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverloadReason {
+    /// The budget is currently consumed by in-flight queries and the
+    /// controller is configured to shed rather than queue.
+    BudgetExceeded,
+    /// The waiting queue is at capacity.
+    QueueFull,
+    /// The query's cost can *never* fit the global budget (even its
+    /// cheapest admissible level costs more than the whole budget, or
+    /// downgrading is disabled).
+    CostExceedsBudget,
+}
+
+impl fmt::Display for OverloadReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OverloadReason::BudgetExceeded => write!(f, "budget-exceeded"),
+            OverloadReason::QueueFull => write!(f, "queue-full"),
+            OverloadReason::CostExceedsBudget => write!(f, "cost-exceeds-budget"),
+        }
+    }
+}
+
+/// A typed load-shedding answer: the server refused the query and says
+/// exactly why, instead of returning a degraded answer it never promised.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Overloaded {
+    /// The table the query targeted.
+    pub table: String,
+    /// The priced scan cost of the rejected query, in rows.
+    pub cost_rows: u64,
+    /// The configured global budget, in rows.
+    pub budget_rows: u64,
+    /// Total priced cost in flight at rejection time.
+    pub in_flight_rows: u64,
+    /// Queries waiting for budget at rejection time.
+    pub waiting: usize,
+    /// Why the query was shed.
+    pub reason: OverloadReason,
+}
+
+/// A successfully admitted query: the cost reserved against the global
+/// budget and the (possibly tightened) bounds to execute under.
+#[derive(Debug, Clone)]
+pub struct Admission {
+    /// Rows reserved against the global budget. Must be given back with
+    /// [`AdmissionController::release`] once the query finishes.
+    pub cost_rows: u64,
+    /// The bounds the query will actually run under. Identical to the
+    /// submitted bounds unless the query was downgraded.
+    pub bounds: QueryBounds,
+    /// Whether the row budget was tightened to fit the global budget.
+    pub downgraded: bool,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    in_flight_rows: u64,
+    waiting: usize,
+}
+
+/// Global-budget admission control with bounded waiting and load shedding.
+#[derive(Debug)]
+pub struct AdmissionController {
+    budget: Option<u64>,
+    max_waiting: usize,
+    allow_downgrade: bool,
+    state: Mutex<State>,
+    available: Condvar,
+}
+
+impl AdmissionController {
+    /// A controller enforcing `budget` total in-flight rows (`None`
+    /// disables enforcement), queueing at most `max_waiting` queries, and
+    /// optionally downgrading queries that can never fit.
+    pub fn new(budget: Option<u64>, max_waiting: usize, allow_downgrade: bool) -> Self {
+        AdmissionController {
+            budget,
+            max_waiting,
+            allow_downgrade,
+            state: Mutex::new(State::default()),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Total priced cost currently in flight.
+    pub fn in_flight_rows(&self) -> u64 {
+        self.state.lock().unwrap().in_flight_rows
+    }
+
+    /// Price a query and reserve its cost against the global budget,
+    /// blocking while transient pressure drains. Returns the admission
+    /// (with possibly tightened bounds) or a typed overload.
+    pub fn admit(
+        &self,
+        table: &str,
+        profile: &ScanProfile,
+        bounds: &QueryBounds,
+    ) -> Result<Admission, Overloaded> {
+        // Price at the worst level the query's own bounds admit. A query
+        // no level fits (worst_admissible = None) costs nothing: the
+        // engine will answer it with BoundsUnsatisfiable without scanning.
+        let worst = profile.worst_admissible(bounds).unwrap_or(0);
+        let Some(budget) = self.budget else {
+            self.reserve_unchecked(worst);
+            return Ok(Admission {
+                cost_rows: worst,
+                bounds: *bounds,
+                downgraded: false,
+            });
+        };
+
+        let (cost, bounds, downgraded) = if worst > budget {
+            // This query can never run at its requested worst level. Either
+            // downgrade it to the cheapest level it admits — tightening its
+            // own row budget so the engine cannot exceed what we priced —
+            // or shed it honestly.
+            let cheapest = profile.cheapest_admissible(bounds).unwrap_or(0);
+            if !self.allow_downgrade || cheapest > budget {
+                let state = self.state.lock().unwrap();
+                return Err(Overloaded {
+                    table: table.to_owned(),
+                    cost_rows: worst,
+                    budget_rows: budget,
+                    in_flight_rows: state.in_flight_rows,
+                    waiting: state.waiting,
+                    reason: OverloadReason::CostExceedsBudget,
+                });
+            }
+            let mut tightened = *bounds;
+            tightened.max_rows_scanned = Some(match tightened.max_rows_scanned {
+                Some(existing) => existing.min(cheapest),
+                None => cheapest,
+            });
+            (cheapest, tightened, true)
+        } else {
+            (worst, *bounds, false)
+        };
+
+        let mut state = self.state.lock().unwrap();
+        if state.in_flight_rows + cost > budget {
+            if state.waiting >= self.max_waiting {
+                return Err(Overloaded {
+                    table: table.to_owned(),
+                    cost_rows: cost,
+                    budget_rows: budget,
+                    in_flight_rows: state.in_flight_rows,
+                    waiting: state.waiting,
+                    reason: if self.max_waiting == 0 {
+                        OverloadReason::BudgetExceeded
+                    } else {
+                        OverloadReason::QueueFull
+                    },
+                });
+            }
+            state.waiting += 1;
+            while state.in_flight_rows + cost > budget {
+                state = self.available.wait(state).unwrap();
+            }
+            state.waiting -= 1;
+        }
+        state.in_flight_rows += cost;
+        Ok(Admission {
+            cost_rows: cost,
+            bounds,
+            downgraded,
+        })
+    }
+
+    fn reserve_unchecked(&self, cost: u64) {
+        self.state.lock().unwrap().in_flight_rows += cost;
+    }
+
+    /// Return a finished query's reserved cost to the budget and wake
+    /// waiters.
+    pub fn release(&self, cost_rows: u64) {
+        let mut state = self.state.lock().unwrap();
+        state.in_flight_rows = state.in_flight_rows.saturating_sub(cost_rows);
+        drop(state);
+        self.available.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sciborq_core::ScanProfile;
+
+    fn profile() -> ScanProfile {
+        ScanProfile {
+            layer_rows: vec![200, 2_000],
+            base_rows: Some(20_000),
+        }
+    }
+
+    #[test]
+    fn admits_within_budget_and_prices_at_worst_level() {
+        let ctl = AdmissionController::new(Some(25_000), 0, true);
+        let adm = ctl.admit("t", &profile(), &QueryBounds::default()).unwrap();
+        // no per-query row budget: base data is the worst admissible level
+        assert_eq!(adm.cost_rows, 20_000);
+        assert!(!adm.downgraded);
+        assert_eq!(ctl.in_flight_rows(), 20_000);
+        ctl.release(adm.cost_rows);
+        assert_eq!(ctl.in_flight_rows(), 0);
+    }
+
+    #[test]
+    fn sheds_when_budget_is_full_and_queue_disabled() {
+        let ctl = AdmissionController::new(Some(25_000), 0, true);
+        let first = ctl.admit("t", &profile(), &QueryBounds::default()).unwrap();
+        let err = ctl
+            .admit("t", &profile(), &QueryBounds::default())
+            .unwrap_err();
+        assert_eq!(err.reason, OverloadReason::BudgetExceeded);
+        assert_eq!(err.in_flight_rows, 20_000);
+        assert_eq!(err.cost_rows, 20_000);
+        ctl.release(first.cost_rows);
+        // budget drained: admissible again
+        assert!(ctl.admit("t", &profile(), &QueryBounds::default()).is_ok());
+    }
+
+    #[test]
+    fn downgrades_query_that_can_never_fit() {
+        let ctl = AdmissionController::new(Some(1_500), 4, true);
+        let adm = ctl.admit("t", &profile(), &QueryBounds::default()).unwrap();
+        assert!(adm.downgraded);
+        assert_eq!(adm.cost_rows, 200);
+        assert_eq!(adm.bounds.max_rows_scanned, Some(200));
+    }
+
+    #[test]
+    fn rejects_unfittable_query_when_downgrade_disabled() {
+        let ctl = AdmissionController::new(Some(1_500), 4, false);
+        let err = ctl
+            .admit("t", &profile(), &QueryBounds::default())
+            .unwrap_err();
+        assert_eq!(err.reason, OverloadReason::CostExceedsBudget);
+    }
+
+    #[test]
+    fn rejects_when_even_cheapest_level_exceeds_budget() {
+        let ctl = AdmissionController::new(Some(100), 4, true);
+        let err = ctl
+            .admit("t", &profile(), &QueryBounds::default())
+            .unwrap_err();
+        assert_eq!(err.reason, OverloadReason::CostExceedsBudget);
+    }
+
+    #[test]
+    fn unsatisfiable_query_costs_nothing() {
+        let ctl = AdmissionController::new(Some(1_000), 0, true);
+        // a 10-row budget admits no level: the engine will reject it
+        // without scanning, so admission charges zero
+        let adm = ctl
+            .admit("t", &profile(), &QueryBounds::row_budget(10))
+            .unwrap();
+        assert_eq!(adm.cost_rows, 0);
+        assert!(!adm.downgraded);
+    }
+
+    #[test]
+    fn waiting_query_proceeds_once_budget_drains() {
+        use std::sync::Arc;
+        let ctl = Arc::new(AdmissionController::new(Some(25_000), 4, true));
+        let first = ctl.admit("t", &profile(), &QueryBounds::default()).unwrap();
+        let waiter = {
+            let ctl = Arc::clone(&ctl);
+            std::thread::spawn(move || {
+                let adm = ctl.admit("t", &profile(), &QueryBounds::default()).unwrap();
+                ctl.release(adm.cost_rows);
+                adm.cost_rows
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        ctl.release(first.cost_rows);
+        assert_eq!(waiter.join().unwrap(), 20_000);
+        assert_eq!(ctl.in_flight_rows(), 0);
+    }
+}

@@ -1,0 +1,38 @@
+//! # sciborq-serve
+//!
+//! A concurrent serving front end for SciBORQ exploration sessions.
+//!
+//! The core crate answers one bounded query at a time; a data-exploration
+//! deployment faces many scientists at once. This crate wraps an
+//! [`ExplorationSession`](sciborq_core::ExplorationSession) behind a
+//! long-lived [`QueryServer`](server::QueryServer) that:
+//!
+//! * accepts many concurrent bounded queries through a blocking
+//!   [`submit`](server::QueryServer::submit) call;
+//! * schedules them under a **global** runtime budget (total rows in
+//!   flight) with admission control and load shedding — a query whose
+//!   worst admissible escalation level the global budget can never cover
+//!   is *downgraded* to its cheapest admissible level (when permitted) or
+//!   rejected with a typed [`Overloaded`](admission::Overloaded) answer.
+//!   It is never silently handed a bound it did not keep;
+//! * batches same-table aggregate queries into **shared scan passes**: one
+//!   pass per escalation level evaluates every batched query's compiled
+//!   predicate against each row batch, feeding per-query sinks. Answers
+//!   remain bit-identical to serial execution.
+//!
+//! The [`protocol`] module defines a line-delimited JSON wire format
+//! (hand-rolled in [`json`]; no external JSON dependency) used by the
+//! `sciborq-served` binary for stdio serving.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod config;
+pub mod json;
+pub mod protocol;
+pub mod server;
+
+pub use admission::{Admission, AdmissionController, OverloadReason, Overloaded};
+pub use config::ServeConfig;
+pub use server::{QueryServer, ServeStats, ServerReply};

@@ -1,0 +1,388 @@
+//! The line-delimited JSON wire protocol of `sciborq-served`.
+//!
+//! One request object per line:
+//!
+//! ```json
+//! {"id": 7,
+//!  "query": {"table": "photoobj", "kind": "count",
+//!            "predicate": {"op": "lt", "column": "ra", "value": 90.0}},
+//!  "bounds": {"max_relative_error": 0.05, "max_rows_scanned": 100000,
+//!             "confidence": 0.95, "time_budget_ms": 50}}
+//! ```
+//!
+//! `kind` is one of `select | count | sum | avg | min | max | var`
+//! (aggregates other than `count` need `"column"`; `select` accepts
+//! `"limit"`). Predicate `op`s: `true`, `false`, `lt`, `le`, `gt`, `ge`,
+//! `eq`, `ne`, `between` (`low`/`high`), `is_null`, `is_not_null`, `and` /
+//! `or` (`args` array), `not` (`arg`). All bounds fields are optional.
+//!
+//! One response object per line, `id` echoed:
+//!
+//! * `{"id":7,"status":"ok","answer":{...}}` — value, interval, level,
+//!   measured `rows_scanned` / `elapsed_us` and the honesty flags
+//!   `error_bound_met` / `time_bound_met` / `downgraded`.
+//! * `{"id":7,"status":"overloaded","reason":"cost-exceeds-budget",...}` —
+//!   the typed load-shedding answer.
+//! * `{"id":7,"status":"error","message":"..."}`
+
+use crate::admission::Overloaded;
+use crate::json::Json;
+use crate::server::ServerReply;
+use sciborq_columnar::{AggregateKind, Predicate, Value};
+use sciborq_core::{ApproximateAnswer, EvaluationLevel, QueryBounds, SelectAnswer};
+use sciborq_workload::Query;
+use std::time::Duration;
+
+/// A parsed request: the echo id, the query and its bounds.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The client's correlation id, echoed verbatim in the response.
+    pub id: Json,
+    /// The query to execute.
+    pub query: Query,
+    /// The requested bounds.
+    pub bounds: QueryBounds,
+}
+
+/// Parse one request line.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let doc = Json::parse(line)?;
+    let id = doc.get("id").cloned().unwrap_or(Json::Null);
+    let query_doc = doc.get("query").ok_or("missing 'query'")?;
+    let query = parse_query(query_doc)?;
+    let bounds = match doc.get("bounds") {
+        Some(bounds_doc) => parse_bounds(bounds_doc)?,
+        None => QueryBounds::default(),
+    };
+    Ok(Request { id, query, bounds })
+}
+
+fn parse_query(doc: &Json) -> Result<Query, String> {
+    let table = doc
+        .get("table")
+        .and_then(Json::as_str)
+        .ok_or("query needs a 'table' string")?;
+    let kind = doc
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or("query needs a 'kind' string")?;
+    let predicate = match doc.get("predicate") {
+        Some(p) => parse_predicate(p)?,
+        None => Predicate::True,
+    };
+    let column = || {
+        doc.get("column")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("aggregate '{kind}' needs a 'column' string"))
+    };
+    let query = match kind {
+        "select" => {
+            let q = Query::select(table, predicate);
+            match doc.get("limit").and_then(Json::as_f64) {
+                Some(limit) if limit >= 1.0 => q.with_limit(limit as usize),
+                Some(_) => return Err("'limit' must be a positive number".to_owned()),
+                None => q,
+            }
+        }
+        "count" => Query::count(table, predicate),
+        "sum" => Query::aggregate(table, predicate, AggregateKind::Sum, column()?),
+        "avg" => Query::aggregate(table, predicate, AggregateKind::Avg, column()?),
+        "min" => Query::aggregate(table, predicate, AggregateKind::Min, column()?),
+        "max" => Query::aggregate(table, predicate, AggregateKind::Max, column()?),
+        "var" => Query::aggregate(table, predicate, AggregateKind::Variance, column()?),
+        other => return Err(format!("unknown query kind '{other}'")),
+    };
+    Ok(query)
+}
+
+fn parse_value(doc: &Json) -> Result<Value, String> {
+    match doc {
+        Json::Num(n) => Ok(Value::Float64(*n)),
+        Json::Bool(b) => Ok(Value::Bool(*b)),
+        Json::Str(s) => Ok(Value::Utf8(s.clone())),
+        Json::Null => Ok(Value::Null),
+        _ => Err("predicate literals must be scalars".to_owned()),
+    }
+}
+
+fn parse_predicate(doc: &Json) -> Result<Predicate, String> {
+    let op = doc
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or("predicate needs an 'op' string")?;
+    let column = || {
+        doc.get("column")
+            .and_then(Json::as_str)
+            .map(str::to_owned)
+            .ok_or_else(|| format!("predicate op '{op}' needs a 'column' string"))
+    };
+    let value = || {
+        doc.get("value")
+            .ok_or_else(|| format!("predicate op '{op}' needs a 'value'"))
+            .and_then(parse_value)
+    };
+    let args = || -> Result<Vec<Predicate>, String> {
+        doc.get("args")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("predicate op '{op}' needs an 'args' array"))?
+            .iter()
+            .map(parse_predicate)
+            .collect()
+    };
+    Ok(match op {
+        "true" => Predicate::True,
+        "false" => Predicate::False,
+        "lt" => Predicate::lt(column()?, value()?),
+        "le" => Predicate::lt_eq(column()?, value()?),
+        "gt" => Predicate::gt(column()?, value()?),
+        "ge" => Predicate::gt_eq(column()?, value()?),
+        "eq" => Predicate::eq(column()?, value()?),
+        "ne" => Predicate::Compare {
+            column: column()?,
+            op: sciborq_columnar::CompareOp::NotEq,
+            value: value()?,
+        },
+        "between" => {
+            let low = parse_value(doc.get("low").ok_or("'between' needs 'low'")?)?;
+            let high = parse_value(doc.get("high").ok_or("'between' needs 'high'")?)?;
+            Predicate::Between {
+                column: column()?,
+                low,
+                high,
+            }
+        }
+        "is_null" => Predicate::IsNull(column()?),
+        "is_not_null" => Predicate::IsNotNull(column()?),
+        "and" => Predicate::And(args()?),
+        "or" => Predicate::Or(args()?),
+        "not" => {
+            let arg = doc.get("arg").ok_or("'not' needs an 'arg' predicate")?;
+            Predicate::Not(Box::new(parse_predicate(arg)?))
+        }
+        other => return Err(format!("unknown predicate op '{other}'")),
+    })
+}
+
+fn parse_bounds(doc: &Json) -> Result<QueryBounds, String> {
+    let mut bounds = QueryBounds::default();
+    if let Some(e) = doc.get("max_relative_error").and_then(Json::as_f64) {
+        bounds.max_relative_error = Some(e);
+    }
+    if let Some(c) = doc.get("confidence").and_then(Json::as_f64) {
+        bounds.confidence = c;
+    }
+    if let Some(r) = doc.get("max_rows_scanned").and_then(Json::as_f64) {
+        if r < 0.0 {
+            return Err("'max_rows_scanned' must be non-negative".to_owned());
+        }
+        bounds.max_rows_scanned = Some(r as u64);
+    }
+    if let Some(ms) = doc.get("time_budget_ms").and_then(Json::as_f64) {
+        if !(ms >= 0.0) {
+            return Err("'time_budget_ms' must be non-negative".to_owned());
+        }
+        bounds.time_budget = Some(Duration::from_secs_f64(ms / 1_000.0));
+    }
+    if let Some(n) = doc.get("min_result_rows").and_then(Json::as_f64) {
+        bounds.min_result_rows = Some(n as usize);
+    }
+    Ok(bounds)
+}
+
+fn level_json(level: EvaluationLevel) -> Json {
+    match level {
+        EvaluationLevel::Layer(n) => Json::Str(format!("layer-{n}")),
+        EvaluationLevel::BaseData => Json::Str("base".to_owned()),
+    }
+}
+
+fn aggregate_json(answer: &ApproximateAnswer, downgraded: bool) -> Json {
+    let mut fields = vec![
+        ("query".to_owned(), Json::Str(answer.query.clone())),
+        (
+            "value".to_owned(),
+            answer.value.map_or(Json::Null, Json::Num),
+        ),
+    ];
+    match &answer.interval {
+        Some(ci) => {
+            fields.push(("ci_lower".to_owned(), Json::Num(ci.lower)));
+            fields.push(("ci_upper".to_owned(), Json::Num(ci.upper)));
+            fields.push(("confidence".to_owned(), Json::Num(ci.confidence)));
+        }
+        None => {
+            fields.push(("ci_lower".to_owned(), Json::Null));
+            fields.push(("ci_upper".to_owned(), Json::Null));
+        }
+    }
+    fields.extend([
+        ("level".to_owned(), level_json(answer.level)),
+        (
+            "rows_scanned".to_owned(),
+            Json::Num(answer.rows_scanned as f64),
+        ),
+        (
+            "escalations".to_owned(),
+            Json::Num(answer.escalations as f64),
+        ),
+        (
+            "elapsed_us".to_owned(),
+            Json::Num(answer.elapsed.as_micros() as f64),
+        ),
+        (
+            "error_bound_met".to_owned(),
+            Json::Bool(answer.error_bound_met),
+        ),
+        (
+            "time_bound_met".to_owned(),
+            Json::Bool(answer.time_bound_met),
+        ),
+        ("downgraded".to_owned(), Json::Bool(downgraded)),
+    ]);
+    Json::Obj(fields)
+}
+
+fn rows_json(answer: &SelectAnswer, downgraded: bool) -> Json {
+    Json::Obj(vec![
+        ("query".to_owned(), Json::Str(answer.query.clone())),
+        (
+            "rows_returned".to_owned(),
+            Json::Num(answer.returned_rows() as f64),
+        ),
+        (
+            "estimated_total_matches".to_owned(),
+            Json::Num(answer.estimated_total_matches),
+        ),
+        ("level".to_owned(), level_json(answer.level)),
+        (
+            "rows_scanned".to_owned(),
+            Json::Num(answer.rows_scanned as f64),
+        ),
+        (
+            "escalations".to_owned(),
+            Json::Num(answer.escalations as f64),
+        ),
+        (
+            "elapsed_us".to_owned(),
+            Json::Num(answer.elapsed.as_micros() as f64),
+        ),
+        ("downgraded".to_owned(), Json::Bool(downgraded)),
+    ])
+}
+
+fn overloaded_json(o: &Overloaded) -> Vec<(String, Json)> {
+    vec![
+        ("reason".to_owned(), Json::Str(o.reason.to_string())),
+        ("table".to_owned(), Json::Str(o.table.clone())),
+        ("cost_rows".to_owned(), Json::Num(o.cost_rows as f64)),
+        ("budget_rows".to_owned(), Json::Num(o.budget_rows as f64)),
+        (
+            "in_flight_rows".to_owned(),
+            Json::Num(o.in_flight_rows as f64),
+        ),
+        ("waiting".to_owned(), Json::Num(o.waiting as f64)),
+    ]
+}
+
+/// Render one response line (without trailing newline) for a reply.
+pub fn render_reply(id: &Json, reply: &ServerReply) -> String {
+    let mut fields = vec![("id".to_owned(), id.clone())];
+    match reply {
+        ServerReply::Aggregate { answer, downgraded } => {
+            fields.push(("status".to_owned(), Json::Str("ok".to_owned())));
+            fields.push(("answer".to_owned(), aggregate_json(answer, *downgraded)));
+        }
+        ServerReply::Rows { answer, downgraded } => {
+            fields.push(("status".to_owned(), Json::Str("ok".to_owned())));
+            fields.push(("answer".to_owned(), rows_json(answer, *downgraded)));
+        }
+        ServerReply::Overloaded(o) => {
+            fields.push(("status".to_owned(), Json::Str("overloaded".to_owned())));
+            fields.extend(overloaded_json(o));
+        }
+        ServerReply::Failed(err) => {
+            fields.push(("status".to_owned(), Json::Str("error".to_owned())));
+            fields.push(("message".to_owned(), Json::Str(err.to_string())));
+        }
+    }
+    Json::Obj(fields).render()
+}
+
+/// Render a parse/protocol error as a response line.
+pub fn render_protocol_error(id: &Json, message: &str) -> String {
+    Json::Obj(vec![
+        ("id".to_owned(), id.clone()),
+        ("status".to_owned(), Json::Str("error".to_owned())),
+        ("message".to_owned(), Json::Str(message.to_owned())),
+    ])
+    .render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sciborq_workload::QueryKind;
+
+    #[test]
+    fn parses_a_full_request() {
+        let line = r#"{"id": 3, "query": {"table": "photoobj", "kind": "sum", "column": "r_mag",
+            "predicate": {"op": "and", "args": [
+                {"op": "between", "column": "ra", "low": 10.0, "high": 20.0},
+                {"op": "not", "arg": {"op": "is_null", "column": "dec"}}]}},
+            "bounds": {"max_relative_error": 0.05, "max_rows_scanned": 5000, "time_budget_ms": 2.5}}"#;
+        let req = parse_request(line).unwrap();
+        assert_eq!(req.id, Json::Num(3.0));
+        assert_eq!(req.query.table, "photoobj");
+        assert!(matches!(
+            req.query.kind,
+            QueryKind::Aggregate {
+                kind: AggregateKind::Sum,
+                ..
+            }
+        ));
+        assert!(matches!(&req.query.predicate, Predicate::And(parts) if parts.len() == 2));
+        assert_eq!(req.bounds.max_relative_error, Some(0.05));
+        assert_eq!(req.bounds.max_rows_scanned, Some(5_000));
+        assert_eq!(req.bounds.time_budget, Some(Duration::from_micros(2_500)));
+    }
+
+    #[test]
+    fn bounds_default_when_absent() {
+        let req = parse_request(r#"{"query": {"table": "t", "kind": "count"}}"#).unwrap();
+        assert_eq!(req.id, Json::Null);
+        assert_eq!(req.bounds.max_rows_scanned, None);
+        assert!(matches!(req.query.predicate, Predicate::True));
+    }
+
+    #[test]
+    fn rejects_bad_requests() {
+        assert!(parse_request("{}").is_err());
+        assert!(parse_request(r#"{"query": {"table": "t", "kind": "median"}}"#).is_err());
+        assert!(parse_request(r#"{"query": {"table": "t", "kind": "sum"}}"#).is_err());
+        assert!(parse_request(
+            r#"{"query": {"table": "t", "kind": "count", "predicate": {"op": "near"}}}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn renders_overload_and_error_lines() {
+        let overload = ServerReply::Overloaded(Overloaded {
+            table: "photoobj".to_owned(),
+            cost_rows: 100,
+            budget_rows: 50,
+            in_flight_rows: 40,
+            waiting: 2,
+            reason: crate::admission::OverloadReason::QueueFull,
+        });
+        let line = render_reply(&Json::Num(9.0), &overload);
+        let doc = Json::parse(&line).unwrap();
+        assert_eq!(doc.get("status").unwrap().as_str(), Some("overloaded"));
+        assert_eq!(doc.get("reason").unwrap().as_str(), Some("queue-full"));
+        assert_eq!(doc.get("id").unwrap().as_f64(), Some(9.0));
+
+        let err = render_protocol_error(&Json::Null, "bad line");
+        let doc = Json::parse(&err).unwrap();
+        assert_eq!(doc.get("status").unwrap().as_str(), Some("error"));
+    }
+}

@@ -1,0 +1,287 @@
+//! The concurrent query server: admission, shared-scan batching, replies.
+
+use crate::admission::{Admission, AdmissionController, Overloaded};
+use crate::config::ServeConfig;
+use sciborq_core::{
+    ApproximateAnswer, ExplorationSession, QueryBounds, QueryOutcome, SciborqError, SelectAnswer,
+};
+use sciborq_workload::{Query, QueryKind};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// What a query submitted to the server comes back as.
+#[derive(Debug, Clone)]
+pub enum ServerReply {
+    /// A bounded aggregate answer. `downgraded` is true when admission
+    /// tightened the query's row budget to fit the global budget.
+    Aggregate {
+        /// The engine's answer, with its measured honesty flags.
+        answer: ApproximateAnswer,
+        /// Whether the row budget was tightened by admission control.
+        downgraded: bool,
+    },
+    /// A row-returning answer.
+    Rows {
+        /// The engine's answer.
+        answer: SelectAnswer,
+        /// Whether the row budget was tightened by admission control.
+        downgraded: bool,
+    },
+    /// The server shed the query; the payload says exactly why.
+    Overloaded(Overloaded),
+    /// The engine rejected or failed the query.
+    Failed(SciborqError),
+}
+
+impl ServerReply {
+    /// The aggregate answer, if this reply carries one.
+    pub fn as_aggregate(&self) -> Option<&ApproximateAnswer> {
+        match self {
+            ServerReply::Aggregate { answer, .. } => Some(answer),
+            _ => None,
+        }
+    }
+
+    /// Whether this reply is a typed overload rejection.
+    pub fn is_overloaded(&self) -> bool {
+        matches!(self, ServerReply::Overloaded(_))
+    }
+
+    /// Whether admission control downgraded the query behind this reply.
+    pub fn downgraded(&self) -> bool {
+        match self {
+            ServerReply::Aggregate { downgraded, .. } | ServerReply::Rows { downgraded, .. } => {
+                *downgraded
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Cumulative serving counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeStats {
+    /// Queries answered by the engine (including engine-level errors).
+    pub served: u64,
+    /// Queries shed with a typed overload reply.
+    pub rejected: u64,
+    /// Served queries whose row budget admission control tightened.
+    pub downgraded: u64,
+    /// Shared scan passes executed (each covers one drained batch).
+    pub shared_batches: u64,
+}
+
+struct PendingQuery {
+    query: Query,
+    bounds: QueryBounds,
+    downgraded: bool,
+    reply: mpsc::Sender<ServerReply>,
+}
+
+#[derive(Default)]
+struct BatchQueue {
+    items: Vec<PendingQuery>,
+    shutdown: bool,
+}
+
+struct ServerInner {
+    session: ExplorationSession,
+    config: ServeConfig,
+    admission: AdmissionController,
+    queue: Mutex<BatchQueue>,
+    pending: Condvar,
+    served: AtomicU64,
+    rejected: AtomicU64,
+    downgraded: AtomicU64,
+    shared_batches: AtomicU64,
+}
+
+/// A long-lived front end serving concurrent bounded queries from one
+/// exploration session.
+///
+/// `submit` is blocking and thread-safe: call it from as many client
+/// threads as you like. Aggregate queries are (when enabled) coalesced by
+/// a background scheduler thread into shared scan passes via
+/// [`ExplorationSession::execute_batch`]; answers are bit-identical to
+/// serial execution either way.
+pub struct QueryServer {
+    inner: Arc<ServerInner>,
+    scheduler: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for QueryServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryServer")
+            .field("config", &self.inner.config)
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl QueryServer {
+    /// Start a server over a session. Spawns the shared-scan scheduler
+    /// thread when shared scans are enabled.
+    pub fn new(session: ExplorationSession, config: ServeConfig) -> Result<Self, SciborqError> {
+        config.validate().map_err(SciborqError::InvalidConfig)?;
+        let admission = AdmissionController::new(
+            config.global_row_budget,
+            config.max_waiting,
+            config.allow_downgrade,
+        );
+        let inner = Arc::new(ServerInner {
+            session,
+            config,
+            admission,
+            queue: Mutex::new(BatchQueue::default()),
+            pending: Condvar::new(),
+            served: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            downgraded: AtomicU64::new(0),
+            shared_batches: AtomicU64::new(0),
+        });
+        let scheduler = if inner.config.shared_scans {
+            let worker = Arc::clone(&inner);
+            Some(
+                std::thread::Builder::new()
+                    .name("sciborq-batcher".to_owned())
+                    .spawn(move || worker.run_scheduler())
+                    .expect("spawn scheduler thread"),
+            )
+        } else {
+            None
+        };
+        Ok(QueryServer { inner, scheduler })
+    }
+
+    /// The wrapped session (for loads, adaptation, impression management).
+    pub fn session(&self) -> &ExplorationSession {
+        &self.inner.session
+    }
+
+    /// Cumulative serving counters.
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            served: self.inner.served.load(Ordering::Relaxed),
+            rejected: self.inner.rejected.load(Ordering::Relaxed),
+            downgraded: self.inner.downgraded.load(Ordering::Relaxed),
+            shared_batches: self.inner.shared_batches.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Submit a bounded query and block until its reply.
+    pub fn submit(&self, query: Query, bounds: QueryBounds) -> ServerReply {
+        let inner = &self.inner;
+
+        // Price the query. When no hierarchy (or table) exists the direct
+        // execution path produces the same typed error the pricing did —
+        // and logs the query, like serial execution would.
+        let profile = match inner.session.scan_profile(&query.table) {
+            Ok(profile) => profile,
+            Err(_) => {
+                let reply = Self::direct_reply(inner.session.execute(&query, &bounds), false);
+                inner.served.fetch_add(1, Ordering::Relaxed);
+                return reply;
+            }
+        };
+
+        let admission = match inner.admission.admit(&query.table, &profile, &bounds) {
+            Ok(admission) => admission,
+            Err(overloaded) => {
+                inner.rejected.fetch_add(1, Ordering::Relaxed);
+                return ServerReply::Overloaded(overloaded);
+            }
+        };
+
+        let reply = self.dispatch(query, &admission);
+        inner.admission.release(admission.cost_rows);
+        inner.served.fetch_add(1, Ordering::Relaxed);
+        if reply.downgraded() {
+            inner.downgraded.fetch_add(1, Ordering::Relaxed);
+        }
+        reply
+    }
+
+    fn dispatch(&self, query: Query, admission: &Admission) -> ServerReply {
+        let inner = &self.inner;
+        let shared = inner.config.shared_scans
+            && matches!(query.kind, QueryKind::Aggregate { .. })
+            && self.scheduler.is_some();
+        if !shared {
+            return Self::direct_reply(
+                inner.session.execute(&query, &admission.bounds),
+                admission.downgraded,
+            );
+        }
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut queue = inner.queue.lock().unwrap();
+            queue.items.push(PendingQuery {
+                query,
+                bounds: admission.bounds,
+                downgraded: admission.downgraded,
+                reply: tx,
+            });
+        }
+        inner.pending.notify_one();
+        rx.recv().unwrap_or_else(|_| {
+            ServerReply::Failed(SciborqError::InvalidConfig(
+                "serving scheduler exited before answering".to_owned(),
+            ))
+        })
+    }
+
+    fn direct_reply(result: Result<QueryOutcome, SciborqError>, downgraded: bool) -> ServerReply {
+        match result {
+            Ok(QueryOutcome::Aggregate(answer)) => ServerReply::Aggregate { answer, downgraded },
+            Ok(QueryOutcome::Rows(answer)) => ServerReply::Rows { answer, downgraded },
+            Err(err) => ServerReply::Failed(err),
+        }
+    }
+}
+
+impl ServerInner {
+    fn run_scheduler(&self) {
+        loop {
+            let drained = {
+                let mut queue = self.queue.lock().unwrap();
+                while queue.items.is_empty() && !queue.shutdown {
+                    queue = self.pending.wait(queue).unwrap();
+                }
+                if queue.items.is_empty() && queue.shutdown {
+                    return;
+                }
+                drop(queue);
+                // Let same-impression stragglers pile into this pass.
+                std::thread::sleep(self.config.batch_window);
+                let mut queue = self.queue.lock().unwrap();
+                let take = queue.items.len().min(self.config.max_batch);
+                queue.items.drain(..take).collect::<Vec<_>>()
+            };
+            if drained.is_empty() {
+                continue;
+            }
+            self.shared_batches.fetch_add(1, Ordering::Relaxed);
+            let requests: Vec<(Query, QueryBounds)> = drained
+                .iter()
+                .map(|p| (p.query.clone(), p.bounds))
+                .collect();
+            let results = self.session.execute_batch(&requests);
+            for (pending, result) in drained.into_iter().zip(results) {
+                let reply = QueryServer::direct_reply(result, pending.downgraded);
+                // a client that gave up is not an error
+                let _ = pending.reply.send(reply);
+            }
+        }
+    }
+}
+
+impl Drop for QueryServer {
+    fn drop(&mut self) {
+        if let Some(handle) = self.scheduler.take() {
+            self.inner.queue.lock().unwrap().shutdown = true;
+            self.inner.pending.notify_all();
+            let _ = handle.join();
+        }
+    }
+}

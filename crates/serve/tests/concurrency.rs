@@ -1,0 +1,347 @@
+//! Serving-layer integration tests: concurrent bit-identity, admission
+//! control under bursts, and honest downgrades.
+
+use sciborq_columnar::{AggregateKind, Catalog, DataType, Field, Predicate, Schema, Table, Value};
+use sciborq_core::{
+    ExplorationSession, QueryBounds, QueryOutcome, SamplingPolicy, SciborqConfig, SciborqError,
+};
+use sciborq_serve::{OverloadReason, QueryServer, ServeConfig, ServerReply};
+use sciborq_workload::{AttributeDomain, Query};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+fn photoobj(rows: usize) -> Table {
+    let schema = Schema::shared(vec![
+        Field::new("objid", DataType::Int64),
+        Field::new("ra", DataType::Float64),
+        Field::new("r_mag", DataType::Float64),
+    ])
+    .unwrap();
+    let mut table = Table::new("photoobj", schema);
+    for i in 0..rows as i64 {
+        let ra = (i as f64 * 137.507_764).rem_euclid(360.0);
+        table
+            .append_row(&[
+                Value::Int64(i),
+                Value::Float64(ra),
+                Value::Float64(14.0 + (i % 1_000) as f64 / 125.0),
+            ])
+            .unwrap();
+    }
+    table
+}
+
+fn session(rows: usize, layers: Vec<usize>) -> ExplorationSession {
+    let catalog = Catalog::new();
+    catalog.register(photoobj(rows)).unwrap();
+    let session = ExplorationSession::new(
+        catalog,
+        SciborqConfig::with_layers(layers),
+        &[("ra", AttributeDomain::new(0.0, 360.0, 36))],
+    )
+    .unwrap();
+    session
+        .create_impressions("photoobj", SamplingPolicy::Uniform)
+        .unwrap();
+    session
+}
+
+/// The mixed workload used by the bit-identity tests: escalating
+/// aggregates, an exact base-data query, an unsatisfiable budget, and a
+/// SELECT. No time budgets — wall-clock may not influence answers.
+fn workload() -> Vec<(Query, QueryBounds)> {
+    vec![
+        (
+            Query::count("photoobj", Predicate::lt("ra", 90.0)),
+            QueryBounds::max_error(0.1),
+        ),
+        (
+            Query::count("photoobj", Predicate::lt("ra", 90.0)),
+            QueryBounds::max_error(0.02),
+        ),
+        (
+            Query::aggregate(
+                "photoobj",
+                Predicate::lt("ra", 180.0),
+                AggregateKind::Sum,
+                "r_mag",
+            ),
+            QueryBounds::max_error(0.05),
+        ),
+        (
+            Query::aggregate("photoobj", Predicate::True, AggregateKind::Avg, "r_mag"),
+            QueryBounds::max_error(0.05),
+        ),
+        (
+            Query::count("photoobj", Predicate::lt("objid", 101.0)),
+            QueryBounds::max_error(1e-9),
+        ),
+        (
+            Query::count("photoobj", Predicate::True),
+            QueryBounds::row_budget(10),
+        ),
+        (
+            Query::select("photoobj", Predicate::lt("ra", 180.0)).with_limit(5),
+            QueryBounds::default(),
+        ),
+    ]
+}
+
+fn assert_reply_matches_serial(
+    reply: &ServerReply,
+    serial: &Result<QueryOutcome, SciborqError>,
+    query: &Query,
+) {
+    match (reply, serial) {
+        (ServerReply::Aggregate { answer: b, .. }, Ok(QueryOutcome::Aggregate(a))) => {
+            assert_eq!(
+                a.value.map(f64::to_bits),
+                b.value.map(f64::to_bits),
+                "value bits for {query}"
+            );
+            let bits = |ci: &Option<sciborq_stats::ConfidenceInterval>| {
+                ci.map(|ci| (ci.lower.to_bits(), ci.upper.to_bits()))
+            };
+            assert_eq!(bits(&a.interval), bits(&b.interval), "interval for {query}");
+            assert_eq!(a.level, b.level, "level for {query}");
+            assert_eq!(a.rows_scanned, b.rows_scanned, "rows_scanned for {query}");
+            assert_eq!(a.escalations, b.escalations, "escalations for {query}");
+            assert_eq!(
+                a.error_bound_met, b.error_bound_met,
+                "error_bound_met for {query}"
+            );
+        }
+        (ServerReply::Rows { answer: b, .. }, Ok(QueryOutcome::Rows(a))) => {
+            assert_eq!(a.returned_rows(), b.returned_rows(), "rows for {query}");
+            assert_eq!(a.level, b.level, "level for {query}");
+        }
+        (ServerReply::Failed(b), Err(a)) => assert_eq!(a, b, "error for {query}"),
+        (reply, serial) => panic!("reply shape diverged for {query}: {serial:?} vs {reply:?}"),
+    }
+}
+
+fn bit_identity_under_concurrency(shared_scans: bool) {
+    // Two identically-built sessions produce identical impressions
+    // (deterministic seeded sampling): one is driven serially as the
+    // reference, the other concurrently through the server.
+    let reference = session(50_000, vec![2_000, 200]);
+    let serving = session(50_000, vec![2_000, 200]);
+    let server = Arc::new(
+        QueryServer::new(
+            serving,
+            ServeConfig {
+                shared_scans,
+                batch_window: Duration::from_millis(2),
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap(),
+    );
+
+    let workload = workload();
+    let serial: Vec<_> = workload
+        .iter()
+        .map(|(q, b)| reference.execute(q, b))
+        .collect();
+
+    let clients = 6;
+    let barrier = Arc::new(Barrier::new(clients));
+    let mut handles = Vec::new();
+    for _ in 0..clients {
+        let server = Arc::clone(&server);
+        let barrier = Arc::clone(&barrier);
+        let workload = workload.clone();
+        handles.push(std::thread::spawn(move || {
+            barrier.wait();
+            workload
+                .into_iter()
+                .map(|(query, bounds)| server.submit(query, bounds))
+                .collect::<Vec<_>>()
+        }));
+    }
+    for handle in handles {
+        let replies = handle.join().unwrap();
+        for (reply, ((query, _), serial)) in replies.iter().zip(workload.iter().zip(&serial)) {
+            assert_reply_matches_serial(reply, serial, query);
+        }
+    }
+    let stats = server.stats();
+    assert_eq!(stats.served, (clients * workload.len()) as u64);
+    assert_eq!(stats.rejected, 0);
+    if shared_scans {
+        assert!(stats.shared_batches > 0, "batcher never ran");
+    } else {
+        assert_eq!(stats.shared_batches, 0);
+    }
+}
+
+#[test]
+fn shared_scan_answers_are_bit_identical_to_serial() {
+    bit_identity_under_concurrency(true);
+}
+
+#[test]
+fn unshared_answers_are_bit_identical_to_serial() {
+    bit_identity_under_concurrency(false);
+}
+
+#[test]
+fn over_budget_burst_sheds_typed_rejections_and_keeps_answers_honest() {
+    let serving = session(20_000, vec![2_000, 200]);
+    // Each unbounded query prices at the 20k-row base table; a 25k global
+    // budget fits one at a time. No waiting queue: overlap must shed.
+    let server = Arc::new(
+        QueryServer::new(
+            serving,
+            ServeConfig {
+                global_row_budget: Some(25_000),
+                max_waiting: 0,
+                allow_downgrade: false,
+                shared_scans: true,
+                batch_window: Duration::from_millis(5),
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap(),
+    );
+
+    let clients = 8;
+    let barrier = Arc::new(Barrier::new(clients));
+    let mut handles = Vec::new();
+    for c in 0..clients {
+        let server = Arc::clone(&server);
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            barrier.wait();
+            let query = Query::count("photoobj", Predicate::lt("ra", 1.0 + c as f64));
+            // an aggressive error bound with a time budget: the engine
+            // reports honestly whether it held
+            let bounds = QueryBounds {
+                time_budget: Some(Duration::from_millis(250)),
+                ..QueryBounds::max_error(0.01)
+            };
+            server.submit(query, bounds)
+        }));
+    }
+
+    let mut served = 0u64;
+    let mut rejected = 0u64;
+    for handle in handles {
+        match handle.join().unwrap() {
+            ServerReply::Aggregate { answer, .. } => {
+                served += 1;
+                // honesty: an answer claiming the time bound held must
+                // actually have held it
+                if answer.time_bound_met {
+                    assert!(
+                        answer.elapsed <= Duration::from_millis(250),
+                        "time_bound_met claimed but elapsed {:?}",
+                        answer.elapsed
+                    );
+                }
+            }
+            ServerReply::Overloaded(o) => {
+                rejected += 1;
+                assert_eq!(o.reason, OverloadReason::BudgetExceeded);
+                assert_eq!(o.budget_rows, 25_000);
+                assert!(o.cost_rows + o.in_flight_rows > o.budget_rows);
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+    assert_eq!(served + rejected, clients as u64);
+    assert!(
+        rejected >= 1,
+        "an 8-client burst against a one-query budget must shed"
+    );
+    assert!(served >= 1, "admission must not shed everything");
+    let stats = server.stats();
+    assert_eq!(stats.served, served);
+    assert_eq!(stats.rejected, rejected);
+    // the budget fully drains once the burst is done
+    assert_eq!(server.session().query_log().len() as u64, served);
+}
+
+#[test]
+fn unfittable_queries_downgrade_with_a_flag_or_shed_typed() {
+    // worst admissible level (base, 20k rows) can never fit a 1.5k budget;
+    // the cheapest layer (200 rows) can.
+    let serving = session(20_000, vec![2_000, 200]);
+    let server = QueryServer::new(
+        serving,
+        ServeConfig {
+            global_row_budget: Some(1_500),
+            allow_downgrade: true,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let reply = server.submit(
+        Query::count("photoobj", Predicate::lt("ra", 90.0)),
+        QueryBounds::max_error(0.5),
+    );
+    match &reply {
+        ServerReply::Aggregate { answer, downgraded } => {
+            assert!(*downgraded, "tightened bounds must be flagged");
+            // the 200-row layer is escalation level 1 (least detailed);
+            // with a 200-row budget the engine cannot go deeper
+            assert!(answer.rows_scanned <= 200, "rows {}", answer.rows_scanned);
+            assert!(answer.time_bound_met);
+        }
+        other => panic!("expected a downgraded answer, got {other:?}"),
+    }
+    assert_eq!(server.stats().downgraded, 1);
+
+    // with downgrading disabled the same query is shed, typed
+    let serving = session(20_000, vec![2_000, 200]);
+    let server = QueryServer::new(
+        serving,
+        ServeConfig {
+            global_row_budget: Some(1_500),
+            allow_downgrade: false,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let reply = server.submit(
+        Query::count("photoobj", Predicate::lt("ra", 90.0)),
+        QueryBounds::max_error(0.5),
+    );
+    match reply {
+        ServerReply::Overloaded(o) => {
+            assert_eq!(o.reason, OverloadReason::CostExceedsBudget);
+            assert_eq!(o.cost_rows, 20_000);
+            assert_eq!(o.budget_rows, 1_500);
+        }
+        other => panic!("expected typed overload, got {other:?}"),
+    }
+}
+
+#[test]
+fn queries_for_missing_hierarchies_fail_typed_through_the_server() {
+    let catalog = Catalog::new();
+    catalog.register(photoobj(1_000)).unwrap();
+    let session = ExplorationSession::new(
+        catalog,
+        SciborqConfig::with_layers(vec![200, 50]),
+        &[("ra", AttributeDomain::new(0.0, 360.0, 36))],
+    )
+    .unwrap();
+    let server = QueryServer::new(session, ServeConfig::default()).unwrap();
+    let reply = server.submit(
+        Query::count("photoobj", Predicate::True),
+        QueryBounds::default(),
+    );
+    assert!(
+        matches!(&reply, ServerReply::Failed(SciborqError::NoImpressions { table }) if table == "photoobj"),
+        "got {reply:?}"
+    );
+    let reply = server.submit(
+        Query::count("missing", Predicate::True),
+        QueryBounds::default(),
+    );
+    assert!(matches!(
+        reply,
+        ServerReply::Failed(SciborqError::UnknownTable(_))
+    ));
+}

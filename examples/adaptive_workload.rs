@@ -31,7 +31,7 @@ fn main() {
     .expect("dataset");
 
     let config = SciborqConfig::with_layers(vec![10_000, 1_000]);
-    let mut session = ExplorationSession::new(
+    let session = ExplorationSession::new(
         dataset.catalog.clone(),
         config,
         &[

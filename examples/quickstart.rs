@@ -24,7 +24,7 @@ fn main() {
 
     // 2. Open an exploration session with three impression layers.
     let config = SciborqConfig::with_layers(vec![20_000, 2_000, 200]);
-    let mut session = ExplorationSession::new(
+    let session = ExplorationSession::new(
         dataset.catalog.clone(),
         config,
         &[

@@ -18,7 +18,7 @@ fn main() {
     println!("warehouse ready: {} rows", dataset.fact_rows());
 
     let config = SciborqConfig::with_layers(vec![20_000, 2_000]);
-    let mut session = ExplorationSession::new(
+    let session = ExplorationSession::new(
         dataset.catalog.clone(),
         config,
         &[
@@ -37,11 +37,15 @@ fn main() {
     for query in generator.generate(300) {
         let _ = session.execute(&query, &QueryBounds::default());
     }
+    // Take the lock once: `predicate_set()` returns a guard, and two calls
+    // inside one statement would hold both guards at the same time.
+    let predicates = session.predicate_set();
     println!(
         "predicate set now holds {} ra-values from {} queries",
-        session.predicate_set().observed_values("ra"),
-        session.predicate_set().queries_observed()
+        predicates.observed_values("ra"),
+        predicates.queries_observed()
     );
+    drop(predicates);
 
     // Phase 2: rebuild the impressions biased towards the observed focus.
     session

@@ -30,7 +30,7 @@ fn sky_session(total_objects: usize, layers: Vec<usize>) -> (ExplorationSession,
 
 #[test]
 fn uniform_impressions_answer_cone_counts_within_bounds() {
-    let (mut session, dataset) = sky_session(60_000, vec![6_000, 600]);
+    let (session, dataset) = sky_session(60_000, vec![6_000, 600]);
     session
         .create_impressions("photoobj", SamplingPolicy::Uniform)
         .unwrap();
@@ -65,8 +65,8 @@ fn uniform_impressions_answer_cone_counts_within_bounds() {
 
 #[test]
 fn biased_impressions_beat_uniform_on_focal_queries() {
-    let (mut uniform_session, _ds) = sky_session(80_000, vec![4_000, 400]);
-    let (mut biased_session, _ds2) = sky_session(80_000, vec![4_000, 400]);
+    let (uniform_session, _ds) = sky_session(80_000, vec![4_000, 400]);
+    let (biased_session, _ds2) = sky_session(80_000, vec![4_000, 400]);
 
     // Build uniform impressions first (no workload needed).
     uniform_session
@@ -112,7 +112,7 @@ fn biased_impressions_beat_uniform_on_focal_queries() {
 
 #[test]
 fn escalation_reaches_base_data_for_exact_answers() {
-    let (mut session, dataset) = sky_session(30_000, vec![3_000, 300]);
+    let (session, dataset) = sky_session(30_000, vec![3_000, 300]);
     session
         .create_impressions("photoobj", SamplingPolicy::Uniform)
         .unwrap();
@@ -131,7 +131,7 @@ fn escalation_reaches_base_data_for_exact_answers() {
 
 #[test]
 fn incremental_loads_keep_impressions_fresh() {
-    let (mut session, _dataset) = sky_session(20_000, vec![2_000, 200]);
+    let (session, _dataset) = sky_session(20_000, vec![2_000, 200]);
     session
         .create_impressions("photoobj", SamplingPolicy::Uniform)
         .unwrap();
@@ -155,7 +155,7 @@ fn incremental_loads_keep_impressions_fresh() {
 
 #[test]
 fn select_limit_semantics_draw_from_impressions() {
-    let (mut session, _dataset) = sky_session(40_000, vec![4_000, 400]);
+    let (session, _dataset) = sky_session(40_000, vec![4_000, 400]);
     session
         .create_impressions("photoobj", SamplingPolicy::Uniform)
         .unwrap();

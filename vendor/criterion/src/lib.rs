@@ -1,0 +1,186 @@
+//! Minimal vendored stand-in for the `criterion` benchmarking harness.
+//!
+//! The container this repository builds in has no network access, so the
+//! real criterion crate cannot be fetched. This stub reproduces the small
+//! API surface the benches use — `Criterion`, benchmark groups,
+//! `bench_function` / `bench_with_input`, `Bencher::iter`, `black_box`,
+//! `Throughput`, `BenchmarkId` and the `criterion_group!` /
+//! `criterion_main!` macros — and actually measures the closures with
+//! `std::time::Instant`, printing mean wall-clock time per iteration. It is
+//! intentionally simple: no statistics, no outlier rejection, no HTML
+//! reports. The paper-figure numbers come from the hand-rolled benches and
+//! `src/bin/experiments.rs`, not from this harness.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// How a group's throughput is reported (accepted, currently informational).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier combining a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Build an id like `name/parameter`.
+    pub fn new<P: std::fmt::Display>(name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Runs a closure repeatedly and records the mean time per iteration.
+pub struct Bencher {
+    iters: u64,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Measure `routine`: a short warm-up, then `iters` timed runs.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.iters.min(3) {
+            hint::black_box(routine());
+        }
+        let started = Instant::now();
+        for _ in 0..self.iters {
+            hint::black_box(routine());
+        }
+        let elapsed = started.elapsed();
+        self.mean_ns = elapsed.as_nanos() as f64 / self.iters as f64;
+    }
+}
+
+/// A named group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    samples: u64,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Record the group's throughput (informational in this stub).
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Set how many timed iterations each benchmark runs.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = samples.max(1) as u64;
+        self
+    }
+
+    /// Override the (ignored) measurement time, for API compatibility.
+    pub fn measurement_time(&mut self, _time: Duration) -> &mut Self {
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let mut bencher = Bencher {
+            iters: self.samples,
+            mean_ns: 0.0,
+        };
+        f(&mut bencher);
+        println!(
+            "bench {}/{}: {:.0} ns/iter ({} iters)",
+            self.name, id, bencher.mean_ns, bencher.iters
+        );
+    }
+
+    /// Benchmark a closure under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        self.run(&id.to_string(), f);
+        self
+    }
+
+    /// Benchmark a closure that receives a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.run(&id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (no-op; reports were printed as benches ran).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// A harness with default settings.
+    pub fn new() -> Self {
+        Criterion::default()
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmark a closure outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        self.benchmark_group("top").bench_function(id, f);
+        self
+    }
+}
+
+/// Bundle benchmark functions under one group name, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::new();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit a `main` that runs the given groups, mirroring criterion's macro of
+/// the same name. Unrecognised CLI flags (including the `--bench` flag cargo
+/// passes and the hand-rolled benches' `--*-json-out` flags) are ignored.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
