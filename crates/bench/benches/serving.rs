@@ -18,13 +18,18 @@
 //!
 //! Hand-rolled harness; pass `--serving-json-out <path>` to write a
 //! `BENCH_serving.json` artifact (queries/sec with p50/p99 latency per
-//! cell, plus the 16-client shared-vs-unshared speedup).
+//! cell, plus the 16-client shared-vs-unshared speedup). Latency
+//! percentiles come from the telemetry crate's fixed-bucket
+//! [`Histogram`] — the same estimator the serving layer exports through
+//! its `metrics` command — so bench numbers and live introspection agree
+//! on methodology.
 
 use sciborq_columnar::{AggregateKind, Catalog, DataType, Field, Predicate, Schema, Table, Value};
 use sciborq_core::{
     EvaluationLevel, ExplorationSession, QueryBounds, QueryOutcome, SamplingPolicy, SciborqConfig,
 };
 use sciborq_serve::{QueryServer, ServeConfig, ServerReply};
+use sciborq_telemetry::Histogram;
 use sciborq_workload::{AttributeDomain, Query};
 use std::fmt::Write as _;
 use std::sync::{Arc, Barrier};
@@ -189,53 +194,46 @@ struct Cell {
     p99_us: u64,
 }
 
-fn percentile(sorted: &[u64], p: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-    sorted[idx]
-}
-
 fn run_cell(server: &Arc<QueryServer>, shared: bool, clients: usize) -> Cell {
     let per_client = QUERIES_PER_CELL / clients;
     let barrier = Arc::new(Barrier::new(clients + 1));
+    // One lock-free telemetry histogram shared by every client thread —
+    // the same estimator `sciborq-served` exports via its `metrics`
+    // command, so live and benched percentiles share one methodology.
+    let latency = Arc::new(Histogram::latency_micros());
     let handles: Vec<_> = (0..clients)
         .map(|c| {
             let server = Arc::clone(server);
             let barrier = Arc::clone(&barrier);
+            let latency = Arc::clone(&latency);
             std::thread::spawn(move || {
                 let workload = workload();
                 barrier.wait();
-                let mut latencies = Vec::with_capacity(per_client);
                 for i in 0..per_client {
                     let (query, bounds) = workload[(c + i) % workload.len()].clone();
                     let start = Instant::now();
                     let reply = server.submit(query, bounds);
-                    latencies.push(start.elapsed().as_micros() as u64);
+                    latency.observe(start.elapsed().as_micros() as u64);
                     assert!(
                         matches!(reply, ServerReply::Aggregate { .. }),
                         "bench cell reply diverged: {reply:?}"
                     );
                 }
-                latencies
             })
         })
         .collect();
     barrier.wait();
     let started = Instant::now();
-    let mut latencies: Vec<u64> = Vec::with_capacity(clients * per_client);
     for handle in handles {
-        latencies.extend(handle.join().unwrap());
+        handle.join().unwrap();
     }
     let elapsed = started.elapsed();
-    latencies.sort_unstable();
     Cell {
         shared,
         clients,
-        qps: latencies.len() as f64 / elapsed.as_secs_f64(),
-        p50_us: percentile(&latencies, 0.50),
-        p99_us: percentile(&latencies, 0.99),
+        qps: latency.count() as f64 / elapsed.as_secs_f64(),
+        p50_us: latency.percentile(0.50),
+        p99_us: latency.percentile(0.99),
     }
 }
 
@@ -317,6 +315,7 @@ fn main() {
         let _ = writeln!(json, "  \"queries_per_cell\": {QUERIES_PER_CELL},");
         let _ = writeln!(json, "  \"available_parallelism\": {cores},");
         let _ = writeln!(json, "  \"bit_identical\": true,");
+        let _ = writeln!(json, "  \"percentile_source\": \"telemetry-histogram\",");
         let _ = writeln!(json, "  \"shared_batches\": {batches},");
         let _ = writeln!(json, "  \"speedup_16\": {speedup_16:.2},");
         json.push_str("  \"cells\": [\n");

@@ -1,7 +1,9 @@
 //! Approximate answers with explicit quality and runtime metadata.
 
+use crate::engine::QueryBounds;
 use sciborq_columnar::Table;
 use sciborq_stats::ConfidenceInterval;
+use sciborq_telemetry::{LevelTrace, QueryTrace};
 use std::fmt;
 use std::time::Duration;
 
@@ -14,6 +16,19 @@ pub enum EvaluationLevel {
     BaseData,
 }
 
+impl EvaluationLevel {
+    /// The level's stable telemetry name: `"layer-N"` or `"base"`. Used as
+    /// a metric-name suffix and as the level identifier in query traces
+    /// (the telemetry crate identifies levels by name to stay free of core
+    /// types).
+    pub fn name(&self) -> String {
+        match self {
+            EvaluationLevel::Layer(i) => format!("layer-{i}"),
+            EvaluationLevel::BaseData => "base".to_owned(),
+        }
+    }
+}
+
 impl fmt::Display for EvaluationLevel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -21,6 +36,43 @@ impl fmt::Display for EvaluationLevel {
             EvaluationLevel::BaseData => write!(f, "base data"),
         }
     }
+}
+
+/// What a visited escalation level's estimate achieved — the quality-side
+/// complement to [`LevelScan`]'s cost accounting. Collected by the engine
+/// only when trace collection is on, and joined with the level scans to
+/// build a [`QueryTrace`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LevelEstimate {
+    /// The level the estimate was computed at.
+    pub level: EvaluationLevel,
+    /// The relative error the estimate achieved (half-width over estimate),
+    /// when an interval existed.
+    pub relative_error: Option<f64>,
+    /// Whether the estimate satisfied the requested error bound.
+    pub error_bound_met: bool,
+}
+
+/// Join per-level scans with per-level estimates into trace levels.
+fn trace_levels(scans: &[LevelScan], estimates: &[LevelEstimate]) -> Vec<LevelTrace> {
+    scans
+        .iter()
+        .map(|scan| {
+            let estimate = estimates.iter().find(|e| e.level == scan.level);
+            LevelTrace {
+                level: scan.level.name(),
+                rows_scanned: scan.rows_scanned,
+                elapsed: scan.elapsed,
+                shards: scan.shards,
+                relative_error: estimate.and_then(|e| e.relative_error),
+                error_bound_met: estimate.is_some_and(|e| e.error_bound_met),
+            }
+        })
+        .collect()
+}
+
+fn finite(value: Option<f64>) -> Option<f64> {
+    value.filter(|v| v.is_finite())
 }
 
 /// Measured scan work for one visited escalation level.
@@ -75,9 +127,37 @@ pub struct ApproximateAnswer {
     /// is measured, never assumed — an engine that blows the budget while
     /// evaluating its final level reports `false` here.
     pub time_bound_met: bool,
+    /// The structured execution trace, present when the configuration's
+    /// `collect_traces` knob is on. Strictly observational — carries no
+    /// information that feeds back into the answer.
+    pub trace: Option<QueryTrace>,
 }
 
 impl ApproximateAnswer {
+    /// Build this answer's execution trace from the engine's per-level
+    /// quality estimates, the requested bounds, and the configured scan
+    /// fan-out. The admission slot stays `None`; the serving layer fills it
+    /// in when the query arrived through the front end.
+    pub(crate) fn build_trace(
+        &self,
+        estimates: &[LevelEstimate],
+        bounds: &QueryBounds,
+        parallelism: usize,
+    ) -> QueryTrace {
+        QueryTrace {
+            query: self.query.clone(),
+            admission: None,
+            levels: trace_levels(&self.level_scans, estimates),
+            parallelism,
+            final_level: self.level.name(),
+            escalations: self.escalations,
+            error_bound_met: self.error_bound_met,
+            time_bound_met: self.time_bound_met,
+            elapsed: self.elapsed,
+            requested_error: finite(bounds.max_relative_error),
+            time_budget: bounds.time_budget,
+        }
+    }
     /// Whether the answer is exact (evaluated on base data).
     pub fn is_exact(&self) -> bool {
         self.level == EvaluationLevel::BaseData
@@ -146,9 +226,31 @@ pub struct SelectAnswer {
     /// the row budget and the answer was produced within `time_budget`
     /// (measured, like [`ApproximateAnswer::time_bound_met`]).
     pub time_bound_met: bool,
+    /// The structured execution trace, present when the configuration's
+    /// `collect_traces` knob is on (see [`ApproximateAnswer::trace`]).
+    pub trace: Option<QueryTrace>,
 }
 
 impl SelectAnswer {
+    /// Build this answer's execution trace. Selections carry no per-level
+    /// error estimates: a level either returned enough rows (bound met) or
+    /// escalation continued, so every visited level reports `relative_error:
+    /// None` and the final bound verdict lives on the trace itself.
+    pub(crate) fn build_trace(&self, bounds: &QueryBounds, parallelism: usize) -> QueryTrace {
+        QueryTrace {
+            query: self.query.clone(),
+            admission: None,
+            levels: trace_levels(&self.level_scans, &[]),
+            parallelism,
+            final_level: self.level.name(),
+            escalations: self.escalations,
+            error_bound_met: true,
+            time_bound_met: self.time_bound_met,
+            elapsed: self.elapsed,
+            requested_error: finite(bounds.max_relative_error),
+            time_budget: bounds.time_budget,
+        }
+    }
     /// Number of rows returned to the user.
     pub fn returned_rows(&self) -> usize {
         self.rows.row_count()
@@ -174,6 +276,8 @@ mod tests {
     fn evaluation_level_display() {
         assert_eq!(EvaluationLevel::Layer(2).to_string(), "layer 2");
         assert_eq!(EvaluationLevel::BaseData.to_string(), "base data");
+        assert_eq!(EvaluationLevel::Layer(2).name(), "layer-2");
+        assert_eq!(EvaluationLevel::BaseData.name(), "base");
     }
 
     #[test]
@@ -202,6 +306,7 @@ mod tests {
             ],
             error_bound_met: true,
             time_bound_met: true,
+            trace: None,
         };
         assert!(!a.is_exact());
         assert_eq!(a.levels_visited(), 2);
@@ -224,6 +329,7 @@ mod tests {
             level_scans: Vec::new(),
             error_bound_met: true,
             time_bound_met: false,
+            trace: None,
         };
         assert!(a.is_exact());
         assert_eq!(a.relative_error(), 0.0);
@@ -243,6 +349,7 @@ mod tests {
             level_scans: Vec::new(),
             error_bound_met: false,
             time_bound_met: true,
+            trace: None,
         };
         assert_eq!(a.relative_error(), f64::INFINITY);
         assert!(a.to_string().contains("undefined"));
@@ -264,6 +371,7 @@ mod tests {
             elapsed: Duration::from_micros(10),
             level_scans: Vec::new(),
             time_bound_met: true,
+            trace: None,
         };
         assert_eq!(a.returned_rows(), 2);
         assert_eq!(a.estimated_total_matches, 200.0);

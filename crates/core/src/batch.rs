@@ -16,7 +16,7 @@
 //! sketches — which the multi-scan kernels guarantee bit-for-bit — batched
 //! answers are bit-identical to serial ones.
 
-use crate::answer::{ApproximateAnswer, EvaluationLevel};
+use crate::answer::{ApproximateAnswer, EvaluationLevel, LevelEstimate};
 use crate::engine::{estimate_level, BoundedQueryEngine, LevelSketch, QueryBounds};
 use crate::error::{Result, SciborqError};
 use crate::execution::QueryExecution;
@@ -92,6 +92,13 @@ struct QState<'q> {
     /// serial execution breaks out of escalation at that point.
     stopped: bool,
     start: Instant,
+    /// Whether to build a [`sciborq_telemetry::QueryTrace`] at finalisation
+    /// (the engine's `collect_traces` knob). Strictly observational.
+    tracing: bool,
+    /// The engine's scan fan-out, reported on the trace.
+    parallelism: usize,
+    /// Per-level quality accounting, collected only when tracing.
+    estimates: Vec<LevelEstimate>,
 }
 
 impl QState<'_> {
@@ -138,7 +145,7 @@ impl QState<'_> {
         error_bound_met: bool,
     ) {
         let time_bound_met = self.time_ok();
-        self.done = Some(Ok(ApproximateAnswer {
+        let mut answer = ApproximateAnswer {
             query: self.query.to_string(),
             value,
             interval,
@@ -149,7 +156,12 @@ impl QState<'_> {
             level_scans: self.exec.take_level_scans(),
             error_bound_met,
             time_bound_met,
-        }));
+            trace: None,
+        };
+        if self.tracing {
+            answer.trace = Some(answer.build_trace(&self.estimates, self.bounds, self.parallelism));
+        }
+        self.done = Some(Ok(answer));
     }
 
     fn fail(&mut self, err: SciborqError) {
@@ -178,6 +190,7 @@ impl BoundedQueryEngine {
         base_table: Option<&Table>,
     ) -> Vec<Result<ApproximateAnswer>> {
         let parallelism = self.config().parallelism;
+        let tracing = self.config().collect_traces;
         let mut states: Vec<QState<'_>> = requests
             .iter()
             .map(|(query, bounds)| {
@@ -193,6 +206,9 @@ impl BoundedQueryEngine {
                     done: None,
                     stopped: false,
                     start: Instant::now(),
+                    tracing,
+                    parallelism,
+                    estimates: Vec::new(),
                 };
                 if let Err(err) = bounds.validate() {
                     st.fail(err);
@@ -424,6 +440,15 @@ impl BoundedQueryEngine {
                                                 .as_ref()
                                                 .map(|ci| ci.satisfies_error_bound(st.max_error))
                                                 .unwrap_or(false);
+                                        if st.tracing {
+                                            st.estimates.push(LevelEstimate {
+                                                level,
+                                                relative_error: interval
+                                                    .as_ref()
+                                                    .map(|ci| ci.relative_half_width()),
+                                                error_bound_met: met,
+                                            });
+                                        }
                                         st.best = Some((value, interval, level));
                                         if met {
                                             st.finalize(value, interval, level, true);
@@ -449,6 +474,13 @@ impl BoundedQueryEngine {
                                     }
                                 };
                                 let interval = value.map(ConfidenceInterval::exact);
+                                if st.tracing {
+                                    st.estimates.push(LevelEstimate {
+                                        level: EvaluationLevel::BaseData,
+                                        relative_error: Some(0.0),
+                                        error_bound_met: true,
+                                    });
+                                }
                                 st.finalize(value, interval, EvaluationLevel::BaseData, true);
                             }
                         }

@@ -70,6 +70,14 @@ pub struct SciborqConfig {
     /// predicate set and focal-shift detection are derived from, §3.3). A
     /// serving deployment sizes this to its workload; must be positive.
     pub query_log_capacity: usize,
+    /// Whether the engine builds a per-query execution trace
+    /// ([`sciborq_telemetry::QueryTrace`]) and attaches it to answers.
+    /// Tracing is strictly observational — on or off, answer bits are
+    /// identical (the standing bit-identity contract covers telemetry).
+    pub collect_traces: bool,
+    /// Number of recent query traces the session's trace ring retains (only
+    /// consulted when `collect_traces` is on); must be positive.
+    pub trace_capacity: usize,
 }
 
 impl Default for SciborqConfig {
@@ -86,6 +94,8 @@ impl Default for SciborqConfig {
             main_memory_bytes: 4 << 30, // 4 GiB
             parallelism: 1,
             query_log_capacity: 10_000,
+            collect_traces: false,
+            trace_capacity: 256,
         }
     }
 }
@@ -129,6 +139,9 @@ impl SciborqConfig {
         if self.query_log_capacity == 0 {
             return Err("query_log_capacity must be positive".to_owned());
         }
+        if self.trace_capacity == 0 {
+            return Err("trace_capacity must be positive".to_owned());
+        }
         Ok(())
     }
 
@@ -142,6 +155,20 @@ impl SciborqConfig {
     /// `capacity` queries.
     pub fn with_query_log_capacity(mut self, capacity: usize) -> Self {
         self.query_log_capacity = capacity;
+        self
+    }
+
+    /// A copy of this configuration with per-query trace collection turned
+    /// on or off.
+    pub fn with_collect_traces(mut self, on: bool) -> Self {
+        self.collect_traces = on;
+        self
+    }
+
+    /// A copy of this configuration with the trace ring sized to retain
+    /// `capacity` recent traces.
+    pub fn with_trace_capacity(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
         self
     }
 
@@ -195,6 +222,9 @@ mod tests {
         c = SciborqConfig::default();
         c.query_log_capacity = 0;
         assert!(c.validate().is_err());
+        c = SciborqConfig::default();
+        c.trace_capacity = 0;
+        assert!(c.validate().is_err());
     }
 
     #[test]
@@ -209,6 +239,17 @@ mod tests {
         assert_eq!(SciborqConfig::default().query_log_capacity, 10_000);
         let c = SciborqConfig::default().with_query_log_capacity(128);
         assert_eq!(c.query_log_capacity, 128);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn trace_builders_and_defaults() {
+        let c = SciborqConfig::default();
+        assert!(!c.collect_traces);
+        assert_eq!(c.trace_capacity, 256);
+        let c = c.with_collect_traces(true).with_trace_capacity(8);
+        assert!(c.collect_traces);
+        assert_eq!(c.trace_capacity, 8);
         assert!(c.validate().is_ok());
     }
 

@@ -17,7 +17,7 @@
 //! order is fixed, so sharded answers are bit-identical to single-threaded
 //! ones.
 
-use crate::answer::{ApproximateAnswer, EvaluationLevel, SelectAnswer};
+use crate::answer::{ApproximateAnswer, EvaluationLevel, LevelEstimate, SelectAnswer};
 use crate::config::SciborqConfig;
 use crate::error::{Result, SciborqError};
 use crate::execution::QueryExecution;
@@ -174,6 +174,10 @@ impl BoundedQueryEngine {
             QueryExecution::with_parallelism(query.predicate.clone(), self.config.parallelism);
         let mut escalations = 0usize;
         let mut best: Option<(Option<f64>, Option<ConfidenceInterval>, EvaluationLevel)> = None;
+        // Per-level quality accounting, collected only when tracing is on.
+        // Strictly observational: nothing below reads `estimates` back.
+        let tracing = self.config.collect_traces;
+        let mut estimates: Vec<LevelEstimate> = Vec::new();
 
         // Escalate from the least to the most detailed admissible impression.
         for impression in hierarchy.escalation_order() {
@@ -217,13 +221,20 @@ impl BoundedQueryEngine {
                     .as_ref()
                     .map(|ci| ci.satisfies_error_bound(max_error))
                     .unwrap_or(false);
+            if tracing {
+                estimates.push(LevelEstimate {
+                    level,
+                    relative_error: interval.as_ref().map(|ci| ci.relative_half_width()),
+                    error_bound_met: met,
+                });
+            }
             best = Some((value, interval, level));
             if met {
                 let (value, interval, level) = best.expect("just set");
                 // time_bound_met is measured *after* the winning evaluation:
                 // meeting the error bound does not excuse blowing the clock.
                 let time_bound_met = time_ok();
-                return Ok(ApproximateAnswer {
+                let mut answer = ApproximateAnswer {
                     query: query.to_string(),
                     value,
                     interval,
@@ -234,7 +245,13 @@ impl BoundedQueryEngine {
                     level_scans: exec.take_level_scans(),
                     error_bound_met: true,
                     time_bound_met,
-                });
+                    trace: None,
+                };
+                if tracing {
+                    answer.trace =
+                        Some(answer.build_trace(&estimates, bounds, self.config.parallelism));
+                }
+                return Ok(answer);
             }
             // Re-check after the level: if this evaluation blew the budget,
             // escalating further would only dig the hole deeper.
@@ -270,7 +287,14 @@ impl BoundedQueryEngine {
             // Measured honesty: the base scan itself may exceed the
             // wall-clock budget even though it was admissible on entry.
             let time_bound_met = time_ok();
-            return Ok(ApproximateAnswer {
+            if tracing {
+                estimates.push(LevelEstimate {
+                    level: EvaluationLevel::BaseData,
+                    relative_error: Some(0.0),
+                    error_bound_met: true,
+                });
+            }
+            let mut answer = ApproximateAnswer {
                 query: query.to_string(),
                 value,
                 interval: value.map(ConfidenceInterval::exact),
@@ -281,7 +305,13 @@ impl BoundedQueryEngine {
                 level_scans: exec.take_level_scans(),
                 error_bound_met: true,
                 time_bound_met,
-            });
+                trace: None,
+            };
+            if tracing {
+                answer.trace =
+                    Some(answer.build_trace(&estimates, bounds, self.config.parallelism));
+            }
+            return Ok(answer);
         }
 
         // Return the best approximate answer obtained within the budget.
@@ -294,7 +324,7 @@ impl BoundedQueryEngine {
                         .map(|ci| ci.satisfies_error_bound(max_error))
                         .unwrap_or(false);
                 let time_bound_met = time_ok();
-                Ok(ApproximateAnswer {
+                let mut answer = ApproximateAnswer {
                     query: query.to_string(),
                     value,
                     interval,
@@ -305,7 +335,13 @@ impl BoundedQueryEngine {
                     level_scans: exec.take_level_scans(),
                     error_bound_met,
                     time_bound_met,
-                })
+                    trace: None,
+                };
+                if tracing {
+                    answer.trace =
+                        Some(answer.build_trace(&estimates, bounds, self.config.parallelism));
+                }
+                Ok(answer)
             }
             None => Err(SciborqError::BoundsUnsatisfiable(format!(
                 "no impression of {} fits a row budget of {:?}",
@@ -401,6 +437,7 @@ impl BoundedQueryEngine {
         };
         let exec =
             QueryExecution::with_parallelism(query.predicate.clone(), self.config.parallelism);
+        let tracing = self.config.collect_traces;
         let mut escalations = 0usize;
         let mut best: Option<(Table, f64, EvaluationLevel)> = None;
 
@@ -436,7 +473,7 @@ impl BoundedQueryEngine {
             if got_enough {
                 let (rows, estimated_total_matches, level) = best.expect("just set");
                 let time_bound_met = time_ok();
-                return Ok(SelectAnswer {
+                let mut answer = SelectAnswer {
                     query: query.to_string(),
                     rows,
                     estimated_total_matches,
@@ -446,7 +483,12 @@ impl BoundedQueryEngine {
                     elapsed: start.elapsed(),
                     level_scans: exec.take_level_scans(),
                     time_bound_met,
-                });
+                    trace: None,
+                };
+                if tracing {
+                    answer.trace = Some(answer.build_trace(bounds, self.config.parallelism));
+                }
+                return Ok(answer);
             }
             if !time_ok() {
                 break;
@@ -469,7 +511,7 @@ impl BoundedQueryEngine {
                 }
                 let rows = table.gather(&selection, format!("{}.result", table.name()))?;
                 let time_bound_met = time_ok();
-                return Ok(SelectAnswer {
+                let mut answer = SelectAnswer {
                     query: query.to_string(),
                     rows,
                     estimated_total_matches: total,
@@ -479,14 +521,19 @@ impl BoundedQueryEngine {
                     elapsed: start.elapsed(),
                     level_scans: exec.take_level_scans(),
                     time_bound_met,
-                });
+                    trace: None,
+                };
+                if tracing {
+                    answer.trace = Some(answer.build_trace(bounds, self.config.parallelism));
+                }
+                return Ok(answer);
             }
         }
 
         match best {
             Some((rows, estimated_total_matches, level)) => {
                 let time_bound_met = time_ok();
-                Ok(SelectAnswer {
+                let mut answer = SelectAnswer {
                     query: query.to_string(),
                     rows,
                     estimated_total_matches,
@@ -496,7 +543,12 @@ impl BoundedQueryEngine {
                     elapsed: start.elapsed(),
                     level_scans: exec.take_level_scans(),
                     time_bound_met,
-                })
+                    trace: None,
+                };
+                if tracing {
+                    answer.trace = Some(answer.build_trace(bounds, self.config.parallelism));
+                }
+                Ok(answer)
             }
             None => Err(SciborqError::BoundsUnsatisfiable(format!(
                 "no impression of {} fits a row budget of {:?}",
@@ -1010,6 +1062,56 @@ mod tests {
             // … and stays single-threaded in the serial run
             assert!(a.level_scans.iter().all(|l| l.shards == 1));
         }
+    }
+
+    #[test]
+    fn traces_record_escalation_and_change_no_answer_bits() {
+        let table = base_table(20_000);
+        let h = hierarchy(&table, vec![2_000, 200]);
+        let query = Query::count("photoobj", Predicate::lt("ra", 36.0));
+        let bounds = QueryBounds::max_error(1e-9);
+        let plain = engine()
+            .execute_aggregate(&query, &h, Some(&table), &bounds)
+            .unwrap();
+        assert!(plain.trace.is_none(), "tracing is off by default");
+        let traced_engine =
+            BoundedQueryEngine::new(SciborqConfig::default().with_collect_traces(true)).unwrap();
+        let traced = traced_engine
+            .execute_aggregate(&query, &h, Some(&table), &bounds)
+            .unwrap();
+        // telemetry neutrality: the answer bits are identical
+        assert_eq!(
+            plain.value.map(f64::to_bits),
+            traced.value.map(f64::to_bits)
+        );
+        assert_eq!(plain.level, traced.level);
+        assert_eq!(plain.rows_scanned, traced.rows_scanned);
+        let trace = traced.trace.expect("tracing on attaches a trace");
+        assert_eq!(trace.final_level, "base");
+        assert_eq!(trace.escalations, traced.escalations);
+        assert!(trace.error_bound_met && trace.time_bound_met);
+        assert_eq!(trace.levels.len(), 3, "both layers plus base visited");
+        assert_eq!(trace.levels[0].level, "layer-2");
+        assert_eq!(trace.levels[2].level, "base");
+        // the sampled layers missed the (tiny) bound, base met it exactly
+        assert!(!trace.levels[0].error_bound_met);
+        assert!(trace.levels[2].error_bound_met);
+        assert_eq!(trace.levels[2].relative_error, Some(0.0));
+        assert!(trace.levels.iter().all(|l| l.rows_scanned > 0));
+        assert_eq!(trace.requested_error, Some(1e-9));
+        assert!(
+            trace.admission.is_none(),
+            "direct engine calls skip admission"
+        );
+
+        // SELECT traces carry levels too
+        let sel = Query::select("photoobj", Predicate::lt("ra", 36.0)).with_limit(10);
+        let answer = traced_engine
+            .execute_select(&sel, &h, Some(&table), &QueryBounds::default())
+            .unwrap();
+        let trace = answer.trace.expect("select trace");
+        assert!(!trace.levels.is_empty());
+        assert_eq!(trace.final_level, answer.level.name());
     }
 
     #[test]

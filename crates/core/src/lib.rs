@@ -78,7 +78,7 @@ pub mod maintenance;
 pub mod policy;
 pub mod session;
 
-pub use answer::{ApproximateAnswer, EvaluationLevel, LevelScan, SelectAnswer};
+pub use answer::{ApproximateAnswer, EvaluationLevel, LevelEstimate, LevelScan, SelectAnswer};
 pub use builder::ImpressionBuilder;
 pub use config::{SciborqConfig, StorageClass};
 pub use engine::{BoundedQueryEngine, QueryBounds};
@@ -89,3 +89,8 @@ pub use layer::LayerHierarchy;
 pub use maintenance::{AdaptiveMaintainer, MaintenanceDecision};
 pub use policy::SamplingPolicy;
 pub use session::{ExplorationSession, QueryOutcome, ScanProfile};
+
+// Telemetry types that appear in core signatures (answer traces, session
+// metrics), re-exported so downstream crates need not name the telemetry
+// crate for ordinary use.
+pub use sciborq_telemetry::{AdmissionTrace, MetricsRegistry, MetricsSnapshot, QueryTrace};

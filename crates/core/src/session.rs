@@ -23,6 +23,9 @@ use crate::maintenance::{AdaptiveMaintainer, MaintenanceDecision};
 use crate::policy::SamplingPolicy;
 use parking_lot::{Mutex, MutexGuard, RwLock};
 use sciborq_columnar::{Catalog, RecordBatch};
+use sciborq_telemetry::{
+    AdmissionTrace, Counter, Histogram, MetricsRegistry, MetricsSnapshot, QueryTrace, TraceRing,
+};
 use sciborq_workload::{AttributeDomain, PredicateSet, Query, QueryKind, QueryLog};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -94,6 +97,42 @@ impl ScanProfile {
     }
 }
 
+/// The session's cached handles into its metrics registry: engine-side
+/// signals are recorded once per query through these (one relaxed atomic
+/// each), never through a by-name registry lookup on the hot path.
+#[derive(Debug)]
+struct EngineMetrics {
+    /// `engine.queries` — queries executed (including failed ones).
+    queries: Arc<Counter>,
+    /// `engine.query_errors` — queries that returned an error.
+    query_errors: Arc<Counter>,
+    /// `engine.escalations` — escalations to more detailed levels.
+    escalations: Arc<Counter>,
+    /// `engine.rows_scanned` — row positions visited, all levels.
+    rows_scanned: Arc<Counter>,
+    /// `engine.query_micros` — wall time per answered query.
+    query_micros: Arc<Histogram>,
+    /// `engine.error_bound_missed` — answers returned with the requested
+    /// error bound not met.
+    error_bound_missed: Arc<Counter>,
+    /// `engine.time_bound_missed` — answers returned past their budget.
+    time_bound_missed: Arc<Counter>,
+}
+
+impl EngineMetrics {
+    fn register(registry: &MetricsRegistry) -> Self {
+        EngineMetrics {
+            queries: registry.counter("engine.queries"),
+            query_errors: registry.counter("engine.query_errors"),
+            escalations: registry.counter("engine.escalations"),
+            rows_scanned: registry.counter("engine.rows_scanned"),
+            query_micros: registry.histogram("engine.query_micros"),
+            error_bound_missed: registry.counter("engine.error_bound_missed"),
+            time_bound_missed: registry.counter("engine.time_bound_missed"),
+        }
+    }
+}
+
 /// A SciBORQ exploration session over a warehouse catalog.
 #[derive(Debug)]
 pub struct ExplorationSession {
@@ -105,6 +144,9 @@ pub struct ExplorationSession {
     hierarchies: RwLock<BTreeMap<String, Arc<LayerHierarchy>>>,
     maintainer: Mutex<AdaptiveMaintainer>,
     rebuilds: AtomicU64,
+    metrics: Arc<MetricsRegistry>,
+    engine_metrics: EngineMetrics,
+    traces: TraceRing,
 }
 
 impl ExplorationSession {
@@ -122,6 +164,9 @@ impl ExplorationSession {
         let engine = BoundedQueryEngine::new(config.clone())?;
         let predicate_set = PredicateSet::new(tracked_attributes)?;
         let query_log = QueryLog::new(config.query_log_capacity);
+        let metrics = Arc::new(MetricsRegistry::new());
+        let engine_metrics = EngineMetrics::register(&metrics);
+        let traces = TraceRing::new(config.trace_capacity);
         Ok(ExplorationSession {
             catalog,
             config,
@@ -131,6 +176,9 @@ impl ExplorationSession {
             hierarchies: RwLock::new(BTreeMap::new()),
             maintainer: Mutex::new(AdaptiveMaintainer::new()),
             rebuilds: AtomicU64::new(0),
+            metrics,
+            engine_metrics,
+            traces,
         })
     }
 
@@ -163,6 +211,26 @@ impl ExplorationSession {
     /// Number of adaptive rebuilds performed so far.
     pub fn rebuilds(&self) -> u64 {
         self.rebuilds.load(Ordering::Relaxed)
+    }
+
+    /// The session's metrics registry. Engine-side signals
+    /// (`engine.queries`, `engine.rows_scanned[.<level>]`,
+    /// `engine.query_micros`, …) are registered here; a serving layer adds
+    /// its own metrics to the same registry so one snapshot covers the
+    /// whole process.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// A point-in-time freeze of every registered metric.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// The most recent `limit` query traces, newest first. Empty unless the
+    /// configuration's `collect_traces` knob is on.
+    pub fn recent_traces(&self, limit: usize) -> Vec<QueryTrace> {
+        self.traces.recent(limit)
     }
 
     /// The hierarchy built for a table, if any (a snapshot: concurrent
@@ -261,6 +329,19 @@ impl ExplorationSession {
     /// predicate set), evaluated through the bounded engine, and the answer
     /// returned.
     pub fn execute(&self, query: &Query, bounds: &QueryBounds) -> Result<QueryOutcome> {
+        self.execute_with_admission(query, bounds, None)
+    }
+
+    /// [`ExplorationSession::execute`], with the serving layer's admission
+    /// verdict attached: when tracing is on, `admission` is stamped onto the
+    /// answer's trace (queue wait, downgrade, priced cost) before the trace
+    /// is retained in the session's ring.
+    pub fn execute_with_admission(
+        &self,
+        query: &Query,
+        bounds: &QueryBounds,
+        admission: Option<AdmissionTrace>,
+    ) -> Result<QueryOutcome> {
         self.query_log.lock().record(query.clone());
         self.predicate_set.lock().log_query(query);
 
@@ -269,16 +350,18 @@ impl ExplorationSession {
         let base_guard = base_handle.as_ref().map(|h| h.read());
         let base_table = base_guard.as_deref();
 
-        match query.kind {
-            QueryKind::Select => Ok(QueryOutcome::Rows(
-                self.engine
-                    .execute_select(query, &hierarchy, base_table, bounds)?,
-            )),
-            QueryKind::Aggregate { .. } => Ok(QueryOutcome::Aggregate(
-                self.engine
-                    .execute_aggregate(query, &hierarchy, base_table, bounds)?,
-            )),
-        }
+        let mut result = match query.kind {
+            QueryKind::Select => self
+                .engine
+                .execute_select(query, &hierarchy, base_table, bounds)
+                .map(QueryOutcome::Rows),
+            QueryKind::Aggregate { .. } => self
+                .engine
+                .execute_aggregate(query, &hierarchy, base_table, bounds)
+                .map(QueryOutcome::Aggregate),
+        };
+        self.observe_outcome(&mut result, admission);
+        result
     }
 
     /// Execute with the session's default bounds (the configured default
@@ -301,6 +384,18 @@ impl ExplorationSession {
     /// evaluated individually (their materialised selections cannot share a
     /// sink).
     pub fn execute_batch(&self, requests: &[(Query, QueryBounds)]) -> Vec<Result<QueryOutcome>> {
+        self.execute_batch_with_admission(requests, &[])
+    }
+
+    /// [`ExplorationSession::execute_batch`], with per-request admission
+    /// verdicts from the serving layer: `admissions[i]` (when present) is
+    /// stamped onto request `i`'s trace. A shorter-than-`requests` slice
+    /// leaves the tail untouched, so direct callers pass `&[]`.
+    pub fn execute_batch_with_admission(
+        &self,
+        requests: &[(Query, QueryBounds)],
+        admissions: &[Option<AdmissionTrace>],
+    ) -> Vec<Result<QueryOutcome>> {
         {
             let mut query_log = self.query_log.lock();
             let mut predicate_set = self.predicate_set.lock();
@@ -362,8 +457,71 @@ impl ExplorationSession {
 
         results
             .into_iter()
-            .map(|r| r.expect("every request answered"))
+            .enumerate()
+            .map(|(i, r)| {
+                let mut result = r.expect("every request answered");
+                self.observe_outcome(&mut result, admissions.get(i).cloned().flatten());
+                result
+            })
             .collect()
+    }
+
+    /// Record a finished query into the metrics registry and — when a trace
+    /// was collected — stamp the admission verdict onto it and retain it in
+    /// the trace ring. Observation only: the result's answer bits are never
+    /// touched.
+    fn observe_outcome(
+        &self,
+        result: &mut Result<QueryOutcome>,
+        admission: Option<AdmissionTrace>,
+    ) {
+        let m = &self.engine_metrics;
+        m.queries.inc();
+        let outcome = match result {
+            Ok(outcome) => outcome,
+            Err(_) => {
+                m.query_errors.inc();
+                return;
+            }
+        };
+        let (escalations, rows_scanned, elapsed, level_scans, bounds_missed, trace) = match outcome
+        {
+            QueryOutcome::Aggregate(a) => (
+                a.escalations,
+                a.rows_scanned,
+                a.elapsed,
+                &a.level_scans,
+                (!a.error_bound_met, !a.time_bound_met),
+                &mut a.trace,
+            ),
+            QueryOutcome::Rows(r) => (
+                r.escalations,
+                r.rows_scanned,
+                r.elapsed,
+                &r.level_scans,
+                (false, !r.time_bound_met),
+                &mut r.trace,
+            ),
+        };
+        m.escalations.add(escalations as u64);
+        m.rows_scanned.add(rows_scanned);
+        for scan in level_scans {
+            self.metrics
+                .counter(&format!("engine.rows_scanned.{}", scan.level.name()))
+                .add(scan.rows_scanned);
+        }
+        m.query_micros
+            .observe(u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX));
+        if bounds_missed.0 {
+            m.error_bound_missed.inc();
+        }
+        if bounds_missed.1 {
+            m.time_bound_missed.inc();
+        }
+        if let Some(trace) = trace {
+            trace.admission = admission;
+            self.traces.record(trace.clone());
+        }
     }
 
     /// Check whether the workload focus has shifted beyond the adaptation
@@ -674,6 +832,83 @@ mod tests {
             serial.query_log().total_recorded(),
             batched.query_log().total_recorded()
         );
+    }
+
+    #[test]
+    fn session_records_metrics_per_query() {
+        let s = session(20_000);
+        s.create_impressions("photoobj", SamplingPolicy::Uniform)
+            .unwrap();
+        // one answered query escalating into the base data, one typed error
+        let q = Query::count("photoobj", Predicate::lt("objid", 101.0));
+        s.execute(&q, &QueryBounds::max_error(1e-9)).unwrap();
+        let bad = Query::count("photoobj", Predicate::True);
+        let _ = s.execute(&bad, &QueryBounds::row_budget(10)).unwrap_err();
+
+        let snap = s.metrics_snapshot();
+        assert_eq!(snap.counter("engine.queries"), Some(2));
+        assert_eq!(snap.counter("engine.query_errors"), Some(1));
+        assert!(snap.counter("engine.escalations").unwrap() >= 2);
+        assert!(snap.counter("engine.rows_scanned").unwrap() >= 20_000);
+        // per-level counters exist for every visited level
+        assert!(snap.counter("engine.rows_scanned.base").unwrap() >= 20_000);
+        assert!(snap.counter("engine.rows_scanned.layer-1").unwrap() > 0);
+        assert!(snap.counter("engine.rows_scanned.layer-2").unwrap() > 0);
+        let hist = snap.histogram("engine.query_micros").unwrap();
+        assert_eq!(hist.count, 1, "only answered queries are timed");
+        assert_eq!(snap.counter("engine.error_bound_missed"), Some(0));
+        assert_eq!(snap.counter("engine.time_bound_missed"), Some(0));
+    }
+
+    #[test]
+    fn session_retains_traces_with_admission_stamp() {
+        let config = SciborqConfig::with_layers(vec![2_000, 200])
+            .with_collect_traces(true)
+            .with_trace_capacity(2);
+        let s = ExplorationSession::new(
+            catalog_with_base(20_000),
+            config,
+            &[("ra", AttributeDomain::new(0.0, 360.0, 36))],
+        )
+        .unwrap();
+        s.create_impressions("photoobj", SamplingPolicy::Uniform)
+            .unwrap();
+        assert!(s.recent_traces(10).is_empty());
+
+        let q = Query::count("photoobj", Predicate::lt("ra", 90.0));
+        let admission = AdmissionTrace {
+            outcome: "downgraded".to_owned(),
+            queue_wait: std::time::Duration::from_micros(42),
+            cost_rows: 2_000,
+        };
+        let outcome = s
+            .execute_with_admission(&q, &QueryBounds::max_error(0.1), Some(admission.clone()))
+            .unwrap();
+        // the admission verdict rides on both the answer's trace and the ring
+        let answer_trace = outcome.as_aggregate().unwrap().trace.as_ref().unwrap();
+        assert_eq!(answer_trace.admission, Some(admission.clone()));
+        let recent = s.recent_traces(10);
+        assert_eq!(recent.len(), 1);
+        assert_eq!(recent[0], *answer_trace);
+
+        // the ring is bounded: capacity 2 retains only the newest traces
+        for _ in 0..3 {
+            s.execute(&q, &QueryBounds::max_error(0.1)).unwrap();
+        }
+        let recent = s.recent_traces(10);
+        assert_eq!(recent.len(), 2);
+        assert!(recent.iter().all(|t| t.admission.is_none()));
+
+        // batch execution stamps per-request admissions the same way
+        let requests = vec![
+            (q.clone(), QueryBounds::max_error(0.1)),
+            (q.clone(), QueryBounds::max_error(0.1)),
+        ];
+        let outcomes = s.execute_batch_with_admission(&requests, &[Some(admission.clone()), None]);
+        let first = outcomes[0].as_ref().unwrap().as_aggregate().unwrap();
+        assert_eq!(first.trace.as_ref().unwrap().admission, Some(admission));
+        let second = outcomes[1].as_ref().unwrap().as_aggregate().unwrap();
+        assert_eq!(second.trace.as_ref().unwrap().admission, None);
     }
 
     #[test]

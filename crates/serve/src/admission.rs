@@ -14,9 +14,11 @@
 //! Uses `std::sync` primitives (the waiting queue needs a condition
 //! variable).
 
-use sciborq_core::{QueryBounds, ScanProfile};
+use sciborq_core::{MetricsRegistry, QueryBounds, ScanProfile};
+use sciborq_telemetry::{Counter, Gauge, Histogram};
 use std::fmt;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Why a query was shed instead of served.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,6 +74,20 @@ pub struct Admission {
     pub bounds: QueryBounds,
     /// Whether the row budget was tightened to fit the global budget.
     pub downgraded: bool,
+    /// Time the query spent blocked on the admission queue before its cost
+    /// was reserved (zero when admitted immediately).
+    pub queued: Duration,
+}
+
+/// The admission controller's registered metric handles.
+#[derive(Debug)]
+struct AdmissionMetrics {
+    /// `serve.queue_depth` — queries currently blocked waiting for budget.
+    queue_depth: Arc<Gauge>,
+    /// `serve.queue_wait_micros` — measured waits of queued queries.
+    queue_wait_micros: Arc<Histogram>,
+    /// `serve.queued` — queries that had to wait at all.
+    queued: Arc<Counter>,
 }
 
 #[derive(Debug, Default)]
@@ -88,6 +104,7 @@ pub struct AdmissionController {
     allow_downgrade: bool,
     state: Mutex<State>,
     available: Condvar,
+    metrics: Option<AdmissionMetrics>,
 }
 
 impl AdmissionController {
@@ -101,7 +118,20 @@ impl AdmissionController {
             allow_downgrade,
             state: Mutex::new(State::default()),
             available: Condvar::new(),
+            metrics: None,
         }
+    }
+
+    /// Register this controller's queue metrics (`serve.queue_depth`,
+    /// `serve.queue_wait_micros`, `serve.queued`) in `registry` and record
+    /// into them from now on.
+    pub fn with_metrics(mut self, registry: &MetricsRegistry) -> Self {
+        self.metrics = Some(AdmissionMetrics {
+            queue_depth: registry.gauge("serve.queue_depth"),
+            queue_wait_micros: registry.histogram("serve.queue_wait_micros"),
+            queued: registry.counter("serve.queued"),
+        });
+        self
     }
 
     /// Total priced cost currently in flight.
@@ -128,6 +158,7 @@ impl AdmissionController {
                 cost_rows: worst,
                 bounds: *bounds,
                 downgraded: false,
+                queued: Duration::ZERO,
             });
         };
 
@@ -158,6 +189,7 @@ impl AdmissionController {
             (worst, *bounds, false)
         };
 
+        let mut queued = Duration::ZERO;
         let mut state = self.state.lock().unwrap();
         if state.in_flight_rows + cost > budget {
             if state.waiting >= self.max_waiting {
@@ -174,17 +206,29 @@ impl AdmissionController {
                     },
                 });
             }
+            let wait_started = Instant::now();
             state.waiting += 1;
+            if let Some(m) = &self.metrics {
+                m.queued.inc();
+                m.queue_depth.add(1);
+            }
             while state.in_flight_rows + cost > budget {
                 state = self.available.wait(state).unwrap();
             }
             state.waiting -= 1;
+            queued = wait_started.elapsed();
+            if let Some(m) = &self.metrics {
+                m.queue_depth.sub(1);
+                m.queue_wait_micros
+                    .observe(u64::try_from(queued.as_micros()).unwrap_or(u64::MAX));
+            }
         }
         state.in_flight_rows += cost;
         Ok(Admission {
             cost_rows: cost,
             bounds,
             downgraded,
+            queued,
         })
     }
 
@@ -278,6 +322,38 @@ mod tests {
             .unwrap();
         assert_eq!(adm.cost_rows, 0);
         assert!(!adm.downgraded);
+    }
+
+    #[test]
+    fn queued_wait_is_measured_and_recorded() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let ctl = Arc::new(AdmissionController::new(Some(25_000), 4, true).with_metrics(&registry));
+        // immediate admission reports a zero queue wait and records nothing
+        let first = ctl.admit("t", &profile(), &QueryBounds::default()).unwrap();
+        assert_eq!(first.queued, Duration::ZERO);
+        assert_eq!(registry.snapshot().counter("serve.queued"), Some(0));
+
+        let waiter = {
+            let ctl = Arc::clone(&ctl);
+            std::thread::spawn(move || {
+                let adm = ctl.admit("t", &profile(), &QueryBounds::default()).unwrap();
+                ctl.release(adm.cost_rows);
+                adm.queued
+            })
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        ctl.release(first.cost_rows);
+        let queued = waiter.join().unwrap();
+        assert!(
+            queued >= Duration::from_millis(10),
+            "the waiter blocked ~20ms, measured {queued:?}"
+        );
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("serve.queued"), Some(1));
+        assert_eq!(snap.gauge("serve.queue_depth"), Some(0));
+        let hist = snap.histogram("serve.queue_wait_micros").unwrap();
+        assert_eq!(hist.count, 1);
+        assert!(hist.sum >= 10_000, "wait histogram sum {}", hist.sum);
     }
 
     #[test]

@@ -2,21 +2,27 @@
 //!
 //! Builds a synthetic `photoobj` table, creates an impression hierarchy,
 //! then answers one JSON request per stdin line with one JSON response per
-//! stdout line (see [`sciborq_serve::protocol`] for the wire format).
+//! stdout line (see [`sciborq_serve::protocol`] for the wire format,
+//! including the `metrics` and `trace` introspection commands).
 //! Requests are served concurrently — each line is handed to a worker
 //! thread, so responses may interleave; match them by `id`.
+//!
+//! Diagnostics go to stderr as structured `key=value` lines
+//! (`ts=… level=… event=… …`); tune verbosity with `--log-level`.
 //!
 //! ```text
 //! sciborq-served [--rows N] [--layers A,B,...] [--policy uniform|biased]
 //!                [--parallelism N] [--shared-scans on|off]
 //!                [--global-budget N] [--queue N] [--downgrade on|off]
-//!                [--batch-window-us N]
+//!                [--batch-window-us N] [--traces on|off]
+//!                [--log-level error|warn|info|debug] [--metrics-out PATH]
 //! ```
 
 use sciborq_columnar::{Catalog, DataType, Field, Schema, Table, Value};
 use sciborq_core::{ExplorationSession, SamplingPolicy, SciborqConfig};
 use sciborq_serve::json::Json;
 use sciborq_serve::{protocol, QueryServer, ServeConfig};
+use sciborq_telemetry::{LogLevel, Logger};
 use sciborq_workload::AttributeDomain;
 use std::io::{BufRead, Write};
 use std::sync::{Arc, Mutex};
@@ -27,6 +33,9 @@ struct Options {
     layers: Vec<usize>,
     policy: SamplingPolicy,
     parallelism: usize,
+    traces: bool,
+    log_level: LogLevel,
+    metrics_out: Option<String>,
     serve: ServeConfig,
 }
 
@@ -36,6 +45,9 @@ fn parse_options() -> Result<Options, String> {
         layers: vec![20_000, 2_000],
         policy: SamplingPolicy::Uniform,
         parallelism: 1,
+        traces: true,
+        log_level: LogLevel::Info,
+        metrics_out: None,
         serve: ServeConfig::default(),
     };
     let mut args = std::env::args().skip(1);
@@ -67,6 +79,9 @@ fn parse_options() -> Result<Options, String> {
             }
             "--shared-scans" => opts.serve.shared_scans = on_off(&value()?)?,
             "--downgrade" => opts.serve.allow_downgrade = on_off(&value()?)?,
+            "--traces" => opts.traces = on_off(&value()?)?,
+            "--log-level" => opts.log_level = value()?.parse()?,
+            "--metrics-out" => opts.metrics_out = Some(value()?),
             "--global-budget" => {
                 opts.serve.global_row_budget = Some(
                     value()?
@@ -128,7 +143,9 @@ fn build_server(opts: &Options) -> Result<QueryServer, String> {
     catalog
         .register(synthetic_photoobj(opts.rows))
         .map_err(|e| e.to_string())?;
-    let config = SciborqConfig::with_layers(opts.layers.clone()).with_parallelism(opts.parallelism);
+    let config = SciborqConfig::with_layers(opts.layers.clone())
+        .with_parallelism(opts.parallelism)
+        .with_collect_traces(opts.traces);
     let session = ExplorationSession::new(
         catalog,
         config,
@@ -148,20 +165,26 @@ fn main() {
     let opts = match parse_options() {
         Ok(opts) => opts,
         Err(message) => {
-            eprintln!("sciborq-served: {message}");
+            Logger::new(LogLevel::Info).error("bad_flags", &[("message", message)]);
             std::process::exit(2);
         }
     };
+    let logger = Logger::new(opts.log_level);
     let server = match build_server(&opts) {
         Ok(server) => Arc::new(server),
         Err(message) => {
-            eprintln!("sciborq-served: {message}");
+            logger.error("startup_failed", &[("message", message)]);
             std::process::exit(1);
         }
     };
-    eprintln!(
-        "sciborq-served: photoobj ready ({} rows, layers {:?}); reading requests from stdin",
-        opts.rows, opts.layers
+    logger.info(
+        "ready",
+        &[
+            ("table", "photoobj".to_owned()),
+            ("rows", opts.rows.to_string()),
+            ("layers", format!("{:?}", opts.layers)),
+            ("traces", if opts.traces { "on" } else { "off" }.to_owned()),
+        ],
     );
 
     let stdout = Arc::new(Mutex::new(std::io::stdout()));
@@ -178,11 +201,29 @@ fn main() {
         let stdout = Arc::clone(&stdout);
         workers.push(std::thread::spawn(move || {
             let response = match protocol::parse_request(&line) {
-                Ok(request) => {
-                    let reply = server.submit(request.query, request.bounds);
-                    protocol::render_reply(&request.id, &reply)
+                Ok(protocol::Request::Query { id, query, bounds }) => {
+                    logger.debug(
+                        "query",
+                        &[("table", query.table.clone()), ("id", id.render())],
+                    );
+                    let reply = server.submit(*query, bounds);
+                    protocol::render_reply(&id, &reply)
                 }
-                Err(message) => protocol::render_protocol_error(&Json::Null, &message),
+                Ok(protocol::Request::Metrics { id }) => {
+                    logger.debug("metrics", &[("id", id.render())]);
+                    protocol::render_metrics(&id, &server.metrics_snapshot())
+                }
+                Ok(protocol::Request::Trace { id, limit }) => {
+                    logger.debug(
+                        "trace",
+                        &[("id", id.render()), ("limit", limit.to_string())],
+                    );
+                    protocol::render_traces(&id, &server.recent_traces(limit))
+                }
+                Err(message) => {
+                    logger.warn("bad_request", &[("message", message.clone())]);
+                    protocol::render_protocol_error(&Json::Null, &message)
+                }
             };
             let mut out = stdout.lock().unwrap();
             let _ = writeln!(out, "{response}");
@@ -192,9 +233,24 @@ fn main() {
     for worker in workers {
         let _ = worker.join();
     }
+    if let Some(path) = &opts.metrics_out {
+        let snapshot = server.metrics_snapshot().to_json();
+        match std::fs::write(path, snapshot + "\n") {
+            Ok(()) => logger.info("metrics_written", &[("path", path.clone())]),
+            Err(err) => logger.error(
+                "metrics_write_failed",
+                &[("path", path.clone()), ("message", err.to_string())],
+            ),
+        }
+    }
     let stats = server.stats();
-    eprintln!(
-        "sciborq-served: served={} rejected={} downgraded={} shared_batches={}",
-        stats.served, stats.rejected, stats.downgraded, stats.shared_batches
+    logger.info(
+        "shutdown",
+        &[
+            ("served", stats.served.to_string()),
+            ("rejected", stats.rejected.to_string()),
+            ("downgraded", stats.downgraded.to_string()),
+            ("shared_batches", stats.shared_batches.to_string()),
+        ],
     );
 }

@@ -22,7 +22,11 @@
 //!
 //! The [`protocol`] module defines a line-delimited JSON wire format
 //! (hand-rolled in [`json`]; no external JSON dependency) used by the
-//! `sciborq-served` binary for stdio serving.
+//! `sciborq-served` binary for stdio serving. The same wire carries the
+//! introspection commands `metrics` (live registry snapshot) and `trace`
+//! (recent per-query escalation traces); replies report the admission
+//! queue wait as `queued_micros` and, when trace collection is on, embed
+//! the full [`QueryTrace`](sciborq_core::QueryTrace).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -16,11 +16,22 @@
 //! `eq`, `ne`, `between` (`low`/`high`), `is_null`, `is_not_null`, `and` /
 //! `or` (`args` array), `not` (`arg`). All bounds fields are optional.
 //!
+//! Besides queries, two introspection commands share the wire:
+//!
+//! * `{"id":8,"cmd":"metrics"}` — a snapshot of the server's metrics
+//!   registry: `{"id":8,"status":"ok","metrics":{"engine.queries":3,...}}`
+//!   (histograms render as `{count,sum,p50,p90,p99}` objects).
+//! * `{"id":9,"cmd":"trace","limit":4}` — the most recent per-query
+//!   escalation traces, newest first (`limit` defaults to 16):
+//!   `{"id":9,"status":"ok","traces":[{...}]}`.
+//!
 //! One response object per line, `id` echoed:
 //!
 //! * `{"id":7,"status":"ok","answer":{...}}` — value, interval, level,
-//!   measured `rows_scanned` / `elapsed_us` and the honesty flags
-//!   `error_bound_met` / `time_bound_met` / `downgraded`.
+//!   measured `rows_scanned` / `elapsed_us` / `queued_micros` and the
+//!   honesty flags `error_bound_met` / `time_bound_met` / `downgraded`.
+//!   When the server collects traces, the answer also carries a `trace`
+//!   object (admission verdict, per-level scans, bound verdicts).
 //! * `{"id":7,"status":"overloaded","reason":"cost-exceeds-budget",...}` —
 //!   the typed load-shedding answer.
 //! * `{"id":7,"status":"error","message":"..."}`
@@ -29,32 +40,68 @@ use crate::admission::Overloaded;
 use crate::json::Json;
 use crate::server::ServerReply;
 use sciborq_columnar::{AggregateKind, Predicate, Value};
-use sciborq_core::{ApproximateAnswer, EvaluationLevel, QueryBounds, SelectAnswer};
+use sciborq_core::{
+    ApproximateAnswer, EvaluationLevel, MetricsSnapshot, QueryBounds, QueryTrace, SelectAnswer,
+};
 use sciborq_workload::Query;
 use std::time::Duration;
 
-/// A parsed request: the echo id, the query and its bounds.
+/// A parsed request line: a bounded query or an introspection command.
 #[derive(Debug, Clone)]
-pub struct Request {
-    /// The client's correlation id, echoed verbatim in the response.
-    pub id: Json,
-    /// The query to execute.
-    pub query: Query,
-    /// The requested bounds.
-    pub bounds: QueryBounds,
+pub enum Request {
+    /// Execute a bounded query (boxed: queries dwarf the other variants).
+    Query {
+        /// The client's correlation id, echoed verbatim in the response.
+        id: Json,
+        /// The query to execute.
+        query: Box<Query>,
+        /// The requested bounds.
+        bounds: QueryBounds,
+    },
+    /// Snapshot the server's metrics registry.
+    Metrics {
+        /// The client's correlation id, echoed verbatim in the response.
+        id: Json,
+    },
+    /// Fetch the most recent per-query escalation traces.
+    Trace {
+        /// The client's correlation id, echoed verbatim in the response.
+        id: Json,
+        /// Maximum number of traces to return, newest first.
+        limit: usize,
+    },
 }
 
 /// Parse one request line.
 pub fn parse_request(line: &str) -> Result<Request, String> {
     let doc = Json::parse(line)?;
     let id = doc.get("id").cloned().unwrap_or(Json::Null);
+    if let Some(cmd) = doc.get("cmd") {
+        let cmd = cmd.as_str().ok_or("'cmd' must be a string")?;
+        return match cmd {
+            "metrics" => Ok(Request::Metrics { id }),
+            "trace" => {
+                let limit = match doc.get("limit").and_then(Json::as_f64) {
+                    Some(n) if n >= 1.0 => n as usize,
+                    Some(_) => return Err("'limit' must be a positive number".to_owned()),
+                    None => 16,
+                };
+                Ok(Request::Trace { id, limit })
+            }
+            other => Err(format!("unknown command '{other}'")),
+        };
+    }
     let query_doc = doc.get("query").ok_or("missing 'query'")?;
     let query = parse_query(query_doc)?;
     let bounds = match doc.get("bounds") {
         Some(bounds_doc) => parse_bounds(bounds_doc)?,
         None => QueryBounds::default(),
     };
-    Ok(Request { id, query, bounds })
+    Ok(Request::Query {
+        id,
+        query: Box::new(query),
+        bounds,
+    })
 }
 
 fn parse_query(doc: &Json) -> Result<Query, String> {
@@ -196,7 +243,17 @@ fn level_json(level: EvaluationLevel) -> Json {
     }
 }
 
-fn aggregate_json(answer: &ApproximateAnswer, downgraded: bool) -> Json {
+/// Re-parse a telemetry-rendered JSON document into the serve codec so it
+/// embeds structurally (telemetry renders strings; it owns the schema).
+fn embed_telemetry_json(rendered: &str) -> Json {
+    Json::parse(rendered).unwrap_or(Json::Null)
+}
+
+fn trace_json(trace: &QueryTrace) -> Json {
+    embed_telemetry_json(&trace.to_json())
+}
+
+fn aggregate_json(answer: &ApproximateAnswer, downgraded: bool, queued: Duration) -> Json {
     let mut fields = vec![
         ("query".to_owned(), Json::Str(answer.query.clone())),
         (
@@ -238,12 +295,19 @@ fn aggregate_json(answer: &ApproximateAnswer, downgraded: bool) -> Json {
             Json::Bool(answer.time_bound_met),
         ),
         ("downgraded".to_owned(), Json::Bool(downgraded)),
+        (
+            "queued_micros".to_owned(),
+            Json::Num(queued.as_micros() as f64),
+        ),
     ]);
+    if let Some(trace) = &answer.trace {
+        fields.push(("trace".to_owned(), trace_json(trace)));
+    }
     Json::Obj(fields)
 }
 
-fn rows_json(answer: &SelectAnswer, downgraded: bool) -> Json {
-    Json::Obj(vec![
+fn rows_json(answer: &SelectAnswer, downgraded: bool, queued: Duration) -> Json {
+    let mut fields = vec![
         ("query".to_owned(), Json::Str(answer.query.clone())),
         (
             "rows_returned".to_owned(),
@@ -267,7 +331,15 @@ fn rows_json(answer: &SelectAnswer, downgraded: bool) -> Json {
             Json::Num(answer.elapsed.as_micros() as f64),
         ),
         ("downgraded".to_owned(), Json::Bool(downgraded)),
-    ])
+        (
+            "queued_micros".to_owned(),
+            Json::Num(queued.as_micros() as f64),
+        ),
+    ];
+    if let Some(trace) = &answer.trace {
+        fields.push(("trace".to_owned(), trace_json(trace)));
+    }
+    Json::Obj(fields)
 }
 
 fn overloaded_json(o: &Overloaded) -> Vec<(String, Json)> {
@@ -288,13 +360,24 @@ fn overloaded_json(o: &Overloaded) -> Vec<(String, Json)> {
 pub fn render_reply(id: &Json, reply: &ServerReply) -> String {
     let mut fields = vec![("id".to_owned(), id.clone())];
     match reply {
-        ServerReply::Aggregate { answer, downgraded } => {
+        ServerReply::Aggregate {
+            answer,
+            downgraded,
+            queued,
+        } => {
             fields.push(("status".to_owned(), Json::Str("ok".to_owned())));
-            fields.push(("answer".to_owned(), aggregate_json(answer, *downgraded)));
+            fields.push((
+                "answer".to_owned(),
+                aggregate_json(answer, *downgraded, *queued),
+            ));
         }
-        ServerReply::Rows { answer, downgraded } => {
+        ServerReply::Rows {
+            answer,
+            downgraded,
+            queued,
+        } => {
             fields.push(("status".to_owned(), Json::Str("ok".to_owned())));
-            fields.push(("answer".to_owned(), rows_json(answer, *downgraded)));
+            fields.push(("answer".to_owned(), rows_json(answer, *downgraded, *queued)));
         }
         ServerReply::Overloaded(o) => {
             fields.push(("status".to_owned(), Json::Str("overloaded".to_owned())));
@@ -306,6 +389,32 @@ pub fn render_reply(id: &Json, reply: &ServerReply) -> String {
         }
     }
     Json::Obj(fields).render()
+}
+
+/// Render a `metrics` command response: the live registry snapshot.
+pub fn render_metrics(id: &Json, snapshot: &MetricsSnapshot) -> String {
+    Json::Obj(vec![
+        ("id".to_owned(), id.clone()),
+        ("status".to_owned(), Json::Str("ok".to_owned())),
+        (
+            "metrics".to_owned(),
+            embed_telemetry_json(&snapshot.to_json()),
+        ),
+    ])
+    .render()
+}
+
+/// Render a `trace` command response: recent traces, newest first.
+pub fn render_traces(id: &Json, traces: &[QueryTrace]) -> String {
+    Json::Obj(vec![
+        ("id".to_owned(), id.clone()),
+        ("status".to_owned(), Json::Str("ok".to_owned())),
+        (
+            "traces".to_owned(),
+            Json::Arr(traces.iter().map(trace_json).collect()),
+        ),
+    ])
+    .render()
 }
 
 /// Render a parse/protocol error as a response line.
@@ -330,28 +439,54 @@ mod tests {
                 {"op": "between", "column": "ra", "low": 10.0, "high": 20.0},
                 {"op": "not", "arg": {"op": "is_null", "column": "dec"}}]}},
             "bounds": {"max_relative_error": 0.05, "max_rows_scanned": 5000, "time_budget_ms": 2.5}}"#;
-        let req = parse_request(line).unwrap();
-        assert_eq!(req.id, Json::Num(3.0));
-        assert_eq!(req.query.table, "photoobj");
+        let Request::Query { id, query, bounds } = parse_request(line).unwrap() else {
+            panic!("expected a query request");
+        };
+        assert_eq!(id, Json::Num(3.0));
+        assert_eq!(query.table, "photoobj");
         assert!(matches!(
-            req.query.kind,
+            query.kind,
             QueryKind::Aggregate {
                 kind: AggregateKind::Sum,
                 ..
             }
         ));
-        assert!(matches!(&req.query.predicate, Predicate::And(parts) if parts.len() == 2));
-        assert_eq!(req.bounds.max_relative_error, Some(0.05));
-        assert_eq!(req.bounds.max_rows_scanned, Some(5_000));
-        assert_eq!(req.bounds.time_budget, Some(Duration::from_micros(2_500)));
+        assert!(matches!(&query.predicate, Predicate::And(parts) if parts.len() == 2));
+        assert_eq!(bounds.max_relative_error, Some(0.05));
+        assert_eq!(bounds.max_rows_scanned, Some(5_000));
+        assert_eq!(bounds.time_budget, Some(Duration::from_micros(2_500)));
     }
 
     #[test]
     fn bounds_default_when_absent() {
-        let req = parse_request(r#"{"query": {"table": "t", "kind": "count"}}"#).unwrap();
-        assert_eq!(req.id, Json::Null);
-        assert_eq!(req.bounds.max_rows_scanned, None);
-        assert!(matches!(req.query.predicate, Predicate::True));
+        let Request::Query { id, query, bounds } =
+            parse_request(r#"{"query": {"table": "t", "kind": "count"}}"#).unwrap()
+        else {
+            panic!("expected a query request");
+        };
+        assert_eq!(id, Json::Null);
+        assert_eq!(bounds.max_rows_scanned, None);
+        assert!(matches!(query.predicate, Predicate::True));
+    }
+
+    #[test]
+    fn parses_introspection_commands() {
+        assert!(matches!(
+            parse_request(r#"{"id": 1, "cmd": "metrics"}"#).unwrap(),
+            Request::Metrics { .. }
+        ));
+        let Request::Trace { limit, .. } = parse_request(r#"{"cmd": "trace"}"#).unwrap() else {
+            panic!("expected a trace request");
+        };
+        assert_eq!(limit, 16);
+        let Request::Trace { limit, .. } =
+            parse_request(r#"{"cmd": "trace", "limit": 3}"#).unwrap()
+        else {
+            panic!("expected a trace request");
+        };
+        assert_eq!(limit, 3);
+        assert!(parse_request(r#"{"cmd": "trace", "limit": 0}"#).is_err());
+        assert!(parse_request(r#"{"cmd": "flush"}"#).is_err());
     }
 
     #[test]

@@ -3,12 +3,14 @@
 use crate::admission::{Admission, AdmissionController, Overloaded};
 use crate::config::ServeConfig;
 use sciborq_core::{
-    ApproximateAnswer, ExplorationSession, QueryBounds, QueryOutcome, SciborqError, SelectAnswer,
+    AdmissionTrace, ApproximateAnswer, ExplorationSession, MetricsRegistry, MetricsSnapshot,
+    QueryBounds, QueryOutcome, QueryTrace, SciborqError, SelectAnswer,
 };
+use sciborq_telemetry::{Counter, Gauge, Histogram};
 use sciborq_workload::{Query, QueryKind};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// What a query submitted to the server comes back as.
 #[derive(Debug, Clone)]
@@ -20,6 +22,8 @@ pub enum ServerReply {
         answer: ApproximateAnswer,
         /// Whether the row budget was tightened by admission control.
         downgraded: bool,
+        /// Time the query spent blocked on the admission queue.
+        queued: Duration,
     },
     /// A row-returning answer.
     Rows {
@@ -27,6 +31,8 @@ pub enum ServerReply {
         answer: SelectAnswer,
         /// Whether the row budget was tightened by admission control.
         downgraded: bool,
+        /// Time the query spent blocked on the admission queue.
+        queued: Duration,
     },
     /// The server shed the query; the payload says exactly why.
     Overloaded(Overloaded),
@@ -57,6 +63,15 @@ impl ServerReply {
             _ => false,
         }
     }
+
+    /// Time the query behind this reply spent blocked on the admission
+    /// queue (zero for shed and failed-before-admission queries).
+    pub fn queued(&self) -> Duration {
+        match self {
+            ServerReply::Aggregate { queued, .. } | ServerReply::Rows { queued, .. } => *queued,
+            _ => Duration::ZERO,
+        }
+    }
 }
 
 /// Cumulative serving counters.
@@ -76,6 +91,8 @@ struct PendingQuery {
     query: Query,
     bounds: QueryBounds,
     downgraded: bool,
+    queued: Duration,
+    admission: AdmissionTrace,
     reply: mpsc::Sender<ServerReply>,
 }
 
@@ -85,16 +102,51 @@ struct BatchQueue {
     shutdown: bool,
 }
 
+/// The server's registered metric handles — the serving-side half of the
+/// process-wide registry the session owns (cached `Arc`s, one relaxed
+/// atomic per event).
+#[derive(Debug)]
+struct ServeMetrics {
+    /// `serve.queries_served` — queries answered by the engine (including
+    /// engine-level errors).
+    queries_served: Arc<Counter>,
+    /// `serve.queries_shed` — queries refused with a typed overload.
+    queries_shed: Arc<Counter>,
+    /// `serve.queries_downgraded` — served queries whose row budget
+    /// admission tightened.
+    queries_downgraded: Arc<Counter>,
+    /// `serve.shared_batches` — shared scan passes executed.
+    shared_batches: Arc<Counter>,
+    /// `serve.batch_size` — queries coalesced per shared pass.
+    batch_size: Arc<Histogram>,
+    /// `serve.batch_queue_depth` — aggregate queries awaiting the scheduler.
+    batch_queue_depth: Arc<Gauge>,
+    /// `serve.reply_micros` — submit-to-reply wall time (queue wait
+    /// included).
+    reply_micros: Arc<Histogram>,
+}
+
+impl ServeMetrics {
+    fn register(registry: &MetricsRegistry) -> Self {
+        ServeMetrics {
+            queries_served: registry.counter("serve.queries_served"),
+            queries_shed: registry.counter("serve.queries_shed"),
+            queries_downgraded: registry.counter("serve.queries_downgraded"),
+            shared_batches: registry.counter("serve.shared_batches"),
+            batch_size: registry.histogram("serve.batch_size"),
+            batch_queue_depth: registry.gauge("serve.batch_queue_depth"),
+            reply_micros: registry.histogram("serve.reply_micros"),
+        }
+    }
+}
+
 struct ServerInner {
     session: ExplorationSession,
     config: ServeConfig,
     admission: AdmissionController,
     queue: Mutex<BatchQueue>,
     pending: Condvar,
-    served: AtomicU64,
-    rejected: AtomicU64,
-    downgraded: AtomicU64,
-    shared_batches: AtomicU64,
+    metrics: ServeMetrics,
 }
 
 /// A long-lived front end serving concurrent bounded queries from one
@@ -124,21 +176,24 @@ impl QueryServer {
     /// thread when shared scans are enabled.
     pub fn new(session: ExplorationSession, config: ServeConfig) -> Result<Self, SciborqError> {
         config.validate().map_err(SciborqError::InvalidConfig)?;
+        // One registry for the whole process: the session already owns it
+        // and registered the engine metrics; admission and the server add
+        // theirs, so one snapshot covers every layer.
+        let registry = Arc::clone(session.metrics());
         let admission = AdmissionController::new(
             config.global_row_budget,
             config.max_waiting,
             config.allow_downgrade,
-        );
+        )
+        .with_metrics(&registry);
+        let metrics = ServeMetrics::register(&registry);
         let inner = Arc::new(ServerInner {
             session,
             config,
             admission,
             queue: Mutex::new(BatchQueue::default()),
             pending: Condvar::new(),
-            served: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
-            downgraded: AtomicU64::new(0),
-            shared_batches: AtomicU64::new(0),
+            metrics,
         });
         let scheduler = if inner.config.shared_scans {
             let worker = Arc::clone(&inner);
@@ -159,19 +214,34 @@ impl QueryServer {
         &self.inner.session
     }
 
-    /// Cumulative serving counters.
+    /// Cumulative serving counters (read from the metrics registry — one
+    /// implementation behind both this accessor and the `metrics` command).
     pub fn stats(&self) -> ServeStats {
+        let m = &self.inner.metrics;
         ServeStats {
-            served: self.inner.served.load(Ordering::Relaxed),
-            rejected: self.inner.rejected.load(Ordering::Relaxed),
-            downgraded: self.inner.downgraded.load(Ordering::Relaxed),
-            shared_batches: self.inner.shared_batches.load(Ordering::Relaxed),
+            served: m.queries_served.get(),
+            rejected: m.queries_shed.get(),
+            downgraded: m.queries_downgraded.get(),
+            shared_batches: m.shared_batches.get(),
         }
+    }
+
+    /// A point-in-time freeze of every metric the engine, admission
+    /// controller and server registered.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.inner.session.metrics_snapshot()
+    }
+
+    /// The most recent `limit` query traces, newest first (empty unless the
+    /// session config's `collect_traces` knob is on).
+    pub fn recent_traces(&self, limit: usize) -> Vec<QueryTrace> {
+        self.inner.session.recent_traces(limit)
     }
 
     /// Submit a bounded query and block until its reply.
     pub fn submit(&self, query: Query, bounds: QueryBounds) -> ServerReply {
         let inner = &self.inner;
+        let started = Instant::now();
 
         // Price the query. When no hierarchy (or table) exists the direct
         // execution path produces the same typed error the pricing did —
@@ -179,8 +249,12 @@ impl QueryServer {
         let profile = match inner.session.scan_profile(&query.table) {
             Ok(profile) => profile,
             Err(_) => {
-                let reply = Self::direct_reply(inner.session.execute(&query, &bounds), false);
-                inner.served.fetch_add(1, Ordering::Relaxed);
+                let reply = Self::direct_reply(
+                    inner.session.execute(&query, &bounds),
+                    false,
+                    Duration::ZERO,
+                );
+                inner.metrics.queries_served.inc();
                 return reply;
             }
         };
@@ -188,18 +262,35 @@ impl QueryServer {
         let admission = match inner.admission.admit(&query.table, &profile, &bounds) {
             Ok(admission) => admission,
             Err(overloaded) => {
-                inner.rejected.fetch_add(1, Ordering::Relaxed);
+                inner.metrics.queries_shed.inc();
                 return ServerReply::Overloaded(overloaded);
             }
         };
 
         let reply = self.dispatch(query, &admission);
         inner.admission.release(admission.cost_rows);
-        inner.served.fetch_add(1, Ordering::Relaxed);
+        inner.metrics.queries_served.inc();
         if reply.downgraded() {
-            inner.downgraded.fetch_add(1, Ordering::Relaxed);
+            inner.metrics.queries_downgraded.inc();
         }
+        inner
+            .metrics
+            .reply_micros
+            .observe(u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX));
         reply
+    }
+
+    /// The admission verdict as the engine's traces record it.
+    fn admission_trace(admission: &Admission) -> AdmissionTrace {
+        AdmissionTrace {
+            outcome: if admission.downgraded {
+                "downgraded".to_owned()
+            } else {
+                "admitted".to_owned()
+            },
+            queue_wait: admission.queued,
+            cost_rows: admission.cost_rows,
+        }
     }
 
     fn dispatch(&self, query: Query, admission: &Admission) -> ServerReply {
@@ -209,8 +300,13 @@ impl QueryServer {
             && self.scheduler.is_some();
         if !shared {
             return Self::direct_reply(
-                inner.session.execute(&query, &admission.bounds),
+                inner.session.execute_with_admission(
+                    &query,
+                    &admission.bounds,
+                    Some(Self::admission_trace(admission)),
+                ),
                 admission.downgraded,
+                admission.queued,
             );
         }
         let (tx, rx) = mpsc::channel();
@@ -220,8 +316,14 @@ impl QueryServer {
                 query,
                 bounds: admission.bounds,
                 downgraded: admission.downgraded,
+                queued: admission.queued,
+                admission: Self::admission_trace(admission),
                 reply: tx,
             });
+            inner
+                .metrics
+                .batch_queue_depth
+                .set(queue.items.len() as i64);
         }
         inner.pending.notify_one();
         rx.recv().unwrap_or_else(|_| {
@@ -231,10 +333,22 @@ impl QueryServer {
         })
     }
 
-    fn direct_reply(result: Result<QueryOutcome, SciborqError>, downgraded: bool) -> ServerReply {
+    fn direct_reply(
+        result: Result<QueryOutcome, SciborqError>,
+        downgraded: bool,
+        queued: Duration,
+    ) -> ServerReply {
         match result {
-            Ok(QueryOutcome::Aggregate(answer)) => ServerReply::Aggregate { answer, downgraded },
-            Ok(QueryOutcome::Rows(answer)) => ServerReply::Rows { answer, downgraded },
+            Ok(QueryOutcome::Aggregate(answer)) => ServerReply::Aggregate {
+                answer,
+                downgraded,
+                queued,
+            },
+            Ok(QueryOutcome::Rows(answer)) => ServerReply::Rows {
+                answer,
+                downgraded,
+                queued,
+            },
             Err(err) => ServerReply::Failed(err),
         }
     }
@@ -256,19 +370,26 @@ impl ServerInner {
                 std::thread::sleep(self.config.batch_window);
                 let mut queue = self.queue.lock().unwrap();
                 let take = queue.items.len().min(self.config.max_batch);
-                queue.items.drain(..take).collect::<Vec<_>>()
+                let drained = queue.items.drain(..take).collect::<Vec<_>>();
+                self.metrics.batch_queue_depth.set(queue.items.len() as i64);
+                drained
             };
             if drained.is_empty() {
                 continue;
             }
-            self.shared_batches.fetch_add(1, Ordering::Relaxed);
+            self.metrics.shared_batches.inc();
+            self.metrics.batch_size.observe(drained.len() as u64);
             let requests: Vec<(Query, QueryBounds)> = drained
                 .iter()
                 .map(|p| (p.query.clone(), p.bounds))
                 .collect();
-            let results = self.session.execute_batch(&requests);
+            let admissions: Vec<Option<AdmissionTrace>> =
+                drained.iter().map(|p| Some(p.admission.clone())).collect();
+            let results = self
+                .session
+                .execute_batch_with_admission(&requests, &admissions);
             for (pending, result) in drained.into_iter().zip(results) {
-                let reply = QueryServer::direct_reply(result, pending.downgraded);
+                let reply = QueryServer::direct_reply(result, pending.downgraded, pending.queued);
                 // a client that gave up is not an error
                 let _ = pending.reply.send(reply);
             }

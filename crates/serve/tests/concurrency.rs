@@ -281,7 +281,9 @@ fn unfittable_queries_downgrade_with_a_flag_or_shed_typed() {
         QueryBounds::max_error(0.5),
     );
     match &reply {
-        ServerReply::Aggregate { answer, downgraded } => {
+        ServerReply::Aggregate {
+            answer, downgraded, ..
+        } => {
             assert!(*downgraded, "tightened bounds must be flagged");
             // the 200-row layer is escalation level 1 (least detailed);
             // with a 200-row budget the engine cannot go deeper

@@ -1,0 +1,192 @@
+//! End-to-end introspection: the `metrics` and `trace` protocol commands
+//! reflect live registry contents and complete per-level traces, and served
+//! replies carry `queued_micros`.
+
+use sciborq_columnar::{Catalog, DataType, Field, Predicate, Schema, Table, Value};
+use sciborq_core::{ExplorationSession, QueryBounds, SamplingPolicy, SciborqConfig};
+use sciborq_serve::json::Json;
+use sciborq_serve::{protocol, QueryServer, ServeConfig, ServerReply};
+use sciborq_workload::{AttributeDomain, Query};
+
+fn photoobj(rows: usize) -> Table {
+    let schema = Schema::shared(vec![
+        Field::new("objid", DataType::Int64),
+        Field::new("ra", DataType::Float64),
+    ])
+    .unwrap();
+    let mut table = Table::new("photoobj", schema);
+    for i in 0..rows as i64 {
+        let ra = (i as f64 * 137.507_764).rem_euclid(360.0);
+        table
+            .append_row(&[Value::Int64(i), Value::Float64(ra)])
+            .unwrap();
+    }
+    table
+}
+
+fn server(traces: bool) -> QueryServer {
+    let catalog = Catalog::new();
+    catalog.register(photoobj(20_000)).unwrap();
+    let config = SciborqConfig::with_layers(vec![2_000, 200]).with_collect_traces(traces);
+    let session = ExplorationSession::new(
+        catalog,
+        config,
+        &[("ra", AttributeDomain::new(0.0, 360.0, 36))],
+    )
+    .unwrap();
+    session
+        .create_impressions("photoobj", SamplingPolicy::Uniform)
+        .unwrap();
+    QueryServer::new(session, ServeConfig::default()).unwrap()
+}
+
+/// Drive a parsed protocol request against the server the way the binary's
+/// worker loop does, returning the rendered response line.
+fn roundtrip(server: &QueryServer, line: &str) -> Json {
+    let rendered = match protocol::parse_request(line).unwrap() {
+        protocol::Request::Query { id, query, bounds } => {
+            let reply = server.submit(*query, bounds);
+            protocol::render_reply(&id, &reply)
+        }
+        protocol::Request::Metrics { id } => {
+            protocol::render_metrics(&id, &server.metrics_snapshot())
+        }
+        protocol::Request::Trace { id, limit } => {
+            protocol::render_traces(&id, &server.recent_traces(limit))
+        }
+    };
+    Json::parse(&rendered).unwrap()
+}
+
+#[test]
+fn metrics_command_reports_live_registry_contents() {
+    let server = server(true);
+    for _ in 0..3 {
+        let reply = server.submit(
+            Query::count("photoobj", Predicate::lt("ra", 180.0)),
+            QueryBounds::max_error(0.5),
+        );
+        assert!(matches!(reply, ServerReply::Aggregate { .. }));
+    }
+
+    let doc = roundtrip(&server, r#"{"id": 42, "cmd": "metrics"}"#);
+    assert_eq!(doc.get("id").unwrap().as_f64(), Some(42.0));
+    assert_eq!(doc.get("status").unwrap().as_str(), Some("ok"));
+    let metrics = doc.get("metrics").unwrap();
+    assert_eq!(metrics.get("engine.queries").unwrap().as_f64(), Some(3.0));
+    assert_eq!(
+        metrics.get("serve.queries_served").unwrap().as_f64(),
+        Some(3.0)
+    );
+    assert!(
+        metrics
+            .get("engine.rows_scanned")
+            .unwrap()
+            .as_f64()
+            .unwrap()
+            > 0.0
+    );
+    // histograms render as summary objects with live counts
+    let latency = metrics.get("engine.query_micros").unwrap();
+    assert_eq!(latency.get("count").unwrap().as_f64(), Some(3.0));
+    assert!(latency.get("p50").unwrap().as_f64().unwrap() >= 0.0);
+    let reply_latency = metrics.get("serve.reply_micros").unwrap();
+    assert_eq!(reply_latency.get("count").unwrap().as_f64(), Some(3.0));
+}
+
+#[test]
+fn trace_command_returns_complete_per_level_traces() {
+    let server = server(true);
+    // a tight error bound forces escalation through both layers
+    let reply = server.submit(
+        Query::count("photoobj", Predicate::lt("ra", 1.0)),
+        QueryBounds::max_error(1e-9),
+    );
+    assert!(matches!(reply, ServerReply::Aggregate { .. }));
+
+    let doc = roundtrip(&server, r#"{"id": 7, "cmd": "trace", "limit": 4}"#);
+    assert_eq!(doc.get("status").unwrap().as_str(), Some("ok"));
+    let traces = doc.get("traces").unwrap().as_arr().unwrap();
+    assert_eq!(traces.len(), 1);
+    let trace = &traces[0];
+    assert!(trace
+        .get("query")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("COUNT"));
+    // admission verdict stamped by the serving layer
+    let admission = trace.get("admission").unwrap();
+    assert_eq!(admission.get("outcome").unwrap().as_str(), Some("admitted"));
+    assert!(
+        admission
+            .get("queue_wait_micros")
+            .unwrap()
+            .as_f64()
+            .unwrap()
+            >= 0.0
+    );
+    // every level visited is recorded with its scan and bound verdict
+    let levels = trace.get("levels").unwrap().as_arr().unwrap();
+    assert_eq!(levels.len(), 3, "layer-2, layer-1, base");
+    assert_eq!(levels[0].get("level").unwrap().as_str(), Some("layer-2"));
+    assert_eq!(
+        levels.last().unwrap().get("level").unwrap().as_str(),
+        Some("base")
+    );
+    for level in levels {
+        assert!(level.get("rows_scanned").unwrap().as_f64().unwrap() > 0.0);
+        assert!(level.get("elapsed_micros").unwrap().as_f64().unwrap() >= 0.0);
+    }
+    assert_eq!(trace.get("final_level").unwrap().as_str(), Some("base"));
+    assert_eq!(trace.get("escalations").unwrap().as_f64(), Some(2.0));
+    assert_eq!(trace.get("requested_error").unwrap().as_f64(), Some(1e-9));
+}
+
+#[test]
+fn query_replies_carry_queued_micros_and_optional_trace() {
+    let with_traces = server(true);
+    let doc = roundtrip(
+        &with_traces,
+        r#"{"id": 1, "query": {"table": "photoobj", "kind": "count",
+            "predicate": {"op": "lt", "column": "ra", "value": 90.0}},
+            "bounds": {"max_relative_error": 0.5}}"#,
+    );
+    let answer = doc.get("answer").unwrap();
+    assert!(answer.get("queued_micros").unwrap().as_f64().unwrap() >= 0.0);
+    let trace = answer.get("trace").expect("trace embedded when collecting");
+    assert!(!trace.get("levels").unwrap().as_arr().unwrap().is_empty());
+
+    let without = server(false);
+    let doc = roundtrip(
+        &without,
+        r#"{"id": 2, "query": {"table": "photoobj", "kind": "count"}}"#,
+    );
+    let answer = doc.get("answer").unwrap();
+    assert!(answer.get("queued_micros").is_some());
+    assert!(
+        answer.get("trace").is_none(),
+        "no trace field when collection is off"
+    );
+}
+
+#[test]
+fn traces_can_be_capped_and_are_newest_first() {
+    let server = server(true);
+    for cutoff in [30.0, 60.0, 90.0] {
+        server.submit(
+            Query::count("photoobj", Predicate::lt("ra", cutoff)),
+            QueryBounds::max_error(0.5),
+        );
+    }
+    let doc = roundtrip(&server, r#"{"cmd": "trace", "limit": 2}"#);
+    let traces = doc.get("traces").unwrap().as_arr().unwrap();
+    assert_eq!(traces.len(), 2, "limit respected");
+    // newest first: the last query filtered ra < 90
+    assert!(traces[0]
+        .get("query")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("90"));
+}

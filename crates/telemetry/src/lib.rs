@@ -1,0 +1,40 @@
+//! # sciborq-telemetry
+//!
+//! The observability layer of the SciBORQ workspace: every signal the
+//! engine, the shared-scan batch scheduler, the admission controller and
+//! the serving front end emit flows through this crate.
+//!
+//! Three pillars, all hand-rolled over `std::sync` with **no external
+//! dependencies** (the same discipline as the serving crate's JSON codec):
+//!
+//! * [`metrics`] — a process-wide [`MetricsRegistry`](metrics::MetricsRegistry)
+//!   of atomic [`Counter`](metrics::Counter)s, [`Gauge`](metrics::Gauge)s
+//!   and fixed-bucket latency [`Histogram`](metrics::Histogram)s with
+//!   p50/p90/p99 readout. Recording is lock-free (one relaxed atomic add
+//!   per observation); snapshots render to JSON for the `metrics` protocol
+//!   command, the serving bench and CI artifacts.
+//! * [`trace`] — structured per-query execution traces: a
+//!   [`QueryTrace`](trace::QueryTrace) records the admission outcome and
+//!   queue wait, each escalation level's measured rows / wall time /
+//!   error-achieved, the partitioning decision, and the final bound
+//!   verdicts. Traces ride on answers behind a config knob and are
+//!   retained in a bounded [`TraceRing`](trace::TraceRing).
+//! * [`log`] — a level-filtered [`Logger`](log::Logger) writing
+//!   `key=value` lines to stderr.
+//!
+//! Telemetry is strictly observational: whether tracing or metrics are on
+//! or off changes **no answer bits** (the workspace's standing bit-identity
+//! contract extends to this crate, enforced by property tests).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod log;
+pub mod metrics;
+pub mod trace;
+
+pub use log::{LogLevel, Logger};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSummary, MetricValue, MetricsRegistry, MetricsSnapshot,
+};
+pub use trace::{AdmissionTrace, LevelTrace, QueryTrace, TraceRing};

@@ -1,0 +1,195 @@
+//! A level-filtered structured logger writing `key=value` lines to stderr.
+//!
+//! One line per event: `ts=<unix-micros> level=<level> event=<name>`
+//! followed by caller-supplied fields. Values containing spaces, quotes or
+//! `=` are double-quoted with minimal escaping, so lines stay trivially
+//! machine-splittable. The whole line is built in one `String` and emitted
+//! with a single `eprintln!`, so concurrent workers never interleave
+//! mid-line.
+
+use std::fmt;
+use std::str::FromStr;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Log severity, most to least severe. A message is emitted when its level
+/// is at or above the logger's configured threshold (`Error` always,
+/// `Debug` only when asked for).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LogLevel {
+    /// Unrecoverable or dropped work.
+    Error,
+    /// Degraded but continuing.
+    Warn,
+    /// Lifecycle events (startup, shutdown, totals).
+    Info,
+    /// Per-query chatter.
+    Debug,
+}
+
+impl fmt::Display for LogLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            LogLevel::Error => "error",
+            LogLevel::Warn => "warn",
+            LogLevel::Info => "info",
+            LogLevel::Debug => "debug",
+        })
+    }
+}
+
+impl FromStr for LogLevel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "error" => Ok(LogLevel::Error),
+            "warn" => Ok(LogLevel::Warn),
+            "info" => Ok(LogLevel::Info),
+            "debug" => Ok(LogLevel::Debug),
+            other => Err(format!(
+                "unknown log level '{other}' (expected error|warn|info|debug)"
+            )),
+        }
+    }
+}
+
+/// A logger filtered at a fixed level.
+#[derive(Debug, Clone, Copy)]
+pub struct Logger {
+    level: LogLevel,
+}
+
+impl Logger {
+    /// A logger emitting messages at or above `level`.
+    pub fn new(level: LogLevel) -> Self {
+        Logger { level }
+    }
+
+    /// The configured threshold.
+    pub fn level(&self) -> LogLevel {
+        self.level
+    }
+
+    /// Whether a message at `level` would be emitted.
+    pub fn enabled(&self, level: LogLevel) -> bool {
+        level <= self.level
+    }
+
+    /// Emit one `key=value` line for `event` with the given fields.
+    pub fn log(&self, level: LogLevel, event: &str, fields: &[(&str, String)]) {
+        if !self.enabled(level) {
+            return;
+        }
+        eprintln!("{}", format_line(level, event, fields));
+    }
+
+    /// Emit at [`LogLevel::Error`].
+    pub fn error(&self, event: &str, fields: &[(&str, String)]) {
+        self.log(LogLevel::Error, event, fields);
+    }
+
+    /// Emit at [`LogLevel::Warn`].
+    pub fn warn(&self, event: &str, fields: &[(&str, String)]) {
+        self.log(LogLevel::Warn, event, fields);
+    }
+
+    /// Emit at [`LogLevel::Info`].
+    pub fn info(&self, event: &str, fields: &[(&str, String)]) {
+        self.log(LogLevel::Info, event, fields);
+    }
+
+    /// Emit at [`LogLevel::Debug`].
+    pub fn debug(&self, event: &str, fields: &[(&str, String)]) {
+        self.log(LogLevel::Debug, event, fields);
+    }
+}
+
+fn format_line(level: LogLevel, event: &str, fields: &[(&str, String)]) -> String {
+    let ts = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_micros())
+        .unwrap_or(0);
+    let mut line = format!("ts={ts} level={level} event={event}");
+    for (key, value) in fields {
+        line.push(' ');
+        line.push_str(key);
+        line.push('=');
+        push_value(value, &mut line);
+    }
+    line
+}
+
+fn push_value(value: &str, out: &mut String) {
+    let needs_quoting = value.is_empty() || value.contains([' ', '"', '=', '\n', '\t']);
+    if !needs_quoting {
+        out.push_str(value);
+        return;
+    }
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_and_parse() {
+        assert!(LogLevel::Error < LogLevel::Warn);
+        assert!(LogLevel::Warn < LogLevel::Info);
+        assert!(LogLevel::Info < LogLevel::Debug);
+        assert_eq!("warn".parse::<LogLevel>(), Ok(LogLevel::Warn));
+        assert!("loud".parse::<LogLevel>().is_err());
+        assert_eq!(LogLevel::Debug.to_string(), "debug");
+    }
+
+    #[test]
+    fn filtering_respects_threshold() {
+        let log = Logger::new(LogLevel::Info);
+        assert!(log.enabled(LogLevel::Error));
+        assert!(log.enabled(LogLevel::Info));
+        assert!(!log.enabled(LogLevel::Debug));
+        assert_eq!(log.level(), LogLevel::Info);
+    }
+
+    #[test]
+    fn lines_are_key_value_formatted() {
+        let line = format_line(
+            LogLevel::Info,
+            "startup",
+            &[
+                ("table", "photoobj".to_owned()),
+                ("msg", "ready to serve".to_owned()),
+                ("threads", "4".to_owned()),
+            ],
+        );
+        assert!(line.starts_with("ts="), "{line}");
+        assert!(line.contains(" level=info event=startup "), "{line}");
+        assert!(line.contains(" table=photoobj "), "{line}");
+        // values with spaces are quoted
+        assert!(line.contains(" msg=\"ready to serve\" "), "{line}");
+        assert!(line.ends_with(" threads=4"), "{line}");
+    }
+
+    #[test]
+    fn awkward_values_are_escaped() {
+        let mut out = String::new();
+        push_value("a=b \"c\"", &mut out);
+        assert_eq!(out, "\"a=b \\\"c\\\"\"");
+        let mut out = String::new();
+        push_value("", &mut out);
+        assert_eq!(out, "\"\"");
+        let mut out = String::new();
+        push_value("plain", &mut out);
+        assert_eq!(out, "plain");
+    }
+}

@@ -1,0 +1,489 @@
+//! The metrics registry: atomic counters, gauges and fixed-bucket latency
+//! histograms with percentile readout.
+//!
+//! Handles are `Arc`s handed out by [`MetricsRegistry`]; callers register
+//! once (a `BTreeMap` lookup under a mutex) and then record through the
+//! cached handle with one relaxed atomic operation per observation, so the
+//! hot path never takes a lock. [`MetricsRegistry::snapshot`] freezes the
+//! whole registry into a [`MetricsSnapshot`] that renders to JSON — the
+//! one implementation behind the `metrics` protocol command, the serving
+//! bench's percentile report and the CI metrics artifact.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a signed value that can move both ways (queue depths, in-flight
+/// totals).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Set the gauge to `v`.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtract `n`.
+    pub fn sub(&self, n: i64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket histogram over non-negative integer observations
+/// (canonically: latencies in microseconds).
+///
+/// Buckets are defined by ascending upper bounds (a 1–2–5 decade series by
+/// default) plus an implicit overflow bucket; observation is one relaxed
+/// atomic add, and percentiles are read out of the bucket counts with
+/// linear interpolation inside the winning bucket. Percentiles are
+/// therefore *bucketed approximations* — exact enough for latency
+/// reporting, cheap enough to keep on every query.
+#[derive(Debug)]
+pub struct Histogram {
+    /// Ascending inclusive upper bounds; observations above the last bound
+    /// land in the overflow bucket.
+    bounds: Vec<u64>,
+    /// One bucket per bound plus the overflow bucket.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram with the given ascending bucket upper bounds.
+    ///
+    /// # Panics
+    /// When `bounds` is empty or not strictly ascending (a misconfigured
+    /// metric is a programming error, not a runtime condition).
+    pub fn new(bounds: Vec<u64>) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        let buckets = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            bounds,
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// The default latency histogram: a 1–2–5 series from 1 µs to 1000 s.
+    pub fn latency_micros() -> Self {
+        let mut bounds = Vec::new();
+        let mut decade: u64 = 1;
+        while decade <= 1_000_000_000 {
+            for mult in [1, 2, 5] {
+                bounds.push(decade * mult);
+            }
+            decade *= 10;
+        }
+        Histogram::new(bounds)
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, value: u64) {
+        let idx = self.bounds.partition_point(|&bound| bound < value);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Number of observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations recorded.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// The approximate `p`-quantile (`p` in `[0, 1]`) of the observations,
+    /// linearly interpolated inside the winning bucket. Returns 0 when the
+    /// histogram is empty; observations beyond the last bound report the
+    /// last bound (the histogram cannot know how far beyond they were).
+    pub fn percentile(&self, p: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = (p.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, &in_bucket) in counts.iter().enumerate() {
+            if in_bucket == 0 {
+                continue;
+            }
+            if seen + in_bucket >= rank {
+                let hi = match self.bounds.get(idx) {
+                    Some(&bound) => bound,
+                    // overflow bucket: the last bound is the best statement
+                    // the histogram can make
+                    None => return *self.bounds.last().expect("bounds non-empty"),
+                };
+                let lo = if idx == 0 { 0 } else { self.bounds[idx - 1] };
+                let into = (rank - seen) as f64 / in_bucket as f64;
+                return lo + ((hi - lo) as f64 * into).round() as u64;
+            }
+            seen += in_bucket;
+        }
+        *self.bounds.last().expect("bounds non-empty")
+    }
+
+    /// Freeze this histogram into its summary form.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count(),
+            sum: self.sum(),
+            p50: self.percentile(0.50),
+            p90: self.percentile(0.90),
+            p99: self.percentile(0.99),
+        }
+    }
+}
+
+/// A frozen histogram readout: count, sum and the standard percentiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Approximate median.
+    pub p50: u64,
+    /// Approximate 90th percentile.
+    pub p90: u64,
+    /// Approximate 99th percentile.
+    pub p99: u64,
+}
+
+/// A frozen metric value inside a [`MetricsSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MetricValue {
+    /// A counter's value.
+    Counter(u64),
+    /// A gauge's value.
+    Gauge(i64),
+    /// A histogram's summary.
+    Histogram(HistogramSummary),
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn flavour(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A named registry of counters, gauges and histograms.
+///
+/// Registration is idempotent: asking for an existing name returns the
+/// same underlying metric, so independent components can share a metric by
+/// name. Asking for an existing name *as a different flavour* panics — two
+/// components disagreeing about what a metric is can only be a bug.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Get or register the counter `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut metrics = self.metrics.lock().unwrap();
+        let metric = metrics
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())));
+        match metric {
+            Metric::Counter(c) => Arc::clone(c),
+            other => panic!("metric '{name}' is a {}, not a counter", other.flavour()),
+        }
+    }
+
+    /// Get or register the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut metrics = self.metrics.lock().unwrap();
+        let metric = metrics
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())));
+        match metric {
+            Metric::Gauge(g) => Arc::clone(g),
+            other => panic!("metric '{name}' is a {}, not a gauge", other.flavour()),
+        }
+    }
+
+    /// Get or register the latency histogram `name` (1–2–5 microsecond
+    /// buckets, see [`Histogram::latency_micros`]).
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut metrics = self.metrics.lock().unwrap();
+        let metric = metrics
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::latency_micros())));
+        match metric {
+            Metric::Histogram(h) => Arc::clone(h),
+            other => panic!("metric '{name}' is a {}, not a histogram", other.flavour()),
+        }
+    }
+
+    /// Freeze every registered metric into a snapshot (name-sorted).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let metrics = self.metrics.lock().unwrap();
+        let entries = metrics
+            .iter()
+            .map(|(name, metric)| {
+                let value = match metric {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricValue::Histogram(h.summary()),
+                };
+                (name.clone(), value)
+            })
+            .collect();
+        MetricsSnapshot { entries }
+    }
+}
+
+/// A point-in-time freeze of a [`MetricsRegistry`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` pairs, sorted by name.
+    pub entries: Vec<(String, MetricValue)>,
+}
+
+impl MetricsSnapshot {
+    /// The value of a metric by name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// The value of counter `name`, if it exists and is a counter.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name)? {
+            MetricValue::Counter(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value of gauge `name`, if it exists and is a gauge.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        match self.get(name)? {
+            MetricValue::Gauge(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The summary of histogram `name`, if it exists and is a histogram.
+    pub fn histogram(&self, name: &str) -> Option<HistogramSummary> {
+        match self.get(name)? {
+            MetricValue::Histogram(h) => Some(*h),
+            _ => None,
+        }
+    }
+
+    /// Render the snapshot as one compact JSON object: counters and gauges
+    /// as numbers, histograms as `{count, sum, p50, p90, p99}` objects.
+    /// Hand-rolled (this crate carries no JSON dependency); metric names
+    /// are escaped per RFC 8259.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (name, value)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_string(name, &mut out);
+            out.push(':');
+            match value {
+                MetricValue::Counter(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = write!(
+                        out,
+                        "{{\"count\":{},\"sum\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+                        h.count, h.sum, h.p50, h.p90, h.p99
+                    );
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+pub(crate) fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_record() {
+        let c = Counter::default();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::default();
+        g.set(10);
+        g.add(3);
+        g.sub(5);
+        assert_eq!(g.get(), 8);
+    }
+
+    #[test]
+    fn histogram_buckets_and_percentiles() {
+        let h = Histogram::new(vec![10, 100, 1_000]);
+        for v in [1, 5, 9, 50, 70, 900] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1_035);
+        // ranks 1..=3 land in the [0, 10] bucket, 4..=5 in (10, 100],
+        // 6 in (100, 1000]
+        assert!(h.percentile(0.50) <= 10, "p50 {}", h.percentile(0.50));
+        assert!(
+            h.percentile(0.75) > 10 && h.percentile(0.75) <= 100,
+            "p75 {}",
+            h.percentile(0.75)
+        );
+        assert!(h.percentile(1.0) > 100);
+        // empty histogram reports zero
+        assert_eq!(Histogram::new(vec![10]).percentile(0.5), 0);
+        // overflow observations clamp to the last bound
+        let h = Histogram::new(vec![10]);
+        h.observe(1_000_000);
+        assert_eq!(h.percentile(0.5), 10);
+    }
+
+    #[test]
+    fn percentile_interpolates_within_a_bucket() {
+        let h = Histogram::new(vec![100]);
+        for _ in 0..100 {
+            h.observe(50);
+        }
+        let p50 = h.percentile(0.50);
+        assert!((49..=51).contains(&(p50 as i64)), "p50 {p50}");
+    }
+
+    #[test]
+    fn latency_micros_covers_the_useful_range() {
+        let h = Histogram::latency_micros();
+        h.observe(1);
+        h.observe(1_500);
+        h.observe(2_000_000);
+        assert_eq!(h.count(), 3);
+        assert!(h.percentile(0.99) >= 1_000_000);
+    }
+
+    #[test]
+    fn registry_shares_handles_by_name() {
+        let reg = MetricsRegistry::new();
+        reg.counter("served").inc();
+        reg.counter("served").inc();
+        assert_eq!(reg.counter("served").get(), 2);
+        reg.gauge("depth").set(7);
+        reg.histogram("lat_us").observe(42);
+
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("served"), Some(2));
+        assert_eq!(snap.gauge("depth"), Some(7));
+        assert_eq!(snap.histogram("lat_us").unwrap().count, 1);
+        assert_eq!(snap.counter("missing"), None);
+        // entries are name-sorted
+        let names: Vec<&str> = snap.entries.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["depth", "lat_us", "served"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "is a counter, not a gauge")]
+    fn flavour_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x");
+        reg.gauge("x");
+    }
+
+    #[test]
+    fn snapshot_renders_json() {
+        let reg = MetricsRegistry::new();
+        reg.counter("engine.queries").add(3);
+        reg.gauge("serve.queue_depth").set(-1);
+        reg.histogram("serve.reply_micros").observe(100);
+        let json = reg.snapshot().to_json();
+        assert!(json.contains("\"engine.queries\":3"), "{json}");
+        assert!(json.contains("\"serve.queue_depth\":-1"), "{json}");
+        assert!(json.contains("\"count\":1"), "{json}");
+        assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+}

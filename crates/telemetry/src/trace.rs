@@ -1,0 +1,290 @@
+//! Per-query execution traces and the bounded ring that retains them.
+//!
+//! A [`QueryTrace`] is the structured story of one bounded query: how
+//! admission went (if the query passed through the serving front end), what
+//! each escalation level cost and achieved, how the scan was partitioned,
+//! and whether the final answer honoured its bounds. Traces are built by
+//! the engine behind the `collect_traces` config knob, attached to answers,
+//! and retained in a [`TraceRing`] on the session for the `trace` protocol
+//! command.
+//!
+//! Levels are identified by name (`"layer-0"`, `"base"`) rather than by the
+//! core crate's `EvaluationLevel` enum so this crate stays dependency-free.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::metrics::write_json_string;
+
+/// How the serving front end admitted a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdmissionTrace {
+    /// Admission outcome: `"admitted"` or `"downgraded"`. (Shed queries
+    /// never execute, so they never acquire a trace.)
+    pub outcome: String,
+    /// Time spent blocked on the admission queue before dispatch.
+    pub queue_wait: Duration,
+    /// The row cost the admission controller charged against the global
+    /// budget.
+    pub cost_rows: u64,
+}
+
+/// One escalation level's measured contribution to a query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelTrace {
+    /// Level name (`"layer-N"` or `"base"`).
+    pub level: String,
+    /// Rows scanned at this level (merged across repeated passes).
+    pub rows_scanned: u64,
+    /// Wall time spent scanning this level.
+    pub elapsed: Duration,
+    /// Number of parallel shards the scan was partitioned into.
+    pub shards: usize,
+    /// The relative error the estimate achieved at this level, when an
+    /// estimate and interval existed (`None` for selections and failed
+    /// estimates).
+    pub relative_error: Option<f64>,
+    /// Whether this level's estimate satisfied the requested error bound.
+    pub error_bound_met: bool,
+}
+
+/// The structured execution trace of one bounded query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryTrace {
+    /// The query, rendered for humans.
+    pub query: String,
+    /// Admission outcome and queue wait, when the query arrived through the
+    /// serving front end (`None` for direct session calls).
+    pub admission: Option<AdmissionTrace>,
+    /// Per-level measurements, in escalation order.
+    pub levels: Vec<LevelTrace>,
+    /// The parallelism the engine partitioned scans for.
+    pub parallelism: usize,
+    /// The level that produced the returned answer.
+    pub final_level: String,
+    /// Number of escalations taken (levels beyond the first).
+    pub escalations: usize,
+    /// Whether the returned answer met the requested error bound.
+    pub error_bound_met: bool,
+    /// Whether the returned answer met the requested time budget.
+    pub time_bound_met: bool,
+    /// Total wall time from admission to answer (excluding queue wait).
+    pub elapsed: Duration,
+    /// The relative error bound the query requested, when finite.
+    pub requested_error: Option<f64>,
+    /// The wall-clock budget the query requested, if any.
+    pub time_budget: Option<Duration>,
+}
+
+impl QueryTrace {
+    /// Render this trace as one compact JSON object (hand-rolled; this
+    /// crate carries no JSON dependency). Non-finite relative errors render
+    /// as `null`, matching the serving codec's RFC 8259 behaviour.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"query\":");
+        write_json_string(&self.query, &mut out);
+        match &self.admission {
+            Some(adm) => {
+                out.push_str(",\"admission\":{\"outcome\":");
+                write_json_string(&adm.outcome, &mut out);
+                let _ = write!(
+                    out,
+                    ",\"queue_wait_micros\":{},\"cost_rows\":{}}}",
+                    adm.queue_wait.as_micros(),
+                    adm.cost_rows
+                );
+            }
+            None => out.push_str(",\"admission\":null"),
+        }
+        out.push_str(",\"levels\":[");
+        for (i, level) in self.levels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"level\":");
+            write_json_string(&level.level, &mut out);
+            let _ = write!(
+                out,
+                ",\"rows_scanned\":{},\"elapsed_micros\":{},\"shards\":{},\"relative_error\":",
+                level.rows_scanned,
+                level.elapsed.as_micros(),
+                level.shards
+            );
+            push_json_f64(level.relative_error, &mut out);
+            let _ = write!(out, ",\"error_bound_met\":{}}}", level.error_bound_met);
+        }
+        out.push_str("],\"parallelism\":");
+        let _ = write!(out, "{}", self.parallelism);
+        out.push_str(",\"final_level\":");
+        write_json_string(&self.final_level, &mut out);
+        let _ = write!(
+            out,
+            ",\"escalations\":{},\"error_bound_met\":{},\"time_bound_met\":{},\"elapsed_micros\":{}",
+            self.escalations,
+            self.error_bound_met,
+            self.time_bound_met,
+            self.elapsed.as_micros()
+        );
+        out.push_str(",\"requested_error\":");
+        push_json_f64(self.requested_error, &mut out);
+        out.push_str(",\"time_budget_micros\":");
+        match self.time_budget {
+            Some(budget) => {
+                let _ = write!(out, "{}", budget.as_micros());
+            }
+            None => out.push_str("null"),
+        }
+        out.push('}');
+        out
+    }
+}
+
+fn push_json_f64(value: Option<f64>, out: &mut String) {
+    match value {
+        Some(v) if v.is_finite() => {
+            let _ = write!(out, "{v}");
+        }
+        _ => out.push_str("null"),
+    }
+}
+
+/// A bounded ring buffer of recent query traces.
+///
+/// Recording evicts the oldest trace once the ring is full; readout returns
+/// the most recent traces first. Both are one mutex acquisition — traces
+/// are recorded once per query, never per row.
+#[derive(Debug)]
+pub struct TraceRing {
+    capacity: usize,
+    inner: Mutex<VecDeque<QueryTrace>>,
+}
+
+impl TraceRing {
+    /// A ring retaining at most `capacity` traces.
+    ///
+    /// # Panics
+    /// When `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace ring capacity must be positive");
+        TraceRing {
+            capacity,
+            inner: Mutex::new(VecDeque::with_capacity(capacity)),
+        }
+    }
+
+    /// Record a trace, evicting the oldest if the ring is full.
+    pub fn record(&self, trace: QueryTrace) {
+        let mut ring = self.inner.lock().unwrap();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(trace);
+    }
+
+    /// The most recent `limit` traces, newest first.
+    pub fn recent(&self, limit: usize) -> Vec<QueryTrace> {
+        let ring = self.inner.lock().unwrap();
+        ring.iter().rev().take(limit).cloned().collect()
+    }
+
+    /// Number of traces currently retained.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    /// Whether the ring holds no traces.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The maximum number of traces this ring retains.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(query: &str) -> QueryTrace {
+        QueryTrace {
+            query: query.to_owned(),
+            admission: Some(AdmissionTrace {
+                outcome: "admitted".to_owned(),
+                queue_wait: Duration::from_micros(12),
+                cost_rows: 4_096,
+            }),
+            levels: vec![LevelTrace {
+                level: "layer-0".to_owned(),
+                rows_scanned: 1_000,
+                elapsed: Duration::from_micros(250),
+                shards: 2,
+                relative_error: Some(0.04),
+                error_bound_met: true,
+            }],
+            parallelism: 2,
+            final_level: "layer-0".to_owned(),
+            escalations: 0,
+            error_bound_met: true,
+            time_bound_met: true,
+            elapsed: Duration::from_micros(300),
+            requested_error: Some(0.05),
+            time_budget: Some(Duration::from_millis(10)),
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_reads_newest_first() {
+        let ring = TraceRing::new(3);
+        assert!(ring.is_empty());
+        for i in 0..5 {
+            ring.record(trace(&format!("q{i}")));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.capacity(), 3);
+        let recent = ring.recent(2);
+        assert_eq!(recent.len(), 2);
+        assert_eq!(recent[0].query, "q4");
+        assert_eq!(recent[1].query, "q3");
+        // asking for more than retained returns all, newest first
+        let all = ring.recent(10);
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[2].query, "q2");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_ring_panics() {
+        TraceRing::new(0);
+    }
+
+    #[test]
+    fn trace_renders_json() {
+        let json = trace("count(photoobj)").to_json();
+        assert!(json.contains("\"query\":\"count(photoobj)\""), "{json}");
+        assert!(json.contains("\"outcome\":\"admitted\""), "{json}");
+        assert!(json.contains("\"queue_wait_micros\":12"), "{json}");
+        assert!(json.contains("\"level\":\"layer-0\""), "{json}");
+        assert!(json.contains("\"relative_error\":0.04"), "{json}");
+        assert!(json.contains("\"final_level\":\"layer-0\""), "{json}");
+        assert!(json.contains("\"time_budget_micros\":10000"), "{json}");
+        assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+
+    #[test]
+    fn trace_json_handles_absent_fields() {
+        let mut t = trace("q");
+        t.admission = None;
+        t.requested_error = Some(f64::INFINITY);
+        t.time_budget = None;
+        t.levels[0].relative_error = None;
+        let json = t.to_json();
+        assert!(json.contains("\"admission\":null"), "{json}");
+        assert!(json.contains("\"requested_error\":null"), "{json}");
+        assert!(json.contains("\"time_budget_micros\":null"), "{json}");
+        assert!(json.contains("\"relative_error\":null"), "{json}");
+    }
+}

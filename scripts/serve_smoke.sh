@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Smoke-test the `sciborq-served` stdio server end to end: issue bounded
+# queries, scrape the `metrics` and `trace` introspection commands off the
+# wire, and assert the telemetry registry observed the traffic. The final
+# registry snapshot is written to crates/bench/BENCH_serving_metrics.json
+# so CI can upload it next to the serving bench summary.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+SNAPSHOT="crates/bench/BENCH_serving_metrics.json"
+REPLIES="$(mktemp)"
+trap 'rm -f "$REPLIES"' EXIT
+
+cargo build --release -p sciborq-serve --bin sciborq-served
+
+{
+  for i in 1 2 3 4; do
+    printf '{"id":%d,"query":{"table":"photoobj","kind":"count","predicate":{"op":"lt","column":"ra","value":%d.0}},"bounds":{"max_relative_error":0.05}}\n' "$i" "$((i * 45))"
+  done
+  printf '{"id":5,"query":{"table":"photoobj","kind":"sum","column":"r_mag","predicate":{"op":"between","column":"ra","low":10.0,"high":200.0}},"bounds":{"max_relative_error":0.05}}\n'
+  # let the query workers drain so the introspection replies see them
+  sleep 2
+  printf '{"id":100,"cmd":"metrics"}\n'
+  printf '{"id":101,"cmd":"trace","limit":8}\n'
+} | ./target/release/sciborq-served \
+      --rows 50000 --layers 5000,500 --traces on --log-level info \
+      --metrics-out "$SNAPSHOT" > "$REPLIES"
+
+echo "--- server replies ---"
+cat "$REPLIES"
+echo "--- metrics snapshot ---"
+cat "$SNAPSHOT"
+
+fail() { echo "serve_smoke: $1" >&2; exit 1; }
+
+# every request (5 queries + metrics + trace) answered ok
+ok_count="$(grep -c '"status":"ok"' "$REPLIES")"
+[ "$ok_count" -eq 7 ] || fail "expected 7 ok replies, got $ok_count"
+
+# answers report their admission queue wait and embed escalation traces
+grep -q '"queued_micros":' "$REPLIES" || fail "replies lack queued_micros"
+grep -q '"trace":{' "$REPLIES" || fail "replies lack embedded traces"
+
+# the metrics command returned live (non-zero) counters over the wire
+grep -q '"metrics":{' "$REPLIES" || fail "no metrics reply"
+grep -Eq '"engine.queries":[1-9]' "$REPLIES" || fail "engine.queries is zero on the wire"
+
+# the trace command returned per-level traces
+grep -q '"traces":\[{' "$REPLIES" || fail "no trace reply"
+grep -q '"levels":\[{' "$REPLIES" || fail "traces lack per-level detail"
+
+# the exported snapshot (written after all workers joined) saw all traffic
+[ -s "$SNAPSHOT" ] || fail "metrics snapshot missing or empty"
+grep -q '"engine.queries":5' "$SNAPSHOT" || fail "snapshot engine.queries != 5"
+grep -q '"serve.queries_served":5' "$SNAPSHOT" || fail "snapshot serve.queries_served != 5"
+grep -Eq '"engine.rows_scanned":[1-9]' "$SNAPSHOT" || fail "snapshot rows_scanned is zero"
+grep -Eq '"engine.query_micros":\{"count":5' "$SNAPSHOT" || fail "latency histogram count != 5"
+
+echo "serve_smoke: ok (7 replies, registry saw 5 queries)"

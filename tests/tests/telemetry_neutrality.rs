@@ -1,0 +1,116 @@
+//! Telemetry neutrality: collecting per-query traces and metrics must not
+//! change a single answer bit. Two identically-seeded sessions — one with
+//! trace collection on, one off — are driven with the same queries and
+//! their answers compared with `f64::to_bits`.
+
+use proptest::prelude::*;
+use sciborq_columnar::{Catalog, DataType, Field, Predicate, Schema, Table, Value};
+use sciborq_core::{ExplorationSession, QueryBounds, SamplingPolicy, SciborqConfig};
+use sciborq_workload::{AttributeDomain, Query};
+
+fn photoobj(rows: usize) -> Table {
+    let schema = Schema::shared(vec![
+        Field::new("objid", DataType::Int64),
+        Field::new("ra", DataType::Float64),
+    ])
+    .unwrap();
+    let mut table = Table::new("photoobj", schema);
+    for i in 0..rows as i64 {
+        let ra = (i as f64 * 137.507_764).rem_euclid(360.0);
+        table
+            .append_row(&[Value::Int64(i), Value::Float64(ra)])
+            .unwrap();
+    }
+    table
+}
+
+fn session(rows: usize, seed: u64, traces: bool) -> ExplorationSession {
+    let catalog = Catalog::new();
+    catalog.register(photoobj(rows)).unwrap();
+    let mut config = SciborqConfig::with_layers(vec![(rows / 5).max(1), (rows / 50).max(1)])
+        .with_collect_traces(traces);
+    config.seed = seed;
+    let session = ExplorationSession::new(
+        catalog,
+        config,
+        &[("ra", AttributeDomain::new(0.0, 360.0, 36))],
+    )
+    .unwrap();
+    session
+        .create_impressions("photoobj", SamplingPolicy::Uniform)
+        .unwrap();
+    session
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Aggregates answer bit-for-bit identically with tracing on and off,
+    /// and only the traced session carries a trace.
+    #[test]
+    fn tracing_changes_no_aggregate_bits(
+        rows in 500usize..3_000,
+        threshold in 1.0f64..359.0,
+        max_error in 1e-6f64..0.5,
+        seed in 0u64..1_000,
+    ) {
+        let traced = session(rows, seed, true);
+        let plain = session(rows, seed, false);
+        let query = Query::count("photoobj", Predicate::lt("ra", threshold));
+        let bounds = QueryBounds::max_error(max_error);
+
+        let a = traced.execute(&query, &bounds).unwrap();
+        let b = plain.execute(&query, &bounds).unwrap();
+        let a = a.as_aggregate().unwrap();
+        let b = b.as_aggregate().unwrap();
+
+        prop_assert_eq!(a.value.map(f64::to_bits), b.value.map(f64::to_bits));
+        let bits = |ci: &Option<sciborq_stats::ConfidenceInterval>| {
+            ci.map(|ci| (ci.lower.to_bits(), ci.upper.to_bits(), ci.confidence.to_bits()))
+        };
+        prop_assert_eq!(bits(&a.interval), bits(&b.interval));
+        prop_assert_eq!(a.level, b.level);
+        prop_assert_eq!(a.rows_scanned, b.rows_scanned);
+        prop_assert_eq!(a.escalations, b.escalations);
+        prop_assert_eq!(a.error_bound_met, b.error_bound_met);
+
+        // the trace rides along without feeding back into the answer
+        prop_assert!(b.trace.is_none());
+        let trace = a.trace.as_ref().unwrap();
+        prop_assert_eq!(&trace.final_level, &a.level.name());
+        prop_assert_eq!(trace.escalations, a.escalations);
+        prop_assert_eq!(trace.error_bound_met, a.error_bound_met);
+        prop_assert_eq!(trace.levels.iter().map(|l| l.rows_scanned).sum::<u64>(),
+                        a.rows_scanned);
+    }
+
+    /// SELECT answers return identical row counts and levels with tracing
+    /// on and off.
+    #[test]
+    fn tracing_changes_no_select_rows(
+        rows in 500usize..2_000,
+        threshold in 1.0f64..359.0,
+        limit in 1usize..50,
+        seed in 0u64..1_000,
+    ) {
+        let traced = session(rows, seed, true);
+        let plain = session(rows, seed, false);
+        let query = Query::select("photoobj", Predicate::lt("ra", threshold)).with_limit(limit);
+        let bounds = QueryBounds::default();
+
+        let a = traced.execute(&query, &bounds).unwrap();
+        let b = plain.execute(&query, &bounds).unwrap();
+        let a = a.as_rows().unwrap();
+        let b = b.as_rows().unwrap();
+
+        prop_assert_eq!(a.returned_rows(), b.returned_rows());
+        prop_assert_eq!(a.level, b.level);
+        prop_assert_eq!(a.rows_scanned, b.rows_scanned);
+        prop_assert_eq!(
+            a.estimated_total_matches.to_bits(),
+            b.estimated_total_matches.to_bits()
+        );
+        prop_assert!(b.trace.is_none());
+        prop_assert!(a.trace.is_some());
+    }
+}
