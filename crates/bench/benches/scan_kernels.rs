@@ -1,28 +1,47 @@
-//! Scalar vs vectorized scan benchmark on a paper-scale impression.
+//! Scalar vs rowwise vs chunked scan benchmark on a paper-scale impression.
 //!
-//! Compares the legacy row-at-a-time oracle (`Predicate::evaluate` +
-//! `compute_aggregate`) against the compile-once vectorized pipeline
-//! (`CompiledPredicate` + scan kernels + fused filter+aggregate) on a
-//! 200k-row table with the SkyServer column mix (ids, coordinates, a
-//! nullable magnitude, a class label).
+//! Three execution tiers are timed on every case:
+//!
+//! * **scalar** — the row-at-a-time oracle (`Predicate::evaluate` +
+//!   `compute_aggregate`): the correctness baseline.
+//! * **rowwise** — the retained PR 2 vectorized pipeline
+//!   (`CompiledPredicate::{evaluate,count_matches,filter_moments}_rowwise`):
+//!   typed tight-loop kernels over candidate lists.
+//! * **chunked** — the current default: 64-row `u64` match-mask kernels
+//!   ANDed word-at-a-time against the validity bitmaps, with string
+//!   predicates on dictionary-encoded columns collapsing to integer code
+//!   compares.
+//!
+//! The table defaults to 10M rows with the SkyServer column mix (ids,
+//! coordinates, a nullable magnitude, a class label); set
+//! `SCIBORQ_BENCH_QUICK=1` to drop to 200k rows for CI smoke runs. Columns
+//! are built in bulk (not row-at-a-time) so table construction does not
+//! dominate bench startup.
 //!
 //! This is a hand-rolled harness (not criterion) so it can emit a machine-
 //! readable summary: pass `--json-out <path>` to write a `BENCH_scan.json`
-//! style artifact; CI uploads it to track the perf trajectory. Results are
-//! cross-checked against the oracle before timing, so a silently wrong
+//! style artifact; CI uploads it to track the perf trajectory and fails if
+//! the chunked i64 range kernel ever loses to the scalar oracle. Results
+//! are cross-checked against the oracle before timing, so a silently wrong
 //! kernel cannot post a winning number.
 
 use sciborq_columnar::{
-    compute_aggregate, AggregateKind, CompiledPredicate, DataType, Field, Predicate,
-    RecordBatchBuilder, Schema, Table, Value,
+    compute_aggregate, AggregateKind, Column, CompiledPredicate, DataType, Field, Predicate,
+    RecordBatch, Schema, Table, Value,
 };
 use std::fmt::Write as _;
 use std::time::Instant;
 
-const ROWS: usize = 200_000;
-const ITERS: u32 = 7;
+const FULL_ROWS: usize = 10_000_000;
+const QUICK_ROWS: usize = 200_000;
 
-fn build_table() -> Table {
+fn quick_mode() -> bool {
+    std::env::var("SCIBORQ_BENCH_QUICK").is_ok_and(|v| v == "1")
+}
+
+/// Bulk column construction: the 10M-row table is built from whole vectors,
+/// not per-row `Value` appends.
+fn build_table(rows: usize) -> Table {
     let schema = Schema::shared(vec![
         Field::new("objid", DataType::Int64),
         Field::new("ra", DataType::Float64),
@@ -32,55 +51,39 @@ fn build_table() -> Table {
     ])
     .unwrap();
     let classes = ["GALAXY", "STAR", "QSO"];
-    let mut b = RecordBatchBuilder::with_capacity(schema.clone(), ROWS);
-    for i in 0..ROWS as i64 {
-        // deterministic pseudo-random mix, cheap and reproducible
-        let h = ((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) % 1_000_000) as f64 / 1_000_000.0;
-        let ra = (i % 3600) as f64 / 10.0;
-        let dec = h * 180.0 - 90.0;
-        let mag = if i % 17 == 0 {
+    let objid = Column::from_i64((0..rows as i64).collect());
+    let ra = Column::from_f64((0..rows).map(|i| (i % 3600) as f64 / 10.0).collect());
+    let hash = |i: usize| {
+        ((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) % 1_000_000) as f64 / 1_000_000.0
+    };
+    let dec = Column::from_f64((0..rows).map(|i| hash(i) * 180.0 - 90.0).collect());
+    let mut r_mag = Column::with_capacity(DataType::Float64, rows);
+    for i in 0..rows {
+        let v = if i % 17 == 0 {
             Value::Null
         } else {
-            Value::Float64(14.0 + 10.0 * h)
+            Value::Float64(14.0 + 10.0 * hash(i))
         };
-        b.push_row(&[
-            Value::Int64(i),
-            Value::Float64(ra),
-            Value::Float64(dec),
-            mag,
-            Value::Utf8(classes[(i % 3) as usize].to_owned()),
-        ])
-        .unwrap();
+        r_mag.push(&v).unwrap();
     }
-    let mut t = Table::new("photoobj", schema);
-    t.append_batch(&b.finish().unwrap()).unwrap();
-    t
-}
-
-/// Time `f` over ITERS iterations (after one warm-up) and return the mean
-/// nanoseconds per iteration. The closure returns a checksum that is folded
-/// into a black-box sink so the work cannot be optimised away.
-fn time_ns(mut f: impl FnMut() -> u64) -> f64 {
-    std::hint::black_box(f());
-    let mut sink = 0u64;
-    let start = Instant::now();
-    for _ in 0..ITERS {
-        sink = sink.wrapping_add(f());
-    }
-    let elapsed = start.elapsed().as_nanos() as f64 / ITERS as f64;
-    std::hint::black_box(sink);
-    elapsed
+    let class = Column::from_strings((0..rows).map(|i| classes[i % 3]));
+    let batch = RecordBatch::new(schema, vec![objid, ra, dec, r_mag, class]).unwrap();
+    Table::from_batch("photoobj", batch)
 }
 
 struct BenchRow {
     name: &'static str,
     scalar_ns: f64,
-    vectorized_ns: f64,
+    rowwise_ns: f64,
+    chunked_ns: f64,
 }
 
 impl BenchRow {
-    fn speedup(&self) -> f64 {
-        self.scalar_ns / self.vectorized_ns.max(1.0)
+    fn chunked_vs_scalar(&self) -> f64 {
+        self.scalar_ns / self.chunked_ns.max(1.0)
+    }
+    fn chunked_vs_rowwise(&self) -> f64 {
+        self.rowwise_ns / self.chunked_ns.max(1.0)
     }
 }
 
@@ -103,13 +106,33 @@ fn main() {
         // other flags (e.g. cargo bench's `--bench`) are ignored
     }
 
-    let table = build_table();
-    let schema = table.schema();
+    let quick = quick_mode();
+    let rows_n = if quick { QUICK_ROWS } else { FULL_ROWS };
+    let iters: u32 = if quick { 7 } else { 5 };
+    let mut table = build_table(rows_n);
+    let schema = table.schema().clone();
     println!(
-        "scan_kernels: scalar oracle vs vectorized pipeline on {} rows ({ITERS} iters/case)\n",
-        table.row_count()
+        "scan_kernels: scalar vs rowwise vs chunked on {} rows ({iters} iters/case{})\n",
+        table.row_count(),
+        if quick { ", quick mode" } else { "" }
     );
 
+    // Time `f` over `iters` iterations (after one warm-up) and return the
+    // mean nanoseconds per iteration. The closure returns a checksum folded
+    // into a black-box sink so the work cannot be optimised away.
+    let time_ns = |f: &mut dyn FnMut() -> u64| -> f64 {
+        std::hint::black_box(f());
+        let mut sink = 0u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            sink = sink.wrapping_add(f());
+        }
+        let elapsed = start.elapsed().as_nanos() as f64 / iters as f64;
+        std::hint::black_box(sink);
+        elapsed
+    };
+
+    let range_i64 = Predicate::between("objid", rows_n as i64 / 4, rows_n as i64 / 2);
     let range = Predicate::between("ra", 180.0, 190.0);
     let cone = Predicate::between("ra", 180.0, 190.0)
         .and(Predicate::between("dec", -5.0, 5.0))
@@ -118,41 +141,95 @@ fn main() {
 
     let mut rows: Vec<BenchRow> = Vec::new();
 
+    // Selection benchmark over all three tiers, with an oracle cross-check
+    // first. Used once on the plain table and again (for the string case)
+    // after dictionary encoding.
+    let mut bench_selection = |table: &Table, name: &'static str, predicate: &Predicate| {
+        let compiled = CompiledPredicate::compile(predicate, table.schema()).expect("compiles");
+        let expected = predicate.evaluate(table).expect("oracle");
+        assert_eq!(
+            compiled.evaluate(table).expect("chunked"),
+            expected,
+            "{name}: chunked selection diverges from the oracle"
+        );
+        assert_eq!(
+            compiled.evaluate_rowwise(table).expect("rowwise").0,
+            expected,
+            "{name}: rowwise selection diverges from the oracle"
+        );
+        let scalar_ns = time_ns(&mut || predicate.evaluate(table).expect("oracle").len() as u64);
+        let rowwise_ns =
+            time_ns(&mut || compiled.evaluate_rowwise(table).expect("rowwise").0.len() as u64);
+        let chunked_ns = time_ns(&mut || compiled.evaluate(table).expect("chunked").len() as u64);
+        rows.push(BenchRow {
+            name,
+            scalar_ns,
+            rowwise_ns,
+            chunked_ns,
+        });
+    };
+
     // --- selection benchmarks ---------------------------------------------
     for (name, predicate) in [
+        ("range_scan_i64", &range_i64),
         ("range_scan", &range),
         ("conjunctive_cone_scan", &cone),
         ("string_eq_scan", &class_eq),
     ] {
-        let compiled = CompiledPredicate::compile(predicate, schema).expect("compiles");
-        let expected = predicate.evaluate(&table).expect("oracle").len();
-        assert_eq!(
-            compiled.evaluate(&table).expect("kernels").len(),
-            expected,
-            "{name}: vectorized selection diverges from the oracle"
-        );
-        let scalar_ns = time_ns(|| predicate.evaluate(&table).expect("oracle").len() as u64);
-        let vectorized_ns = time_ns(|| compiled.evaluate(&table).expect("kernels").len() as u64);
+        bench_selection(&table, name, predicate);
+    }
+
+    // --- dictionary-encoded string scan ------------------------------------
+    // Encode in place (exactly what `Impression::new` does at construction)
+    // and re-run the string case: predicates become integer code compares.
+    let encoded = table.dict_encode_strings(usize::MAX);
+    assert_eq!(encoded, 1, "class column should dictionary-encode");
+    bench_selection(&table, "string_eq_scan_dict", &class_eq);
+
+    // The two pipelines end to end: the PR 2 tier stored plain strings and
+    // scanned them rowwise; the current tier dictionary-encodes at
+    // impression construction and scans the codes chunked. The within-
+    // encoding rows above isolate the kernels; this row pairs each tier
+    // with the physical layout it actually runs on.
+    {
+        let plain = rows
+            .iter()
+            .find(|r| r.name == "string_eq_scan")
+            .expect("plain string row timed above");
+        let dict = rows
+            .iter()
+            .find(|r| r.name == "string_eq_scan_dict")
+            .expect("dict string row timed above");
+        let (scalar_ns, rowwise_ns, chunked_ns) =
+            (plain.scalar_ns, plain.rowwise_ns, dict.chunked_ns);
         rows.push(BenchRow {
-            name,
+            name: "string_eq_pipeline",
             scalar_ns,
-            vectorized_ns,
+            rowwise_ns,
+            chunked_ns,
         });
     }
 
     // --- fused filter+aggregate benchmarks --------------------------------
     {
-        let compiled = CompiledPredicate::compile(&cone, schema).expect("compiles");
+        let compiled = CompiledPredicate::compile(&cone, &schema).expect("compiles");
         let oracle_sel = cone.evaluate(&table).expect("oracle");
         let oracle_count = oracle_sel.len();
         let (fused_count, _) = compiled.count_matches(&table).expect("fused count");
         assert_eq!(fused_count, oracle_count, "fused count diverges");
-        let scalar_ns = time_ns(|| cone.evaluate(&table).expect("oracle").len() as u64);
-        let vectorized_ns = time_ns(|| compiled.count_matches(&table).expect("fused").0 as u64);
+        let (rowwise_count, _) = compiled
+            .count_matches_rowwise(&table)
+            .expect("rowwise count");
+        assert_eq!(rowwise_count, oracle_count, "rowwise count diverges");
+        let scalar_ns = time_ns(&mut || cone.evaluate(&table).expect("oracle").len() as u64);
+        let rowwise_ns =
+            time_ns(&mut || compiled.count_matches_rowwise(&table).expect("rowwise").0 as u64);
+        let chunked_ns = time_ns(&mut || compiled.count_matches(&table).expect("fused").0 as u64);
         rows.push(BenchRow {
             name: "fused_filter_count",
             scalar_ns,
-            vectorized_ns,
+            rowwise_ns,
+            chunked_ns,
         });
 
         let oracle_avg = compute_aggregate(&table, Some("r_mag"), AggregateKind::Avg, &oracle_sel)
@@ -164,13 +241,28 @@ fn main() {
             sketch.aggregate(AggregateKind::Avg),
             "fused AVG diverges"
         );
-        let scalar_ns = time_ns(|| {
+        let (sketch, _) = compiled
+            .filter_moments_rowwise(&table, "r_mag")
+            .expect("rowwise avg");
+        assert_eq!(
+            oracle_avg,
+            sketch.aggregate(AggregateKind::Avg),
+            "rowwise AVG diverges"
+        );
+        let scalar_ns = time_ns(&mut || {
             let sel = cone.evaluate(&table).expect("oracle");
             compute_aggregate(&table, Some("r_mag"), AggregateKind::Avg, &sel)
                 .expect("aggregate")
                 .rows as u64
         });
-        let vectorized_ns = time_ns(|| {
+        let rowwise_ns = time_ns(&mut || {
+            compiled
+                .filter_moments_rowwise(&table, "r_mag")
+                .expect("rowwise")
+                .0
+                .matched as u64
+        });
+        let chunked_ns = time_ns(&mut || {
             compiled
                 .filter_moments(&table, "r_mag")
                 .expect("fused")
@@ -180,41 +272,77 @@ fn main() {
         rows.push(BenchRow {
             name: "fused_filter_avg",
             scalar_ns,
-            vectorized_ns,
+            rowwise_ns,
+            chunked_ns,
         });
     }
 
     // --- report ------------------------------------------------------------
     println!(
-        "{:<24} {:>14} {:>14} {:>9}",
-        "benchmark", "scalar", "vectorized", "speedup"
+        "{:<24} {:>12} {:>12} {:>12} {:>9} {:>9}",
+        "benchmark", "scalar", "rowwise", "chunked", "vs.scal", "vs.roww"
     );
     for row in &rows {
         println!(
-            "{:<24} {:>12.0}µs {:>12.0}µs {:>8.1}x",
+            "{:<24} {:>10.0}µs {:>10.0}µs {:>10.0}µs {:>8.1}x {:>8.1}x",
             row.name,
             row.scalar_ns / 1e3,
-            row.vectorized_ns / 1e3,
-            row.speedup()
+            row.rowwise_ns / 1e3,
+            row.chunked_ns / 1e3,
+            row.chunked_vs_scalar(),
+            row.chunked_vs_rowwise(),
         );
     }
-    let all_faster = rows.iter().all(|r| r.vectorized_ns < r.scalar_ns);
+    let all_faster = rows.iter().all(|r| r.chunked_ns < r.scalar_ns);
+    // conservative floor: the worst chunked-vs-scalar case
+    let chunked_vs_scalar = rows
+        .iter()
+        .map(BenchRow::chunked_vs_scalar)
+        .fold(f64::INFINITY, f64::min);
+    // the headline: the best chunked-vs-rowwise case, with its name
+    let headline = rows
+        .iter()
+        .max_by(|a, b| {
+            a.chunked_vs_rowwise()
+                .partial_cmp(&b.chunked_vs_rowwise())
+                .expect("finite ratios")
+        })
+        .expect("non-empty bench set");
     println!(
-        "\nvectorized path {} the scalar path on every case",
-        if all_faster { "beats" } else { "does NOT beat" }
+        "\nchunked path {} the scalar path on every case \
+         (worst chunked-vs-scalar {chunked_vs_scalar:.2}x); \
+         best chunked-vs-rowwise: {:.2}x on {}",
+        if all_faster { "beats" } else { "does NOT beat" },
+        headline.chunked_vs_rowwise(),
+        headline.name,
     );
 
     if let Some(path) = json_out {
         let mut json = String::from("{\n");
-        let _ = writeln!(json, "  \"rows\": {ROWS},");
-        let _ = writeln!(json, "  \"iterations\": {ITERS},");
+        let _ = writeln!(json, "  \"rows\": {rows_n},");
+        let _ = writeln!(json, "  \"iterations\": {iters},");
+        let _ = writeln!(json, "  \"quick_mode\": {quick},");
         let _ = writeln!(json, "  \"all_vectorized_faster\": {all_faster},");
+        let _ = writeln!(json, "  \"chunked_vs_scalar\": {chunked_vs_scalar:.2},");
+        let _ = writeln!(
+            json,
+            "  \"headline_chunked_vs_rowwise\": {:.2},",
+            headline.chunked_vs_rowwise()
+        );
+        let _ = writeln!(json, "  \"headline_case\": \"{}\",", headline.name);
         json.push_str("  \"benchmarks\": [\n");
         for (i, row) in rows.iter().enumerate() {
             let _ = write!(
                 json,
-                "    {{\"name\": \"{}\", \"scalar_ns\": {:.0}, \"vectorized_ns\": {:.0}, \"speedup\": {:.2}}}",
-                row.name, row.scalar_ns, row.vectorized_ns, row.speedup()
+                "    {{\"name\": \"{}\", \"scalar_ns\": {:.0}, \"rowwise_ns\": {:.0}, \
+                 \"chunked_ns\": {:.0}, \"chunked_vs_scalar\": {:.2}, \
+                 \"chunked_vs_rowwise\": {:.2}}}",
+                row.name,
+                row.scalar_ns,
+                row.rowwise_ns,
+                row.chunked_ns,
+                row.chunked_vs_scalar(),
+                row.chunked_vs_rowwise(),
             );
             json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
         }

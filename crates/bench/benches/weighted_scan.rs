@@ -1,8 +1,9 @@
 //! Selection-based vs streamed weighted (Hansen–Hurwitz) estimation on a
 //! paper-scale biased impression.
 //!
-//! A 200k-row biased impression (SkyServer column mix, skewed interest
-//! weights) is estimated three ways per aggregate:
+//! A biased impression (SkyServer column mix, skewed interest weights;
+//! 10M rows by default, 200k with `SCIBORQ_BENCH_QUICK=1`) is estimated
+//! three ways per aggregate:
 //!
 //! * **legacy selection path** — a faithful reproduction of the pre-streamed
 //!   estimator: materialise the selection vector, then allocate a
@@ -28,7 +29,7 @@
 //! bench binaries', so `cargo bench` can pass all of them to every binary).
 
 use sciborq_columnar::{
-    CompiledPredicate, DataType, Field, Partitioning, Predicate, RecordBatchBuilder, Schema,
+    Column, CompiledPredicate, DataType, Field, Partitioning, Predicate, RecordBatch, Schema,
     SelectionVector, Table, Value,
 };
 use sciborq_core::{Impression, SamplingPolicy};
@@ -36,12 +37,17 @@ use sciborq_stats::{Estimate, WeightedEstimator, WeightedObservation};
 use std::fmt::Write as _;
 use std::time::Instant;
 
-const ROWS: usize = 200_000;
-const ITERS: u32 = 9;
-/// The impression is treated as a biased sample of a 20M-row base table.
-const SOURCE_ROWS: u64 = 20_000_000;
+const FULL_ROWS: usize = 10_000_000;
+const QUICK_ROWS: usize = 200_000;
 
-fn build_impression() -> Impression {
+fn quick_mode() -> bool {
+    std::env::var("SCIBORQ_BENCH_QUICK").is_ok_and(|v| v == "1")
+}
+
+/// Bulk column construction (not per-row `Value` appends), so 10M-row
+/// table setup does not dominate bench startup. The impression is treated
+/// as a biased sample of a 100×-larger base table.
+fn build_impression(rows: usize) -> Impression {
     let schema = Schema::shared(vec![
         Field::new("objid", DataType::Int64),
         Field::new("ra", DataType::Float64),
@@ -51,62 +57,54 @@ fn build_impression() -> Impression {
     ])
     .unwrap();
     let classes = ["GALAXY", "STAR", "QSO"];
-    let mut b = RecordBatchBuilder::with_capacity(schema.clone(), ROWS);
-    let mut weights = Vec::with_capacity(ROWS);
-    for i in 0..ROWS as i64 {
-        let h = ((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) % 1_000_000) as f64 / 1_000_000.0;
-        let ra = (i % 3600) as f64 / 10.0;
-        let dec = h * 180.0 - 90.0;
-        let mag = if i % 17 == 0 {
+    let hash = |i: usize| {
+        ((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) % 1_000_000) as f64 / 1_000_000.0
+    };
+    let objid = Column::from_i64((0..rows as i64).collect());
+    let ra_values: Vec<f64> = (0..rows).map(|i| (i % 3600) as f64 / 10.0).collect();
+    let dec = Column::from_f64((0..rows).map(|i| hash(i) * 180.0 - 90.0).collect());
+    let mut r_mag = Column::with_capacity(DataType::Float64, rows);
+    for i in 0..rows {
+        let v = if i % 17 == 0 {
             Value::Null
         } else {
-            Value::Float64(14.0 + 10.0 * h)
+            Value::Float64(14.0 + 10.0 * hash(i))
         };
-        b.push_row(&[
-            Value::Int64(i),
-            Value::Float64(ra),
-            Value::Float64(dec),
-            mag,
-            Value::Utf8(classes[(i % 3) as usize].to_owned()),
-        ])
-        .unwrap();
-        // skewed interest weights: the 180°–190° focal band is ~8× more
-        // interesting than the background, like a focused workload's KDE
-        let focal = if (180.0..190.0).contains(&ra) {
-            8.0
-        } else {
-            1.0
-        };
-        weights.push(focal * (0.5 + h));
+        r_mag.push(&v).unwrap();
     }
-    let mut t = Table::new("photoobj", schema);
-    t.append_batch(&b.finish().unwrap()).unwrap();
-    // normaliser: the weights of the 20M observed tuples, extrapolated from
-    // the retained sample's mean weight
-    let total_observed_weight = weights.iter().sum::<f64>() / ROWS as f64 * SOURCE_ROWS as f64;
+    let class = Column::from_strings((0..rows).map(|i| classes[i % 3]));
+    // skewed interest weights: the 180°–190° focal band is ~8× more
+    // interesting than the background, like a focused workload's KDE
+    let weights: Vec<f64> = ra_values
+        .iter()
+        .enumerate()
+        .map(|(i, ra)| {
+            let focal = if (180.0..190.0).contains(ra) {
+                8.0
+            } else {
+                1.0
+            };
+            focal * (0.5 + hash(i))
+        })
+        .collect();
+    let ra = Column::from_f64(ra_values);
+    let batch = RecordBatch::new(schema, vec![objid, ra, dec, r_mag, class]).unwrap();
+    let t = Table::from_batch("photoobj", batch);
+    let source_rows = rows as u64 * 100;
+    // normaliser: the weights of the observed base tuples, extrapolated
+    // from the retained sample's mean weight
+    let total_observed_weight = weights.iter().sum::<f64>() / rows as f64 * source_rows as f64;
     Impression::new(
         "photoobj.layer1.biased",
         "photoobj",
         t,
         weights,
         total_observed_weight,
-        SOURCE_ROWS,
+        source_rows,
         SamplingPolicy::biased(["ra"]),
         1,
     )
     .unwrap()
-}
-
-fn time_ns(mut f: impl FnMut() -> u64) -> f64 {
-    std::hint::black_box(f());
-    let mut sink = 0u64;
-    let start = Instant::now();
-    for _ in 0..ITERS {
-        sink = sink.wrapping_add(f());
-    }
-    let elapsed = start.elapsed().as_nanos() as f64 / ITERS as f64;
-    std::hint::black_box(sink);
-    elapsed
 }
 
 /// The pre-streamed estimator path, reproduced verbatim: zero-extended
@@ -146,6 +144,24 @@ fn legacy_sum_estimate(imp: &Impression, column: &str, selection: &SelectionVect
         est.sample_size = selection.len();
     }
     est
+}
+
+/// Iterations per case, set once in `main` (more in quick mode, fewer at
+/// the 10M-row full scale where each legacy iteration allocates an
+/// observation per impression row).
+static ITERS: std::sync::atomic::AtomicU32 = std::sync::atomic::AtomicU32::new(9);
+
+fn time_ns(mut f: impl FnMut() -> u64) -> f64 {
+    let iters = ITERS.load(std::sync::atomic::Ordering::Relaxed);
+    std::hint::black_box(f());
+    let mut sink = 0u64;
+    let start = Instant::now();
+    for _ in 0..iters {
+        sink = sink.wrapping_add(f());
+    }
+    let elapsed = start.elapsed().as_nanos() as f64 / iters as f64;
+    std::hint::black_box(sink);
+    elapsed
 }
 
 struct BenchRow {
@@ -281,14 +297,19 @@ fn main() {
         // remaining flags (e.g. cargo bench's `--bench`) are ignored
     }
 
-    let imp = build_impression();
+    let quick = quick_mode();
+    let rows_n = if quick { QUICK_ROWS } else { FULL_ROWS };
+    let iters: u32 = if quick { 9 } else { 3 };
+    ITERS.store(iters, std::sync::atomic::Ordering::Relaxed);
+    let imp = build_impression(rows_n);
     let table = imp.data();
     let schema = table.schema();
     let probs = imp.selection_probabilities();
     println!(
         "weighted_scan: selection-based vs streamed Hansen–Hurwitz estimation \
-         on a {}-row biased impression ({ITERS} iters/case)\n",
-        imp.row_count()
+         on a {}-row biased impression ({iters} iters/case{})\n",
+        imp.row_count(),
+        if quick { ", quick mode" } else { "" }
     );
 
     // 50% selectivity — the selection path materialises ~100k row ids
@@ -426,9 +447,10 @@ fn main() {
 
     if let Some(path) = json_out {
         let mut json = String::from("{\n");
-        let _ = writeln!(json, "  \"rows\": {ROWS},");
-        let _ = writeln!(json, "  \"iterations\": {ITERS},");
-        let _ = writeln!(json, "  \"source_rows\": {SOURCE_ROWS},");
+        let _ = writeln!(json, "  \"rows\": {rows_n},");
+        let _ = writeln!(json, "  \"iterations\": {iters},");
+        let _ = writeln!(json, "  \"quick_mode\": {quick},");
+        let _ = writeln!(json, "  \"source_rows\": {},", rows_n as u64 * 100);
         let _ = writeln!(json, "  \"bit_identical\": true,");
         let _ = writeln!(json, "  \"selection_vs_streamed_speedup\": {headline:.2},");
         let _ = writeln!(

@@ -12,12 +12,24 @@ use serde::{Deserialize, Serialize};
 
 /// A validity bitmap tracking which rows are non-NULL.
 ///
-/// The bitmap is stored as packed 64-bit words. An absent bitmap (all-valid)
-/// is represented by the owning column keeping `null_count == 0`.
+/// The bitmap is stored as packed 64-bit words, bit `i % 64` of word
+/// `i / 64` holding row `i` — the same word layout the chunked scan kernels
+/// use for their match masks, so validity can be ANDed into a match mask
+/// word-at-a-time ([`Bitmap::and_into`]). Bits beyond `len` in the last word
+/// are always zero (the tail invariant the kernels rely on). An absent
+/// bitmap (all-valid) is represented by the owning column keeping
+/// `null_count == 0`.
+///
+/// The count of cleared bits is cached and maintained on every mutation, so
+/// [`Bitmap::count_set`]/[`Bitmap::count_unset`] — and through them
+/// `Column::null_count`, which the kernels consult on every scan — are O(1)
+/// instead of a popcount over the whole bitmap.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Bitmap {
     words: Vec<u64>,
     len: usize,
+    /// Cached number of cleared (NULL) bits among the first `len` bits.
+    zeros: usize,
 }
 
 impl Bitmap {
@@ -32,6 +44,7 @@ impl Bitmap {
         let mut bm = Bitmap {
             words: vec![word; len.div_ceil(64)],
             len,
+            zeros: if valid { 0 } else { len },
         };
         bm.mask_tail();
         bm
@@ -65,6 +78,8 @@ impl Bitmap {
         if valid {
             let word = self.len / 64;
             self.words[word] |= 1u64 << bit;
+        } else {
+            self.zeros += 1;
         }
         self.len += 1;
     }
@@ -80,6 +95,12 @@ impl Bitmap {
         assert!(idx < self.len, "bitmap index out of bounds");
         let word = idx / 64;
         let bit = idx % 64;
+        let was_valid = (self.words[word] >> bit) & 1 == 1;
+        match (was_valid, valid) {
+            (true, false) => self.zeros += 1,
+            (false, true) => self.zeros -= 1,
+            _ => {}
+        }
         if valid {
             self.words[word] |= 1u64 << bit;
         } else {
@@ -87,9 +108,42 @@ impl Bitmap {
         }
     }
 
-    /// Number of set (valid) bits.
+    /// Number of set (valid) bits. O(1): derived from the cached zero count.
     pub fn count_set(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        self.len - self.zeros
+    }
+
+    /// Number of cleared (NULL) bits. O(1).
+    pub fn count_unset(&self) -> usize {
+        self.zeros
+    }
+
+    /// The packed 64-bit words backing the bitmap. Word `w` holds rows
+    /// `[w*64, w*64+64)`; bits at positions `>= len` are guaranteed zero.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// AND this bitmap's words into `out`, where `out[k]` corresponds to
+    /// word `first_word + k` of the bitmap. Words past the end of the bitmap
+    /// are treated as all-zero (no rows, hence no valid rows).
+    pub fn and_into(&self, first_word: usize, out: &mut [u64]) {
+        for (k, slot) in out.iter_mut().enumerate() {
+            *slot &= self.words.get(first_word + k).copied().unwrap_or(0);
+        }
+    }
+
+    /// The mask of in-range bits for the last word of a `len`-bit bitmap:
+    /// all ones when `len` is a multiple of 64, otherwise only the low
+    /// `len % 64` bits. This is the tail-masking rule both the bitmap and
+    /// the chunked match masks follow.
+    pub fn tail_mask(len: usize) -> u64 {
+        let tail_bits = len % 64;
+        if tail_bits == 0 {
+            u64::MAX
+        } else {
+            (1u64 << tail_bits) - 1
+        }
     }
 }
 
@@ -124,6 +178,29 @@ pub enum Column {
     Utf8 {
         /// Dense values (NULL slots hold the empty string).
         values: Vec<String>,
+        /// Validity bitmap.
+        validity: Bitmap,
+    },
+    /// Dictionary-encoded UTF-8 string column.
+    ///
+    /// Row values are `u32` codes indexing into a **sorted, deduplicated**
+    /// dictionary of the distinct strings, so code order equals
+    /// lexicographic order: string equality and range predicates translate
+    /// into pure integer-code compares (done once per scan in the compiled
+    /// pipeline), which the chunked kernels then evaluate branchlessly.
+    ///
+    /// The logical data type is still [`DataType::Utf8`]; dictionary
+    /// encoding is a physical representation, invisible to schemas and the
+    /// dynamically typed accessors. Appends of strings already in the
+    /// dictionary are O(log dict); a *new* distinct string is inserted at
+    /// its sorted position and existing codes are remapped (O(rows)), which
+    /// is cheap for the low-cardinality label columns this encoding targets
+    /// and still correct for any other.
+    Utf8Dict {
+        /// Per-row dictionary codes (NULL slots hold 0, never dereferenced).
+        codes: Vec<u32>,
+        /// Sorted, deduplicated dictionary the codes index into.
+        dict: Vec<String>,
         /// Validity bitmap.
         validity: Bitmap,
     },
@@ -199,13 +276,15 @@ impl Column {
         Column::Utf8 { values, validity }
     }
 
-    /// The data type of this column.
+    /// The data type of this column. Dictionary encoding is a physical
+    /// representation: a [`Column::Utf8Dict`] column is still logically
+    /// [`DataType::Utf8`].
     pub fn data_type(&self) -> DataType {
         match self {
             Column::Int64 { .. } => DataType::Int64,
             Column::Float64 { .. } => DataType::Float64,
             Column::Bool { .. } => DataType::Bool,
-            Column::Utf8 { .. } => DataType::Utf8,
+            Column::Utf8 { .. } | Column::Utf8Dict { .. } => DataType::Utf8,
         }
     }
 
@@ -216,6 +295,7 @@ impl Column {
             Column::Float64 { values, .. } => values.len(),
             Column::Bool { values, .. } => values.len(),
             Column::Utf8 { values, .. } => values.len(),
+            Column::Utf8Dict { codes, .. } => codes.len(),
         }
     }
 
@@ -224,9 +304,9 @@ impl Column {
         self.len() == 0
     }
 
-    /// Number of NULL rows.
+    /// Number of NULL rows. O(1): the bitmap caches its cleared-bit count.
     pub fn null_count(&self) -> usize {
-        self.len() - self.validity().count_set()
+        self.validity().count_unset()
     }
 
     /// The validity bitmap (cleared bits are NULL rows).
@@ -239,6 +319,7 @@ impl Column {
             Column::Float64 { validity, .. } => validity,
             Column::Bool { validity, .. } => validity,
             Column::Utf8 { validity, .. } => validity,
+            Column::Utf8Dict { validity, .. } => validity,
         }
     }
 
@@ -311,6 +392,49 @@ impl Column {
                 validity.push(false);
                 Ok(())
             }
+            (
+                Column::Utf8Dict {
+                    codes,
+                    dict,
+                    validity,
+                },
+                Value::Utf8(v),
+            ) => {
+                let code = match dict.binary_search_by(|d| d.as_str().cmp(v.as_str())) {
+                    Ok(found) => found as u32,
+                    Err(pos) => {
+                        // New distinct string: insert at its sorted position
+                        // and shift existing codes up to keep code order ==
+                        // lexicographic order. O(rows), but only on the
+                        // first occurrence of each distinct value.
+                        let pos_u32 = u32::try_from(pos).map_err(|_| {
+                            ColumnarError::InvalidArgument(
+                                "dictionary exceeds u32 code space".to_owned(),
+                            )
+                        })?;
+                        dict.insert(pos, v.clone());
+                        for c in codes.iter_mut() {
+                            if *c >= pos_u32 {
+                                *c += 1;
+                            }
+                        }
+                        pos_u32
+                    }
+                };
+                codes.push(code);
+                validity.push(true);
+                Ok(())
+            }
+            (
+                Column::Utf8Dict {
+                    codes, validity, ..
+                },
+                Value::Null,
+            ) => {
+                codes.push(0);
+                validity.push(false);
+                Ok(())
+            }
             (col, value) => Err(ColumnarError::TypeMismatch {
                 column: String::new(),
                 expected: col.data_type().name(),
@@ -335,6 +459,7 @@ impl Column {
             Column::Float64 { values, .. } => Value::Float64(values[idx]),
             Column::Bool { values, .. } => Value::Bool(values[idx]),
             Column::Utf8 { values, .. } => Value::Utf8(values[idx].clone()),
+            Column::Utf8Dict { codes, dict, .. } => Value::Utf8(dict[codes[idx] as usize].clone()),
         })
     }
 
@@ -381,7 +506,35 @@ impl Column {
     }
 
     /// Produce a new column containing only the rows at the given positions.
+    ///
+    /// A dictionary-encoded column stays dictionary-encoded: the codes are
+    /// gathered and the dictionary cloned wholesale, with no per-row string
+    /// clones or binary searches.
     pub fn gather(&self, rows: &[usize]) -> Result<Column> {
+        if let Column::Utf8Dict {
+            codes,
+            dict,
+            validity,
+        } = self
+        {
+            let mut out_codes = Vec::with_capacity(rows.len());
+            let mut out_validity = Bitmap::new();
+            for &row in rows {
+                if row >= codes.len() {
+                    return Err(ColumnarError::RowOutOfBounds {
+                        row,
+                        len: codes.len(),
+                    });
+                }
+                out_codes.push(codes[row]);
+                out_validity.push(validity.get(row));
+            }
+            return Ok(Column::Utf8Dict {
+                codes: out_codes,
+                dict: dict.clone(),
+                validity: out_validity,
+            });
+        }
         let mut out = Column::with_capacity(self.data_type(), rows.len());
         out.extend_gather(self, rows)?;
         Ok(out)
@@ -405,6 +558,9 @@ impl Column {
                 Column::Float64 { values, .. } => values.len() * 8,
                 Column::Bool { values, .. } => values.len(),
                 Column::Utf8 { values, .. } => values.iter().map(|s| s.len() + 24).sum::<usize>(),
+                Column::Utf8Dict { codes, dict, .. } => {
+                    codes.len() * 4 + dict.iter().map(|s| s.len() + 24).sum::<usize>()
+                }
             }
     }
 
@@ -432,13 +588,67 @@ impl Column {
         }
     }
 
-    /// Borrow the raw `String` slice when the column is a Utf8 column — the
-    /// zero-clone access path of the string scan kernels.
+    /// Borrow the raw `String` slice when the column is a *plain* Utf8
+    /// column — the zero-clone access path of the string scan kernels.
+    /// Dictionary-encoded columns return `None`; use
+    /// [`Column::dict_parts`] for their code/dictionary view.
     pub fn utf8_slice(&self) -> Option<&[String]> {
         match self {
             Column::Utf8 { values, .. } => Some(values),
             _ => None,
         }
+    }
+
+    /// Borrow the `(codes, dict)` pair when the column is dictionary-encoded.
+    ///
+    /// The dictionary is sorted and deduplicated, so `dict[codes[i]]` is row
+    /// `i`'s string and code order equals lexicographic order.
+    pub fn dict_parts(&self) -> Option<(&[u32], &[String])> {
+        match self {
+            Column::Utf8Dict { codes, dict, .. } => Some((codes, dict)),
+            _ => None,
+        }
+    }
+
+    /// Dictionary-encode a plain Utf8 column.
+    ///
+    /// Returns the encoded [`Column::Utf8Dict`] when this is a plain Utf8
+    /// column whose distinct valid-value count is at most `max_cardinality`;
+    /// `None` otherwise (non-string columns, already-encoded columns, or a
+    /// dictionary that would be too large to pay off). NULL rows keep their
+    /// cleared validity bit and store code 0, which is never dereferenced.
+    pub fn dict_encoded(&self, max_cardinality: usize) -> Option<Column> {
+        let Column::Utf8 { values, validity } = self else {
+            return None;
+        };
+        let max_cardinality = max_cardinality.min(u32::MAX as usize);
+        let mut set: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
+        for (i, v) in values.iter().enumerate() {
+            if validity.get(i) {
+                set.insert(v.as_str());
+                if set.len() > max_cardinality {
+                    return None;
+                }
+            }
+        }
+        let dict: Vec<String> = set.iter().map(|s| (*s).to_owned()).collect();
+        let codes: Vec<u32> = values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                if validity.get(i) {
+                    dict.binary_search_by(|d| d.as_str().cmp(v.as_str()))
+                        .expect("every valid value is in the dictionary") as u32
+                } else {
+                    0
+                }
+            })
+            .collect();
+        Some(Column::Utf8Dict {
+            codes,
+            dict,
+            validity: validity.clone(),
+        })
     }
 }
 
@@ -594,5 +804,116 @@ mod tests {
         c.push(&Value::Null).unwrap();
         let collected: Vec<Option<f64>> = c.iter_f64().collect();
         assert_eq!(collected, vec![Some(1.0), None]);
+    }
+
+    #[test]
+    fn bitmap_cached_counts_track_mutations() {
+        let mut bm = Bitmap::new();
+        for i in 0..200 {
+            bm.push(i % 3 == 0);
+        }
+        let expected_set = (0..200).filter(|i| i % 3 == 0).count();
+        assert_eq!(bm.count_set(), expected_set);
+        assert_eq!(bm.count_unset(), 200 - expected_set);
+        bm.set(1, true); // was false
+        assert_eq!(bm.count_set(), expected_set + 1);
+        bm.set(1, true); // idempotent
+        assert_eq!(bm.count_set(), expected_set + 1);
+        bm.set(0, false); // was true
+        assert_eq!(bm.count_set(), expected_set);
+        assert_eq!(Bitmap::with_len(77, false).count_unset(), 77);
+        assert_eq!(Bitmap::with_len(77, true).count_unset(), 0);
+    }
+
+    #[test]
+    fn bitmap_words_and_tail_invariant() {
+        let mut bm = Bitmap::new();
+        for _ in 0..70 {
+            bm.push(true);
+        }
+        assert_eq!(bm.words().len(), 2);
+        assert_eq!(bm.words()[0], u64::MAX);
+        // bits beyond len stay zero
+        assert_eq!(bm.words()[1], Bitmap::tail_mask(70) & bm.words()[1]);
+        assert_eq!(bm.words()[1], (1u64 << 6) - 1);
+        assert_eq!(Bitmap::tail_mask(64), u64::MAX);
+        assert_eq!(Bitmap::tail_mask(1), 1);
+    }
+
+    #[test]
+    fn bitmap_and_into_word_window() {
+        let mut bm = Bitmap::new();
+        for i in 0..130 {
+            bm.push(i % 2 == 0);
+        }
+        let mut out = [u64::MAX; 2];
+        bm.and_into(1, &mut out);
+        assert_eq!(out[0], bm.words()[1]);
+        assert_eq!(out[1], bm.words()[2]);
+        // words past the end are treated as all-zero
+        let mut out = [u64::MAX; 2];
+        bm.and_into(2, &mut out);
+        assert_eq!(out[0], bm.words()[2]);
+        assert_eq!(out[1], 0);
+    }
+
+    #[test]
+    fn dict_encode_roundtrip_and_sorted_codes() {
+        let mut c = Column::new(DataType::Utf8);
+        for v in ["STAR", "GALAXY", "QSO", "GALAXY", "STAR"] {
+            c.push(&Value::Utf8(v.into())).unwrap();
+        }
+        c.push(&Value::Null).unwrap();
+        let d = c.dict_encoded(usize::MAX).expect("utf8 encodes");
+        assert_eq!(d.data_type(), DataType::Utf8);
+        assert_eq!(d.len(), 6);
+        assert_eq!(d.null_count(), 1);
+        let (codes, dict) = d.dict_parts().unwrap();
+        assert_eq!(dict, &["GALAXY", "QSO", "STAR"]);
+        assert_eq!(codes, &[2, 0, 1, 0, 2, 0]);
+        for i in 0..6 {
+            assert_eq!(d.get(i).unwrap(), c.get(i).unwrap(), "row {i}");
+        }
+        // cardinality cap
+        assert!(c.dict_encoded(2).is_none());
+        // only plain Utf8 encodes
+        assert!(d.dict_encoded(usize::MAX).is_none());
+        assert!(Column::from_i64(vec![1]).dict_encoded(10).is_none());
+    }
+
+    #[test]
+    fn dict_push_known_and_new_strings() {
+        let base = Column::from_strings(["b", "d"]);
+        let mut d = base.dict_encoded(usize::MAX).unwrap();
+        d.push(&Value::Utf8("d".into())).unwrap(); // existing
+        d.push(&Value::Utf8("a".into())).unwrap(); // new, sorts first: remap
+        d.push(&Value::Utf8("c".into())).unwrap(); // new, sorts middle
+        d.push(&Value::Null).unwrap();
+        let (codes, dict) = d.dict_parts().unwrap();
+        assert_eq!(dict, &["a", "b", "c", "d"]);
+        assert_eq!(codes, &[1, 3, 3, 0, 2, 0]);
+        assert!(d.is_null(5));
+        let expected = ["b", "d", "d", "a", "c"];
+        for (i, e) in expected.iter().enumerate() {
+            assert_eq!(d.get(i).unwrap(), Value::Utf8((*e).into()));
+        }
+        // type mismatch still rejected
+        assert!(d.push(&Value::Int64(3)).is_err());
+    }
+
+    #[test]
+    fn dict_gather_preserves_encoding() {
+        let mut c = Column::new(DataType::Utf8);
+        for v in [Some("y"), None, Some("x"), Some("y")] {
+            c.push(&v.map_or(Value::Null, |s| Value::Utf8(s.into())))
+                .unwrap();
+        }
+        let d = c.dict_encoded(usize::MAX).unwrap();
+        let g = d.gather(&[3, 1, 0]).unwrap();
+        assert!(g.dict_parts().is_some(), "gather keeps dict encoding");
+        assert_eq!(g.get(0).unwrap(), Value::Utf8("y".into()));
+        assert_eq!(g.get(1).unwrap(), Value::Null);
+        assert_eq!(g.get(2).unwrap(), Value::Utf8("y".into()));
+        assert!(d.gather(&[9]).is_err());
     }
 }

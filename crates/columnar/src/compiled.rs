@@ -9,28 +9,41 @@
 //! typed tight-loop kernels from [`crate::kernels`] over the raw column
 //! vectors.
 //!
-//! Conjunctions are executed MonetDB-style: the first predicate scans the
-//! full column, every later predicate only visits the surviving candidate
-//! rows. The fused entry points ([`CompiledPredicate::count_matches`] and
-//! [`CompiledPredicate::filter_moments`]) go one step further and never
-//! materialise the final selection: the last predicate of the conjunction
-//! streams matching rows directly into a count or a [`MomentSketch`].
+//! Evaluation itself is *chunked*: the predicate is evaluated over a
+//! [`MatchMask`] — one `u64` of match bits per 64-row chunk, word-aligned
+//! with the validity bitmaps. Leaves refine the running mask in place with
+//! the branchless `mask_*` kernels (zero candidate words are skipped, so
+//! conjunction refinement is wordwise intersection, MonetDB-style); Or/Not
+//! combine whole masks with single AND/OR/ANDNOT sweeps; and the surviving
+//! bits stream into the terminal [`SelectionSink`] through
+//! [`SelectionSink::accept_word`] in ascending row order, which is what
+//! keeps the fused count/moments/weighted folds bit-identical to the scalar
+//! oracle. String predicates over dictionary-encoded Utf8 columns are
+//! translated into integer code ranges ([`DictPred`]) at dispatch time, so
+//! their scans are pure integer compares.
+//!
+//! The previous row-at-a-time tier (candidate lists, one `is_valid` test
+//! per row) is retained behind the `*_rowwise` entry points as the
+//! benchmark baseline the chunked tier is measured against.
 //!
 //! Semantics match `Predicate::evaluate` (the scalar oracle) with one
 //! documented exception: a NaN stored in a Float64 *cell* is rejected lazily
-//! — only when a kernel actually visits that row — whereas the oracle's
-//! full-column scans always visit it. Candidate refinement can therefore
-//! skip a poisoned row that a full scan would have rejected. NaN data is out
-//! of contract; NaN *constants* are handled with full oracle parity.
+//! — only when a kernel actually visits that row as a live candidate —
+//! whereas the oracle's full-column scans always visit it. Candidate
+//! refinement can therefore skip a poisoned row that a full scan would have
+//! rejected. NaN data is out of contract; NaN *constants* are handled with
+//! full oracle parity.
 
 use crate::column::Column;
 use crate::error::{ColumnarError, Result};
 use crate::expr::{CompareOp, Predicate};
 use crate::kernels::{
-    any_valid, scan_all, scan_cmp_bool, scan_cmp_f64, scan_cmp_i64, scan_cmp_i64_f64, scan_cmp_str,
-    scan_is_not_null, scan_is_null, scan_range_bool, scan_range_f64, scan_range_i64,
-    scan_range_str, AggSource, CountSink, MomentSink, MomentSketch, NumBound, ScanDomain,
-    SelectionSink, WeightedMomentSink,
+    any_valid, mask_all, mask_cmp_bool, mask_cmp_f64, mask_cmp_i64, mask_cmp_i64_f64, mask_cmp_str,
+    mask_dict, mask_is_not_null, mask_is_null, mask_range_bool, mask_range_f64, mask_range_i64,
+    mask_range_str, scan_all, scan_cmp_bool, scan_cmp_f64, scan_cmp_i64, scan_cmp_i64_f64,
+    scan_cmp_str, scan_dict, scan_is_not_null, scan_is_null, scan_range_bool, scan_range_f64,
+    scan_range_i64, scan_range_str, AggSource, CountSink, DictPred, MatchMask, MomentSink,
+    MomentSketch, NumBound, ScanDomain, SelectionSink, WeightedMomentSink,
 };
 use crate::partition::Partitioning;
 use crate::schema::SchemaRef;
@@ -187,13 +200,14 @@ impl CompiledPredicate {
     pub fn evaluate_with_stats(&self, table: &Table) -> Result<(SelectionVector, ScanStats)> {
         self.check_table(table)?;
         let mut stats = ScanStats::default();
-        let sel = eval_node(
-            &self.root,
+        let mut rows: Vec<usize> = Vec::new();
+        self.run_fused(
             table,
             ScanDomain::Full(table.row_count()),
+            &mut rows,
             &mut stats,
         )?;
-        Ok((sel, stats))
+        Ok((SelectionVector::from_sorted_rows(rows), stats))
     }
 
     /// Fused filter+count: the number of matching rows, without
@@ -347,11 +361,86 @@ impl CompiledPredicate {
         Ok(stats)
     }
 
-    /// Run the predicate over `base` with the conjunction prefix refined
-    /// into candidate lists and the *last* conjunct streamed into `sink`.
-    /// `base` is the full table for the single-threaded path and one shard's
-    /// row range for the partitioned path.
+    /// Run the predicate over `base` through the chunked mask evaluator:
+    /// seed a [`MatchMask`] covering the base rows, refine it word-at-a-time
+    /// through every node, and stream the surviving bits into `sink` in
+    /// ascending row order. `base` is the full table for the single-threaded
+    /// path and one shard's row range (or one serial batch) for the
+    /// partitioned and multi-scan paths.
     fn run_fused<S: SelectionSink>(
+        &self,
+        table: &Table,
+        base: ScanDomain,
+        sink: &mut S,
+        stats: &mut ScanStats,
+    ) -> Result<()> {
+        let (start, end) = match base {
+            ScanDomain::Full(len) => (0, len),
+            ScanDomain::Range { start, end } => (start, end.max(start)),
+            // candidate-list domains only arise inside the rowwise tier
+            ScanDomain::Candidates(_) => return self.run_fused_rowwise(table, base, sink, stats),
+        };
+        let mut mask = MatchMask::coverage(start, end);
+        refine_node(&self.root, table, &mut mask, stats)?;
+        mask.emit(sink);
+        Ok(())
+    }
+
+    /// Row-at-a-time evaluation to a selection vector — the retained PR 2
+    /// execution tier (scalar `is_valid` tests, candidate lists), kept as
+    /// the baseline the chunked tier is benchmarked against.
+    pub fn evaluate_rowwise(&self, table: &Table) -> Result<(SelectionVector, ScanStats)> {
+        self.check_table(table)?;
+        let mut stats = ScanStats::default();
+        let mut rows: Vec<usize> = Vec::new();
+        self.run_fused_rowwise(
+            table,
+            ScanDomain::Full(table.row_count()),
+            &mut rows,
+            &mut stats,
+        )?;
+        Ok((SelectionVector::from_sorted_rows(rows), stats))
+    }
+
+    /// Row-at-a-time fused filter+count (the PR 2 tier; see
+    /// [`CompiledPredicate::evaluate_rowwise`]).
+    pub fn count_matches_rowwise(&self, table: &Table) -> Result<(usize, ScanStats)> {
+        self.check_table(table)?;
+        let mut stats = ScanStats::default();
+        let mut sink = CountSink::default();
+        self.run_fused_rowwise(
+            table,
+            ScanDomain::Full(table.row_count()),
+            &mut sink,
+            &mut stats,
+        )?;
+        Ok((sink.0, stats))
+    }
+
+    /// Row-at-a-time fused filter+aggregate (the PR 2 tier; see
+    /// [`CompiledPredicate::evaluate_rowwise`]).
+    pub fn filter_moments_rowwise(
+        &self,
+        table: &Table,
+        column: &str,
+    ) -> Result<(MomentSketch, ScanStats)> {
+        self.check_table(table)?;
+        let source = numeric_source(table, column)?;
+        let mut stats = ScanStats::default();
+        let mut sink = MomentSink::new(source);
+        self.run_fused_rowwise(
+            table,
+            ScanDomain::Full(table.row_count()),
+            &mut sink,
+            &mut stats,
+        )?;
+        Ok((sink.sketch, stats))
+    }
+
+    /// Run the predicate over `base` with the conjunction prefix refined
+    /// into candidate lists and the *last* conjunct streamed into `sink` —
+    /// the row-at-a-time legacy tier.
+    fn run_fused_rowwise<S: SelectionSink>(
         &self,
         table: &Table,
         base: ScanDomain,
@@ -928,6 +1017,237 @@ fn domain_minus(domain: ScanDomain, sel: &SelectionVector) -> SelectionVector {
     }
 }
 
+/// Evaluate a node by refining `mask` in place — the chunked execution
+/// tier. On entry the mask holds the candidate rows (the coverage of the
+/// base range for a root call); on exit it holds the rows that also satisfy
+/// `node`.
+///
+/// Error-semantics parity with the scalar oracle: the oracle evaluates
+/// every child of a combinator over the *full table* and only
+/// short-circuits a conjunction when the running intersection is globally
+/// empty. Leaf children may refine the running mask directly (a leaf's
+/// in-contract errors are either candidate-independent — `ErrOnValid`
+/// checks the whole column — or out-of-contract NaN data), but a
+/// *composite* child must be evaluated into a fresh coverage mask of the
+/// whole base range and intersected afterwards: refining a nested AND in
+/// place would let the outer candidates starve an inner conjunct whose
+/// emptiness — not the intersection's — is what gates the oracle's
+/// evaluation of the conjunct after it.
+fn refine_node(
+    node: &Node,
+    table: &Table,
+    mask: &mut MatchMask,
+    stats: &mut ScanStats,
+) -> Result<()> {
+    match node {
+        Node::And(children) => {
+            for child in children {
+                // the oracle breaks out of a conjunction as soon as the
+                // running intersection is empty, skipping any error a later
+                // conjunct would raise
+                if mask.is_empty() {
+                    break;
+                }
+                match child {
+                    Node::And(_) | Node::Or(_) | Node::Not(_) => {
+                        let mut cover = MatchMask::coverage(mask.start(), mask.end());
+                        refine_node(child, table, &mut cover, stats)?;
+                        mask.and_with(&cover);
+                    }
+                    leaf => refine_leaf(leaf, table, mask, stats)?,
+                }
+            }
+            Ok(())
+        }
+        Node::Or(children) => {
+            let mut acc = MatchMask::coverage(mask.start(), mask.end());
+            acc.clear();
+            for child in children {
+                let mut cover = MatchMask::coverage(mask.start(), mask.end());
+                refine_node(child, table, &mut cover, stats)?;
+                acc.or_with(&cover);
+            }
+            mask.and_with(&acc);
+            Ok(())
+        }
+        Node::Not(child) => {
+            let mut cover = MatchMask::coverage(mask.start(), mask.end());
+            refine_node(child, table, &mut cover, stats)?;
+            mask.and_not(&cover);
+            Ok(())
+        }
+        leaf => refine_leaf(leaf, table, mask, stats),
+    }
+}
+
+/// Dispatch a leaf node to its chunked mask kernel.
+fn refine_leaf(
+    node: &Node,
+    table: &Table,
+    mask: &mut MatchMask,
+    stats: &mut ScanStats,
+) -> Result<()> {
+    match node {
+        Node::All => {
+            stats.visit(mask_all(mask).visited);
+            Ok(())
+        }
+        Node::Nothing => {
+            mask.clear();
+            Ok(())
+        }
+        Node::CmpI64 { col, op, bound } => {
+            let c = column_at(table, *col);
+            let scan = mask_cmp_i64(
+                c.i64_slice().expect("Int64 column"),
+                c.validity_ref(),
+                *op,
+                *bound,
+                mask,
+            );
+            stats.visit(scan.visited);
+            Ok(())
+        }
+        Node::CmpI64F { col, op, bound } => {
+            let c = column_at(table, *col);
+            mask_cmp_i64_f64(
+                c.i64_slice().expect("Int64 column"),
+                c.validity_ref(),
+                *op,
+                *bound,
+                mask,
+            )
+            .map(|scan| stats.visit(scan.visited))
+            .map_err(|_| mismatch_error(table, *col, "Float64"))
+        }
+        Node::CmpF64 { col, op, bound } => {
+            let c = column_at(table, *col);
+            mask_cmp_f64(
+                c.f64_slice().expect("Float64 column"),
+                c.validity_ref(),
+                *op,
+                *bound,
+                mask,
+            )
+            .map(|scan| stats.visit(scan.visited))
+            .map_err(|_| mismatch_error(table, *col, "Float64"))
+        }
+        Node::CmpBool { col, op, bound } => {
+            let c = column_at(table, *col);
+            let scan = mask_cmp_bool(
+                c.bool_slice().expect("Bool column"),
+                c.validity_ref(),
+                *op,
+                *bound,
+                mask,
+            );
+            stats.visit(scan.visited);
+            Ok(())
+        }
+        Node::CmpStr { col, op, bound } => {
+            let c = column_at(table, *col);
+            let scan = match c.dict_parts() {
+                Some((codes, dict)) => mask_dict(
+                    codes,
+                    c.validity_ref(),
+                    DictPred::compare(dict, *op, bound),
+                    mask,
+                ),
+                None => mask_cmp_str(
+                    c.utf8_slice().expect("Utf8 column"),
+                    c.validity_ref(),
+                    *op,
+                    bound,
+                    mask,
+                ),
+            };
+            stats.visit(scan.visited);
+            Ok(())
+        }
+        Node::RangeI64 { col, low, high } => {
+            let c = column_at(table, *col);
+            mask_range_i64(
+                c.i64_slice().expect("Int64 column"),
+                c.validity_ref(),
+                *low,
+                *high,
+                mask,
+            )
+            .map(|scan| stats.visit(scan.visited))
+            .map_err(|_| mismatch_error(table, *col, "Float64"))
+        }
+        Node::RangeF64 { col, low, high } => {
+            let c = column_at(table, *col);
+            mask_range_f64(
+                c.f64_slice().expect("Float64 column"),
+                c.validity_ref(),
+                *low,
+                *high,
+                mask,
+            )
+            .map(|scan| stats.visit(scan.visited))
+            .map_err(|_| mismatch_error(table, *col, "Float64"))
+        }
+        Node::RangeStr { col, low, high } => {
+            let c = column_at(table, *col);
+            let scan = match c.dict_parts() {
+                Some((codes, dict)) => mask_dict(
+                    codes,
+                    c.validity_ref(),
+                    DictPred::range(dict, low, high),
+                    mask,
+                ),
+                None => mask_range_str(
+                    c.utf8_slice().expect("Utf8 column"),
+                    c.validity_ref(),
+                    low,
+                    high,
+                    mask,
+                ),
+            };
+            stats.visit(scan.visited);
+            Ok(())
+        }
+        Node::RangeBool { col, low, high } => {
+            let c = column_at(table, *col);
+            let scan = mask_range_bool(
+                c.bool_slice().expect("Bool column"),
+                c.validity_ref(),
+                *low,
+                *high,
+                mask,
+            );
+            stats.visit(scan.visited);
+            Ok(())
+        }
+        Node::IsNull { col } => {
+            let c = column_at(table, *col);
+            stats.visit(mask_is_null(c.validity_ref(), mask).visited);
+            Ok(())
+        }
+        Node::IsNotNull { col } => {
+            let c = column_at(table, *col);
+            stats.visit(mask_is_not_null(c.validity_ref(), mask).visited);
+            Ok(())
+        }
+        Node::ErrOnValid { col, found } => {
+            // the oracle scans the full column and errors on the first
+            // non-NULL row, regardless of the candidate mask
+            let c = column_at(table, *col);
+            stats.visit(c.len());
+            if any_valid(c.validity_ref(), ScanDomain::Full(c.len())) {
+                Err(mismatch_error(table, *col, found))
+            } else {
+                mask.clear();
+                Ok(())
+            }
+        }
+        Node::And(_) | Node::Or(_) | Node::Not(_) => {
+            unreachable!("composite nodes are handled by refine_node")
+        }
+    }
+}
+
 /// Evaluate a node into a materialised selection over the given domain.
 fn eval_node(
     node: &Node,
@@ -1074,14 +1394,23 @@ fn run_leaf<S: SelectionSink>(
         Node::CmpStr { col, op, bound } => {
             stats.visit(domain.len());
             let c = column_at(table, *col);
-            scan_cmp_str(
-                c.utf8_slice().expect("Utf8 column"),
-                c.validity_ref(),
-                domain,
-                *op,
-                bound,
-                sink,
-            );
+            match c.dict_parts() {
+                Some((codes, dict)) => scan_dict(
+                    codes,
+                    c.validity_ref(),
+                    domain,
+                    DictPred::compare(dict, *op, bound),
+                    sink,
+                ),
+                None => scan_cmp_str(
+                    c.utf8_slice().expect("Utf8 column"),
+                    c.validity_ref(),
+                    domain,
+                    *op,
+                    bound,
+                    sink,
+                ),
+            }
             Ok(())
         }
         Node::RangeI64 { col, low, high } => {
@@ -1113,14 +1442,23 @@ fn run_leaf<S: SelectionSink>(
         Node::RangeStr { col, low, high } => {
             stats.visit(domain.len());
             let c = column_at(table, *col);
-            scan_range_str(
-                c.utf8_slice().expect("Utf8 column"),
-                c.validity_ref(),
-                domain,
-                low,
-                high,
-                sink,
-            );
+            match c.dict_parts() {
+                Some((codes, dict)) => scan_dict(
+                    codes,
+                    c.validity_ref(),
+                    domain,
+                    DictPred::range(dict, low, high),
+                    sink,
+                ),
+                None => scan_range_str(
+                    c.utf8_slice().expect("Utf8 column"),
+                    c.validity_ref(),
+                    domain,
+                    low,
+                    high,
+                    sink,
+                ),
+            }
             Ok(())
         }
         Node::RangeBool { col, low, high } => {

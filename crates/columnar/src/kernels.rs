@@ -97,6 +97,20 @@ impl ScanDomain<'_> {
 pub trait SelectionSink {
     /// Accept one matching row. Rows arrive in ascending order.
     fn accept(&mut self, row: usize);
+
+    /// Accept every row marked in a 64-bit match mask whose bit `i`
+    /// corresponds to row `base + i`. The default iterates set bits in
+    /// ascending order through [`SelectionSink::accept`], preserving the
+    /// row-order fold contract; sinks that don't care about individual rows
+    /// (counting) override it with a popcount.
+    #[inline]
+    fn accept_word(&mut self, base: usize, mut word: u64) {
+        while word != 0 {
+            let bit = word.trailing_zeros() as usize;
+            self.accept(base + bit);
+            word &= word - 1;
+        }
+    }
 }
 
 impl SelectionSink for Vec<usize> {
@@ -114,6 +128,11 @@ impl<S: SelectionSink + ?Sized> SelectionSink for &mut S {
     fn accept(&mut self, row: usize) {
         (**self).accept(row);
     }
+
+    #[inline]
+    fn accept_word(&mut self, base: usize, word: u64) {
+        (**self).accept_word(base, word);
+    }
 }
 
 /// Sink that only counts matches (fused COUNT kernel).
@@ -124,6 +143,11 @@ impl SelectionSink for CountSink {
     #[inline]
     fn accept(&mut self, _row: usize) {
         self.0 += 1;
+    }
+
+    #[inline]
+    fn accept_word(&mut self, _base: usize, word: u64) {
+        self.0 += word.count_ones() as usize;
     }
 }
 
@@ -699,6 +723,704 @@ pub fn scan_range_bool<S: SelectionSink>(
     });
 }
 
+// ---------------------------------------------------------------------------
+// Chunked bitmask kernels
+// ---------------------------------------------------------------------------
+//
+// The second scan tier: instead of testing the validity bitmap one bit per
+// row and emitting candidates one at a time, these kernels evaluate 64-row
+// chunks with branchless loops that build a `u64` match mask per word, AND
+// it word-at-a-time against the validity bitmap, and refine conjunctions by
+// wordwise intersection. Matches reach the existing `SelectionSink`s through
+// [`SelectionSink::accept_word`], which iterates set bits in ascending row
+// order — so the fused-aggregate fold order (and therefore bit-identity with
+// the scalar oracle) is preserved.
+
+/// A chunked match mask over the contiguous row range `start..end`.
+///
+/// Word `k` covers the absolute rows `(start/64 + k) * 64 .. +64`: words are
+/// aligned to absolute 64-row chunk boundaries, so a validity-bitmap word
+/// ANDs against the corresponding mask word directly, with no bit shifting,
+/// even when `start` is not a multiple of 64. Bits outside `start..end` are
+/// always zero — [`MatchMask::coverage`] seeds exactly the bits of
+/// `start..end`, head and tail words partially set — which is what makes
+/// popcounts, intersections and emission correct for table lengths that are
+/// not multiples of 64.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatchMask {
+    start: usize,
+    end: usize,
+    words: Vec<u64>,
+}
+
+impl MatchMask {
+    /// A mask with exactly the bits of `start..end` set (the "all rows of
+    /// this shard are still candidates" seed of a scan).
+    pub fn coverage(start: usize, end: usize) -> Self {
+        let end = end.max(start);
+        let first_word = start / 64;
+        let nwords = end.div_ceil(64).saturating_sub(first_word);
+        let mut words = vec![u64::MAX; nwords];
+        if nwords > 0 {
+            words[0] &= u64::MAX << (start % 64);
+            let last = nwords - 1;
+            words[last] &= Bitmap::tail_mask(end);
+        }
+        MatchMask { start, end, words }
+    }
+
+    /// First row of the covered range (inclusive).
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// One past the last row of the covered range.
+    pub fn end(&self) -> usize {
+        self.end
+    }
+
+    /// Index (into the column's bitmap words) of this mask's first word.
+    pub fn first_word(&self) -> usize {
+        self.start / 64
+    }
+
+    /// The raw mask words, aligned to absolute 64-row chunks.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Number of set bits (candidate rows still alive).
+    pub fn popcount(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when no candidate row survives.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Drop every candidate.
+    pub fn clear(&mut self) {
+        for w in &mut self.words {
+            *w = 0;
+        }
+    }
+
+    /// Wordwise intersection with `other` (same range); returns the
+    /// surviving popcount. This is candidate-list refinement for
+    /// conjunctions, one AND per 64 rows.
+    pub fn and_with(&mut self, other: &MatchMask) -> usize {
+        debug_assert_eq!((self.start, self.end), (other.start, other.end));
+        let mut remaining = 0;
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w &= o;
+            remaining += w.count_ones() as usize;
+        }
+        remaining
+    }
+
+    /// Wordwise union with `other` (same range) — the disjunction combiner.
+    pub fn or_with(&mut self, other: &MatchMask) {
+        debug_assert_eq!((self.start, self.end), (other.start, other.end));
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+    }
+
+    /// Wordwise `self &= !other` (same range) — the negation combiner.
+    /// `other`'s bits outside its coverage are zero, so complementing it
+    /// cannot resurrect rows outside `start..end`: `self`'s own bits there
+    /// are zero too.
+    pub fn and_not(&mut self, other: &MatchMask) -> usize {
+        debug_assert_eq!((self.start, self.end), (other.start, other.end));
+        let mut remaining = 0;
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w &= !o;
+            remaining += w.count_ones() as usize;
+        }
+        remaining
+    }
+
+    /// Emit every set bit into `sink`, in ascending row order (the fold
+    /// contract downstream aggregates rely on).
+    pub fn emit<S: SelectionSink + ?Sized>(&self, sink: &mut S) {
+        let base0 = self.first_word() * 64;
+        for (k, &w) in self.words.iter().enumerate() {
+            if w != 0 {
+                sink.accept_word(base0 + k * 64, w);
+            }
+        }
+    }
+
+    /// Materialise the set bits as a sorted row-id vector.
+    pub fn to_rows(&self) -> Vec<usize> {
+        let mut rows = Vec::new();
+        self.emit(&mut rows);
+        rows
+    }
+}
+
+/// Outcome of one chunked refinement pass: how many candidate rows the
+/// kernel logically tested (the rows-visited stats charge — popcount of the
+/// incoming mask) and how many survived (popcount of the outgoing mask).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaskScan {
+    /// Candidate rows tested (incoming popcount).
+    pub visited: usize,
+    /// Candidate rows that matched (outgoing popcount).
+    pub remaining: usize,
+}
+
+/// The generic chunked refinement driver: for every nonzero candidate word,
+/// pre-AND the validity word, ask `f(base_row, valid_candidates)` for the
+/// 64-lane value mask, and keep `candidates & validity & value_mask`.
+/// Zero candidate words are skipped entirely — that is the wordwise
+/// short-circuit that replaces candidate lists.
+fn refine_mask<F>(
+    mask: &mut MatchMask,
+    validity: Option<&Bitmap>,
+    mut f: F,
+) -> Result<MaskScan, UnorderedComparison>
+where
+    F: FnMut(usize, u64) -> Result<u64, UnorderedComparison>,
+{
+    let first_word = mask.first_word();
+    let mut scan = MaskScan::default();
+    for (k, slot) in mask.words.iter_mut().enumerate() {
+        let cand = *slot;
+        if cand == 0 {
+            continue;
+        }
+        scan.visited += cand.count_ones() as usize;
+        let vword = match validity {
+            Some(v) => v.words().get(first_word + k).copied().unwrap_or(0),
+            None => u64::MAX,
+        };
+        let valid_cand = cand & vword;
+        let kept = if valid_cand == 0 {
+            0
+        } else {
+            valid_cand & f((first_word + k) * 64, valid_cand)?
+        };
+        *slot = kept;
+        scan.remaining += kept.count_ones() as usize;
+    }
+    Ok(scan)
+}
+
+/// Build the 64-lane value mask for the chunk starting at `base`: bit `i` is
+/// `test(values[base + i])`. The full-chunk case goes through a fixed-length
+/// `[T; 64]` view so the loop trip count is a compile-time constant — the
+/// shape LLVM turns into branchless vector compares; the tail chunk of a
+/// length that is not a multiple of 64 takes the variable-length loop and
+/// leaves the out-of-range lanes zero.
+#[inline]
+fn value_word<T: Copy>(values: &[T], base: usize, test: impl Fn(T) -> bool) -> u64 {
+    let end = (base + 64).min(values.len());
+    let mut word = 0u64;
+    if let Ok(chunk) = <&[T; 64]>::try_from(&values[base..end]) {
+        for (i, &v) in chunk.iter().enumerate() {
+            word |= (test(v) as u64) << i;
+        }
+    } else {
+        for (i, &v) in values[base..end].iter().enumerate() {
+            word |= (test(v) as u64) << i;
+        }
+    }
+    word
+}
+
+/// `value_word` for Float64 chunks, additionally reporting a NaN lane mask
+/// so the caller can reject unordered comparisons only when a NaN cell is an
+/// actual (valid, candidate) row — matching the scalar oracle, which never
+/// looks at rows outside the domain.
+#[inline]
+fn value_word_f64(values: &[f64], base: usize, test: impl Fn(f64) -> bool) -> (u64, u64) {
+    let end = (base + 64).min(values.len());
+    let mut word = 0u64;
+    let mut nan = 0u64;
+    if let Ok(chunk) = <&[f64; 64]>::try_from(&values[base..end]) {
+        for (i, &v) in chunk.iter().enumerate() {
+            word |= (test(v) as u64) << i;
+            nan |= (v.is_nan() as u64) << i;
+        }
+    } else {
+        for (i, &v) in values[base..end].iter().enumerate() {
+            word |= (test(v) as u64) << i;
+            nan |= (v.is_nan() as u64) << i;
+        }
+    }
+    (word, nan)
+}
+
+/// `value_word` for Utf8 chunks (no `Copy`, compares by `&str` reference).
+#[inline]
+fn value_word_str(values: &[String], base: usize, test: impl Fn(&str) -> bool) -> u64 {
+    let end = (base + 64).min(values.len());
+    let mut word = 0u64;
+    for (i, v) in values[base..end].iter().enumerate() {
+        word |= (test(v.as_str()) as u64) << i;
+    }
+    word
+}
+
+/// Infallible refinement over a `Copy` column.
+#[inline]
+fn refine_plain<T: Copy>(
+    values: &[T],
+    validity: Option<&Bitmap>,
+    mask: &mut MatchMask,
+    test: impl Fn(T) -> bool + Copy,
+) -> MaskScan {
+    match refine_mask(mask, validity, |base, _| Ok(value_word(values, base, test))) {
+        Ok(scan) => scan,
+        Err(_) => unreachable!("infallible refinement"),
+    }
+}
+
+/// Dispatch a comparison operator once (outside the loop) into a
+/// monomorphized branchless refinement; `key` projects the cell into the
+/// comparison domain (identity for exact compares, `as f64` widening for
+/// mixed i64-vs-float literals).
+#[inline]
+fn refine_cmp_by<T, K, F>(
+    values: &[T],
+    validity: Option<&Bitmap>,
+    op: CompareOp,
+    bound: K,
+    key: F,
+    mask: &mut MatchMask,
+) -> MaskScan
+where
+    T: Copy,
+    K: PartialOrd + Copy,
+    F: Fn(T) -> K + Copy,
+{
+    match op {
+        CompareOp::Eq => refine_plain(values, validity, mask, move |v| key(v) == bound),
+        CompareOp::NotEq => refine_plain(values, validity, mask, move |v| key(v) != bound),
+        CompareOp::Lt => refine_plain(values, validity, mask, move |v| key(v) < bound),
+        CompareOp::LtEq => refine_plain(values, validity, mask, move |v| key(v) <= bound),
+        CompareOp::Gt => refine_plain(values, validity, mask, move |v| key(v) > bound),
+        CompareOp::GtEq => refine_plain(values, validity, mask, move |v| key(v) >= bound),
+    }
+}
+
+/// Fallible refinement over a Float64 column: NaN cells among the valid
+/// candidates of a chunk reject the whole scan, as in the scalar oracle.
+#[inline]
+fn refine_f64(
+    values: &[f64],
+    validity: Option<&Bitmap>,
+    mask: &mut MatchMask,
+    test: impl Fn(f64) -> bool + Copy,
+) -> Result<MaskScan, UnorderedComparison> {
+    refine_mask(mask, validity, |base, valid_cand| {
+        let (word, nan) = value_word_f64(values, base, test);
+        if nan & valid_cand != 0 {
+            Err(UnorderedComparison)
+        } else {
+            Ok(word)
+        }
+    })
+}
+
+/// NaN-constant handling shared by the fallible mask kernels: error if any
+/// valid candidate row exists (the comparison would be unordered for it),
+/// otherwise no row matches.
+fn nan_bound_refine(
+    validity: Option<&Bitmap>,
+    mask: &mut MatchMask,
+) -> Result<MaskScan, UnorderedComparison> {
+    if mask_any_valid(validity, mask) {
+        return Err(UnorderedComparison);
+    }
+    let visited = mask.popcount();
+    mask.clear();
+    Ok(MaskScan {
+        visited,
+        remaining: 0,
+    })
+}
+
+/// True when any candidate row of the mask is valid (non-NULL) — the chunked
+/// counterpart of [`any_valid`] for the lazy type-mismatch nodes.
+pub fn mask_any_valid(validity: Option<&Bitmap>, mask: &MatchMask) -> bool {
+    match validity {
+        None => !mask.is_empty(),
+        Some(v) => {
+            let first_word = mask.first_word();
+            mask.words
+                .iter()
+                .enumerate()
+                .any(|(k, &w)| w & v.words().get(first_word + k).copied().unwrap_or(0) != 0)
+        }
+    }
+}
+
+/// The unconditional `TRUE` refinement: every candidate survives.
+pub fn mask_all(mask: &MatchMask) -> MaskScan {
+    let n = mask.popcount();
+    MaskScan {
+        visited: n,
+        remaining: n,
+    }
+}
+
+/// Chunked `IS NOT NULL`: one AND per 64 rows against the validity words.
+pub fn mask_is_not_null(validity: Option<&Bitmap>, mask: &mut MatchMask) -> MaskScan {
+    match validity {
+        None => mask_all(mask),
+        Some(v) => {
+            let visited = mask.popcount();
+            v.and_into(mask.first_word(), &mut mask.words);
+            let remaining = mask.popcount();
+            MaskScan { visited, remaining }
+        }
+    }
+}
+
+/// Chunked `IS NULL`: keep candidates whose validity bit is clear.
+pub fn mask_is_null(validity: Option<&Bitmap>, mask: &mut MatchMask) -> MaskScan {
+    match validity {
+        None => {
+            let visited = mask.popcount();
+            mask.clear();
+            MaskScan {
+                visited,
+                remaining: 0,
+            }
+        }
+        Some(v) => {
+            let first_word = mask.first_word();
+            let mut scan = MaskScan::default();
+            for (k, slot) in mask.words.iter_mut().enumerate() {
+                let cand = *slot;
+                if cand == 0 {
+                    continue;
+                }
+                scan.visited += cand.count_ones() as usize;
+                let vword = v.words().get(first_word + k).copied().unwrap_or(0);
+                let kept = cand & !vword;
+                *slot = kept;
+                scan.remaining += kept.count_ones() as usize;
+            }
+            scan
+        }
+    }
+}
+
+/// Chunked compare of an Int64 column against an `i64` constant (exact
+/// 64-bit compare, no widening).
+pub fn mask_cmp_i64(
+    values: &[i64],
+    validity: Option<&Bitmap>,
+    op: CompareOp,
+    bound: i64,
+    mask: &mut MatchMask,
+) -> MaskScan {
+    refine_cmp_by(values, validity, op, bound, |v| v, mask)
+}
+
+/// Chunked compare of an Int64 column against an `f64` constant (cells
+/// widened per lane, as in the scalar oracle's mixed-type comparison).
+pub fn mask_cmp_i64_f64(
+    values: &[i64],
+    validity: Option<&Bitmap>,
+    op: CompareOp,
+    bound: f64,
+    mask: &mut MatchMask,
+) -> Result<MaskScan, UnorderedComparison> {
+    if bound.is_nan() {
+        return nan_bound_refine(validity, mask);
+    }
+    Ok(refine_cmp_by(
+        values,
+        validity,
+        op,
+        bound,
+        |v| v as f64,
+        mask,
+    ))
+}
+
+/// Chunked compare of a Float64 column against an `f64` constant. NaN cells
+/// among valid candidates error, as do NaN constants over any valid
+/// candidate.
+pub fn mask_cmp_f64(
+    values: &[f64],
+    validity: Option<&Bitmap>,
+    op: CompareOp,
+    bound: f64,
+    mask: &mut MatchMask,
+) -> Result<MaskScan, UnorderedComparison> {
+    if bound.is_nan() {
+        return nan_bound_refine(validity, mask);
+    }
+    match op {
+        CompareOp::Eq => refine_f64(values, validity, mask, move |v| v == bound),
+        CompareOp::NotEq => refine_f64(values, validity, mask, move |v| v != bound),
+        CompareOp::Lt => refine_f64(values, validity, mask, move |v| v < bound),
+        CompareOp::LtEq => refine_f64(values, validity, mask, move |v| v <= bound),
+        CompareOp::Gt => refine_f64(values, validity, mask, move |v| v > bound),
+        CompareOp::GtEq => refine_f64(values, validity, mask, move |v| v >= bound),
+    }
+}
+
+/// Chunked compare of a Bool column against a boolean constant.
+pub fn mask_cmp_bool(
+    values: &[bool],
+    validity: Option<&Bitmap>,
+    op: CompareOp,
+    bound: bool,
+    mask: &mut MatchMask,
+) -> MaskScan {
+    refine_cmp_by(values, validity, op, bound, |v| v, mask)
+}
+
+/// Chunked compare of a plain (non-dictionary) Utf8 column against a string
+/// constant, by reference.
+pub fn mask_cmp_str(
+    values: &[String],
+    validity: Option<&Bitmap>,
+    op: CompareOp,
+    bound: &str,
+    mask: &mut MatchMask,
+) -> MaskScan {
+    let scan = match op {
+        CompareOp::Eq => refine_mask(mask, validity, |b, _| {
+            Ok(value_word_str(values, b, |v| v == bound))
+        }),
+        CompareOp::NotEq => refine_mask(mask, validity, |b, _| {
+            Ok(value_word_str(values, b, |v| v != bound))
+        }),
+        CompareOp::Lt => refine_mask(mask, validity, |b, _| {
+            Ok(value_word_str(values, b, |v| v < bound))
+        }),
+        CompareOp::LtEq => refine_mask(mask, validity, |b, _| {
+            Ok(value_word_str(values, b, |v| v <= bound))
+        }),
+        CompareOp::Gt => refine_mask(mask, validity, |b, _| {
+            Ok(value_word_str(values, b, |v| v > bound))
+        }),
+        CompareOp::GtEq => refine_mask(mask, validity, |b, _| {
+            Ok(value_word_str(values, b, |v| v >= bound))
+        }),
+    };
+    match scan {
+        Ok(s) => s,
+        Err(_) => unreachable!("infallible refinement"),
+    }
+}
+
+/// Chunked inclusive range over an Int64 column (bounds exact or widened per
+/// literal type, one pass).
+pub fn mask_range_i64(
+    values: &[i64],
+    validity: Option<&Bitmap>,
+    low: NumBound,
+    high: NumBound,
+    mask: &mut MatchMask,
+) -> Result<MaskScan, UnorderedComparison> {
+    if low.is_nan() || high.is_nan() {
+        return nan_bound_refine(validity, mask);
+    }
+    if let (NumBound::I64(lo), NumBound::I64(hi)) = (low, high) {
+        // fast path: pure 64-bit integer range
+        return Ok(refine_plain(values, validity, mask, move |v| {
+            lo <= v && v <= hi
+        }));
+    }
+    Ok(refine_plain(values, validity, mask, move |v| {
+        low.le_i64_cell(v) && high.ge_i64_cell(v)
+    }))
+}
+
+/// Chunked inclusive range over a Float64 column. NaN cells among valid
+/// candidates error.
+pub fn mask_range_f64(
+    values: &[f64],
+    validity: Option<&Bitmap>,
+    low: f64,
+    high: f64,
+    mask: &mut MatchMask,
+) -> Result<MaskScan, UnorderedComparison> {
+    if low.is_nan() || high.is_nan() {
+        return nan_bound_refine(validity, mask);
+    }
+    refine_f64(values, validity, mask, move |v| low <= v && v <= high)
+}
+
+/// Chunked inclusive range over a plain Utf8 column (lexicographic, by
+/// reference).
+pub fn mask_range_str(
+    values: &[String],
+    validity: Option<&Bitmap>,
+    low: &str,
+    high: &str,
+    mask: &mut MatchMask,
+) -> MaskScan {
+    match refine_mask(mask, validity, |b, _| {
+        Ok(value_word_str(values, b, |v| low <= v && v <= high))
+    }) {
+        Ok(s) => s,
+        Err(_) => unreachable!("infallible refinement"),
+    }
+}
+
+/// Chunked inclusive range over a Bool column.
+pub fn mask_range_bool(
+    values: &[bool],
+    validity: Option<&Bitmap>,
+    low: bool,
+    high: bool,
+    mask: &mut MatchMask,
+) -> MaskScan {
+    refine_plain(values, validity, mask, move |v| low <= v && v <= high)
+}
+
+// ---------------------------------------------------------------------------
+// Dictionary-code predicates
+// ---------------------------------------------------------------------------
+
+/// A string predicate translated into dictionary-code space.
+///
+/// `Column::Utf8Dict` keeps its dictionary sorted and deduplicated, so code
+/// order *is* lexicographic order and every comparison against a string
+/// constant collapses — after one binary search over the (tiny) dictionary —
+/// into an integer test over the codes, which the chunked kernels then scan
+/// branchlessly. The translation happens once per scan, at kernel-dispatch
+/// time, because the dictionary lives with the column, not the compiled
+/// predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DictPred {
+    /// No row can match (e.g. equality against a value absent from the
+    /// dictionary, or an empty code range).
+    None,
+    /// Every valid row matches (inequality against an absent value).
+    AnyValid,
+    /// Rows whose code falls in the half-open range `lo..hi` match. All six
+    /// comparison operators and BETWEEN reduce to this form because the
+    /// dictionary is sorted.
+    CodeRange {
+        /// First matching code (inclusive).
+        lo: u32,
+        /// One past the last matching code.
+        hi: u32,
+    },
+    /// Rows whose code differs match (inequality against a present value).
+    CodeNotEq(u32),
+}
+
+impl DictPred {
+    /// Translate `column <op> bound` into code space for a sorted `dict`.
+    pub fn compare(dict: &[String], op: CompareOp, bound: &str) -> DictPred {
+        let lo = dict.partition_point(|s| s.as_str() < bound);
+        let found = dict.get(lo).is_some_and(|s| s == bound);
+        let lo32 = lo as u32;
+        let len = dict.len() as u32;
+        let range = |a: u32, b: u32| {
+            if a < b {
+                DictPred::CodeRange { lo: a, hi: b }
+            } else {
+                DictPred::None
+            }
+        };
+        match op {
+            CompareOp::Eq => {
+                if found {
+                    DictPred::CodeRange {
+                        lo: lo32,
+                        hi: lo32 + 1,
+                    }
+                } else {
+                    DictPred::None
+                }
+            }
+            CompareOp::NotEq => {
+                if found {
+                    DictPred::CodeNotEq(lo32)
+                } else {
+                    DictPred::AnyValid
+                }
+            }
+            CompareOp::Lt => range(0, lo32),
+            CompareOp::LtEq => range(0, lo32 + found as u32),
+            CompareOp::Gt => range(lo32 + found as u32, len),
+            CompareOp::GtEq => range(lo32, len),
+        }
+    }
+
+    /// Translate `low <= column <= high` (inclusive BETWEEN) into code
+    /// space for a sorted `dict`.
+    pub fn range(dict: &[String], low: &str, high: &str) -> DictPred {
+        let lo = dict.partition_point(|s| s.as_str() < low) as u32;
+        let hi = dict.partition_point(|s| s.as_str() <= high) as u32;
+        if lo < hi {
+            DictPred::CodeRange { lo, hi }
+        } else {
+            DictPred::None
+        }
+    }
+}
+
+/// Chunked scan of a dictionary-encoded Utf8 column: a pure integer-code
+/// compare through the branchless refinement driver.
+pub fn mask_dict(
+    codes: &[u32],
+    validity: Option<&Bitmap>,
+    pred: DictPred,
+    mask: &mut MatchMask,
+) -> MaskScan {
+    match pred {
+        DictPred::None => {
+            let visited = mask.popcount();
+            mask.clear();
+            MaskScan {
+                visited,
+                remaining: 0,
+            }
+        }
+        DictPred::AnyValid => mask_is_not_null(validity, mask),
+        DictPred::CodeRange { lo, hi } => {
+            refine_plain(codes, validity, mask, move |c| lo <= c && c < hi)
+        }
+        DictPred::CodeNotEq(k) => refine_plain(codes, validity, mask, move |c| c != k),
+    }
+}
+
+/// Row-at-a-time scan of a dictionary-encoded Utf8 column — the legacy-tier
+/// counterpart of [`mask_dict`], used by the candidate-list path.
+pub fn scan_dict<S: SelectionSink>(
+    codes: &[u32],
+    validity: Option<&Bitmap>,
+    domain: ScanDomain,
+    pred: DictPred,
+    out: &mut S,
+) {
+    match pred {
+        DictPred::None => {}
+        DictPred::AnyValid => scan_is_not_null(validity, domain, out),
+        DictPred::CodeRange { lo, hi } => {
+            scan_rows!(domain, row, {
+                if is_valid(validity, row) {
+                    let c = codes[row];
+                    if lo <= c && c < hi {
+                        out.accept(row);
+                    }
+                }
+            });
+        }
+        DictPred::CodeNotEq(k) => {
+            scan_rows!(domain, row, {
+                if is_valid(validity, row) && codes[row] != k {
+                    out.accept(row);
+                }
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1008,5 +1730,223 @@ mod tests {
         assert!(!any_valid(Some(&validity), ScanDomain::Candidates(&c)));
         assert!(any_valid(None, ScanDomain::Full(1)));
         assert!(!any_valid(None, ScanDomain::Full(0)));
+    }
+
+    #[test]
+    fn coverage_mask_head_and_tail() {
+        let m = MatchMask::coverage(5, 130);
+        assert_eq!(m.popcount(), 125);
+        assert_eq!(m.to_rows(), (5..130).collect::<Vec<_>>());
+        // word 0 covers rows 0..64: bits below 5 must be clear
+        assert_eq!(m.words()[0] & 0b11111, 0);
+        // word 2 covers rows 128..192: bits at/above 130 must be clear
+        assert_eq!(m.words()[2], 0b11);
+        assert!(MatchMask::coverage(7, 7).is_empty());
+        let aligned = MatchMask::coverage(64, 128);
+        assert_eq!(aligned.words(), &[u64::MAX]);
+        assert_eq!(aligned.first_word(), 1);
+    }
+
+    #[test]
+    fn accept_word_emits_ascending_and_count_sink_popcounts() {
+        let mut rows = Vec::new();
+        rows.accept_word(64, 0b1010_0001);
+        assert_eq!(rows, vec![64, 69, 71]);
+        let mut count = CountSink::default();
+        count.accept_word(0, u64::MAX);
+        assert_eq!(count.0, 64);
+    }
+
+    /// The chunked kernels must agree with the row-at-a-time kernels on an
+    /// unaligned range with scattered NULLs.
+    #[test]
+    fn mask_cmp_i64_matches_rowwise() {
+        let n = 131usize;
+        let values: Vec<i64> = (0..n as i64).map(|i| (i * 7) % 23).collect();
+        let validity = bitmap(&(0..n).map(|i| i % 5 != 0).collect::<Vec<_>>());
+        for op in [
+            CompareOp::Eq,
+            CompareOp::NotEq,
+            CompareOp::Lt,
+            CompareOp::LtEq,
+            CompareOp::Gt,
+            CompareOp::GtEq,
+        ] {
+            let mut mask = MatchMask::coverage(3, 130);
+            let scan = mask_cmp_i64(&values, Some(&validity), op, 11, &mut mask);
+            let mut expect = Vec::new();
+            scan_cmp_i64(
+                &values,
+                Some(&validity),
+                ScanDomain::Range { start: 3, end: 130 },
+                op,
+                11,
+                &mut expect,
+            );
+            assert_eq!(mask.to_rows(), expect, "op {op:?}");
+            assert_eq!(scan.visited, 127);
+            assert_eq!(scan.remaining, expect.len());
+        }
+    }
+
+    #[test]
+    fn mask_conjunction_refines_wordwise() {
+        let n = 70usize;
+        let a: Vec<i64> = (0..n as i64).collect();
+        let b: Vec<f64> = (0..n).map(|i| (i % 2) as f64).collect();
+        let mut mask = MatchMask::coverage(0, n);
+        let first = mask_cmp_i64(&a, None, CompareOp::GtEq, 10, &mut mask);
+        assert_eq!((first.visited, first.remaining), (70, 60));
+        let second = mask_cmp_f64(&b, None, CompareOp::Eq, 1.0, &mut mask).unwrap();
+        // the second conjunct only tests survivors of the first
+        assert_eq!(second.visited, 60);
+        assert_eq!(second.remaining, 30);
+        assert!(mask.to_rows().iter().all(|&r| r >= 10 && r % 2 == 1));
+    }
+
+    #[test]
+    fn mask_f64_nan_cell_errors_only_when_candidate_and_valid() {
+        let values = [1.0, f64::NAN, 3.0];
+        // NaN is a candidate and valid: error
+        let mut mask = MatchMask::coverage(0, 3);
+        assert!(mask_cmp_f64(&values, None, CompareOp::Lt, 5.0, &mut mask).is_err());
+        // NaN is NULL: fine
+        let validity = bitmap(&[true, false, true]);
+        let mut mask = MatchMask::coverage(0, 3);
+        let scan = mask_cmp_f64(&values, Some(&validity), CompareOp::Lt, 5.0, &mut mask).unwrap();
+        assert_eq!(mask.to_rows(), vec![0, 2]);
+        assert_eq!(scan.remaining, 2);
+        // NaN is outside the candidate range: fine
+        let mut mask = MatchMask::coverage(2, 3);
+        assert!(mask_cmp_f64(&values, None, CompareOp::Lt, 5.0, &mut mask).is_ok());
+        // NaN *bound* errors only when a valid candidate exists
+        let mut mask = MatchMask::coverage(0, 3);
+        assert!(mask_cmp_f64(&values, None, CompareOp::Lt, f64::NAN, &mut mask).is_err());
+        let none = bitmap(&[false, false, false]);
+        let mut mask = MatchMask::coverage(0, 3);
+        let scan = mask_cmp_f64(&values, Some(&none), CompareOp::Lt, f64::NAN, &mut mask).unwrap();
+        assert_eq!(scan.remaining, 0);
+        assert!(mask.is_empty());
+    }
+
+    #[test]
+    fn mask_range_and_null_kernels() {
+        let ints: Vec<i64> = (0..100).collect();
+        let mut mask = MatchMask::coverage(0, 100);
+        mask_range_i64(
+            &ints,
+            None,
+            NumBound::I64(10),
+            NumBound::F64(12.5),
+            &mut mask,
+        )
+        .unwrap();
+        assert_eq!(mask.to_rows(), vec![10, 11, 12]);
+
+        let validity = bitmap(&(0..100).map(|i| i % 3 == 0).collect::<Vec<_>>());
+        let mut nulls = MatchMask::coverage(0, 100);
+        let scan = mask_is_null(Some(&validity), &mut nulls);
+        assert_eq!(scan.remaining, nulls.popcount());
+        let mut valid = MatchMask::coverage(0, 100);
+        mask_is_not_null(Some(&validity), &mut valid);
+        let mut all = MatchMask::coverage(0, 100);
+        assert_eq!(mask_all(&all).remaining, 100);
+        let survivors = valid.and_not(&nulls);
+        assert_eq!(survivors, valid.popcount());
+        all.and_with(&valid);
+        assert_eq!(
+            all.to_rows(),
+            (0..100).filter(|i| i % 3 == 0).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn dict_pred_translation() {
+        let dict: Vec<String> = ["GALAXY", "QSO", "STAR"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        use DictPred::*;
+        assert_eq!(
+            DictPred::compare(&dict, CompareOp::Eq, "QSO"),
+            CodeRange { lo: 1, hi: 2 }
+        );
+        assert_eq!(DictPred::compare(&dict, CompareOp::Eq, "NOVA"), None);
+        assert_eq!(
+            DictPred::compare(&dict, CompareOp::NotEq, "QSO"),
+            CodeNotEq(1)
+        );
+        assert_eq!(DictPred::compare(&dict, CompareOp::NotEq, "NOVA"), AnyValid);
+        assert_eq!(
+            DictPred::compare(&dict, CompareOp::Lt, "QSO"),
+            CodeRange { lo: 0, hi: 1 }
+        );
+        assert_eq!(DictPred::compare(&dict, CompareOp::Lt, "GALAXY"), None);
+        assert_eq!(
+            DictPred::compare(&dict, CompareOp::LtEq, "QSO"),
+            CodeRange { lo: 0, hi: 2 }
+        );
+        assert_eq!(
+            DictPred::compare(&dict, CompareOp::Gt, "QSO"),
+            CodeRange { lo: 2, hi: 3 }
+        );
+        assert_eq!(DictPred::compare(&dict, CompareOp::Gt, "STAR"), None);
+        assert_eq!(
+            DictPred::compare(&dict, CompareOp::GtEq, "QSO"),
+            CodeRange { lo: 1, hi: 3 }
+        );
+        // the bound need not be in the dictionary
+        assert_eq!(
+            DictPred::compare(&dict, CompareOp::Gt, "NOVA"),
+            CodeRange { lo: 1, hi: 3 }
+        );
+        assert_eq!(DictPred::range(&dict, "H", "R"), CodeRange { lo: 1, hi: 2 });
+        assert_eq!(DictPred::range(&dict, "T", "A"), None);
+        assert_eq!(
+            DictPred::range(&dict, "GALAXY", "STAR"),
+            CodeRange { lo: 0, hi: 3 }
+        );
+    }
+
+    #[test]
+    fn dict_kernels_match_decoded_strings() {
+        let dict: Vec<String> = ["GALAXY", "QSO", "STAR"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let n = 67usize;
+        let codes: Vec<u32> = (0..n).map(|i| (i % 3) as u32).collect();
+        let strings: Vec<String> = codes.iter().map(|&c| dict[c as usize].clone()).collect();
+        let validity = bitmap(&(0..n).map(|i| i % 7 != 0).collect::<Vec<_>>());
+        for (op, bound) in [
+            (CompareOp::Eq, "QSO"),
+            (CompareOp::NotEq, "QSO"),
+            (CompareOp::Lt, "STAR"),
+            (CompareOp::GtEq, "NOVA"),
+        ] {
+            let pred = DictPred::compare(&dict, op, bound);
+            let mut mask = MatchMask::coverage(0, n);
+            mask_dict(&codes, Some(&validity), pred, &mut mask);
+            let mut expect = Vec::new();
+            scan_cmp_str(
+                &strings,
+                Some(&validity),
+                ScanDomain::Full(n),
+                op,
+                bound,
+                &mut expect,
+            );
+            assert_eq!(mask.to_rows(), expect, "op {op:?} bound {bound}");
+            // and the row-at-a-time dict kernel agrees too
+            let mut rowwise = Vec::new();
+            scan_dict(
+                &codes,
+                Some(&validity),
+                ScanDomain::Full(n),
+                pred,
+                &mut rowwise,
+            );
+            assert_eq!(rowwise, expect, "rowwise op {op:?} bound {bound}");
+        }
     }
 }

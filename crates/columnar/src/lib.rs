@@ -18,6 +18,12 @@
 //!   ([`kernels`]), including fused filter+aggregate scans that stream
 //!   matching rows into moment accumulators ([`MomentSketch`]) without
 //!   materialising a selection,
+//! * chunked bitmask execution: predicates evaluate 64-row chunks into
+//!   `u64` match masks ([`MatchMask`]) ANDed word-at-a-time against the
+//!   validity bitmaps, with conjunction refinement as wordwise
+//!   intersection, plus dictionary-encoded Utf8 columns
+//!   ([`Column::Utf8Dict`]) whose string predicates collapse into integer
+//!   code ranges ([`DictPred`]),
 //! * a sharded parallel scan path: contiguous row-range partitionings
 //!   ([`Partitioning`]) fanned out over `std::thread::scope` workers, with
 //!   per-shard results merged in fixed shard order so sharded execution is
@@ -78,8 +84,8 @@ pub use error::{ColumnarError, Result};
 pub use expr::{CompareOp, Predicate};
 pub use join::{hash_join_index, key_containment, materialize_join, JoinIndex, JoinType};
 pub use kernels::{
-    AggSource, CountSink, MomentSink, MomentSketch, NumBound, ScanDomain, SelectionSink,
-    WeightedMomentSink,
+    AggSource, CountSink, DictPred, MaskScan, MatchMask, MomentSink, MomentSketch, NumBound,
+    ScanDomain, SelectionSink, WeightedMomentSink,
 };
 // Re-exported so the weighted scan kernels' accumulator can be consumed
 // without a direct sciborq-stats dependency.

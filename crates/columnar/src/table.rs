@@ -149,6 +149,19 @@ impl Table {
         }
     }
 
+    /// Create a table that takes ownership of a batch's columns directly —
+    /// the zero-copy bulk-load path for loaders and benchmarks that already
+    /// build whole columns. The batch has validated column/schema agreement
+    /// at construction, so no per-row copying or re-checking is needed.
+    pub fn from_batch(name: impl Into<String>, batch: RecordBatch) -> Self {
+        Table {
+            name: name.into(),
+            schema: batch.schema,
+            columns: batch.columns,
+            rows: batch.rows,
+        }
+    }
+
     /// The table name.
     pub fn name(&self) -> &str {
         &self.name
@@ -304,6 +317,26 @@ impl Table {
             columns: self.columns.clone(),
             rows: self.rows,
         }
+    }
+
+    /// Dictionary-encode every plain Utf8 column whose distinct-value count
+    /// is at most `max_cardinality` (see [`Column::dict_encoded`]). Returns
+    /// the number of columns converted.
+    ///
+    /// The table stays logically identical — dictionary encoding is a
+    /// physical representation — but string predicates over the converted
+    /// columns become integer-code compares in the compiled scan pipeline.
+    /// Impressions apply this at materialisation time; base tables can opt
+    /// in explicitly.
+    pub fn dict_encode_strings(&mut self, max_cardinality: usize) -> usize {
+        let mut converted = 0;
+        for col in &mut self.columns {
+            if let Some(encoded) = col.dict_encoded(max_cardinality) {
+                *col = encoded;
+                converted += 1;
+            }
+        }
+        converted
     }
 }
 

@@ -15,13 +15,20 @@
 //! compile time, the oracle lazily at evaluation) and NaN *data* cells
 //! (candidate refinement may legitimately skip a poisoned row the oracle's
 //! full scan would reject). NaN *constants* are generated and must agree.
+//!
+//! Beyond the uniform random tables, a dedicated adversarial generator
+//! targets the chunked bitmask evaluator: table lengths straddling
+//! multiples of 64 (the tail-mask edge), validity bitmaps at 0% / 100% /
+//! clustered NULL density (all-ones, all-zeros and block-patterned words),
+//! and dictionary-encoded string columns — each checked through both the
+//! serial and the sharded partitioned entry points.
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sciborq_columnar::{
-    compute_aggregate, AggregateKind, CompareOp, CompiledPredicate, DataType, Field, Predicate,
-    Schema, Table, Value,
+    compute_aggregate, AggregateKind, CompareOp, CompiledPredicate, DataType, Field, Partitioning,
+    Predicate, Schema, Table, Value,
 };
 
 const COLUMNS: [&str; 5] = ["id", "ra", "mag", "class", "flag"];
@@ -247,6 +254,217 @@ proptest! {
             (0..n).map(|_| random_predicate(&mut rng, 1)).collect(),
         );
         check_equivalence(&table, &predicate);
+    }
+}
+
+/// NULL-density regimes for adversarial validity bitmaps. The chunked
+/// kernels AND 64-bit validity words into candidate masks, so all-ones
+/// words (no NULLs anywhere), all-zeros words (every row NULL) and
+/// block-patterned words (clustered NULL runs) each exercise a different
+/// wordwise path — including the `valid_cand == 0` short-circuit.
+#[derive(Clone, Copy, Debug)]
+enum NullRegime {
+    /// 0% NULLs: every validity word is all-ones.
+    Dense,
+    /// 100% NULLs: every validity word is all-zeros.
+    AllNull,
+    /// Alternating blocks of NULL / non-NULL rows; block sizes below,
+    /// at and above the 64-row word width.
+    Clustered(usize),
+    /// Independent per-cell NULLs (the classic regime, kept in the mix so
+    /// the adversarial suite is a superset of the uniform one).
+    Scattered,
+}
+
+impl NullRegime {
+    fn pick(rng: &mut StdRng) -> Self {
+        match rng.gen_range(0..4u32) {
+            0 => NullRegime::Dense,
+            1 => NullRegime::AllNull,
+            2 => NullRegime::Clustered([8usize, 16, 64][rng.gen_range(0..3usize)]),
+            _ => NullRegime::Scattered,
+        }
+    }
+
+    fn is_null(self, rng: &mut StdRng, row: usize) -> bool {
+        match self {
+            NullRegime::Dense => false,
+            NullRegime::AllNull => true,
+            NullRegime::Clustered(block) => (row / block).is_multiple_of(2),
+            NullRegime::Scattered => rng.gen_bool(0.2),
+        }
+    }
+}
+
+/// Table lengths concentrated on word-boundary edge cases: the chunked
+/// evaluator's tail-mask logic changes at multiples of 64, so lengths one
+/// below / at / one above each boundary are drawn most often.
+fn boundary_rows(rng: &mut StdRng) -> usize {
+    const EDGES: [usize; 11] = [0, 1, 63, 64, 65, 127, 128, 129, 191, 192, 193];
+    if rng.gen_bool(0.7) {
+        EDGES[rng.gen_range(0..EDGES.len())]
+    } else {
+        rng.gen_range(0..200)
+    }
+}
+
+/// Same schema and value distributions as [`random_table`], but with the
+/// row count and the NULL pattern dictated by the caller.
+fn adversarial_table(rng: &mut StdRng, rows: usize, regime: NullRegime) -> Table {
+    let schema = Schema::shared(vec![
+        Field::nullable("id", DataType::Int64),
+        Field::nullable("ra", DataType::Float64),
+        Field::nullable("mag", DataType::Float64),
+        Field::nullable("class", DataType::Utf8),
+        Field::nullable("flag", DataType::Bool),
+    ])
+    .unwrap();
+    let mut t = Table::new("t", schema);
+    for row in 0..rows {
+        let id: Value = if regime.is_null(rng, row) {
+            Value::Null
+        } else if rng.gen_bool(0.1) {
+            Value::Int64(if rng.gen_bool(0.5) {
+                i64::MAX
+            } else {
+                i64::MIN
+            })
+        } else {
+            Value::Int64(rng.gen_range(-4i64..4))
+        };
+        let ra: Value = if regime.is_null(rng, row) {
+            Value::Null
+        } else {
+            Value::Float64(rng.gen_range(-5.0f64..5.0))
+        };
+        let mag: Value = if regime.is_null(rng, row) {
+            Value::Null
+        } else if rng.gen_bool(0.05) {
+            Value::Float64(f64::INFINITY)
+        } else {
+            Value::Float64(rng.gen_range(-3.0f64..3.0))
+        };
+        let class: Value = if regime.is_null(rng, row) {
+            Value::Null
+        } else {
+            Value::Utf8(CLASSES[rng.gen_range(0..CLASSES.len())].to_owned())
+        };
+        let flag: Value = if regime.is_null(rng, row) {
+            Value::Null
+        } else {
+            Value::Bool(rng.gen_bool(0.5))
+        };
+        t.append_row(&[id, ra, mag, class, flag]).unwrap();
+    }
+    t
+}
+
+/// The sharded partitioned entry points must agree with their serial
+/// counterparts: identical selection, identical count, bit-identical fused
+/// moments, and matching error-ness.
+fn check_partitioned_matches_serial(table: &Table, predicate: &Predicate, shards: usize) {
+    let compiled =
+        CompiledPredicate::compile(predicate, table.schema()).expect("all generated columns exist");
+    let parts = Partitioning::even(table.row_count(), shards);
+    match (
+        compiled.evaluate(table),
+        compiled.evaluate_partitioned(table, &parts),
+    ) {
+        (Ok(expected), Ok((actual, _))) => {
+            assert_eq!(expected, actual, "partitioned selection for {predicate}");
+            let (count, _) = compiled
+                .count_matches_partitioned(table, &parts)
+                .expect("count succeeds when selection did");
+            assert_eq!(count, expected.len(), "partitioned count for {predicate}");
+            let (serial, _) = compiled
+                .filter_moments(table, "mag")
+                .expect("numeric aggregate column");
+            let (sharded, _) = compiled
+                .filter_moments_partitioned(table, "mag", &parts)
+                .expect("numeric aggregate column");
+            for kind in [
+                AggregateKind::Count,
+                AggregateKind::Sum,
+                AggregateKind::Avg,
+                AggregateKind::Min,
+                AggregateKind::Max,
+                AggregateKind::Variance,
+            ] {
+                let bits = |v: Option<f64>| v.map(f64::to_bits);
+                assert_eq!(
+                    bits(serial.aggregate(kind)),
+                    bits(sharded.aggregate(kind)),
+                    "partitioned moment {kind} for {predicate}"
+                );
+            }
+        }
+        (Err(_), Err(_)) => {}
+        (s, p) => panic!("partitioned error divergence for {predicate}: serial {s:?} vs {p:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// Adversarial validity × word-boundary lengths, through every
+    /// execution tier: the scalar oracle, the serial chunked evaluator,
+    /// the retained rowwise tier and the sharded partitioned path — first
+    /// on plain string columns, then with dictionary encoding forced.
+    #[test]
+    fn adversarial_validity_and_lengths_match_oracle(seed in 0u64..u64::MAX) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xad7e);
+        let regime = NullRegime::pick(&mut rng);
+        let rows = boundary_rows(&mut rng);
+        let mut table = adversarial_table(&mut rng, rows, regime);
+        let predicate = random_predicate(&mut rng, 2);
+        let shards = rng.gen_range(1..5usize);
+
+        check_equivalence(&table, &predicate);
+        check_partitioned_matches_serial(&table, &predicate, shards);
+        let plain = CompiledPredicate::compile(&predicate, table.schema())
+            .expect("all generated columns exist")
+            .evaluate(&table);
+
+        // Force dictionary encoding (no cardinality cap): the integer-code
+        // kernels must reproduce the plain string kernels exactly.
+        table.dict_encode_strings(usize::MAX);
+        check_equivalence(&table, &predicate);
+        check_partitioned_matches_serial(&table, &predicate, shards);
+        let dict = CompiledPredicate::compile(&predicate, table.schema())
+            .expect("all generated columns exist")
+            .evaluate(&table);
+        match (&plain, &dict) {
+            (Ok(p), Ok(d)) => assert_eq!(p, d, "dict selection mismatch for {predicate}"),
+            (Err(_), Err(_)) => {}
+            (p, d) => panic!("dict error divergence for {predicate}: plain {p:?} vs dict {d:?}"),
+        }
+    }
+
+    /// The retained rowwise tier (the PR 2 kernels, kept as the benchmark
+    /// baseline) must stay bit-identical to the chunked default on the
+    /// same adversarial tables.
+    #[test]
+    fn rowwise_tier_matches_chunked(seed in 0u64..u64::MAX) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x70_77);
+        let regime = NullRegime::pick(&mut rng);
+        let rows = boundary_rows(&mut rng);
+        let mut table = adversarial_table(&mut rng, rows, regime);
+        if rng.gen_bool(0.5) {
+            table.dict_encode_strings(usize::MAX);
+        }
+        let predicate = random_predicate(&mut rng, 2);
+        let compiled = CompiledPredicate::compile(&predicate, table.schema())
+            .expect("all generated columns exist");
+        match (compiled.evaluate(&table), compiled.evaluate_rowwise(&table)) {
+            (Ok(chunked), Ok((rowwise, _))) => {
+                assert_eq!(chunked, rowwise, "rowwise selection for {predicate}");
+                let (chunked_count, _) = compiled.count_matches(&table).expect("count");
+                let (rowwise_count, _) = compiled.count_matches_rowwise(&table).expect("count");
+                assert_eq!(chunked_count, rowwise_count, "rowwise count for {predicate}");
+            }
+            (Err(_), Err(_)) => {}
+            (c, r) => panic!("rowwise error divergence for {predicate}: chunked {c:?} vs {r:?}"),
+        }
     }
 }
 

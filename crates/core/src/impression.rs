@@ -54,14 +54,25 @@ pub struct Impression {
     layer: usize,
 }
 
+/// Maximum distinct-value count for which an impression's Utf8 columns are
+/// dictionary-encoded at construction. Scientific category columns (object
+/// class, filter band, processing flags) sit orders of magnitude below this;
+/// columns that exceed it (identifiers, free text) would pay dictionary
+/// maintenance without ever winning on scan speed and stay plain.
+pub const DICT_MAX_CARDINALITY: usize = 1 << 16;
+
 impl Impression {
     /// Assemble an impression from its parts. Intended to be called by the
     /// [`crate::builder::ImpressionBuilder`].
+    ///
+    /// Utf8 columns with at most [`DICT_MAX_CARDINALITY`] distinct values
+    /// are dictionary-encoded here, once, so every later scan of the
+    /// impression runs string predicates as integer-code compares.
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         name: impl Into<String>,
         source_table: impl Into<String>,
-        data: Table,
+        mut data: Table,
         weights: Vec<f64>,
         total_observed_weight: f64,
         source_rows: u64,
@@ -75,6 +86,7 @@ impl Impression {
                 weights.len()
             )));
         }
+        data.dict_encode_strings(DICT_MAX_CARDINALITY);
         let mut imp = Impression {
             name: name.into(),
             source_table: source_table.into(),

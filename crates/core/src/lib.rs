@@ -84,7 +84,7 @@ pub use config::{SciborqConfig, StorageClass};
 pub use engine::{BoundedQueryEngine, QueryBounds};
 pub use error::{Result, SciborqError};
 pub use execution::QueryExecution;
-pub use impression::Impression;
+pub use impression::{Impression, DICT_MAX_CARDINALITY};
 pub use layer::LayerHierarchy;
 pub use maintenance::{AdaptiveMaintainer, MaintenanceDecision};
 pub use policy::SamplingPolicy;
