@@ -1,0 +1,300 @@
+//! A hand-rolled Rust lexer: just enough tokenization for the lint passes.
+//!
+//! The analyzer deliberately avoids `syn`/`proc-macro2` (the vendored set
+//! has neither), so lints operate on a token stream produced here. The
+//! lexer's job is strictly to get *line-accurate* identifiers and
+//! punctuation with comments, strings, char literals and lifetimes out of
+//! the way — it does not attempt to parse Rust. Everything downstream
+//! (test-region tracking, function spans, lock-guard simulation) is built
+//! on this stream.
+
+/// What a token is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`fn`, `let`, `predicate_set`, ...).
+    Ident(String),
+    /// A single punctuation character (`{`, `.`, `;`, ...).
+    Punct(char),
+    /// A literal whose content the lints never inspect: strings, chars,
+    /// numbers. Blanked so that e.g. an `"unwrap()"` inside a string can
+    /// never trip the panic-path lint.
+    Lit,
+}
+
+/// One token with the 1-based source line it starts on.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// 1-based line number.
+    pub line: usize,
+    /// Token payload.
+    pub kind: TokKind,
+}
+
+impl Tok {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True when this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.ident() == Some(name)
+    }
+
+    /// True when this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenize Rust source. Comments are skipped, string/char/number literals
+/// collapse into [`TokKind::Lit`], lifetimes are dropped entirely (so `'a`
+/// never looks like an unterminated char), and raw strings (`r#"…"#`) are
+/// handled with arbitrary `#` depth. The lexer never fails: malformed
+/// input degrades to best-effort tokens, which is the right trade-off for
+/// a lint tool that must not crash on the code it polices.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let b: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    while i < b.len() {
+        let c = b[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+        } else if c.is_whitespace() {
+            i += 1;
+        } else if c == '/' && b.get(i + 1) == Some(&'/') {
+            while i < b.len() && b[i] != '\n' {
+                i += 1;
+            }
+        } else if c == '/' && b.get(i + 1) == Some(&'*') {
+            let mut depth = 1usize;
+            i += 2;
+            while i < b.len() && depth > 0 {
+                if b[i] == '\n' {
+                    line += 1;
+                    i += 1;
+                } else if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+        } else if c == '"' {
+            let start_line = line;
+            i += 1;
+            while i < b.len() {
+                match b[i] {
+                    '\\' => i += 2,
+                    '"' => {
+                        i += 1;
+                        break;
+                    }
+                    '\n' => {
+                        line += 1;
+                        i += 1;
+                    }
+                    _ => i += 1,
+                }
+            }
+            toks.push(Tok {
+                line: start_line,
+                kind: TokKind::Lit,
+            });
+        } else if c == '\'' {
+            // Lifetime (`'a`, `'static`) vs char literal (`'x'`, `'\n'`).
+            let next = b.get(i + 1).copied();
+            let after = b.get(i + 2).copied();
+            if next == Some('\\') || after == Some('\'') {
+                // Char literal: skip to the closing quote, honouring escapes.
+                i += 1;
+                while i < b.len() {
+                    match b[i] {
+                        '\\' => i += 2,
+                        '\'' => {
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                toks.push(Tok {
+                    line,
+                    kind: TokKind::Lit,
+                });
+            } else {
+                // Lifetime or loop label: consume and drop.
+                i += 1;
+                while i < b.len() && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+            }
+        } else if is_ident_start(c) {
+            let start = i;
+            while i < b.len() && is_ident_continue(b[i]) {
+                i += 1;
+            }
+            let ident: String = b[start..i].iter().collect();
+            // Raw / byte string prefixes: r"…", r#"…"#, b"…", br#"…"#.
+            let is_raw_prefix = matches!(ident.as_str(), "r" | "b" | "br" | "rb");
+            if is_raw_prefix && matches!(b.get(i), Some('"') | Some('#')) {
+                let mut hashes = 0usize;
+                while b.get(i) == Some(&'#') {
+                    hashes += 1;
+                    i += 1;
+                }
+                if b.get(i) == Some(&'"') {
+                    let start_line = line;
+                    i += 1;
+                    if hashes == 0 && ident.starts_with('b') && !ident.starts_with("br") {
+                        // b"…": ordinary escapes apply.
+                        while i < b.len() {
+                            match b[i] {
+                                '\\' => i += 2,
+                                '"' => {
+                                    i += 1;
+                                    break;
+                                }
+                                '\n' => {
+                                    line += 1;
+                                    i += 1;
+                                }
+                                _ => i += 1,
+                            }
+                        }
+                    } else {
+                        // Raw string: ends at `"` followed by `hashes` #s.
+                        while let Some(&ch) = b.get(i) {
+                            if ch == '\n' {
+                                line += 1;
+                                i += 1;
+                            } else if ch == '"' {
+                                let mut k = 0usize;
+                                while k < hashes && b.get(i + 1 + k) == Some(&'#') {
+                                    k += 1;
+                                }
+                                i += 1;
+                                if k == hashes {
+                                    i += hashes;
+                                    break;
+                                }
+                            } else {
+                                i += 1;
+                            }
+                        }
+                    }
+                    toks.push(Tok {
+                        line: start_line,
+                        kind: TokKind::Lit,
+                    });
+                    continue;
+                }
+                // A bare `r#ident` raw identifier: fall through, keep ident.
+                while i < b.len() && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+            }
+            toks.push(Tok {
+                line,
+                kind: TokKind::Ident(ident),
+            });
+        } else if c.is_ascii_digit() {
+            // Number: digits, underscores, hex/alpha suffixes, one decimal
+            // point (only when followed by a digit, so `1..5` stays a
+            // range) and exponent signs.
+            i += 1;
+            while i < b.len() {
+                let d = b[i];
+                let continues = d.is_ascii_alphanumeric()
+                    || d == '_'
+                    || (d == '.'
+                        && b.get(i + 1).is_some_and(|n| n.is_ascii_digit())
+                        && b.get(i.wrapping_sub(1)) != Some(&'.'))
+                    || ((d == '+' || d == '-')
+                        && matches!(b.get(i.wrapping_sub(1)), Some('e') | Some('E')));
+                if !continues {
+                    break;
+                }
+                i += 1;
+            }
+            toks.push(Tok {
+                line,
+                kind: TokKind::Lit,
+            });
+        } else {
+            toks.push(Tok {
+                line,
+                kind: TokKind::Punct(c),
+            });
+            i += 1;
+        }
+    }
+    toks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| t.ident().map(str::to_owned))
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let src = r#"
+            // commented.unwrap()
+            let x = "quoted.unwrap()"; /* block .unwrap() */
+            y.unwrap();
+        "#;
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "x", "y", "unwrap"]);
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_code() {
+        let ids = idents("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(ids.contains(&"str".to_owned()));
+        assert!(!ids.iter().any(|s| s == "a"));
+    }
+
+    #[test]
+    fn char_literals_and_ranges() {
+        let toks = lex("let c = 'x'; let r = 1..5; let f = 1.5e-3;");
+        let lits = toks.iter().filter(|t| t.kind == TokKind::Lit).count();
+        assert_eq!(lits, 4, "'x', 1, 5, 1.5e-3");
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let ids = idents(r##"let s = r#"inner "quote" .unwrap()"#; s.len();"##);
+        assert_eq!(ids, vec!["let", "s", "s", "len"]);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<usize> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+}

@@ -1,0 +1,68 @@
+//! Bounds-honesty lint: `time_bound_met` / `*_bound_met` fields must be
+//! computed from measurements, never hard-coded. PR 3 fixed three bugs of
+//! exactly this shape — a literal `true` makes the engine claim it met a
+//! runtime or quality bound it never checked, which breaks the paper's
+//! core contract. The lint flags literal `true`/`false` in struct-init
+//! (`field: true`) and assignment (`field = true`) position, outside
+//! tests.
+
+use crate::diag::Diagnostic;
+use crate::model::FileModel;
+
+/// Files where bound flags are produced.
+fn in_scope(path: &str) -> bool {
+    matches!(
+        path,
+        "crates/core/src/engine.rs" | "crates/core/src/execution.rs" | "crates/core/src/batch.rs"
+    ) || path.starts_with("crates/serve/src/")
+}
+
+pub fn run(models: &[FileModel]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for m in models {
+        if !in_scope(&m.path) {
+            continue;
+        }
+        for (i, t) in m.toks.iter().enumerate() {
+            let Some(field) = t.ident() else { continue };
+            if !field.ends_with("_bound_met") || m.is_test_line(t.line) {
+                continue;
+            }
+            // `field: true` (struct init) or `field = true` (assignment).
+            // Comparison operators (`==`, `!=`, `>=`, `<=`) must not
+            // match, so `=` may be neither preceded nor followed by
+            // another operator character.
+            let Some(sep) = m.toks.get(i + 1) else {
+                continue;
+            };
+            let is_sep = sep.is_punct(':')
+                || (sep.is_punct('=') && !m.toks.get(i + 2).is_some_and(|n| n.is_punct('=')));
+            if !is_sep {
+                continue;
+            }
+            let value_idx = i + 2;
+            let is_literal_bool = m
+                .toks
+                .get(value_idx)
+                .and_then(|v| v.ident())
+                .is_some_and(|v| v == "true" || v == "false");
+            // Require a terminator after the literal so `field:
+            // true_branch()` style expressions never match.
+            let terminated = m.toks.get(value_idx + 1).is_some_and(|n| {
+                n.is_punct(',') || n.is_punct(';') || n.is_punct('}') || n.is_punct(')')
+            });
+            if is_literal_bool && terminated {
+                diags.push(Diagnostic::error(
+                    &m.path,
+                    t.line,
+                    "bounds_honesty",
+                    format!(
+                        "literal boolean assigned to `{field}`; bound flags must be \
+                         measured (e.g. via `time_ok()`), not hard-coded"
+                    ),
+                ));
+            }
+        }
+    }
+    diags
+}

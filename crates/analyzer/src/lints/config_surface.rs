@@ -1,0 +1,126 @@
+//! Config-surface lint: every `SciborqConfig` field must be settable via
+//! a `with_*` builder, covered by `validate()`, and documented in the
+//! README. Config fields that can only be set by struct literal (or that
+//! validation silently ignores) drift out of the documented surface and
+//! become dead knobs.
+
+use crate::diag::Diagnostic;
+use crate::model::{match_brace, FileModel};
+
+const CONFIG_FILE: &str = "crates/core/src/config.rs";
+const CONFIG_STRUCT: &str = "SciborqConfig";
+
+/// `(field, line)` pairs for the fields of `SciborqConfig`.
+fn config_fields(m: &FileModel) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i + 1 < m.toks.len() {
+        if m.toks[i].is_ident("struct") && m.toks[i + 1].is_ident(CONFIG_STRUCT) {
+            let Some(open) = (i + 2..m.toks.len()).find(|&k| m.toks[k].is_punct('{')) else {
+                break;
+            };
+            let close = match_brace(&m.toks, open);
+            let mut k = open + 1;
+            while k < close {
+                let is_field = m.toks[k].ident().is_some()
+                    && m.toks.get(k + 1).is_some_and(|t| t.is_punct(':'))
+                    && !m.toks[k].is_ident("pub");
+                if is_field {
+                    let field = m.toks[k].ident().unwrap_or_default().to_owned();
+                    let line = m.toks[k].line;
+                    // Skip the type region: to the next `,` at top nesting
+                    // or the struct close.
+                    let mut depth = 0isize;
+                    let mut t = k + 2;
+                    while t < close {
+                        let tok = &m.toks[t];
+                        if tok.is_punct('<') || tok.is_punct('(') || tok.is_punct('[') {
+                            depth += 1;
+                        } else if tok.is_punct(')')
+                            || tok.is_punct(']')
+                            || (tok.is_punct('>') && !m.toks[t - 1].is_punct('-'))
+                        {
+                            depth -= 1;
+                        } else if tok.is_punct(',') && depth == 0 {
+                            break;
+                        }
+                        t += 1;
+                    }
+                    out.push((field, line));
+                    k = t + 1;
+                } else {
+                    k += 1;
+                }
+            }
+            break;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// True when some `with_*` builder body assigns `self.<field>`. Matching
+/// on the assignment (rather than the builder's name) lets e.g.
+/// `with_layers` satisfy the `layer_sizes` field.
+fn has_builder(m: &FileModel, field: &str) -> bool {
+    m.fns
+        .iter()
+        .filter(|f| f.name.starts_with("with_") && !f.in_test)
+        .filter_map(|f| f.body)
+        .any(|(open, close)| body_assigns_self_field(m, open, close, field))
+}
+
+fn body_assigns_self_field(m: &FileModel, open: usize, close: usize, field: &str) -> bool {
+    (open..close.saturating_sub(2)).any(|k| {
+        m.toks[k].is_ident("self")
+            && m.toks[k + 1].is_punct('.')
+            && m.toks[k + 2].is_ident(field)
+            && m.toks.get(k + 3).is_some_and(|t| t.is_punct('='))
+            && !m.toks.get(k + 4).is_some_and(|t| t.is_punct('='))
+    })
+}
+
+/// True when `validate()` mentions the field at all.
+fn validated(m: &FileModel, field: &str) -> bool {
+    m.fns
+        .iter()
+        .filter(|f| f.name == "validate" && !f.in_test)
+        .filter_map(|f| f.body)
+        .any(|(open, close)| (open..=close).any(|k| m.toks[k].is_ident(field)))
+}
+
+pub fn run(models: &[FileModel], readme: Option<&str>) -> Vec<Diagnostic> {
+    let Some(m) = models.iter().find(|m| m.path == CONFIG_FILE) else {
+        return Vec::new();
+    };
+    let mut diags = Vec::new();
+    for (field, line) in config_fields(m) {
+        if !has_builder(m, &field) {
+            diags.push(Diagnostic::error(
+                CONFIG_FILE,
+                line,
+                "config_surface",
+                format!("`{CONFIG_STRUCT}.{field}` has no `with_*` builder that assigns it"),
+            ));
+        }
+        if !validated(m, &field) {
+            diags.push(Diagnostic::error(
+                CONFIG_FILE,
+                line,
+                "config_surface",
+                format!("`{CONFIG_STRUCT}.{field}` is not covered by `validate()`"),
+            ));
+        }
+        if let Some(readme) = readme {
+            if !readme.contains(&field) {
+                diags.push(Diagnostic::error(
+                    CONFIG_FILE,
+                    line,
+                    "config_surface",
+                    format!("`{CONFIG_STRUCT}.{field}` is not mentioned in the README"),
+                ));
+            }
+        }
+    }
+    diags
+}

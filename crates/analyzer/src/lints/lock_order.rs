@@ -1,0 +1,511 @@
+//! Lock-order lint: extracts `Mutex`/`RwLock`/`Condvar` acquisition
+//! sequences per function in `serve` and `core`, builds an
+//! inter-procedural acquisition graph over the call edges it can resolve,
+//! and flags (a) acquisition cycles — the classic AB/BA deadlock shape,
+//! (b) re-acquiring a lock class already held, and (c) waiting on a
+//! condvar while holding a second lock. It also warns on blocking calls
+//! (`sleep`, `.recv()`, `.join()`) made while any lock is held.
+//!
+//! The analysis is a token-level simulation, not a type check. Guards are
+//! tracked by brace depth: a `let`-bound guard lives until its binding
+//! block closes or an explicit `drop(guard)`; a statement temporary (e.g.
+//! an `if let` scrutinee) dies at the next `;` at its own depth or when a
+//! `}` returns to the depth it was born at. Receivers resolve against
+//! struct fields of lock type plus local aliases for catalog table
+//! handles (`let h = ...catalog.table(...)`, whose guards share the
+//! `table` class). Known gap: acquisitions inside closure bodies whose
+//! receiver is the closure parameter (`.map(|h| h.read())`) are invisible
+//! — the receiver is unresolvable by name.
+
+use crate::diag::Diagnostic;
+use crate::model::{FileModel, LockKind};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+fn in_scope(path: &str) -> bool {
+    path.starts_with("crates/serve/src/") || path.starts_with("crates/core/src/")
+}
+
+/// One lock-acquisition edge: `to` acquired while `from` was held.
+#[derive(Debug, Clone)]
+struct Edge {
+    from: String,
+    to: String,
+    file: String,
+    line: usize,
+    func: String,
+    /// `Some(callee)` when the acquisition happens transitively through a
+    /// resolved call rather than at this line directly.
+    via: Option<String>,
+}
+
+/// A call site, with the lock classes held at the moment of the call.
+#[derive(Debug, Clone)]
+struct CallSite {
+    callee: String,
+    held: Vec<String>,
+    file: String,
+    line: usize,
+    func: String,
+}
+
+/// Per-function summary from the guard simulation.
+#[derive(Debug, Default)]
+struct FnFacts {
+    acquires: HashSet<String>,
+    calls: Vec<CallSite>,
+}
+
+#[derive(Debug)]
+struct Guard {
+    class: String,
+    var: Option<String>,
+    depth: isize,
+    temp: bool,
+}
+
+const KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "loop", "return", "in", "as", "move", "let", "fn", "impl",
+    "struct", "enum", "where", "unsafe", "else", "break", "continue", "use", "pub", "mod", "type",
+    "const", "static", "ref", "mut", "dyn",
+];
+
+pub fn run(models: &[FileModel]) -> Vec<Diagnostic> {
+    let scoped: Vec<&FileModel> = models.iter().filter(|m| in_scope(&m.path)).collect();
+
+    // Lock classes: every struct field of lock type across the scope.
+    let mut fields: HashMap<String, LockKind> = HashMap::new();
+    for m in &scoped {
+        for (name, kind) in &m.lock_fields {
+            fields.entry(name.clone()).or_insert(*kind);
+        }
+    }
+
+    let mut diags = Vec::new();
+    let mut edges: Vec<Edge> = Vec::new();
+    let mut facts: Vec<(String, FnFacts)> = Vec::new();
+
+    for m in &scoped {
+        for f in &m.fns {
+            if f.in_test {
+                continue;
+            }
+            let Some((open, close)) = f.body else {
+                continue;
+            };
+            let ff = simulate(m, &f.name, open, close, &fields, &mut edges, &mut diags);
+            facts.push((f.name.clone(), ff));
+        }
+    }
+
+    // Name-based call resolution: only unambiguous names participate.
+    // Two in-scope functions sharing a name would force a lossy merge, so
+    // those call edges are skipped instead of guessed.
+    let mut by_name: HashMap<&str, Vec<usize>> = HashMap::new();
+    for (i, (name, _)) in facts.iter().enumerate() {
+        by_name.entry(name.as_str()).or_default().push(i);
+    }
+    let unique: HashMap<&str, usize> = by_name
+        .iter()
+        .filter(|(_, v)| v.len() == 1)
+        .map(|(k, v)| (*k, v[0]))
+        .collect();
+
+    // Transitive acquire sets over the resolved call graph, to fixpoint.
+    let mut acq_star: Vec<HashSet<String>> =
+        facts.iter().map(|(_, f)| f.acquires.clone()).collect();
+    loop {
+        let mut changed = false;
+        for i in 0..facts.len() {
+            for call in &facts[i].1.calls {
+                if let Some(&j) = unique.get(call.callee.as_str()) {
+                    if j != i {
+                        let add: Vec<String> = acq_star[j]
+                            .iter()
+                            .filter(|c| !acq_star[i].contains(*c))
+                            .cloned()
+                            .collect();
+                        if !add.is_empty() {
+                            acq_star[i].extend(add);
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Inter-procedural edges: held locks at a call site order before
+    // everything the callee (transitively) acquires.
+    for (_, ff) in &facts {
+        for call in &ff.calls {
+            if call.held.is_empty() {
+                continue;
+            }
+            let Some(&j) = unique.get(call.callee.as_str()) else {
+                continue;
+            };
+            for to in &acq_star[j] {
+                for from in &call.held {
+                    edges.push(Edge {
+                        from: from.clone(),
+                        to: to.clone(),
+                        file: call.file.clone(),
+                        line: call.line,
+                        func: call.func.clone(),
+                        via: Some(call.callee.clone()),
+                    });
+                }
+            }
+        }
+    }
+
+    // Cycle detection over lock classes. An edge participates in a cycle
+    // when its target can reach its source (self-edges trivially do).
+    let mut adj: HashMap<&str, HashSet<&str>> = HashMap::new();
+    for e in &edges {
+        adj.entry(e.to.as_str()).or_default();
+        adj.entry(e.from.as_str())
+            .or_default()
+            .insert(e.to.as_str());
+    }
+    let mut reported: HashSet<(String, String)> = HashSet::new();
+    for e in &edges {
+        if !reported.insert((e.from.clone(), e.to.clone())) {
+            continue;
+        }
+        if e.from == e.to {
+            diags.push(Diagnostic::error(
+                &e.file,
+                e.line,
+                "lock_order",
+                format!(
+                    "in `{}`: `{}` acquired while `{}` is already held{} — \
+                     self-deadlock risk for non-reentrant locks",
+                    e.func,
+                    e.to,
+                    e.from,
+                    via(&e.via),
+                ),
+            ));
+        } else if let Some(path) = find_path(&adj, &e.to, &e.from) {
+            let cycle = std::iter::once(e.from.as_str())
+                .chain(path.iter().copied())
+                .collect::<Vec<_>>()
+                .join(" -> ");
+            diags.push(Diagnostic::error(
+                &e.file,
+                e.line,
+                "lock_order",
+                format!(
+                    "in `{}`: `{}` acquired while holding `{}`{}, but the reverse \
+                     order also occurs — acquisition cycle {cycle} -> {}",
+                    e.func,
+                    e.to,
+                    e.from,
+                    via(&e.via),
+                    e.from,
+                ),
+            ));
+        }
+    }
+    diags
+}
+
+fn via(v: &Option<String>) -> String {
+    match v {
+        Some(callee) => format!(" (via call to `{callee}`)"),
+        None => String::new(),
+    }
+}
+
+/// BFS path from `from` to `to` over the acquisition graph.
+fn find_path<'a>(
+    adj: &HashMap<&'a str, HashSet<&'a str>>,
+    from: &'a str,
+    to: &str,
+) -> Option<Vec<&'a str>> {
+    let mut prev: HashMap<&str, &str> = HashMap::new();
+    let mut queue = VecDeque::from([from]);
+    let mut seen: HashSet<&str> = HashSet::from([from]);
+    while let Some(n) = queue.pop_front() {
+        if n == to {
+            let mut path = vec![n];
+            let mut cur = n;
+            while let Some(&p) = prev.get(cur) {
+                path.push(p);
+                cur = p;
+            }
+            path.reverse();
+            return Some(path);
+        }
+        for &next in adj.get(n).into_iter().flatten() {
+            if seen.insert(next) {
+                prev.insert(next, n);
+                queue.push_back(next);
+            }
+        }
+    }
+    None
+}
+
+/// Walk one function body, tracking held guards by brace depth.
+#[allow(clippy::too_many_arguments)]
+fn simulate(
+    m: &FileModel,
+    func: &str,
+    open: usize,
+    close: usize,
+    fields: &HashMap<String, LockKind>,
+    edges: &mut Vec<Edge>,
+    diags: &mut Vec<Diagnostic>,
+) -> FnFacts {
+    let mut ff = FnFacts::default();
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut aliases: HashMap<String, String> = HashMap::new();
+    let mut pending_let: Option<String> = None;
+    // Guard-count snapshot at a plain `if`/`while` condition: temporaries
+    // born in the condition die before the block runs.
+    let mut cond_marker: Option<usize> = None;
+    let mut depth: isize = 0;
+
+    let toks = &m.toks;
+    let mut i = open;
+    while i <= close && i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('{') {
+            if let Some(mark) = cond_marker.take() {
+                while guards.len() > mark && guards.last().is_some_and(|g| g.temp) {
+                    guards.pop();
+                }
+            }
+            depth += 1;
+            i += 1;
+            continue;
+        }
+        if t.is_punct('}') {
+            depth -= 1;
+            // A temporary dies when `}` returns to (or below) the depth it
+            // was born at — the end of its `if let`/`match` statement. A
+            // `let`-bound guard dies only when its binding block closes.
+            guards.retain(|g| {
+                if g.temp {
+                    g.depth < depth
+                } else {
+                    g.depth <= depth
+                }
+            });
+            i += 1;
+            continue;
+        }
+        if t.is_punct(';') {
+            guards.retain(|g| !(g.temp && g.depth == depth));
+            pending_let = None;
+            cond_marker = None;
+            i += 1;
+            continue;
+        }
+        let Some(id) = t.ident() else {
+            i += 1;
+            continue;
+        };
+        let next_is = |k: usize, c: char| toks.get(i + k).is_some_and(|n| n.is_punct(c));
+        let prev_dot = i > 0 && toks[i - 1].is_punct('.');
+
+        match id {
+            "let" => {
+                // Simple `let [mut] name =`/`: ty =` bindings carry the
+                // guard; pattern bindings (`let Some(x) = ...`) leave the
+                // acquisition a statement temporary, which matches how
+                // `if let` scrutinee temporaries actually live.
+                let mut k = i + 1;
+                if toks.get(k).is_some_and(|n| n.is_ident("mut")) {
+                    k += 1;
+                }
+                let name = toks.get(k).and_then(|n| n.ident());
+                let simple = toks
+                    .get(k + 1)
+                    .is_some_and(|n| n.is_punct('=') || n.is_punct(':'));
+                pending_let = match (name, simple) {
+                    (Some(n), true) => Some(n.to_owned()),
+                    _ => None,
+                };
+            }
+            "if" | "while" if !toks.get(i + 1).is_some_and(|n| n.is_ident("let")) => {
+                cond_marker = Some(guards.len());
+            }
+            "drop" if next_is(1, '(') => {
+                if let Some(v) = toks.get(i + 2).and_then(|n| n.ident()) {
+                    if next_is(3, ')') {
+                        if let Some(pos) = guards.iter().rposition(|g| g.var.as_deref() == Some(v))
+                        {
+                            guards.remove(pos);
+                        }
+                    }
+                }
+            }
+            "lock" | "read" | "write" if prev_dot && next_is(1, '(') && next_is(2, ')') => {
+                let receiver = i.checked_sub(2).and_then(|p| toks[p].ident());
+                let class = receiver.and_then(|r| {
+                    if fields.contains_key(r) {
+                        Some(r.to_owned())
+                    } else {
+                        aliases.get(r).cloned()
+                    }
+                });
+                if let Some(class) = class {
+                    for g in &guards {
+                        edges.push(Edge {
+                            from: g.class.clone(),
+                            to: class.clone(),
+                            file: m.path.clone(),
+                            line: t.line,
+                            func: func.to_owned(),
+                            via: None,
+                        });
+                    }
+                    ff.acquires.insert(class.clone());
+                    // The binding owns the guard only when the acquisition
+                    // ends the initializer chain — `Result` adapters
+                    // (`.unwrap()`, `.unwrap_or_else(...)` for std locks)
+                    // still yield the guard, but any other continued chain
+                    // (`.read().iter()...`) binds a derived value and the
+                    // guard itself is a statement temporary.
+                    let mut j = i + 3;
+                    loop {
+                        let adapter = toks.get(j).is_some_and(|n| n.is_punct('.'))
+                            && toks.get(j + 1).and_then(|n| n.ident()).is_some_and(|id| {
+                                matches!(id, "unwrap" | "expect" | "unwrap_or_else")
+                            })
+                            && toks.get(j + 2).is_some_and(|n| n.is_punct('('));
+                        if !adapter {
+                            break;
+                        }
+                        j = match_paren(toks, j + 2) + 1;
+                    }
+                    let ends_chain = !toks.get(j).is_some_and(|n| n.is_punct('.'));
+                    let taken = pending_let.take();
+                    let var = if ends_chain { taken } else { None };
+                    let temp = var.is_none();
+                    guards.push(Guard {
+                        class,
+                        var,
+                        depth,
+                        temp,
+                    });
+                }
+            }
+            _ if id.starts_with("wait") && prev_dot && next_is(1, '(') => {
+                let receiver = i.checked_sub(2).and_then(|p| toks[p].ident());
+                let is_condvar =
+                    receiver.is_some_and(|r| fields.get(r) == Some(&LockKind::Condvar));
+                if is_condvar {
+                    let arg = toks.get(i + 2).and_then(|n| n.ident());
+                    let waited_class = arg.and_then(|a| {
+                        guards
+                            .iter()
+                            .find(|g| g.var.as_deref() == Some(a))
+                            .map(|g| g.class.clone())
+                    });
+                    let others: Vec<&str> = guards
+                        .iter()
+                        .filter(|g| Some(&g.class) != waited_class.as_ref())
+                        .map(|g| g.class.as_str())
+                        .collect();
+                    if !others.is_empty() {
+                        diags.push(Diagnostic::error(
+                            &m.path,
+                            t.line,
+                            "lock_order",
+                            format!(
+                                "in `{func}`: waiting on condvar `{}` while still holding \
+                                 [{}] — the wait releases only its own mutex, so other \
+                                 waiters can deadlock",
+                                receiver.unwrap_or("?"),
+                                others.join(", "),
+                            ),
+                        ));
+                    }
+                }
+            }
+            "sleep" if next_is(1, '(') && !guards.is_empty() => {
+                diags.push(Diagnostic::warning(
+                    &m.path,
+                    t.line,
+                    "lock_order",
+                    format!(
+                        "in `{func}`: sleeping while holding [{}] stalls every \
+                         contender for the full sleep",
+                        held_list(&guards),
+                    ),
+                ));
+            }
+            "recv" | "join" if prev_dot && next_is(1, '(') && next_is(2, ')') => {
+                if !guards.is_empty() {
+                    diags.push(Diagnostic::warning(
+                        &m.path,
+                        t.line,
+                        "lock_order",
+                        format!(
+                            "in `{func}`: blocking `.{id}()` while holding [{}]",
+                            held_list(&guards),
+                        ),
+                    ));
+                }
+            }
+            _ => {
+                // Catalog table-handle aliasing: guards taken through the
+                // binding share the `table` lock class.
+                if id == "table" && prev_dot && next_is(1, '(') {
+                    if let Some(v) = &pending_let {
+                        aliases.insert(v.clone(), "table".to_owned());
+                    }
+                }
+                // Plain call site (not a macro): record for the
+                // inter-procedural pass.
+                if next_is(1, '(')
+                    && !toks.get(i + 1).is_some_and(|n| n.is_punct('!'))
+                    && !KEYWORDS.contains(&id)
+                    && id != "table"
+                {
+                    ff.calls.push(CallSite {
+                        callee: id.to_owned(),
+                        held: guards.iter().map(|g| g.class.clone()).collect(),
+                        file: m.path.clone(),
+                        line: t.line,
+                        func: func.to_owned(),
+                    });
+                }
+            }
+        }
+        i += 1;
+    }
+    ff
+}
+
+/// Given the index of an opening `(`, return the index of its matching
+/// `)` (or the last token if unbalanced).
+fn match_paren(toks: &[crate::lexer::Tok], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return k;
+            }
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+fn held_list(guards: &[Guard]) -> String {
+    guards
+        .iter()
+        .map(|g| g.class.as_str())
+        .collect::<Vec<_>>()
+        .join(", ")
+}

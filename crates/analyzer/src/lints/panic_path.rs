@@ -1,0 +1,94 @@
+//! Panic-path lint: hot-path and serving modules must not contain
+//! `unwrap()`, `expect()`, panic-family macros, or direct slice indexing
+//! outside test code. These modules run inside the query loop or on the
+//! server thread, where a panic either poisons shared state or kills a
+//! connection; fallible paths must return typed errors instead.
+//!
+//! Indexing is reported under the separate `panic_path_index` lint name so
+//! that kernel files, where bounds are established by construction, can
+//! file-allow indexing without also muting the unwrap/expect checks.
+
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+use crate::model::FileModel;
+
+/// Modules where panics are denied.
+const SCOPED_FILES: &[&str] = &[
+    "crates/columnar/src/kernels.rs",
+    "crates/columnar/src/compiled.rs",
+    "crates/serve/src/server.rs",
+    "crates/serve/src/admission.rs",
+    "crates/serve/src/protocol.rs",
+];
+
+/// Macro names treated as unconditional panics.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Keywords that legitimately precede `[` (slice patterns, array types).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "let", "in", "return", "if", "else", "match", "mut", "ref", "move", "const", "static", "as",
+    "while", "box", "dyn", "impl", "where",
+];
+
+pub fn run(models: &[FileModel]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for m in models {
+        if !SCOPED_FILES.contains(&m.path.as_str()) {
+            continue;
+        }
+        for (i, t) in m.toks.iter().enumerate() {
+            if m.is_test_line(t.line) {
+                continue;
+            }
+            let next_is = |c: char| m.toks.get(i + 1).is_some_and(|n| n.is_punct(c));
+            let prev = i.checked_sub(1).and_then(|p| m.toks.get(p));
+            match t.ident() {
+                Some(name @ ("unwrap" | "expect"))
+                    if next_is('(') && prev.is_some_and(|p| p.is_punct('.')) =>
+                {
+                    diags.push(Diagnostic::error(
+                        &m.path,
+                        t.line,
+                        "panic_path",
+                        format!(
+                            "`.{name}()` in a panic-denied module; return a typed error \
+                             (or recover, e.g. `unwrap_or_else(PoisonError::into_inner)` \
+                             for lock poisoning) or add a reasoned allow"
+                        ),
+                    ));
+                }
+                Some(name) if PANIC_MACROS.contains(&name) && next_is('!') => {
+                    diags.push(Diagnostic::error(
+                        &m.path,
+                        t.line,
+                        "panic_path",
+                        format!("`{name}!` in a panic-denied module; return a typed error or add a reasoned allow"),
+                    ));
+                }
+                _ => {}
+            }
+            // Direct indexing: `expr[...]` — an opening bracket directly
+            // after an identifier, `)` or `]`. Attributes (`#[...]`),
+            // macro brackets (`vec![...]`), array literals and type
+            // positions all have a different preceding token.
+            if t.is_punct('[') {
+                let indexes = match prev.map(|p| &p.kind) {
+                    Some(TokKind::Ident(id)) => !NON_INDEX_KEYWORDS.contains(&id.as_str()),
+                    Some(TokKind::Punct(')')) | Some(TokKind::Punct(']')) => true,
+                    _ => false,
+                };
+                if indexes {
+                    diags.push(Diagnostic::error(
+                        &m.path,
+                        t.line,
+                        "panic_path_index",
+                        "direct slice indexing in a panic-denied module; use `get`/iterators \
+                         or add a reasoned allow"
+                            .to_owned(),
+                    ));
+                }
+            }
+        }
+    }
+    diags
+}

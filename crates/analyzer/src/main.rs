@@ -1,0 +1,107 @@
+//! CLI for the workspace invariant checker.
+//!
+//! ```text
+//! sciborq-analyzer [--root PATH] [--deny warnings] [--report PATH]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 warnings under `--deny warnings`, 2 errors
+//! (always fatal), 3 usage or I/O failure.
+
+use sciborq_analyzer::diag::Severity;
+use sciborq_analyzer::{analyze, exit_code, load_workspace};
+use std::io::Write as _;
+use std::path::PathBuf;
+
+fn main() {
+    std::process::exit(run());
+}
+
+fn run() -> i32 {
+    let mut root = PathBuf::from(".");
+    let mut deny_warnings = false;
+    let mut report: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => return usage("--root requires a path"),
+            },
+            "--deny" => match args.next().as_deref() {
+                Some("warnings") => deny_warnings = true,
+                _ => return usage("--deny takes the value `warnings`"),
+            },
+            "--report" => match args.next() {
+                Some(p) => report = Some(PathBuf::from(p)),
+                None => return usage("--report requires a path"),
+            },
+            "--help" | "-h" => {
+                println!("usage: sciborq-analyzer [--root PATH] [--deny warnings] [--report PATH]");
+                return 0;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    // `cargo run -p sciborq-analyzer` runs from the workspace root; when
+    // invoked elsewhere, walk up until a directory with `crates/` appears.
+    if !root.join("crates").is_dir() {
+        let mut cur = root.canonicalize().unwrap_or(root.clone());
+        while !cur.join("crates").is_dir() {
+            let Some(parent) = cur.parent() else {
+                eprintln!(
+                    "error: no `crates/` directory at or above {}",
+                    root.display()
+                );
+                return 3;
+            };
+            cur = parent.to_path_buf();
+        }
+        root = cur;
+    }
+
+    let input = match load_workspace(&root) {
+        Ok(input) => input,
+        Err(err) => {
+            eprintln!(
+                "error: failed to read workspace at {}: {err}",
+                root.display()
+            );
+            return 3;
+        }
+    };
+    let diags = analyze(&input);
+
+    let mut out = String::new();
+    for d in &diags {
+        out.push_str(&d.to_string());
+        out.push('\n');
+    }
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = diags.len() - errors;
+    out.push_str(&format!(
+        "sciborq-analyzer: {} file(s) analyzed, {errors} error(s), {warnings} warning(s)\n",
+        input.files.len(),
+    ));
+    print!("{out}");
+
+    if let Some(path) = report {
+        if let Err(err) = std::fs::File::create(&path).and_then(|mut f| f.write_all(out.as_bytes()))
+        {
+            eprintln!("error: failed to write report to {}: {err}", path.display());
+            return 3;
+        }
+    }
+
+    exit_code(&diags, deny_warnings)
+}
+
+fn usage(msg: &str) -> i32 {
+    eprintln!("error: {msg}");
+    eprintln!("usage: sciborq-analyzer [--root PATH] [--deny warnings] [--report PATH]");
+    3
+}

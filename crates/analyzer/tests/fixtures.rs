@@ -1,0 +1,460 @@
+//! Fixture-based lint tests: every lint has at least one case where it
+//! fires, one where compliant code passes, and one where a finding is
+//! suppressed with a reasoned `allow`. Fixtures are fed straight to
+//! [`analyze`] with synthetic workspace-relative paths — lint scoping keys
+//! off the path, so a fixture opts into a lint by choosing it.
+//!
+//! This file itself is never scanned (the analyzer excludes its own crate
+//! precisely because these fixtures embed deliberate violations and
+//! example suppressions), so markers may appear here literally.
+
+use sciborq_analyzer::diag::{Diagnostic, Severity};
+use sciborq_analyzer::{analyze, exit_code, AnalyzerInput};
+
+fn run(files: &[(&str, &str)], readme: Option<&str>) -> Vec<Diagnostic> {
+    let input = AnalyzerInput {
+        files: files
+            .iter()
+            .map(|(p, s)| (p.to_string(), s.to_string()))
+            .collect(),
+        readme: readme.map(str::to_owned),
+    };
+    analyze(&input)
+}
+
+fn lint_count(diags: &[Diagnostic], lint: &str) -> usize {
+    diags.iter().filter(|d| d.lint == lint).count()
+}
+
+// ---------------------------------------------------------------------------
+// bounds_honesty
+// ---------------------------------------------------------------------------
+
+#[test]
+fn bounds_honesty_fires_on_literal_flag() {
+    let src = r#"
+fn answer() -> Answer {
+    Answer { error_bound_met: true, time_bound_met = false }
+}
+"#;
+    let diags = run(&[("crates/core/src/engine.rs", src)], None);
+    assert_eq!(lint_count(&diags, "bounds_honesty"), 2, "{diags:?}");
+    assert_eq!(exit_code(&diags, false), 2);
+}
+
+#[test]
+fn bounds_honesty_passes_measured_flag_and_tests() {
+    let src = r#"
+fn answer(met: bool) -> Answer {
+    Answer { error_bound_met: met, time_bound_met: time_ok() }
+}
+#[test]
+fn literals_in_tests_are_fine() {
+    let expected = Answer { error_bound_met: true };
+}
+"#;
+    let diags = run(&[("crates/core/src/engine.rs", src)], None);
+    assert_eq!(lint_count(&diags, "bounds_honesty"), 0, "{diags:?}");
+}
+
+#[test]
+fn bounds_honesty_suppressed_with_reason() {
+    let src = r#"
+fn answer() -> Answer {
+    // analyzer:allow(bounds_honesty, reason = "base data is exact")
+    Answer { error_bound_met: true }
+}
+"#;
+    let diags = run(&[("crates/core/src/engine.rs", src)], None);
+    assert!(diags.is_empty(), "{diags:?}");
+    assert_eq!(exit_code(&diags, false), 0);
+}
+
+// ---------------------------------------------------------------------------
+// panic_path / panic_path_index
+// ---------------------------------------------------------------------------
+
+#[test]
+fn panic_path_fires_in_scoped_file() {
+    let src = r#"
+pub fn hot(x: Option<u32>, v: &[u32]) -> u32 {
+    let a = x.unwrap();
+    let b = x.expect("present");
+    if a == 0 { panic!("zero"); }
+    a + b + v[0]
+}
+"#;
+    let diags = run(&[("crates/columnar/src/kernels.rs", src)], None);
+    assert_eq!(lint_count(&diags, "panic_path"), 3, "{diags:?}");
+    assert_eq!(lint_count(&diags, "panic_path_index"), 1, "{diags:?}");
+}
+
+#[test]
+fn panic_path_ignores_unscoped_files_and_tests() {
+    let unscoped = run(
+        &[(
+            "crates/core/src/session.rs",
+            "fn f(x: Option<u32>) -> u32 { x.unwrap() }",
+        )],
+        None,
+    );
+    assert_eq!(lint_count(&unscoped, "panic_path"), 0, "{unscoped:?}");
+
+    let in_test = r#"
+pub fn hot(v: &[u32]) -> u32 { v.iter().sum() }
+#[test]
+fn asserting_with_unwrap_is_fine() {
+    let x: Option<u32> = Some(1);
+    assert_eq!(x.unwrap(), 1);
+}
+"#;
+    let diags = run(&[("crates/columnar/src/kernels.rs", in_test)], None);
+    assert_eq!(lint_count(&diags, "panic_path"), 0, "{diags:?}");
+}
+
+#[test]
+fn panic_path_suppressed_with_reason() {
+    let src = r#"
+pub fn hot(x: Option<u32>, v: &[u32]) -> u32 {
+    // analyzer:allow(panic_path, reason = "checked non-empty on entry")
+    let a = x.unwrap();
+    // analyzer:allow(panic_path_index, reason = "index bounded by caller")
+    a + v[0]
+}
+"#;
+    let diags = run(&[("crates/columnar/src/kernels.rs", src)], None);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn panic_path_file_level_suppression_covers_whole_file() {
+    let src = r#"
+// analyzer:allow-file(panic_path_index, reason = "kernel tier, bounds pre-established")
+pub fn hot(v: &[u32]) -> u32 { v[0] + v[1] }
+"#;
+    let diags = run(&[("crates/columnar/src/kernels.rs", src)], None);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// ---------------------------------------------------------------------------
+// kernel_parity
+// ---------------------------------------------------------------------------
+
+#[test]
+fn kernel_parity_fires_on_untested_kernel() {
+    let src = "pub fn mask_novel(values: &[i64]) -> usize { values.len() }";
+    let diags = run(&[("crates/columnar/src/kernels.rs", src)], None);
+    assert_eq!(lint_count(&diags, "kernel_parity"), 1, "{diags:?}");
+}
+
+#[test]
+fn kernel_parity_passes_when_test_references_kernel() {
+    let kernel = "pub fn mask_novel(values: &[i64]) -> usize { values.len() }
+pub fn scan_weighted_sum(values: &[f64]) -> f64 { 0.0 }";
+    let test = "fn drives_both() { mask_novel(&[]); scan_weighted_sum(&[]); }";
+    let diags = run(
+        &[
+            ("crates/columnar/src/kernels.rs", kernel),
+            ("crates/columnar/tests/equivalence.rs", test),
+        ],
+        None,
+    );
+    assert_eq!(lint_count(&diags, "kernel_parity"), 0, "{diags:?}");
+
+    // The bench oracle counts as a reference too.
+    let diags = run(
+        &[
+            ("crates/columnar/src/kernels.rs", kernel),
+            ("crates/bench/src/oracle.rs", test),
+        ],
+        None,
+    );
+    assert_eq!(lint_count(&diags, "kernel_parity"), 0, "{diags:?}");
+}
+
+#[test]
+fn kernel_parity_ignores_private_and_non_kernel_fns() {
+    let src = "fn mask_private(values: &[i64]) -> usize { values.len() }
+pub fn plain_helper(values: &[i64]) -> usize { values.len() }";
+    let diags = run(&[("crates/columnar/src/kernels.rs", src)], None);
+    assert_eq!(lint_count(&diags, "kernel_parity"), 0, "{diags:?}");
+}
+
+#[test]
+fn kernel_parity_suppressed_with_reason() {
+    let src = r#"
+// analyzer:allow(kernel_parity, reason = "exercised indirectly through multi_scan")
+pub fn mask_novel(values: &[i64]) -> usize { values.len() }
+"#;
+    let diags = run(&[("crates/columnar/src/kernels.rs", src)], None);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// ---------------------------------------------------------------------------
+// config_surface
+// ---------------------------------------------------------------------------
+
+#[test]
+fn config_surface_fires_on_undocumented_field() {
+    let src = r#"
+pub struct SciborqConfig {
+    pub alpha: f64,
+}
+"#;
+    let diags = run(&[("crates/core/src/config.rs", src)], Some("no mention"));
+    // Missing builder, missing validation, missing README mention.
+    assert_eq!(lint_count(&diags, "config_surface"), 3, "{diags:?}");
+}
+
+#[test]
+fn config_surface_passes_fully_covered_field() {
+    let src = r#"
+pub struct SciborqConfig {
+    pub alpha: f64,
+}
+impl SciborqConfig {
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha;
+        self
+    }
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.alpha > 0.0) {
+            return Err("alpha must be positive".to_owned());
+        }
+        Ok(())
+    }
+}
+"#;
+    let diags = run(
+        &[("crates/core/src/config.rs", src)],
+        Some("the `alpha` knob controls everything"),
+    );
+    assert_eq!(lint_count(&diags, "config_surface"), 0, "{diags:?}");
+}
+
+#[test]
+fn config_surface_suppressed_with_reason() {
+    let src = r#"
+pub struct SciborqConfig {
+    // analyzer:allow(config_surface, reason = "every seed is valid; nothing to validate or build")
+    pub seed: u64,
+}
+"#;
+    let diags = run(&[("crates/core/src/config.rs", src)], None);
+    assert_eq!(lint_count(&diags, "config_surface"), 0, "{diags:?}");
+}
+
+// ---------------------------------------------------------------------------
+// lock_order
+// ---------------------------------------------------------------------------
+
+const TWO_LOCKS: &str = r#"
+use std::sync::Mutex;
+pub struct S {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+"#;
+
+#[test]
+fn lock_order_fires_on_inverted_acquisition() {
+    let src = format!(
+        "{TWO_LOCKS}
+impl S {{
+    pub fn forward(&self) {{
+        let ga = self.a.lock().unwrap();
+        let gb = self.b.lock().unwrap();
+        drop(gb);
+        drop(ga);
+    }}
+    pub fn backward(&self) {{
+        let gb = self.b.lock().unwrap();
+        let ga = self.a.lock().unwrap();
+        drop(ga);
+        drop(gb);
+    }}
+}}
+"
+    );
+    let diags = run(&[("crates/core/src/session.rs", &src)], None);
+    assert!(lint_count(&diags, "lock_order") >= 1, "{diags:?}");
+    assert_eq!(exit_code(&diags, false), 2);
+}
+
+#[test]
+fn lock_order_fires_through_a_call_chain() {
+    let src = format!(
+        "{TWO_LOCKS}
+impl S {{
+    pub fn forward(&self) {{
+        let ga = self.a.lock().unwrap();
+        let gb = self.b.lock().unwrap();
+    }}
+    fn inner(&self) {{
+        let ga = self.a.lock().unwrap();
+    }}
+    pub fn backward(&self) {{
+        let gb = self.b.lock().unwrap();
+        self.inner();
+    }}
+}}
+"
+    );
+    let diags = run(&[("crates/core/src/session.rs", &src)], None);
+    assert!(lint_count(&diags, "lock_order") >= 1, "{diags:?}");
+    let msgs: Vec<&str> = diags.iter().map(|d| d.message.as_str()).collect();
+    assert!(
+        msgs.iter().any(|m| m.contains("via call")),
+        "expected an inter-procedural edge in {msgs:?}"
+    );
+}
+
+#[test]
+fn lock_order_passes_consistent_order_and_scoped_guards() {
+    let src = format!(
+        "{TWO_LOCKS}
+impl S {{
+    pub fn forward(&self) {{
+        let ga = self.a.lock().unwrap();
+        let gb = self.b.lock().unwrap();
+    }}
+    pub fn also_forward(&self) {{
+        {{
+            let ga = self.a.lock().unwrap();
+        }}
+        // `ga` was dropped with its block: no a->b edge from here...
+        let gb = self.b.lock().unwrap();
+    }}
+    pub fn b_alone(&self) {{
+        // ...and a temp guard dies at the statement end.
+        *self.b.lock().unwrap() += 1;
+        let ga = self.a.lock().unwrap();
+    }}
+}}
+"
+    );
+    let diags = run(&[("crates/core/src/session.rs", &src)], None);
+    assert_eq!(lint_count(&diags, "lock_order"), 0, "{diags:?}");
+}
+
+#[test]
+fn lock_order_fires_on_condvar_wait_while_holding_another_lock() {
+    let src = r#"
+use std::sync::{Condvar, Mutex};
+pub struct S {
+    a: Mutex<u32>,
+    queue: Mutex<u32>,
+    ready: Condvar,
+}
+impl S {
+    pub fn bad_wait(&self) {
+        let ga = self.a.lock().unwrap();
+        let mut q = self.queue.lock().unwrap();
+        q = self.ready.wait(q).unwrap();
+    }
+}
+"#;
+    let diags = run(&[("crates/serve/src/server.rs", src)], None);
+    assert!(lint_count(&diags, "lock_order") >= 1, "{diags:?}");
+    assert!(
+        diags.iter().any(|d| d.message.contains("wait")),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn lock_order_passes_leaf_lock_condvar_wait() {
+    let src = r#"
+use std::sync::{Condvar, Mutex};
+pub struct S {
+    queue: Mutex<u32>,
+    ready: Condvar,
+}
+impl S {
+    pub fn good_wait(&self) {
+        let mut q = self.queue.lock().unwrap();
+        q = self.ready.wait(q).unwrap();
+    }
+}
+"#;
+    let diags = run(&[("crates/serve/src/server.rs", src)], None);
+    assert_eq!(lint_count(&diags, "lock_order"), 0, "{diags:?}");
+}
+
+#[test]
+fn lock_order_suppressed_with_file_level_reason() {
+    let src = format!(
+        "// analyzer:allow-file(lock_order, reason = \"fixture: both orders are behind a mode flag and never race\")
+{TWO_LOCKS}
+impl S {{
+    pub fn forward(&self) {{
+        let ga = self.a.lock().unwrap();
+        let gb = self.b.lock().unwrap();
+    }}
+    pub fn backward(&self) {{
+        let gb = self.b.lock().unwrap();
+        let ga = self.a.lock().unwrap();
+    }}
+}}
+"
+    );
+    let diags = run(&[("crates/core/src/session.rs", &src)], None);
+    assert_eq!(lint_count(&diags, "lock_order"), 0, "{diags:?}");
+    assert_eq!(exit_code(&diags, false), 0);
+}
+
+// ---------------------------------------------------------------------------
+// suppression machinery
+// ---------------------------------------------------------------------------
+
+#[test]
+fn suppression_without_reason_is_an_error() {
+    let src = r#"
+fn answer() -> Answer {
+    // analyzer:allow(bounds_honesty)
+    Answer { error_bound_met: true }
+}
+"#;
+    let diags = run(&[("crates/core/src/engine.rs", src)], None);
+    assert!(lint_count(&diags, "suppression") >= 1, "{diags:?}");
+    // The malformed allow must not suppress the underlying finding.
+    assert_eq!(lint_count(&diags, "bounds_honesty"), 1, "{diags:?}");
+}
+
+#[test]
+fn suppression_of_unknown_lint_is_an_error() {
+    let src = r#"
+// analyzer:allow(made_up_lint, reason = "no such pass")
+fn f() {}
+"#;
+    let diags = run(&[("crates/core/src/engine.rs", src)], None);
+    assert_eq!(lint_count(&diags, "suppression"), 1, "{diags:?}");
+}
+
+#[test]
+fn unused_suppression_is_a_warning() {
+    let src = r#"
+// analyzer:allow(bounds_honesty, reason = "nothing here ever fires")
+fn f() {}
+"#;
+    let diags = run(&[("crates/core/src/engine.rs", src)], None);
+    assert_eq!(lint_count(&diags, "unused_suppression"), 1, "{diags:?}");
+    assert!(diags.iter().all(|d| d.severity == Severity::Warning));
+    // Warnings gate only under --deny warnings.
+    assert_eq!(exit_code(&diags, false), 0);
+    assert_eq!(exit_code(&diags, true), 1);
+}
+
+#[test]
+fn diagnostics_carry_file_and_line() {
+    let src = "\nfn answer() -> Answer {\n    Answer { error_bound_met: true }\n}\n";
+    let diags = run(&[("crates/core/src/engine.rs", src)], None);
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].file, "crates/core/src/engine.rs");
+    assert_eq!(diags[0].line, 3);
+    let rendered = diags[0].to_string();
+    assert!(
+        rendered.contains("crates/core/src/engine.rs:3") && rendered.contains("bounds_honesty"),
+        "{rendered}"
+    );
+}

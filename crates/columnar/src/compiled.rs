@@ -448,10 +448,10 @@ impl CompiledPredicate {
         stats: &mut ScanStats,
     ) -> Result<()> {
         let (prefix, last): (&[Node], &Node) = match &self.root {
-            Node::And(children) if !children.is_empty() => (
-                &children[..children.len() - 1],
-                children.last().expect("non-empty"),
-            ),
+            Node::And(children) => match children.split_last() {
+                Some((last, prefix)) => (prefix, last),
+                None => (&[], &self.root),
+            },
             other => (&[], other),
         };
         let mut candidates: Option<SelectionVector> = None;
@@ -508,6 +508,7 @@ impl CompiledPredicate {
             let mut out = Vec::with_capacity(parts.shard_count());
             out.push(work(shard_domain(0)));
             for handle in handles {
+                // analyzer:allow(panic_path, reason = "a worker panic is a bug in the kernel itself; re-raising it preserves std::thread::scope abort semantics")
                 out.push(handle.join().expect("shard worker panicked"));
             }
             out
@@ -657,7 +658,7 @@ pub fn multi_scan(
                 .map(|()| ScanStats::default())
         })
         .collect();
-    let sharded = match parts {
+    let shard_parts = match parts {
         Some(parts) => {
             if parts.row_count() != table.row_count() {
                 for result in results.iter_mut().filter(|r| r.is_ok()) {
@@ -668,19 +669,13 @@ pub fn multi_scan(
                 }
                 return results;
             }
-            !parts.is_single()
+            (!parts.is_single()).then_some(parts)
         }
-        None => false,
+        None => None,
     };
-    if sharded {
-        multi_scan_sharded(
-            table,
-            items,
-            parts.expect("sharded implies parts"),
-            &mut results,
-        );
-    } else {
-        multi_scan_serial(table, items, &mut results);
+    match shard_parts {
+        Some(parts) => multi_scan_sharded(table, items, parts, &mut results),
+        None => multi_scan_serial(table, items, &mut results),
     }
     results
 }
@@ -758,6 +753,7 @@ fn multi_scan_sharded(
         let mut out = Vec::with_capacity(parts.shard_count());
         out.push(scan_shard(shard_domain(0)));
         for handle in handles {
+            // analyzer:allow(panic_path, reason = "a worker panic is a bug in the kernel itself; re-raising it preserves std::thread::scope abort semantics")
             out.push(handle.join().expect("shard worker panicked"));
         }
         out
@@ -797,14 +793,8 @@ fn check_probabilities(table: &Table, probabilities: &[f64]) -> Result<()> {
 pub fn numeric_source<'a>(table: &'a Table, column: &str) -> Result<AggSource<'a>> {
     let col = table.column(column)?;
     match col {
-        Column::Int64 { .. } => Ok(AggSource::I64(
-            col.i64_slice().expect("Int64 column has i64 values"),
-            col.validity_ref(),
-        )),
-        Column::Float64 { .. } => Ok(AggSource::F64(
-            col.f64_slice().expect("Float64 column has f64 values"),
-            col.validity_ref(),
-        )),
+        Column::Int64 { .. } => Ok(AggSource::I64(i64_cells(col), col.validity_ref())),
+        Column::Float64 { .. } => Ok(AggSource::F64(f64_cells(col), col.validity_ref())),
         _ => Err(ColumnarError::NotNumeric(column.to_owned())),
     }
 }
@@ -897,25 +887,33 @@ fn compile_between(col: usize, col_type: DataType, low: &Value, high: &Value) ->
     match col_type {
         DataType::Int64 => Node::RangeI64 {
             col,
-            low: numeric_bound(col_type, low).expect("checked compatible"),
-            high: numeric_bound(col_type, high).expect("checked compatible"),
+            low: vetted(numeric_bound(col_type, low)),
+            high: vetted(numeric_bound(col_type, high)),
         },
         DataType::Float64 => Node::RangeF64 {
             col,
-            low: low.as_f64().expect("checked compatible"),
-            high: high.as_f64().expect("checked compatible"),
+            low: vetted(low.as_f64()),
+            high: vetted(high.as_f64()),
         },
         DataType::Bool => Node::RangeBool {
             col,
-            low: low.as_bool().expect("checked compatible"),
-            high: high.as_bool().expect("checked compatible"),
+            low: vetted(low.as_bool()),
+            high: vetted(high.as_bool()),
         },
         DataType::Utf8 => Node::RangeStr {
             col,
-            low: low.as_str().expect("checked compatible").to_owned(),
-            high: high.as_str().expect("checked compatible").to_owned(),
+            low: vetted(low.as_str()).to_owned(),
+            high: vetted(high.as_str()).to_owned(),
         },
     }
+}
+
+/// Unwrap a bound conversion that `bound_err` has already vetted for type
+/// compatibility; `None` here would mean the compatibility check and the
+/// conversion disagree about what converts.
+fn vetted<T>(bound: Option<T>) -> T {
+    // analyzer:allow(panic_path, reason = "bound compatibility was checked by bound_err immediately before every call; a miss is a compile_between bug, not a data error")
+    bound.expect("checked compatible")
 }
 
 fn compile_node(predicate: &Predicate, schema: &SchemaRef) -> Result<Node> {
@@ -923,13 +921,11 @@ fn compile_node(predicate: &Predicate, schema: &SchemaRef) -> Result<Node> {
         Predicate::True => Node::All,
         Predicate::False => Node::Nothing,
         Predicate::Compare { column, op, value } => {
-            let col = schema.index_of(column)?;
-            let col_type = schema.fields()[col].data_type;
+            let (col, col_type) = leaf_column(schema, column)?;
             compile_compare(col, col_type, *op, value)
         }
         Predicate::Between { column, low, high } => {
-            let col = schema.index_of(column)?;
-            let col_type = schema.fields()[col].data_type;
+            let (col, col_type) = leaf_column(schema, column)?;
             compile_between(col, col_type, low, high)
         }
         Predicate::IsNull(column) => Node::IsNull {
@@ -952,7 +948,15 @@ fn compile_node(predicate: &Predicate, schema: &SchemaRef) -> Result<Node> {
     })
 }
 
+/// Resolve a leaf's column name to its index and type.
+fn leaf_column(schema: &SchemaRef, column: &str) -> Result<(usize, DataType)> {
+    let col = schema.index_of(column)?;
+    // analyzer:allow(panic_path_index, reason = "index_of returned this index one line up")
+    Ok((col, schema.fields()[col].data_type))
+}
+
 fn mismatch_error(table: &Table, col: usize, found: &'static str) -> ColumnarError {
+    // analyzer:allow(panic_path_index, reason = "leaf col indices come from index_of at compile time against this same schema")
     let field = &table.schema().fields()[col];
     ColumnarError::TypeMismatch {
         column: field.name.clone(),
@@ -964,7 +968,32 @@ fn mismatch_error(table: &Table, col: usize, found: &'static str) -> ColumnarErr
 fn column_at(table: &Table, col: usize) -> &Column {
     table
         .column_at(col)
+        // analyzer:allow(panic_path, reason = "leaf col indices come from index_of at compile time; a miss means the table/schema pair changed under the predicate, a caller contract violation")
         .expect("compiled column index within schema")
+}
+
+// The compile step verified every leaf's column type against the schema, so
+// a slice-type miss below means the Table violates its own schema — a
+// programming error surfaced loudly, not a recoverable data error.
+
+fn i64_cells(c: &Column) -> &[i64] {
+    // analyzer:allow(panic_path, reason = "leaf type was verified against the schema at compile time; a miss is a schema-integrity bug")
+    c.i64_slice().expect("Int64 column")
+}
+
+fn f64_cells(c: &Column) -> &[f64] {
+    // analyzer:allow(panic_path, reason = "leaf type was verified against the schema at compile time; a miss is a schema-integrity bug")
+    c.f64_slice().expect("Float64 column")
+}
+
+fn bool_cells(c: &Column) -> &[bool] {
+    // analyzer:allow(panic_path, reason = "leaf type was verified against the schema at compile time; a miss is a schema-integrity bug")
+    c.bool_slice().expect("Bool column")
+}
+
+fn utf8_cells(c: &Column) -> &[String] {
+    // analyzer:allow(panic_path, reason = "leaf type was verified against the schema at compile time; a miss is a schema-integrity bug")
+    c.utf8_slice().expect("Utf8 column")
 }
 
 /// Materialise the domain itself as a selection (the `TRUE` node).
@@ -1098,49 +1127,25 @@ fn refine_leaf(
         }
         Node::CmpI64 { col, op, bound } => {
             let c = column_at(table, *col);
-            let scan = mask_cmp_i64(
-                c.i64_slice().expect("Int64 column"),
-                c.validity_ref(),
-                *op,
-                *bound,
-                mask,
-            );
+            let scan = mask_cmp_i64(i64_cells(c), c.validity_ref(), *op, *bound, mask);
             stats.visit(scan.visited);
             Ok(())
         }
         Node::CmpI64F { col, op, bound } => {
             let c = column_at(table, *col);
-            mask_cmp_i64_f64(
-                c.i64_slice().expect("Int64 column"),
-                c.validity_ref(),
-                *op,
-                *bound,
-                mask,
-            )
-            .map(|scan| stats.visit(scan.visited))
-            .map_err(|_| mismatch_error(table, *col, "Float64"))
+            mask_cmp_i64_f64(i64_cells(c), c.validity_ref(), *op, *bound, mask)
+                .map(|scan| stats.visit(scan.visited))
+                .map_err(|_| mismatch_error(table, *col, "Float64"))
         }
         Node::CmpF64 { col, op, bound } => {
             let c = column_at(table, *col);
-            mask_cmp_f64(
-                c.f64_slice().expect("Float64 column"),
-                c.validity_ref(),
-                *op,
-                *bound,
-                mask,
-            )
-            .map(|scan| stats.visit(scan.visited))
-            .map_err(|_| mismatch_error(table, *col, "Float64"))
+            mask_cmp_f64(f64_cells(c), c.validity_ref(), *op, *bound, mask)
+                .map(|scan| stats.visit(scan.visited))
+                .map_err(|_| mismatch_error(table, *col, "Float64"))
         }
         Node::CmpBool { col, op, bound } => {
             let c = column_at(table, *col);
-            let scan = mask_cmp_bool(
-                c.bool_slice().expect("Bool column"),
-                c.validity_ref(),
-                *op,
-                *bound,
-                mask,
-            );
+            let scan = mask_cmp_bool(bool_cells(c), c.validity_ref(), *op, *bound, mask);
             stats.visit(scan.visited);
             Ok(())
         }
@@ -1153,40 +1158,22 @@ fn refine_leaf(
                     DictPred::compare(dict, *op, bound),
                     mask,
                 ),
-                None => mask_cmp_str(
-                    c.utf8_slice().expect("Utf8 column"),
-                    c.validity_ref(),
-                    *op,
-                    bound,
-                    mask,
-                ),
+                None => mask_cmp_str(utf8_cells(c), c.validity_ref(), *op, bound, mask),
             };
             stats.visit(scan.visited);
             Ok(())
         }
         Node::RangeI64 { col, low, high } => {
             let c = column_at(table, *col);
-            mask_range_i64(
-                c.i64_slice().expect("Int64 column"),
-                c.validity_ref(),
-                *low,
-                *high,
-                mask,
-            )
-            .map(|scan| stats.visit(scan.visited))
-            .map_err(|_| mismatch_error(table, *col, "Float64"))
+            mask_range_i64(i64_cells(c), c.validity_ref(), *low, *high, mask)
+                .map(|scan| stats.visit(scan.visited))
+                .map_err(|_| mismatch_error(table, *col, "Float64"))
         }
         Node::RangeF64 { col, low, high } => {
             let c = column_at(table, *col);
-            mask_range_f64(
-                c.f64_slice().expect("Float64 column"),
-                c.validity_ref(),
-                *low,
-                *high,
-                mask,
-            )
-            .map(|scan| stats.visit(scan.visited))
-            .map_err(|_| mismatch_error(table, *col, "Float64"))
+            mask_range_f64(f64_cells(c), c.validity_ref(), *low, *high, mask)
+                .map(|scan| stats.visit(scan.visited))
+                .map_err(|_| mismatch_error(table, *col, "Float64"))
         }
         Node::RangeStr { col, low, high } => {
             let c = column_at(table, *col);
@@ -1197,26 +1184,14 @@ fn refine_leaf(
                     DictPred::range(dict, low, high),
                     mask,
                 ),
-                None => mask_range_str(
-                    c.utf8_slice().expect("Utf8 column"),
-                    c.validity_ref(),
-                    low,
-                    high,
-                    mask,
-                ),
+                None => mask_range_str(utf8_cells(c), c.validity_ref(), low, high, mask),
             };
             stats.visit(scan.visited);
             Ok(())
         }
         Node::RangeBool { col, low, high } => {
             let c = column_at(table, *col);
-            let scan = mask_range_bool(
-                c.bool_slice().expect("Bool column"),
-                c.validity_ref(),
-                *low,
-                *high,
-                mask,
-            );
+            let scan = mask_range_bool(bool_cells(c), c.validity_ref(), *low, *high, mask);
             stats.visit(scan.visited);
             Ok(())
         }
@@ -1243,6 +1218,7 @@ fn refine_leaf(
             }
         }
         Node::And(_) | Node::Or(_) | Node::Not(_) => {
+            // analyzer:allow(panic_path, reason = "refine_node dispatches composites before reaching this leaf-only kernel table; hitting this arm is a dispatch bug")
             unreachable!("composite nodes are handled by refine_node")
         }
     }
@@ -1342,53 +1318,25 @@ fn run_leaf<S: SelectionSink>(
         Node::CmpI64 { col, op, bound } => {
             stats.visit(domain.len());
             let c = column_at(table, *col);
-            scan_cmp_i64(
-                c.i64_slice().expect("Int64 column"),
-                c.validity_ref(),
-                domain,
-                *op,
-                *bound,
-                sink,
-            );
+            scan_cmp_i64(i64_cells(c), c.validity_ref(), domain, *op, *bound, sink);
             Ok(())
         }
         Node::CmpI64F { col, op, bound } => {
             stats.visit(domain.len());
             let c = column_at(table, *col);
-            scan_cmp_i64_f64(
-                c.i64_slice().expect("Int64 column"),
-                c.validity_ref(),
-                domain,
-                *op,
-                *bound,
-                sink,
-            )
-            .map_err(|_| mismatch_error(table, *col, "Float64"))
+            scan_cmp_i64_f64(i64_cells(c), c.validity_ref(), domain, *op, *bound, sink)
+                .map_err(|_| mismatch_error(table, *col, "Float64"))
         }
         Node::CmpF64 { col, op, bound } => {
             stats.visit(domain.len());
             let c = column_at(table, *col);
-            scan_cmp_f64(
-                c.f64_slice().expect("Float64 column"),
-                c.validity_ref(),
-                domain,
-                *op,
-                *bound,
-                sink,
-            )
-            .map_err(|_| mismatch_error(table, *col, "Float64"))
+            scan_cmp_f64(f64_cells(c), c.validity_ref(), domain, *op, *bound, sink)
+                .map_err(|_| mismatch_error(table, *col, "Float64"))
         }
         Node::CmpBool { col, op, bound } => {
             stats.visit(domain.len());
             let c = column_at(table, *col);
-            scan_cmp_bool(
-                c.bool_slice().expect("Bool column"),
-                c.validity_ref(),
-                domain,
-                *op,
-                *bound,
-                sink,
-            );
+            scan_cmp_bool(bool_cells(c), c.validity_ref(), domain, *op, *bound, sink);
             Ok(())
         }
         Node::CmpStr { col, op, bound } => {
@@ -1402,42 +1350,21 @@ fn run_leaf<S: SelectionSink>(
                     DictPred::compare(dict, *op, bound),
                     sink,
                 ),
-                None => scan_cmp_str(
-                    c.utf8_slice().expect("Utf8 column"),
-                    c.validity_ref(),
-                    domain,
-                    *op,
-                    bound,
-                    sink,
-                ),
+                None => scan_cmp_str(utf8_cells(c), c.validity_ref(), domain, *op, bound, sink),
             }
             Ok(())
         }
         Node::RangeI64 { col, low, high } => {
             stats.visit(domain.len());
             let c = column_at(table, *col);
-            scan_range_i64(
-                c.i64_slice().expect("Int64 column"),
-                c.validity_ref(),
-                domain,
-                *low,
-                *high,
-                sink,
-            )
-            .map_err(|_| mismatch_error(table, *col, "Float64"))
+            scan_range_i64(i64_cells(c), c.validity_ref(), domain, *low, *high, sink)
+                .map_err(|_| mismatch_error(table, *col, "Float64"))
         }
         Node::RangeF64 { col, low, high } => {
             stats.visit(domain.len());
             let c = column_at(table, *col);
-            scan_range_f64(
-                c.f64_slice().expect("Float64 column"),
-                c.validity_ref(),
-                domain,
-                *low,
-                *high,
-                sink,
-            )
-            .map_err(|_| mismatch_error(table, *col, "Float64"))
+            scan_range_f64(f64_cells(c), c.validity_ref(), domain, *low, *high, sink)
+                .map_err(|_| mismatch_error(table, *col, "Float64"))
         }
         Node::RangeStr { col, low, high } => {
             stats.visit(domain.len());
@@ -1450,28 +1377,14 @@ fn run_leaf<S: SelectionSink>(
                     DictPred::range(dict, low, high),
                     sink,
                 ),
-                None => scan_range_str(
-                    c.utf8_slice().expect("Utf8 column"),
-                    c.validity_ref(),
-                    domain,
-                    low,
-                    high,
-                    sink,
-                ),
+                None => scan_range_str(utf8_cells(c), c.validity_ref(), domain, low, high, sink),
             }
             Ok(())
         }
         Node::RangeBool { col, low, high } => {
             stats.visit(domain.len());
             let c = column_at(table, *col);
-            scan_range_bool(
-                c.bool_slice().expect("Bool column"),
-                c.validity_ref(),
-                domain,
-                *low,
-                *high,
-                sink,
-            );
+            scan_range_bool(bool_cells(c), c.validity_ref(), domain, *low, *high, sink);
             Ok(())
         }
         Node::IsNull { col } => {
@@ -1498,6 +1411,7 @@ fn run_leaf<S: SelectionSink>(
             }
         }
         Node::And(_) | Node::Or(_) | Node::Not(_) => {
+            // analyzer:allow(panic_path, reason = "eval_node/run_terminal dispatch composites before reaching this leaf-only kernel table; hitting this arm is a dispatch bug")
             unreachable!("composite nodes are handled by eval_node/run_terminal")
         }
     }

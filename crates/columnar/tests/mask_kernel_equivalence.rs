@@ -1,0 +1,365 @@
+//! Chunked bitmask kernel equivalence: every `mask_*` refinement kernel
+//! must agree, row for row, with a scalar oracle that walks the covered
+//! range one row at a time and applies the predicate semantics of
+//! `Predicate::evaluate` (NULL never matches; comparisons on the cell
+//! value; dictionary predicates compared through the decoded string).
+//!
+//! Each trial draws a table length straddling the 64-row word boundary,
+//! a shard window `start..end` that is deliberately unaligned (the head-
+//! and tail-word masking edge), and a validity bitmap at mixed NULL
+//! density. Both the surviving row set (`MatchMask::to_rows`) and the
+//! `MaskScan` accounting (`visited` = incoming popcount, `remaining` =
+//! outgoing popcount) are asserted. NaN constants, which the fallible
+//! kernels must reject whenever a valid candidate exists, get dedicated
+//! cases.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sciborq_columnar::kernels::{
+    mask_all, mask_any_valid, mask_cmp_bool, mask_cmp_f64, mask_cmp_i64, mask_cmp_i64_f64,
+    mask_cmp_str, mask_dict, mask_is_not_null, mask_is_null, mask_range_bool, mask_range_f64,
+    mask_range_i64, mask_range_str,
+};
+use sciborq_columnar::{Bitmap, CompareOp, DictPred, MaskScan, MatchMask, NumBound};
+
+const OPS: [CompareOp; 6] = [
+    CompareOp::Eq,
+    CompareOp::NotEq,
+    CompareOp::Lt,
+    CompareOp::LtEq,
+    CompareOp::Gt,
+    CompareOp::GtEq,
+];
+
+/// A randomly drawn shard window plus validity pattern over `len` rows.
+struct Fixture {
+    start: usize,
+    end: usize,
+    validity: Option<Bitmap>,
+}
+
+impl Fixture {
+    fn draw(rng: &mut StdRng, len: usize) -> Fixture {
+        let start = if len == 0 { 0 } else { rng.gen_range(0..len) };
+        let end = rng.gen_range(start..=len);
+        let validity = if rng.gen_bool(0.3) {
+            None
+        } else {
+            let mut v = Bitmap::with_len(len, true);
+            for row in 0..len {
+                if rng.gen_bool(0.25) {
+                    v.set(row, false);
+                }
+            }
+            Some(v)
+        };
+        Fixture {
+            start,
+            end,
+            validity,
+        }
+    }
+
+    fn mask(&self) -> MatchMask {
+        MatchMask::coverage(self.start, self.end)
+    }
+
+    fn is_valid(&self, row: usize) -> bool {
+        self.validity.as_ref().is_none_or(|v| v.get(row))
+    }
+
+    /// Scalar oracle: rows of the window that are valid and match `pred`.
+    fn oracle_rows(&self, pred: impl Fn(usize) -> bool) -> Vec<usize> {
+        (self.start..self.end)
+            .filter(|&row| self.is_valid(row) && pred(row))
+            .collect()
+    }
+
+    /// Assert one refinement outcome against the oracle: the incoming
+    /// popcount is the whole window, the survivors are exactly `expected`.
+    fn check(&self, mask: &MatchMask, scan: MaskScan, expected: &[usize]) {
+        assert_eq!(scan.visited, self.end - self.start, "visited accounting");
+        assert_eq!(scan.remaining, expected.len(), "remaining accounting");
+        assert_eq!(mask.to_rows(), expected, "surviving row set");
+    }
+}
+
+fn cmp_ok<T: PartialOrd>(op: CompareOp, v: T, bound: T) -> bool {
+    match op {
+        CompareOp::Eq => v == bound,
+        CompareOp::NotEq => v != bound,
+        CompareOp::Lt => v < bound,
+        CompareOp::LtEq => v <= bound,
+        CompareOp::Gt => v > bound,
+        CompareOp::GtEq => v >= bound,
+    }
+}
+
+/// Lengths that straddle the word-size edges: empty, sub-word, exactly one
+/// and two words, and off-by-one around both.
+fn edge_lengths() -> Vec<usize> {
+    vec![0, 1, 5, 63, 64, 65, 127, 128, 130]
+}
+
+#[test]
+fn null_and_trivial_kernels_match_oracle() {
+    let mut rng = StdRng::seed_from_u64(0xC1B0_52B1);
+    for len in edge_lengths() {
+        for _ in 0..8 {
+            let fx = Fixture::draw(&mut rng, len);
+
+            // mask_all: everything survives, nothing is even inspected.
+            let mut m = fx.mask();
+            let scan = mask_all(&m);
+            fx.check(&m, scan, &(fx.start..fx.end).collect::<Vec<_>>());
+
+            // mask_is_not_null == the valid rows of the window.
+            m = fx.mask();
+            let scan = mask_is_not_null(fx.validity.as_ref(), &mut m);
+            fx.check(&m, scan, &fx.oracle_rows(|_| true));
+
+            // mask_is_null == the invalid rows of the window.
+            m = fx.mask();
+            let scan = mask_is_null(fx.validity.as_ref(), &mut m);
+            let nulls: Vec<usize> = (fx.start..fx.end).filter(|&r| !fx.is_valid(r)).collect();
+            assert_eq!(scan.visited, fx.end - fx.start);
+            assert_eq!(scan.remaining, nulls.len());
+            assert_eq!(m.to_rows(), nulls);
+
+            // mask_any_valid == "does the window hold any valid row".
+            let m = fx.mask();
+            assert_eq!(
+                mask_any_valid(fx.validity.as_ref(), &m),
+                !fx.oracle_rows(|_| true).is_empty()
+            );
+        }
+    }
+}
+
+#[test]
+fn i64_compare_and_range_kernels_match_oracle() {
+    let mut rng = StdRng::seed_from_u64(1);
+    for len in edge_lengths() {
+        for _ in 0..6 {
+            let fx = Fixture::draw(&mut rng, len);
+            let values: Vec<i64> = (0..len).map(|_| rng.gen_range(-4i64..4)).collect();
+
+            for op in OPS {
+                let bound = rng.gen_range(-4i64..4);
+                let mut m = fx.mask();
+                let scan = mask_cmp_i64(&values, fx.validity.as_ref(), op, bound, &mut m);
+                fx.check(&m, scan, &fx.oracle_rows(|r| cmp_ok(op, values[r], bound)));
+
+                // Widened variant: the same column against a float constant.
+                let fbound = bound as f64 + 0.5;
+                let mut m = fx.mask();
+                let scan = mask_cmp_i64_f64(&values, fx.validity.as_ref(), op, fbound, &mut m)
+                    .expect("finite bound never errors");
+                fx.check(
+                    &m,
+                    scan,
+                    &fx.oracle_rows(|r| cmp_ok(op, values[r] as f64, fbound)),
+                );
+            }
+
+            // Inclusive range, in every bound-type combination.
+            let (lo, hi) = (rng.gen_range(-4i64..1), rng.gen_range(-1i64..4));
+            let bounds = [
+                (NumBound::I64(lo), NumBound::I64(hi)),
+                (NumBound::I64(lo), NumBound::F64(hi as f64 + 0.5)),
+                (NumBound::F64(lo as f64 - 0.5), NumBound::I64(hi)),
+                (
+                    NumBound::F64(lo as f64 - 0.5),
+                    NumBound::F64(hi as f64 + 0.5),
+                ),
+            ];
+            for (low, high) in bounds {
+                let mut m = fx.mask();
+                let scan = mask_range_i64(&values, fx.validity.as_ref(), low, high, &mut m)
+                    .expect("finite bounds never error");
+                fx.check(
+                    &m,
+                    scan,
+                    &fx.oracle_rows(|r| {
+                        let v = values[r] as f64;
+                        low.as_f64() <= v && v <= high.as_f64()
+                    }),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn f64_compare_and_range_kernels_match_oracle() {
+    let mut rng = StdRng::seed_from_u64(2);
+    for len in edge_lengths() {
+        for _ in 0..6 {
+            let fx = Fixture::draw(&mut rng, len);
+            let values: Vec<f64> = (0..len).map(|_| rng.gen_range(-4.0..4.0)).collect();
+
+            for op in OPS {
+                let bound = rng.gen_range(-4.0..4.0);
+                let mut m = fx.mask();
+                let scan = mask_cmp_f64(&values, fx.validity.as_ref(), op, bound, &mut m)
+                    .expect("finite data and bound never error");
+                fx.check(&m, scan, &fx.oracle_rows(|r| cmp_ok(op, values[r], bound)));
+            }
+
+            let (low, high) = (rng.gen_range(-4.0..0.0), rng.gen_range(0.0..4.0));
+            let mut m = fx.mask();
+            let scan = mask_range_f64(&values, fx.validity.as_ref(), low, high, &mut m)
+                .expect("finite bounds never error");
+            fx.check(
+                &m,
+                scan,
+                &fx.oracle_rows(|r| low <= values[r] && values[r] <= high),
+            );
+        }
+    }
+}
+
+#[test]
+fn bool_kernels_match_oracle() {
+    let mut rng = StdRng::seed_from_u64(3);
+    for len in edge_lengths() {
+        for _ in 0..6 {
+            let fx = Fixture::draw(&mut rng, len);
+            let values: Vec<bool> = (0..len).map(|_| rng.gen_bool(0.5)).collect();
+
+            for op in OPS {
+                let bound = rng.gen_bool(0.5);
+                let mut m = fx.mask();
+                let scan = mask_cmp_bool(&values, fx.validity.as_ref(), op, bound, &mut m);
+                fx.check(&m, scan, &fx.oracle_rows(|r| cmp_ok(op, values[r], bound)));
+            }
+
+            for (low, high) in [(false, false), (false, true), (true, true), (true, false)] {
+                let mut m = fx.mask();
+                let scan = mask_range_bool(&values, fx.validity.as_ref(), low, high, &mut m);
+                fx.check(
+                    &m,
+                    scan,
+                    &fx.oracle_rows(|r| low <= values[r] && values[r] <= high),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn string_kernels_match_oracle() {
+    const WORDS: [&str; 5] = ["", "GALAXY", "QSO", "STAR", "UNKNOWN"];
+    let mut rng = StdRng::seed_from_u64(4);
+    for len in edge_lengths() {
+        for _ in 0..6 {
+            let fx = Fixture::draw(&mut rng, len);
+            let values: Vec<String> = (0..len)
+                .map(|_| WORDS[rng.gen_range(0..WORDS.len())].to_owned())
+                .collect();
+
+            for op in OPS {
+                let bound = WORDS[rng.gen_range(0..WORDS.len())];
+                let mut m = fx.mask();
+                let scan = mask_cmp_str(&values, fx.validity.as_ref(), op, bound, &mut m);
+                fx.check(
+                    &m,
+                    scan,
+                    &fx.oracle_rows(|r| cmp_ok(op, values[r].as_str(), bound)),
+                );
+            }
+
+            let (mut low, mut high) = (
+                WORDS[rng.gen_range(0..WORDS.len())],
+                WORDS[rng.gen_range(0..WORDS.len())],
+            );
+            if low > high {
+                std::mem::swap(&mut low, &mut high);
+            }
+            let mut m = fx.mask();
+            let scan = mask_range_str(&values, fx.validity.as_ref(), low, high, &mut m);
+            fx.check(
+                &m,
+                scan,
+                &fx.oracle_rows(|r| low <= values[r].as_str() && values[r].as_str() <= high),
+            );
+        }
+    }
+}
+
+#[test]
+fn dict_kernel_matches_string_oracle() {
+    // Sorted, deduplicated dictionary: code order is lexicographic order,
+    // which is the invariant `DictPred` translation relies on.
+    let dict: Vec<String> = ["", "GALAXY", "QSO", "STAR"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let probes = ["", "AAA", "GALAXY", "QSO", "STAR", "ZZZ"];
+    let mut rng = StdRng::seed_from_u64(5);
+    for len in edge_lengths() {
+        for _ in 0..6 {
+            let fx = Fixture::draw(&mut rng, len);
+            let codes: Vec<u32> = (0..len)
+                .map(|_| rng.gen_range(0..dict.len() as u32))
+                .collect();
+            let decoded = |r: usize| dict[codes[r] as usize].as_str();
+
+            for op in OPS {
+                let bound = probes[rng.gen_range(0..probes.len())];
+                let pred = DictPred::compare(&dict, op, bound);
+                let mut m = fx.mask();
+                let scan = mask_dict(&codes, fx.validity.as_ref(), pred, &mut m);
+                fx.check(&m, scan, &fx.oracle_rows(|r| cmp_ok(op, decoded(r), bound)));
+            }
+
+            let (mut low, mut high) = (
+                probes[rng.gen_range(0..probes.len())],
+                probes[rng.gen_range(0..probes.len())],
+            );
+            if low > high {
+                std::mem::swap(&mut low, &mut high);
+            }
+            let pred = DictPred::range(&dict, low, high);
+            let mut m = fx.mask();
+            let scan = mask_dict(&codes, fx.validity.as_ref(), pred, &mut m);
+            fx.check(
+                &m,
+                scan,
+                &fx.oracle_rows(|r| low <= decoded(r) && decoded(r) <= high),
+            );
+        }
+    }
+}
+
+#[test]
+fn nan_constants_error_iff_a_valid_candidate_exists() {
+    let values = vec![1.0f64; 70];
+    let ints = vec![1i64; 70];
+
+    // Valid candidates present: every fallible kernel must reject NaN.
+    let mut m = MatchMask::coverage(3, 70);
+    assert!(mask_cmp_f64(&values, None, CompareOp::Eq, f64::NAN, &mut m).is_err());
+    let mut m = MatchMask::coverage(3, 70);
+    assert!(mask_cmp_i64_f64(&ints, None, CompareOp::Lt, f64::NAN, &mut m).is_err());
+    let mut m = MatchMask::coverage(3, 70);
+    assert!(mask_range_f64(&values, None, f64::NAN, 1.0, &mut m).is_err());
+    let mut m = MatchMask::coverage(3, 70);
+    assert!(mask_range_i64(
+        &ints,
+        None,
+        NumBound::F64(f64::NAN),
+        NumBound::I64(9),
+        &mut m
+    )
+    .is_err());
+
+    // All candidates NULL: the unordered comparison never happens; the
+    // kernels return an empty (cleared) refinement instead of erroring.
+    let all_null = Bitmap::with_len(70, false);
+    let mut m = MatchMask::coverage(3, 70);
+    let scan = mask_cmp_f64(&values, Some(&all_null), CompareOp::Eq, f64::NAN, &mut m)
+        .expect("no valid candidate, no unordered comparison");
+    assert_eq!((scan.visited, scan.remaining), (67, 0));
+    assert!(m.to_rows().is_empty());
+}

@@ -478,6 +478,7 @@ impl BoundedQueryEngine {
                                     st.estimates.push(LevelEstimate {
                                         level: EvaluationLevel::BaseData,
                                         relative_error: Some(0.0),
+                                        // analyzer:allow(bounds_honesty, reason = "base-data evaluation is exact (relative error identically zero), so any finite error bound is met by construction")
                                         error_bound_met: true,
                                     });
                                 }

@@ -40,6 +40,7 @@ pub struct SciborqConfig {
     /// Default maximum relative error accepted without escalation.
     pub default_max_error: f64,
     /// Random seed for all samplers (reproducibility).
+    // analyzer:allow(config_surface, reason = "every u64 is a valid seed; there is no constraint for validate() to check")
     pub seed: u64,
     /// Number of histogram bins per tracked attribute (β in the paper).
     pub predicate_bins: usize,
@@ -74,6 +75,7 @@ pub struct SciborqConfig {
     /// ([`sciborq_telemetry::QueryTrace`]) and attaches it to answers.
     /// Tracing is strictly observational — on or off, answer bits are
     /// identical (the standing bit-identity contract covers telemetry).
+    // analyzer:allow(config_surface, reason = "a bool toggle has no invalid states for validate() to reject")
     pub collect_traces: bool,
     /// Number of recent query traces the session's trace ring retains (only
     /// consulted when `collect_traces` is on); must be positive.
@@ -133,6 +135,15 @@ impl SciborqConfig {
         if !(0.0..=1.0).contains(&self.adapt_threshold) {
             return Err("adapt_threshold must lie in [0, 1]".to_owned());
         }
+        if !(self.focal_threshold > 0.0) {
+            return Err("focal_threshold must be positive".to_owned());
+        }
+        if self.cpu_cache_bytes == 0 {
+            return Err("cpu_cache_bytes must be positive".to_owned());
+        }
+        if self.main_memory_bytes < self.cpu_cache_bytes {
+            return Err("main_memory_bytes must be at least cpu_cache_bytes".to_owned());
+        }
         if self.parallelism == 0 {
             return Err("parallelism must be at least 1".to_owned());
         }
@@ -143,6 +154,68 @@ impl SciborqConfig {
             return Err("trace_capacity must be positive".to_owned());
         }
         Ok(())
+    }
+
+    /// A copy of this configuration with the impression layer sizes
+    /// replaced (chainable counterpart of [`SciborqConfig::with_layers`]).
+    pub fn with_layer_sizes(mut self, layer_sizes: Vec<usize>) -> Self {
+        self.layer_sizes = layer_sizes;
+        self
+    }
+
+    /// A copy of this configuration with the default confidence level for
+    /// error bounds set to `confidence`.
+    pub fn with_confidence(mut self, confidence: f64) -> Self {
+        self.confidence = confidence;
+        self
+    }
+
+    /// A copy of this configuration with the default maximum relative
+    /// error set to `max_error`.
+    pub fn with_default_max_error(mut self, max_error: f64) -> Self {
+        self.default_max_error = max_error;
+        self
+    }
+
+    /// A copy of this configuration with the sampler seed set to `seed`.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// A copy of this configuration with `bins` histogram bins per tracked
+    /// attribute.
+    pub fn with_predicate_bins(mut self, bins: usize) -> Self {
+        self.predicate_bins = bins;
+        self
+    }
+
+    /// A copy of this configuration with the workload-shift rebuild
+    /// threshold set to `threshold`.
+    pub fn with_adapt_threshold(mut self, threshold: f64) -> Self {
+        self.adapt_threshold = threshold;
+        self
+    }
+
+    /// A copy of this configuration with the focal-region frequency
+    /// threshold set to `threshold`.
+    pub fn with_focal_threshold(mut self, threshold: f64) -> Self {
+        self.focal_threshold = threshold;
+        self
+    }
+
+    /// A copy of this configuration with the CPU-cache byte budget set to
+    /// `bytes`.
+    pub fn with_cpu_cache_bytes(mut self, bytes: usize) -> Self {
+        self.cpu_cache_bytes = bytes;
+        self
+    }
+
+    /// A copy of this configuration with the main-memory byte budget set
+    /// to `bytes`.
+    pub fn with_main_memory_bytes(mut self, bytes: usize) -> Self {
+        self.main_memory_bytes = bytes;
+        self
     }
 
     /// A copy of this configuration with the scan fan-out set to `shards`.
@@ -217,6 +290,18 @@ mod tests {
         c.adapt_threshold = 1.5;
         assert!(c.validate().is_err());
         c = SciborqConfig::default();
+        c.focal_threshold = 0.0;
+        assert!(c.validate().is_err());
+        c = SciborqConfig::default();
+        c.focal_threshold = f64::NAN;
+        assert!(c.validate().is_err());
+        c = SciborqConfig::default();
+        c.cpu_cache_bytes = 0;
+        assert!(c.validate().is_err());
+        c = SciborqConfig::default();
+        c.main_memory_bytes = c.cpu_cache_bytes - 1;
+        assert!(c.validate().is_err());
+        c = SciborqConfig::default();
         c.parallelism = 0;
         assert!(c.validate().is_err());
         c = SciborqConfig::default();
@@ -225,6 +310,30 @@ mod tests {
         c = SciborqConfig::default();
         c.trace_capacity = 0;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn chainable_builders_cover_every_knob() {
+        let c = SciborqConfig::default()
+            .with_layer_sizes(vec![2_000, 200])
+            .with_confidence(0.99)
+            .with_default_max_error(0.05)
+            .with_seed(7)
+            .with_predicate_bins(12)
+            .with_adapt_threshold(0.25)
+            .with_focal_threshold(3.0)
+            .with_cpu_cache_bytes(1 << 20)
+            .with_main_memory_bytes(1 << 30);
+        assert_eq!(c.layer_sizes, vec![2_000, 200]);
+        assert_eq!(c.confidence, 0.99);
+        assert_eq!(c.default_max_error, 0.05);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.predicate_bins, 12);
+        assert_eq!(c.adapt_threshold, 0.25);
+        assert_eq!(c.focal_threshold, 3.0);
+        assert_eq!(c.cpu_cache_bytes, 1 << 20);
+        assert_eq!(c.main_memory_bytes, 1 << 30);
+        assert!(c.validate().is_ok());
     }
 
     #[test]

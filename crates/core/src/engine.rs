@@ -243,6 +243,7 @@ impl BoundedQueryEngine {
                     escalations,
                     elapsed: start.elapsed(),
                     level_scans: exec.take_level_scans(),
+                    // analyzer:allow(bounds_honesty, reason = "this branch is only reached when `met` — the measured error-bound check a few lines up — is true, so the literal restates a measurement")
                     error_bound_met: true,
                     time_bound_met,
                     trace: None,
@@ -291,6 +292,7 @@ impl BoundedQueryEngine {
                 estimates.push(LevelEstimate {
                     level: EvaluationLevel::BaseData,
                     relative_error: Some(0.0),
+                    // analyzer:allow(bounds_honesty, reason = "base-data evaluation is exact (relative error identically zero), so any finite error bound is met by construction")
                     error_bound_met: true,
                 });
             }
@@ -303,6 +305,7 @@ impl BoundedQueryEngine {
                 escalations,
                 elapsed: start.elapsed(),
                 level_scans: exec.take_level_scans(),
+                // analyzer:allow(bounds_honesty, reason = "base-data evaluation is exact (relative error identically zero), so any finite error bound is met by construction")
                 error_bound_met: true,
                 time_bound_met,
                 trace: None,

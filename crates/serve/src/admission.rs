@@ -17,7 +17,7 @@
 use sciborq_core::{MetricsRegistry, QueryBounds, ScanProfile};
 use sciborq_telemetry::{Counter, Gauge, Histogram};
 use std::fmt;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Why a query was shed instead of served.
@@ -136,7 +136,10 @@ impl AdmissionController {
 
     /// Total priced cost currently in flight.
     pub fn in_flight_rows(&self) -> u64 {
-        self.state.lock().unwrap().in_flight_rows
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .in_flight_rows
     }
 
     /// Price a query and reserve its cost against the global budget,
@@ -169,7 +172,7 @@ impl AdmissionController {
             // or shed it honestly.
             let cheapest = profile.cheapest_admissible(bounds).unwrap_or(0);
             if !self.allow_downgrade || cheapest > budget {
-                let state = self.state.lock().unwrap();
+                let state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
                 return Err(Overloaded {
                     table: table.to_owned(),
                     cost_rows: worst,
@@ -190,7 +193,7 @@ impl AdmissionController {
         };
 
         let mut queued = Duration::ZERO;
-        let mut state = self.state.lock().unwrap();
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         if state.in_flight_rows + cost > budget {
             if state.waiting >= self.max_waiting {
                 return Err(Overloaded {
@@ -213,7 +216,10 @@ impl AdmissionController {
                 m.queue_depth.add(1);
             }
             while state.in_flight_rows + cost > budget {
-                state = self.available.wait(state).unwrap();
+                state = self
+                    .available
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
             state.waiting -= 1;
             queued = wait_started.elapsed();
@@ -233,13 +239,16 @@ impl AdmissionController {
     }
 
     fn reserve_unchecked(&self, cost: u64) {
-        self.state.lock().unwrap().in_flight_rows += cost;
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .in_flight_rows += cost;
     }
 
     /// Return a finished query's reserved cost to the budget and wake
     /// waiters.
     pub fn release(&self, cost_rows: u64) {
-        let mut state = self.state.lock().unwrap();
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         state.in_flight_rows = state.in_flight_rows.saturating_sub(cost_rows);
         drop(state);
         self.available.notify_all();

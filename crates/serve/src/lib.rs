@@ -27,6 +27,27 @@
 //! (recent per-query escalation traces); replies report the admission
 //! queue wait as `queued_micros` and, when trace collection is on, embed
 //! the full [`QueryTrace`](sciborq_core::QueryTrace).
+//!
+//! ## Lock acquisition order
+//!
+//! The serving layer shares one `ExplorationSession` across worker
+//! threads, so every lock in the stack lives in a single global acquisition
+//! order, verified statically by the `lock_order` lint of
+//! `sciborq-analyzer` (the lint builds the inter-procedural acquisition
+//! graph and rejects any cycle). The canonical order, outermost first:
+//!
+//! 1. `ExplorationSession` table registry (`table`)
+//! 2. impression `hierarchies`
+//! 3. `predicate_set` (workload histograms; also reached from `query_log`
+//!    maintenance, which therefore never holds a hierarchy lock)
+//! 4. `maintainer` (adaptive rebuild state)
+//!
+//! The serve-side locks — the scheduler `queue` and the admission
+//! controller `state` — are **leaf locks**: nothing else is ever acquired
+//! while one of them is held (condvar waits on them drop the guard by
+//! construction). New code must acquire locks in this order and release
+//! before calling into an earlier layer; the analyzer turns violations
+//! into CI failures rather than deadlocks in production.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

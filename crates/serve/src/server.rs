@@ -8,7 +8,7 @@ use sciborq_core::{
 };
 use sciborq_telemetry::{Counter, Gauge, Histogram};
 use sciborq_workload::{Query, QueryKind};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -201,7 +201,11 @@ impl QueryServer {
                 std::thread::Builder::new()
                     .name("sciborq-batcher".to_owned())
                     .spawn(move || worker.run_scheduler())
-                    .expect("spawn scheduler thread"),
+                    .map_err(|err| {
+                        SciborqError::InvalidConfig(format!(
+                            "failed to spawn scheduler thread: {err}"
+                        ))
+                    })?,
             )
         } else {
             None
@@ -311,7 +315,7 @@ impl QueryServer {
         }
         let (tx, rx) = mpsc::channel();
         {
-            let mut queue = inner.queue.lock().unwrap();
+            let mut queue = inner.queue.lock().unwrap_or_else(PoisonError::into_inner);
             queue.items.push(PendingQuery {
                 query,
                 bounds: admission.bounds,
@@ -358,9 +362,12 @@ impl ServerInner {
     fn run_scheduler(&self) {
         loop {
             let drained = {
-                let mut queue = self.queue.lock().unwrap();
+                let mut queue = self.queue.lock().unwrap_or_else(PoisonError::into_inner);
                 while queue.items.is_empty() && !queue.shutdown {
-                    queue = self.pending.wait(queue).unwrap();
+                    queue = self
+                        .pending
+                        .wait(queue)
+                        .unwrap_or_else(PoisonError::into_inner);
                 }
                 if queue.items.is_empty() && queue.shutdown {
                     return;
@@ -368,7 +375,7 @@ impl ServerInner {
                 drop(queue);
                 // Let same-impression stragglers pile into this pass.
                 std::thread::sleep(self.config.batch_window);
-                let mut queue = self.queue.lock().unwrap();
+                let mut queue = self.queue.lock().unwrap_or_else(PoisonError::into_inner);
                 let take = queue.items.len().min(self.config.max_batch);
                 let drained = queue.items.drain(..take).collect::<Vec<_>>();
                 self.metrics.batch_queue_depth.set(queue.items.len() as i64);
@@ -400,7 +407,11 @@ impl ServerInner {
 impl Drop for QueryServer {
     fn drop(&mut self) {
         if let Some(handle) = self.scheduler.take() {
-            self.inner.queue.lock().unwrap().shutdown = true;
+            self.inner
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .shutdown = true;
             self.inner.pending.notify_all();
             let _ = handle.join();
         }
