@@ -86,6 +86,7 @@ pub const LINT_NAMES: &[&str] = &[
     "kernel_parity",
     "panic_path",
     "panic_path_index",
+    "fault_discipline",
     "config_surface",
     "suppression",
     "unused_suppression",

@@ -3,7 +3,7 @@
 //!
 //! The binary walks `crates/*/src` (plus `crates/*/tests` for the
 //! kernel-parity cross-reference), builds a token-level model of each
-//! file, and runs five lint passes:
+//! file, and runs six lint passes:
 //!
 //! | lint | invariant |
 //! |------|-----------|
@@ -11,6 +11,7 @@
 //! | `bounds_honesty` | `*_bound_met` flags are measured, never literal `true`/`false` |
 //! | `kernel_parity` | every public scan kernel is referenced by an equivalence test or the bench oracle |
 //! | `panic_path` / `panic_path_index` | no `unwrap`/`expect`/panics / raw indexing in hot-path and serving modules |
+//! | `fault_discipline` | `fault_point!` sites are cfg-gated; every `catch_unwind` leaves a telemetry trace |
 //! | `config_surface` | every `SciborqConfig` field has a builder, validation, and a README mention |
 //!
 //! Findings can be suppressed inline with a comment of the form
@@ -57,6 +58,7 @@ pub fn analyze(input: &AnalyzerInput) -> Vec<Diagnostic> {
     raw.extend(lints::bounds::run(&models));
     raw.extend(lints::kernel_parity::run(&models));
     raw.extend(lints::panic_path::run(&models));
+    raw.extend(lints::fault_discipline::run(&models));
     raw.extend(lints::config_surface::run(&models, input.readme.as_deref()));
 
     for d in raw {

@@ -1,0 +1,110 @@
+//! Fault-discipline lint: the fault-injection and isolation machinery must
+//! follow two structural rules, or chaos coverage silently rots.
+//!
+//! 1. **Gated fault points** — every `fault_point!` call site outside the
+//!    telemetry crate (which defines the macro) must sit directly under a
+//!    `#[cfg(feature = "...")]` attribute (within two preceding lines).
+//!    The macro expands to nothing with the feature off, but an ungated
+//!    site blurs the audit trail of which seams are instrumented and
+//!    invites non-gated helper code to grow around it.
+//! 2. **Counted recoveries** — any non-test function that calls
+//!    `catch_unwind` must also touch telemetry in its body: a
+//!    `record_fault(...)` on the query execution, a counter `.inc()` /
+//!    `fetch_add`, or routing the result through `observe_outcome`. An
+//!    isolation seam that swallows a panic without leaving a telemetry
+//!    trace turns every injected (or real) fault into an invisible one.
+
+use crate::diag::Diagnostic;
+use crate::model::FileModel;
+
+/// Identifiers that count as "the recovery left a telemetry trace".
+const TELEMETRY_MARKERS: &[&str] = &["record_fault", "inc", "fetch_add", "observe_outcome"];
+
+/// The crate that defines the macro (and its own unit tests) is exempt
+/// from the call-site gating rule.
+const MACRO_HOME: &str = "crates/telemetry/";
+
+pub fn run(models: &[FileModel]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for m in models {
+        // Integration tests install plans and call seams directly; the
+        // discipline applies to production modules only.
+        if m.path.contains("/tests/") {
+            continue;
+        }
+        if !m.path.starts_with(MACRO_HOME) {
+            check_gated_fault_points(m, &mut diags);
+        }
+        check_counted_recoveries(m, &mut diags);
+    }
+    diags
+}
+
+/// Rule 1: `fault_point!` call sites carry a `cfg(feature = ...)` gate on
+/// one of the two preceding lines (or earlier on the same line, for a
+/// one-line gated statement).
+fn check_gated_fault_points(m: &FileModel, diags: &mut Vec<Diagnostic>) {
+    for (i, t) in m.toks.iter().enumerate() {
+        let is_call =
+            t.is_ident("fault_point") && m.toks.get(i + 1).is_some_and(|n| n.is_punct('!'));
+        if !is_call || m.is_test_line(t.line) {
+            continue;
+        }
+        let window_start = t.line.saturating_sub(2);
+        let gated = m.toks[..i]
+            .iter()
+            .rev()
+            .take_while(|p| p.line >= window_start)
+            .any(|p| p.is_ident("cfg"))
+            && m.toks[..i]
+                .iter()
+                .rev()
+                .take_while(|p| p.line >= window_start)
+                .any(|p| p.is_ident("feature"));
+        if !gated {
+            diags.push(Diagnostic::error(
+                &m.path,
+                t.line,
+                "fault_discipline",
+                "`fault_point!` call site without a `#[cfg(feature = \"fault-injection\")]` \
+                 gate directly above it; gate the site or add a reasoned allow",
+            ));
+        }
+    }
+}
+
+/// Rule 2: a function body containing `catch_unwind` also contains a
+/// telemetry marker.
+fn check_counted_recoveries(m: &FileModel, diags: &mut Vec<Diagnostic>) {
+    for f in &m.fns {
+        if f.in_test {
+            continue;
+        }
+        let Some((start, end)) = f.body else {
+            continue;
+        };
+        let body = &m.toks[start..=end.min(m.toks.len().saturating_sub(1))];
+        let catch = body
+            .iter()
+            .find(|t| t.is_ident("catch_unwind") && !m.is_test_line(t.line));
+        let Some(catch) = catch else {
+            continue;
+        };
+        let counted = body
+            .iter()
+            .any(|t| t.ident().is_some_and(|id| TELEMETRY_MARKERS.contains(&id)));
+        if !counted {
+            diags.push(Diagnostic::error(
+                &m.path,
+                catch.line,
+                "fault_discipline",
+                format!(
+                    "`catch_unwind` in `{}` leaves no telemetry trace; record the recovery \
+                     (`record_fault`, a counter `.inc()`/`fetch_add`, or route the result \
+                     through `observe_outcome`) or add a reasoned allow",
+                    f.name
+                ),
+            ));
+        }
+    }
+}

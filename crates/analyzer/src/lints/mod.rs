@@ -4,6 +4,7 @@
 
 pub mod bounds;
 pub mod config_surface;
+pub mod fault_discipline;
 pub mod kernel_parity;
 pub mod lock_order;
 pub mod panic_path;

@@ -191,6 +191,96 @@ pub fn mask_novel(values: &[i64]) -> usize { values.len() }
 }
 
 // ---------------------------------------------------------------------------
+// fault_discipline
+// ---------------------------------------------------------------------------
+
+#[test]
+fn fault_discipline_fires_on_ungated_fault_point() {
+    let src = r#"
+fn evaluate(&self) {
+    sciborq_telemetry::fault_point!("engine.level");
+}
+"#;
+    let diags = run(&[("crates/core/src/engine.rs", src)], None);
+    assert_eq!(lint_count(&diags, "fault_discipline"), 1, "{diags:?}");
+    assert_eq!(exit_code(&diags, false), 2);
+}
+
+#[test]
+fn fault_discipline_passes_gated_fault_point_and_telemetry_home() {
+    let gated = r#"
+fn evaluate(&self) {
+    #[cfg(feature = "fault-injection")]
+    sciborq_telemetry::fault_point!("engine.level");
+}
+"#;
+    // The telemetry crate defines the macro; its own sites are exempt.
+    let home = r#"
+pub fn fire(site: &str) {
+    fault_point!("anything");
+}
+"#;
+    let diags = run(
+        &[
+            ("crates/core/src/engine.rs", gated),
+            ("crates/telemetry/src/faults.rs", home),
+        ],
+        None,
+    );
+    assert_eq!(lint_count(&diags, "fault_discipline"), 0, "{diags:?}");
+}
+
+#[test]
+fn fault_discipline_fires_on_uncounted_catch_unwind() {
+    let src = r#"
+fn isolate(&self) -> Result<()> {
+    let attempt = catch_unwind(AssertUnwindSafe(|| self.work()));
+    attempt.unwrap_or_else(|_| Err(Error::Internal))
+}
+"#;
+    let diags = run(&[("crates/core/src/execution.rs", src)], None);
+    assert_eq!(lint_count(&diags, "fault_discipline"), 1, "{diags:?}");
+}
+
+#[test]
+fn fault_discipline_passes_counted_catch_unwind_and_tests() {
+    let src = r#"
+fn isolate(&self) -> Result<()> {
+    let attempt = catch_unwind(AssertUnwindSafe(|| self.work()));
+    if attempt.is_err() {
+        self.record_fault("scan.shard", FaultEventKind::Recovery);
+    }
+    Ok(())
+}
+fn watchdog(&self) {
+    match catch_unwind(AssertUnwindSafe(|| run())) {
+        Ok(()) => {}
+        Err(_) => self.metrics.scheduler_restarts.inc(),
+    }
+}
+#[test]
+fn tests_may_catch_freely() {
+    let _ = catch_unwind(|| panic!("boom"));
+}
+"#;
+    let diags = run(&[("crates/core/src/execution.rs", src)], None);
+    assert_eq!(lint_count(&diags, "fault_discipline"), 0, "{diags:?}");
+}
+
+#[test]
+fn fault_discipline_suppressed_with_reason() {
+    let src = r#"
+fn isolate(&self) -> Result<()> {
+    // analyzer:allow(fault_discipline, reason = "counted by the caller")
+    let attempt = catch_unwind(AssertUnwindSafe(|| self.work()));
+    attempt.unwrap_or_else(|_| Err(Error::Internal))
+}
+"#;
+    let diags = run(&[("crates/core/src/execution.rs", src)], None);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// ---------------------------------------------------------------------------
 // config_surface
 // ---------------------------------------------------------------------------
 

@@ -3,7 +3,7 @@
 use crate::engine::QueryBounds;
 use sciborq_columnar::Table;
 use sciborq_stats::ConfidenceInterval;
-use sciborq_telemetry::{LevelTrace, QueryTrace};
+use sciborq_telemetry::{FaultEvent, LevelTrace, QueryTrace};
 use std::fmt;
 use std::time::Duration;
 
@@ -127,6 +127,17 @@ pub struct ApproximateAnswer {
     /// is measured, never assumed — an engine that blows the budget while
     /// evaluating its final level reports `false` here.
     pub time_bound_met: bool,
+    /// Whether the answer was degraded by a fault: an escalation level (or
+    /// the base-data fall-through) was lost to a panic and the answer came
+    /// from the best level that *did* complete. `error_bound_met` and
+    /// `time_bound_met` are still measured honestly against what was
+    /// returned — `degraded` flags that the engine could not attempt the
+    /// level it wanted, not that the reported bounds are wrong. Always
+    /// `false` on the fault-free path.
+    pub degraded: bool,
+    /// Faults, recoveries and degradations observed while answering, in
+    /// occurrence order (empty on the fault-free path).
+    pub fault_events: Vec<FaultEvent>,
     /// The structured execution trace, present when the configuration's
     /// `collect_traces` knob is on. Strictly observational — carries no
     /// information that feeds back into the answer.
@@ -156,6 +167,8 @@ impl ApproximateAnswer {
             elapsed: self.elapsed,
             requested_error: finite(bounds.max_relative_error),
             time_budget: bounds.time_budget,
+            degraded: self.degraded,
+            faults: self.fault_events.clone(),
         }
     }
     /// Whether the answer is exact (evaluated on base data).
@@ -226,6 +239,13 @@ pub struct SelectAnswer {
     /// the row budget and the answer was produced within `time_budget`
     /// (measured, like [`ApproximateAnswer::time_bound_met`]).
     pub time_bound_met: bool,
+    /// Whether the answer was degraded by a fault (see
+    /// [`ApproximateAnswer::degraded`]). Always `false` on the fault-free
+    /// path.
+    pub degraded: bool,
+    /// Faults, recoveries and degradations observed while answering, in
+    /// occurrence order (empty on the fault-free path).
+    pub fault_events: Vec<FaultEvent>,
     /// The structured execution trace, present when the configuration's
     /// `collect_traces` knob is on (see [`ApproximateAnswer::trace`]).
     pub trace: Option<QueryTrace>,
@@ -249,6 +269,8 @@ impl SelectAnswer {
             elapsed: self.elapsed,
             requested_error: finite(bounds.max_relative_error),
             time_budget: bounds.time_budget,
+            degraded: self.degraded,
+            faults: self.fault_events.clone(),
         }
     }
     /// Number of rows returned to the user.
@@ -306,6 +328,8 @@ mod tests {
             ],
             error_bound_met: true,
             time_bound_met: true,
+            degraded: false,
+            fault_events: Vec::new(),
             trace: None,
         };
         assert!(!a.is_exact());
@@ -329,6 +353,8 @@ mod tests {
             level_scans: Vec::new(),
             error_bound_met: true,
             time_bound_met: false,
+            degraded: false,
+            fault_events: Vec::new(),
             trace: None,
         };
         assert!(a.is_exact());
@@ -349,6 +375,8 @@ mod tests {
             level_scans: Vec::new(),
             error_bound_met: false,
             time_bound_met: true,
+            degraded: false,
+            fault_events: Vec::new(),
             trace: None,
         };
         assert_eq!(a.relative_error(), f64::INFINITY);
@@ -371,6 +399,8 @@ mod tests {
             elapsed: Duration::from_micros(10),
             level_scans: Vec::new(),
             time_bound_met: true,
+            degraded: false,
+            fault_events: Vec::new(),
             trace: None,
         };
         assert_eq!(a.returned_rows(), 2);

@@ -27,6 +27,7 @@ use sciborq_columnar::{
     MultiScanItem, SelectionSink, Table, WeightedMomentSink,
 };
 use sciborq_stats::ConfidenceInterval;
+use sciborq_telemetry::FaultEventKind;
 use sciborq_workload::{Query, QueryKind};
 use std::sync::Arc;
 use std::time::Instant;
@@ -145,6 +146,14 @@ impl QState<'_> {
         error_bound_met: bool,
     ) {
         let time_bound_met = self.time_ok();
+        // Shared scans are not shard-isolated (a panicked batch pass is
+        // caught by the serving scheduler, which replays its members
+        // serially), so these are empty today — the derivation keeps the
+        // batch/serial bit-identity contract explicit rather than assumed.
+        let fault_events = self.exec.take_fault_events();
+        let degraded = fault_events
+            .iter()
+            .any(|e| e.kind == FaultEventKind::Degradation);
         let mut answer = ApproximateAnswer {
             query: self.query.to_string(),
             value,
@@ -156,6 +165,8 @@ impl QState<'_> {
             level_scans: self.exec.take_level_scans(),
             error_bound_met,
             time_bound_met,
+            degraded,
+            fault_events,
             trace: None,
         };
         if self.tracing {

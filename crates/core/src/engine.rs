@@ -25,8 +25,10 @@ use crate::impression::Impression;
 use crate::layer::LayerHierarchy;
 use sciborq_columnar::{AggregateKind, MomentSketch, Table, WeightedMomentSketch};
 use sciborq_stats::{ConfidenceInterval, Estimate};
+use sciborq_telemetry::FaultEventKind;
 use sciborq_workload::{Query, QueryKind};
 use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
 /// The bounds a query must be answered under.
@@ -174,6 +176,11 @@ impl BoundedQueryEngine {
             QueryExecution::with_parallelism(query.predicate.clone(), self.config.parallelism);
         let mut escalations = 0usize;
         let mut best: Option<(Option<f64>, Option<ConfidenceInterval>, EvaluationLevel)> = None;
+        // Degradation ladder state: set when a whole level is lost to a
+        // panic. The answer then comes from the best level that completed,
+        // flagged `degraded` — its bound verdicts stay measured against
+        // what is actually returned. Always false on the fault-free path.
+        let mut degraded = false;
         // Per-level quality accounting, collected only when tracing is on.
         // Strictly observational: nothing below reads `estimates` back.
         let tracing = self.config.collect_traces;
@@ -201,14 +208,30 @@ impl BoundedQueryEngine {
                 escalations += 1;
             }
             let level = EvaluationLevel::Layer(impression.layer());
-            let (value, interval) = self.evaluate_on_impression(
-                &exec,
-                impression,
-                level,
-                agg_kind,
-                agg_column.as_deref(),
-                bounds,
-            )?;
+            // Isolate the whole level evaluation: a panic that escapes the
+            // shard-recovery rung (or an injected `engine.level` fault)
+            // loses this level only — escalation continues and the answer
+            // is flagged degraded.
+            let attempt = catch_unwind(AssertUnwindSafe(|| {
+                #[cfg(feature = "fault-injection")]
+                sciborq_telemetry::fault_point!("engine.level");
+                self.evaluate_on_impression(
+                    &exec,
+                    impression,
+                    level,
+                    agg_kind,
+                    agg_column.as_deref(),
+                    bounds,
+                )
+            }));
+            let (value, interval) = match attempt {
+                Ok(result) => result?,
+                Err(_) => {
+                    exec.record_fault("engine.level", FaultEventKind::Degradation);
+                    degraded = true;
+                    continue;
+                }
+            };
             // A sampled zero (no matching rows in the impression) carries a
             // degenerate [0, 0] interval, which would read as "zero error".
             // Claiming a certain COUNT/SUM of 0 from a sample is dishonest
@@ -246,6 +269,8 @@ impl BoundedQueryEngine {
                     // analyzer:allow(bounds_honesty, reason = "this branch is only reached when `met` — the measured error-bound check a few lines up — is true, so the literal restates a measurement")
                     error_bound_met: true,
                     time_bound_met,
+                    degraded,
+                    fault_events: exec.take_fault_events(),
                     trace: None,
                 };
                 if tracing {
@@ -272,49 +297,68 @@ impl BoundedQueryEngine {
                 escalations += 1;
             }
             // Exact evaluation through the fused kernels: no selection is
-            // materialised for aggregates over the (large) base table.
-            let value = match agg_kind {
-                AggregateKind::Count => {
-                    Some(exec.count_matches(EvaluationLevel::BaseData, table)? as f64)
+            // materialised for aggregates over the (large) base table. The
+            // base scan is isolated like any sampled level: a panic here
+            // degrades to the best sampled estimate instead of poisoning
+            // the query.
+            let attempt = catch_unwind(AssertUnwindSafe(|| -> Result<Option<f64>> {
+                #[cfg(feature = "fault-injection")]
+                sciborq_telemetry::fault_point!("engine.level");
+                match agg_kind {
+                    AggregateKind::Count => Ok(Some(
+                        exec.count_matches(EvaluationLevel::BaseData, table)? as f64,
+                    )),
+                    _ => {
+                        let column = agg_column.as_deref().ok_or_else(|| {
+                            SciborqError::InvalidConfig(format!("{agg_kind} requires a column"))
+                        })?;
+                        Ok(exec
+                            .filter_moments(EvaluationLevel::BaseData, table, column)?
+                            .aggregate(agg_kind))
+                    }
                 }
-                _ => {
-                    let column = agg_column.as_deref().ok_or_else(|| {
-                        SciborqError::InvalidConfig(format!("{agg_kind} requires a column"))
-                    })?;
-                    exec.filter_moments(EvaluationLevel::BaseData, table, column)?
-                        .aggregate(agg_kind)
+            }));
+            match attempt {
+                Ok(outcome) => {
+                    let value = outcome?;
+                    // Measured honesty: the base scan itself may exceed the
+                    // wall-clock budget even though it was admissible on entry.
+                    let time_bound_met = time_ok();
+                    if tracing {
+                        estimates.push(LevelEstimate {
+                            level: EvaluationLevel::BaseData,
+                            relative_error: Some(0.0),
+                            // analyzer:allow(bounds_honesty, reason = "base-data evaluation is exact (relative error identically zero), so any finite error bound is met by construction")
+                            error_bound_met: true,
+                        });
+                    }
+                    let mut answer = ApproximateAnswer {
+                        query: query.to_string(),
+                        value,
+                        interval: value.map(ConfidenceInterval::exact),
+                        level: EvaluationLevel::BaseData,
+                        rows_scanned: exec.rows_scanned(),
+                        escalations,
+                        elapsed: start.elapsed(),
+                        level_scans: exec.take_level_scans(),
+                        // analyzer:allow(bounds_honesty, reason = "base-data evaluation is exact (relative error identically zero), so any finite error bound is met by construction")
+                        error_bound_met: true,
+                        time_bound_met,
+                        degraded,
+                        fault_events: exec.take_fault_events(),
+                        trace: None,
+                    };
+                    if tracing {
+                        answer.trace =
+                            Some(answer.build_trace(&estimates, bounds, self.config.parallelism));
+                    }
+                    return Ok(answer);
                 }
-            };
-            // Measured honesty: the base scan itself may exceed the
-            // wall-clock budget even though it was admissible on entry.
-            let time_bound_met = time_ok();
-            if tracing {
-                estimates.push(LevelEstimate {
-                    level: EvaluationLevel::BaseData,
-                    relative_error: Some(0.0),
-                    // analyzer:allow(bounds_honesty, reason = "base-data evaluation is exact (relative error identically zero), so any finite error bound is met by construction")
-                    error_bound_met: true,
-                });
+                Err(_) => {
+                    exec.record_fault("engine.level", FaultEventKind::Degradation);
+                    degraded = true;
+                }
             }
-            let mut answer = ApproximateAnswer {
-                query: query.to_string(),
-                value,
-                interval: value.map(ConfidenceInterval::exact),
-                level: EvaluationLevel::BaseData,
-                rows_scanned: exec.rows_scanned(),
-                escalations,
-                elapsed: start.elapsed(),
-                level_scans: exec.take_level_scans(),
-                // analyzer:allow(bounds_honesty, reason = "base-data evaluation is exact (relative error identically zero), so any finite error bound is met by construction")
-                error_bound_met: true,
-                time_bound_met,
-                trace: None,
-            };
-            if tracing {
-                answer.trace =
-                    Some(answer.build_trace(&estimates, bounds, self.config.parallelism));
-            }
-            return Ok(answer);
         }
 
         // Return the best approximate answer obtained within the budget.
@@ -338,6 +382,8 @@ impl BoundedQueryEngine {
                     level_scans: exec.take_level_scans(),
                     error_bound_met,
                     time_bound_met,
+                    degraded,
+                    fault_events: exec.take_fault_events(),
                     trace: None,
                 };
                 if tracing {
@@ -346,6 +392,11 @@ impl BoundedQueryEngine {
                 }
                 Ok(answer)
             }
+            // Every level was lost to an isolated panic: there is no honest
+            // estimate left to degrade to, so the query fails typed.
+            None if degraded => Err(SciborqError::Internal {
+                site: "engine.level".to_owned(),
+            }),
             None => Err(SciborqError::BoundsUnsatisfiable(format!(
                 "no impression of {} fits a row budget of {:?}",
                 hierarchy.source_table(),
@@ -443,6 +494,9 @@ impl BoundedQueryEngine {
         let tracing = self.config.collect_traces;
         let mut escalations = 0usize;
         let mut best: Option<(Table, f64, EvaluationLevel)> = None;
+        // Same degradation ladder as the aggregate path: a level lost to a
+        // caught panic is skipped and the eventual answer flagged.
+        let mut degraded = false;
 
         for impression in hierarchy.escalation_order() {
             let level_rows = impression.row_count() as u64;
@@ -462,16 +516,31 @@ impl BoundedQueryEngine {
                 escalations += 1;
             }
             let level = EvaluationLevel::Layer(impression.layer());
-            let mut selection = exec.selection(level, impression.data())?;
-            let estimated = impression.estimate_count(&selection)?.value;
-            let enough = selection.len() >= wanted.min(impression.row_count());
-            if let Some(limit) = query.limit {
-                selection.truncate(limit);
-            }
-            let result = impression
-                .data()
-                .gather(&selection, format!("{}.result", impression.name()))?;
-            let got_enough = result.row_count() >= wanted || enough && query.limit.is_none();
+            // Isolate the level like the aggregate path: a panicked level
+            // is skipped (degrading the answer), not fatal to the query.
+            let attempt = catch_unwind(AssertUnwindSafe(|| -> Result<(Table, f64, bool)> {
+                #[cfg(feature = "fault-injection")]
+                sciborq_telemetry::fault_point!("engine.level");
+                let mut selection = exec.selection(level, impression.data())?;
+                let estimated = impression.estimate_count(&selection)?.value;
+                let enough = selection.len() >= wanted.min(impression.row_count());
+                if let Some(limit) = query.limit {
+                    selection.truncate(limit);
+                }
+                let result = impression
+                    .data()
+                    .gather(&selection, format!("{}.result", impression.name()))?;
+                let got_enough = result.row_count() >= wanted || enough && query.limit.is_none();
+                Ok((result, estimated, got_enough))
+            }));
+            let (result, estimated, got_enough) = match attempt {
+                Ok(outcome) => outcome?,
+                Err(_) => {
+                    exec.record_fault("engine.level", FaultEventKind::Degradation);
+                    degraded = true;
+                    continue;
+                }
+            };
             best = Some((result, estimated, level));
             if got_enough {
                 let (rows, estimated_total_matches, level) = best.expect("just set");
@@ -486,6 +555,8 @@ impl BoundedQueryEngine {
                     elapsed: start.elapsed(),
                     level_scans: exec.take_level_scans(),
                     time_bound_met,
+                    degraded,
+                    fault_events: exec.take_fault_events(),
                     trace: None,
                 };
                 if tracing {
@@ -507,29 +578,46 @@ impl BoundedQueryEngine {
                 if best.is_some() {
                     escalations += 1;
                 }
-                let mut selection = exec.selection(EvaluationLevel::BaseData, table)?;
-                let total = selection.len() as f64;
-                if let Some(limit) = query.limit {
-                    selection.truncate(limit);
+                let attempt = catch_unwind(AssertUnwindSafe(|| -> Result<(Table, f64)> {
+                    #[cfg(feature = "fault-injection")]
+                    sciborq_telemetry::fault_point!("engine.level");
+                    let mut selection = exec.selection(EvaluationLevel::BaseData, table)?;
+                    let total = selection.len() as f64;
+                    if let Some(limit) = query.limit {
+                        selection.truncate(limit);
+                    }
+                    let rows = table.gather(&selection, format!("{}.result", table.name()))?;
+                    Ok((rows, total))
+                }));
+                match attempt {
+                    Ok(outcome) => {
+                        let (rows, total) = outcome?;
+                        let time_bound_met = time_ok();
+                        let mut answer = SelectAnswer {
+                            query: query.to_string(),
+                            rows,
+                            estimated_total_matches: total,
+                            level: EvaluationLevel::BaseData,
+                            rows_scanned: exec.rows_scanned(),
+                            escalations,
+                            elapsed: start.elapsed(),
+                            level_scans: exec.take_level_scans(),
+                            time_bound_met,
+                            degraded,
+                            fault_events: exec.take_fault_events(),
+                            trace: None,
+                        };
+                        if tracing {
+                            answer.trace =
+                                Some(answer.build_trace(bounds, self.config.parallelism));
+                        }
+                        return Ok(answer);
+                    }
+                    Err(_) => {
+                        exec.record_fault("engine.level", FaultEventKind::Degradation);
+                        degraded = true;
+                    }
                 }
-                let rows = table.gather(&selection, format!("{}.result", table.name()))?;
-                let time_bound_met = time_ok();
-                let mut answer = SelectAnswer {
-                    query: query.to_string(),
-                    rows,
-                    estimated_total_matches: total,
-                    level: EvaluationLevel::BaseData,
-                    rows_scanned: exec.rows_scanned(),
-                    escalations,
-                    elapsed: start.elapsed(),
-                    level_scans: exec.take_level_scans(),
-                    time_bound_met,
-                    trace: None,
-                };
-                if tracing {
-                    answer.trace = Some(answer.build_trace(bounds, self.config.parallelism));
-                }
-                return Ok(answer);
             }
         }
 
@@ -546,6 +634,8 @@ impl BoundedQueryEngine {
                     elapsed: start.elapsed(),
                     level_scans: exec.take_level_scans(),
                     time_bound_met,
+                    degraded,
+                    fault_events: exec.take_fault_events(),
                     trace: None,
                 };
                 if tracing {
@@ -553,6 +643,11 @@ impl BoundedQueryEngine {
                 }
                 Ok(answer)
             }
+            // Every level was lost to an isolated panic: nothing honest is
+            // left to return, so the query fails typed.
+            None if degraded => Err(SciborqError::Internal {
+                site: "engine.level".to_owned(),
+            }),
             None => Err(SciborqError::BoundsUnsatisfiable(format!(
                 "no impression of {} fits a row budget of {:?}",
                 hierarchy.source_table(),

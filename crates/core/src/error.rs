@@ -28,6 +28,14 @@ pub enum SciborqError {
     },
     /// The requested bounds cannot be satisfied even by the base data.
     BoundsUnsatisfiable(String),
+    /// Query execution was poisoned by a panic (real or injected) that the
+    /// isolation layer caught at the named seam. The query is lost but the
+    /// worker, the session and every concurrent query are unaffected.
+    Internal {
+        /// The seam where the panic was caught (`"session.query"`,
+        /// `"serve.scheduler"`, ...).
+        site: String,
+    },
 }
 
 impl fmt::Display for SciborqError {
@@ -49,6 +57,9 @@ impl fmt::Display for SciborqError {
             }
             SciborqError::BoundsUnsatisfiable(msg) => {
                 write!(f, "query bounds cannot be satisfied: {msg}")
+            }
+            SciborqError::Internal { site } => {
+                write!(f, "internal fault isolated at {site}; query abandoned")
             }
         }
     }
@@ -103,6 +114,11 @@ mod tests {
         assert!(SciborqError::BoundsUnsatisfiable("why".into())
             .to_string()
             .contains("why"));
+        let e = SciborqError::Internal {
+            site: "session.query".into(),
+        };
+        assert!(e.to_string().contains("session.query"));
+        assert!(e.to_string().contains("internal fault"));
     }
 
     #[test]

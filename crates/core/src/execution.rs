@@ -27,6 +27,8 @@ use sciborq_columnar::{
     CompiledPredicate, MomentSketch, Partitioning, Predicate, ScanStats, SelectionVector, Table,
     WeightedMomentSketch,
 };
+use sciborq_telemetry::{FaultEvent, FaultEventKind};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -43,6 +45,7 @@ pub struct QueryExecution {
     predicate: Predicate,
     compiled: RwLock<Option<Arc<CompiledPredicate>>>,
     levels: Mutex<Vec<LevelScan>>,
+    faults: Mutex<Vec<FaultEvent>>,
     parallelism: usize,
 }
 
@@ -62,6 +65,7 @@ impl QueryExecution {
             predicate,
             compiled: RwLock::new(None),
             levels: Mutex::new(Vec::new()),
+            faults: Mutex::new(Vec::new()),
             parallelism: parallelism.max(1),
         }
     }
@@ -135,22 +139,65 @@ impl QueryExecution {
         total
     }
 
+    /// Record a fault-handling event against this execution; the session
+    /// turns these into `engine.fault_*` counters when the answer is
+    /// observed, and they ride on the answer's trace.
+    pub fn record_fault(&self, site: &str, kind: FaultEventKind) {
+        self.faults.lock().push(FaultEvent {
+            site: site.to_owned(),
+            kind,
+        });
+    }
+
+    /// Drain the fault events accumulated so far (paired with
+    /// [`QueryExecution::take_level_scans`] when an answer is finalised).
+    pub fn take_fault_events(&self) -> Vec<FaultEvent> {
+        std::mem::take(&mut *self.faults.lock())
+    }
+
+    /// Run a level scan sharded when `parts` says so, isolating shard
+    /// panics: a fan-out that panics (a poisoned shard worker, or an
+    /// injected `scan.shard` fault) is caught and the level is redone with
+    /// the serial kernel — the first rung of the degradation ladder. The
+    /// serial kernels are bit-identical to the sharded ones (the standing
+    /// kernel-parity contract), so a recovered scan changes no answer
+    /// bits; the recovery is recorded via [`QueryExecution::record_fault`]
+    /// so telemetry counters and the query trace still see it.
+    fn isolate_shards<T>(
+        &self,
+        parts: Option<Partitioning>,
+        sharded: impl Fn(&Partitioning) -> Result<(T, Vec<ScanStats>)>,
+        serial: impl Fn() -> Result<(T, ScanStats)>,
+    ) -> Result<(T, ScanStats, usize)> {
+        if let Some(parts) = parts {
+            let attempt = catch_unwind(AssertUnwindSafe(|| {
+                #[cfg(feature = "fault-injection")]
+                sciborq_telemetry::fault_point!("scan.shard");
+                sharded(&parts)
+            }));
+            match attempt {
+                Ok(result) => {
+                    let (value, per_shard) = result?;
+                    return Ok((value, Self::roll_up(&per_shard), parts.shard_count()));
+                }
+                Err(_) => self.record_fault("scan.shard", FaultEventKind::Recovery),
+            }
+        }
+        let (value, stats) = serial()?;
+        Ok((value, stats, 1))
+    }
+
     /// Materialise the selection of qualifying rows at `level` (used by
     /// SELECT queries and the weighted estimators of biased impressions).
     pub fn selection(&self, level: EvaluationLevel, table: &Table) -> Result<SelectionVector> {
         let started = Instant::now();
         let parts = self.partitioning(table.row_count());
         let compiled = self.compiled_for(table)?;
-        let (selection, stats, shards) = match parts {
-            Some(parts) => {
-                let (selection, per_shard) = compiled.evaluate_partitioned(table, &parts)?;
-                (selection, Self::roll_up(&per_shard), parts.shard_count())
-            }
-            None => {
-                let (selection, stats) = compiled.evaluate_with_stats(table)?;
-                (selection, stats, 1)
-            }
-        };
+        let (selection, stats, shards) = self.isolate_shards(
+            parts,
+            |parts| Ok(compiled.evaluate_partitioned(table, parts)?),
+            || Ok(compiled.evaluate_with_stats(table)?),
+        )?;
         self.record_scan(level, stats, shards, started);
         Ok(selection)
     }
@@ -161,16 +208,11 @@ impl QueryExecution {
         let started = Instant::now();
         let parts = self.partitioning(table.row_count());
         let compiled = self.compiled_for(table)?;
-        let (count, stats, shards) = match parts {
-            Some(parts) => {
-                let (count, per_shard) = compiled.count_matches_partitioned(table, &parts)?;
-                (count, Self::roll_up(&per_shard), parts.shard_count())
-            }
-            None => {
-                let (count, stats) = compiled.count_matches(table)?;
-                (count, stats, 1)
-            }
-        };
+        let (count, stats, shards) = self.isolate_shards(
+            parts,
+            |parts| Ok(compiled.count_matches_partitioned(table, parts)?),
+            || Ok(compiled.count_matches(table)?),
+        )?;
         self.record_scan(level, stats, shards, started);
         Ok(count)
     }
@@ -188,17 +230,11 @@ impl QueryExecution {
         let started = Instant::now();
         let parts = self.partitioning(table.row_count());
         let compiled = self.compiled_for(table)?;
-        let (sketch, stats, shards) = match parts {
-            Some(parts) => {
-                let (sketch, per_shard) =
-                    compiled.filter_moments_partitioned(table, column, &parts)?;
-                (sketch, Self::roll_up(&per_shard), parts.shard_count())
-            }
-            None => {
-                let (sketch, stats) = compiled.filter_moments(table, column)?;
-                (sketch, stats, 1)
-            }
-        };
+        let (sketch, stats, shards) = self.isolate_shards(
+            parts,
+            |parts| Ok(compiled.filter_moments_partitioned(table, column, parts)?),
+            || Ok(compiled.filter_moments(table, column)?),
+        )?;
         self.record_scan(level, stats, shards, started);
         Ok(sketch)
     }
@@ -218,17 +254,11 @@ impl QueryExecution {
         let started = Instant::now();
         let parts = self.partitioning(table.row_count());
         let compiled = self.compiled_for(table)?;
-        let (sketch, stats, shards) = match parts {
-            Some(parts) => {
-                let (sketch, per_shard) =
-                    compiled.count_weighted_partitioned(table, probabilities, &parts)?;
-                (sketch, Self::roll_up(&per_shard), parts.shard_count())
-            }
-            None => {
-                let (sketch, stats) = compiled.count_weighted(table, probabilities)?;
-                (sketch, stats, 1)
-            }
-        };
+        let (sketch, stats, shards) = self.isolate_shards(
+            parts,
+            |parts| Ok(compiled.count_weighted_partitioned(table, probabilities, parts)?),
+            || Ok(compiled.count_weighted(table, probabilities)?),
+        )?;
         self.record_scan(level, stats, shards, started);
         Ok(sketch)
     }
@@ -247,22 +277,18 @@ impl QueryExecution {
         let started = Instant::now();
         let parts = self.partitioning(table.row_count());
         let compiled = self.compiled_for(table)?;
-        let (sketch, stats, shards) = match parts {
-            Some(parts) => {
-                let (sketch, per_shard) = compiled.filter_weighted_moments_partitioned(
+        let (sketch, stats, shards) = self.isolate_shards(
+            parts,
+            |parts| {
+                Ok(compiled.filter_weighted_moments_partitioned(
                     table,
                     column,
                     probabilities,
-                    &parts,
-                )?;
-                (sketch, Self::roll_up(&per_shard), parts.shard_count())
-            }
-            None => {
-                let (sketch, stats) =
-                    compiled.filter_weighted_moments(table, column, probabilities)?;
-                (sketch, stats, 1)
-            }
-        };
+                    parts,
+                )?)
+            },
+            || Ok(compiled.filter_weighted_moments(table, column, probabilities)?),
+        )?;
         self.record_scan(level, stats, shards, started);
         Ok(sketch)
     }

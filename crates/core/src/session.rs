@@ -24,10 +24,12 @@ use crate::policy::SamplingPolicy;
 use parking_lot::{Mutex, MutexGuard, RwLock};
 use sciborq_columnar::{Catalog, RecordBatch};
 use sciborq_telemetry::{
-    AdmissionTrace, Counter, Histogram, MetricsRegistry, MetricsSnapshot, QueryTrace, TraceRing,
+    AdmissionTrace, Counter, FaultEventKind, Histogram, MetricsRegistry, MetricsSnapshot,
+    QueryTrace, TraceRing,
 };
 use sciborq_workload::{AttributeDomain, PredicateSet, Query, QueryKind, QueryLog};
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -117,6 +119,15 @@ struct EngineMetrics {
     error_bound_missed: Arc<Counter>,
     /// `engine.time_bound_missed` — answers returned past their budget.
     time_bound_missed: Arc<Counter>,
+    /// `engine.internal_faults` — queries lost to a caught panic (typed
+    /// [`SciborqError::Internal`] replies).
+    internal_faults: Arc<Counter>,
+    /// `engine.fault_recoveries` — isolated faults recovered bit-identically
+    /// (shard fallbacks; the answer is *not* degraded).
+    fault_recoveries: Arc<Counter>,
+    /// `engine.degraded_queries` — answers produced down the degradation
+    /// ladder (at least one whole level was lost).
+    degraded_queries: Arc<Counter>,
 }
 
 impl EngineMetrics {
@@ -129,6 +140,9 @@ impl EngineMetrics {
             query_micros: registry.histogram("engine.query_micros"),
             error_bound_missed: registry.counter("engine.error_bound_missed"),
             time_bound_missed: registry.counter("engine.time_bound_missed"),
+            internal_faults: registry.counter("engine.internal_faults"),
+            fault_recoveries: registry.counter("engine.fault_recoveries"),
+            degraded_queries: registry.counter("engine.degraded_queries"),
         }
     }
 }
@@ -350,7 +364,12 @@ impl ExplorationSession {
         let base_guard = base_handle.as_ref().map(|h| h.read());
         let base_table = base_guard.as_deref();
 
-        let mut result = match query.kind {
+        // The outermost isolation seam: a panic that slipped past the shard
+        // and level rungs (or corrupted engine state between them) abandons
+        // *this* query with a typed reply and leaves the session — and every
+        // concurrent query — untouched. The engine holds no locks across an
+        // evaluation, so unwinding here cannot strand shared state.
+        let attempt = catch_unwind(AssertUnwindSafe(|| match query.kind {
             QueryKind::Select => self
                 .engine
                 .execute_select(query, &hierarchy, base_table, bounds)
@@ -359,7 +378,12 @@ impl ExplorationSession {
                 .engine
                 .execute_aggregate(query, &hierarchy, base_table, bounds)
                 .map(QueryOutcome::Aggregate),
-        };
+        }));
+        let mut result = attempt.unwrap_or_else(|_| {
+            Err(SciborqError::Internal {
+                site: "session.query".to_owned(),
+            })
+        });
         self.observe_outcome(&mut result, admission);
         result
     }
@@ -479,30 +503,43 @@ impl ExplorationSession {
         m.queries.inc();
         let outcome = match result {
             Ok(outcome) => outcome,
-            Err(_) => {
+            Err(err) => {
                 m.query_errors.inc();
+                if matches!(err, SciborqError::Internal { .. }) {
+                    m.internal_faults.inc();
+                }
                 return;
             }
         };
-        let (escalations, rows_scanned, elapsed, level_scans, bounds_missed, trace) = match outcome
-        {
-            QueryOutcome::Aggregate(a) => (
-                a.escalations,
-                a.rows_scanned,
-                a.elapsed,
-                &a.level_scans,
-                (!a.error_bound_met, !a.time_bound_met),
-                &mut a.trace,
-            ),
-            QueryOutcome::Rows(r) => (
-                r.escalations,
-                r.rows_scanned,
-                r.elapsed,
-                &r.level_scans,
-                (false, !r.time_bound_met),
-                &mut r.trace,
-            ),
-        };
+        let (escalations, rows_scanned, elapsed, level_scans, bounds_missed, faults, trace) =
+            match outcome {
+                QueryOutcome::Aggregate(a) => (
+                    a.escalations,
+                    a.rows_scanned,
+                    a.elapsed,
+                    &a.level_scans,
+                    (!a.error_bound_met, !a.time_bound_met),
+                    (&a.fault_events, a.degraded),
+                    &mut a.trace,
+                ),
+                QueryOutcome::Rows(r) => (
+                    r.escalations,
+                    r.rows_scanned,
+                    r.elapsed,
+                    &r.level_scans,
+                    (false, !r.time_bound_met),
+                    (&r.fault_events, r.degraded),
+                    &mut r.trace,
+                ),
+            };
+        for event in faults.0 {
+            if event.kind == FaultEventKind::Recovery {
+                m.fault_recoveries.inc();
+            }
+        }
+        if faults.1 {
+            m.degraded_queries.inc();
+        }
         m.escalations.add(escalations as u64);
         m.rows_scanned.add(rows_scanned);
         for scan in level_scans {
@@ -551,29 +588,62 @@ impl ExplorationSession {
             .map(|(name, _)| name.clone())
             .collect();
         let mut rebuilt = 0u64;
+        let mut faulted = 0u64;
         for table in tables {
             let handle = self
                 .catalog
                 .table(&table)
                 .map_err(|_| SciborqError::UnknownTable(table.clone()))?;
-            let guard = handle.read();
-            let mut hierarchies = self.hierarchies.write();
-            if let Some(current) = hierarchies.get(&table) {
-                let mut updated = (**current).clone();
-                {
-                    let predicate_set = self.predicate_set.lock();
-                    updated.rebuild_from_table(&guard, Some(&predicate_set))?;
+            // Isolate each rebuild: hierarchies swap copy-on-write, so a
+            // panic mid-rebuild (real or an injected `maintenance.rebuild`
+            // fault) discards only the half-built clone — the serving
+            // hierarchy stays the previous, fully consistent snapshot, and
+            // other tables still get their rebuild.
+            let attempt = catch_unwind(AssertUnwindSafe(|| -> Result<bool> {
+                #[cfg(feature = "fault-injection")]
+                sciborq_telemetry::fault_point!("maintenance.rebuild");
+                let guard = handle.read();
+                let mut hierarchies = self.hierarchies.write();
+                if let Some(current) = hierarchies.get(&table) {
+                    let mut updated = (**current).clone();
+                    {
+                        let predicate_set = self.predicate_set.lock();
+                        updated.rebuild_from_table(&guard, Some(&predicate_set))?;
+                    }
+                    hierarchies.insert(table.clone(), Arc::new(updated));
+                    return Ok(true);
                 }
-                hierarchies.insert(table, Arc::new(updated));
-                rebuilt += 1;
+                Ok(false)
+            }));
+            match attempt {
+                Ok(outcome) => {
+                    if outcome? {
+                        rebuilt += 1;
+                    }
+                }
+                Err(_) => {
+                    faulted += 1;
+                    self.metrics.counter("maintenance.rebuild_faults").inc();
+                }
             }
         }
         self.rebuilds.fetch_add(rebuilt, Ordering::Relaxed);
-        if rebuilt > 0 {
+        if rebuilt > 0 && faulted == 0 {
+            // Only a fully successful round advances the workload reference:
+            // a lost rebuild keeps the shift pending, so the next adapt()
+            // retries it instead of silently forgetting it.
             let predicate_set = self.predicate_set.lock();
             self.maintainer
                 .lock()
                 .update_reference(&predicate_set, &self.config);
+        }
+        if faulted > 0 {
+            // The decision stands and any completed rebuilds are kept, but
+            // the caller is told a rebuild was lost rather than pretending
+            // adaptation fully happened.
+            return Err(SciborqError::Internal {
+                site: "maintenance.rebuild".to_owned(),
+            });
         }
         Ok(decision)
     }

@@ -32,6 +32,11 @@ pub enum OverloadReason {
     /// cheapest admissible level costs more than the whole budget, or
     /// downgrading is disabled).
     CostExceedsBudget,
+    /// The query waited for budget until its deadline — the smaller of its
+    /// own wall-clock budget and the server's admission timeout — and the
+    /// budget never drained. A bounded wait, never a hang: queries used to
+    /// block on the queue indefinitely here.
+    AdmissionTimeout,
 }
 
 impl fmt::Display for OverloadReason {
@@ -40,6 +45,7 @@ impl fmt::Display for OverloadReason {
             OverloadReason::BudgetExceeded => write!(f, "budget-exceeded"),
             OverloadReason::QueueFull => write!(f, "queue-full"),
             OverloadReason::CostExceedsBudget => write!(f, "cost-exceeds-budget"),
+            OverloadReason::AdmissionTimeout => write!(f, "admission-timeout"),
         }
     }
 }
@@ -88,6 +94,9 @@ struct AdmissionMetrics {
     queue_wait_micros: Arc<Histogram>,
     /// `serve.queued` — queries that had to wait at all.
     queued: Arc<Counter>,
+    /// `serve.admission_timeouts` — waits that hit their deadline and were
+    /// shed with [`OverloadReason::AdmissionTimeout`].
+    admission_timeouts: Arc<Counter>,
 }
 
 #[derive(Debug, Default)]
@@ -102,6 +111,7 @@ pub struct AdmissionController {
     budget: Option<u64>,
     max_waiting: usize,
     allow_downgrade: bool,
+    max_wait: Duration,
     state: Mutex<State>,
     available: Condvar,
     metrics: Option<AdmissionMetrics>,
@@ -110,12 +120,21 @@ pub struct AdmissionController {
 impl AdmissionController {
     /// A controller enforcing `budget` total in-flight rows (`None`
     /// disables enforcement), queueing at most `max_waiting` queries, and
-    /// optionally downgrading queries that can never fit.
-    pub fn new(budget: Option<u64>, max_waiting: usize, allow_downgrade: bool) -> Self {
+    /// optionally downgrading queries that can never fit. A queued query
+    /// waits at most `max_wait` (or its own wall-clock budget, whichever is
+    /// smaller) before it is shed with
+    /// [`OverloadReason::AdmissionTimeout`].
+    pub fn new(
+        budget: Option<u64>,
+        max_waiting: usize,
+        allow_downgrade: bool,
+        max_wait: Duration,
+    ) -> Self {
         AdmissionController {
             budget,
             max_waiting,
             allow_downgrade,
+            max_wait,
             state: Mutex::new(State::default()),
             available: Condvar::new(),
             metrics: None,
@@ -130,6 +149,7 @@ impl AdmissionController {
             queue_depth: registry.gauge("serve.queue_depth"),
             queue_wait_micros: registry.histogram("serve.queue_wait_micros"),
             queued: registry.counter("serve.queued"),
+            admission_timeouts: registry.counter("serve.admission_timeouts"),
         });
         self
     }
@@ -151,6 +171,8 @@ impl AdmissionController {
         profile: &ScanProfile,
         bounds: &QueryBounds,
     ) -> Result<Admission, Overloaded> {
+        #[cfg(feature = "fault-injection")]
+        sciborq_telemetry::fault_point!("serve.admission");
         // Price at the worst level the query's own bounds admit. A query
         // no level fits (worst_admissible = None) costs nothing: the
         // engine will answer it with BoundsUnsatisfiable without scanning.
@@ -215,11 +237,42 @@ impl AdmissionController {
                 m.queued.inc();
                 m.queue_depth.add(1);
             }
+            // Deadline-aware wait: a queued query blocks at most for the
+            // smaller of its own wall-clock budget and the server's
+            // admission timeout, then is shed typed. (This used to be an
+            // untimed `Condvar::wait` — under a stuck or slow-draining
+            // budget, queued clients hung forever.)
+            let max_wait = match bounds.time_budget {
+                Some(time_budget) => time_budget.min(self.max_wait),
+                None => self.max_wait,
+            };
+            let deadline = wait_started + max_wait;
             while state.in_flight_rows + cost > budget {
-                state = self
+                let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                    state.waiting -= 1;
+                    let timed_out = Overloaded {
+                        table: table.to_owned(),
+                        cost_rows: cost,
+                        budget_rows: budget,
+                        in_flight_rows: state.in_flight_rows,
+                        waiting: state.waiting,
+                        reason: OverloadReason::AdmissionTimeout,
+                    };
+                    drop(state);
+                    if let Some(m) = &self.metrics {
+                        m.queue_depth.sub(1);
+                        m.admission_timeouts.inc();
+                        m.queue_wait_micros.observe(
+                            u64::try_from(wait_started.elapsed().as_micros()).unwrap_or(u64::MAX),
+                        );
+                    }
+                    return Err(timed_out);
+                };
+                let (guard, _timeout) = self
                     .available
-                    .wait(state)
+                    .wait_timeout(state, remaining)
                     .unwrap_or_else(PoisonError::into_inner);
+                state = guard;
             }
             state.waiting -= 1;
             queued = wait_started.elapsed();
@@ -269,7 +322,7 @@ mod tests {
 
     #[test]
     fn admits_within_budget_and_prices_at_worst_level() {
-        let ctl = AdmissionController::new(Some(25_000), 0, true);
+        let ctl = AdmissionController::new(Some(25_000), 0, true, Duration::from_secs(2));
         let adm = ctl.admit("t", &profile(), &QueryBounds::default()).unwrap();
         // no per-query row budget: base data is the worst admissible level
         assert_eq!(adm.cost_rows, 20_000);
@@ -281,7 +334,7 @@ mod tests {
 
     #[test]
     fn sheds_when_budget_is_full_and_queue_disabled() {
-        let ctl = AdmissionController::new(Some(25_000), 0, true);
+        let ctl = AdmissionController::new(Some(25_000), 0, true, Duration::from_secs(2));
         let first = ctl.admit("t", &profile(), &QueryBounds::default()).unwrap();
         let err = ctl
             .admit("t", &profile(), &QueryBounds::default())
@@ -296,7 +349,7 @@ mod tests {
 
     #[test]
     fn downgrades_query_that_can_never_fit() {
-        let ctl = AdmissionController::new(Some(1_500), 4, true);
+        let ctl = AdmissionController::new(Some(1_500), 4, true, Duration::from_secs(2));
         let adm = ctl.admit("t", &profile(), &QueryBounds::default()).unwrap();
         assert!(adm.downgraded);
         assert_eq!(adm.cost_rows, 200);
@@ -305,7 +358,7 @@ mod tests {
 
     #[test]
     fn rejects_unfittable_query_when_downgrade_disabled() {
-        let ctl = AdmissionController::new(Some(1_500), 4, false);
+        let ctl = AdmissionController::new(Some(1_500), 4, false, Duration::from_secs(2));
         let err = ctl
             .admit("t", &profile(), &QueryBounds::default())
             .unwrap_err();
@@ -314,7 +367,7 @@ mod tests {
 
     #[test]
     fn rejects_when_even_cheapest_level_exceeds_budget() {
-        let ctl = AdmissionController::new(Some(100), 4, true);
+        let ctl = AdmissionController::new(Some(100), 4, true, Duration::from_secs(2));
         let err = ctl
             .admit("t", &profile(), &QueryBounds::default())
             .unwrap_err();
@@ -323,7 +376,7 @@ mod tests {
 
     #[test]
     fn unsatisfiable_query_costs_nothing() {
-        let ctl = AdmissionController::new(Some(1_000), 0, true);
+        let ctl = AdmissionController::new(Some(1_000), 0, true, Duration::from_secs(2));
         // a 10-row budget admits no level: the engine will reject it
         // without scanning, so admission charges zero
         let adm = ctl
@@ -336,7 +389,10 @@ mod tests {
     #[test]
     fn queued_wait_is_measured_and_recorded() {
         let registry = Arc::new(MetricsRegistry::new());
-        let ctl = Arc::new(AdmissionController::new(Some(25_000), 4, true).with_metrics(&registry));
+        let ctl = Arc::new(
+            AdmissionController::new(Some(25_000), 4, true, Duration::from_secs(2))
+                .with_metrics(&registry),
+        );
         // immediate admission reports a zero queue wait and records nothing
         let first = ctl.admit("t", &profile(), &QueryBounds::default()).unwrap();
         assert_eq!(first.queued, Duration::ZERO);
@@ -366,9 +422,53 @@ mod tests {
     }
 
     #[test]
+    fn stuck_budget_sheds_the_waiter_with_a_typed_timeout() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let ctl = AdmissionController::new(Some(25_000), 4, true, Duration::from_millis(30))
+            .with_metrics(&registry);
+        // Fill the budget and never release: the second query must come
+        // back shed, not hang.
+        let _held = ctl.admit("t", &profile(), &QueryBounds::default()).unwrap();
+        let started = Instant::now();
+        let err = ctl
+            .admit("t", &profile(), &QueryBounds::default())
+            .unwrap_err();
+        assert_eq!(err.reason, OverloadReason::AdmissionTimeout);
+        assert!(
+            started.elapsed() >= Duration::from_millis(30),
+            "the wait must run its full deadline before shedding"
+        );
+        assert_eq!(err.waiting, 0, "the waiter removed itself from the queue");
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("serve.admission_timeouts"), Some(1));
+        assert_eq!(snap.gauge("serve.queue_depth"), Some(0));
+    }
+
+    #[test]
+    fn query_time_budget_tightens_the_admission_deadline() {
+        let ctl = AdmissionController::new(Some(25_000), 4, true, Duration::from_secs(30));
+        let _held = ctl.admit("t", &profile(), &QueryBounds::default()).unwrap();
+        // The query's own 20ms wall-clock budget caps the wait, far below
+        // the controller's 30s ceiling.
+        let bounds = QueryBounds {
+            time_budget: Some(Duration::from_millis(20)),
+            ..QueryBounds::default()
+        };
+        let started = Instant::now();
+        let err = ctl.admit("t", &profile(), &bounds).unwrap_err();
+        assert_eq!(err.reason, OverloadReason::AdmissionTimeout);
+        assert!(started.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
     fn waiting_query_proceeds_once_budget_drains() {
         use std::sync::Arc;
-        let ctl = Arc::new(AdmissionController::new(Some(25_000), 4, true));
+        let ctl = Arc::new(AdmissionController::new(
+            Some(25_000),
+            4,
+            true,
+            Duration::from_secs(2),
+        ));
         let first = ctl.admit("t", &profile(), &QueryBounds::default()).unwrap();
         let waiter = {
             let ctl = Arc::clone(&ctl);

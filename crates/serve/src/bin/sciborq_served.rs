@@ -220,9 +220,15 @@ fn main() {
                     );
                     protocol::render_traces(&id, &server.recent_traces(limit))
                 }
-                Err(message) => {
-                    logger.warn("bad_request", &[("message", message.clone())]);
-                    protocol::render_protocol_error(&Json::Null, &message)
+                Err(error) => {
+                    logger.warn(
+                        "bad_request",
+                        &[
+                            ("code", error.code().to_owned()),
+                            ("message", error.to_string()),
+                        ],
+                    );
+                    protocol::render_protocol_error(&Json::Null, &error)
                 }
             };
             let mut out = stdout.lock().unwrap();

@@ -26,6 +26,11 @@ pub struct ServeConfig {
     pub batch_window: Duration,
     /// Upper bound on the number of queries fused into one shared pass.
     pub max_batch: usize,
+    /// Upper bound on how long an admitted query may block waiting for
+    /// global budget to drain. A query with its own wall-clock budget waits
+    /// at most that budget; either way the wait is bounded and a timeout is
+    /// shed with a typed `admission-timeout` overload, never a hang.
+    pub admission_timeout: Duration,
 }
 
 impl Default for ServeConfig {
@@ -37,6 +42,7 @@ impl Default for ServeConfig {
             shared_scans: true,
             batch_window: Duration::from_micros(200),
             max_batch: 32,
+            admission_timeout: Duration::from_secs(2),
         }
     }
 }
@@ -49,6 +55,9 @@ impl ServeConfig {
         }
         if self.global_row_budget == Some(0) {
             return Err("global_row_budget must be positive when set".to_owned());
+        }
+        if self.admission_timeout.is_zero() {
+            return Err("admission_timeout must be positive".to_owned());
         }
         Ok(())
     }
@@ -76,6 +85,15 @@ mod tests {
     fn zero_budget_rejected() {
         let cfg = ServeConfig {
             global_row_budget: Some(0),
+            ..ServeConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn zero_admission_timeout_rejected() {
+        let cfg = ServeConfig {
+            admission_timeout: Duration::ZERO,
             ..ServeConfig::default()
         };
         assert!(cfg.validate().is_err());

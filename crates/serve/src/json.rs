@@ -7,6 +7,56 @@
 
 use std::fmt::Write as _;
 
+/// Maximum accepted input size for [`Json::parse`]: one request line. The
+/// server reads untrusted bytes off a socket/pipe; anything larger than this
+/// is rejected before a single byte is parsed.
+pub const MAX_INPUT_BYTES: usize = 1 << 20;
+
+/// Maximum accepted nesting depth (arrays + objects combined). The parser
+/// is recursive-descent, so unbounded nesting is unbounded stack; a hostile
+/// line of `[[[[…` must fail typed, not blow the stack.
+pub const MAX_DEPTH: usize = 64;
+
+/// A typed parse failure from [`Json::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JsonError {
+    /// The input exceeds [`MAX_INPUT_BYTES`]; nothing was parsed.
+    TooLarge {
+        /// The offered input length in bytes.
+        len: usize,
+        /// The limit that was exceeded.
+        max: usize,
+    },
+    /// Nesting exceeded [`MAX_DEPTH`] arrays/objects.
+    TooDeep {
+        /// The limit that was exceeded.
+        max: usize,
+    },
+    /// Any other syntax violation.
+    Syntax {
+        /// Byte offset where parsing failed.
+        at: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JsonError::TooLarge { len, max } => {
+                write!(f, "input of {len} bytes exceeds the {max}-byte limit")
+            }
+            JsonError::TooDeep { max } => {
+                write!(f, "nesting exceeds the maximum depth of {max}")
+            }
+            JsonError::Syntax { at, message } => write!(f, "{message} at byte {at}"),
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
 /// A JSON value.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Json {
@@ -65,17 +115,26 @@ impl Json {
         }
     }
 
-    /// Parse a JSON document (must consume the whole input).
-    pub fn parse(input: &str) -> Result<Json, String> {
+    /// Parse a JSON document (must consume the whole input). Input larger
+    /// than [`MAX_INPUT_BYTES`] or nested deeper than [`MAX_DEPTH`] is
+    /// rejected with a typed error before it can exhaust memory or stack.
+    pub fn parse(input: &str) -> Result<Json, JsonError> {
+        if input.len() > MAX_INPUT_BYTES {
+            return Err(JsonError::TooLarge {
+                len: input.len(),
+                max: MAX_INPUT_BYTES,
+            });
+        }
         let mut p = Parser {
             bytes: input.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let value = p.value()?;
         p.skip_ws();
         if p.pos != p.bytes.len() {
-            return Err(format!("trailing input at byte {}", p.pos));
+            return Err(p.syntax("trailing input"));
         }
         Ok(value)
     }
@@ -148,9 +207,25 @@ fn write_string(s: &str, out: &mut String) {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
+    fn syntax(&self, message: impl Into<String>) -> JsonError {
+        JsonError::Syntax {
+            at: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn descend(&mut self) -> Result<(), JsonError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(JsonError::TooDeep { max: MAX_DEPTH });
+        }
+        Ok(())
+    }
+
     fn skip_ws(&mut self) {
         while let Some(&b) = self.bytes.get(self.pos) {
             if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
@@ -165,25 +240,25 @@ impl Parser<'_> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), String> {
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
         } else {
-            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+            Err(self.syntax(format!("expected '{}'", b as char)))
         }
     }
 
-    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
         if self.bytes[self.pos..].starts_with(word.as_bytes()) {
             self.pos += word.len();
             Ok(value)
         } else {
-            Err(format!("invalid literal at byte {}", self.pos))
+            Err(self.syntax("invalid literal"))
         }
     }
 
-    fn value(&mut self) -> Result<Json, String> {
+    fn value(&mut self) -> Result<Json, JsonError> {
         match self.peek() {
             Some(b'n') => self.literal("null", Json::Null),
             Some(b't') => self.literal("true", Json::Bool(true)),
@@ -192,16 +267,18 @@ impl Parser<'_> {
             Some(b'[') => self.array(),
             Some(b'{') => self.object(),
             Some(b'-' | b'0'..=b'9') => self.number(),
-            _ => Err(format!("unexpected input at byte {}", self.pos)),
+            _ => Err(self.syntax("unexpected input")),
         }
     }
 
-    fn array(&mut self) -> Result<Json, String> {
+    fn array(&mut self) -> Result<Json, JsonError> {
         self.expect(b'[')?;
+        self.descend()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -212,19 +289,22 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
-                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+                _ => return Err(self.syntax("expected ',' or ']'")),
             }
         }
     }
 
-    fn object(&mut self) -> Result<Json, String> {
+    fn object(&mut self) -> Result<Json, JsonError> {
         self.expect(b'{')?;
+        self.descend()?;
         let mut fields = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(fields));
         }
         loop {
@@ -240,14 +320,15 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(fields));
                 }
-                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+                _ => return Err(self.syntax("expected ',' or '}'")),
             }
         }
     }
 
-    fn string(&mut self) -> Result<String, String> {
+    fn string(&mut self) -> Result<String, JsonError> {
         self.expect(b'"')?;
         let mut out = String::new();
         loop {
@@ -261,7 +342,7 @@ impl Parser<'_> {
             }
             out.push_str(
                 std::str::from_utf8(&self.bytes[start..self.pos])
-                    .map_err(|_| "invalid UTF-8 in string".to_owned())?,
+                    .map_err(|_| self.syntax("invalid UTF-8 in string"))?,
             );
             match self.peek() {
                 Some(b'"') => {
@@ -272,7 +353,7 @@ impl Parser<'_> {
                     self.pos += 1;
                     let esc = self
                         .peek()
-                        .ok_or_else(|| "unterminated escape".to_owned())?;
+                        .ok_or_else(|| self.syntax("unterminated escape"))?;
                     self.pos += 1;
                     match esc {
                         b'"' => out.push('"'),
@@ -287,29 +368,31 @@ impl Parser<'_> {
                             let hex = self
                                 .bytes
                                 .get(self.pos..self.pos + 4)
-                                .ok_or_else(|| "truncated \\u escape".to_owned())?;
+                                .ok_or_else(|| self.syntax("truncated \\u escape"))?;
                             let hex = std::str::from_utf8(hex)
-                                .map_err(|_| "invalid \\u escape".to_owned())?;
+                                .map_err(|_| self.syntax("invalid \\u escape"))?;
                             let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| "invalid \\u escape".to_owned())?;
+                                .map_err(|_| self.syntax("invalid \\u escape"))?;
                             self.pos += 4;
                             // surrogate pairs are out of scope for this protocol
                             out.push(
                                 char::from_u32(code)
-                                    .ok_or_else(|| "unsupported \\u escape".to_owned())?,
+                                    .ok_or_else(|| self.syntax("unsupported \\u escape"))?,
                             );
                         }
                         other => {
-                            return Err(format!("unknown escape '\\{}'", other as char));
+                            return Err(
+                                self.syntax(format!("unknown escape '\\{}'", other as char))
+                            );
                         }
                     }
                 }
-                _ => return Err("unterminated string".to_owned()),
+                _ => return Err(self.syntax("unterminated string")),
             }
         }
     }
 
-    fn number(&mut self) -> Result<Json, String> {
+    fn number(&mut self) -> Result<Json, JsonError> {
         let start = self.pos;
         if self.peek() == Some(b'-') {
             self.pos += 1;
@@ -321,10 +404,11 @@ impl Parser<'_> {
                 break;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.syntax("invalid number"))?;
         text.parse::<f64>()
             .map(Json::Num)
-            .map_err(|_| format!("invalid number '{text}'"))
+            .map_err(|_| self.syntax(format!("invalid number '{text}'")))
     }
 }
 
@@ -372,5 +456,57 @@ mod tests {
         let items = v.as_arr().unwrap();
         assert_eq!(items[0].as_f64(), Some(-1500.0));
         assert_eq!(items[2].as_f64(), Some(42.0));
+    }
+
+    #[test]
+    fn oversized_input_rejected_before_parsing() {
+        let mut line = String::from("[");
+        line.push_str(&"1,".repeat(MAX_INPUT_BYTES / 2));
+        line.push_str("1]");
+        assert_eq!(
+            Json::parse(&line),
+            Err(JsonError::TooLarge {
+                len: line.len(),
+                max: MAX_INPUT_BYTES,
+            })
+        );
+    }
+
+    #[test]
+    fn hostile_nesting_fails_typed_not_with_a_blown_stack() {
+        let bomb = "[".repeat(100_000);
+        assert_eq!(
+            Json::parse(&bomb),
+            Err(JsonError::TooDeep { max: MAX_DEPTH })
+        );
+        let bomb = "{\"k\":".repeat(80_000) + "null";
+        assert_eq!(
+            Json::parse(&bomb),
+            Err(JsonError::TooDeep { max: MAX_DEPTH })
+        );
+    }
+
+    #[test]
+    fn depth_at_the_limit_is_accepted() {
+        // MAX_DEPTH nested arrays exactly: legal.
+        let ok = "[".repeat(MAX_DEPTH) + &"]".repeat(MAX_DEPTH);
+        assert!(Json::parse(&ok).is_ok());
+        // One deeper: typed rejection.
+        let deep = "[".repeat(MAX_DEPTH + 1) + &"]".repeat(MAX_DEPTH + 1);
+        assert_eq!(
+            Json::parse(&deep),
+            Err(JsonError::TooDeep { max: MAX_DEPTH })
+        );
+        // Siblings do not accumulate depth.
+        let wide = format!("[{}]", "[],".repeat(500) + "[]");
+        assert!(Json::parse(&wide).is_ok());
+    }
+
+    #[test]
+    fn syntax_errors_carry_the_offset() {
+        let Err(JsonError::Syntax { at, .. }) = Json::parse("[1,  !]") else {
+            panic!("expected a syntax error");
+        };
+        assert_eq!(at, 5);
     }
 }

@@ -29,15 +29,23 @@
 //!
 //! * `{"id":7,"status":"ok","answer":{...}}` — value, interval, level,
 //!   measured `rows_scanned` / `elapsed_us` / `queued_micros` and the
-//!   honesty flags `error_bound_met` / `time_bound_met` / `downgraded`.
-//!   When the server collects traces, the answer also carries a `trace`
-//!   object (admission verdict, per-level scans, bound verdicts).
+//!   honesty flags `error_bound_met` / `time_bound_met` / `downgraded` /
+//!   `degraded` (the answer survived an isolated internal fault by skipping
+//!   part of the layer hierarchy; bounds are re-measured on what actually
+//!   ran). When the server collects traces, the answer also carries a
+//!   `trace` object (admission verdict, per-level scans, bound verdicts,
+//!   fault events).
 //! * `{"id":7,"status":"overloaded","reason":"cost-exceeds-budget",...}` —
-//!   the typed load-shedding answer.
-//! * `{"id":7,"status":"error","message":"..."}`
+//!   the typed load-shedding answer (`reason` may also be
+//!   `admission-timeout` when the bounded admission wait expired).
+//! * `{"id":7,"status":"error","code":"...","message":"..."}` — `code` is
+//!   `malformed` (bytes that are not JSON within the parser's size/depth
+//!   bounds), `invalid-request` (JSON that is not a request),
+//!   `internal-fault` (an isolated fault consumed every rung of the
+//!   degradation ladder) or `query-error` (anything else typed).
 
 use crate::admission::Overloaded;
-use crate::json::Json;
+use crate::json::{Json, JsonError};
 use crate::server::ServerReply;
 use sciborq_columnar::{AggregateKind, Predicate, Value};
 use sciborq_core::{
@@ -72,9 +80,46 @@ pub enum Request {
     },
 }
 
+/// A typed request-parse failure. The discriminator travels on the wire as
+/// a `code` field so clients can distinguish garbage bytes (`malformed`,
+/// including oversized and over-nested input) from well-formed JSON that is
+/// not a valid request (`invalid-request`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtocolError {
+    /// The line is not valid JSON within the parser's size/depth bounds.
+    Malformed(JsonError),
+    /// Valid JSON, but not a valid request object.
+    Invalid(String),
+}
+
+impl ProtocolError {
+    /// Stable machine-readable discriminator for the wire.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ProtocolError::Malformed(_) => "malformed",
+            ProtocolError::Invalid(_) => "invalid-request",
+        }
+    }
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::Malformed(err) => write!(f, "malformed JSON: {err}"),
+            ProtocolError::Invalid(message) => f.write_str(message),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
 /// Parse one request line.
-pub fn parse_request(line: &str) -> Result<Request, String> {
-    let doc = Json::parse(line)?;
+pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
+    let doc = Json::parse(line).map_err(ProtocolError::Malformed)?;
+    parse_request_doc(&doc).map_err(ProtocolError::Invalid)
+}
+
+fn parse_request_doc(doc: &Json) -> Result<Request, String> {
     let id = doc.get("id").cloned().unwrap_or(Json::Null);
     if let Some(cmd) = doc.get("cmd") {
         let cmd = cmd.as_str().ok_or("'cmd' must be a string")?;
@@ -295,6 +340,7 @@ fn aggregate_json(answer: &ApproximateAnswer, downgraded: bool, queued: Duration
             Json::Bool(answer.time_bound_met),
         ),
         ("downgraded".to_owned(), Json::Bool(downgraded)),
+        ("degraded".to_owned(), Json::Bool(answer.degraded)),
         (
             "queued_micros".to_owned(),
             Json::Num(queued.as_micros() as f64),
@@ -331,6 +377,7 @@ fn rows_json(answer: &SelectAnswer, downgraded: bool, queued: Duration) -> Json 
             Json::Num(answer.elapsed.as_micros() as f64),
         ),
         ("downgraded".to_owned(), Json::Bool(downgraded)),
+        ("degraded".to_owned(), Json::Bool(answer.degraded)),
         (
             "queued_micros".to_owned(),
             Json::Num(queued.as_micros() as f64),
@@ -384,7 +431,12 @@ pub fn render_reply(id: &Json, reply: &ServerReply) -> String {
             fields.extend(overloaded_json(o));
         }
         ServerReply::Failed(err) => {
+            let code = match err {
+                sciborq_core::SciborqError::Internal { .. } => "internal-fault",
+                _ => "query-error",
+            };
             fields.push(("status".to_owned(), Json::Str("error".to_owned())));
+            fields.push(("code".to_owned(), Json::Str(code.to_owned())));
             fields.push(("message".to_owned(), Json::Str(err.to_string())));
         }
     }
@@ -417,12 +469,15 @@ pub fn render_traces(id: &Json, traces: &[QueryTrace]) -> String {
     .render()
 }
 
-/// Render a parse/protocol error as a response line.
-pub fn render_protocol_error(id: &Json, message: &str) -> String {
+/// Render a parse/protocol error as a response line. `code` distinguishes
+/// `malformed` (bytes that were never JSON) from `invalid-request` (JSON
+/// that was not a request) so clients and fuzzers can assert typed replies.
+pub fn render_protocol_error(id: &Json, error: &ProtocolError) -> String {
     Json::Obj(vec![
         ("id".to_owned(), id.clone()),
         ("status".to_owned(), Json::Str("error".to_owned())),
-        ("message".to_owned(), Json::Str(message.to_owned())),
+        ("code".to_owned(), Json::Str(error.code().to_owned())),
+        ("message".to_owned(), Json::Str(error.to_string())),
     ])
     .render()
 }
@@ -516,8 +571,63 @@ mod tests {
         assert_eq!(doc.get("reason").unwrap().as_str(), Some("queue-full"));
         assert_eq!(doc.get("id").unwrap().as_f64(), Some(9.0));
 
-        let err = render_protocol_error(&Json::Null, "bad line");
+        let err =
+            render_protocol_error(&Json::Null, &ProtocolError::Invalid("bad line".to_owned()));
         let doc = Json::parse(&err).unwrap();
         assert_eq!(doc.get("status").unwrap().as_str(), Some("error"));
+        assert_eq!(doc.get("code").unwrap().as_str(), Some("invalid-request"));
+    }
+
+    #[test]
+    fn garbage_bytes_are_malformed_and_bad_requests_are_invalid() {
+        // Not JSON at all → malformed.
+        let err = parse_request("{\"id\": 3,").unwrap_err();
+        assert_eq!(err.code(), "malformed");
+        assert!(matches!(
+            err,
+            ProtocolError::Malformed(JsonError::Syntax { .. })
+        ));
+        // A nesting bomb → malformed (typed, no stack overflow).
+        let bomb = "[".repeat(1 << 16);
+        let err = parse_request(&bomb).unwrap_err();
+        assert!(matches!(
+            err,
+            ProtocolError::Malformed(JsonError::TooDeep { .. })
+        ));
+        // Valid JSON, bogus request → invalid-request.
+        let err = parse_request(r#"{"query": {"table": "t", "kind": "median"}}"#).unwrap_err();
+        assert_eq!(err.code(), "invalid-request");
+        // The rendered line carries the code.
+        let doc = Json::parse(&render_protocol_error(&Json::Null, &err)).unwrap();
+        assert_eq!(doc.get("code").unwrap().as_str(), Some("invalid-request"));
+    }
+
+    #[test]
+    fn ok_replies_carry_the_degraded_flag() {
+        use sciborq_core::ApproximateAnswer;
+        let answer = ApproximateAnswer {
+            query: "count(photoobj)".to_owned(),
+            value: Some(10.0),
+            interval: None,
+            level: EvaluationLevel::Layer(1),
+            rows_scanned: 100,
+            escalations: 0,
+            elapsed: Duration::from_micros(50),
+            error_bound_met: true,
+            time_bound_met: true,
+            degraded: true,
+            fault_events: Vec::new(),
+            level_scans: Vec::new(),
+            trace: None,
+        };
+        let reply = ServerReply::Aggregate {
+            answer,
+            downgraded: false,
+            queued: Duration::ZERO,
+        };
+        let doc = Json::parse(&render_reply(&Json::Num(1.0), &reply)).unwrap();
+        let body = doc.get("answer").unwrap();
+        assert_eq!(body.get("degraded").unwrap().as_bool(), Some(true));
+        assert_eq!(body.get("downgraded").unwrap().as_bool(), Some(false));
     }
 }

@@ -8,6 +8,7 @@ use sciborq_core::{
 };
 use sciborq_telemetry::{Counter, Gauge, Histogram};
 use sciborq_workload::{Query, QueryKind};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -124,6 +125,15 @@ struct ServeMetrics {
     /// `serve.reply_micros` — submit-to-reply wall time (queue wait
     /// included).
     reply_micros: Arc<Histogram>,
+    /// `serve.scheduler_restarts` — times the shared-scan scheduler thread
+    /// was restarted after a caught panic.
+    scheduler_restarts: Arc<Counter>,
+    /// `serve.batch_faults` — shared passes lost to a caught panic; their
+    /// members were replayed individually, so no client was stranded.
+    batch_faults: Arc<Counter>,
+    /// `serve.admission_faults` — admissions lost to a caught panic (typed
+    /// `Internal` replies; nothing was reserved against the budget).
+    admission_faults: Arc<Counter>,
 }
 
 impl ServeMetrics {
@@ -136,6 +146,9 @@ impl ServeMetrics {
             batch_size: registry.histogram("serve.batch_size"),
             batch_queue_depth: registry.gauge("serve.batch_queue_depth"),
             reply_micros: registry.histogram("serve.reply_micros"),
+            scheduler_restarts: registry.counter("serve.scheduler_restarts"),
+            batch_faults: registry.counter("serve.batch_faults"),
+            admission_faults: registry.counter("serve.admission_faults"),
         }
     }
 }
@@ -184,6 +197,7 @@ impl QueryServer {
             config.global_row_budget,
             config.max_waiting,
             config.allow_downgrade,
+            config.admission_timeout,
         )
         .with_metrics(&registry);
         let metrics = ServeMetrics::register(&registry);
@@ -200,7 +214,17 @@ impl QueryServer {
             Some(
                 std::thread::Builder::new()
                     .name("sciborq-batcher".to_owned())
-                    .spawn(move || worker.run_scheduler())
+                    // Watchdog wrapper: a scheduler lost to a panic is
+                    // restarted, not silently dead (a dead scheduler would
+                    // strand every future shared-scan client). Members of
+                    // the batch that was in flight get a typed reply via
+                    // the dispatch fallback; the restart is counted.
+                    .spawn(move || loop {
+                        match catch_unwind(AssertUnwindSafe(|| worker.run_scheduler())) {
+                            Ok(()) => break,
+                            Err(_) => worker.metrics.scheduler_restarts.inc(),
+                        }
+                    })
                     .map_err(|err| {
                         SciborqError::InvalidConfig(format!(
                             "failed to spawn scheduler thread: {err}"
@@ -263,11 +287,24 @@ impl QueryServer {
             }
         };
 
-        let admission = match inner.admission.admit(&query.table, &profile, &bounds) {
-            Ok(admission) => admission,
-            Err(overloaded) => {
+        // Admission runs on the client's thread; isolate it so a panic (or
+        // an injected `serve.admission` fault) becomes a typed reply rather
+        // than tearing the whole connection handler down. The fault point
+        // fires before anything is reserved, so nothing leaks.
+        let admitted = catch_unwind(AssertUnwindSafe(|| {
+            inner.admission.admit(&query.table, &profile, &bounds)
+        }));
+        let admission = match admitted {
+            Ok(Ok(admission)) => admission,
+            Ok(Err(overloaded)) => {
                 inner.metrics.queries_shed.inc();
                 return ServerReply::Overloaded(overloaded);
+            }
+            Err(_) => {
+                inner.metrics.admission_faults.inc();
+                return ServerReply::Failed(SciborqError::Internal {
+                    site: "serve.admission".to_owned(),
+                });
             }
         };
 
@@ -330,10 +367,13 @@ impl QueryServer {
                 .set(queue.items.len() as i64);
         }
         inner.pending.notify_one();
+        // A dropped sender means the scheduler lost this query mid-batch
+        // (it panicked between draining and replying, and was restarted by
+        // the watchdog): a typed internal-fault reply, never a hang.
         rx.recv().unwrap_or_else(|_| {
-            ServerReply::Failed(SciborqError::InvalidConfig(
-                "serving scheduler exited before answering".to_owned(),
-            ))
+            ServerReply::Failed(SciborqError::Internal {
+                site: "serve.scheduler".to_owned(),
+            })
         })
     }
 
@@ -392,13 +432,39 @@ impl ServerInner {
                 .collect();
             let admissions: Vec<Option<AdmissionTrace>> =
                 drained.iter().map(|p| Some(p.admission.clone())).collect();
-            let results = self
-                .session
-                .execute_batch_with_admission(&requests, &admissions);
-            for (pending, result) in drained.into_iter().zip(results) {
-                let reply = QueryServer::direct_reply(result, pending.downgraded, pending.queued);
-                // a client that gave up is not an error
-                let _ = pending.reply.send(reply);
+            // Isolate the shared pass: a panic (or an injected
+            // `serve.scheduler` fault) loses only this pass, and every
+            // member is replayed through the per-query path — which has its
+            // own isolation — so no client is stranded and no batch is
+            // silently dropped.
+            let attempt = catch_unwind(AssertUnwindSafe(|| {
+                #[cfg(feature = "fault-injection")]
+                sciborq_telemetry::fault_point!("serve.scheduler");
+                self.session
+                    .execute_batch_with_admission(&requests, &admissions)
+            }));
+            match attempt {
+                Ok(results) => {
+                    for (pending, result) in drained.into_iter().zip(results) {
+                        let reply =
+                            QueryServer::direct_reply(result, pending.downgraded, pending.queued);
+                        // a client that gave up is not an error
+                        let _ = pending.reply.send(reply);
+                    }
+                }
+                Err(_) => {
+                    self.metrics.batch_faults.inc();
+                    for pending in drained {
+                        let result = self.session.execute_with_admission(
+                            &pending.query,
+                            &pending.bounds,
+                            Some(pending.admission.clone()),
+                        );
+                        let reply =
+                            QueryServer::direct_reply(result, pending.downgraded, pending.queued);
+                        let _ = pending.reply.send(reply);
+                    }
+                }
             }
         }
     }

@@ -1,0 +1,334 @@
+//! Deterministic fault injection for chaos testing (`fault-injection`
+//! feature only).
+//!
+//! Production code marks its hot seams with named injection sites:
+//!
+//! ```ignore
+//! #[cfg(feature = "fault-injection")]
+//! sciborq_telemetry::fault_point!("scan.shard");
+//! ```
+//!
+//! With the feature off the macro expands to nothing and this module is
+//! not compiled at all, so release builds carry no fault-injection
+//! symbols. With the feature on, each hit consults the installed
+//! [`FaultPlan`]: a seedable, fully deterministic script of *panic here*,
+//! *delay N ms here* and *return an error here* rules with nth-hit and
+//! pseudo-random (but seed-reproducible) triggers. Chaos tests install a
+//! plan, drive the system, and assert the recovery machinery held.
+//!
+//! The registry is process-global (fault points are reached from worker
+//! threads that carry no handle to pass a plan through); tests that
+//! install plans must serialise themselves.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock, PoisonError};
+use std::time::Duration;
+
+/// What an injected fault does at its site.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Panic at the site (exercises `catch_unwind` isolation).
+    Panic,
+    /// Sleep for the given duration (exercises deadlines and timeouts).
+    Delay(Duration),
+    /// Ask the site to return its typed error (only honoured by
+    /// error-aware sites; plain sites treat this as a panic so a storm is
+    /// never silently ignored).
+    Error,
+}
+
+/// When a rule fires, measured in per-site hit counts (1-based).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Trigger {
+    /// Fire on every hit.
+    Always,
+    /// Fire on exactly the nth hit of the site.
+    Nth(u64),
+    /// Fire on every nth hit of the site.
+    EveryNth(u64),
+    /// Fire pseudo-randomly with the given probability; the decision is a
+    /// pure function of `(plan seed, site, hit number)`, so a fixed seed
+    /// replays the identical storm.
+    Probability(f64),
+}
+
+/// One site-matching rule of a [`FaultPlan`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultRule {
+    /// The site the rule applies to: an exact site name, or `"*"` for
+    /// every site.
+    pub site: String,
+    /// What happens when the rule fires.
+    pub kind: FaultKind,
+    /// When the rule fires.
+    pub trigger: Trigger,
+}
+
+/// A deterministic script of faults, installed process-wide with
+/// [`install`]. The first matching rule wins at each hit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the [`Trigger::Probability`] decisions.
+    pub seed: u64,
+    /// Rules, consulted in order.
+    pub rules: Vec<FaultRule>,
+}
+
+impl FaultPlan {
+    /// An empty plan with the given seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            rules: Vec::new(),
+        }
+    }
+
+    /// Add a panic rule.
+    pub fn panic_at(mut self, site: &str, trigger: Trigger) -> Self {
+        self.rules.push(FaultRule {
+            site: site.to_owned(),
+            kind: FaultKind::Panic,
+            trigger,
+        });
+        self
+    }
+
+    /// Add a delay rule.
+    pub fn delay_at(mut self, site: &str, delay: Duration, trigger: Trigger) -> Self {
+        self.rules.push(FaultRule {
+            site: site.to_owned(),
+            kind: FaultKind::Delay(delay),
+            trigger,
+        });
+        self
+    }
+
+    /// Add an error-return rule.
+    pub fn error_at(mut self, site: &str, trigger: Trigger) -> Self {
+        self.rules.push(FaultRule {
+            site: site.to_owned(),
+            kind: FaultKind::Error,
+            trigger,
+        });
+        self
+    }
+
+    /// A randomized (but seed-deterministic) storm: every site panics with
+    /// probability `p_panic` and stalls for `delay` with probability
+    /// `p_delay` on each hit.
+    pub fn storm(seed: u64, p_panic: f64, p_delay: f64, delay: Duration) -> Self {
+        FaultPlan::new(seed)
+            .panic_at("*", Trigger::Probability(p_panic))
+            .delay_at("*", delay, Trigger::Probability(p_delay))
+    }
+}
+
+#[derive(Debug, Default)]
+struct ActiveState {
+    plan: Option<FaultPlan>,
+    hits: BTreeMap<String, u64>,
+    injected: BTreeMap<String, u64>,
+}
+
+fn state() -> &'static Mutex<ActiveState> {
+    static STATE: OnceLock<Mutex<ActiveState>> = OnceLock::new();
+    STATE.get_or_init(|| Mutex::new(ActiveState::default()))
+}
+
+/// Install `plan` process-wide, resetting all hit and injection counts.
+pub fn install(plan: FaultPlan) {
+    let mut s = state().lock().unwrap_or_else(PoisonError::into_inner);
+    s.plan = Some(plan);
+    s.hits.clear();
+    s.injected.clear();
+}
+
+/// Remove the installed plan (fault points become pass-through) and reset
+/// all counts.
+pub fn clear() {
+    let mut s = state().lock().unwrap_or_else(PoisonError::into_inner);
+    s.plan = None;
+    s.hits.clear();
+    s.injected.clear();
+}
+
+/// How many times `site` has been reached since the last [`install`].
+pub fn hits(site: &str) -> u64 {
+    let s = state().lock().unwrap_or_else(PoisonError::into_inner);
+    s.hits.get(site).copied().unwrap_or(0)
+}
+
+/// How many faults have been injected at `site` since the last
+/// [`install`].
+pub fn injected(site: &str) -> u64 {
+    let s = state().lock().unwrap_or_else(PoisonError::into_inner);
+    s.injected.get(site).copied().unwrap_or(0)
+}
+
+/// Total faults injected across all sites since the last [`install`].
+pub fn total_injected() -> u64 {
+    let s = state().lock().unwrap_or_else(PoisonError::into_inner);
+    s.injected.values().sum()
+}
+
+/// splitmix64: a tiny, high-quality mixer for the probability trigger.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn site_hash(site: &str) -> u64 {
+    // FNV-1a; any stable hash works, the mixer does the heavy lifting.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in site.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn trigger_fires(trigger: Trigger, seed: u64, site: &str, hit: u64) -> bool {
+    match trigger {
+        Trigger::Always => true,
+        Trigger::Nth(n) => hit == n,
+        Trigger::EveryNth(n) => n > 0 && hit.is_multiple_of(n),
+        Trigger::Probability(p) => {
+            let sample =
+                mix(seed ^ site_hash(site) ^ hit.wrapping_mul(0x9E37)) as f64 / u64::MAX as f64;
+            sample < p
+        }
+    }
+}
+
+/// Record a hit at `site` and return the fault to inject, if any. Exposed
+/// for the `fault_point!` macro; call sites should use the macro.
+pub fn evaluate(site: &str) -> Option<FaultKind> {
+    let mut s = state().lock().unwrap_or_else(PoisonError::into_inner);
+    s.plan.as_ref()?;
+    let hit = {
+        let entry = s.hits.entry(site.to_owned()).or_insert(0);
+        *entry += 1;
+        *entry
+    };
+    let plan = s.plan.as_ref()?;
+    let fired = plan
+        .rules
+        .iter()
+        .find(|r| {
+            (r.site == site || r.site == "*") && trigger_fires(r.trigger, plan.seed, site, hit)
+        })
+        .map(|r| r.kind);
+    if fired.is_some() {
+        *s.injected.entry(site.to_owned()).or_insert(0) += 1;
+    }
+    fired
+}
+
+/// Act on the plan at a plain (non-error-aware) site: panic or delay as
+/// scripted. An `Error` rule panics too — a storm must never be silently
+/// swallowed by a site that cannot return errors.
+pub fn fire(site: &str) {
+    match evaluate(site) {
+        Some(FaultKind::Panic) | Some(FaultKind::Error) => {
+            panic!("injected fault at {site}");
+        }
+        Some(FaultKind::Delay(d)) => std::thread::sleep(d),
+        None => {}
+    }
+}
+
+/// Act on the plan at an error-aware site: panic or delay as scripted, or
+/// return `true` when the site should return its typed error.
+pub fn error_requested(site: &str) -> bool {
+    match evaluate(site) {
+        Some(FaultKind::Panic) => panic!("injected fault at {site}"),
+        Some(FaultKind::Delay(d)) => {
+            std::thread::sleep(d);
+            false
+        }
+        Some(FaultKind::Error) => true,
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex as StdMutex;
+
+    // The registry is process-global; tests that install plans serialise.
+    static SERIAL: StdMutex<()> = StdMutex::new(());
+
+    #[test]
+    fn nth_hit_rule_fires_exactly_once() {
+        let _guard = SERIAL.lock().unwrap_or_else(PoisonError::into_inner);
+        install(FaultPlan::new(7).panic_at("scan.shard", Trigger::Nth(3)));
+        assert_eq!(evaluate("scan.shard"), None);
+        assert_eq!(evaluate("scan.shard"), None);
+        assert_eq!(evaluate("scan.shard"), Some(FaultKind::Panic));
+        assert_eq!(evaluate("scan.shard"), None);
+        assert_eq!(hits("scan.shard"), 4);
+        assert_eq!(injected("scan.shard"), 1);
+        assert_eq!(total_injected(), 1);
+        clear();
+    }
+
+    #[test]
+    fn wildcard_and_every_nth_rules_match_any_site() {
+        let _guard = SERIAL.lock().unwrap_or_else(PoisonError::into_inner);
+        install(FaultPlan::new(1).error_at("*", Trigger::EveryNth(2)));
+        assert_eq!(evaluate("a"), None);
+        assert_eq!(evaluate("a"), Some(FaultKind::Error));
+        assert_eq!(evaluate("b"), None);
+        assert_eq!(evaluate("b"), Some(FaultKind::Error));
+        clear();
+        assert_eq!(evaluate("a"), None, "cleared plan injects nothing");
+        assert_eq!(hits("a"), 0, "clear resets counts");
+    }
+
+    #[test]
+    fn probability_trigger_is_seed_deterministic() {
+        let _guard = SERIAL.lock().unwrap_or_else(PoisonError::into_inner);
+        let run = |seed: u64| -> Vec<bool> {
+            install(FaultPlan::storm(seed, 0.3, 0.0, Duration::from_millis(1)));
+            let out = (0..64)
+                .map(|_| evaluate("engine.level").is_some())
+                .collect();
+            clear();
+            out
+        };
+        let a = run(42);
+        let b = run(42);
+        let c = run(43);
+        assert_eq!(a, b, "same seed must replay the same storm");
+        assert_ne!(a, c, "different seeds should diverge");
+        assert!(a.iter().any(|&f| f), "p=0.3 over 64 hits should fire");
+        assert!(!a.iter().all(|&f| f), "p=0.3 should not always fire");
+    }
+
+    #[test]
+    fn error_requested_distinguishes_kinds() {
+        let _guard = SERIAL.lock().unwrap_or_else(PoisonError::into_inner);
+        install(
+            FaultPlan::new(0)
+                .error_at("session.query", Trigger::Nth(1))
+                .delay_at("session.query", Duration::from_millis(1), Trigger::Nth(2)),
+        );
+        assert!(error_requested("session.query"));
+        assert!(!error_requested("session.query"), "delay returns false");
+        assert!(!error_requested("session.query"), "no rule, no error");
+        clear();
+    }
+
+    #[test]
+    #[should_panic(expected = "injected fault at scan.shard")]
+    fn fire_panics_on_a_panic_rule() {
+        // Deliberately not serialised via SERIAL: install/panic leaves the
+        // guard poisoned; this test only needs its own plan installed last.
+        let _guard = SERIAL.lock().unwrap_or_else(PoisonError::into_inner);
+        install(FaultPlan::new(0).panic_at("scan.shard", Trigger::Always));
+        fire("scan.shard");
+    }
+}

@@ -29,12 +29,51 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+#[cfg(feature = "fault-injection")]
+pub mod faults;
 pub mod log;
 pub mod metrics;
 pub mod trace;
+
+/// Mark a named fault-injection site.
+///
+/// With the `fault-injection` feature off (the default) every form
+/// expands to nothing — zero code, zero symbols. With it on, each hit
+/// consults the installed [`faults::FaultPlan`]:
+///
+/// * `fault_point!("site")` — panics or delays as scripted (an `Error`
+///   rule panics too; plain sites cannot return errors).
+/// * `fault_point!("site", |site| expr)` — additionally supports
+///   error-return rules: when one fires, the enclosing function does
+///   `return Err(ctor(site))`.
+///
+/// Call sites must themselves be gated with
+/// `#[cfg(feature = "fault-injection")]` so no fault-injection symbols
+/// are reachable in release builds (enforced by the `fault_discipline`
+/// analyzer lint).
+#[cfg(feature = "fault-injection")]
+#[macro_export]
+macro_rules! fault_point {
+    ($site:expr) => {
+        $crate::faults::fire($site);
+    };
+    ($site:expr, $err:expr) => {
+        if $crate::faults::error_requested($site) {
+            return Err(($err)($site));
+        }
+    };
+}
+
+/// Mark a named fault-injection site (no-op: the `fault-injection`
+/// feature is off).
+#[cfg(not(feature = "fault-injection"))]
+#[macro_export]
+macro_rules! fault_point {
+    ($($tt:tt)*) => {};
+}
 
 pub use log::{LogLevel, Logger};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSummary, MetricValue, MetricsRegistry, MetricsSnapshot,
 };
-pub use trace::{AdmissionTrace, LevelTrace, QueryTrace, TraceRing};
+pub use trace::{AdmissionTrace, FaultEvent, FaultEventKind, LevelTrace, QueryTrace, TraceRing};

@@ -50,6 +50,39 @@ pub struct LevelTrace {
     pub error_bound_met: bool,
 }
 
+/// One fault, recovery or degradation event observed while answering a
+/// query. Events are recorded even when injection is compiled out — real
+/// panics take the same recovery paths as injected ones.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// The seam where the event happened (`"scan.shard"`,
+    /// `"engine.level"`, ...).
+    pub site: String,
+    /// What happened at the seam.
+    pub kind: FaultEventKind,
+}
+
+/// The classes of [`FaultEvent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultEventKind {
+    /// A fault was absorbed and fully recovered from (e.g. a panicking
+    /// shard scan redone serially); the answer is unaffected.
+    Recovery,
+    /// A fault forced the answer onto the degradation ladder (e.g. an
+    /// escalation level skipped); the answer carries `degraded: true`.
+    Degradation,
+}
+
+impl FaultEventKind {
+    /// Stable wire name of the kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultEventKind::Recovery => "recovery",
+            FaultEventKind::Degradation => "degradation",
+        }
+    }
+}
+
 /// The structured execution trace of one bounded query.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryTrace {
@@ -76,6 +109,12 @@ pub struct QueryTrace {
     pub requested_error: Option<f64>,
     /// The wall-clock budget the query requested, if any.
     pub time_budget: Option<Duration>,
+    /// Whether the answer was degraded by a fault (see
+    /// [`FaultEventKind::Degradation`]).
+    pub degraded: bool,
+    /// Faults, recoveries and degradations observed during execution, in
+    /// occurrence order.
+    pub faults: Vec<FaultEvent>,
 }
 
 impl QueryTrace {
@@ -136,7 +175,19 @@ impl QueryTrace {
             }
             None => out.push_str("null"),
         }
-        out.push('}');
+        let _ = write!(out, ",\"degraded\":{}", self.degraded);
+        out.push_str(",\"faults\":[");
+        for (i, event) in self.faults.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"site\":");
+            write_json_string(&event.site, &mut out);
+            out.push_str(",\"kind\":");
+            write_json_string(event.kind.as_str(), &mut out);
+            out.push('}');
+        }
+        out.push_str("]}");
         out
     }
 }
@@ -233,6 +284,8 @@ mod tests {
             elapsed: Duration::from_micros(300),
             requested_error: Some(0.05),
             time_budget: Some(Duration::from_millis(10)),
+            degraded: false,
+            faults: Vec::new(),
         }
     }
 
@@ -271,7 +324,35 @@ mod tests {
         assert!(json.contains("\"relative_error\":0.04"), "{json}");
         assert!(json.contains("\"final_level\":\"layer-0\""), "{json}");
         assert!(json.contains("\"time_budget_micros\":10000"), "{json}");
+        assert!(json.contains("\"degraded\":false"), "{json}");
+        assert!(json.contains("\"faults\":[]"), "{json}");
         assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+
+    #[test]
+    fn trace_json_renders_fault_events() {
+        let mut t = trace("q");
+        t.degraded = true;
+        t.faults = vec![
+            FaultEvent {
+                site: "scan.shard".to_owned(),
+                kind: FaultEventKind::Recovery,
+            },
+            FaultEvent {
+                site: "engine.level".to_owned(),
+                kind: FaultEventKind::Degradation,
+            },
+        ];
+        let json = t.to_json();
+        assert!(json.contains("\"degraded\":true"), "{json}");
+        assert!(
+            json.contains("{\"site\":\"scan.shard\",\"kind\":\"recovery\"}"),
+            "{json}"
+        );
+        assert!(
+            json.contains("{\"site\":\"engine.level\",\"kind\":\"degradation\"}"),
+            "{json}"
+        );
     }
 
     #[test]

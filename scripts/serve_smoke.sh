@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Smoke-test the `sciborq-served` stdio server end to end: issue bounded
-# queries, scrape the `metrics` and `trace` introspection commands off the
-# wire, and assert the telemetry registry observed the traffic. The final
-# registry snapshot is written to crates/bench/BENCH_serving_metrics.json
-# so CI can upload it next to the serving bench summary.
+# queries, feed it a fixed set of protocol-fuzz seeds (hostile lines that
+# must draw typed errors, never a crash or a hang), scrape the `metrics`
+# and `trace` introspection commands off the wire, and assert the
+# telemetry registry observed the traffic. The final registry snapshot is
+# written to crates/bench/BENCH_serving_metrics.json so CI can upload it
+# next to the serving bench summary.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -18,6 +20,15 @@ cargo build --release -p sciborq-serve --bin sciborq-served
     printf '{"id":%d,"query":{"table":"photoobj","kind":"count","predicate":{"op":"lt","column":"ra","value":%d.0}},"bounds":{"max_relative_error":0.05}}\n' "$i" "$((i * 45))"
   done
   printf '{"id":5,"query":{"table":"photoobj","kind":"sum","column":"r_mag","predicate":{"op":"between","column":"ra","low":10.0,"high":200.0}},"bounds":{"max_relative_error":0.05}}\n'
+  # protocol-fuzz seeds: hostile lines the server must answer with a
+  # typed error reply — never a crash, a hang, or a blown stack
+  head -c 1100000 /dev/zero | tr '\0' 'x'   # > 1 MiB line -> malformed (too large)
+  printf '\n'
+  printf '%0.s[' $(seq 1 200)               # 200-deep nesting bomb -> malformed (too deep)
+  printf '\n'
+  printf '{"id":6,"query":{"table":\n'      # truncated mid-document -> malformed (syntax)
+  printf 'plain garbage, not json\n'        # not json at all -> malformed (syntax)
+  printf '{"id":7,"hello":"world"}\n'       # valid json, not a request -> invalid-request
   # let the query workers drain so the introspection replies see them
   sleep 2
   printf '{"id":100,"cmd":"metrics"}\n'
@@ -36,6 +47,17 @@ fail() { echo "serve_smoke: $1" >&2; exit 1; }
 # every request (5 queries + metrics + trace) answered ok
 ok_count="$(grep -c '"status":"ok"' "$REPLIES")"
 [ "$ok_count" -eq 7 ] || fail "expected 7 ok replies, got $ok_count"
+
+# every fuzz seed drew a typed error reply: 4 malformed (oversized,
+# nesting bomb, truncated, garbage) + 1 invalid-request — and none of
+# them leaked through as an internal fault
+malformed_count="$(grep -c '"code":"malformed"' "$REPLIES")"
+[ "$malformed_count" -eq 4 ] || fail "expected 4 malformed replies, got $malformed_count"
+invalid_count="$(grep -c '"code":"invalid-request"' "$REPLIES")"
+[ "$invalid_count" -eq 1 ] || fail "expected 1 invalid-request reply, got $invalid_count"
+if grep -q '"code":"internal-fault"' "$REPLIES"; then
+  fail "fuzz seeds triggered an internal fault"
+fi
 
 # answers report their admission queue wait and embed escalation traces
 grep -q '"queued_micros":' "$REPLIES" || fail "replies lack queued_micros"
@@ -56,4 +78,4 @@ grep -q '"serve.queries_served":5' "$SNAPSHOT" || fail "snapshot serve.queries_s
 grep -Eq '"engine.rows_scanned":[1-9]' "$SNAPSHOT" || fail "snapshot rows_scanned is zero"
 grep -Eq '"engine.query_micros":\{"count":5' "$SNAPSHOT" || fail "latency histogram count != 5"
 
-echo "serve_smoke: ok (7 replies, registry saw 5 queries)"
+echo "serve_smoke: ok (7 ok replies, 5 typed fuzz rejections, registry saw 5 queries)"

@@ -1,0 +1,258 @@
+//! Failure-semantics regression tests, run with the `fault-injection`
+//! feature OFF (the tier-1 configuration).
+//!
+//! Two properties of the recovery machinery are only visible from here:
+//!
+//! * **Feature-off neutrality** — with no fault registry compiled in, no
+//!   answer is ever flagged `degraded`, no fault events appear, and no
+//!   `Internal` error surfaces. The isolation seams (`catch_unwind`,
+//!   deadline-aware admission) are still active — they guard against real
+//!   bugs too — but they must be invisible when nothing faults.
+//! * **Mutation-storm safety** — concurrent appends, adaptive maintenance
+//!   rebuilds and queries must interleave without panics, lost rows, or
+//!   statistical drift. This is the regression test for the copy-on-write
+//!   rebuild isolation in `ExplorationSession::adapt`.
+
+use sciborq_columnar::{
+    Catalog, DataType, Field, Predicate, RecordBatch, RecordBatchBuilder, Schema, SchemaRef, Table,
+    Value,
+};
+use sciborq_core::{ExplorationSession, QueryBounds, QueryOutcome, SamplingPolicy, SciborqConfig};
+use sciborq_serve::{QueryServer, ServeConfig, ServerReply};
+use sciborq_workload::{AttributeDomain, Query};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+fn schema() -> SchemaRef {
+    Schema::shared(vec![
+        Field::new("objid", DataType::Int64),
+        Field::new("ra", DataType::Float64),
+        Field::new("r_mag", DataType::Float64),
+    ])
+    .unwrap()
+}
+
+fn batch(start: i64, rows: usize) -> RecordBatch {
+    let mut b = RecordBatchBuilder::with_capacity(schema(), rows);
+    for i in 0..rows as i64 {
+        let objid = start + i;
+        b.push_row(&[
+            Value::Int64(objid),
+            Value::Float64((objid * 13 % 3600) as f64 / 10.0),
+            Value::Float64(14.0 + (objid % 1_000) as f64 / 125.0),
+        ])
+        .unwrap();
+    }
+    b.finish().unwrap()
+}
+
+fn session(rows: usize, layers: Vec<usize>) -> ExplorationSession {
+    let mut table = Table::new("photoobj", schema());
+    table.append_batch(&batch(0, rows)).unwrap();
+    let catalog = Catalog::new();
+    catalog.register(table).unwrap();
+    ExplorationSession::new(
+        catalog,
+        SciborqConfig::with_layers(layers),
+        &[("ra", AttributeDomain::new(0.0, 360.0, 36))],
+    )
+    .unwrap()
+}
+
+/// Concurrent appends + workload-shift queries + adaptive rebuilds. The
+/// storm must end with every row accounted for, at least one rebuild
+/// performed, every maintenance call typed-`Ok`, and layer statistics
+/// still answering within bounds.
+#[test]
+fn mutation_storm_with_concurrent_maintenance_stays_consistent() {
+    let base_rows = 40_000;
+    let s = Arc::new(session(base_rows, vec![4_000, 400]));
+
+    // Warm-up: a workload focused on ra ≈ 90, then biased impressions
+    // enriched for it — the precondition for adaptive maintenance.
+    for _ in 0..30 {
+        let q = Query::count("photoobj", Predicate::between("ra", 88.0, 92.0));
+        let _ = s.execute(&q, &QueryBounds::default());
+    }
+    s.create_impressions("photoobj", SamplingPolicy::biased(["ra"]))
+        .unwrap();
+
+    // The storm: writers append fresh batches, readers shift the workload
+    // focus to ra ≈ 270, and a maintainer runs adapt() throughout.
+    let writers = 2;
+    let readers = 2;
+    let batches_per_writer = 10;
+    let batch_rows = 1_000;
+    let barrier = Arc::new(Barrier::new(writers + readers + 1));
+    let mut handles = Vec::new();
+    for w in 0..writers {
+        let s = Arc::clone(&s);
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            barrier.wait();
+            for i in 0..batches_per_writer {
+                let start = base_rows as i64
+                    + (w as i64 * batches_per_writer as i64 + i as i64) * batch_rows as i64;
+                s.load("photoobj", &batch(start, batch_rows)).unwrap();
+            }
+        }));
+    }
+    for _ in 0..readers {
+        let s = Arc::clone(&s);
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            barrier.wait();
+            for _ in 0..60 {
+                let q = Query::count("photoobj", Predicate::between("ra", 268.0, 272.0));
+                let outcome = s.execute(&q, &QueryBounds::default()).unwrap();
+                let answer = match outcome {
+                    QueryOutcome::Aggregate(a) => a,
+                    other => panic!("count returned {other:?}"),
+                };
+                assert!(!answer.degraded, "feature-off answers never degrade");
+                assert!(answer.fault_events.is_empty());
+            }
+        }));
+    }
+    let maintainer = {
+        let s = Arc::clone(&s);
+        let barrier = Arc::clone(&barrier);
+        std::thread::spawn(move || {
+            barrier.wait();
+            for _ in 0..10 {
+                // Every maintenance round must come back typed-Ok: with no
+                // faults compiled in, a rebuild either happens or is a
+                // no-op decision — never an error, never a panic.
+                s.adapt().unwrap();
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        })
+    };
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    maintainer.join().unwrap();
+    // Settle: with the full shift logged, adaptation must have rebuilt at
+    // least once (mid-storm or now).
+    s.adapt().unwrap();
+    assert!(
+        s.rebuilds() >= 1,
+        "the workload shift never triggered a rebuild"
+    );
+
+    // No row lost: the hierarchy observed every append, and an exact count
+    // (base-data fall-through) sees all of them.
+    let total = base_rows + writers * batches_per_writer * batch_rows;
+    assert_eq!(
+        s.hierarchy("photoobj").unwrap().observed_rows(),
+        total as u64
+    );
+    let outcome = s
+        .execute(
+            &Query::count("photoobj", Predicate::True),
+            &QueryBounds::max_error(1e-9),
+        )
+        .unwrap();
+    let exact = outcome.as_aggregate().unwrap();
+    assert_eq!(exact.value.unwrap(), total as f64);
+    assert!(exact.error_bound_met);
+
+    // Statistical re-assertion: the rebuilt layers still estimate a
+    // selective count within a loose bound of the base-data truth.
+    let focal = Query::count("photoobj", Predicate::between("ra", 268.0, 272.0));
+    let truth = s
+        .execute(&focal, &QueryBounds::max_error(1e-9))
+        .unwrap()
+        .as_aggregate()
+        .unwrap()
+        .value
+        .unwrap();
+    let estimate = s
+        .execute(&focal, &QueryBounds::max_error(0.5))
+        .unwrap()
+        .as_aggregate()
+        .unwrap()
+        .value
+        .unwrap();
+    assert!(truth > 0.0, "the focal region must be populated");
+    assert!(
+        (estimate - truth).abs() / truth < 0.75,
+        "estimate {estimate} drifted from truth {truth}"
+    );
+}
+
+/// With the feature off, the serving stack never reports degradation: no
+/// `degraded` flags, no fault events, no `Internal` errors, and the fault
+/// counters stay at zero (or absent entirely).
+#[test]
+fn feature_off_serving_never_degrades_or_faults() {
+    let serving = session(30_000, vec![3_000, 300]);
+    serving
+        .create_impressions("photoobj", SamplingPolicy::Uniform)
+        .unwrap();
+    let server = Arc::new(
+        QueryServer::new(
+            serving,
+            ServeConfig {
+                batch_window: Duration::from_millis(2),
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap(),
+    );
+    let clients = 4;
+    let barrier = Arc::new(Barrier::new(clients));
+    let mut handles = Vec::new();
+    for _ in 0..clients {
+        let server = Arc::clone(&server);
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            barrier.wait();
+            let queries = vec![
+                (
+                    Query::count("photoobj", Predicate::lt("ra", 90.0)),
+                    QueryBounds::max_error(0.1),
+                ),
+                (
+                    Query::select("photoobj", Predicate::lt("ra", 180.0)).with_limit(5),
+                    QueryBounds::default(),
+                ),
+            ];
+            queries
+                .into_iter()
+                .map(|(q, b)| server.submit(q, b))
+                .collect::<Vec<_>>()
+        }));
+    }
+    for handle in handles {
+        for reply in handle.join().unwrap() {
+            match reply {
+                ServerReply::Aggregate { answer, .. } => {
+                    assert!(!answer.degraded);
+                    assert!(answer.fault_events.is_empty());
+                }
+                ServerReply::Rows { answer, .. } => {
+                    assert!(!answer.degraded);
+                    assert!(answer.fault_events.is_empty());
+                }
+                other => panic!("feature-off reply must be an answer, got {other:?}"),
+            }
+        }
+    }
+    let snapshot = server.metrics_snapshot();
+    for counter in [
+        "engine.internal_faults",
+        "engine.fault_recoveries",
+        "engine.degraded_queries",
+        "serve.scheduler_restarts",
+        "serve.batch_faults",
+        "serve.admission_faults",
+        "serve.admission_timeouts",
+    ] {
+        assert_eq!(
+            snapshot.counter(counter).unwrap_or(0),
+            0,
+            "{counter} moved without any fault injected"
+        );
+    }
+}
